@@ -1,0 +1,186 @@
+//! Frequentist estimators for classical fault-injection campaigns:
+//! Wilson and Clopper–Pearson binomial confidence intervals.
+//!
+//! Traditional FI reports an SDC (silent data corruption) *rate* with a
+//! confidence interval and stops at a fixed injection budget — it has no
+//! notion of campaign completeness beyond the interval width, which is the
+//! limitation BDLFI's mixing-based certification addresses.
+
+use bdlfi_bayes::special::betainc_inv;
+use serde::{Deserialize, Serialize};
+
+/// A frequentist estimate of a binomial proportion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProportionEstimate {
+    /// Observed successes.
+    pub successes: u64,
+    /// Observed trials.
+    pub trials: u64,
+    /// Point estimate `successes / trials`.
+    pub rate: f64,
+    /// Wilson score interval at the configured level.
+    pub wilson: (f64, f64),
+    /// Clopper–Pearson (exact) interval at the configured level.
+    pub clopper_pearson: (f64, f64),
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Estimates a binomial proportion with both interval styles.
+///
+/// # Panics
+///
+/// Panics if `successes > trials`, `trials == 0`, or the level is not in
+/// `(0, 1)`.
+pub fn estimate_proportion(successes: u64, trials: u64, level: f64) -> ProportionEstimate {
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(trials > 0, "need at least one trial");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    let rate = successes as f64 / trials as f64;
+    ProportionEstimate {
+        successes,
+        trials,
+        rate,
+        wilson: wilson_interval(successes, trials, level),
+        clopper_pearson: clopper_pearson_interval(successes, trials, level),
+        level,
+    }
+}
+
+/// Wilson score interval.
+fn wilson_interval(successes: u64, trials: u64, level: f64) -> (f64, f64) {
+    let z = normal_quantile(0.5 + level / 2.0);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Clopper–Pearson exact interval via Beta quantiles.
+fn clopper_pearson_interval(successes: u64, trials: u64, level: f64) -> (f64, f64) {
+    let alpha = 1.0 - level;
+    let (k, n) = (successes as f64, trials as f64);
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        betainc_inv(k, n - k + 1.0, alpha / 2.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        betainc_inv(k + 1.0, n - k, 1.0 - alpha / 2.0)
+    };
+    (lo, hi)
+}
+
+/// Standard normal quantile (Acklam's rational approximation, |err| < 1e-8).
+///
+/// # Panics
+///
+/// Panics unless `0 < q < 1`.
+pub fn normal_quantile(q: f64) -> f64 {
+    assert!(q > 0.0 && q < 1.0, "quantile level must be in (0, 1)");
+    // Coefficients for the central and tail regions.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if q < P_LOW {
+        let u = (-2.0 * q.ln()).sqrt();
+        (((((C[0] * u + C[1]) * u + C[2]) * u + C[3]) * u + C[4]) * u + C[5])
+            / ((((D[0] * u + D[1]) * u + D[2]) * u + D[3]) * u + 1.0)
+    } else if q <= 1.0 - P_LOW {
+        let u = q - 0.5;
+        let r = u * u;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * u
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-8);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.9999) - 3.719_016_485).abs() < 1e-4);
+    }
+
+    #[test]
+    fn intervals_bracket_the_rate() {
+        let e = estimate_proportion(30, 100, 0.95);
+        assert_eq!(e.rate, 0.3);
+        assert!(e.wilson.0 < 0.3 && 0.3 < e.wilson.1);
+        assert!(e.clopper_pearson.0 < 0.3 && 0.3 < e.clopper_pearson.1);
+        // Clopper–Pearson is conservative: at least as wide as Wilson.
+        assert!(
+            e.clopper_pearson.1 - e.clopper_pearson.0 >= e.wilson.1 - e.wilson.0 - 1e-9
+        );
+    }
+
+    #[test]
+    fn interval_width_shrinks_with_trials() {
+        let small = estimate_proportion(3, 10, 0.95);
+        let large = estimate_proportion(300, 1000, 0.95);
+        assert!(large.wilson.1 - large.wilson.0 < small.wilson.1 - small.wilson.0);
+    }
+
+    #[test]
+    fn zero_and_full_successes() {
+        let none = estimate_proportion(0, 20, 0.95);
+        assert_eq!(none.clopper_pearson.0, 0.0);
+        assert!(none.clopper_pearson.1 > 0.0 && none.clopper_pearson.1 < 0.3);
+        let all = estimate_proportion(20, 20, 0.95);
+        assert_eq!(all.clopper_pearson.1, 1.0);
+        assert!(all.clopper_pearson.0 > 0.7);
+    }
+
+    #[test]
+    fn clopper_pearson_matches_known_value() {
+        // k=1, n=10, 95%: CP interval ≈ (0.0025, 0.4450).
+        let e = estimate_proportion(1, 10, 0.95);
+        assert!((e.clopper_pearson.0 - 0.0025).abs() < 5e-4, "{:?}", e.clopper_pearson);
+        assert!((e.clopper_pearson.1 - 0.4450).abs() < 5e-3, "{:?}", e.clopper_pearson);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        estimate_proportion(0, 0, 0.95);
+    }
+}

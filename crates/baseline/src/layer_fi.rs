@@ -1,0 +1,182 @@
+//! Per-layer traditional fault injection — the Li et al. (SC'17 \[1\])
+//! experiment the paper's Fig. 3 challenges: sample a handful of single-bit
+//! injections per layer and read off a depth-vs-vulnerability trend.
+//!
+//! With small per-layer budgets the measured trend is dominated by sampling
+//! noise; BDLFI's claim is that incomplete traversal of the injection space
+//! manufactures the depth effect reported by earlier studies.
+
+use crate::random_fi::{RandomFi, RandomFiConfig, RandomFiResult};
+use bdlfi_data::Dataset;
+use bdlfi_nn::Sequential;
+use bdlfi_faults::SiteSpec;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The traditional-FI outcome for one injected layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerFiResult {
+    /// Depth index of the layer (0 = closest to the input).
+    pub depth: usize,
+    /// Layer name (path prefix).
+    pub layer: String,
+    /// Campaign result for this layer.
+    pub result: RandomFiResult,
+}
+
+/// The outcome of a per-layer traditional FI study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerFiStudy {
+    /// One entry per layer, in depth order.
+    pub layers: Vec<LayerFiResult>,
+    /// Spearman rank correlation between depth and measured SDC rate.
+    pub depth_correlation: f64,
+}
+
+/// Runs one single-bit-flip campaign per layer with `cfg.injections`
+/// injections each.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty or a prefix does not exist in the model.
+pub fn run_layer_fi(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    cfg: &RandomFiConfig,
+) -> LayerFiStudy {
+    assert!(!layers.is_empty(), "study needs at least one layer");
+    let layers: Vec<LayerFiResult> = layers
+        .iter()
+        .enumerate()
+        .map(|(depth, &layer)| {
+            let mut fi = RandomFi::new(
+                model.clone(),
+                Arc::clone(eval),
+                &SiteSpec::LayerParams { prefix: layer.to_string() },
+            );
+            let mut layer_cfg = cfg.clone();
+            // Decorrelate layers while staying reproducible.
+            layer_cfg.seed = cfg.seed.wrapping_add(depth as u64 * 7919);
+            LayerFiResult { depth, layer: layer.to_string(), result: fi.run(&layer_cfg) }
+        })
+        .collect();
+
+    let depths: Vec<f64> = layers.iter().map(|l| l.depth as f64).collect();
+    let rates: Vec<f64> = layers.iter().map(|l| l.result.sdc.rate).collect();
+    let depth_correlation = spearman(&depths, &rates);
+    LayerFiStudy { layers, depth_correlation }
+}
+
+/// Spearman rank correlation (duplicated minimally here so the baseline
+/// crate does not depend on the BDLFI core it is compared against).
+fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let n = v.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("NaN in rank input"));
+        let mut out = vec![0.0; n];
+        let mut i = 0;
+        while i < n {
+            let mut j = i;
+            while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
+                j += 1;
+            }
+            let avg = (i + j) as f64 / 2.0 + 1.0;
+            for &k in &idx[i..=j] {
+                out[k] = avg;
+            }
+            i = j + 1;
+        }
+        out
+    };
+    let (rx, ry) = (rank(x), rank(y));
+    let n = rx.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let mx = rx.iter().sum::<f64>() / n;
+    let my = ry.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in rx.iter().zip(ry.iter()) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx).powi(2);
+        syy += (b - my).powi(2);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdlfi_data::gaussian_blobs;
+    use bdlfi_nn::{mlp, optim::Sgd, TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained() -> (Sequential, Arc<Dataset>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = gaussian_blobs(200, 3, 0.5, &mut rng);
+        let (train, test) = data.split(0.7, &mut rng);
+        let mut model = mlp(2, &[12, 12], 3, &mut rng);
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1).with_momentum(0.9),
+            TrainConfig { epochs: 15, batch_size: 32, ..TrainConfig::default() },
+        );
+        trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
+        (model, Arc::new(test))
+    }
+
+    #[test]
+    fn per_layer_study_reports_each_layer() {
+        let (model, eval) = trained();
+        let study = run_layer_fi(
+            &model,
+            &eval,
+            &["fc1", "fc2", "fc3"],
+            &RandomFiConfig { injections: 20, seed: 0, level: 0.95 },
+        );
+        assert_eq!(study.layers.len(), 3);
+        for (i, l) in study.layers.iter().enumerate() {
+            assert_eq!(l.depth, i);
+            assert_eq!(l.result.injections, 20);
+        }
+        assert!(study.depth_correlation.is_nan() || study.depth_correlation.abs() <= 1.0);
+    }
+
+    #[test]
+    fn small_budgets_give_unstable_trends() {
+        // The paper's critique: re-running a small-budget study with a
+        // different seed can change the measured depth trend.
+        let (model, eval) = trained();
+        let layers = ["fc1", "fc2", "fc3"];
+        let a = run_layer_fi(&model, &eval, &layers, &RandomFiConfig { injections: 8, seed: 10, level: 0.95 });
+        let b = run_layer_fi(&model, &eval, &layers, &RandomFiConfig { injections: 8, seed: 77, level: 0.95 });
+        let rates = |s: &LayerFiStudy| -> Vec<f64> {
+            s.layers.iter().map(|l| l.result.sdc.rate).collect()
+        };
+        // Not asserting instability (it is probabilistic), but the runs must
+        // both be valid and need not agree.
+        assert_eq!(rates(&a).len(), rates(&b).len());
+    }
+
+    #[test]
+    fn seeds_differ_across_layers() {
+        let (model, eval) = trained();
+        let study = run_layer_fi(
+            &model,
+            &eval,
+            &["fc1", "fc2"],
+            &RandomFiConfig { injections: 10, seed: 5, level: 0.95 },
+        );
+        // Same model + same seed would give identical error sequences only
+        // if the layers coincidentally behave identically; the decorrelated
+        // seeds make this overwhelmingly unlikely.
+        assert_ne!(study.layers[0].result.errors, study.layers[1].result.errors);
+    }
+}

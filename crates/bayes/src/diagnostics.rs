@@ -1,0 +1,332 @@
+//! Convergence diagnostics — the machinery behind BDLFI's claim that MCMC
+//! mixing quantifies the *completeness* of a fault-injection campaign:
+//! when split-R̂ ≈ 1 and the effective sample size is large, "further
+//! injections do not change the measured hypothesis".
+
+use crate::mcmc::Trace;
+
+/// Split-R̂ (Gelman–Rubin potential scale reduction with split chains,
+/// following BDA3 / Vehtari et al.).
+///
+/// Values near 1 indicate the chains agree; the conventional certification
+/// threshold is `R̂ < 1.01`. Returns `NaN` when undefined (fewer than 2
+/// half-chains of at least 2 samples, or zero within-chain variance with
+/// zero between-chain variance).
+pub fn split_rhat(chains: &[Trace]) -> f64 {
+    // Split every chain in half to detect non-stationarity within chains.
+    let halves: Vec<&[f64]> = chains
+        .iter()
+        .flat_map(|c| {
+            let s = c.samples();
+            let mid = s.len() / 2;
+            [&s[..mid], &s[mid..]]
+        })
+        .filter(|h| h.len() >= 2)
+        .collect();
+    let m = halves.len();
+    if m < 2 {
+        return f64::NAN;
+    }
+    let n = halves.iter().map(|h| h.len()).min().unwrap();
+    let halves: Vec<&[f64]> = halves.iter().map(|h| &h[..n]).collect();
+
+    let means: Vec<f64> = halves.iter().map(|h| h.iter().sum::<f64>() / n as f64).collect();
+    let grand = means.iter().sum::<f64>() / m as f64;
+    let b = n as f64 / (m as f64 - 1.0)
+        * means.iter().map(|mu| (mu - grand).powi(2)).sum::<f64>();
+    let w = halves
+        .iter()
+        .zip(means.iter())
+        .map(|(h, mu)| h.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n as f64 - 1.0))
+        .sum::<f64>()
+        / m as f64;
+
+    if w <= 0.0 {
+        // All half-chains constant: identical constants mix perfectly.
+        return if b <= 0.0 { 1.0 } else { f64::INFINITY };
+    }
+    let var_plus = (n as f64 - 1.0) / n as f64 * w + b / n as f64;
+    (var_plus / w).sqrt()
+}
+
+/// Sample autocorrelation of a series at the given lags.
+///
+/// Returns an empty vector for series shorter than 2.
+pub fn autocorrelations(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return vec![0.0; max_lag.min(n - 1) + 1];
+    }
+    (0..=max_lag.min(n - 1))
+        .map(|lag| {
+            let c: f64 = (0..n - lag).map(|i| (x[i] - mean) * (x[i + lag] - mean)).sum();
+            c / (n as f64 * var)
+        })
+        .collect()
+}
+
+/// Effective sample size via Geyer's initial positive sequence: sums
+/// autocorrelations over consecutive lag pairs until a pair's sum goes
+/// non-positive, pooling chains by averaging their autocorrelation
+/// functions.
+///
+/// Returns `NaN` when undefined (no samples); a constant trace has ESS
+/// equal to its sample count (every draw agrees, nothing left to learn).
+pub fn ess(chains: &[Trace]) -> f64 {
+    let total: usize = chains.iter().map(Trace::len).sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let n = chains.iter().map(Trace::len).min().unwrap_or(0);
+    if n < 4 {
+        return total as f64;
+    }
+    let max_lag = (n - 1).min(1000);
+
+    // Average autocorrelation over chains (all-constant chains contribute
+    // zero autocorrelation beyond lag 0).
+    let acfs: Vec<Vec<f64>> = chains
+        .iter()
+        .map(|c| autocorrelations(&c.samples()[..n], max_lag))
+        .collect();
+    let mean_acf = |lag: usize| -> f64 {
+        acfs.iter().map(|a| a.get(lag).copied().unwrap_or(0.0)).sum::<f64>() / acfs.len() as f64
+    };
+
+    // Geyer: tau = 1 + 2 * sum of (rho_{2t} + rho_{2t+1}) while positive.
+    let mut tau = 1.0f64;
+    let mut lag = 1usize;
+    while lag + 1 <= max_lag {
+        let pair = mean_acf(lag) + mean_acf(lag + 1);
+        if pair <= 0.0 {
+            break;
+        }
+        tau += 2.0 * pair;
+        lag += 2;
+    }
+    (total as f64 / tau).min(total as f64)
+}
+
+/// Monte Carlo standard error of the pooled mean: `sd / √ESS`.
+///
+/// Returns `NaN` when ESS or the variance is undefined.
+pub fn mcse(chains: &[Trace]) -> f64 {
+    let pooled: Vec<f64> = chains.iter().flat_map(|c| c.samples().iter().copied()).collect();
+    if pooled.len() < 2 {
+        return f64::NAN;
+    }
+    let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
+    let var = pooled.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (pooled.len() - 1) as f64;
+    let e = ess(chains);
+    if !e.is_finite() || e <= 0.0 {
+        return f64::NAN;
+    }
+    (var / e).sqrt()
+}
+
+/// Monte Carlo standard error via non-overlapping batch means — an
+/// autocorrelation-robust alternative to the ESS route, useful as a
+/// cross-check on [`mcse`] (the two should agree within a small factor on
+/// well-behaved chains).
+///
+/// Uses `⌈√n⌉`-sized batches on the pooled samples. Returns `NaN` for
+/// fewer than 4 batches of data.
+pub fn mcse_batch_means(chains: &[Trace]) -> f64 {
+    let pooled: Vec<f64> = chains.iter().flat_map(|c| c.samples().iter().copied()).collect();
+    let n = pooled.len();
+    if n < 16 {
+        return f64::NAN;
+    }
+    let batch = (n as f64).sqrt().ceil() as usize;
+    let m = n / batch;
+    if m < 4 {
+        return f64::NAN;
+    }
+    let means: Vec<f64> = (0..m)
+        .map(|b| pooled[b * batch..(b + 1) * batch].iter().sum::<f64>() / batch as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / m as f64;
+    let var_of_means =
+        means.iter().map(|x| (x - grand).powi(2)).sum::<f64>() / (m as f64 - 1.0);
+    (var_of_means / m as f64).sqrt()
+}
+
+/// Geweke convergence z-score: compares the mean of the first
+/// `first_frac` of a chain against the last `last_frac`, standardised by
+/// their (spectral-density-free, iid-approximation) standard errors.
+///
+/// |z| > 2 suggests the chain has not reached stationarity. Returns `NaN`
+/// for chains too short to compare.
+///
+/// # Panics
+///
+/// Panics unless the fractions are in `(0, 1)` and sum to at most 1.
+pub fn geweke_z(trace: &Trace, first_frac: f64, last_frac: f64) -> f64 {
+    assert!(
+        first_frac > 0.0 && last_frac > 0.0 && first_frac + last_frac <= 1.0,
+        "fractions must be positive and sum to at most 1"
+    );
+    let x = trace.samples();
+    let n = x.len();
+    let n1 = (n as f64 * first_frac) as usize;
+    let n2 = (n as f64 * last_frac) as usize;
+    if n1 < 2 || n2 < 2 {
+        return f64::NAN;
+    }
+    let a = &x[..n1];
+    let b = &x[n - n2..];
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let var = |s: &[f64], m: f64| s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let se = (var(a, ma) / n1 as f64 + var(b, mb) / n2 as f64).sqrt();
+    if se <= 0.0 {
+        return if (ma - mb).abs() <= f64::EPSILON { 0.0 } else { f64::INFINITY };
+    }
+    (ma - mb) / se
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iid_chain(seed: u64, n: usize, mu: f64) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = Normal::new(mu, 1.0);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn rhat_near_one_for_iid_chains() {
+        let chains: Vec<Trace> = (0..4).map(|s| iid_chain(s, 2000, 0.0)).collect();
+        let r = split_rhat(&chains);
+        assert!((r - 1.0).abs() < 0.02, "rhat {r}");
+    }
+
+    #[test]
+    fn rhat_large_for_disagreeing_chains() {
+        let chains = vec![iid_chain(0, 1000, 0.0), iid_chain(1, 1000, 5.0)];
+        let r = split_rhat(&chains);
+        assert!(r > 1.5, "rhat {r}");
+    }
+
+    #[test]
+    fn rhat_detects_trend_within_a_chain() {
+        // A strongly trending single chain must fail the split test.
+        let trend: Trace = (0..2000).map(|i| i as f64 / 100.0).collect();
+        let r = split_rhat(&[trend]);
+        assert!(r > 1.2, "rhat {r}");
+    }
+
+    #[test]
+    fn rhat_handles_constant_chains() {
+        let a = Trace::from_samples(vec![1.0; 100]);
+        let b = Trace::from_samples(vec![1.0; 100]);
+        assert_eq!(split_rhat(&[a, b]), 1.0);
+        let c = Trace::from_samples(vec![2.0; 100]);
+        let a = Trace::from_samples(vec![1.0; 100]);
+        assert!(split_rhat(&[a, c]).is_infinite());
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_small() {
+        let c = iid_chain(7, 5000, 0.0);
+        let acf = autocorrelations(c.samples(), 5);
+        assert!((acf[0] - 1.0).abs() < 1e-12);
+        for &rho in &acf[1..] {
+            assert!(rho.abs() < 0.05, "rho {rho}");
+        }
+    }
+
+    #[test]
+    fn ess_of_iid_is_near_n() {
+        let chains: Vec<Trace> = (0..2).map(|s| iid_chain(s + 10, 2000, 0.0)).collect();
+        let e = ess(&chains);
+        assert!(e > 3000.0, "ess {e}");
+        assert!(e <= 4000.0);
+    }
+
+    #[test]
+    fn ess_of_sticky_chain_is_small() {
+        // AR(1) with high persistence: x_t = 0.98 x_{t-1} + eps.
+        let mut rng = StdRng::seed_from_u64(20);
+        let d = Normal::standard();
+        let mut x = 0.0;
+        let chain: Trace = (0..4000)
+            .map(|_| {
+                x = 0.98 * x + 0.02f64.sqrt() * d.sample(&mut rng);
+                x
+            })
+            .collect();
+        let e = ess(&[chain]);
+        assert!(e < 400.0, "ess {e}");
+    }
+
+    #[test]
+    fn mcse_shrinks_with_more_samples() {
+        let small = vec![iid_chain(1, 200, 0.0)];
+        let large = vec![iid_chain(1, 20_000, 0.0)];
+        assert!(mcse(&large) < mcse(&small));
+        // For iid N(0,1): mcse ≈ 1/sqrt(n).
+        let m = mcse(&large);
+        assert!((m - (1.0 / 20_000.0f64).sqrt()).abs() < m * 0.5);
+    }
+
+    #[test]
+    fn batch_means_agrees_with_ess_route_on_iid() {
+        let chains = vec![iid_chain(5, 10_000, 0.0)];
+        let a = mcse(&chains);
+        let b = mcse_batch_means(&chains);
+        assert!(a.is_finite() && b.is_finite());
+        assert!(b / a < 2.0 && a / b < 2.0, "ess-route {a} vs batch-means {b}");
+    }
+
+    #[test]
+    fn batch_means_grows_for_correlated_chains() {
+        // AR(1): both estimators must report a larger standard error than
+        // the naive sd/sqrt(n).
+        let mut rng = StdRng::seed_from_u64(30);
+        let d = Normal::standard();
+        let mut x = 0.0;
+        let chain: Trace = (0..10_000)
+            .map(|_| {
+                x = 0.95 * x + (1.0f64 - 0.95 * 0.95).sqrt() * d.sample(&mut rng);
+                x
+            })
+            .collect();
+        let naive = (chain.variance() / chain.len() as f64).sqrt();
+        let bm = mcse_batch_means(&[chain]);
+        assert!(bm > 2.0 * naive, "batch-means {bm} vs naive {naive}");
+    }
+
+    #[test]
+    fn batch_means_undefined_for_tiny_traces() {
+        assert!(mcse_batch_means(&[Trace::from_samples(vec![1.0; 8])]).is_nan());
+    }
+
+    #[test]
+    fn geweke_small_for_stationary_large_for_trending() {
+        let stationary = iid_chain(3, 5000, 1.0);
+        let z = geweke_z(&stationary, 0.1, 0.5);
+        assert!(z.abs() < 3.0, "z {z}");
+
+        let trending: Trace = (0..5000).map(|i| i as f64 * 0.01).collect();
+        let z = geweke_z(&trending, 0.1, 0.5);
+        assert!(z.abs() > 10.0, "z {z}");
+    }
+
+    #[test]
+    fn diagnostics_handle_degenerate_input() {
+        assert!(split_rhat(&[]).is_nan());
+        assert!(ess(&[]).is_nan());
+        assert!(mcse(&[Trace::new()]).is_nan());
+        assert!(geweke_z(&Trace::from_samples(vec![1.0]), 0.1, 0.5).is_nan());
+    }
+}

@@ -1,0 +1,596 @@
+//! Probability distributions with sampling and log-densities.
+//!
+//! Only what the BDLFI methodology needs: Bernoulli bit indicators (the
+//! fault model's leaves), Beta (conjugate posterior over error
+//! probabilities), Binomial (flip counts), Normal and Uniform (proposals,
+//! diagnostics) and Categorical (site selection).
+
+use crate::special::{ln_beta, ln_gamma};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A scalar distribution: sampling plus log-density (or log-mass).
+pub trait Distribution: Send + Sync {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut dyn Rng) -> f64;
+
+    /// Log-density (continuous) or log-mass (discrete) at `x`.
+    fn log_prob(&self, x: f64) -> f64;
+
+    /// Expected value.
+    fn mean(&self) -> f64;
+
+    /// Variance.
+    fn variance(&self) -> f64;
+}
+
+/// Bernoulli distribution over `{0.0, 1.0}` — the paper's per-bit fault
+/// indicator `bᵢ ~ Bernoulli(p)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bernoulli {
+    /// Success probability.
+    pub p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "bernoulli probability must be in [0, 1]");
+        Bernoulli { p }
+    }
+}
+
+impl Distribution for Bernoulli {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        f64::from(rng.random::<f64>() < self.p)
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        if x == 1.0 {
+            self.p.ln()
+        } else if x == 0.0 {
+            (1.0 - self.p).ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+}
+
+/// Continuous uniform distribution on `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound.
+    pub hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "uniform requires lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        if (self.lo..self.hi).contains(&x) {
+            -(self.hi - self.lo).ln()
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        (self.hi - self.lo).powi(2) / 12.0
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation.
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "normal requires sigma > 0");
+        Normal { mu, sigma }
+    }
+
+    /// The standard normal.
+    pub fn standard() -> Self {
+        Normal { mu: 0.0, sigma: 1.0 }
+    }
+}
+
+impl Distribution for Normal {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // Box–Muller.
+        let u1: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mu + self.sigma * z
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+/// Beta distribution — the conjugate posterior for the misclassification
+/// probability BDLFI reports credible intervals on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Beta {
+    /// First shape parameter.
+    pub alpha: f64,
+    /// Second shape parameter.
+    pub beta: f64,
+}
+
+impl Beta {
+    /// Creates a beta distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both shapes are positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && beta > 0.0, "beta requires positive shape parameters");
+        Beta { alpha, beta }
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        crate::special::betainc(self.alpha, self.beta, x.clamp(0.0, 1.0))
+    }
+
+    /// Quantile (inverse CDF) at level `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::special::betainc_inv(self.alpha, self.beta, q)
+    }
+}
+
+impl Distribution for Beta {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // X = Ga(α)/(Ga(α)+Ga(β)) via Marsaglia–Tsang gamma sampling.
+        let x = sample_gamma(self.alpha, rng);
+        let y = sample_gamma(self.beta, rng);
+        x / (x + y)
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return f64::NEG_INFINITY;
+        }
+        (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+            - ln_beta(self.alpha, self.beta)
+    }
+
+    fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler (shape `a`, unit scale).
+fn sample_gamma(a: f64, rng: &mut dyn Rng) -> f64 {
+    if a < 1.0 {
+        // Boost: Ga(a) = Ga(a+1) · U^(1/a).
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(a + 1.0, rng) * u.powf(1.0 / a);
+    }
+    let d = a - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let z = Normal::standard().sample(rng);
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Binomial distribution — the distribution of the number of flipped bits
+/// under the paper's fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Binomial {
+    /// Number of trials.
+    pub n: u64,
+    /// Success probability.
+    pub p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "binomial probability must be in [0, 1]");
+        Binomial { n, p }
+    }
+}
+
+impl Distribution for Binomial {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        // Inversion for small n·p, otherwise geometric skipping (same trick
+        // the fault masks use).
+        if self.p <= 0.0 {
+            return 0.0;
+        }
+        if self.p >= 1.0 {
+            return self.n as f64;
+        }
+        let log1m = (1.0 - self.p).ln();
+        let mut count = 0u64;
+        let mut pos = 0u64;
+        loop {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let gap = (u.ln() / log1m).floor() as u64;
+            pos = match pos.checked_add(gap) {
+                Some(q) if q < self.n => q,
+                _ => break,
+            };
+            count += 1;
+            pos += 1;
+            if pos >= self.n {
+                break;
+            }
+        }
+        count as f64
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        if x < 0.0 || x > self.n as f64 || x.fract() != 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let k = x;
+        let n = self.n as f64;
+        if self.p == 0.0 {
+            return if k == 0.0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
+            + k * self.p.ln()
+            + (n - k) * (1.0 - self.p).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+/// Poisson distribution — the small-`p` limit of the paper's per-bit flip
+/// count (a `Binomial(n, p)` with `n·p = λ` fixed converges to
+/// `Poisson(λ)`), handy for analytic sanity checks of rare-fault regimes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poisson {
+    /// Rate parameter `λ > 0`.
+    pub lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "poisson rate must be positive");
+        Poisson { lambda }
+    }
+}
+
+impl Distribution for Poisson {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's multiplication method.
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0f64;
+            loop {
+                p *= rng.random::<f64>();
+                if p <= l {
+                    return k as f64;
+                }
+                k += 1;
+            }
+        }
+        // Normal approximation with continuity correction for large λ.
+        let z = Normal::new(self.lambda, self.lambda.sqrt()).sample(rng);
+        z.round().max(0.0)
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        if x < 0.0 || x.fract() != 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        x * self.lambda.ln() - self.lambda - ln_gamma(x + 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Categorical distribution over `{0, …, k−1}` with explicit weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Categorical {
+    probs: Vec<f64>,
+}
+
+impl Categorical {
+    /// Creates a categorical distribution from (unnormalised) non-negative
+    /// weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are empty, contain negatives, or sum to zero.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "categorical requires at least one weight");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        Categorical { probs: weights.into_iter().map(|w| w / total).collect() }
+    }
+
+    /// Uniform over `k` categories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn uniform(k: usize) -> Self {
+        assert!(k > 0, "categorical requires k > 0");
+        Categorical { probs: vec![1.0 / k as f64; k] }
+    }
+
+    /// Normalised category probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+}
+
+impl Distribution for Categorical {
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i as f64;
+            }
+        }
+        (self.probs.len() - 1) as f64
+    }
+
+    fn log_prob(&self, x: f64) -> f64 {
+        if x < 0.0 || x.fract() != 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        match self.probs.get(x as usize) {
+            Some(&p) if p > 0.0 => p.ln(),
+            _ => f64::NEG_INFINITY,
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.probs.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * (i as f64 - m).powi(2))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats(d: &dyn Distribution, n: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn bernoulli_moments() {
+        let d = Bernoulli::new(0.3);
+        let (m, v) = sample_stats(&d, 20_000, 1);
+        assert!((m - 0.3).abs() < 0.02);
+        assert!((v - 0.21).abs() < 0.02);
+        assert!((d.log_prob(1.0) - 0.3f64.ln()).abs() < 1e-12);
+        assert_eq!(d.log_prob(0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn uniform_moments_and_support() {
+        let d = Uniform::new(-1.0, 3.0);
+        let (m, v) = sample_stats(&d, 20_000, 2);
+        assert!((m - 1.0).abs() < 0.05);
+        assert!((v - 16.0 / 12.0).abs() < 0.1);
+        assert_eq!(d.log_prob(5.0), f64::NEG_INFINITY);
+        assert!((d.log_prob(0.0) - (0.25f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_moments_and_density() {
+        let d = Normal::new(2.0, 3.0);
+        let (m, v) = sample_stats(&d, 50_000, 3);
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        assert!((v - 9.0).abs() < 0.3, "var {v}");
+        // Density integrates to ~1 on a grid.
+        let integral: f64 = (-200..200)
+            .map(|i| d.log_prob(2.0 + i as f64 * 0.1).exp() * 0.1)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn beta_moments_and_cdf() {
+        let d = Beta::new(2.0, 5.0);
+        let (m, v) = sample_stats(&d, 50_000, 4);
+        assert!((m - d.mean()).abs() < 0.01);
+        assert!((v - d.variance()).abs() < 0.01);
+        assert!((d.cdf(d.quantile(0.8)) - 0.8).abs() < 1e-6);
+        // Symmetric case median.
+        assert!((Beta::new(3.0, 3.0).quantile(0.5) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn beta_log_prob_normalises() {
+        let d = Beta::new(2.5, 1.5);
+        let integral: f64 = (1..999)
+            .map(|i| d.log_prob(i as f64 / 1000.0).exp() / 1000.0)
+            .sum();
+        assert!((integral - 1.0).abs() < 2e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn binomial_moments_and_pmf_sum() {
+        let d = Binomial::new(50, 0.2);
+        let (m, v) = sample_stats(&d, 20_000, 5);
+        assert!((m - 10.0).abs() < 0.15, "mean {m}");
+        assert!((v - 8.0).abs() < 0.4, "var {v}");
+        let total: f64 = (0..=50).map(|k| d.log_prob(k as f64).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert_eq!(d.log_prob(2.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(Binomial::new(10, 0.0).sample(&mut rng), 0.0);
+        assert_eq!(Binomial::new(10, 1.0).sample(&mut rng), 10.0);
+    }
+
+    #[test]
+    fn poisson_moments_and_pmf() {
+        let d = Poisson::new(3.5);
+        let (m, v) = sample_stats(&d, 30_000, 9);
+        assert!((m - 3.5).abs() < 0.06, "mean {m}");
+        assert!((v - 3.5).abs() < 0.15, "var {v}");
+        let total: f64 = (0..60).map(|k| d.log_prob(k as f64).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        assert_eq!(d.log_prob(1.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn poisson_approximates_rare_binomial() {
+        // Binomial(100000, 3e-5) ~ Poisson(3): compare pmfs at a few points.
+        let b = Binomial::new(100_000, 3e-5);
+        let p = Poisson::new(3.0);
+        for k in [0.0f64, 1.0, 3.0, 7.0] {
+            let (lb, lp) = (b.log_prob(k), p.log_prob(k));
+            assert!((lb - lp).abs() < 0.01, "k={k}: {lb} vs {lp}");
+        }
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_path() {
+        let d = Poisson::new(100.0);
+        let (m, v) = sample_stats(&d, 20_000, 10);
+        assert!((m - 100.0).abs() < 0.5);
+        assert!((v - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn categorical_normalises_and_samples_in_range() {
+        let d = Categorical::new(vec![1.0, 3.0, 0.0, 4.0]);
+        assert!((d.probs().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d.log_prob(2.0), f64::NEG_INFINITY);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[3] as f64 / 8000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn distributions_are_object_safe() {
+        let ds: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Bernoulli::new(0.5)),
+            Box::new(Uniform::new(0.0, 1.0)),
+            Box::new(Normal::standard()),
+            Box::new(Beta::new(1.0, 1.0)),
+            Box::new(Binomial::new(4, 0.5)),
+            Box::new(Categorical::uniform(3)),
+        ];
+        let mut rng = StdRng::seed_from_u64(8);
+        for d in &ds {
+            let x = d.sample(&mut rng);
+            assert!(d.log_prob(x).is_finite() || d.log_prob(x) == f64::NEG_INFINITY);
+        }
+    }
+}

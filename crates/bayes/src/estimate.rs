@@ -1,0 +1,183 @@
+//! Posterior estimation: Beta–Bernoulli conjugate updates and
+//! self-normalised importance sampling.
+//!
+//! BDLFI reports the probability that a fault corrupts the classification
+//! as a posterior distribution, not a point estimate; the Beta–Bernoulli
+//! model gives exact credible intervals for per-point error probabilities
+//! (the Fig. 1 ③ boundary map), and the importance-sampling estimator
+//! re-weights tempered (rare-event accelerated) campaigns back to the
+//! fault prior.
+
+use crate::dist::Beta;
+use serde::{Deserialize, Serialize};
+
+/// Conjugate Beta–Bernoulli posterior over an unknown probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BetaBernoulli {
+    /// Prior/posterior first shape parameter.
+    pub alpha: f64,
+    /// Prior/posterior second shape parameter.
+    pub beta: f64,
+}
+
+impl BetaBernoulli {
+    /// The Jeffreys prior `Beta(1/2, 1/2)` — a sensible default for error
+    /// probabilities that may be extreme.
+    pub fn jeffreys() -> Self {
+        BetaBernoulli { alpha: 0.5, beta: 0.5 }
+    }
+
+    /// The uniform prior `Beta(1, 1)`.
+    pub fn uniform() -> Self {
+        BetaBernoulli { alpha: 1.0, beta: 1.0 }
+    }
+
+    /// Updates with `successes` out of `trials` Bernoulli observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    pub fn update(self, successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "successes cannot exceed trials");
+        BetaBernoulli {
+            alpha: self.alpha + successes as f64,
+            beta: self.beta + (trials - successes) as f64,
+        }
+    }
+
+    /// The posterior as a [`Beta`] distribution.
+    pub fn posterior(self) -> Beta {
+        Beta::new(self.alpha, self.beta)
+    }
+
+    /// Posterior mean.
+    pub fn mean(self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Central credible interval at the given level (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < level < 1`.
+    pub fn credible_interval(self, level: f64) -> (f64, f64) {
+        assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+        let tail = (1.0 - level) / 2.0;
+        let post = self.posterior();
+        (post.quantile(tail), post.quantile(1.0 - tail))
+    }
+}
+
+/// Self-normalised importance-sampling estimate of `E_p[values]` from
+/// samples drawn under a different distribution, given per-sample
+/// `log_weights = log p − log q` (up to a shared constant).
+///
+/// Returns the estimate and the importance-sampling effective sample size
+/// `(Σw)² / Σw²`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn self_normalized_estimate(values: &[f64], log_weights: &[f64]) -> (f64, f64) {
+    assert_eq!(values.len(), log_weights.len(), "values/weights length mismatch");
+    assert!(!values.is_empty(), "cannot estimate from zero samples");
+    // Stabilise by subtracting the max log-weight.
+    let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
+    let sum_w: f64 = weights.iter().sum();
+    let sum_w2: f64 = weights.iter().map(|w| w * w).sum();
+    let estimate = values
+        .iter()
+        .zip(weights.iter())
+        .map(|(v, w)| v * w)
+        .sum::<f64>()
+        / sum_w;
+    (estimate, sum_w * sum_w / sum_w2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conjugate_update_counts() {
+        let post = BetaBernoulli::uniform().update(3, 10);
+        assert_eq!(post.alpha, 4.0);
+        assert_eq!(post.beta, 8.0);
+        assert!((post.mean() - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_narrows_with_data() {
+        let small = BetaBernoulli::jeffreys().update(5, 10);
+        let large = BetaBernoulli::jeffreys().update(500, 1000);
+        let w = |bb: BetaBernoulli| {
+            let (lo, hi) = bb.credible_interval(0.95);
+            hi - lo
+        };
+        assert!(w(large) < w(small) / 3.0);
+    }
+
+    #[test]
+    fn interval_brackets_the_truth_typically() {
+        // 200 successes of 1000 at p=0.2: the 95% CI must contain 0.2.
+        let bb = BetaBernoulli::jeffreys().update(200, 1000);
+        let (lo, hi) = bb.credible_interval(0.95);
+        assert!(lo < 0.2 && 0.2 < hi, "({lo}, {hi})");
+        assert!(hi - lo < 0.06);
+    }
+
+    #[test]
+    fn extreme_counts_stay_in_bounds() {
+        let all_fail = BetaBernoulli::jeffreys().update(0, 50);
+        let (lo, hi) = all_fail.credible_interval(0.95);
+        assert!(lo >= 0.0 && hi <= 1.0);
+        assert!(hi < 0.1); // zero successes of 50 -> small upper bound
+    }
+
+    #[test]
+    fn importance_with_uniform_weights_is_plain_mean() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let (est, ess) = self_normalized_estimate(&vals, &[0.0; 4]);
+        assert!((est - 2.5).abs() < 1e-12);
+        assert!((ess - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn importance_reweights_correctly() {
+        // Samples {0, 1} drawn uniformly; target puts 0.9 on 1.
+        // E_p[x] = 0.9. log w(1) = ln(0.9/0.5), log w(0) = ln(0.1/0.5).
+        let values: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        let log_w: Vec<f64> = values
+            .iter()
+            .map(|&x| if x == 1.0 { (0.9f64 / 0.5).ln() } else { (0.1f64 / 0.5).ln() })
+            .collect();
+        let (est, ess) = self_normalized_estimate(&values, &log_w);
+        assert!((est - 0.9).abs() < 1e-12);
+        assert!(ess < 1000.0); // weight imbalance reduces ESS
+    }
+
+    #[test]
+    fn importance_is_shift_invariant_in_log_weights() {
+        let vals = [0.5, 1.5, -0.5];
+        let lw = [0.1, -0.2, 0.3];
+        let shifted: Vec<f64> = lw.iter().map(|x| x + 100.0).collect();
+        let (a, _) = self_normalized_estimate(&vals, &lw);
+        let (b, _) = self_normalized_estimate(&vals, &shifted);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn posterior_mean_between_prior_and_mle(s in 0u64..50, extra in 0u64..50) {
+            let t = s + extra;
+            prop_assume!(t > 0);
+            let bb = BetaBernoulli::uniform().update(s, t);
+            let mle = s as f64 / t as f64;
+            let prior = 0.5;
+            let (lo, hi) = if mle < prior { (mle, prior) } else { (prior, mle) };
+            prop_assert!(bb.mean() >= lo - 1e-12 && bb.mean() <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! A small Bayesian-network DAG — the formalisation of the paper's
+//! "Bayesian Network based Failure Model" (Fig. 1 ②).
+//!
+//! Each neuron's fault model is: Bernoulli leaf nodes `bᵢ` for the bit
+//! indicators, a deterministic XOR node producing the faulty weight
+//! `W′ = e ⊙ W`, and a deterministic activation node
+//! `y′ = max(0, W′ᵀx + b′)`. The campaign hot path uses a fused
+//! implementation in the `bdlfi` core crate; this generic DAG exists so the
+//! semantics can be stated and *tested* independently, and so other fault
+//! models can be prototyped.
+
+use crate::dist::Distribution;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Identifier of a node within a [`BayesNet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+/// Deterministic node function: parents' values → value.
+pub type DetFn = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
+/// Conditional distribution constructor: parents' values → distribution.
+pub type CondFn = Arc<dyn Fn(&[f64]) -> Box<dyn Distribution> + Send + Sync>;
+
+enum NodeKind {
+    Stochastic(Box<dyn Distribution>),
+    Conditional(CondFn),
+    Deterministic(DetFn),
+}
+
+struct NodeEntry {
+    name: String,
+    kind: NodeKind,
+    parents: Vec<NodeId>,
+}
+
+/// A directed acyclic probabilistic graphical model with ancestral sampling
+/// and joint log-density evaluation.
+///
+/// Nodes must be added parents-first (insertion order is the topological
+/// order), which makes cycles unrepresentable.
+#[derive(Default)]
+pub struct BayesNet {
+    nodes: Vec<NodeEntry>,
+}
+
+impl std::fmt::Debug for BayesNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.nodes.iter().map(|n| n.name.as_str()).collect();
+        f.debug_struct("BayesNet").field("nodes", &names).finish()
+    }
+}
+
+impl BayesNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        BayesNet { nodes: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds an unconditional stochastic node.
+    pub fn add_stochastic(
+        &mut self,
+        name: impl Into<String>,
+        dist: impl Distribution + 'static,
+    ) -> NodeId {
+        self.nodes.push(NodeEntry {
+            name: name.into(),
+            kind: NodeKind::Stochastic(Box::new(dist)),
+            parents: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a stochastic node whose distribution depends on its parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parent was not added before this node.
+    pub fn add_conditional(
+        &mut self,
+        name: impl Into<String>,
+        parents: Vec<NodeId>,
+        f: impl Fn(&[f64]) -> Box<dyn Distribution> + Send + Sync + 'static,
+    ) -> NodeId {
+        self.check_parents(&parents);
+        self.nodes.push(NodeEntry {
+            name: name.into(),
+            kind: NodeKind::Conditional(Arc::new(f)),
+            parents,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a deterministic node computed from its parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parent was not added before this node.
+    pub fn add_deterministic(
+        &mut self,
+        name: impl Into<String>,
+        parents: Vec<NodeId>,
+        f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+    ) -> NodeId {
+        self.check_parents(&parents);
+        self.nodes.push(NodeEntry {
+            name: name.into(),
+            kind: NodeKind::Deterministic(Arc::new(f)),
+            parents,
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    fn check_parents(&self, parents: &[NodeId]) {
+        for p in parents {
+            assert!(
+                p.0 < self.nodes.len(),
+                "parent {:?} must be added before its child",
+                p
+            );
+        }
+    }
+
+    /// Finds a node by name (first match).
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Ancestral (forward) sampling: one joint draw, indexed by [`NodeId`].
+    pub fn sample(&self, rng: &mut dyn Rng) -> Vec<f64> {
+        let mut values = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let parent_vals: Vec<f64> = node.parents.iter().map(|p| values[p.0]).collect();
+            let v = match &node.kind {
+                NodeKind::Stochastic(d) => d.sample(rng),
+                NodeKind::Conditional(f) => f(&parent_vals).sample(rng),
+                NodeKind::Deterministic(f) => f(&parent_vals),
+            };
+            values.push(v);
+        }
+        values
+    }
+
+    /// The value of node `id` in a joint sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample does not match this network.
+    pub fn value(&self, sample: &[f64], id: NodeId) -> f64 {
+        assert_eq!(sample.len(), self.nodes.len(), "sample size mismatch");
+        sample[id.0]
+    }
+
+    /// Joint log-density of a full assignment: the sum of stochastic nodes'
+    /// log-probabilities. Deterministic nodes must be *consistent* with
+    /// their parents; an inconsistent assignment has probability zero.
+    pub fn log_joint(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.nodes.len(), "assignment size mismatch");
+        let mut total = 0.0f64;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let parent_vals: Vec<f64> = node.parents.iter().map(|p| values[p.0]).collect();
+            match &node.kind {
+                NodeKind::Stochastic(d) => total += d.log_prob(values[i]),
+                NodeKind::Conditional(f) => total += f(&parent_vals).log_prob(values[i]),
+                NodeKind::Deterministic(f) => {
+                    let expected = f(&parent_vals);
+                    let consistent = (expected == values[i])
+                        || (expected.is_nan() && values[i].is_nan())
+                        || (expected - values[i]).abs() <= 1e-12 * expected.abs().max(1.0);
+                    if !consistent {
+                        return f64::NEG_INFINITY;
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Bernoulli, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's per-neuron fault model in miniature: one weight, one
+    /// Bernoulli bit, faulty weight by sign flip, ReLU activation.
+    fn neuron_fault_net(w: f64, x: f64, p: f64) -> (BayesNet, NodeId, NodeId) {
+        let mut net = BayesNet::new();
+        let b = net.add_stochastic("b", Bernoulli::new(p));
+        let w_faulty = net.add_deterministic("w_faulty", vec![b], move |pv| {
+            if pv[0] == 1.0 {
+                -w // sign-bit flip
+            } else {
+                w
+            }
+        });
+        let y = net.add_deterministic("y", vec![w_faulty], move |pv| (pv[0] * x).max(0.0));
+        (net, b, y)
+    }
+
+    #[test]
+    fn ancestral_sampling_propagates_faults() {
+        let (net, b, y) = neuron_fault_net(2.0, 3.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut saw_fault = false;
+        let mut saw_clean = false;
+        for _ in 0..100 {
+            let s = net.sample(&mut rng);
+            if net.value(&s, b) == 1.0 {
+                assert_eq!(net.value(&s, y), 0.0); // ReLU clamps -6
+                saw_fault = true;
+            } else {
+                assert_eq!(net.value(&s, y), 6.0);
+                saw_clean = true;
+            }
+        }
+        assert!(saw_fault && saw_clean);
+    }
+
+    #[test]
+    fn log_joint_scores_only_stochastic_nodes() {
+        let (net, _, _) = neuron_fault_net(2.0, 3.0, 0.25);
+        // Consistent fault assignment: b=1, w'=-2, y=0.
+        let lp = net.log_joint(&[1.0, -2.0, 0.0]);
+        assert!((lp - 0.25f64.ln()).abs() < 1e-12);
+        // Consistent clean assignment.
+        let lp = net.log_joint(&[0.0, 2.0, 6.0]);
+        assert!((lp - 0.75f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_deterministic_assignment_has_zero_probability() {
+        let (net, _, _) = neuron_fault_net(2.0, 3.0, 0.25);
+        assert_eq!(net.log_joint(&[1.0, 2.0, 6.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn conditional_nodes_use_parent_values() {
+        let mut net = BayesNet::new();
+        let mu = net.add_stochastic("mu", Normal::new(0.0, 1.0));
+        let x = net.add_conditional("x", vec![mu], |pv| {
+            Box::new(Normal::new(pv[0], 0.1))
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let s = net.sample(&mut rng);
+            assert!((net.value(&s, x) - net.value(&s, mu)).abs() < 1.0);
+        }
+        // log_joint decomposes as prior + likelihood.
+        let lp = net.log_joint(&[0.5, 0.6]);
+        let expected = Normal::new(0.0, 1.0).log_prob(0.5) + Normal::new(0.5, 0.1).log_prob(0.6);
+        assert!((lp - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let (net, b, _) = neuron_fault_net(1.0, 1.0, 0.5);
+        assert_eq!(net.node_id("b"), Some(b));
+        assert_eq!(net.node_id("missing"), None);
+        assert_eq!(net.name(b), "b");
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn forward_references_rejected() {
+        let mut net = BayesNet::new();
+        net.add_deterministic("bad", vec![NodeId(5)], |_| 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Running a single MCMC chain: burn-in, thinning and statistic recording.
+//!
+//! The statistic callback is kept separate from the log-target because in
+//! BDLFI campaigns they have very different costs: the untempered target
+//! (the fault prior) is closed-form and cheap, while the statistic —
+//! classification error of the fault-injected network on an evaluation set
+//! — costs a full batch of inferences and is only evaluated on *recorded*
+//! (post-burn-in, thinned) states.
+
+use crate::mcmc::kernel::{mh_step, Proposal};
+use crate::mcmc::trace::Trace;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Chain schedule: how many steps to discard, record and skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainConfig {
+    /// Steps discarded before recording starts.
+    pub burn_in: usize,
+    /// Number of recorded samples.
+    pub samples: usize,
+    /// Steps between recorded samples (1 = record every step).
+    pub thin: usize,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig { burn_in: 100, samples: 1000, thin: 1 }
+    }
+}
+
+impl ChainConfig {
+    /// Total Markov steps the schedule performs.
+    pub fn total_steps(&self) -> usize {
+        self.burn_in + self.samples * self.thin.max(1)
+    }
+}
+
+/// The outcome of one chain: the recorded statistic trace, the acceptance
+/// rate and the final state.
+#[derive(Debug, Clone)]
+pub struct ChainResult<S> {
+    /// Recorded statistic values.
+    pub trace: Trace,
+    /// Fraction of proposals accepted over the whole run.
+    pub acceptance_rate: f64,
+    /// The state after the last step.
+    pub final_state: S,
+}
+
+/// Runs one Metropolis–Hastings chain.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples == 0`.
+pub fn run_chain<S: Clone>(
+    init: S,
+    proposal: &dyn Proposal<S>,
+    log_target: &mut dyn FnMut(&S) -> f64,
+    statistic: &mut dyn FnMut(&S) -> f64,
+    cfg: ChainConfig,
+    rng: &mut dyn Rng,
+) -> ChainResult<S> {
+    assert!(cfg.samples > 0, "chain must record at least one sample");
+    let thin = cfg.thin.max(1);
+    let mut state = init;
+    let mut lp = log_target(&state);
+    let mut accepted = 0usize;
+    let mut steps = 0usize;
+    let mut trace = Trace::new();
+
+    for _ in 0..cfg.burn_in {
+        accepted += usize::from(mh_step(&mut state, &mut lp, proposal, log_target, rng));
+        steps += 1;
+    }
+    for _ in 0..cfg.samples {
+        for _ in 0..thin {
+            accepted += usize::from(mh_step(&mut state, &mut lp, proposal, log_target, rng));
+            steps += 1;
+        }
+        trace.push(statistic(&state));
+    }
+
+    ChainResult {
+        trace,
+        acceptance_rate: accepted as f64 / steps.max(1) as f64,
+        final_state: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct RandomWalk(f64);
+    impl Proposal<f64> for RandomWalk {
+        fn propose(&self, current: &f64, rng: &mut dyn Rng) -> (f64, f64) {
+            (current + Normal::new(0.0, self.0).sample(rng), 0.0)
+        }
+    }
+
+    #[test]
+    fn chain_recovers_target_mean() {
+        let target = Normal::new(4.0, 1.0);
+        let mut log_target = |x: &f64| target.log_prob(*x);
+        let mut stat = |x: &f64| *x;
+        let cfg = ChainConfig { burn_in: 500, samples: 8000, thin: 2 };
+        let mut rng = StdRng::seed_from_u64(0);
+        let res = run_chain(0.0, &RandomWalk(1.5), &mut log_target, &mut stat, cfg, &mut rng);
+
+        assert_eq!(res.trace.len(), 8000);
+        assert!((res.trace.mean() - 4.0).abs() < 0.1, "mean {}", res.trace.mean());
+        assert!(res.acceptance_rate > 0.2 && res.acceptance_rate < 0.9);
+    }
+
+    #[test]
+    fn statistic_evaluated_only_on_recorded_states() {
+        let mut evals = 0usize;
+        {
+            let target = Normal::standard();
+            let mut log_target = |x: &f64| target.log_prob(*x);
+            let mut stat = |x: &f64| {
+                evals += 1;
+                *x
+            };
+            let cfg = ChainConfig { burn_in: 50, samples: 10, thin: 5 };
+            let mut rng = StdRng::seed_from_u64(1);
+            run_chain(0.0, &RandomWalk(1.0), &mut log_target, &mut stat, cfg, &mut rng);
+        }
+        assert_eq!(evals, 10);
+    }
+
+    #[test]
+    fn total_steps_accounts_for_thinning() {
+        let cfg = ChainConfig { burn_in: 10, samples: 5, thin: 3 };
+        assert_eq!(cfg.total_steps(), 25);
+    }
+
+    #[test]
+    fn final_state_continues_the_chain() {
+        let target = Normal::standard();
+        let mut log_target = |x: &f64| target.log_prob(*x);
+        let mut stat = |x: &f64| *x;
+        let cfg = ChainConfig { burn_in: 0, samples: 100, thin: 1 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = run_chain(10.0, &RandomWalk(1.0), &mut log_target, &mut stat, cfg, &mut rng);
+        // After 100 steps from 10, the walk has moved towards the target.
+        assert!(res.final_state.abs() < 10.0);
+        assert_eq!(*res.trace.samples().last().unwrap(), res.final_state);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let target = Normal::standard();
+        let mut log_target = |x: &f64| target.log_prob(*x);
+        let mut stat = |x: &f64| *x;
+        let cfg = ChainConfig { burn_in: 0, samples: 0, thin: 1 };
+        let mut rng = StdRng::seed_from_u64(3);
+        run_chain(0.0, &RandomWalk(1.0), &mut log_target, &mut stat, cfg, &mut rng);
+    }
+}

@@ -1,0 +1,248 @@
+//! Proposals and the Metropolis–Hastings acceptance step.
+//!
+//! The MCMC state for BDLFI is a joint fault configuration; the proposals
+//! over that state type live in the `bdlfi` core crate. This module is the
+//! generic machinery: a [`Proposal`] trait carrying the log proposal-density
+//! ratio, the [`mh_step`] accept/reject rule, and generic combinators.
+
+use crate::dist::Distribution;
+use rand::{Rng, RngExt};
+
+/// A Markov proposal over states of type `S`.
+///
+/// `propose` returns the candidate state together with the log
+/// proposal-density ratio `log q(current | candidate) − log q(candidate |
+/// current)` (zero for symmetric proposals), which [`mh_step`] adds to the
+/// target ratio.
+pub trait Proposal<S>: Send + Sync {
+    /// Draws a candidate state from the current one.
+    fn propose(&self, current: &S, rng: &mut dyn Rng) -> (S, f64);
+}
+
+/// One Metropolis–Hastings step.
+///
+/// `current_lp` caches the log-target of the current state so the target —
+/// which for tempered BDLFI campaigns costs a full network inference — is
+/// evaluated once per proposal, not twice.
+///
+/// Returns whether the candidate was accepted.
+pub fn mh_step<S>(
+    state: &mut S,
+    current_lp: &mut f64,
+    proposal: &dyn Proposal<S>,
+    log_target: &mut dyn FnMut(&S) -> f64,
+    rng: &mut dyn Rng,
+) -> bool {
+    let (candidate, log_q_ratio) = proposal.propose(state, rng);
+    let candidate_lp = log_target(&candidate);
+    let log_alpha = candidate_lp - *current_lp + log_q_ratio;
+    let accept = log_alpha >= 0.0 || rng.random::<f64>().ln() < log_alpha;
+    if accept {
+        *state = candidate;
+        *current_lp = candidate_lp;
+    }
+    accept
+}
+
+/// Independence proposal: candidates are drawn from a fixed distribution,
+/// ignoring the current state.
+///
+/// When the sampling distribution *is* the target, every step is accepted
+/// and the chain degenerates to exact iid sampling — the ground-truth mode
+/// BDLFI uses for its untempered campaigns.
+pub struct IndependenceProposal<S, F, G>
+where
+    F: Fn(&mut dyn Rng) -> S + Send + Sync,
+    G: Fn(&S) -> f64 + Send + Sync,
+{
+    sample: F,
+    log_density: G,
+    _marker: std::marker::PhantomData<fn() -> S>,
+}
+
+impl<S, F, G> IndependenceProposal<S, F, G>
+where
+    F: Fn(&mut dyn Rng) -> S + Send + Sync,
+    G: Fn(&S) -> f64 + Send + Sync,
+{
+    /// Creates an independence proposal from a sampler and its log-density.
+    pub fn new(sample: F, log_density: G) -> Self {
+        IndependenceProposal { sample, log_density, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<S, F, G> Proposal<S> for IndependenceProposal<S, F, G>
+where
+    F: Fn(&mut dyn Rng) -> S + Send + Sync,
+    G: Fn(&S) -> f64 + Send + Sync,
+{
+    fn propose(&self, current: &S, rng: &mut dyn Rng) -> (S, f64) {
+        let candidate = (self.sample)(rng);
+        let ratio = (self.log_density)(current) - (self.log_density)(&candidate);
+        (candidate, ratio)
+    }
+}
+
+/// Mixture of proposals chosen by fixed weights each step — e.g. mostly
+/// local single-bit moves with occasional independent refreshes, the
+/// standard recipe for multimodal fault-configuration spaces.
+pub struct MixtureProposal<S> {
+    components: Vec<(f64, Box<dyn Proposal<S>>)>,
+}
+
+impl<S> MixtureProposal<S> {
+    /// Creates a mixture from `(weight, proposal)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any weight is non-positive.
+    pub fn new(components: Vec<(f64, Box<dyn Proposal<S>>)>) -> Self {
+        assert!(!components.is_empty(), "mixture requires at least one component");
+        assert!(components.iter().all(|(w, _)| *w > 0.0), "weights must be positive");
+        MixtureProposal { components }
+    }
+}
+
+impl<S> Proposal<S> for MixtureProposal<S> {
+    fn propose(&self, current: &S, rng: &mut dyn Rng) -> (S, f64) {
+        let total: f64 = self.components.iter().map(|(w, _)| w).sum();
+        let mut u = rng.random::<f64>() * total;
+        for (w, p) in &self.components {
+            u -= w;
+            if u <= 0.0 {
+                return p.propose(current, rng);
+            }
+        }
+        self.components.last().unwrap().1.propose(current, rng)
+    }
+}
+
+/// Adapter: any [`Distribution`] is an independence proposal over `f64`.
+pub struct DistributionProposal<D: Distribution>(pub D);
+
+impl<D: Distribution> Proposal<f64> for DistributionProposal<D> {
+    fn propose(&self, current: &f64, rng: &mut dyn Rng) -> (f64, f64) {
+        let candidate = self.0.sample(rng);
+        (candidate, self.0.log_prob(*current) - self.0.log_prob(candidate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Distribution, Normal, Uniform};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Symmetric random-walk proposal for scalar states.
+    struct RandomWalk(f64);
+    impl Proposal<f64> for RandomWalk {
+        fn propose(&self, current: &f64, rng: &mut dyn Rng) -> (f64, f64) {
+            (current + Normal::new(0.0, self.0).sample(rng), 0.0)
+        }
+    }
+
+    #[test]
+    fn mh_with_random_walk_targets_standard_normal() {
+        let target = Normal::standard();
+        let mut log_target = |x: &f64| target.log_prob(*x);
+        let proposal = RandomWalk(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let mut state = 3.0f64;
+        let mut lp = log_target(&state);
+        let mut samples = Vec::new();
+        for i in 0..20_000 {
+            mh_step(&mut state, &mut lp, &proposal, &mut log_target, &mut rng);
+            if i >= 2_000 {
+                samples.push(state);
+            }
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.08, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn independence_from_target_always_accepts() {
+        let target = Uniform::new(0.0, 1.0);
+        let proposal = IndependenceProposal::new(
+            move |rng: &mut dyn Rng| target.sample(rng),
+            move |x: &f64| target.log_prob(*x),
+        );
+        let mut log_target = |x: &f64| target.log_prob(*x);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = 0.5f64;
+        let mut lp = log_target(&state);
+        let mut accepts = 0;
+        for _ in 0..500 {
+            if mh_step(&mut state, &mut lp, &proposal, &mut log_target, &mut rng) {
+                accepts += 1;
+            }
+        }
+        assert_eq!(accepts, 500);
+    }
+
+    #[test]
+    fn independence_corrects_for_mismatched_proposal() {
+        // Propose from Uniform(0,1), target Beta(2,1) (density 2x): MH must
+        // reweight so the mean is 2/3, not 1/2.
+        let q = Uniform::new(0.0, 1.0);
+        let proposal = IndependenceProposal::new(
+            move |rng: &mut dyn Rng| q.sample(rng),
+            move |x: &f64| q.log_prob(*x),
+        );
+        let mut log_target = |x: &f64| {
+            if (0.0..=1.0).contains(x) {
+                (2.0 * x).ln()
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut state = 0.5f64;
+        let mut lp = log_target(&state);
+        let mut sum = 0.0;
+        let n = 30_000;
+        for _ in 0..n {
+            mh_step(&mut state, &mut lp, &proposal, &mut log_target, &mut rng);
+            sum += state;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 2.0 / 3.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn mixture_uses_all_components() {
+        // One component proposes 0.25, the other 0.75; both should appear.
+        struct Fixed(f64);
+        impl Proposal<f64> for Fixed {
+            fn propose(&self, _c: &f64, _rng: &mut dyn Rng) -> (f64, f64) {
+                (self.0, 0.0)
+            }
+        }
+        let mix = MixtureProposal::new(vec![
+            (1.0, Box::new(Fixed(0.25)) as Box<dyn Proposal<f64>>),
+            (1.0, Box::new(Fixed(0.75))),
+        ]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw = [false, false];
+        for _ in 0..100 {
+            let (c, _) = mix.propose(&0.0, &mut rng);
+            saw[usize::from(c > 0.5)] = true;
+        }
+        assert!(saw[0] && saw[1]);
+    }
+
+    #[test]
+    fn distribution_proposal_ratio_is_consistent() {
+        let d = Normal::new(1.0, 2.0);
+        let p = DistributionProposal(d);
+        let mut rng = StdRng::seed_from_u64(4);
+        let current = 0.3f64;
+        let (cand, ratio) = p.propose(&current, &mut rng);
+        let expected = d.log_prob(current) - d.log_prob(cand);
+        assert!((ratio - expected).abs() < 1e-12);
+    }
+}

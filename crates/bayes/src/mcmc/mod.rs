@@ -1,0 +1,10 @@
+//! Markov Chain Monte Carlo: proposals, the Metropolis–Hastings step,
+//! chain runners and traces.
+
+mod chain;
+mod kernel;
+mod trace;
+
+pub use chain::{run_chain, ChainConfig, ChainResult};
+pub use kernel::{mh_step, DistributionProposal, IndependenceProposal, MixtureProposal, Proposal};
+pub use trace::{Trace, TraceSummary};

@@ -1,0 +1,269 @@
+//! Traces: recorded scalar statistics of an MCMC run, with summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// The recorded values of one scalar statistic along one chain.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<f64>,
+}
+
+/// Summary statistics of a [`Trace`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of recorded samples.
+    pub len: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Minimum recorded value.
+    pub min: f64,
+    /// 5th percentile.
+    pub q05: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile.
+    pub q95: f64,
+    /// Maximum recorded value.
+    pub max: f64,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { samples: Vec::new() }
+    }
+
+    /// Wraps existing samples.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        Trace { samples }
+    }
+
+    /// Records one value.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded values.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample mean (`NaN` if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Unbiased sample variance (`NaN` if fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return f64::NAN;
+        }
+        let mean = self.mean();
+        self.samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    }
+
+    /// Empirical quantile by linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.samples.is_empty(), "quantile of an empty trace");
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trace"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let w = pos - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        }
+    }
+
+    /// Full summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn summary(&self) -> TraceSummary {
+        assert!(!self.samples.is_empty(), "summary of an empty trace");
+        TraceSummary {
+            len: self.len(),
+            mean: self.mean(),
+            variance: self.variance(),
+            min: self.quantile(0.0),
+            q05: self.quantile(0.05),
+            median: self.quantile(0.5),
+            q95: self.quantile(0.95),
+            max: self.quantile(1.0),
+        }
+    }
+
+    /// Histogram over `[lo, hi]` with `bins` equal-width buckets; values
+    /// outside the range clamp to the edge buckets.
+    ///
+    /// Returns `(bucket_lower_edge, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn histogram(&self, lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        let width = (hi - lo) / bins as f64;
+        let mut counts = vec![0usize; bins];
+        for &x in &self.samples {
+            let idx = (((x - lo) / width).floor() as isize).clamp(0, bins as isize - 1);
+            counts[idx as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + i as f64 * width, c))
+            .collect()
+    }
+
+    /// Renders the distribution as a compact ASCII histogram — the visual
+    /// form of the paper's "distribution of classification error produced
+    /// by BDLFI" (Fig. 1 ③).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn render_histogram(&self, lo: f64, hi: f64, bins: usize, width: usize) -> String {
+        let hist = self.histogram(lo, hi, bins);
+        let max = hist.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (edge, count) in hist {
+            let bar = "#".repeat(count * width.max(1) / max);
+            out.push_str(&format!("{edge:>8.3} | {bar} {count}\n"));
+        }
+        out
+    }
+
+    /// The running mean after each sample — used to visualise campaign
+    /// convergence ("further injections do not change the measured
+    /// hypothesis").
+    pub fn running_mean(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        let mut acc = 0.0;
+        for (i, &x) in self.samples.iter().enumerate() {
+            acc += x;
+            out.push(acc / (i + 1) as f64);
+        }
+        out
+    }
+}
+
+impl Extend<f64> for Trace {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Trace {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Trace { samples: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let t = Trace::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.mean(), 2.5);
+        assert!((t.variance() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.quantile(0.0), 1.0);
+        assert_eq!(t.quantile(1.0), 4.0);
+        assert_eq!(t.quantile(0.5), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let t = Trace::from_samples(vec![0.0, 10.0]);
+        assert_eq!(t.quantile(0.25), 2.5);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert!(t.mean().is_nan());
+        assert!(t.variance().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn quantile_of_empty_panics() {
+        Trace::new().quantile(0.5);
+    }
+
+    #[test]
+    fn running_mean_converges_to_mean() {
+        let t: Trace = (0..100).map(|i| (i % 2) as f64).collect();
+        let rm = t.running_mean();
+        assert_eq!(rm.len(), 100);
+        assert!((rm[99] - 0.5).abs() < 1e-12);
+        assert_eq!(rm[0], 0.0);
+    }
+
+    #[test]
+    fn summary_is_internally_consistent() {
+        let t: Trace = (0..1000).map(|i| i as f64 / 999.0).collect();
+        let s = t.summary();
+        assert!(s.min <= s.q05 && s.q05 <= s.median);
+        assert!(s.median <= s.q95 && s.q95 <= s.max);
+        assert!((s.mean - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let t = Trace::from_samples(vec![-1.0, 0.05, 0.15, 0.15, 0.95, 2.0]);
+        let h = t.histogram(0.0, 1.0, 10);
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 6);
+        assert_eq!(h[0].1, 2); // -1.0 clamps in, 0.05 lands
+        assert_eq!(h[1].1, 2); // the two 0.15s
+        assert_eq!(h[9].1, 2); // 0.95 and the clamped 2.0
+        assert!((h[1].0 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_histogram_has_one_line_per_bin() {
+        let t: Trace = (0..100).map(|i| i as f64 / 100.0).collect();
+        let s = t.render_histogram(0.0, 1.0, 5, 20);
+        assert_eq!(s.lines().count(), 5);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut t = Trace::new();
+        t.extend([1.0, 2.0]);
+        t.push(3.0);
+        assert_eq!(t.samples(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Parallel chain execution on scoped OS threads (crossbeam).
+//!
+//! The paper's point (3): BDLFI campaigns need only *inference*, so they
+//! parallelise trivially — one MCMC chain per thread, no debugger hooks or
+//! system support. This helper runs one closure per chain index and
+//! collects the results in order.
+
+/// Runs `f(0), …, f(n-1)` on separate scoped threads and returns the
+/// results in index order.
+///
+/// `f` is cloned per thread via `&` capture, so it must be `Sync`; results
+/// must be `Send`.
+///
+/// # Panics
+///
+/// Panics if any worker panics (the panic is propagated).
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![f(0)];
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                *slot = Some(f(i));
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel_map worker panicked");
+        }
+    })
+    .expect("parallel_map scope failed");
+    out.into_iter().map(|s| s.expect("worker did not produce a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = parallel_map(16, |i| i * i);
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_workers() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently_safe_state() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        parallel_map(8, |_| counter.fetch_add(1, Ordering::SeqCst));
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        parallel_map(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

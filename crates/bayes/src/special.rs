@@ -1,0 +1,217 @@
+//! Special functions needed by the distributions: log-gamma and the
+//! regularised incomplete beta function.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9),
+/// accurate to ~1e-13 for positive arguments.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const G: f64 = 7.0;
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Log of the beta function `B(a, b)`.
+///
+/// # Panics
+///
+/// Panics unless `a > 0` and `b > 0`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularised incomplete beta function `I_x(a, b)` via the continued
+/// fraction expansion (Numerical Recipes style).
+///
+/// # Panics
+///
+/// Panics unless `a > 0`, `b > 0` and `0 <= x <= 1`.
+pub fn betainc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "betainc requires positive shape parameters");
+    assert!((0.0..=1.0).contains(&x), "betainc requires x in [0, 1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // `front` is symmetric under (a, b, x) -> (b, a, 1-x).
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b)).exp();
+    // Use the symmetry relation for faster convergence of the continued
+    // fraction (computed directly for both branches — a recursive call can
+    // ping-pong forever at the threshold point).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta (modified Lentz algorithm).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Inverse of the regularised incomplete beta in `x` (quantile of a
+/// `Beta(a, b)`), found by bisection.
+///
+/// # Panics
+///
+/// Panics unless `a > 0`, `b > 0` and `0 <= q <= 1`.
+pub fn betainc_inv(a: f64, b: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    if q <= 0.0 {
+        return 0.0;
+    }
+    if q >= 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if betainc(a, b, mid) < q {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma((n + 1) as f64);
+            assert!((lg - (f as f64).ln()).abs() < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_beta_symmetric() {
+        assert!((ln_beta(2.5, 4.0) - ln_beta(4.0, 2.5)).abs() < 1e-12);
+        // B(1, 1) = 1.
+        assert!(ln_beta(1.0, 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn betainc_uniform_case() {
+        // I_x(1, 1) = x.
+        for x in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert!((betainc(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn betainc_known_values() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry.
+        assert!((betainc(2.0, 2.0, 0.5) - 0.5).abs() < 1e-10);
+        // I_x(2, 1) = x^2.
+        assert!((betainc(2.0, 1.0, 0.3) - 0.09).abs() < 1e-10);
+        // I_x(1, 2) = 1 - (1-x)^2.
+        assert!((betainc(1.0, 2.0, 0.3) - (1.0 - 0.49)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn betainc_is_monotone_in_x() {
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let x = i as f64 / 20.0;
+            let v = betainc(3.5, 1.7, x);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn betainc_inv_roundtrips() {
+        for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (0.5, 0.5), (10.0, 3.0)] {
+            for &q in &[0.05, 0.5, 0.95] {
+                let x = betainc_inv(a, b, q);
+                assert!((betainc(a, b, x) - q).abs() < 1e-8, "a={a} b={b} q={q}");
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for end-to-end BDLFI: the cost of one faulty
+//! evaluation (the campaign inner loop) for both evaluated networks, and a
+//! whole small campaign — the numbers behind "specialised hardware
+//! accelerates inference and hence the fault injection campaigns".
+
+use criterion::{criterion_group, criterion_main, Criterion, SamplingMode};
+use bdlfi::{run_campaign, CampaignConfig, FaultyModel, KernelChoice};
+use bdlfi_bayes::ChainConfig;
+use bdlfi_data::{gaussian_blobs, synth_cifar, SynthCifarConfig};
+use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
+use bdlfi_nn::{mlp, resnet18, ResNetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn mlp_faulty_model() -> FaultyModel {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = Arc::new(gaussian_blobs(200, 3, 1.0, &mut rng));
+    let model = mlp(2, &[32], 3, &mut rng);
+    FaultyModel::new(model, data, &SiteSpec::AllParams, Arc::new(BernoulliBitFlip::new(1e-3)))
+}
+
+fn bench_faulty_eval_mlp(c: &mut Criterion) {
+    let mut fm = mlp_faulty_model();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("faulty_eval_mlp_200pts", |b| {
+        b.iter(|| {
+            let cfg = fm.sample_config(&mut rng);
+            black_box(fm.eval_error(&cfg, &mut rng))
+        });
+    });
+}
+
+fn bench_faulty_eval_resnet(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = SynthCifarConfig { classes: 10, image_size: 32, noise: 1.0, phase_jitter: 1.0, label_noise: 0.0 };
+    let data = Arc::new(synth_cifar(16, cfg, &mut rng));
+    let net = resnet18(ResNetConfig { in_channels: 3, base_width: 4, classes: 10 }, &mut rng);
+    let mut fm = FaultyModel::new(
+        net,
+        data,
+        &SiteSpec::AllParams,
+        Arc::new(BernoulliBitFlip::new(1e-4)),
+    );
+    let mut group = c.benchmark_group("faulty_eval_resnet");
+    group.sample_size(10).sampling_mode(SamplingMode::Flat);
+    group.bench_function("w4_16imgs", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let cfg = fm.sample_config(&mut rng);
+            black_box(fm.eval_error(&cfg, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_small_campaign(c: &mut Criterion) {
+    let fm = mlp_faulty_model();
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig { burn_in: 0, samples: 25, thin: 1 },
+        kernel: KernelChoice::Prior,
+        seed: 9,
+        ..CampaignConfig::default()
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10).sampling_mode(SamplingMode::Flat);
+    group.bench_function("mlp_2x25_prior", |b| {
+        b.iter(|| black_box(run_campaign(&fm, &cfg)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_faulty_eval_mlp,
+    bench_faulty_eval_resnet,
+    bench_small_campaign
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the fault-injection substrate: mask sampling
+//! across flip probabilities (the geometric-skipping path), XOR
+//! application, and whole-model configuration sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bdlfi_faults::{resolve_sites, BernoulliBitFlip, FaultConfig, FaultModel, SiteSpec};
+use bdlfi_nn::mlp;
+use bdlfi_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mask_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_sampling_100k_elements");
+    for &p in &[1e-6f64, 1e-4, 1e-2] {
+        let model = BernoulliBitFlip::new(p);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("p={p:.0e}")), &p, |b, _| {
+            let mut rng = StdRng::seed_from_u64(0);
+            b.iter(|| black_box(model.sample_mask(100_000, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mask_apply(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = BernoulliBitFlip::new(1e-3);
+    let mask = model.sample_mask(100_000, &mut rng);
+    let mut tensor = Tensor::rand_normal([100_000], 0.0, 1.0, &mut rng);
+    c.bench_function("mask_apply_100k", |b| {
+        b.iter(|| {
+            mask.apply(black_box(&mut tensor));
+        });
+    });
+}
+
+fn bench_config_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = mlp(2, &[32], 3, &mut rng);
+    let sites = resolve_sites(&model, &SiteSpec::AllParams);
+    let fault_model = BernoulliBitFlip::new(1e-3);
+    c.bench_function("fault_config_sample_mlp", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(FaultConfig::sample(&sites.params, &fault_model, &mut rng)));
+    });
+}
+
+fn bench_apply_undo_roundtrip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut model = mlp(2, &[32], 3, &mut rng);
+    let sites = resolve_sites(&model, &SiteSpec::AllParams);
+    let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(1e-2), &mut rng);
+    c.bench_function("fault_config_apply_undo_mlp", |b| {
+        b.iter(|| {
+            cfg.apply(black_box(&mut model));
+            cfg.apply(black_box(&mut model));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mask_sampling,
+    bench_mask_apply,
+    bench_config_sampling,
+    bench_apply_undo_roundtrip
+);
+criterion_main!(benches);

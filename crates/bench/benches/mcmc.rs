@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the MCMC substrate: step cost of the fault-
+//! configuration proposals under the prior target, and the cost of the
+//! convergence diagnostics that implement completeness certification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bdlfi::proposals::{BitToggleProposal, PriorProposal};
+use bdlfi_bayes::{ess, mh_step, split_rhat, Trace};
+use bdlfi_faults::{resolve_sites, BernoulliBitFlip, BitRange, FaultConfig, FaultModel, SiteSpec};
+use bdlfi_nn::mlp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_mh_steps(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = mlp(2, &[32], 3, &mut rng);
+    let sites = Arc::new(resolve_sites(&model, &SiteSpec::AllParams).params);
+    let fault_model: Arc<dyn FaultModel> = Arc::new(BernoulliBitFlip::new(1e-3));
+
+    let sites2 = Arc::clone(&sites);
+    let fm2 = Arc::clone(&fault_model);
+    let mut log_target = move |c: &FaultConfig| c.log_prob(&sites2, fm2.as_ref()).unwrap();
+
+    let prior = PriorProposal::new(Arc::clone(&sites), Arc::clone(&fault_model));
+    let toggle = BitToggleProposal::new(Arc::clone(&sites), BitRange::all());
+
+    let mut group = c.benchmark_group("mh_step_mlp_prior_target");
+    group.bench_function("prior_proposal", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut state = FaultConfig::clean();
+        let mut lp = log_target(&state);
+        b.iter(|| {
+            black_box(mh_step(&mut state, &mut lp, &prior, &mut log_target, &mut rng));
+        });
+    });
+    group.bench_function("bit_toggle_proposal", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut state = FaultConfig::clean();
+        let mut lp = log_target(&state);
+        b.iter(|| {
+            black_box(mh_step(&mut state, &mut lp, &toggle, &mut log_target, &mut rng));
+        });
+    });
+    group.finish();
+}
+
+fn bench_diagnostics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let chains: Vec<Trace> = (0..4)
+        .map(|_| {
+            (0..2000)
+                .map(|_| bdlfi_tensor::init::standard_normal(&mut rng) as f64)
+                .collect()
+        })
+        .collect();
+    c.bench_function("split_rhat_4x2000", |b| {
+        b.iter(|| black_box(split_rhat(&chains)));
+    });
+    c.bench_function("ess_4x2000", |b| {
+        b.iter(|| black_box(ess(&chains)));
+    });
+}
+
+criterion_group!(benches, bench_mh_steps, bench_diagnostics);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Regenerates paper Fig. 3: ResNet-18 fault injection on a
+//! layer-by-layer basis.
+//!
+//! Paper finding reproduced: *error propagation to the output is NOT
+//! related to the depth of the injected layer* (contradicting Li et al.
+//! \[1\]); the Spearman correlation between depth and mean error is near
+//! zero under BDLFI's mixing-certified campaigns. A small-budget
+//! traditional-FI study is run side by side to show how sampling noise can
+//! manufacture a spurious depth trend.
+//!
+//! Run with `cargo run --release -p bdlfi-bench --bin fig3_resnet_layers`.
+
+use bdlfi::{run_layerwise, CampaignConfig, KernelChoice, LayerBudget};
+use bdlfi_baseline::{run_layer_fi, RandomFiConfig};
+use bdlfi_bayes::ChainConfig;
+use bdlfi_bench::harness::{artifacts_dir, golden_resnet, pct, Scale};
+use bdlfi_nn::resnet18_layer_positions;
+
+fn main() {
+    let scale = Scale::from_env();
+    let (model, _train, eval) = golden_resnet(scale.resnet_eval);
+    let layers = resnet18_layer_positions();
+    let flips = 8.0; // equal expected flipped bits per layer
+
+    let cfg = CampaignConfig {
+        chains: scale.chains.min(2),
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: (scale.samples / 2).max(20),
+            thin: 1,
+        },
+        kernel: KernelChoice::Prior,
+        seed: 3,
+        ..CampaignConfig::default()
+    };
+
+    println!("# Fig. 3: ResNet-18 layer-by-layer injection ({flips} expected bit flips/layer)");
+    println!("# per-layer p scaled so every layer absorbs the same fault burden; depth 0 = stem conv");
+    println!();
+    println!("| depth | layer | elements | p (per-bit) | error % (mean) | q95 % | R-hat | certified |");
+    println!("|---|---|---|---|---|---|---|---|");
+
+    let res = run_layerwise(&model, &eval, &layers, LayerBudget::ExpectedFlips(flips), &cfg);
+    for l in &res.layers {
+        println!(
+            "| {} | {} | {} | {:.2e} | {} | {} | {:.3} | {} |",
+            l.depth,
+            l.layer,
+            l.elements,
+            l.p,
+            pct(l.report.mean_error),
+            pct(l.report.summary.q95),
+            l.report.completeness.rhat,
+            if l.report.completeness.certified { "yes" } else { "no" }
+        );
+    }
+    println!();
+    println!("golden run error: {} %", pct(res.golden_error));
+    println!(
+        "Spearman(depth, error) = {:.3}  (paper: no depth relationship -> near zero)",
+        res.depth_correlation
+    );
+    println!();
+
+    // The comparator: a Li-et-al.-style small-budget single-bit study.
+    println!("## Traditional FI comparator (single-bit flips, small budget)");
+    let budgets = [scale.fi_injections / 10, scale.fi_injections];
+    for budget in budgets {
+        let study = run_layer_fi(
+            &model,
+            &eval,
+            &layers,
+            &RandomFiConfig { injections: budget.max(5), seed: 17, level: 0.95 },
+        );
+        let rates: Vec<String> = study
+            .layers
+            .iter()
+            .map(|l| format!("{:.2}", l.result.sdc.rate))
+            .collect();
+        println!(
+            "budget {:>4}/layer: SDC rates by depth = [{}], Spearman(depth, SDC) = {:.3}",
+            budget.max(5),
+            rates.join(", "),
+            study.depth_correlation
+        );
+    }
+    println!();
+    println!(
+        "paper reading: small-budget traditional FI produces unstable depth trends; \
+         the mixing-certified BDLFI estimate shows no depth relationship"
+    );
+
+    let out = artifacts_dir().join("fig3_resnet_layers.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&res.layers).unwrap()).unwrap();
+    eprintln!("[fig3] results saved to {}", out.display());
+}

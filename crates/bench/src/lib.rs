@@ -1,0 +1,27 @@
+//! # bdlfi-bench
+//!
+//! Benchmark and figure-regeneration harness for the BDLFI reproduction.
+//!
+//! One binary per paper artifact (see DESIGN.md §2 and EXPERIMENTS.md):
+//!
+//! | binary | paper artifact |
+//! |--------|----------------|
+//! | `fig1_boundary` | Fig. 1 ③ — decision-boundary error-probability map |
+//! | `fig2_mlp_sweep` | Fig. 2 — MLP error vs flip probability |
+//! | `fig3_resnet_layers` | Fig. 3 — ResNet-18 layer-by-layer injection |
+//! | `fig4_resnet_sweep` | Fig. 4 — ResNet-18 error vs flip probability |
+//! | `exp5_completeness` | §I claim — completeness via MCMC mixing |
+//! | `exp6_acceleration` | §I claim — rare-event algorithmic acceleration |
+//! | `exp7_bit_ablation` | fault-model ablation — bit-position / site sensitivity |
+//! | `exp8_kernels` | design ablation — MCMC kernel mixing efficiency |
+//! | `exp9_adaptive` | adaptive campaigns — run until certified |
+//!
+//! Criterion micro-benchmarks (`cargo bench`) cover the substrate: tensor
+//! kernels, injection throughput, MCMC step cost and end-to-end campaigns.
+//!
+//! The [`harness`] module trains and caches the two golden networks so
+//! every binary reuses them instead of retraining.
+
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,629 @@
+//! The BDLFI campaign engine: multi-chain MCMC inference over fault
+//! configurations, with mixing-based completeness certification.
+//!
+//! This is the paper's Section II pipeline: (1) train to get the golden
+//! weights; (2) attach the bit-flip fault model to the weights; (3) build
+//! the Bayesian fault model; (4) "perform inference multiple times on the
+//! DBN using MCMC to obtain the classification uncertainty of the network".
+//! Steps (1)–(3) are [`crate::FaultyModel`]; this module is step (4), in
+//! two flavours: a fixed-budget [`run_campaign`] and an adaptive
+//! [`run_campaign_adaptive`] that extends the chains in segments until the
+//! completeness criteria certify — the operational form of "inject until
+//! further injections change nothing".
+
+use crate::completeness::{assess, CompletenessCriteria, CompletenessReport};
+use crate::faulty_model::FaultyModel;
+use crate::proposals::{BitToggleProposal, GibbsBitProposal, PriorProposal};
+use crate::report::CampaignReport;
+use bdlfi_bayes::{
+    parallel_map, run_chain, self_normalized_estimate, ChainConfig, MixtureProposal, Proposal,
+    Trace,
+};
+use bdlfi_faults::{BitRange, FaultConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// The MCMC kernel a campaign uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Independent draws from the fault prior — exact sampling; the
+    /// untempered reference mode.
+    Prior,
+    /// Local Metropolis–Hastings: toggle `block` bits per proposal.
+    BitToggle {
+        /// Bits toggled per proposal.
+        block: usize,
+    },
+    /// Exact-conditional Gibbs resampling of single bits under the
+    /// independent Bernoulli(p) prior (always accepted when untempered).
+    Gibbs {
+        /// The prior's per-bit flip probability (must match the fault
+        /// model for the exact-conditional property to hold).
+        p: f64,
+    },
+    /// Mixture of local single-bit toggles and occasional prior refreshes.
+    Mixture {
+        /// Probability weight of the prior-refresh component (the toggle
+        /// component has weight `1 − refresh_weight`).
+        refresh_weight: f64,
+    },
+    /// Importance sampling from a *tilted prior*: configurations are drawn
+    /// iid from the fault model with its rate inflated by `factor`, and
+    /// every estimate is re-weighted back to the true prior with exact
+    /// closed-form weights. The robust acceleration for rare-error
+    /// *estimation*: hits appear ~`factor`× more often at equal budget.
+    TiltedPrior {
+        /// Rate inflation factor (> 1 accelerates; 1 recovers the prior).
+        factor: f64,
+    },
+    /// Tempered target `π_β(e) ∝ prior(e) · exp(β · 𝟙[error(e) > golden])`
+    /// explored with a toggle/refresh mixture; estimates are
+    /// importance-reweighted back to the prior. The indicator tilt boosts
+    /// *every* error-causing configuration by the same factor `e^β`, so
+    /// rare-error regimes are sampled densely without the weight collapse
+    /// a proportional `exp(β · error)` tilt suffers when catastrophic
+    /// configurations exist. The paper's "algorithmic acceleration" hook.
+    Tempered {
+        /// Tilt strength `β ≥ 0` (0 recovers the prior target);
+        /// `e^β` should be on the order of `1 / P(error)`.
+        beta: f64,
+    },
+}
+
+/// Configuration of a BDLFI campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Number of parallel chains (≥ 2 recommended so R̂ is defined).
+    pub chains: usize,
+    /// Per-chain schedule.
+    pub chain: ChainConfig,
+    /// Kernel choice.
+    pub kernel: KernelChoice,
+    /// Base RNG seed; chain `i` uses `seed + i`.
+    pub seed: u64,
+    /// Completeness thresholds.
+    pub criteria: CompletenessCriteria,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            chains: 4,
+            chain: ChainConfig { burn_in: 20, samples: 250, thin: 1 },
+            kernel: KernelChoice::Prior,
+            seed: 42,
+            criteria: CompletenessCriteria::default(),
+        }
+    }
+}
+
+/// Persistent per-chain state, allowing campaigns to be extended in
+/// segments without restarting the Markov chains.
+struct ChainWorker {
+    fm: FaultyModel,
+    rng: StdRng,
+    act_rng: StdRng,
+    state: FaultConfig,
+    trace: Trace,
+    flips: Vec<f64>,
+    // Per recorded sample: log of the importance weight back to the prior
+    // (0 for kernels that already target the prior).
+    log_weights: Vec<f64>,
+    accepted: usize,
+    steps: usize,
+    burned_in: bool,
+}
+
+impl ChainWorker {
+    fn new(fm: &FaultyModel, cfg: &CampaignConfig, idx: usize) -> Self {
+        ChainWorker {
+            fm: fm.clone(),
+            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(idx as u64)),
+            act_rng: StdRng::seed_from_u64(
+                cfg.seed.wrapping_add(0x9E37_79B9).wrapping_add(idx as u64),
+            ),
+            state: FaultConfig::clean(),
+            trace: Trace::new(),
+            flips: Vec::new(),
+            log_weights: Vec::new(),
+            accepted: 0,
+            steps: 0,
+            burned_in: false,
+        }
+    }
+
+    /// Advances the chain by `samples` recorded samples (plus burn-in on
+    /// the first segment), appending to the worker's trace.
+    fn advance(&mut self, cfg: &CampaignConfig, samples: usize) {
+        let sites = Arc::new(self.fm.sites().params.clone());
+        let fault_model = Arc::clone(self.fm.fault_model());
+
+        // The distribution configurations are *drawn from* (differs from
+        // the prior only for the tilted-prior kernel).
+        let sampling_model: Arc<dyn bdlfi_faults::FaultModel> = match cfg.kernel {
+            KernelChoice::TiltedPrior { factor } => fault_model
+                .tilted(factor)
+                .expect("fault model does not support tilting")
+                .into(),
+            _ => Arc::clone(&fault_model),
+        };
+
+        let proposal: Box<dyn Proposal<FaultConfig>> = match cfg.kernel {
+            KernelChoice::Prior | KernelChoice::TiltedPrior { .. } => {
+                Box::new(PriorProposal::new(Arc::clone(&sites), Arc::clone(&sampling_model)))
+            }
+            KernelChoice::BitToggle { block } => Box::new(BitToggleProposal::with_block(
+                Arc::clone(&sites),
+                BitRange::all(),
+                block.max(1),
+            )),
+            KernelChoice::Gibbs { p } => {
+                Box::new(GibbsBitProposal::new(Arc::clone(&sites), BitRange::all(), p))
+            }
+            KernelChoice::Mixture { refresh_weight } => {
+                let w = refresh_weight.clamp(1e-6, 1.0 - 1e-6);
+                Box::new(MixtureProposal::new(vec![
+                    (
+                        w,
+                        Box::new(PriorProposal::new(Arc::clone(&sites), Arc::clone(&fault_model)))
+                            as Box<dyn Proposal<FaultConfig>>,
+                    ),
+                    (
+                        1.0 - w,
+                        Box::new(BitToggleProposal::new(Arc::clone(&sites), BitRange::all())),
+                    ),
+                ]))
+            }
+            KernelChoice::Tempered { .. } => {
+                // Local exploration plus occasional independent refreshes:
+                // pure toggles heal error configurations one bit at a time
+                // and mix slowly out of the tilted modes.
+                Box::new(MixtureProposal::new(vec![
+                    (
+                        0.1,
+                        Box::new(PriorProposal::new(Arc::clone(&sites), Arc::clone(&fault_model)))
+                            as Box<dyn Proposal<FaultConfig>>,
+                    ),
+                    (
+                        0.9,
+                        Box::new(BitToggleProposal::new(Arc::clone(&sites), BitRange::all())),
+                    ),
+                ]))
+            }
+        };
+
+        let beta = match cfg.kernel {
+            KernelChoice::Tempered { beta } => beta,
+            _ => 0.0,
+        };
+
+        // Shared, memoised faulty evaluation: the tempered target and the
+        // statistic see the same state, so the expensive inference runs
+        // once per distinct configuration.
+        let golden = self.fm.golden_error();
+        let model = RefCell::new(&mut self.fm);
+        let act_rng = RefCell::new(&mut self.act_rng);
+        let memo: RefCell<Option<(FaultConfig, f64)>> = RefCell::new(None);
+        let eval_error = |c: &FaultConfig| -> f64 {
+            if let Some((cached, err)) = memo.borrow().as_ref() {
+                if cached == c {
+                    return *err;
+                }
+            }
+            let err = model.borrow_mut().eval_error(c, *act_rng.borrow_mut());
+            *memo.borrow_mut() = Some((c.clone(), err));
+            err
+        };
+
+        // The chain's target is the *sampling* distribution (tilted prior
+        // for the IS kernel — then every proposal is accepted and samples
+        // are iid from it), optionally tempered by the error indicator.
+        let target_model = Arc::clone(&sampling_model);
+        let target_sites = Arc::clone(&sites);
+        let eval_error_ref = &eval_error;
+        let mut log_target = move |c: &FaultConfig| -> f64 {
+            let base = c
+                .log_prob(&target_sites, target_model.as_ref())
+                .expect("fault model must define a density for MCMC targets");
+            if beta > 0.0 {
+                let hit = eval_error_ref(c) > golden + 1e-12;
+                base + if hit { beta } else { 0.0 }
+            } else {
+                base
+            }
+        };
+
+        // Per-sample importance weight back to the true prior.
+        let weight_prior = Arc::clone(&fault_model);
+        let weight_sampling = Arc::clone(&sampling_model);
+        let weight_sites = Arc::clone(&sites);
+        let is_tilted = matches!(cfg.kernel, KernelChoice::TiltedPrior { .. });
+        let log_weight = move |c: &FaultConfig, err: f64| -> f64 {
+            if is_tilted {
+                let prior = c.log_prob(&weight_sites, weight_prior.as_ref()).unwrap();
+                let proposal = c.log_prob(&weight_sites, weight_sampling.as_ref()).unwrap();
+                prior - proposal
+            } else if beta > 0.0 {
+                if err > golden + 1e-12 {
+                    -beta
+                } else {
+                    0.0
+                }
+            } else {
+                0.0
+            }
+        };
+
+        let flips = RefCell::new(&mut self.flips);
+        let log_weights = RefCell::new(&mut self.log_weights);
+        let mut statistic = |c: &FaultConfig| -> f64 {
+            flips.borrow_mut().push(c.total_flips() as f64);
+            let err = eval_error(c);
+            log_weights.borrow_mut().push(log_weight(c, err));
+            err
+        };
+
+        let schedule = ChainConfig {
+            burn_in: if self.burned_in { 0 } else { cfg.chain.burn_in },
+            samples,
+            thin: cfg.chain.thin,
+        };
+        let res = run_chain(
+            self.state.clone(),
+            proposal.as_ref(),
+            &mut log_target,
+            &mut statistic,
+            schedule,
+            &mut self.rng,
+        );
+        drop(model);
+        drop(act_rng);
+        drop(flips);
+        drop(log_weights);
+
+        self.state = res.final_state;
+        self.burned_in = true;
+        let new_steps = schedule.total_steps();
+        self.accepted += (res.acceptance_rate * new_steps as f64).round() as usize;
+        self.steps += new_steps;
+        self.trace.extend(res.trace.samples().iter().copied());
+    }
+
+    fn acceptance_rate(&self) -> f64 {
+        self.accepted as f64 / self.steps.max(1) as f64
+    }
+}
+
+/// Assembles the report from finished workers.
+fn assemble(fm: &FaultyModel, cfg: &CampaignConfig, workers: &[Mutex<ChainWorker>]) -> CampaignReport {
+    let traces: Vec<Trace> = workers
+        .iter()
+        .map(|w| w.lock().expect("chain worker poisoned").trace.clone())
+        .collect();
+    let acceptance_rates: Vec<f64> = workers
+        .iter()
+        .map(|w| w.lock().expect("chain worker poisoned").acceptance_rate())
+        .collect();
+    let mean_flips = {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for w in workers {
+            let w = w.lock().expect("chain worker poisoned");
+            total += w.flips.iter().sum::<f64>();
+            count += w.flips.len();
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    };
+
+    let completeness: CompletenessReport = assess(&traces, &cfg.criteria);
+    let pooled: Trace = traces.iter().flat_map(|t| t.samples().iter().copied()).collect();
+    // Importance re-weighting back to the prior for biased-sampling
+    // kernels (tilted prior, tempered); weights are recorded per sample
+    // by the workers and are identically zero for prior-targeting kernels.
+    let pooled_log_w: Vec<f64> = workers
+        .iter()
+        .flat_map(|w| w.lock().expect("chain worker poisoned").log_weights.clone())
+        .collect();
+    let weighted = pooled_log_w.iter().any(|&w| w != 0.0);
+    let (mean_error, importance_ess) = if weighted {
+        let (est, iess) = self_normalized_estimate(pooled.samples(), &pooled_log_w);
+        (est, Some(iess))
+    } else {
+        (pooled.mean(), None)
+    };
+
+    CampaignReport {
+        traces,
+        acceptance_rates,
+        summary: pooled.summary(),
+        completeness,
+        golden_error: fm.golden_error(),
+        mean_error,
+        importance_ess,
+        mean_flips,
+        config: *cfg,
+    }
+}
+
+/// Runs a fixed-budget BDLFI campaign: `cfg.chains` MCMC chains over fault
+/// configurations, one OS thread per chain, each owning a clone of the
+/// golden network.
+///
+/// # Panics
+///
+/// Panics if `cfg.chains == 0` or the chain schedule records no samples.
+pub fn run_campaign(fm: &FaultyModel, cfg: &CampaignConfig) -> CampaignReport {
+    assert!(cfg.chains > 0, "campaign needs at least one chain");
+    assert!(cfg.chain.samples > 0, "campaign must record samples");
+    let workers: Vec<Mutex<ChainWorker>> = (0..cfg.chains)
+        .map(|i| Mutex::new(ChainWorker::new(fm, cfg, i)))
+        .collect();
+    parallel_map(cfg.chains, |i| {
+        workers[i]
+            .lock()
+            .expect("chain worker poisoned")
+            .advance(cfg, cfg.chain.samples);
+    });
+    assemble(fm, cfg, &workers)
+}
+
+/// Runs an adaptive campaign: chains are extended in segments of
+/// `cfg.chain.samples` until the completeness criteria certify or
+/// `max_samples_per_chain` is reached — the paper's stopping rule ("when
+/// further injections do not change the measured hypothesis") made
+/// operational.
+///
+/// The returned report reflects all recorded samples; inspect
+/// `report.completeness.certified` to see whether the budget sufficed.
+///
+/// # Panics
+///
+/// Panics if `cfg.chains == 0`, the segment size is zero, or
+/// `max_samples_per_chain < cfg.chain.samples`.
+pub fn run_campaign_adaptive(
+    fm: &FaultyModel,
+    cfg: &CampaignConfig,
+    max_samples_per_chain: usize,
+) -> CampaignReport {
+    assert!(cfg.chains > 0, "campaign needs at least one chain");
+    assert!(cfg.chain.samples > 0, "segment size must be positive");
+    assert!(
+        max_samples_per_chain >= cfg.chain.samples,
+        "max_samples_per_chain must be at least one segment"
+    );
+    let workers: Vec<Mutex<ChainWorker>> = (0..cfg.chains)
+        .map(|i| Mutex::new(ChainWorker::new(fm, cfg, i)))
+        .collect();
+
+    let mut recorded = 0usize;
+    loop {
+        let segment = cfg.chain.samples.min(max_samples_per_chain - recorded);
+        parallel_map(cfg.chains, |i| {
+            workers[i]
+                .lock()
+                .expect("chain worker poisoned")
+                .advance(cfg, segment);
+        });
+        recorded += segment;
+
+        let traces: Vec<Trace> = workers
+            .iter()
+            .map(|w| w.lock().expect("chain worker poisoned").trace.clone())
+            .collect();
+        let verdict = assess(&traces, &cfg.criteria);
+        if verdict.certified || recorded >= max_samples_per_chain {
+            return assemble(fm, cfg, &workers);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completeness::CompletenessCriteria;
+    use bdlfi_data::gaussian_blobs;
+    use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
+    use bdlfi_nn::{mlp, optim::Sgd, TrainConfig, Trainer};
+    use std::sync::Arc;
+
+    fn trained_faulty_model(p: f64) -> FaultyModel {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = gaussian_blobs(300, 3, 0.6, &mut rng);
+        let (train, test) = data.split(0.7, &mut rng);
+        let mut model = mlp(2, &[16], 3, &mut rng);
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1).with_momentum(0.9),
+            TrainConfig { epochs: 25, batch_size: 32, ..TrainConfig::default() },
+        );
+        trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
+        FaultyModel::new(
+            model,
+            Arc::new(test),
+            &SiteSpec::AllParams,
+            Arc::new(BernoulliBitFlip::new(p)),
+        )
+    }
+
+    fn quick_cfg(kernel: KernelChoice) -> CampaignConfig {
+        CampaignConfig {
+            chains: 2,
+            chain: ChainConfig { burn_in: 5, samples: 60, thin: 1 },
+            kernel,
+            seed: 1,
+            criteria: CompletenessCriteria { max_rhat: 1.2, min_ess: 20.0, max_mcse: 0.1 },
+        }
+    }
+
+    #[test]
+    fn prior_campaign_reports_sane_statistics() {
+        let fm = trained_faulty_model(1e-3);
+        let rep = run_campaign(&fm, &quick_cfg(KernelChoice::Prior));
+        assert_eq!(rep.traces.len(), 2);
+        assert_eq!(rep.traces[0].len(), 60);
+        // Prior kernel always accepts.
+        assert!(rep.acceptance_rates.iter().all(|&a| a == 1.0));
+        // Faulty error distribution sits at or above the golden error.
+        assert!(rep.mean_error >= rep.golden_error - 1e-9);
+        assert!((0.0..=1.0).contains(&rep.mean_error));
+        assert!(rep.mean_flips > 0.0);
+        assert!(rep.importance_ess.is_none());
+    }
+
+    #[test]
+    fn error_grows_with_flip_probability() {
+        let low = run_campaign(&trained_faulty_model(1e-5), &quick_cfg(KernelChoice::Prior));
+        let high = run_campaign(&trained_faulty_model(1e-2), &quick_cfg(KernelChoice::Prior));
+        assert!(
+            high.mean_error > low.mean_error + 0.02,
+            "low {} high {}",
+            low.mean_error,
+            high.mean_error
+        );
+    }
+
+    #[test]
+    fn toggle_kernel_matches_prior_kernel_estimate() {
+        let fm = trained_faulty_model(3e-3);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 150;
+        let prior = run_campaign(&fm, &cfg);
+        let mut cfg = quick_cfg(KernelChoice::Mixture { refresh_weight: 0.3 });
+        cfg.chain.samples = 150;
+        cfg.chain.burn_in = 50;
+        let mixed = run_campaign(&fm, &cfg);
+        assert!(
+            (prior.mean_error - mixed.mean_error).abs() < 0.08,
+            "prior {} vs mixture {}",
+            prior.mean_error,
+            mixed.mean_error
+        );
+    }
+
+    #[test]
+    fn tempered_campaign_reweights_back_to_prior() {
+        let fm = trained_faulty_model(3e-3);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 200;
+        let reference = run_campaign(&fm, &cfg);
+        let mut cfg = quick_cfg(KernelChoice::Tempered { beta: 3.0 });
+        cfg.chain.samples = 200;
+        cfg.chain.burn_in = 50;
+        let tempered = run_campaign(&fm, &cfg);
+        let iess = tempered.importance_ess.expect("tempered reports IS ESS");
+        assert!(iess > 10.0);
+        // Tilted raw mean is biased upward; the reweighted estimate is not.
+        assert!(tempered.summary.mean >= tempered.mean_error - 1e-9);
+        assert!(
+            (tempered.mean_error - reference.mean_error).abs() < 0.1,
+            "tempered {} vs reference {}",
+            tempered.mean_error,
+            reference.mean_error
+        );
+    }
+
+    #[test]
+    fn tilted_prior_matches_plain_prior_estimate_with_more_hits() {
+        // Rare-error regime: E[flips] ~ 0.04 under the prior; tilting by
+        // 10x brings it to O(1), the regime importance tilting is for.
+        let fm = trained_faulty_model(1e-5);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 500;
+        cfg.chain.burn_in = 0;
+        let plain = run_campaign(&fm, &cfg);
+        let mut cfg = quick_cfg(KernelChoice::TiltedPrior { factor: 10.0 });
+        cfg.chain.samples = 500;
+        cfg.chain.burn_in = 0;
+        let tilted = run_campaign(&fm, &cfg);
+
+        // iid from the tilted prior: every proposal accepted.
+        assert!(tilted.acceptance_rates.iter().all(|&a| a == 1.0));
+        // More fault mass sampled...
+        assert!(tilted.mean_flips > plain.mean_flips * 3.0);
+        // ...yet the re-weighted estimate agrees with the plain one.
+        let iess = tilted.importance_ess.expect("tilted reports IS ESS");
+        assert!(iess > 50.0, "importance ESS {iess}");
+        assert!(
+            (tilted.mean_error - plain.mean_error).abs() < 0.01,
+            "tilted {} vs plain {}",
+            tilted.mean_error,
+            plain.mean_error
+        );
+        // The raw (unweighted) tilted mean is biased upward (more faults
+        // sampled than the prior would produce).
+        assert!(tilted.summary.mean >= tilted.mean_error);
+    }
+
+    #[test]
+    fn gibbs_kernel_always_accepts_and_agrees_with_prior() {
+        let fm = trained_faulty_model(3e-3);
+        let mut cfg = quick_cfg(KernelChoice::Gibbs { p: 3e-3 });
+        cfg.chain.samples = 150;
+        cfg.chain.burn_in = 100;
+        let gibbs = run_campaign(&fm, &cfg);
+        assert!(gibbs.acceptance_rates.iter().all(|&a| a > 0.999), "{:?}", gibbs.acceptance_rates);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 150;
+        let prior = run_campaign(&fm, &cfg);
+        // Gibbs moves one bit per step, so consecutive samples are highly
+        // correlated; the estimates still agree loosely.
+        assert!(
+            (gibbs.mean_error - prior.mean_error).abs() < 0.12,
+            "gibbs {} vs prior {}",
+            gibbs.mean_error,
+            prior.mean_error
+        );
+    }
+
+    #[test]
+    fn campaign_is_reproducible_under_seed() {
+        let fm = trained_faulty_model(1e-3);
+        let a = run_campaign(&fm, &quick_cfg(KernelChoice::Prior));
+        let b = run_campaign(&fm, &quick_cfg(KernelChoice::Prior));
+        assert_eq!(a.traces[0].samples(), b.traces[0].samples());
+        assert_eq!(a.mean_error, b.mean_error);
+    }
+
+    #[test]
+    fn adaptive_campaign_stops_at_certification() {
+        let fm = trained_faulty_model(1e-3);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 50; // segment size
+        cfg.criteria = CompletenessCriteria { max_rhat: 1.1, min_ess: 60.0, max_mcse: 0.05 };
+        let rep = run_campaign_adaptive(&fm, &cfg, 1000);
+        assert!(rep.completeness.certified, "{:?}", rep.completeness);
+        // Stopped in segments of 50.
+        assert_eq!(rep.traces[0].len() % 50, 0);
+        assert!(rep.traces[0].len() <= 1000);
+    }
+
+    #[test]
+    fn adaptive_campaign_respects_budget_cap() {
+        let fm = trained_faulty_model(1e-2);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 20;
+        // Impossible criteria: must run to the cap and stop.
+        cfg.criteria = CompletenessCriteria { max_rhat: 1.0001, min_ess: 1e9, max_mcse: 1e-9 };
+        let rep = run_campaign_adaptive(&fm, &cfg, 60);
+        assert!(!rep.completeness.certified);
+        assert_eq!(rep.traces[0].len(), 60);
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_budget_for_one_segment() {
+        let fm = trained_faulty_model(1e-3);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.chain.samples = 40;
+        // Trivial criteria certify after the first segment.
+        cfg.criteria = CompletenessCriteria { max_rhat: 100.0, min_ess: 1.0, max_mcse: 10.0 };
+        let adaptive = run_campaign_adaptive(&fm, &cfg, 400);
+        let fixed = run_campaign(&fm, &cfg);
+        assert_eq!(adaptive.traces[0].samples(), fixed.traces[0].samples());
+    }
+}

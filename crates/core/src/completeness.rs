@@ -1,0 +1,163 @@
+//! Campaign completeness certification via MCMC mixing.
+//!
+//! The paper's headline advantage over traditional fault injection:
+//! "the ability to quantify 'completeness' of an injection campaign (i.e.,
+//! when further injections do not change the measured hypothesis) using
+//! MCMC-mixing". A campaign is *certified* when the chains agree
+//! (split-R̂), carry enough information (ESS) and pin the estimate down
+//! (Monte Carlo standard error).
+
+use bdlfi_bayes::{ess, mcse, split_rhat, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds a campaign must meet to be certified complete.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletenessCriteria {
+    /// Maximum acceptable split-R̂ (conventionally 1.01).
+    pub max_rhat: f64,
+    /// Minimum effective sample size across chains.
+    pub min_ess: f64,
+    /// Maximum Monte Carlo standard error of the pooled mean, in the units
+    /// of the statistic (classification error is a fraction in `[0, 1]`).
+    pub max_mcse: f64,
+}
+
+impl Default for CompletenessCriteria {
+    fn default() -> Self {
+        CompletenessCriteria { max_rhat: 1.01, min_ess: 400.0, max_mcse: 0.01 }
+    }
+}
+
+/// The mixing evidence for one campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompletenessReport {
+    /// Split-R̂ across chains.
+    pub rhat: f64,
+    /// Effective sample size across chains.
+    pub ess: f64,
+    /// Monte Carlo standard error of the pooled mean.
+    pub mcse: f64,
+    /// Whether all criteria are met.
+    pub certified: bool,
+}
+
+/// Assesses a set of chains against the criteria.
+///
+/// Single-chain campaigns can still certify on ESS and MCSE; a `NaN` R̂
+/// (undefined, e.g. too few samples) fails certification, but an R̂ of
+/// exactly 1.0 from constant traces passes (a statistic that never moves
+/// is maximally converged).
+pub fn assess(chains: &[Trace], criteria: &CompletenessCriteria) -> CompletenessReport {
+    let rhat = split_rhat(chains);
+    let e = ess(chains);
+    let m = mcse(chains);
+    // Constant traces have zero variance: mcse = 0, which certifies.
+    let rhat_ok = rhat.is_finite() && rhat <= criteria.max_rhat;
+    let ess_ok = e.is_finite() && e >= criteria.min_ess;
+    let mcse_ok = m.is_finite() && m <= criteria.max_mcse;
+    CompletenessReport { rhat, ess: e, mcse: m, certified: rhat_ok && ess_ok && mcse_ok }
+}
+
+/// The number of recorded samples per chain after which the campaign first
+/// certifies, assessed on growing prefixes in steps of `step` — the E5
+/// experiment ("injections needed before the hypothesis stops moving").
+///
+/// Returns `None` if the full traces never certify.
+///
+/// # Panics
+///
+/// Panics if `step == 0`.
+pub fn samples_to_certify(
+    chains: &[Trace],
+    criteria: &CompletenessCriteria,
+    step: usize,
+) -> Option<usize> {
+    assert!(step > 0, "step must be positive");
+    let n = chains.iter().map(Trace::len).min().unwrap_or(0);
+    let mut k = step;
+    while k <= n {
+        let prefixes: Vec<Trace> = chains
+            .iter()
+            .map(|c| Trace::from_samples(c.samples()[..k].to_vec()))
+            .collect();
+        if assess(&prefixes, criteria).certified {
+            return Some(k);
+        }
+        k += step;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdlfi_bayes::dist::{Distribution, Normal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iid_chains(n_chains: usize, n: usize, sigma: f64) -> Vec<Trace> {
+        (0..n_chains)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(s as u64);
+                let d = Normal::new(0.5, sigma);
+                (0..n).map(|_| d.sample(&mut rng)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn good_chains_certify() {
+        let chains = iid_chains(4, 4000, 0.05);
+        let rep = assess(&chains, &CompletenessCriteria::default());
+        assert!(rep.certified, "{rep:?}");
+        assert!(rep.rhat < 1.01);
+        assert!(rep.ess > 1000.0);
+    }
+
+    #[test]
+    fn disagreeing_chains_fail() {
+        let mut chains = iid_chains(2, 2000, 0.05);
+        // Shift one chain: R-hat blows up.
+        let shifted: Trace = chains[0].samples().iter().map(|x| x + 1.0).collect();
+        chains[0] = shifted;
+        let rep = assess(&chains, &CompletenessCriteria::default());
+        assert!(!rep.certified);
+        assert!(rep.rhat > 1.01);
+    }
+
+    #[test]
+    fn short_chains_fail_on_ess() {
+        let chains = iid_chains(2, 50, 0.05);
+        let rep = assess(&chains, &CompletenessCriteria::default());
+        assert!(!rep.certified);
+        assert!(rep.ess < 400.0);
+    }
+
+    #[test]
+    fn noisy_chains_fail_on_mcse() {
+        // Huge variance: even many samples leave a wide standard error.
+        let chains = iid_chains(4, 1000, 5.0);
+        let rep = assess(&chains, &CompletenessCriteria::default());
+        assert!(rep.mcse > 0.01);
+        assert!(!rep.certified);
+    }
+
+    #[test]
+    fn samples_to_certify_increases_with_noise() {
+        let crit = CompletenessCriteria { max_rhat: 1.05, min_ess: 100.0, max_mcse: 0.01 };
+        let quiet = iid_chains(4, 4000, 0.05);
+        let loud = iid_chains(4, 4000, 0.3);
+        let a = samples_to_certify(&quiet, &crit, 50).expect("quiet certifies");
+        let b = samples_to_certify(&loud, &crit, 50).expect("loud certifies");
+        assert!(a < b, "quiet {a} vs loud {b}");
+    }
+
+    #[test]
+    fn never_certifying_returns_none() {
+        let chains = iid_chains(2, 100, 10.0);
+        assert_eq!(
+            samples_to_certify(&chains, &CompletenessCriteria::default(), 10),
+            None
+        );
+    }
+}

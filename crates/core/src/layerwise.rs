@@ -1,0 +1,234 @@
+//! Layer-by-layer campaigns — the paper's Fig. 3: inject into one layer at
+//! a time and ask whether the injected layer's *depth* predicts the output
+//! error. (The paper's finding: it does not, contradicting earlier
+//! small-sample random-FI studies.)
+
+use crate::campaign::{run_campaign, CampaignConfig};
+use crate::faulty_model::FaultyModel;
+use crate::report::CampaignReport;
+use crate::stats::spearman;
+use bdlfi_data::Dataset;
+use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
+use bdlfi_nn::Sequential;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How the fault burden is allocated to each injected layer.
+///
+/// Layers of a deep network differ in parameter count by orders of
+/// magnitude, so the choice matters:
+///
+/// * [`LayerBudget::PerBit`] applies the same per-bit AVF probability
+///   everywhere — larger layers then absorb proportionally more flips, and
+///   the measured per-layer error mixes *vulnerability* with *size*;
+/// * [`LayerBudget::ExpectedFlips`] scales each layer's probability so the
+///   expected number of flipped bits is equal — this isolates per-fault
+///   vulnerability, which is what the classical per-layer studies (and the
+///   paper's Fig. 3 depth question) are about.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerBudget {
+    /// Identical per-bit flip probability for every layer.
+    PerBit(f64),
+    /// Identical expected flipped-bit count for every layer
+    /// (`p_layer = flips / (32 · elements)`).
+    ExpectedFlips(f64),
+}
+
+impl LayerBudget {
+    /// The per-bit probability this budget induces for a layer with
+    /// `elements` injectable f32 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements == 0` under [`LayerBudget::ExpectedFlips`].
+    pub fn probability_for(&self, elements: usize) -> f64 {
+        match *self {
+            LayerBudget::PerBit(p) => p,
+            LayerBudget::ExpectedFlips(flips) => {
+                assert!(elements > 0, "cannot spread flips over an empty layer");
+                (flips / (32.0 * elements as f64)).min(1.0)
+            }
+        }
+    }
+}
+
+/// The campaign outcome for one injected layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerResult {
+    /// Depth index of the layer (0 = closest to the input).
+    pub depth: usize,
+    /// The layer's name (path prefix used for injection).
+    pub layer: String,
+    /// Number of injectable parameter elements under this layer.
+    pub elements: usize,
+    /// The per-bit flip probability this layer's campaign used.
+    pub p: f64,
+    /// Full campaign report.
+    pub report: CampaignReport,
+}
+
+/// The outcome of a layer-by-layer study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerwiseResult {
+    /// One entry per injected layer, in depth order.
+    pub layers: Vec<LayerResult>,
+    /// Golden-run classification error.
+    pub golden_error: f64,
+    /// Spearman rank correlation between layer depth and mean error —
+    /// the paper's claim is that this is near zero.
+    pub depth_correlation: f64,
+}
+
+/// Runs one BDLFI campaign per layer prefix, injecting only into that
+/// layer's parameters, with the fault burden allocated by `budget`.
+///
+/// # Panics
+///
+/// Panics if `layers` is empty, the budget induces an invalid probability,
+/// or a prefix does not exist in the model.
+pub fn run_layerwise(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    budget: LayerBudget,
+    cfg: &CampaignConfig,
+) -> LayerwiseResult {
+    assert!(!layers.is_empty(), "layerwise study needs at least one layer");
+    if let LayerBudget::PerBit(p) = budget {
+        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+    }
+
+    let results: Vec<LayerResult> = layers
+        .iter()
+        .enumerate()
+        .map(|(depth, &layer)| {
+            let spec = SiteSpec::LayerParams { prefix: layer.to_string() };
+            // Resolve first to size the budget.
+            let elements =
+                bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
+            let p = budget.probability_for(elements);
+            let fm = FaultyModel::new(
+                model.clone(),
+                Arc::clone(eval),
+                &spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            LayerResult {
+                depth,
+                layer: layer.to_string(),
+                elements,
+                p,
+                report: run_campaign(&fm, cfg),
+            }
+        })
+        .collect();
+
+    let golden_error = results[0].report.golden_error;
+    let depths: Vec<f64> = results.iter().map(|r| r.depth as f64).collect();
+    let errors: Vec<f64> = results.iter().map(|r| r.report.mean_error).collect();
+    let depth_correlation = spearman(&depths, &errors);
+
+    LayerwiseResult { layers: results, golden_error, depth_correlation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::KernelChoice;
+    use crate::completeness::CompletenessCriteria;
+    use bdlfi_bayes::ChainConfig;
+    use bdlfi_data::gaussian_blobs;
+    use bdlfi_nn::{mlp, optim::Sgd, TrainConfig, Trainer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> CampaignConfig {
+        CampaignConfig {
+            chains: 2,
+            chain: ChainConfig { burn_in: 0, samples: 40, thin: 1 },
+            kernel: KernelChoice::Prior,
+            seed: 5,
+            criteria: CompletenessCriteria { max_rhat: 2.0, min_ess: 10.0, max_mcse: 0.2 },
+        }
+    }
+
+    #[test]
+    fn layerwise_covers_each_layer_independently() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = gaussian_blobs(200, 3, 0.6, &mut rng);
+        let (train, test) = data.split(0.7, &mut rng);
+        let mut model = mlp(2, &[16, 16], 3, &mut rng);
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1).with_momentum(0.9),
+            TrainConfig { epochs: 15, batch_size: 32, ..TrainConfig::default() },
+        );
+        trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
+
+        let res = run_layerwise(
+            &model,
+            &Arc::new(test),
+            &["fc1", "fc2", "fc3"],
+            LayerBudget::PerBit(1e-2),
+            &quick_cfg(),
+        );
+        assert_eq!(res.layers.len(), 3);
+        assert_eq!(res.layers[0].layer, "fc1");
+        assert_eq!(res.layers[0].depth, 0);
+        // Element counts match the MLP dimensions.
+        assert_eq!(res.layers[0].elements, 2 * 16 + 16);
+        assert_eq!(res.layers[1].elements, 16 * 16 + 16);
+        assert_eq!(res.layers[2].elements, 16 * 3 + 3);
+        // Correlation is defined (not NaN) and bounded.
+        assert!(res.depth_correlation.abs() <= 1.0);
+        // Every campaign shares the same golden error.
+        for l in &res.layers {
+            assert_eq!(l.report.golden_error, res.golden_error);
+        }
+    }
+
+    #[test]
+    fn expected_flips_budget_scales_probability_inversely_with_size() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = gaussian_blobs(100, 2, 0.6, &mut rng);
+        let model = mlp(2, &[32], 2, &mut rng);
+        let res = run_layerwise(
+            &model,
+            &Arc::new(data),
+            &["fc1", "fc2"],
+            LayerBudget::ExpectedFlips(4.0),
+            &quick_cfg(),
+        );
+        // fc1 has 2*32+32 = 96 elements; fc2 has 32*2+2 = 66.
+        assert!((res.layers[0].p - 4.0 / (32.0 * 96.0)).abs() < 1e-12);
+        assert!((res.layers[1].p - 4.0 / (32.0 * 66.0)).abs() < 1e-12);
+        // Expected flips equalised: p * 32 * elements identical.
+        let burden = |l: &LayerResult| l.p * 32.0 * l.elements as f64;
+        assert!((burden(&res.layers[0]) - burden(&res.layers[1])).abs() < 1e-9);
+        // Mean observed flips per sample should be near 4 for both.
+        for l in &res.layers {
+            assert!(
+                (l.report.mean_flips - 4.0).abs() < 1.5,
+                "{}: mean flips {}",
+                l.layer,
+                l.report.mean_flips
+            );
+        }
+    }
+
+    #[test]
+    fn probability_saturates_at_one() {
+        let b = LayerBudget::ExpectedFlips(1e12);
+        assert_eq!(b.probability_for(3), 1.0);
+        let b = LayerBudget::PerBit(0.25);
+        assert_eq!(b.probability_for(1000), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "no parameters under layer prefix")]
+    fn unknown_layer_panics() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = gaussian_blobs(50, 2, 0.5, &mut rng);
+        let model = mlp(2, &[4], 2, &mut rng);
+        run_layerwise(&model, &Arc::new(data), &["nope"], LayerBudget::PerBit(1e-3), &quick_cfg());
+    }
+}

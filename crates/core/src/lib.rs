@@ -1,0 +1,82 @@
+//! # bdlfi
+//!
+//! **Bayesian Deep Learning based Fault Injection (BDLFI)** — the primary
+//! contribution of "Towards a Bayesian Approach for Assessing Fault
+//! Tolerance of Deep Neural Networks" (Banerjee et al., DSN 2019),
+//! reproduced in Rust.
+//!
+//! BDLFI models transient hardware faults as Bernoulli random variables
+//! attached to every bit of every stored value of a neural network
+//! (per-bit AVF fault model), propagates the resulting uncertainty through
+//! the network, and uses Markov Chain Monte Carlo to infer the
+//! distribution of classification error at the output. MCMC mixing
+//! diagnostics (split-R̂, ESS, MCSE) quantify the *completeness* of the
+//! campaign — the point where further injections no longer change the
+//! measured hypothesis.
+//!
+//! # Architecture
+//!
+//! * [`FaultyModel`] — a golden network bound to an evaluation set and a
+//!   fault model over resolved injection sites (paper Fig. 1 ① + ②);
+//! * [`proposals`] — MCMC moves over joint fault configurations (prior
+//!   refreshes, single-/multi-bit toggles);
+//! * [`run_campaign`] — multi-chain inference with completeness
+//!   certification (Fig. 1 ③), including the tempered rare-event kernel
+//!   with importance re-weighting;
+//! * [`run_sweep`] — flip-probability sweeps with two-regime knee
+//!   analysis (Figs. 2 and 4);
+//! * [`run_layerwise`] — per-layer campaigns and the depth-correlation
+//!   test (Fig. 3);
+//! * [`boundary_map`] — per-input-point error-probability maps over a 2-D
+//!   feature space (Fig. 1 ③'s boundary finding);
+//! * [`attribute_faults`] — error-conditioned posterior over fault
+//!   locations (which sites/bits to harden);
+//! * [`plan_protection`] — margin-threshold protection domains (the
+//!   paper's "regions of the feature space that need more protection").
+//!
+//! # Examples
+//!
+//! ```
+//! use bdlfi::{CampaignConfig, FaultyModel, run_campaign};
+//! use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = Arc::new(bdlfi_data::gaussian_blobs(60, 2, 0.5, &mut rng));
+//! let model = bdlfi_nn::mlp(2, &[8], 2, &mut rng);
+//!
+//! let fm = FaultyModel::new(model, data, &SiteSpec::AllParams,
+//!                           Arc::new(BernoulliBitFlip::new(1e-3)));
+//! let mut cfg = CampaignConfig::default();
+//! cfg.chains = 2;
+//! cfg.chain.samples = 20;
+//! let report = run_campaign(&fm, &cfg);
+//! assert!(report.mean_error >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod attribution;
+mod boundary;
+mod campaign;
+mod completeness;
+mod faulty_model;
+pub mod formal;
+pub mod proposals;
+mod report;
+pub mod stats;
+mod sweep;
+
+mod layerwise;
+mod protection;
+
+pub use attribution::{attribute_faults, AttributionReport, SiteAttribution};
+pub use boundary::{boundary_map, BoundaryConfig, BoundaryMap};
+pub use campaign::{run_campaign, run_campaign_adaptive, CampaignConfig, KernelChoice};
+pub use completeness::{assess, samples_to_certify, CompletenessCriteria, CompletenessReport};
+pub use faulty_model::FaultyModel;
+pub use layerwise::{run_layerwise, LayerBudget, LayerResult, LayerwiseResult};
+pub use protection::{plan_protection, ProtectionPlan};
+pub use report::CampaignReport;
+pub use sweep::{log_spaced_probabilities, run_sweep, KneeAnalysis, SweepPoint, SweepResult};

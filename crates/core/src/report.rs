@@ -1,0 +1,198 @@
+//! Campaign reports: the inferred error distribution, its mixing evidence
+//! and JSON persistence for the figure harness.
+
+use crate::campaign::CampaignConfig;
+use crate::completeness::CompletenessReport;
+use bdlfi_bayes::{Trace, TraceSummary};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// The outcome of one BDLFI campaign (paper Fig. 1 ③: "the distribution of
+/// classification error produced by BDLFI", plus the completeness
+/// evidence).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Per-chain traces of the classification-error statistic.
+    pub traces: Vec<Trace>,
+    /// Per-chain MH acceptance rates.
+    pub acceptance_rates: Vec<f64>,
+    /// Summary of the pooled error distribution.
+    pub summary: TraceSummary,
+    /// Mixing evidence and certification verdict.
+    pub completeness: CompletenessReport,
+    /// Fault-free classification error (the golden-run line).
+    pub golden_error: f64,
+    /// Estimated mean classification error under the fault prior
+    /// (importance-reweighted for tempered campaigns).
+    pub mean_error: f64,
+    /// Importance-sampling effective sample size, for tempered campaigns.
+    pub importance_ess: Option<f64>,
+    /// Mean number of flipped bits per sampled configuration.
+    pub mean_flips: f64,
+    /// The configuration that produced this report.
+    pub config: CampaignConfig,
+}
+
+impl CampaignReport {
+    /// Total recorded samples across chains.
+    pub fn total_samples(&self) -> usize {
+        self.traces.iter().map(Trace::len).sum()
+    }
+
+    /// The increase of mean error over the golden run, in percentage
+    /// points (the quantity Figs. 2/4 are read for).
+    pub fn error_increase_pct(&self) -> f64 {
+        (self.mean_error - self.golden_error) * 100.0
+    }
+
+    /// The pooled error trace across all chains.
+    pub fn pooled_trace(&self) -> Trace {
+        self.traces
+            .iter()
+            .flat_map(|t| t.samples().iter().copied())
+            .collect()
+    }
+
+    /// Renders the inferred classification-error distribution as an ASCII
+    /// histogram — the right-hand panel of the paper's Fig. 1 ③
+    /// ("distribution of classification error produced by BDLFI"), with
+    /// the golden-run error marked.
+    pub fn render_distribution(&self) -> String {
+        let pooled = self.pooled_trace();
+        let hi = pooled.quantile(1.0).max(self.golden_error) * 1.05 + 1e-6;
+        let mut out = pooled.render_histogram(0.0, hi.min(1.0).max(0.02), 12, 40);
+        out.push_str(&format!(
+            "golden-run error: {:.3} | faulty mean: {:.3}\n",
+            self.golden_error, self.mean_error
+        ));
+        out
+    }
+
+    /// Saves the report as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written or serialisation
+    /// fails.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(std::io::BufWriter::new(file), self)
+            .map_err(std::io::Error::other)
+    }
+
+    /// Loads a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load_json(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(std::io::Error::other)
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BDLFI campaign: {} chains x {} samples ({} total)",
+            self.traces.len(),
+            self.traces.first().map_or(0, Trace::len),
+            self.total_samples()
+        )?;
+        writeln!(f, "  golden error      : {:6.2} %", self.golden_error * 100.0)?;
+        writeln!(
+            f,
+            "  faulty error      : {:6.2} %  (mean; q05 {:5.2} %, q95 {:5.2} %)",
+            self.mean_error * 100.0,
+            self.summary.q05 * 100.0,
+            self.summary.q95 * 100.0
+        )?;
+        writeln!(f, "  mean bit flips    : {:8.2}", self.mean_flips)?;
+        writeln!(
+            f,
+            "  mixing            : R-hat {:.4}, ESS {:.0}, MCSE {:.5}",
+            self.completeness.rhat, self.completeness.ess, self.completeness.mcse
+        )?;
+        if let Some(iess) = self.importance_ess {
+            writeln!(f, "  importance ESS    : {iess:.0}")?;
+        }
+        write!(
+            f,
+            "  completeness      : {}",
+            if self.completeness.certified { "CERTIFIED" } else { "not certified" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::KernelChoice;
+    use crate::completeness::CompletenessCriteria;
+    use bdlfi_bayes::ChainConfig;
+
+    fn dummy_report() -> CampaignReport {
+        let t = Trace::from_samples(vec![0.1, 0.2, 0.3, 0.2]);
+        CampaignReport {
+            summary: t.summary(),
+            traces: vec![t],
+            acceptance_rates: vec![1.0],
+            completeness: CompletenessReport { rhat: 1.0, ess: 4.0, mcse: 0.04, certified: false },
+            golden_error: 0.05,
+            mean_error: 0.2,
+            importance_ess: None,
+            mean_flips: 3.5,
+            config: CampaignConfig {
+                chains: 1,
+                chain: ChainConfig { burn_in: 0, samples: 4, thin: 1 },
+                kernel: KernelChoice::Prior,
+                seed: 0,
+                criteria: CompletenessCriteria::default(),
+            },
+        }
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = dummy_report().to_string();
+        assert!(s.contains("golden error"));
+        assert!(s.contains("5.00 %"));
+        assert!(s.contains("not certified"));
+    }
+
+    #[test]
+    fn error_increase_in_percentage_points() {
+        assert!((dummy_report().error_increase_pct() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("bdlfi_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        let rep = dummy_report();
+        rep.save_json(&path).unwrap();
+        let back = CampaignReport::load_json(&path).unwrap();
+        assert_eq!(back.mean_error, rep.mean_error);
+        assert_eq!(back.traces[0].samples(), rep.traces[0].samples());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn distribution_rendering_mentions_golden() {
+        let r = dummy_report();
+        let s = r.render_distribution();
+        assert!(s.contains("golden-run error"));
+        assert!(s.lines().count() >= 13);
+        assert_eq!(r.pooled_trace().len(), 4);
+    }
+
+    #[test]
+    fn total_samples_sums_chains() {
+        let mut rep = dummy_report();
+        rep.traces.push(Trace::from_samples(vec![0.0; 6]));
+        assert_eq!(rep.total_samples(), 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! Small statistics helpers used by the analyses: correlation measures and
+//! a two-segment piecewise-linear fit (knee detection).
+
+/// Pearson correlation coefficient.
+///
+/// Returns `NaN` for fewer than 2 points or zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson requires equal-length slices");
+    let n = x.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx).powi(2);
+        syy += (b - my).powi(2);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks; ties averaged).
+///
+/// Returns `NaN` for fewer than 2 points or constant inputs.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman requires equal-length slices");
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Mid-ranks of a slice (1-based; ties share the average rank).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Result of a two-segment piecewise-linear fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KneeFit {
+    /// Index of the breakpoint (the knee belongs to both segments).
+    pub knee_index: usize,
+    /// The x-coordinate of the knee.
+    pub knee_x: f64,
+    /// Total squared error of the two-segment fit.
+    pub sse: f64,
+    /// Slope of the left segment.
+    pub left_slope: f64,
+    /// Slope of the right segment.
+    pub right_slope: f64,
+}
+
+/// Fits two least-squares line segments with a shared breakpoint chosen to
+/// minimise total squared error — used to locate the "knee" of the paper's
+/// Figs. 2/4 error-vs-`p` curves, where the flat low-`p` regime meets the
+/// steep high-`p` regime.
+///
+/// # Panics
+///
+/// Panics if fewer than 4 points are supplied or the lengths differ.
+pub fn fit_knee(x: &[f64], y: &[f64]) -> KneeFit {
+    assert_eq!(x.len(), y.len(), "fit_knee requires equal-length slices");
+    let n = x.len();
+    assert!(n >= 4, "knee fitting needs at least 4 points");
+
+    let sse_of = |xs: &[f64], ys: &[f64]| -> (f64, f64) {
+        // Least-squares line; returns (sse, slope).
+        let m = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / m;
+        let my = ys.iter().sum::<f64>() / m;
+        let sxx: f64 = xs.iter().map(|v| (v - mx).powi(2)).sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+        let intercept = my - slope * mx;
+        let sse: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(a, b)| (b - (slope * a + intercept)).powi(2))
+            .sum();
+        (sse, slope)
+    };
+
+    let mut best: Option<KneeFit> = None;
+    for k in 1..n - 2 {
+        // Left segment [0..=k], right segment [k..n): knee shared.
+        let (sse_l, slope_l) = sse_of(&x[..=k], &y[..=k]);
+        let (sse_r, slope_r) = sse_of(&x[k..], &y[k..]);
+        let total = sse_l + sse_r;
+        if best.map_or(true, |b| total < b.sse) {
+            best = Some(KneeFit {
+                knee_index: k,
+                knee_x: x[k],
+                sse: total,
+                left_slope: slope_l,
+                right_slope: slope_r,
+            });
+        }
+    }
+    best.expect("at least one breakpoint candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_of_linear_data_is_one() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 1.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone nonlinear relation: Spearman 1, Pearson < 1.
+        let x: Vec<f64> = (1..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y) < 0.999);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let r = ranks(&x);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let y = [1.0, 1.0, 2.0, 2.0];
+        let s = spearman(&x, &y);
+        assert!(s > 0.7 && s <= 1.0);
+    }
+
+    #[test]
+    fn uncorrelated_data_scores_near_zero() {
+        // Deterministic "uncorrelated" pattern.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        assert!(spearman(&x, &y).abs() < 0.2);
+    }
+
+    #[test]
+    fn knee_found_in_hockey_stick() {
+        // Flat until x = 5, then slope 2 — knee at index 5.
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v <= 5.0 { 1.0 } else { 1.0 + 2.0 * (v - 5.0) }).collect();
+        let fit = fit_knee(&x, &y);
+        assert!((4..=6).contains(&fit.knee_index), "knee at {}", fit.knee_index);
+        assert!(fit.left_slope.abs() < 0.3);
+        assert!(fit.right_slope > 1.5);
+    }
+
+    #[test]
+    fn knee_fit_sse_is_small_for_exact_piecewise_data() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v <= 4.0 { 0.0 } else { v - 4.0 }).collect();
+        let fit = fit_knee(&x, &y);
+        assert!(fit.sse < 1e-9, "sse {}", fit.sse);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn knee_requires_enough_points() {
+        fit_knee(&[0.0, 1.0, 2.0], &[0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Image augmentation for NCHW batches: random horizontal flips and
+//! zero-padded random shifts — the standard CIFAR training recipe, here
+//! for the synth-CIFAR substitute.
+
+use crate::dataset::Dataset;
+use bdlfi_tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AugmentConfig {
+    /// Probability of a horizontal mirror per image.
+    pub flip_prob: f64,
+    /// Maximum absolute shift in pixels per axis (zero padding fills).
+    pub max_shift: usize,
+}
+
+impl Default for AugmentConfig {
+    /// The usual CIFAR recipe: flip half the images, shift by up to 4 px.
+    fn default() -> Self {
+        AugmentConfig { flip_prob: 0.5, max_shift: 4 }
+    }
+}
+
+/// Returns an augmented copy of an NCHW image batch.
+///
+/// # Panics
+///
+/// Panics if `images` is not rank 4 or `flip_prob` is not a probability.
+pub fn augment_batch<R: Rng + ?Sized>(
+    images: &Tensor,
+    cfg: AugmentConfig,
+    rng: &mut R,
+) -> Tensor {
+    assert_eq!(images.rank(), 4, "augment_batch expects an NCHW tensor");
+    assert!((0.0..=1.0).contains(&cfg.flip_prob), "flip_prob must be in [0, 1]");
+    let (n, c, h, w) = (images.dim(0), images.dim(1), images.dim(2), images.dim(3));
+    let mut out = images.clone();
+    let plane = h * w;
+    let image_len = c * plane;
+
+    for img in 0..n {
+        let flip = rng.random::<f64>() < cfg.flip_prob;
+        let (dy, dx) = if cfg.max_shift == 0 {
+            (0isize, 0isize)
+        } else {
+            let s = cfg.max_shift as i64;
+            (
+                rng.random_range(-s..=s) as isize,
+                rng.random_range(-s..=s) as isize,
+            )
+        };
+        if !flip && dy == 0 && dx == 0 {
+            continue;
+        }
+        let src = &images.data()[img * image_len..(img + 1) * image_len];
+        let dst = &mut out.data_mut()[img * image_len..(img + 1) * image_len];
+        for ch in 0..c {
+            for y in 0..h as isize {
+                for x in 0..w as isize {
+                    let sy = y - dy;
+                    let sx_pre = x - dx;
+                    let sx = if flip { w as isize - 1 - sx_pre } else { sx_pre };
+                    let v = if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                        src[ch * plane + sy as usize * w + sx as usize]
+                    } else {
+                        0.0
+                    };
+                    dst[ch * plane + y as usize * w + x as usize] = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns a dataset whose inputs are augmented (labels unchanged).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`augment_batch`].
+pub fn augment_dataset<R: Rng + ?Sized>(
+    data: &Dataset,
+    cfg: AugmentConfig,
+    rng: &mut R,
+) -> Dataset {
+    Dataset::new(
+        augment_batch(data.inputs(), cfg, rng),
+        data.labels().to_vec(),
+        data.classes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ramp_image() -> Tensor {
+        // 1 image, 1 channel, 4x4 with distinct values.
+        Tensor::from_fn([1, 1, 4, 4], |i| (i[2] * 4 + i[3]) as f32)
+    }
+
+    #[test]
+    fn identity_config_is_noop() {
+        let x = ramp_image();
+        let mut rng = StdRng::seed_from_u64(0);
+        let y = augment_batch(&x, AugmentConfig { flip_prob: 0.0, max_shift: 0 }, &mut rng);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn certain_flip_mirrors_rows() {
+        let x = ramp_image();
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = augment_batch(&x, AugmentConfig { flip_prob: 1.0, max_shift: 0 }, &mut rng);
+        // Row 0 was [0,1,2,3]; mirrored it is [3,2,1,0].
+        assert_eq!(&y.data()[..4], &[3.0, 2.0, 1.0, 0.0]);
+        // Double flip restores.
+        let z = augment_batch(&y, AugmentConfig { flip_prob: 1.0, max_shift: 0 }, &mut rng);
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn shifts_pad_with_zeros() {
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Shift guaranteed (range -2..=2); any nonzero shift introduces 0s
+        // at the border. Run several draws and check invariants each time.
+        let mut saw_shifted = false;
+        for _ in 0..20 {
+            let y = augment_batch(&x, AugmentConfig { flip_prob: 0.0, max_shift: 2 }, &mut rng);
+            let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+            let ones = y.data().iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(zeros + ones, 16, "values must stay {{0, 1}}");
+            if zeros > 0 {
+                saw_shifted = true;
+            }
+        }
+        assert!(saw_shifted);
+    }
+
+    #[test]
+    fn augment_preserves_labels_and_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Dataset::new(
+            Tensor::rand_normal([6, 3, 8, 8], 0.0, 1.0, &mut rng),
+            vec![0, 1, 2, 0, 1, 2],
+            3,
+        );
+        let aug = augment_dataset(&data, AugmentConfig::default(), &mut rng);
+        assert_eq!(aug.labels(), data.labels());
+        assert_eq!(aug.inputs().dims(), data.inputs().dims());
+        assert_ne!(aug.inputs(), data.inputs());
+    }
+}

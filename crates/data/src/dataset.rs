@@ -1,0 +1,261 @@
+//! In-memory classification datasets with splitting and normalisation.
+
+use bdlfi_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled classification dataset: inputs batched on axis 0 plus integer
+/// class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Input examples, batched on axis 0.
+    inputs: Tensor,
+    /// Class index per example.
+    labels: Vec<usize>,
+    /// Number of classes.
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from inputs and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.dim(0) != labels.len()` or any label is
+    /// `>= classes`.
+    pub fn new(inputs: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(inputs.dim(0), labels.len(), "input batch and label count must match");
+        assert!(labels.iter().all(|&l| l < classes), "label out of range");
+        Dataset { inputs, labels, classes }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The input tensor, batched on axis 0.
+    pub fn inputs(&self) -> &Tensor {
+        &self.inputs
+    }
+
+    /// The class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Copies the examples selected by `indices` into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let n = self.len();
+        let example_len = self.inputs.len() / n.max(1);
+        let mut data = Vec::with_capacity(indices.len() * example_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < n, "subset index {i} out of bounds for {n} examples");
+            data.extend_from_slice(&self.inputs.data()[i * example_len..(i + 1) * example_len]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = self.inputs.dims().to_vec();
+        dims[0] = indices.len();
+        Dataset { inputs: Tensor::from_vec(data, dims), labels, classes: self.classes }
+    }
+
+    /// Shuffles and splits into `(train, test)` with `train_fraction` of the
+    /// examples in the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is not in `(0, 1)`.
+    pub fn split<R: Rng + ?Sized>(&self, train_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        (self.subset(&indices[..cut]), self.subset(&indices[cut..]))
+    }
+
+    /// Shuffles and partitions into `k` folds; returns, for each fold, the
+    /// `(train, validation)` pair where the fold is held out — standard
+    /// k-fold cross-validation, used to pick golden-run hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > self.len()`.
+    pub fn k_folds<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "k-fold needs at least 2 folds");
+        assert!(k <= self.len(), "more folds than examples");
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+
+        let base = self.len() / k;
+        let extra = self.len() % k;
+        let mut folds: Vec<&[usize]> = Vec::with_capacity(k);
+        let mut start = 0;
+        for f in 0..k {
+            let len = base + usize::from(f < extra);
+            folds.push(&indices[start..start + len]);
+            start += len;
+        }
+
+        (0..k)
+            .map(|held_out| {
+                let val = self.subset(folds[held_out]);
+                let train_idx: Vec<usize> = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|(f, _)| *f != held_out)
+                    .flat_map(|(_, idx)| idx.iter().copied())
+                    .collect();
+                (self.subset(&train_idx), val)
+            })
+            .collect()
+    }
+
+    /// Standardises each input feature to zero mean and unit variance
+    /// (computed over this dataset), returning the normalised dataset and
+    /// the `(mean, std)` tensors needed to apply the same transform to other
+    /// data.
+    pub fn standardize(&self) -> (Dataset, Tensor, Tensor) {
+        let n = self.len();
+        let example_len = self.inputs.len() / n.max(1);
+        let flat = self.inputs.reshape([n, example_len]);
+        let mean = flat.mean_axis0();
+        let centred = Tensor::from_fn([n, example_len], |i| {
+            flat.at(&[i[0], i[1]]) - mean.data()[i[1]]
+        });
+        let var = centred.map(|x| x * x).mean_axis0();
+        let std = var.map(|v| v.sqrt().max(1e-6));
+        let normed = Tensor::from_fn([n, example_len], |i| {
+            centred.at(&[i[0], i[1]]) / std.data()[i[1]]
+        })
+        .reshape(self.inputs.dims().to_vec());
+        (Dataset { inputs: normed, labels: self.labels.clone(), classes: self.classes }, mean, std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Tensor::from_fn([10, 3], |i| (i[0] * 3 + i[1]) as f32),
+            (0..10).map(|i| i % 2).collect(),
+            2,
+        )
+    }
+
+    #[test]
+    fn construction_validates() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.classes(), 2);
+        assert_eq!(d.class_counts(), vec![5, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_rejected() {
+        Dataset::new(Tensor::zeros([2, 2]), vec![0, 5], 2);
+    }
+
+    #[test]
+    fn subset_copies_rows() {
+        let d = toy();
+        let s = d.subset(&[1, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.inputs().row(0), d.inputs().row(1));
+        assert_eq!(s.labels(), &[1, 1]);
+    }
+
+    #[test]
+    fn split_partitions_all_examples() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (tr, te) = d.split(0.7, &mut rng);
+        assert_eq!(tr.len() + te.len(), d.len());
+        assert_eq!(tr.len(), 7);
+    }
+
+    #[test]
+    fn k_folds_partition_without_overlap() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(4);
+        let folds = d.k_folds(3, &mut rng);
+        assert_eq!(folds.len(), 3);
+        // Validation sizes: 10 = 4 + 3 + 3.
+        let sizes: Vec<usize> = folds.iter().map(|(_, v)| v.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(*sizes.iter().max().unwrap(), 4);
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), d.len());
+            // No example appears in both splits: compare row contents.
+            for i in 0..val.len() {
+                let vr = val.inputs().row(i);
+                for j in 0..train.len() {
+                    assert_ne!(vr, train.inputs().row(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than examples")]
+    fn too_many_folds_rejected() {
+        let d = toy();
+        d.k_folds(11, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn standardize_gives_zero_mean_unit_var() {
+        let d = toy();
+        let (s, _, _) = d.standardize();
+        let flat = s.inputs().reshape([10, 3]);
+        let mean = flat.mean_axis0();
+        for &m in mean.data() {
+            assert!(m.abs() < 1e-5);
+        }
+        let var = flat.map(|x| x * x).mean_axis0();
+        for &v in var.data() {
+            assert!((v - 1.0).abs() < 1e-4, "var {v}");
+        }
+    }
+
+    #[test]
+    fn standardize_returns_transform_params() {
+        let d = toy();
+        let (_, mean, std) = d.standardize();
+        assert_eq!(mean.dims(), &[3]);
+        assert_eq!(std.dims(), &[3]);
+        assert!(std.data().iter().all(|&s| s > 0.0));
+    }
+}

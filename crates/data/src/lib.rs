@@ -1,0 +1,39 @@
+//! # bdlfi-data
+//!
+//! Dataset substrate for the BDLFI reproduction ("Towards a Bayesian
+//! Approach for Assessing Fault Tolerance of Deep Neural Networks",
+//! DSN 2019).
+//!
+//! Provides the workloads the two evaluated networks train on:
+//!
+//! * [`gaussian_blobs`] / [`two_moons`] / [`spirals`] — 2-D synthetic classification tasks (Gaussian blobs,
+//!   moons, spirals) for the paper's MLP and its decision-boundary analysis
+//!   (Fig. 1 ③, Fig. 2);
+//! * [`synth_cifar`] — a procedural CIFAR-10 substitute for the ResNet-18
+//!   experiments (Fig. 3, Fig. 4); see DESIGN.md §4 for the substitution
+//!   rationale;
+//! * [`Dataset`] — splitting, subsetting and standardisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use bdlfi_data::{gaussian_blobs, Dataset};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = gaussian_blobs(100, 3, 0.5, &mut rng);
+//! let (train, test) = data.split(0.8, &mut rng);
+//! assert_eq!(train.len() + test.len(), 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod dataset;
+mod synth2d;
+mod synthcifar;
+
+pub use augment::{augment_batch, augment_dataset, AugmentConfig};
+pub use dataset::Dataset;
+pub use synth2d::{gaussian_blobs, spirals, two_moons};
+pub use synthcifar::{synth_cifar, SynthCifarConfig};

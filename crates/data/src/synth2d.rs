@@ -1,0 +1,165 @@
+//! 2-D synthetic classification tasks for the paper's MLP experiments.
+//!
+//! The paper's Fig. 1 ③ plots fault-induced error probability over a 2-D
+//! input space against the original classification boundary; these
+//! generators produce exactly such spaces. Class overlap is tunable so the
+//! golden-run error can be placed in the paper's ~5 % band (Fig. 2).
+
+use crate::dataset::Dataset;
+use bdlfi_tensor::init::standard_normal;
+use bdlfi_tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Isotropic Gaussian blobs with class centres evenly spaced on a circle.
+///
+/// `spread` is the per-class standard deviation; larger values overlap the
+/// classes and raise the achievable (golden) error.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `classes == 0` or `spread <= 0`.
+pub fn gaussian_blobs<R: Rng + ?Sized>(
+    n: usize,
+    classes: usize,
+    spread: f32,
+    rng: &mut R,
+) -> Dataset {
+    assert!(n > 0 && classes > 0, "gaussian_blobs requires n > 0 and classes > 0");
+    assert!(spread > 0.0, "spread must be positive");
+    let radius = 3.0f32;
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        let angle = 2.0 * std::f32::consts::PI * class as f32 / classes as f32;
+        data.push(radius * angle.cos() + spread * standard_normal(rng));
+        data.push(radius * angle.sin() + spread * standard_normal(rng));
+        labels.push(class);
+    }
+    Dataset::new(Tensor::from_vec(data, [n, 2]), labels, classes)
+}
+
+/// The classic "two moons" task: two interleaved half-circles with additive
+/// Gaussian noise.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `noise < 0`.
+pub fn two_moons<R: Rng + ?Sized>(n: usize, noise: f32, rng: &mut R) -> Dataset {
+    assert!(n > 0, "two_moons requires n > 0");
+    assert!(noise >= 0.0, "noise must be non-negative");
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let t = std::f32::consts::PI * rng.random::<f32>();
+        let (x, y) = if class == 0 {
+            (t.cos(), t.sin())
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin())
+        };
+        data.push(x + noise * standard_normal(rng));
+        data.push(y + noise * standard_normal(rng));
+        labels.push(class);
+    }
+    Dataset::new(Tensor::from_vec(data, [n, 2]), labels, 2)
+}
+
+/// Interleaved Archimedean spirals, one arm per class — a task whose
+/// decision boundary is long and curved, stressing the Fig. 1 ③
+/// boundary-proximity analysis.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `classes == 0` or `noise < 0`.
+pub fn spirals<R: Rng + ?Sized>(n: usize, classes: usize, noise: f32, rng: &mut R) -> Dataset {
+    assert!(n > 0 && classes > 0, "spirals requires n > 0 and classes > 0");
+    assert!(noise >= 0.0, "noise must be non-negative");
+    let mut data = Vec::with_capacity(n * 2);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        let t: f32 = rng.random::<f32>();
+        let r = 0.3 + 2.7 * t;
+        let angle =
+            1.75 * t * 2.0 * std::f32::consts::PI + 2.0 * std::f32::consts::PI * class as f32 / classes as f32;
+        data.push(r * angle.cos() + noise * standard_normal(rng));
+        data.push(r * angle.sin() + noise * standard_normal(rng));
+        labels.push(class);
+    }
+    Dataset::new(Tensor::from_vec(data, [n, 2]), labels, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blobs_have_balanced_classes_and_distinct_centres() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = gaussian_blobs(300, 3, 0.3, &mut rng);
+        assert_eq!(d.class_counts(), vec![100, 100, 100]);
+
+        // Per-class means should be near the circle of radius 3.
+        for class in 0..3 {
+            let idx: Vec<usize> =
+                (0..300).filter(|&i| d.labels()[i] == class).collect();
+            let sub = d.subset(&idx);
+            let mean = sub.inputs().mean_axis0();
+            let r = (mean.data()[0].powi(2) + mean.data()[1].powi(2)).sqrt();
+            assert!((r - 3.0).abs() < 0.3, "class {class} radius {r}");
+        }
+    }
+
+    #[test]
+    fn blob_spread_controls_overlap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tight = gaussian_blobs(500, 2, 0.1, &mut rng);
+        let loose = gaussian_blobs(500, 2, 3.0, &mut rng);
+        // Nearest-centroid error is ~0 for tight, substantial for loose.
+        let err = |d: &Dataset| {
+            let mut wrong = 0;
+            for i in 0..d.len() {
+                let x = d.inputs().row(i);
+                let d0 = (x[0] - 3.0).powi(2) + x[1].powi(2);
+                let d1 = (x[0] + 3.0).powi(2) + x[1].powi(2);
+                let pred = usize::from(d1 < d0);
+                if pred != d.labels()[i] {
+                    wrong += 1;
+                }
+            }
+            wrong as f64 / d.len() as f64
+        };
+        assert!(err(&tight) < 0.01);
+        assert!(err(&loose) > 0.1);
+    }
+
+    #[test]
+    fn moons_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = two_moons(200, 0.05, &mut rng);
+        assert_eq!(d.classes(), 2);
+        assert!(d.inputs().max() < 3.0);
+        assert!(d.inputs().min() > -3.0);
+    }
+
+    #[test]
+    fn spirals_fill_an_annulus() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = spirals(400, 2, 0.0, &mut rng);
+        for i in 0..d.len() {
+            let x = d.inputs().row(i);
+            let r = (x[0] * x[0] + x[1] * x[1]).sqrt();
+            assert!((0.29..=3.01).contains(&r), "radius {r}");
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let a = gaussian_blobs(50, 3, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = gaussian_blobs(50, 3, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,189 @@
+//! Procedural CIFAR-10 substitute ("synth-CIFAR") for the ResNet-18
+//! experiments.
+//!
+//! The paper trains ResNet-18 on CIFAR-10. That dataset is not available in
+//! this environment, so we substitute a *procedural* 10-class RGB image
+//! distribution (see DESIGN.md §4): each class is a distinct oriented
+//! sinusoidal texture with a class-specific colour phase, randomised per
+//! image by phase jitter and additive Gaussian pixel noise. The task
+//! exercises the identical code paths (conv stacks, batch-norm statistics,
+//! softmax margins) and its hardness — hence the golden-run error band of
+//! the paper's Fig. 4 — is tunable through `noise`.
+
+use crate::dataset::Dataset;
+use bdlfi_tensor::init::standard_normal;
+use bdlfi_tensor::Tensor;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`synth_cifar`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthCifarConfig {
+    /// Number of classes (CIFAR-10 uses 10).
+    pub classes: usize,
+    /// Square image edge length in pixels (CIFAR uses 32).
+    pub image_size: usize,
+    /// Standard deviation of additive pixel noise; 0 makes the task nearly
+    /// deterministic, larger values push the achievable error up.
+    pub noise: f32,
+    /// Random per-image phase jitter amplitude in radians.
+    pub phase_jitter: f32,
+    /// Fraction of labels replaced by a uniformly random *different*
+    /// class. This pins the achievable (golden) classification error to
+    /// roughly `label_noise`, emulating the irreducible hardness of
+    /// CIFAR-10 for the paper's ResNet-18 (whose golden error is ≈30 %,
+    /// Fig. 4) without needing the photographic dataset.
+    pub label_noise: f32,
+}
+
+impl Default for SynthCifarConfig {
+    /// CIFAR-like defaults: 10 classes, 32×32 RGB, moderate noise, no
+    /// label noise.
+    fn default() -> Self {
+        SynthCifarConfig {
+            classes: 10,
+            image_size: 32,
+            noise: 0.6,
+            phase_jitter: 1.0,
+            label_noise: 0.0,
+        }
+    }
+}
+
+/// Per-class texture parameters, deterministic in the class index.
+fn class_signature(class: usize, classes: usize) -> (f32, f32, [f32; 3]) {
+    // Spread spatial frequencies over [1, 4] cycles and orientations over a
+    // half turn; colour phases rotate around the hue circle.
+    let t = class as f32 / classes as f32;
+    let cycles = 1.0 + 3.0 * t;
+    let orientation = std::f32::consts::PI * t;
+    let colour = [
+        2.0 * std::f32::consts::PI * t,
+        2.0 * std::f32::consts::PI * t + 2.0,
+        2.0 * std::f32::consts::PI * t + 4.0,
+    ];
+    (cycles, orientation, colour)
+}
+
+/// Generates `n` labelled synth-CIFAR images of shape
+/// `(n, 3, image_size, image_size)` with values roughly in `[-1, 1]`.
+///
+/// Classes are assigned round-robin so splits stay balanced.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or any config field is zero/negative where it must
+/// not be.
+pub fn synth_cifar<R: Rng + ?Sized>(n: usize, cfg: SynthCifarConfig, rng: &mut R) -> Dataset {
+    assert!(n > 0, "synth_cifar requires n > 0");
+    assert!(cfg.classes > 0, "classes must be positive");
+    assert!(cfg.image_size > 0, "image_size must be positive");
+    assert!(cfg.noise >= 0.0, "noise must be non-negative");
+    assert!(cfg.phase_jitter >= 0.0, "phase_jitter must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&cfg.label_noise),
+        "label_noise must be in [0, 1]"
+    );
+
+    let s = cfg.image_size;
+    let plane = s * s;
+    let mut data = Vec::with_capacity(n * 3 * plane);
+    let mut labels = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let class = i % cfg.classes;
+        let (cycles, orientation, colour) = class_signature(class, cfg.classes);
+        let jitter = cfg.phase_jitter * (rng.random::<f32>() - 0.5) * 2.0;
+        let (dy, dx) = (orientation.sin(), orientation.cos());
+        let freq = 2.0 * std::f32::consts::PI * cycles / s as f32;
+
+        for ch in 0..3 {
+            let phase = colour[ch] + jitter;
+            for y in 0..s {
+                for x in 0..s {
+                    let carrier = (freq * (dx * x as f32 + dy * y as f32) + phase).sin();
+                    let value = 0.7 * carrier + cfg.noise * standard_normal(rng);
+                    data.push(value.clamp(-2.0, 2.0));
+                }
+            }
+        }
+        // Label noise: replace by a uniformly random different class.
+        let label = if cfg.label_noise > 0.0
+            && cfg.classes > 1
+            && rng.random::<f32>() < cfg.label_noise
+        {
+            let offset = rng.random_range(1..cfg.classes);
+            (class + offset) % cfg.classes
+        } else {
+            class
+        };
+        labels.push(label);
+    }
+    Dataset::new(Tensor::from_vec(data, [n, 3, s, s]), labels, cfg.classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_balance() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = SynthCifarConfig { classes: 10, image_size: 16, noise: 0.3, phase_jitter: 0.5, label_noise: 0.0 };
+        let d = synth_cifar(50, cfg, &mut rng);
+        assert_eq!(d.inputs().dims(), &[50, 3, 16, 16]);
+        assert_eq!(d.class_counts(), vec![5; 10]);
+        assert!(d.inputs().max() <= 2.0 && d.inputs().min() >= -2.0);
+    }
+
+    #[test]
+    fn class_signatures_are_distinct() {
+        let sigs: Vec<_> = (0..10).map(|c| class_signature(c, 10)).collect();
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert!(
+                    (sigs[i].0 - sigs[j].0).abs() > 1e-3 || (sigs[i].1 - sigs[j].1).abs() > 1e-3,
+                    "classes {i} and {j} share a signature"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noiseless_images_of_same_class_correlate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SynthCifarConfig { classes: 2, image_size: 8, noise: 0.0, phase_jitter: 0.0, label_noise: 0.0 };
+        let d = synth_cifar(4, cfg, &mut rng);
+        let len = 3 * 8 * 8;
+        let img = |i: usize| &d.inputs().data()[i * len..(i + 1) * len];
+        // Same class (0 and 2) identical without jitter/noise; different
+        // class (0 and 1) differ.
+        assert_eq!(img(0), img(2));
+        assert_ne!(img(0), img(1));
+    }
+
+    #[test]
+    fn noise_increases_within_class_variance() {
+        let cfg_clean = SynthCifarConfig { classes: 2, image_size: 8, noise: 0.0, phase_jitter: 0.0, label_noise: 0.0 };
+        let cfg_noisy = SynthCifarConfig { noise: 1.0, ..cfg_clean };
+        let clean = synth_cifar(10, cfg_clean, &mut StdRng::seed_from_u64(2));
+        let noisy = synth_cifar(10, cfg_noisy, &mut StdRng::seed_from_u64(2));
+        let len = 3 * 8 * 8;
+        let dist = |d: &Dataset| {
+            let a = &d.inputs().data()[0..len];
+            let b = &d.inputs().data()[2 * len..3 * len];
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>()
+        };
+        assert!(dist(&noisy) > dist(&clean) + 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SynthCifarConfig::default();
+        let a = synth_cifar(6, cfg, &mut StdRng::seed_from_u64(3));
+        let b = synth_cifar(6, cfg, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+}

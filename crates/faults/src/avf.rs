@@ -1,0 +1,225 @@
+//! Architectural vulnerability factor (AVF) modelling.
+//!
+//! The paper derives the per-bit flip probability `p` from the memory's AVF:
+//! `p` is the probability that a raw transient upset both occurs and
+//! matters. [`AvfModel`] captures the standard decomposition
+//! `p = raw_ber × avf`, and [`PerBitAvf`] generalises it to position-
+//! dependent vulnerability (exponent bits of a float are architecturally
+//! more critical than low mantissa bits — the E7 ablation measures exactly
+//! this).
+
+use crate::bits::WORD_BITS;
+use crate::mask::FaultMask;
+use crate::model::{BernoulliBitFlip, FaultModel};
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Uniform AVF: one flip probability for every bit position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvfModel {
+    /// Raw bit error rate of the memory technology (per bit, per program
+    /// execution).
+    pub raw_ber: f64,
+    /// Architectural vulnerability factor in `[0, 1]`.
+    pub avf: f64,
+}
+
+impl AvfModel {
+    /// Creates an AVF model.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `raw_ber` and `avf` are in `[0, 1]`.
+    pub fn new(raw_ber: f64, avf: f64) -> Self {
+        assert!((0.0..=1.0).contains(&raw_ber), "raw_ber must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&avf), "avf must be in [0, 1]");
+        AvfModel { raw_ber, avf }
+    }
+
+    /// The effective per-bit flip probability `p = raw_ber × avf` — the `p`
+    /// of the paper's Bernoulli fault model.
+    pub fn flip_probability(&self) -> f64 {
+        self.raw_ber * self.avf
+    }
+
+    /// The Bernoulli fault model induced by this AVF.
+    pub fn to_fault_model(self) -> BernoulliBitFlip {
+        BernoulliBitFlip::new(self.flip_probability())
+    }
+}
+
+/// Position-dependent AVF: an independent flip probability per bit
+/// position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerBitAvf {
+    probs: [f64; WORD_BITS as usize],
+}
+
+impl PerBitAvf {
+    /// Creates a per-bit model from 32 probabilities (index 0 = mantissa
+    /// LSB, 31 = sign).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn new(probs: [f64; WORD_BITS as usize]) -> Self {
+        assert!(
+            probs.iter().all(|p| (0.0..=1.0).contains(p)),
+            "all per-bit probabilities must be in [0, 1]"
+        );
+        PerBitAvf { probs }
+    }
+
+    /// Uniform per-bit probability (equivalent to [`AvfModel`]).
+    pub fn uniform(p: f64) -> Self {
+        Self::new([p; WORD_BITS as usize])
+    }
+
+    /// The flip probability of a bit position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn prob(&self, bit: u8) -> f64 {
+        self.probs[bit as usize]
+    }
+}
+
+impl FaultModel for PerBitAvf {
+    fn sample_mask(&self, len: usize, rng: &mut dyn Rng) -> FaultMask {
+        let mut entries = Vec::new();
+        for (bit, &p) in self.probs.iter().enumerate() {
+            if p <= 0.0 {
+                continue;
+            }
+            if p >= 1.0 {
+                for elem in 0..len {
+                    entries.push((elem, 1u32 << bit));
+                }
+                continue;
+            }
+            // Geometric skipping across elements for this bit position.
+            let log1m = (1.0 - p).ln();
+            let mut pos = 0usize;
+            loop {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let gap = (u.ln() / log1m).floor() as usize;
+                pos = match pos.checked_add(gap) {
+                    Some(q) if q < len => q,
+                    _ => break,
+                };
+                entries.push((pos, 1u32 << bit));
+                pos += 1;
+                if pos >= len {
+                    break;
+                }
+            }
+        }
+        FaultMask::from_entries(entries)
+    }
+
+    fn log_prob(&self, mask: &FaultMask, len: usize) -> Option<f64> {
+        // Product over (elem, bit) pairs.
+        let mut flipped = vec![0u32; len];
+        for &(elem, pattern) in mask.entries() {
+            if elem >= len {
+                return Some(f64::NEG_INFINITY);
+            }
+            flipped[elem] = pattern;
+        }
+        let mut lp = 0.0f64;
+        for bit in 0..WORD_BITS {
+            let p = self.probs[bit as usize];
+            let k = flipped
+                .iter()
+                .filter(|&&pattern| pattern & (1 << bit) != 0)
+                .count() as f64;
+            let n = len as f64;
+            if p == 0.0 {
+                if k > 0.0 {
+                    return Some(f64::NEG_INFINITY);
+                }
+            } else if p == 1.0 {
+                if k < n {
+                    return Some(f64::NEG_INFINITY);
+                }
+            } else {
+                lp += k * p.ln() + (n - k) * (1.0 - p).ln();
+            }
+        }
+        Some(lp)
+    }
+
+    fn expected_flips(&self, len: usize) -> f64 {
+        self.probs.iter().sum::<f64>() * len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn avf_scales_raw_ber() {
+        let m = AvfModel::new(1e-3, 0.2);
+        assert!((m.flip_probability() - 2e-4).abs() < 1e-12);
+        let fm = m.to_fault_model();
+        assert!((fm.p - 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "avf must be in")]
+    fn avf_out_of_range_rejected() {
+        AvfModel::new(0.1, 1.5);
+    }
+
+    #[test]
+    fn per_bit_uniform_matches_bernoulli_expectation() {
+        let per_bit = PerBitAvf::uniform(0.01);
+        let bern = BernoulliBitFlip::new(0.01);
+        assert!((per_bit.expected_flips(100) - bern.expected_flips(100)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_bit_only_flips_enabled_positions() {
+        let mut probs = [0.0f64; 32];
+        probs[31] = 0.5; // sign only
+        let model = PerBitAvf::new(probs);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mask = model.sample_mask(200, &mut rng);
+        assert!(!mask.is_empty());
+        for &(_, pattern) in mask.entries() {
+            assert_eq!(pattern & !(1 << 31), 0);
+        }
+    }
+
+    #[test]
+    fn per_bit_log_prob_uniform_matches_bernoulli() {
+        let per_bit = PerBitAvf::uniform(0.05);
+        let bern = BernoulliBitFlip::new(0.05);
+        let mask = FaultMask::from_entries(vec![(0, 0b101), (3, 1 << 30)]);
+        let a = per_bit.log_prob(&mask, 5).unwrap();
+        let b = bern.log_prob(&mask, 5).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn per_bit_sampling_respects_relative_rates() {
+        let mut probs = [0.0f64; 32];
+        probs[0] = 0.02;
+        probs[1] = 0.002;
+        let model = PerBitAvf::new(probs);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut c0, mut c1) = (0u32, 0u32);
+        for _ in 0..200 {
+            let m = model.sample_mask(100, &mut rng);
+            for &(_, pattern) in m.entries() {
+                c0 += pattern & 1;
+                c1 += (pattern >> 1) & 1;
+            }
+        }
+        assert!(c0 > 4 * c1, "bit0 {c0} vs bit1 {c1}");
+    }
+}

@@ -1,0 +1,187 @@
+//! IEEE-754 single-precision bit manipulation.
+//!
+//! The paper's fault model operates on the 32-bit float representation of
+//! every stored value: "All network parameters, inputs, and outputs are
+//! encoded as 32-bit floating point numbers" and faults are "bitwise-XOR
+//! operations with flipped bits". Bit numbering here is LSB-first:
+//! bits 0–22 are the mantissa, 23–30 the exponent, 31 the sign.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bits in the injected representation (IEEE-754 binary32).
+pub const WORD_BITS: u8 = 32;
+
+/// Index of the sign bit.
+pub const SIGN_BIT: u8 = 31;
+
+/// Flips one bit of a float's binary32 representation.
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+///
+/// # Examples
+///
+/// ```
+/// use bdlfi_faults::bits::flip_bit;
+/// // Flipping the sign bit negates.
+/// assert_eq!(flip_bit(1.5, 31), -1.5);
+/// // Flipping twice restores (XOR involution).
+/// assert_eq!(flip_bit(flip_bit(0.1, 7), 7), 0.1);
+/// ```
+pub fn flip_bit(x: f32, bit: u8) -> f32 {
+    assert!(bit < WORD_BITS, "bit index {bit} out of range");
+    f32::from_bits(x.to_bits() ^ (1u32 << bit))
+}
+
+/// XORs a full 32-bit mask into a float's representation.
+pub fn xor_bits(x: f32, mask: u32) -> f32 {
+    f32::from_bits(x.to_bits() ^ mask)
+}
+
+/// A contiguous range of injectable bit positions `[lo, hi)`.
+///
+/// Used to restrict fault models to architecturally interesting fields
+/// (sign / exponent / mantissa) for the bit-position ablation (EXPERIMENTS
+/// E7); the paper's base model uses [`BitRange::all`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitRange {
+    lo: u8,
+    hi: u8,
+}
+
+impl BitRange {
+    /// All 32 bits — the paper's fault model.
+    pub fn all() -> Self {
+        BitRange { lo: 0, hi: 32 }
+    }
+
+    /// Only the sign bit.
+    pub fn sign() -> Self {
+        BitRange { lo: 31, hi: 32 }
+    }
+
+    /// The 8 exponent bits.
+    pub fn exponent() -> Self {
+        BitRange { lo: 23, hi: 31 }
+    }
+
+    /// The 23 mantissa bits.
+    pub fn mantissa() -> Self {
+        BitRange { lo: 0, hi: 23 }
+    }
+
+    /// A custom `[lo, hi)` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi <= 32`.
+    pub fn new(lo: u8, hi: u8) -> Self {
+        assert!(lo < hi && hi <= WORD_BITS, "invalid bit range [{lo}, {hi})");
+        BitRange { lo, hi }
+    }
+
+    /// Number of bits in the range.
+    pub fn len(&self) -> u8 {
+        self.hi - self.lo
+    }
+
+    /// Whether the range is empty (never true for constructed ranges).
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Whether `bit` falls in the range.
+    pub fn contains(&self, bit: u8) -> bool {
+        (self.lo..self.hi).contains(&bit)
+    }
+
+    /// The `i`-th bit position of the range (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn nth(&self, i: u8) -> u8 {
+        assert!(i < self.len(), "bit offset {i} out of range");
+        self.lo + i
+    }
+}
+
+impl Default for BitRange {
+    /// Defaults to all 32 bits, matching the paper.
+    fn default() -> Self {
+        BitRange::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sign_flip_negates() {
+        assert_eq!(flip_bit(2.5, SIGN_BIT), -2.5);
+        assert_eq!(flip_bit(-0.0, SIGN_BIT), 0.0);
+    }
+
+    #[test]
+    fn exponent_flip_scales_by_power_of_two() {
+        // Bit 23 is the exponent LSB: flipping it on 1.0 (exp=127) gives
+        // exp=126 -> 0.5.
+        assert_eq!(flip_bit(1.0, 23), 0.5);
+        // The top exponent bit turns 1.0 into a huge number.
+        assert!(flip_bit(1.0, 30) > 1e30);
+    }
+
+    #[test]
+    fn mantissa_flip_perturbs_slightly() {
+        let y = flip_bit(1.0, 0);
+        assert!(y != 1.0 && (y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_32_rejected() {
+        flip_bit(1.0, 32);
+    }
+
+    #[test]
+    fn ranges_partition_the_word() {
+        let (s, e, m) = (BitRange::sign(), BitRange::exponent(), BitRange::mantissa());
+        assert_eq!(s.len() + e.len() + m.len(), 32);
+        for bit in 0..32u8 {
+            let count = [s, e, m].iter().filter(|r| r.contains(bit)).count();
+            assert_eq!(count, 1, "bit {bit} in {count} fields");
+        }
+    }
+
+    #[test]
+    fn nth_enumerates_range() {
+        let e = BitRange::exponent();
+        let bits: Vec<u8> = (0..e.len()).map(|i| e.nth(i)).collect();
+        assert_eq!(bits, vec![23, 24, 25, 26, 27, 28, 29, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit range")]
+    fn backwards_range_rejected() {
+        BitRange::new(5, 5);
+    }
+
+    proptest! {
+        #[test]
+        fn flip_is_involution(x in proptest::num::f32::ANY, bit in 0u8..32) {
+            let y = flip_bit(flip_bit(x, bit), bit);
+            // Compare representations: NaN != NaN as floats.
+            prop_assert_eq!(y.to_bits(), x.to_bits());
+        }
+
+        #[test]
+        fn xor_composes(x in -1e10f32..1e10, a in proptest::num::u32::ANY, b in proptest::num::u32::ANY) {
+            let lhs = xor_bits(xor_bits(x, a), b);
+            let rhs = xor_bits(x, a ^ b);
+            prop_assert_eq!(lhs.to_bits(), rhs.to_bits());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Applying fault configurations to networks.
+//!
+//! A [`FaultConfig`] is one concrete joint fault outcome — a mask per
+//! parameter site (the MCMC state of BDLFI). Applying it XORs the masks
+//! into the weights; applying it again undoes the injection exactly, so a
+//! campaign never copies the golden weights.
+
+use crate::mask::FaultMask;
+use crate::model::FaultModel;
+use crate::site::{ParamSite, ResolvedSites};
+use bdlfi_nn::{Layer, Sequential};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One concrete joint fault configuration over a set of parameter sites.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultConfig {
+    // Keyed by parameter path. Empty masks are omitted.
+    masks: HashMap<String, FaultMask>,
+}
+
+impl FaultConfig {
+    /// The fault-free configuration.
+    pub fn clean() -> Self {
+        FaultConfig { masks: HashMap::new() }
+    }
+
+    /// Samples a configuration: one independent mask per parameter site.
+    pub fn sample(sites: &[ParamSite], model: &dyn FaultModel, rng: &mut dyn Rng) -> Self {
+        let mut masks = HashMap::new();
+        for site in sites {
+            let mask = model.sample_mask(site.len, rng);
+            if !mask.is_empty() {
+                masks.insert(site.path.clone(), mask);
+            }
+        }
+        FaultConfig { masks }
+    }
+
+    /// The mask for a parameter path (empty if none).
+    pub fn mask(&self, path: &str) -> FaultMask {
+        self.masks.get(path).cloned().unwrap_or_default()
+    }
+
+    /// Replaces the mask at `path` (removing it if empty).
+    pub fn set_mask(&mut self, path: &str, mask: FaultMask) {
+        if mask.is_empty() {
+            self.masks.remove(path);
+        } else {
+            self.masks.insert(path.to_string(), mask);
+        }
+    }
+
+    /// Total number of flipped bits across all sites.
+    pub fn total_flips(&self) -> u32 {
+        self.masks.values().map(FaultMask::bit_count).sum()
+    }
+
+    /// Whether no faults are present.
+    pub fn is_clean(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Paths with a non-empty mask, in unspecified order.
+    pub fn affected_paths(&self) -> Vec<&str> {
+        self.masks.keys().map(String::as_str).collect()
+    }
+
+    /// Joint log-probability of this configuration under a per-site fault
+    /// model, given the site list (sites without masks contribute their
+    /// no-fault probability).
+    ///
+    /// Returns `None` if the model defines no density.
+    pub fn log_prob(&self, sites: &[ParamSite], model: &dyn FaultModel) -> Option<f64> {
+        let mut total = 0.0f64;
+        for site in sites {
+            let mask = self.mask(&site.path);
+            total += model.log_prob(&mask, site.len)?;
+        }
+        Some(total)
+    }
+
+    /// XORs the configuration into the model's parameters. Calling it a
+    /// second time undoes the injection exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mask indexes beyond its parameter.
+    pub fn apply(&self, model: &mut Sequential) {
+        if self.masks.is_empty() {
+            return;
+        }
+        let masks = &self.masks;
+        model.visit_params_mut("", &mut |path, p| {
+            if let Some(mask) = masks.get(path) {
+                mask.apply(&mut p.value);
+            }
+        });
+    }
+
+    /// Runs `f` with the faults applied, guaranteeing the model is restored
+    /// afterwards (XOR involution), even though `f` may inspect the faulty
+    /// model freely.
+    pub fn with_applied<T>(&self, model: &mut Sequential, f: impl FnOnce(&mut Sequential) -> T) -> T {
+        self.apply(model);
+        let out = f(model);
+        self.apply(model);
+        out
+    }
+}
+
+/// Convenience: the total number of distinct `(element, bit)` positions a
+/// resolved site set exposes — the size of the paper's "enormous space of
+/// fault locations".
+pub fn injection_space_bits(sites: &ResolvedSites) -> u64 {
+    sites.total_param_elements() as u64 * u64::from(crate::bits::WORD_BITS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BernoulliBitFlip, SingleBitFlip};
+    use crate::site::{resolve_sites, SiteSpec};
+    use bdlfi_nn::mlp;
+    use bdlfi_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        mlp(2, &[4], 3, &mut rng)
+    }
+
+    #[test]
+    fn apply_twice_restores_weights() {
+        let mut m = model();
+        let sites = resolve_sites(&m, &SiteSpec::AllParams);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(0.05), &mut rng);
+        assert!(!cfg.is_clean());
+
+        let golden = bdlfi_nn::serialize::export_weights(&m);
+        cfg.apply(&mut m);
+        let faulty = bdlfi_nn::serialize::export_weights(&m);
+        assert_ne!(golden.params, faulty.params);
+        cfg.apply(&mut m);
+        let restored = bdlfi_nn::serialize::export_weights(&m);
+        assert_eq!(golden.params, restored.params);
+    }
+
+    #[test]
+    fn with_applied_restores_even_after_prediction() {
+        let mut m = model();
+        let sites = resolve_sites(&m, &SiteSpec::AllParams);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(0.1), &mut rng);
+        let x = Tensor::rand_normal([4, 2], 0.0, 1.0, &mut rng);
+
+        let clean = m.predict(&x);
+        let faulty = cfg.with_applied(&mut m, |m| m.predict(&x));
+        let clean_again = m.predict(&x);
+        let cb: Vec<u32> = clean.data().iter().map(|v| v.to_bits()).collect();
+        let ca: Vec<u32> = clean_again.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(cb, ca, "model not restored");
+        // With p = 0.1 over every parameter, outputs almost surely differ.
+        let fb: Vec<u32> = faulty.data().iter().map(|v| v.to_bits()).collect();
+        assert_ne!(cb, fb);
+    }
+
+    #[test]
+    fn sample_respects_sites() {
+        let m = model();
+        let sites = resolve_sites(&m, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(0.5), &mut rng);
+        for path in cfg.affected_paths() {
+            assert!(path.starts_with("fc1."), "unexpected path {path}");
+        }
+    }
+
+    #[test]
+    fn log_prob_sums_over_sites() {
+        let m = model();
+        let sites = resolve_sites(&m, &SiteSpec::AllParams);
+        let fm = BernoulliBitFlip::new(0.01);
+        let clean = FaultConfig::clean();
+        let lp_clean = clean.log_prob(&sites.params, &fm).unwrap();
+        // ln((1-p)^(total bits))
+        let total_bits = sites.total_param_elements() as f64 * 32.0;
+        assert!((lp_clean - total_bits * (0.99f64).ln()).abs() < 1e-6);
+
+        let mut one = FaultConfig::clean();
+        let mut mask = FaultMask::empty();
+        mask.push_bit(0, 4);
+        one.set_mask("fc1.weight", mask);
+        let lp_one = one.log_prob(&sites.params, &fm).unwrap();
+        assert!((lp_one - lp_clean - (0.01f64.ln() - 0.99f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_mask_with_empty_removes() {
+        let mut cfg = FaultConfig::clean();
+        let mut mask = FaultMask::empty();
+        mask.push_bit(2, 7);
+        cfg.set_mask("fc1.weight", mask.clone());
+        assert_eq!(cfg.total_flips(), 1);
+        cfg.set_mask("fc1.weight", FaultMask::empty());
+        assert!(cfg.is_clean());
+        assert_eq!(cfg.mask("fc1.weight"), FaultMask::empty());
+    }
+
+    #[test]
+    fn injection_space_is_32_bits_per_element() {
+        let m = model();
+        let sites = resolve_sites(&m, &SiteSpec::AllParams);
+        assert_eq!(
+            injection_space_bits(&sites),
+            (sites.total_param_elements() * 32) as u64
+        );
+    }
+
+    #[test]
+    fn single_bit_model_produces_single_flip_configs() {
+        let m = model();
+        // One site only, as the classical injectors do.
+        let sites = resolve_sites(&m, &SiteSpec::Params(vec!["fc1.weight".into()]));
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = FaultConfig::sample(&sites.params, &SingleBitFlip::new(), &mut rng);
+        assert_eq!(cfg.total_flips(), 1);
+    }
+}

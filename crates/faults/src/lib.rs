@@ -1,0 +1,57 @@
+//! # bdlfi-faults
+//!
+//! Fault-model substrate for the BDLFI reproduction ("Towards a Bayesian
+//! Approach for Assessing Fault Tolerance of Deep Neural Networks",
+//! DSN 2019).
+//!
+//! Implements the paper's fault model (Section II): transient faults in the
+//! memory holding network parameters, inputs, activations and outputs,
+//! modelled as independent per-bit Bernoulli flips over the IEEE-754
+//! binary32 representation, with the flip probability `p` derived from the
+//! architectural vulnerability factor (AVF). Injection is a bitwise XOR
+//! (`W′ = e ⊙ W`), so applying a configuration twice restores the golden
+//! weights exactly.
+//!
+//! * [`bits`] — IEEE-754 bit manipulation and injectable [`BitRange`]s;
+//! * [`FaultMask`] — sparse per-element XOR patterns;
+//! * [`FaultModel`] implementations: [`BernoulliBitFlip`] (the paper's
+//!   model), [`SingleBitFlip`] and [`ExactKBitFlips`] (classical baseline
+//!   models), [`PerBitAvf`] (position-dependent vulnerability);
+//! * [`AvfModel`] — `p = raw_ber × avf` decomposition;
+//! * [`SiteSpec`] / [`resolve_sites`] — addressing injection sites;
+//! * [`FaultConfig`] — a joint fault outcome (the MCMC state), applied and
+//!   undone by XOR;
+//! * [`StuckAtFault`] — permanent stuck-at-0/1 faults with exact
+//!   undo logs (the paper's "can be extended to other fault models").
+//!
+//! # Examples
+//!
+//! ```
+//! use bdlfi_faults::{BernoulliBitFlip, FaultConfig, resolve_sites, SiteSpec};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = bdlfi_nn::mlp(2, &[8], 2, &mut rng);
+//! let sites = resolve_sites(&model, &SiteSpec::AllParams);
+//! let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(0.001), &mut rng);
+//! let logits = cfg.with_applied(&mut model, |m| m.predict(&bdlfi_tensor::Tensor::zeros([1, 2])));
+//! assert_eq!(logits.dims(), &[1, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod avf;
+pub mod bits;
+mod inject;
+mod mask;
+mod model;
+mod site;
+mod stuck;
+
+pub use avf::{AvfModel, PerBitAvf};
+pub use bits::BitRange;
+pub use inject::{injection_space_bits, FaultConfig};
+pub use mask::FaultMask;
+pub use model::{BernoulliBitFlip, ExactKBitFlips, FaultModel, SingleBitFlip};
+pub use site::{resolve_sites, ParamSite, ResolvedSites, SiteSpec};
+pub use stuck::{StuckAtFault, StuckBit, StuckUndo};

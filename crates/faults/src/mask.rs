@@ -1,0 +1,200 @@
+//! Sparse XOR fault masks over tensors.
+//!
+//! A [`FaultMask`] records, per affected element, the 32-bit XOR pattern to
+//! apply — the `e` of the paper's `W′ = e ⊙ W`. Masks are sparse because at
+//! realistic flip probabilities only a tiny fraction of elements is hit.
+
+use bdlfi_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A sparse set of per-element XOR patterns for a tensor of known length.
+///
+/// Applying a mask twice restores the original tensor (XOR involution),
+/// which is how injections are undone without copying weights.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultMask {
+    // Sorted by element index; at most one entry per element.
+    entries: Vec<(usize, u32)>,
+}
+
+impl FaultMask {
+    /// The empty mask (no faults).
+    pub fn empty() -> Self {
+        FaultMask { entries: Vec::new() }
+    }
+
+    /// Builds a mask from `(element_index, xor_pattern)` pairs.
+    ///
+    /// Duplicate element indices are combined by XOR; zero patterns are
+    /// dropped.
+    pub fn from_entries(mut entries: Vec<(usize, u32)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, u32)> = Vec::with_capacity(entries.len());
+        for (i, m) in entries {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => *acc ^= m,
+                _ => merged.push((i, m)),
+            }
+        }
+        merged.retain(|&(_, m)| m != 0);
+        FaultMask { entries: merged }
+    }
+
+    /// Adds a single-bit flip at `(element, bit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn push_bit(&mut self, element: usize, bit: u8) {
+        assert!(bit < 32, "bit index {bit} out of range");
+        *self = FaultMask::from_entries(
+            self.entries
+                .iter()
+                .copied()
+                .chain(std::iter::once((element, 1u32 << bit)))
+                .collect(),
+        );
+    }
+
+    /// Whether the mask flips nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of affected elements.
+    pub fn affected_elements(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of flipped bits.
+    pub fn bit_count(&self) -> u32 {
+        self.entries.iter().map(|&(_, m)| m.count_ones()).sum()
+    }
+
+    /// The `(element, pattern)` entries, sorted by element.
+    pub fn entries(&self) -> &[(usize, u32)] {
+        &self.entries
+    }
+
+    /// Applies the mask to a tensor in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry indexes beyond the tensor.
+    pub fn apply(&self, tensor: &mut Tensor) {
+        let data = tensor.data_mut();
+        for &(i, m) in &self.entries {
+            data[i] = f32::from_bits(data[i].to_bits() ^ m);
+        }
+    }
+
+    /// Applies the mask directly to a mutable slice (for activations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry indexes beyond the slice.
+    pub fn apply_slice(&self, data: &mut [f32]) {
+        for &(i, m) in &self.entries {
+            data[i] = f32::from_bits(data[i].to_bits() ^ m);
+        }
+    }
+
+    /// XOR-composes two masks: the result of applying both.
+    pub fn merged(&self, other: &FaultMask) -> FaultMask {
+        FaultMask::from_entries(
+            self.entries.iter().chain(other.entries.iter()).copied().collect(),
+        )
+    }
+
+    /// Hamming distance in injected-bit space between two masks — used as
+    /// the proposal step size in MCMC moves over fault configurations.
+    pub fn hamming_distance(&self, other: &FaultMask) -> u32 {
+        self.merged(other).bit_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn duplicate_entries_merge_by_xor() {
+        let m = FaultMask::from_entries(vec![(3, 0b01), (3, 0b11), (1, 0b100)]);
+        assert_eq!(m.entries(), &[(1, 0b100), (3, 0b10)]);
+        assert_eq!(m.bit_count(), 2);
+    }
+
+    #[test]
+    fn self_cancelling_entries_vanish() {
+        let m = FaultMask::from_entries(vec![(5, 0xFF), (5, 0xFF)]);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn apply_is_involution() {
+        let mut t = Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], [4]);
+        let orig = t.clone();
+        let m = FaultMask::from_entries(vec![(0, 1 << 31), (2, 1 << 23), (3, 0b1010)]);
+        m.apply(&mut t);
+        assert!(!t.approx_eq(&orig, 0.0));
+        assert_eq!(t.data()[0], -1.0); // sign flip
+        m.apply(&mut t);
+        assert_eq!(t, orig);
+    }
+
+    #[test]
+    fn push_bit_accumulates() {
+        let mut m = FaultMask::empty();
+        m.push_bit(0, 3);
+        m.push_bit(0, 5);
+        m.push_bit(1, 0);
+        assert_eq!(m.entries(), &[(0, 0b101000), (1, 1)]);
+        // Pushing the same bit again cancels it.
+        m.push_bit(0, 3);
+        assert_eq!(m.entries(), &[(0, 0b100000), (1, 1)]);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_bits() {
+        let a = FaultMask::from_entries(vec![(0, 0b11)]);
+        let b = FaultMask::from_entries(vec![(0, 0b10), (1, 0b1)]);
+        // Differ in bit 0 of elem 0, and bit 0 of elem 1.
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn merged_apply_equals_sequential_apply(
+            e1 in proptest::collection::vec((0usize..8, proptest::num::u32::ANY), 0..6),
+            e2 in proptest::collection::vec((0usize..8, proptest::num::u32::ANY), 0..6),
+            vals in proptest::collection::vec(-100.0f32..100.0, 8),
+        ) {
+            let a = FaultMask::from_entries(e1);
+            let b = FaultMask::from_entries(e2);
+            let mut t1 = Tensor::from_vec(vals.clone(), [8]);
+            let mut t2 = Tensor::from_vec(vals, [8]);
+            a.apply(&mut t1);
+            b.apply(&mut t1);
+            a.merged(&b).apply(&mut t2);
+            let bits1: Vec<u32> = t1.data().iter().map(|x| x.to_bits()).collect();
+            let bits2: Vec<u32> = t2.data().iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(bits1, bits2);
+        }
+
+        #[test]
+        fn involution_holds_for_arbitrary_masks(
+            entries in proptest::collection::vec((0usize..16, proptest::num::u32::ANY), 0..10),
+            vals in proptest::collection::vec(proptest::num::f32::ANY, 16),
+        ) {
+            let m = FaultMask::from_entries(entries);
+            let orig: Vec<u32> = vals.iter().map(|x| x.to_bits()).collect();
+            let mut t = Tensor::from_vec(vals, [16]);
+            m.apply(&mut t);
+            m.apply(&mut t);
+            let back: Vec<u32> = t.data().iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(back, orig);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Fault models: distributions over [`FaultMask`]s.
+//!
+//! The paper's model treats every bit of every stored 32-bit value as an
+//! independent Bernoulli random variable with probability `p` derived from
+//! the per-bit architectural vulnerability factor (AVF); "we do not make any
+//! assumptions about the number of bits in error; this is determined by
+//! `p`". [`BernoulliBitFlip`] is that model. [`SingleBitFlip`] and
+//! [`ExactKBitFlips`] are the classical fault models used by traditional
+//! injectors (TensorFI-style), needed for the baseline comparison.
+
+use crate::bits::BitRange;
+use crate::mask::FaultMask;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A distribution over fault masks for a tensor of `len` elements.
+///
+/// Object-safe so campaigns can hold heterogeneous models.
+pub trait FaultModel: Send + Sync {
+    /// Samples a fault mask for a tensor with `len` elements.
+    fn sample_mask(&self, len: usize, rng: &mut dyn Rng) -> FaultMask;
+
+    /// Log-probability of a given mask under this model, if the model
+    /// defines a product-form density (used as the MCMC target); `None` for
+    /// models without one.
+    fn log_prob(&self, mask: &FaultMask, len: usize) -> Option<f64>;
+
+    /// Expected number of flipped bits for a tensor of `len` elements.
+    fn expected_flips(&self, len: usize) -> f64;
+
+    /// A rare-event *proposal* version of this model with the fault rate
+    /// inflated by `factor` (used by tilted-prior importance sampling);
+    /// `None` if the model does not support tilting.
+    fn tilted(&self, factor: f64) -> Option<Box<dyn FaultModel>> {
+        let _ = factor;
+        None
+    }
+}
+
+/// The paper's fault model: every bit in `bits` of every element flips
+/// independently with probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BernoulliBitFlip {
+    /// Per-bit flip probability (the AVF-derived `p`).
+    pub p: f64,
+    /// The injectable bit positions (the paper uses all 32).
+    pub bits: BitRange,
+}
+
+impl BernoulliBitFlip {
+    /// Creates the model over all 32 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        Self::with_bits(p, BitRange::all())
+    }
+
+    /// Creates the model restricted to a bit field (sign/exponent/mantissa
+    /// ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p <= 1`.
+    pub fn with_bits(p: f64, bits: BitRange) -> Self {
+        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+        BernoulliBitFlip { p, bits }
+    }
+}
+
+impl FaultModel for BernoulliBitFlip {
+    fn sample_mask(&self, len: usize, rng: &mut dyn Rng) -> FaultMask {
+        if self.p <= 0.0 || len == 0 {
+            return FaultMask::empty();
+        }
+        let nbits = self.bits.len() as usize;
+        let total = len * nbits;
+        let mut entries: Vec<(usize, u32)> = Vec::new();
+
+        if self.p >= 1.0 {
+            // Every bit in range flips.
+            let pattern = (0..self.bits.len()).fold(0u32, |acc, i| acc | (1 << self.bits.nth(i)));
+            for i in 0..len {
+                entries.push((i, pattern));
+            }
+            return FaultMask::from_entries(entries);
+        }
+
+        // Geometric skipping: iterate over flipped bit positions directly so
+        // the cost is O(expected flips), not O(len * 32). The gap between
+        // successive flips is Geometric(p).
+        let log1m = (1.0 - self.p).ln();
+        let mut pos = 0usize;
+        loop {
+            // Draw gap >= 0 with P(gap = k) = p (1-p)^k.
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let gap = (u.ln() / log1m).floor() as usize;
+            pos = match pos.checked_add(gap) {
+                Some(p) if p < total => p,
+                _ => break,
+            };
+            let elem = pos / nbits;
+            let bit = self.bits.nth((pos % nbits) as u8);
+            entries.push((elem, 1u32 << bit));
+            pos += 1;
+            if pos >= total {
+                break;
+            }
+        }
+        FaultMask::from_entries(entries)
+    }
+
+    fn log_prob(&self, mask: &FaultMask, len: usize) -> Option<f64> {
+        if !(0.0..=1.0).contains(&self.p) {
+            return None;
+        }
+        // Bits outside the injectable range have probability 0 of flipping.
+        for &(elem, pattern) in mask.entries() {
+            if elem >= len {
+                return Some(f64::NEG_INFINITY);
+            }
+            for bit in 0..32u8 {
+                if pattern & (1 << bit) != 0 && !self.bits.contains(bit) {
+                    return Some(f64::NEG_INFINITY);
+                }
+            }
+        }
+        let k = mask.bit_count() as f64;
+        let n = (len * self.bits.len() as usize) as f64;
+        if self.p == 0.0 {
+            return Some(if k == 0.0 { 0.0 } else { f64::NEG_INFINITY });
+        }
+        if self.p == 1.0 {
+            return Some(if k == n { 0.0 } else { f64::NEG_INFINITY });
+        }
+        Some(k * self.p.ln() + (n - k) * (1.0 - self.p).ln())
+    }
+
+    fn expected_flips(&self, len: usize) -> f64 {
+        self.p * (len * self.bits.len() as usize) as f64
+    }
+
+    fn tilted(&self, factor: f64) -> Option<Box<dyn FaultModel>> {
+        if factor <= 0.0 {
+            return None;
+        }
+        // Cap at 1/2: a proposal rate above one half would make the
+        // importance weights of sparse configurations explode.
+        Some(Box::new(BernoulliBitFlip::with_bits((self.p * factor).min(0.5), self.bits)))
+    }
+}
+
+/// Exactly one uniformly chosen bit flips — the classical single-bit-flip
+/// model of debugger/source-level injectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SingleBitFlip {
+    /// The injectable bit positions.
+    pub bits: BitRange,
+}
+
+impl SingleBitFlip {
+    /// Creates the model over all 32 bits.
+    pub fn new() -> Self {
+        SingleBitFlip { bits: BitRange::all() }
+    }
+}
+
+impl Default for SingleBitFlip {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FaultModel for SingleBitFlip {
+    fn sample_mask(&self, len: usize, rng: &mut dyn Rng) -> FaultMask {
+        if len == 0 {
+            return FaultMask::empty();
+        }
+        let elem = rng.random_range(0..len);
+        let bit = self.bits.nth(rng.random_range(0..self.bits.len()));
+        FaultMask::from_entries(vec![(elem, 1u32 << bit)])
+    }
+
+    fn log_prob(&self, mask: &FaultMask, len: usize) -> Option<f64> {
+        let n = (len * self.bits.len() as usize) as f64;
+        if mask.bit_count() == 1 {
+            let (elem, pattern) = mask.entries()[0];
+            let bit = pattern.trailing_zeros() as u8;
+            if elem < len && self.bits.contains(bit) {
+                return Some(-(n.ln()));
+            }
+        }
+        Some(f64::NEG_INFINITY)
+    }
+
+    fn expected_flips(&self, _len: usize) -> f64 {
+        1.0
+    }
+}
+
+/// Exactly `k` distinct uniformly chosen bits flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactKBitFlips {
+    /// Number of distinct bit flips per sample.
+    pub k: usize,
+    /// The injectable bit positions.
+    pub bits: BitRange,
+}
+
+impl ExactKBitFlips {
+    /// Creates the model over all 32 bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        ExactKBitFlips { k, bits: BitRange::all() }
+    }
+}
+
+impl FaultModel for ExactKBitFlips {
+    fn sample_mask(&self, len: usize, rng: &mut dyn Rng) -> FaultMask {
+        if len == 0 {
+            return FaultMask::empty();
+        }
+        let nbits = self.bits.len() as usize;
+        let total = len * nbits;
+        let k = self.k.min(total);
+        // Rejection-sample distinct positions (k << total in practice).
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < k {
+            chosen.insert(rng.random_range(0..total));
+        }
+        let entries = chosen
+            .into_iter()
+            .map(|pos| {
+                let elem = pos / nbits;
+                let bit = self.bits.nth((pos % nbits) as u8);
+                (elem, 1u32 << bit)
+            })
+            .collect();
+        FaultMask::from_entries(entries)
+    }
+
+    fn log_prob(&self, mask: &FaultMask, len: usize) -> Option<f64> {
+        let total = len * self.bits.len() as usize;
+        if mask.bit_count() as usize != self.k.min(total) {
+            return Some(f64::NEG_INFINITY);
+        }
+        // Uniform over C(total, k) subsets.
+        let mut log_comb = 0.0f64;
+        for i in 0..self.k.min(total) {
+            log_comb += ((total - i) as f64).ln() - ((i + 1) as f64).ln();
+        }
+        Some(-log_comb)
+    }
+
+    fn expected_flips(&self, len: usize) -> f64 {
+        self.k.min(len * self.bits.len() as usize) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_expected_flip_count_matches() {
+        let model = BernoulliBitFlip::new(0.01);
+        let mut rng = StdRng::seed_from_u64(0);
+        let len = 1000; // 32k bits, expect ~320 flips.
+        let mut total = 0u64;
+        let reps = 50;
+        for _ in 0..reps {
+            total += model.sample_mask(len, &mut rng).bit_count() as u64;
+        }
+        let mean = total as f64 / reps as f64;
+        let expected = model.expected_flips(len);
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_p_zero_and_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(BernoulliBitFlip::new(0.0).sample_mask(10, &mut rng).is_empty());
+        let full = BernoulliBitFlip::new(1.0).sample_mask(10, &mut rng);
+        assert_eq!(full.bit_count(), 320);
+    }
+
+    #[test]
+    fn bernoulli_respects_bit_range() {
+        let model = BernoulliBitFlip::with_bits(0.5, BitRange::exponent());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mask = model.sample_mask(100, &mut rng);
+        assert!(!mask.is_empty());
+        for &(_, pattern) in mask.entries() {
+            for bit in 0..32u8 {
+                if pattern & (1 << bit) != 0 {
+                    assert!(BitRange::exponent().contains(bit), "bit {bit} outside exponent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_log_prob_is_consistent() {
+        let model = BernoulliBitFlip::new(0.1);
+        let len = 4; // 128 bits
+        let empty = FaultMask::empty();
+        let one = FaultMask::from_entries(vec![(0, 1)]);
+        let lp0 = model.log_prob(&empty, len).unwrap();
+        let lp1 = model.log_prob(&one, len).unwrap();
+        // lp1 - lp0 = ln(p) - ln(1-p)
+        let expected = (0.1f64.ln()) - (0.9f64.ln());
+        assert!((lp1 - lp0 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bernoulli_log_prob_rejects_out_of_range_bits() {
+        let model = BernoulliBitFlip::with_bits(0.1, BitRange::mantissa());
+        let sign_flip = FaultMask::from_entries(vec![(0, 1 << 31)]);
+        assert_eq!(model.log_prob(&sign_flip, 4), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn single_bit_flip_flips_exactly_one() {
+        let model = SingleBitFlip::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(model.sample_mask(7, &mut rng).bit_count(), 1);
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_log_prob_is_uniform() {
+        let model = SingleBitFlip::new();
+        let m = FaultMask::from_entries(vec![(3, 1 << 5)]);
+        let lp = model.log_prob(&m, 10).unwrap();
+        assert!((lp - -(320.0f64.ln())).abs() < 1e-12);
+        let two = FaultMask::from_entries(vec![(3, 0b11)]);
+        assert_eq!(model.log_prob(&two, 10), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn exact_k_flips_exactly_k() {
+        let model = ExactKBitFlips::new(5);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert_eq!(model.sample_mask(100, &mut rng).bit_count(), 5);
+        }
+    }
+
+    #[test]
+    fn exact_k_saturates_on_tiny_tensors() {
+        let model = ExactKBitFlips::new(1000);
+        let mut rng = StdRng::seed_from_u64(5);
+        // 1 element = 32 bits total.
+        assert_eq!(model.sample_mask(1, &mut rng).bit_count(), 32);
+    }
+
+    #[test]
+    fn models_are_object_safe() {
+        let models: Vec<Box<dyn FaultModel>> = vec![
+            Box::new(BernoulliBitFlip::new(0.01)),
+            Box::new(SingleBitFlip::new()),
+            Box::new(ExactKBitFlips::new(2)),
+        ];
+        let mut rng = StdRng::seed_from_u64(6);
+        for m in &models {
+            let _ = m.sample_mask(10, &mut rng);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Fault sites: where in the network faults strike.
+//!
+//! The paper injects into "memory units for storing NN parameters, inputs,
+//! intermediate activations and outputs". Parameters rest in memory and are
+//! addressed by path; activations exist only during a forward pass and are
+//! addressed by the layer that produces them (injected through the
+//! [`bdlfi_nn::ActivationTap`] mechanism).
+
+use bdlfi_nn::{Layer, Sequential};
+use serde::{Deserialize, Serialize};
+
+/// A selector describing which memory locations a campaign injects into.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteSpec {
+    /// Every parameter tensor in the model (weights, biases, batch-norm
+    /// scales and running statistics) — the paper's "all layers" campaigns
+    /// (Fig. 2, Fig. 4).
+    AllParams,
+    /// Only parameters whose path starts with the given layer prefix — the
+    /// paper's layer-by-layer campaign (Fig. 3).
+    LayerParams {
+        /// Dotted path prefix, e.g. `"layer1_0"`.
+        prefix: String,
+    },
+    /// An explicit list of parameter paths.
+    Params(Vec<String>),
+    /// The activations produced by the named layers (full dotted paths).
+    Activations(Vec<String>),
+    /// The network input itself (paper: faults in the memory "storing NN
+    /// parameters, **inputs**, intermediate activations and outputs").
+    /// Transient, like activations: a fresh mask per inference.
+    Input,
+}
+
+/// A parameter fault site resolved against a concrete model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSite {
+    /// Full dotted parameter path.
+    pub path: String,
+    /// Number of f32 elements in the parameter.
+    pub len: usize,
+}
+
+/// The outcome of resolving a [`SiteSpec`] against a model: the concrete
+/// parameter sites (with sizes) and the activation layer paths (sized at
+/// forward time).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResolvedSites {
+    /// Parameter sites with element counts.
+    pub params: Vec<ParamSite>,
+    /// Layer paths whose output activations are injected.
+    pub activations: Vec<String>,
+    /// Whether the network input is injected (transiently, per inference).
+    pub input: bool,
+}
+
+impl ResolvedSites {
+    /// Total number of injectable parameter elements.
+    pub fn total_param_elements(&self) -> usize {
+        self.params.iter().map(|p| p.len).sum()
+    }
+
+    /// Whether the spec resolved to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty() && self.activations.is_empty() && !self.input
+    }
+}
+
+/// Resolves a [`SiteSpec`] against a model's parameter structure.
+///
+/// # Panics
+///
+/// Panics if the spec names a parameter path or layer prefix that does not
+/// exist in the model — a campaign configured against a missing site is a
+/// configuration bug worth failing loudly on.
+pub fn resolve_sites(model: &Sequential, spec: &SiteSpec) -> ResolvedSites {
+    let mut all: Vec<ParamSite> = Vec::new();
+    model.visit_params("", &mut |path, p| {
+        all.push(ParamSite { path: path.to_string(), len: p.len() });
+    });
+
+    match spec {
+        SiteSpec::AllParams => {
+            ResolvedSites { params: all, activations: Vec::new(), input: false }
+        }
+        SiteSpec::LayerParams { prefix } => {
+            let params: Vec<ParamSite> = all
+                .into_iter()
+                .filter(|s| {
+                    s.path == *prefix
+                        || s.path.starts_with(&format!("{prefix}."))
+                })
+                .collect();
+            assert!(
+                !params.is_empty(),
+                "no parameters under layer prefix {prefix:?}"
+            );
+            ResolvedSites { params, activations: Vec::new(), input: false }
+        }
+        SiteSpec::Params(paths) => {
+            let params: Vec<ParamSite> = paths
+                .iter()
+                .map(|want| {
+                    all.iter()
+                        .find(|s| s.path == *want)
+                        .unwrap_or_else(|| panic!("unknown parameter path {want:?}"))
+                        .clone()
+                })
+                .collect();
+            ResolvedSites { params, activations: Vec::new(), input: false }
+        }
+        SiteSpec::Activations(layers) => {
+            ResolvedSites { params: Vec::new(), activations: layers.clone(), input: false }
+        }
+        SiteSpec::Input => {
+            ResolvedSites { params: Vec::new(), activations: Vec::new(), input: true }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdlfi_nn::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(0);
+        mlp(2, &[4], 3, &mut rng)
+    }
+
+    #[test]
+    fn all_params_resolves_everything() {
+        let m = model();
+        let r = resolve_sites(&m, &SiteSpec::AllParams);
+        assert_eq!(r.params.len(), 4);
+        assert_eq!(r.total_param_elements(), 2 * 4 + 4 + 4 * 3 + 3);
+        assert!(r.activations.is_empty());
+    }
+
+    #[test]
+    fn layer_prefix_filters() {
+        let m = model();
+        let r = resolve_sites(&m, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        let paths: Vec<&str> = r.params.iter().map(|p| p.path.as_str()).collect();
+        assert_eq!(paths, vec!["fc1.weight", "fc1.bias"]);
+    }
+
+    #[test]
+    fn layer_prefix_does_not_match_partial_names() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // fc1 and fc10 must not be confused.
+        let mut m = Sequential::new();
+        m.push("fc1", bdlfi_nn::layers::Dense::new(2, 2, &mut rng));
+        m.push("fc10", bdlfi_nn::layers::Dense::new(2, 2, &mut rng));
+        let r = resolve_sites(&m, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        assert_eq!(r.params.len(), 2);
+        assert!(r.params.iter().all(|p| p.path.starts_with("fc1.")));
+    }
+
+    #[test]
+    #[should_panic(expected = "no parameters under layer prefix")]
+    fn unknown_prefix_panics() {
+        resolve_sites(&model(), &SiteSpec::LayerParams { prefix: "nope".into() });
+    }
+
+    #[test]
+    fn explicit_paths_resolve_in_order() {
+        let m = model();
+        let r = resolve_sites(
+            &m,
+            &SiteSpec::Params(vec!["fc2.bias".into(), "fc1.weight".into()]),
+        );
+        assert_eq!(r.params[0].path, "fc2.bias");
+        assert_eq!(r.params[0].len, 3);
+        assert_eq!(r.params[1].path, "fc1.weight");
+        assert_eq!(r.params[1].len, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter path")]
+    fn unknown_param_panics() {
+        resolve_sites(&model(), &SiteSpec::Params(vec!["fc9.weight".into()]));
+    }
+
+    #[test]
+    fn input_site_resolves_to_flag() {
+        let m = model();
+        let r = resolve_sites(&m, &SiteSpec::Input);
+        assert!(r.params.is_empty() && r.activations.is_empty());
+        assert!(r.input);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn activations_pass_through() {
+        let m = model();
+        let r = resolve_sites(&m, &SiteSpec::Activations(vec!["relu1".into()]));
+        assert!(r.params.is_empty());
+        assert_eq!(r.activations, vec!["relu1"]);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Stuck-at faults — the paper's "BDLFI can also be extended to other
+//! fault models".
+//!
+//! A stuck-at fault forces a bit to a fixed value (0 or 1) rather than
+//! inverting it, modelling permanent cell defects instead of transient
+//! upsets. Unlike XOR masks, stuck-at application is *not* an involution,
+//! so applying one returns an [`StuckUndo`] log that restores the original
+//! bits exactly.
+
+use bdlfi_tensor::Tensor;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// One stuck bit: element index, bit position and the stuck value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckBit {
+    /// Element index within the tensor.
+    pub element: usize,
+    /// Bit position (0 = mantissa LSB, 31 = sign).
+    pub bit: u8,
+    /// `true` = stuck-at-1, `false` = stuck-at-0.
+    pub value: bool,
+}
+
+/// A set of stuck-at faults over one tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StuckAtFault {
+    bits: Vec<StuckBit>,
+}
+
+/// The restoration log returned by [`StuckAtFault::apply`].
+///
+/// Holds the original 32-bit words of every element the fault touched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckUndo {
+    saved: Vec<(usize, u32)>,
+}
+
+impl StuckAtFault {
+    /// Creates a fault set from stuck bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit position is ≥ 32.
+    pub fn new(bits: Vec<StuckBit>) -> Self {
+        assert!(bits.iter().all(|b| b.bit < 32), "bit position out of range");
+        StuckAtFault { bits }
+    }
+
+    /// Samples `count` stuck bits uniformly over `(element, bit, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` and `count > 0`.
+    pub fn sample(len: usize, count: usize, rng: &mut dyn Rng) -> Self {
+        assert!(len > 0 || count == 0, "cannot sample faults over an empty tensor");
+        let bits = (0..count)
+            .map(|_| StuckBit {
+                element: rng.random_range(0..len),
+                bit: rng.random_range(0..32u8),
+                value: rng.random::<bool>(),
+            })
+            .collect();
+        StuckAtFault { bits }
+    }
+
+    /// The stuck bits.
+    pub fn bits(&self) -> &[StuckBit] {
+        &self.bits
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Forces the stuck bits in `tensor`, returning the undo log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element index is out of bounds.
+    pub fn apply(&self, tensor: &mut Tensor) -> StuckUndo {
+        let data = tensor.data_mut();
+        let mut saved = Vec::with_capacity(self.bits.len());
+        for b in &self.bits {
+            saved.push((b.element, data[b.element].to_bits()));
+            let word = data[b.element].to_bits();
+            let forced = if b.value {
+                word | (1u32 << b.bit)
+            } else {
+                word & !(1u32 << b.bit)
+            };
+            data[b.element] = f32::from_bits(forced);
+        }
+        StuckUndo { saved }
+    }
+
+    /// Applies the fault, runs `f`, restores the tensor exactly.
+    pub fn with_applied<T>(&self, tensor: &mut Tensor, f: impl FnOnce(&mut Tensor) -> T) -> T {
+        let undo = self.apply(tensor);
+        let out = f(tensor);
+        undo.restore(tensor);
+        out
+    }
+
+    /// Number of bits that would actually change in `tensor` (a stuck-at
+    /// fault whose cell already holds the stuck value is *masked*).
+    pub fn effective_changes(&self, tensor: &Tensor) -> usize {
+        self.bits
+            .iter()
+            .filter(|b| {
+                let word = tensor.data()[b.element].to_bits();
+                let current = word & (1u32 << b.bit) != 0;
+                current != b.value
+            })
+            .count()
+    }
+}
+
+impl StuckUndo {
+    /// Restores the saved words (in reverse application order, so
+    /// overlapping faults unwind correctly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element index is out of bounds.
+    pub fn restore(&self, tensor: &mut Tensor) {
+        let data = tensor.data_mut();
+        for &(element, word) in self.saved.iter().rev() {
+            data[element] = f32::from_bits(word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stuck_at_one_sets_the_bit() {
+        let mut t = Tensor::from_vec(vec![1.0], [1]);
+        let f = StuckAtFault::new(vec![StuckBit { element: 0, bit: 31, value: true }]);
+        let undo = f.apply(&mut t);
+        assert_eq!(t.data()[0], -1.0); // sign forced on
+        undo.restore(&mut t);
+        assert_eq!(t.data()[0], 1.0);
+    }
+
+    #[test]
+    fn stuck_at_current_value_is_masked() {
+        let mut t = Tensor::from_vec(vec![-2.0], [1]);
+        let f = StuckAtFault::new(vec![StuckBit { element: 0, bit: 31, value: true }]);
+        assert_eq!(f.effective_changes(&t), 0); // sign already set
+        let before = t.data()[0].to_bits();
+        let undo = f.apply(&mut t);
+        assert_eq!(t.data()[0].to_bits(), before);
+        undo.restore(&mut t);
+    }
+
+    #[test]
+    fn with_applied_restores_after_use() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut t = Tensor::rand_normal([64], 0.0, 1.0, &mut rng);
+        let orig: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+        let f = StuckAtFault::sample(64, 10, &mut rng);
+        let changed = f.with_applied(&mut t, |t| {
+            t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        });
+        assert_ne!(changed, orig); // overwhelmingly likely with 10 faults
+        let back: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn overlapping_faults_unwind_correctly() {
+        // Two faults on the same element/bit with opposite values: the
+        // second wins while applied, restore unwinds to the original.
+        let mut t = Tensor::from_vec(vec![1.0], [1]);
+        let f = StuckAtFault::new(vec![
+            StuckBit { element: 0, bit: 31, value: true },
+            StuckBit { element: 0, bit: 31, value: false },
+        ]);
+        let undo = f.apply(&mut t);
+        assert_eq!(t.data()[0], 1.0); // second fault forced sign back to 0
+        undo.restore(&mut t);
+        assert_eq!(t.data()[0], 1.0);
+    }
+
+    #[test]
+    fn sample_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = StuckAtFault::sample(5, 100, &mut rng);
+        assert!(f.bits().iter().all(|b| b.element < 5 && b.bit < 32));
+        assert_eq!(f.bits().len(), 100);
+    }
+
+    proptest! {
+        #[test]
+        fn apply_restore_is_identity(
+            vals in proptest::collection::vec(proptest::num::f32::ANY, 8),
+            seed in 0u64..1000,
+            count in 0usize..12,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tensor::from_vec(vals, [8]);
+            let orig: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+            let f = StuckAtFault::sample(8, count, &mut rng);
+            let undo = f.apply(&mut t);
+            undo.restore(&mut t);
+            let back: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(back, orig);
+        }
+
+        #[test]
+        fn applied_bits_hold_their_stuck_value(
+            seed in 0u64..1000,
+            count in 1usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = Tensor::rand_normal([16], 0.0, 1.0, &mut rng);
+            let f = StuckAtFault::sample(16, count, &mut rng);
+            let undo = f.apply(&mut t);
+            // Last-applied fault per (element, bit) wins.
+            let mut expected: std::collections::HashMap<(usize, u8), bool> =
+                std::collections::HashMap::new();
+            for b in f.bits() {
+                expected.insert((b.element, b.bit), b.value);
+            }
+            for ((element, bit), value) in expected {
+                let word = t.data()[element].to_bits();
+                prop_assert_eq!(word & (1 << bit) != 0, value);
+            }
+            undo.restore(&mut t);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for model construction, serialisation and training.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible network operations.
+#[derive(Debug)]
+pub enum NnError {
+    /// A parameter referenced by path does not exist in the model.
+    UnknownParam {
+        /// The offending parameter path, e.g. `"layer1.block0.conv1.weight"`.
+        path: String,
+    },
+    /// Saved weights do not match the model they are being loaded into.
+    WeightMismatch {
+        /// The parameter path with the mismatch.
+        path: String,
+        /// Explanation (missing, shape differs, ...).
+        detail: String,
+    },
+    /// An I/O error while saving or loading weights.
+    Io(std::io::Error),
+    /// A (de)serialisation error while saving or loading weights.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnknownParam { path } => write!(f, "unknown parameter path {path:?}"),
+            NnError::WeightMismatch { path, detail } => {
+                write!(f, "weight mismatch at {path:?}: {detail}")
+            }
+            NnError::Io(e) => write!(f, "i/o error: {e}"),
+            NnError::Serde(e) => write!(f, "serialisation error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            NnError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NnError {
+    fn from(e: std::io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for NnError {
+    fn from(e: serde_json::Error) -> Self {
+        NnError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_path() {
+        let e = NnError::UnknownParam { path: "fc.weight".into() };
+        assert!(e.to_string().contains("fc.weight"));
+        let e = NnError::WeightMismatch { path: "conv1.bias".into(), detail: "missing".into() };
+        assert!(e.to_string().contains("conv1.bias"));
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: NnError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, NnError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

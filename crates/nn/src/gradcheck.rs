@@ -1,0 +1,188 @@
+//! Finite-difference gradient checking for layers and whole models —
+//! the correctness tool every hand-written backward pass in this workspace
+//! is validated against.
+
+use crate::layer::{ForwardCtx, Layer, Mode};
+use bdlfi_tensor::Tensor;
+
+/// Result of one gradient check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheck {
+    /// Largest absolute difference between analytic and finite-difference
+    /// gradients over the checked coordinates.
+    pub max_abs_err: f32,
+    /// Number of coordinates checked.
+    pub checked: usize,
+}
+
+impl GradCheck {
+    /// Whether the check passed at tolerance `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol
+    }
+}
+
+/// Checks a layer's *input* gradient against central finite differences of
+/// the scalar loss `L = <forward(x), probe>`.
+///
+/// Checks every input coordinate when `x.len() <= max_coords`, otherwise a
+/// deterministic stride of them.
+///
+/// # Panics
+///
+/// Panics if the layer's forward output shape changes between calls.
+pub fn check_input_gradient(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    probe: &Tensor,
+    eps: f32,
+    max_coords: usize,
+) -> GradCheck {
+    let mut loss = |l: &mut dyn Layer, x: &Tensor| -> f32 {
+        l.forward(x, &mut ForwardCtx::new(Mode::Train)).dot(probe)
+    };
+    let _ = loss(layer, x);
+    let analytic = layer.backward(probe);
+
+    let stride = (x.len() / max_coords.max(1)).max(1);
+    let mut max_abs_err = 0.0f32;
+    let mut checked = 0;
+    let mut idx = 0;
+    while idx < x.len() {
+        let mut xp = x.clone();
+        xp.data_mut()[idx] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[idx] -= eps;
+        let fd = (loss(layer, &xp) - loss(layer, &xm)) / (2.0 * eps);
+        max_abs_err = max_abs_err.max((fd - analytic.data()[idx]).abs());
+        checked += 1;
+        idx += stride;
+    }
+    GradCheck { max_abs_err, checked }
+}
+
+/// Checks a layer's *parameter* gradients against central finite
+/// differences, visiting up to `max_coords` coordinates per parameter.
+pub fn check_param_gradients(
+    layer: &mut dyn Layer,
+    x: &Tensor,
+    probe: &Tensor,
+    eps: f32,
+    max_coords: usize,
+) -> GradCheck {
+    // Zero accumulators, then one backward to populate analytic gradients.
+    layer.visit_params_mut("", &mut |_, p| p.zero_grad());
+    let _ = layer
+        .forward(x, &mut ForwardCtx::new(Mode::Train))
+        .dot(probe);
+    layer.backward(probe);
+
+    // Snapshot analytic grads.
+    let mut grads: Vec<(String, Vec<f32>)> = Vec::new();
+    layer.visit_params("", &mut |path, p| {
+        grads.push((path.to_string(), p.grad.data().to_vec()));
+    });
+
+    let mut max_abs_err = 0.0f32;
+    let mut checked = 0;
+    for (path, grad) in &grads {
+        let len = grad.len();
+        let stride = (len / max_coords.max(1)).max(1);
+        let mut idx = 0;
+        while idx < len {
+            let mut perturb = |delta: f32, layer: &mut dyn Layer| -> f32 {
+                let mut orig = 0.0;
+                layer.visit_params_mut("", &mut |p, param| {
+                    if p == path {
+                        orig = param.value.data()[idx];
+                        param.value.data_mut()[idx] = orig + delta;
+                    }
+                });
+                let out = layer
+                    .forward(x, &mut ForwardCtx::new(Mode::Eval))
+                    .dot(probe);
+                layer.visit_params_mut("", &mut |p, param| {
+                    if p == path {
+                        param.value.data_mut()[idx] = orig;
+                    }
+                });
+                out
+            };
+            let fd = (perturb(eps, layer) - perturb(-eps, layer)) / (2.0 * eps);
+            max_abs_err = max_abs_err.max((fd - grad[idx]).abs());
+            checked += 1;
+            idx += stride;
+        }
+    }
+    GradCheck { max_abs_err, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BasicBlock, BatchNorm2d, Conv2d, Dense, Sigmoid, Softmax, Tanh};
+    use bdlfi_tensor::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn probe_like(t: &Tensor) -> Tensor {
+        Tensor::from_fn(t.dims(), |i| ((i.iter().sum::<usize>() * 7) % 5) as f32 * 0.3 - 0.6)
+    }
+
+    #[test]
+    fn every_parametric_layer_passes_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x2d = Tensor::rand_normal([3, 4], 0.0, 1.0, &mut rng);
+        let x4d = Tensor::rand_normal([2, 3, 6, 6], 0.0, 1.0, &mut rng);
+
+        // Dense.
+        let mut dense = Dense::new(4, 5, &mut rng);
+        let y = dense.forward(&x2d, &mut ForwardCtx::new(Mode::Eval));
+        let probe = probe_like(&y);
+        assert!(check_input_gradient(&mut dense, &x2d, &probe, 1e-2, 16).passes(2e-2));
+        assert!(check_param_gradients(&mut dense, &x2d, &probe, 1e-2, 8).passes(5e-2));
+
+        // Conv2d.
+        let mut conv = Conv2d::new(3, 4, Conv2dSpec::new(3).with_padding(1), &mut rng);
+        let y = conv.forward(&x4d, &mut ForwardCtx::new(Mode::Eval));
+        let probe = probe_like(&y);
+        assert!(check_input_gradient(&mut conv, &x4d, &probe, 1e-2, 12).passes(5e-2));
+        assert!(check_param_gradients(&mut conv, &x4d, &probe, 1e-2, 6).passes(1e-1));
+
+        // BatchNorm2d.
+        let mut bn = BatchNorm2d::new(3);
+        let y = bn.forward(&x4d, &mut ForwardCtx::new(Mode::Train));
+        let probe = probe_like(&y);
+        assert!(check_input_gradient(&mut bn, &x4d, &probe, 1e-2, 12).passes(5e-2));
+
+        // Residual block.
+        let mut block = BasicBlock::new(3, 3, 1, &mut rng);
+        let y = block.forward(&x4d, &mut ForwardCtx::new(Mode::Train));
+        let probe = probe_like(&y);
+        assert!(check_input_gradient(&mut block, &x4d, &probe, 1e-2, 10).passes(1e-1));
+    }
+
+    #[test]
+    fn smooth_activations_pass_tightly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_normal([4, 6], 0.0, 1.0, &mut rng);
+        for layer in [&mut Sigmoid::new() as &mut dyn Layer, &mut Tanh::new(), &mut Softmax::new()]
+        {
+            let y = layer.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+            let probe = probe_like(&y);
+            let check = check_input_gradient(layer, &x, &probe, 1e-3, 24);
+            assert!(check.passes(5e-3), "{}: {:?}", layer.kind(), check);
+        }
+    }
+
+    #[test]
+    fn stride_limits_checked_coordinates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dense = Dense::new(8, 2, &mut rng);
+        let x = Tensor::rand_normal([4, 8], 0.0, 1.0, &mut rng);
+        let y = dense.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        let probe = probe_like(&y);
+        let check = check_input_gradient(&mut dense, &x, &probe, 1e-2, 4);
+        assert!(check.checked <= 8, "{}", check.checked);
+    }
+}

@@ -1,0 +1,116 @@
+//! Batched eval-mode inference — the campaign inner loop.
+//!
+//! One implementation shared by the trainer, the BDLFI core and the
+//! traditional-FI baseline, so every tool measures exactly the same
+//! forward semantics.
+
+use crate::layer::ActivationTap;
+use crate::sequential::Sequential;
+use bdlfi_tensor::Tensor;
+
+/// Runs eval-mode inference over `inputs` (batched on axis 0) in chunks of
+/// `batch_size`, concatenating the logits into one `(n, classes)` tensor.
+///
+/// The `tap` fires once per batch with an **empty path** on the batch input
+/// tensor itself (the hook for input fault sites), then with each layer's
+/// structural path on its output — both may mutate the tensor in place.
+///
+/// # Panics
+///
+/// Panics if `inputs` has no examples or `batch_size == 0`.
+pub fn predict_batched(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    batch_size: usize,
+    tap: ActivationTap<'_>,
+) -> Tensor {
+    let n = inputs.dim(0);
+    assert!(n > 0, "predict_batched needs at least one example");
+    assert!(batch_size > 0, "batch size must be positive");
+    let example_len = inputs.len() / n;
+    let mut out: Vec<f32> = Vec::new();
+    let mut classes = None;
+    let mut i = 0usize;
+    while i < n {
+        let end = (i + batch_size).min(n);
+        let mut dims = inputs.dims().to_vec();
+        dims[0] = end - i;
+        let mut bx = Tensor::from_vec(
+            inputs.data()[i * example_len..end * example_len].to_vec(),
+            dims,
+        );
+        tap("", &mut bx);
+        let logits = model.predict_with_tap(&bx, tap);
+        if classes.is_none() {
+            classes = Some(logits.dim(1));
+        }
+        out.extend_from_slice(logits.data());
+        i = end;
+    }
+    Tensor::from_vec(out, [n, classes.expect("non-empty input")])
+}
+
+/// [`predict_batched`] without a tap.
+pub fn predict_all(model: &mut Sequential, inputs: &Tensor, batch_size: usize) -> Tensor {
+    predict_batched(model, inputs, batch_size, &mut |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batched_matches_single_batch() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = mlp(3, &[5], 2, &mut rng);
+        let x = Tensor::rand_normal([11, 3], 0.0, 1.0, &mut rng);
+        let full = m.predict(&x);
+        for bs in [1, 3, 11, 64] {
+            let batched = predict_all(&mut m, &x, bs);
+            assert!(full.approx_eq(&batched, 1e-6), "batch size {bs}");
+        }
+    }
+
+    #[test]
+    fn tap_sees_input_with_empty_path_once_per_batch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = mlp(2, &[4], 2, &mut rng);
+        let x = Tensor::zeros([5, 2]);
+        let mut input_fires = 0;
+        let mut layer_fires = 0;
+        predict_batched(&mut m, &x, 2, &mut |path, _| {
+            if path.is_empty() {
+                input_fires += 1;
+            } else {
+                layer_fires += 1;
+            }
+        });
+        assert_eq!(input_fires, 3); // batches of 2, 2, 1
+        assert_eq!(layer_fires, 3 * 3); // 3 layers per batch
+    }
+
+    #[test]
+    fn tap_can_corrupt_the_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = mlp(2, &[4], 2, &mut rng);
+        let x = Tensor::ones([4, 2]);
+        let clean = predict_all(&mut m, &x, 4);
+        let corrupted = predict_batched(&mut m, &x, 4, &mut |path, t| {
+            if path.is_empty() {
+                t.fill(0.0);
+            }
+        });
+        assert!(!clean.approx_eq(&corrupted, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one example")]
+    fn empty_input_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = mlp(2, &[4], 2, &mut rng);
+        predict_all(&mut m, &Tensor::zeros([0, 2]), 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fully connected (dense) layer — the layer type of the paper's MLP
+//! (Fig. 1 ①: `y₀ = max(0, W₀ᵀ x + b₀)` is [`Dense`] followed by
+//! [`crate::layers::Relu`]).
+
+use crate::layer::{ForwardCtx, Layer};
+use crate::params::{join_path, Param};
+use bdlfi_tensor::Tensor;
+use rand::Rng;
+
+/// A fully connected layer computing `y = x · W + b` over row-major batches:
+/// input `(n, in)`, weight `(in, out)`, bias `(out,)`, output `(n, out)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Dense {
+            weight: Param::new("weight", Tensor::kaiming_uniform([in_dim, out_dim], in_dim, rng)),
+            bias: Param::new("bias", Tensor::zeros([out_dim])),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a dense layer from explicit weight `(in, out)` and bias
+    /// `(out,)` tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are inconsistent.
+    pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.rank(), 2, "dense weight must be rank 2");
+        assert_eq!(bias.dims(), &[weight.dim(1)], "dense bias must match weight columns");
+        Dense { weight: Param::new("weight", weight), bias: Param::new("bias", bias), cached_input: None }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+}
+
+impl Layer for Dense {
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        assert_eq!(input.rank(), 2, "dense expects a (batch, features) input");
+        assert_eq!(
+            input.dim(1),
+            self.in_dim(),
+            "dense input width {} does not match weight {}",
+            input.dim(1),
+            self.in_dim()
+        );
+        if ctx.mode() == crate::layer::Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("dense backward before train-mode forward");
+        // dW += xᵀ · dY ; db += column sums of dY ; dX = dY · Wᵀ
+        self.weight.grad.add_assign_t(&input.matmul_tn(grad_out));
+        self.bias.grad.add_assign_t(&grad_out.sum_axis0());
+        grad_out.matmul_nt(&self.weight.value)
+    }
+
+    fn visit_params(&self, path: &str, f: &mut dyn FnMut(&str, &Param)) {
+        f(&join_path(path, "weight"), &self.weight);
+        f(&join_path(path, "bias"), &self.bias);
+    }
+
+    fn visit_params_mut(&mut self, path: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&join_path(path, "weight"), &mut self.weight);
+        f(&join_path(path, "bias"), &mut self.bias);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixed_dense() -> Dense {
+        Dense::from_weights(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]),
+            Tensor::from_vec(vec![0.1, 0.2, 0.3], [3]),
+        )
+    }
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut d = fixed_dense();
+        let x = Tensor::from_vec(vec![1.0, -1.0], [1, 2]);
+        let y = d.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        // y = [1*1 + (-1)*4, 1*2 + (-1)*5, 1*3 + (-1)*6] + bias
+        assert_eq!(y.data(), &[-2.9, -2.8, -2.7]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = Tensor::rand_normal([4, 3], 0.0, 1.0, &mut rng);
+        let mut ctx = ForwardCtx::new(Mode::Train);
+        let y = d.forward(&x, &mut ctx);
+        let grad_out = Tensor::ones(y.dims());
+        let gx = d.backward(&grad_out);
+
+        let eps = 1e-2f32;
+        let loss = |d: &mut Dense, x: &Tensor| {
+            d.forward(x, &mut ForwardCtx::new(Mode::Eval)).sum()
+        };
+        // Input gradient.
+        for idx in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&mut d, &xp) - loss(&mut d, &xm)) / (2.0 * eps);
+            assert!((fd - gx.data()[idx]).abs() < 1e-2, "dx[{idx}] fd={fd} got={}", gx.data()[idx]);
+        }
+        // Weight gradient.
+        let gw = d.weight.grad.clone();
+        for idx in [0usize, 3, 5] {
+            let orig = d.weight.value.data()[idx];
+            d.weight.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut d, &x);
+            d.weight.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut d, &x);
+            d.weight.value.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gw.data()[idx]).abs() < 5e-2, "dw[{idx}] fd={fd} got={}", gw.data()[idx]);
+        }
+        // Bias gradient: dL/db_j = batch size for sum loss.
+        assert!(d.bias.grad.approx_eq(&Tensor::full([2], 4.0), 1e-4));
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut d = fixed_dense();
+        let x = Tensor::zeros([1, 2]);
+        d.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        assert!(d.cached_input.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before train-mode forward")]
+    fn backward_without_forward_panics() {
+        fixed_dense().backward(&Tensor::zeros([1, 3]));
+    }
+
+    #[test]
+    fn visit_params_yields_weight_and_bias() {
+        let d = fixed_dense();
+        let mut names = Vec::new();
+        d.visit_params("fc", &mut |p, _| names.push(p.to_string()));
+        assert_eq!(names, vec!["fc.weight", "fc.bias"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn forward_rejects_wrong_width() {
+        fixed_dense().forward(&Tensor::zeros([1, 5]), &mut ForwardCtx::new(Mode::Eval));
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let mut ctx = ForwardCtx::new(Mode::Train);
+        let y = d.forward(&x, &mut ctx);
+        let g = Tensor::ones(y.dims());
+        d.backward(&g);
+        let after_one = d.weight.grad.clone();
+        d.forward(&x, &mut ctx);
+        d.backward(&g);
+        assert!(d.weight.grad.approx_eq(&after_one.scale(2.0), 1e-6));
+    }
+}

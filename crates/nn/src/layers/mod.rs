@@ -1,0 +1,23 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod batchnorm;
+mod block;
+mod conv2d;
+mod dense;
+mod dropout;
+mod flatten;
+mod pool;
+mod relu;
+mod softmax;
+
+pub use activation::{Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use block::BasicBlock;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use relu::Relu;
+pub use softmax::Softmax;

@@ -1,0 +1,71 @@
+//! # bdlfi-nn
+//!
+//! Neural-network substrate for the BDLFI reproduction ("Towards a Bayesian
+//! Approach for Assessing Fault Tolerance of Deep Neural Networks",
+//! DSN 2019).
+//!
+//! The paper evaluates two networks — an MLP (2 → 32 ReLU → softmax) and a
+//! ResNet-18 trained on CIFAR-10 — and injects transient faults into their
+//! parameters and activations. This crate provides:
+//!
+//! * a [`Layer`] trait with manual reverse-mode backprop and an
+//!   **activation tap** ([`ForwardCtx`]) that lets fault injectors mutate
+//!   intermediate activations in flight;
+//! * concrete layers ([`layers`]): dense, conv2d, batch norm, ReLU, pooling,
+//!   flatten and the residual [`layers::BasicBlock`];
+//! * the [`Sequential`] container with stable, dotted **parameter paths**
+//!   (`"layer1_0.conv1.weight"`) used by the fault crates to address
+//!   injection sites;
+//! * model builders [`mlp`] and [`resnet18`];
+//! * losses ([`loss`]), optimizers ([`optim`]), a mini-batch [`Trainer`] and
+//!   evaluation helpers ([`metrics`]);
+//! * weight persistence ([`serialize`]) so the "golden run" networks are
+//!   trained once and reused by every experiment.
+//!
+//! # Examples
+//!
+//! Train the paper's MLP on a toy task:
+//!
+//! ```
+//! use bdlfi_nn::{mlp, Trainer, TrainConfig, optim::Sgd, evaluate};
+//! use bdlfi_tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let x = Tensor::rand_normal([64, 2], 0.0, 1.0, &mut rng);
+//! let y: Vec<usize> = x.data().chunks(2).map(|p| usize::from(p[0] > 0.0)).collect();
+//!
+//! let mut model = mlp(2, &[32], 2, &mut rng);
+//! let mut trainer = Trainer::new(
+//!     Sgd::new(0.1).with_momentum(0.9),
+//!     TrainConfig { epochs: 20, batch_size: 16, ..TrainConfig::default() },
+//! );
+//! trainer.fit(&mut model, &x, &y, &mut rng);
+//! assert!(evaluate(&mut model, &x, &y, 32) > 0.8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+pub mod gradcheck;
+mod infer;
+mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+mod mlp;
+pub mod optim;
+mod params;
+mod resnet;
+mod sequential;
+pub mod serialize;
+mod trainer;
+
+pub use error::NnError;
+pub use infer::{predict_all, predict_batched};
+pub use layer::{ActivationTap, ForwardCtx, Layer, Mode};
+pub use mlp::mlp;
+pub use params::{join_path, Param};
+pub use resnet::{resnet18, resnet18_layer_positions, ResNetConfig};
+pub use sequential::Sequential;
+pub use trainer::{evaluate, EpochStats, TrainConfig, Trainer};

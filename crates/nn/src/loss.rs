@@ -1,0 +1,112 @@
+//! Loss functions: softmax cross-entropy (classification) and mean squared
+//! error.
+
+use bdlfi_tensor::Tensor;
+
+/// Softmax cross-entropy over logits.
+///
+/// Given logits `(n, k)` and integer labels, returns the mean negative
+/// log-likelihood and the gradient `∂L/∂logits = (softmax − onehot) / n`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len() != n`, or any label is
+/// out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "cross_entropy expects (batch, classes) logits");
+    let (n, k) = (logits.dim(0), logits.dim(1));
+    assert_eq!(labels.len(), n, "label count must match batch size");
+    assert!(labels.iter().all(|&l| l < k), "label out of range");
+
+    let log_probs = logits.log_softmax_rows();
+    let mut loss = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        loss -= log_probs.at(&[i, label]) as f64;
+    }
+    let loss = (loss / n as f64) as f32;
+
+    let mut grad = log_probs.map(f32::exp);
+    for (i, &label) in labels.iter().enumerate() {
+        *grad.at_mut(&[i, label]) -= 1.0;
+    }
+    grad.scale_inplace(1.0 / n as f32);
+    (loss, grad)
+}
+
+/// Mean squared error `mean((pred − target)²)` and its gradient
+/// `2 (pred − target) / n_elements`.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse requires identical shapes");
+    let diff = pred.sub_t(target);
+    let loss = diff.squared_norm() / pred.len() as f32;
+    let grad = diff.scale(2.0 / pred.len() as f32);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], [2, 3]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6, "loss = {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_k() {
+        let logits = Tensor::zeros([4, 5]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (5.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -0.3, 0.2, 1.0, 0.0, -1.0], [2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let fd = (cross_entropy(&lp, &labels).0 - cross_entropy(&lm, &labels).0) / (2.0 * eps);
+            assert!(
+                (fd - grad.data()[idx]).abs() < 1e-3,
+                "d[{idx}] fd={fd} got={}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0], [2, 3]);
+        let (_, grad) = cross_entropy(&logits, &[1, 2]);
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        cross_entropy(&Tensor::zeros([1, 3]), &[3]);
+    }
+
+    #[test]
+    fn mse_basics() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], [2]);
+        let target = Tensor::from_vec(vec![0.0, 0.0], [2]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Classification metrics — including the statistic the whole reproduction
+//! revolves around: classification error under fault injection.
+
+use bdlfi_tensor::Tensor;
+
+/// Fraction of rows whose argmax matches the label, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or `labels.len()` differs from the batch
+/// size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rank(), 2, "accuracy expects (batch, classes) logits");
+    assert_eq!(logits.dim(0), labels.len(), "label count must match batch size");
+    if labels.is_empty() {
+        return f64::NAN;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Classification error `1 − accuracy`, in `[0, 1]` — the y-axis of the
+/// paper's Fig. 2 and Fig. 4 (reported there as a percentage).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`accuracy`].
+pub fn classification_error(logits: &Tensor, labels: &[usize]) -> f64 {
+    1.0 - accuracy(logits, labels)
+}
+
+/// Per-class confusion matrix: `counts[true][pred]`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, the batch sizes differ, or a label is
+/// `>= classes`.
+pub fn confusion_matrix(logits: &Tensor, labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(logits.rank(), 2, "confusion_matrix expects (batch, classes) logits");
+    assert_eq!(logits.dim(0), labels.len(), "label count must match batch size");
+    let mut m = vec![vec![0usize; classes]; classes];
+    for (&pred, &truth) in logits.argmax_rows().iter().zip(labels.iter()) {
+        assert!(truth < classes, "label {truth} out of range for {classes} classes");
+        let pred = pred.min(classes - 1);
+        m[truth][pred] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(
+            vec![
+                2.0, 1.0, 0.0, // pred 0
+                0.0, 5.0, 1.0, // pred 1
+                0.0, 0.0, 9.0, // pred 2
+                1.0, 0.0, 0.5, // pred 0
+            ],
+            [4, 3],
+        );
+        assert_eq!(accuracy(&logits, &[0, 1, 2, 2]), 0.75);
+        assert_eq!(classification_error(&logits, &[0, 1, 2, 2]), 0.25);
+    }
+
+    #[test]
+    fn empty_batch_gives_nan() {
+        assert!(accuracy(&Tensor::zeros([0, 3]), &[]).is_nan());
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], [3, 2]);
+        let m = confusion_matrix(&logits, &[0, 1, 1], 2);
+        assert_eq!(m[0][0], 1); // true 0 predicted 0
+        assert_eq!(m[1][1], 1); // true 1 predicted 1
+        assert_eq!(m[1][0], 1); // true 1 predicted 0
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_panic() {
+        accuracy(&Tensor::zeros([2, 2]), &[0]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Builder for the paper's multi-layer perceptron (Fig. 1 ①).
+//!
+//! The network is `input → Dense(hidden) → ReLU → … → Dense(classes)`; the
+//! softmax lives in the loss (training) or in the campaign statistic
+//! (inference), matching the paper's "FC layer → Softmax" diagram.
+
+use crate::layers::{Dense, Relu};
+use crate::sequential::Sequential;
+use rand::Rng;
+
+/// Builds an MLP as a [`Sequential`]: one `Dense`+`ReLU` pair per hidden
+/// width, then a final `Dense` to `classes` logits.
+///
+/// The paper's MLP is `mlp(2, &[32], classes)` — a 32-unit hidden layer over
+/// a 2-D input space, which is what makes the Fig. 1 ③ decision-boundary
+/// visualisation possible.
+///
+/// # Panics
+///
+/// Panics if `in_dim == 0`, `classes == 0`, or any hidden width is 0.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = bdlfi_nn::mlp(2, &[32], 3, &mut rng);
+/// assert_eq!(model.layer_names(), vec!["fc1", "relu1", "fc2"]);
+/// ```
+pub fn mlp<R: Rng + ?Sized>(
+    in_dim: usize,
+    hidden: &[usize],
+    classes: usize,
+    rng: &mut R,
+) -> Sequential {
+    assert!(in_dim > 0, "mlp requires in_dim > 0");
+    assert!(classes > 0, "mlp requires classes > 0");
+    assert!(hidden.iter().all(|&h| h > 0), "mlp hidden widths must be positive");
+
+    let mut model = Sequential::new();
+    let mut prev = in_dim;
+    for (i, &h) in hidden.iter().enumerate() {
+        model.push(format!("fc{}", i + 1), Dense::new(prev, h, rng));
+        model.push(format!("relu{}", i + 1), Relu::new());
+        prev = h;
+    }
+    model.push(format!("fc{}", hidden.len() + 1), Dense::new(prev, classes, rng));
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdlfi_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_mlp_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = mlp(2, &[32], 3, &mut rng);
+        assert_eq!(m.layer_kinds(), vec!["dense", "relu", "dense"]);
+        assert_eq!(m.param_count(), 2 * 32 + 32 + 32 * 3 + 3);
+        let y = m.predict(&Tensor::zeros([7, 2]));
+        assert_eq!(y.dims(), &[7, 3]);
+    }
+
+    #[test]
+    fn deep_mlp_stacks_pairs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = mlp(10, &[16, 8, 4], 2, &mut rng);
+        assert_eq!(m.len(), 7);
+        assert_eq!(
+            m.layer_names(),
+            vec!["fc1", "relu1", "fc2", "relu2", "fc3", "relu3", "fc4"]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "in_dim > 0")]
+    fn zero_input_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        mlp(0, &[4], 2, &mut rng);
+    }
+}

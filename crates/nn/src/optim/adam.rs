@@ -1,0 +1,149 @@
+//! The Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+use crate::optim::Optimizer;
+use crate::layer::Layer;
+use crate::sequential::Sequential;
+use bdlfi_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Adam: per-parameter adaptive learning rates from first/second moment
+/// estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    moments: HashMap<String, (Tensor, Tensor)>,
+}
+
+impl Adam {
+    /// Creates Adam with the conventional defaults
+    /// (`β₁ = 0.9`, `β₂ = 0.999`, `ε = 1e-8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: HashMap::new() }
+    }
+
+    /// Overrides the moment decay rates, returning the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both betas are in `[0, 1)`.
+    pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut Sequential) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let moments = &mut self.moments;
+        model.visit_params_mut("", &mut |path, p| {
+            if !p.trainable {
+                return;
+            }
+            let (m, v) = moments
+                .entry(path.to_string())
+                .or_insert_with(|| (Tensor::zeros(p.value.dims()), Tensor::zeros(p.value.dims())));
+            // m ← β₁ m + (1-β₁) g ; v ← β₂ v + (1-β₂) g².
+            m.scale_inplace(b1);
+            m.axpy(1.0 - b1, &p.grad);
+            v.scale_inplace(b2);
+            v.axpy(1.0 - b2, &p.grad.mul_t(&p.grad));
+            // w ← w − lr · m̂ / (√v̂ + ε)
+            for ((w, &mi), &vi) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data().iter())
+                .zip(v.data().iter())
+            {
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                *w -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use bdlfi_tensor::Tensor;
+
+    fn model_with_grad(grad: f32) -> Sequential {
+        let mut m = Sequential::new().with(
+            "fc",
+            Dense::from_weights(Tensor::ones([1, 1]), Tensor::zeros([1])),
+        );
+        m.with_param_mut("fc.weight", &mut |p| p.grad.fill(grad));
+        m
+    }
+
+    #[test]
+    fn first_step_moves_by_about_lr() {
+        // With bias correction, the first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        for g in [0.001f32, 1.0, 1000.0] {
+            let mut m = model_with_grad(g);
+            Adam::new(0.1).step(&mut m);
+            let w = m.param_value("fc.weight").unwrap().data()[0];
+            assert!((1.0 - w - 0.1).abs() < 1e-3, "g={g}, step={}", 1.0 - w);
+        }
+    }
+
+    #[test]
+    fn step_direction_follows_gradient_sign() {
+        let mut m = model_with_grad(-1.0);
+        Adam::new(0.05).step(&mut m);
+        assert!(m.param_value("fc.weight").unwrap().data()[0] > 1.0);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimise (w - 3)^2 by feeding grad = 2(w - 3).
+        let mut m = Sequential::new().with(
+            "fc",
+            Dense::from_weights(Tensor::zeros([1, 1]), Tensor::zeros([1])),
+        );
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let w = m.param_value("fc.weight").unwrap().data()[0];
+            m.with_param_mut("fc.weight", &mut |p| p.grad.fill(2.0 * (w - 3.0)));
+            opt.step(&mut m);
+        }
+        let w = m.param_value("fc.weight").unwrap().data()[0];
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn frozen_params_are_skipped() {
+        use crate::layers::BatchNorm2d;
+        let mut m = Sequential::new().with("bn", BatchNorm2d::new(1));
+        m.with_param_mut("bn.running_var", &mut |p| p.grad.fill(5.0));
+        Adam::new(0.5).step(&mut m);
+        assert_eq!(m.param_value("bn.running_var").unwrap().data(), &[1.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Optimizers: stochastic gradient descent with momentum and Adam.
+//!
+//! Optimizers keep per-parameter state keyed by parameter *path*, so they
+//! work with any model structure and survive parameter visitation order
+//! changes.
+
+mod adam;
+mod schedule;
+mod sgd;
+
+pub use adam::Adam;
+pub use schedule::{Constant, CosineAnnealing, Schedule, StepDecay, Warmup};
+pub use sgd::Sgd;
+
+use crate::sequential::Sequential;
+
+/// A gradient-based parameter updater.
+pub trait Optimizer {
+    /// Applies one update step from the gradients currently accumulated in
+    /// the model, then leaves the gradients untouched (call
+    /// [`Sequential::zero_grads`] before the next accumulation).
+    fn step(&mut self, model: &mut Sequential);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}

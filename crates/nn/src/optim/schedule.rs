@@ -1,0 +1,124 @@
+//! Learning-rate schedules: step decay, cosine annealing and linear
+//! warmup, applied per epoch on top of any [`crate::optim::Optimizer`].
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: base learning rate → per-epoch learning rate.
+pub trait Schedule: Send + Sync {
+    /// The learning rate to use for `epoch` (0-based) given the base rate.
+    fn rate(&self, base: f32, epoch: usize) -> f32;
+}
+
+/// Multiplies the rate by `gamma` at each listed milestone epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepDecay {
+    /// Epochs (0-based) at whose start the decay applies.
+    pub milestones: Vec<usize>,
+    /// Multiplicative decay per milestone.
+    pub gamma: f32,
+}
+
+impl Schedule for StepDecay {
+    fn rate(&self, base: f32, epoch: usize) -> f32 {
+        let hits = self.milestones.iter().filter(|&&m| m <= epoch).count() as i32;
+        base * self.gamma.powi(hits)
+    }
+}
+
+/// Cosine annealing from the base rate to `min_rate` over `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CosineAnnealing {
+    /// Length of the annealing horizon.
+    pub total_epochs: usize,
+    /// Floor rate at the end of the horizon.
+    pub min_rate: f32,
+}
+
+impl Schedule for CosineAnnealing {
+    fn rate(&self, base: f32, epoch: usize) -> f32 {
+        if self.total_epochs <= 1 {
+            return self.min_rate;
+        }
+        let t = (epoch.min(self.total_epochs - 1)) as f32 / (self.total_epochs - 1) as f32;
+        let cos = (std::f32::consts::PI * t).cos();
+        self.min_rate + 0.5 * (base - self.min_rate) * (1.0 + cos)
+    }
+}
+
+/// Linear warmup over the first `warmup_epochs`, then an inner schedule.
+pub struct Warmup<S: Schedule> {
+    /// Number of warmup epochs (rate ramps from `base / warmup_epochs`).
+    pub warmup_epochs: usize,
+    /// Schedule applied after warmup (epoch indices are shifted).
+    pub inner: S,
+}
+
+impl<S: Schedule> Schedule for Warmup<S> {
+    fn rate(&self, base: f32, epoch: usize) -> f32 {
+        if self.warmup_epochs > 0 && epoch < self.warmup_epochs {
+            base * (epoch + 1) as f32 / self.warmup_epochs as f32
+        } else {
+            self.inner.rate(base, epoch - self.warmup_epochs)
+        }
+    }
+}
+
+/// The identity schedule (constant rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Constant;
+
+impl Schedule for Constant {
+    fn rate(&self, base: f32, _epoch: usize) -> f32 {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decay_applies_per_milestone() {
+        let s = StepDecay { milestones: vec![2, 4], gamma: 0.1 };
+        assert_eq!(s.rate(1.0, 0), 1.0);
+        assert_eq!(s.rate(1.0, 1), 1.0);
+        assert!((s.rate(1.0, 2) - 0.1).abs() < 1e-7);
+        assert!((s.rate(1.0, 3) - 0.1).abs() < 1e-7);
+        assert!((s.rate(1.0, 4) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_endpoints_and_monotonicity() {
+        let s = CosineAnnealing { total_epochs: 11, min_rate: 0.01 };
+        assert!((s.rate(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((s.rate(1.0, 10) - 0.01).abs() < 1e-6);
+        // Beyond the horizon stays at the floor.
+        assert!((s.rate(1.0, 50) - 0.01).abs() < 1e-6);
+        // Monotone decreasing on the horizon.
+        let mut prev = f32::INFINITY;
+        for e in 0..11 {
+            let r = s.rate(1.0, e);
+            assert!(r <= prev + 1e-7);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = Warmup { warmup_epochs: 4, inner: Constant };
+        assert!((s.rate(1.0, 0) - 0.25).abs() < 1e-7);
+        assert!((s.rate(1.0, 3) - 1.0).abs() < 1e-7);
+        assert_eq!(s.rate(1.0, 9), 1.0);
+    }
+
+    #[test]
+    fn warmup_shifts_inner_epochs() {
+        let s = Warmup {
+            warmup_epochs: 2,
+            inner: StepDecay { milestones: vec![1], gamma: 0.5 },
+        };
+        // Epoch 2 maps to inner epoch 0 (no decay yet), epoch 3 to inner 1.
+        assert_eq!(s.rate(1.0, 2), 1.0);
+        assert!((s.rate(1.0, 3) - 0.5).abs() < 1e-7);
+    }
+}

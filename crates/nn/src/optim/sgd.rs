@@ -1,0 +1,149 @@
+//! Stochastic gradient descent with classical momentum and decoupled weight
+//! decay.
+
+use crate::optim::Optimizer;
+use crate::layer::Layer;
+use crate::sequential::Sequential;
+use bdlfi_tensor::Tensor;
+use std::collections::HashMap;
+
+/// SGD with momentum: `v ← μ v + g + λ w`, `w ← w − lr · v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum, no decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+    }
+
+    /// Sets the momentum coefficient, returning the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is not in `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets L2 weight decay, returning the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut Sequential) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params_mut("", &mut |path, p| {
+            if !p.trainable {
+                return;
+            }
+            let mut update = p.grad.clone();
+            if wd > 0.0 {
+                update.axpy(wd, &p.value);
+            }
+            if momentum > 0.0 {
+                let v = velocity
+                    .entry(path.to_string())
+                    .or_insert_with(|| Tensor::zeros(p.value.dims()));
+                v.scale_inplace(momentum);
+                v.add_assign_t(&update);
+                update = v.clone();
+            }
+            p.value.axpy(-lr, &update);
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use bdlfi_tensor::Tensor;
+
+    fn model_with_grad(grad: f32) -> Sequential {
+        let mut m = Sequential::new().with(
+            "fc",
+            Dense::from_weights(Tensor::ones([1, 1]), Tensor::zeros([1])),
+        );
+        m.with_param_mut("fc.weight", &mut |p| p.grad.fill(grad));
+        m
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut m = model_with_grad(2.0);
+        Sgd::new(0.1).step(&mut m);
+        let w = m.param_value("fc.weight").unwrap();
+        assert!((w.data()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accelerates_repeated_steps() {
+        let mut m = model_with_grad(1.0);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        opt.step(&mut m);
+        let w1 = m.param_value("fc.weight").unwrap().data()[0];
+        m.with_param_mut("fc.weight", &mut |p| p.grad.fill(1.0));
+        opt.step(&mut m);
+        let w2 = m.param_value("fc.weight").unwrap().data()[0];
+        // Second step is bigger: v2 = 0.9*1 + 1 = 1.9 > v1 = 1.
+        assert!((1.0 - w1) < (w1 - w2));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut m = model_with_grad(0.0);
+        Sgd::new(0.1).with_weight_decay(0.5).step(&mut m);
+        let w = m.param_value("fc.weight").unwrap().data()[0];
+        assert!((w - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated() {
+        use crate::layers::BatchNorm2d;
+        let mut m = Sequential::new().with("bn", BatchNorm2d::new(2));
+        m.with_param_mut("bn.running_mean", &mut |p| p.grad.fill(10.0));
+        Sgd::new(1.0).step(&mut m);
+        assert_eq!(m.param_value("bn.running_mean").unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

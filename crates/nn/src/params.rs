@@ -1,0 +1,103 @@
+//! Learnable (and fault-injectable) parameters with stable path addressing.
+//!
+//! Every tensor a network keeps in memory — weights, biases, batch-norm
+//! scales and running statistics — is a [`Param`]. Fault injection targets
+//! parameters by *path* (e.g. `"layer1.block0.conv1.weight"`), so paths must
+//! be stable across clones and (de)serialisation; they are derived purely
+//! from model structure.
+
+use bdlfi_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One named tensor owned by a layer: its value, its gradient accumulator
+/// and whether the optimizer updates it.
+///
+/// Non-trainable parameters (batch-norm running statistics) still live in
+/// device memory at inference time and are therefore legitimate fault sites;
+/// they are enumerated by the same visitors as trainable weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Local name within the owning layer, e.g. `"weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulator, same shape as `value`.
+    pub grad: Tensor,
+    /// Whether the optimizer should update this parameter.
+    pub trainable: bool,
+}
+
+impl Param {
+    /// Creates a trainable parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { name: name.into(), value, grad, trainable: true }
+    }
+
+    /// Creates a non-trainable parameter (e.g. a running statistic).
+    pub fn frozen(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Param::new(name, value);
+        p.trainable = false;
+        p
+    }
+
+    /// Zeroes the gradient accumulator in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// Joins a parent path and a child component with `.` (no leading dot for an
+/// empty parent).
+pub fn join_path(parent: &str, child: &str) -> String {
+    if parent.is_empty() {
+        child.to_string()
+    } else {
+        format!("{parent}.{child}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_same_shape() {
+        let p = Param::new("weight", Tensor::ones([2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.trainable);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn frozen_param_is_not_trainable() {
+        let p = Param::frozen("running_mean", Tensor::zeros([4]));
+        assert!(!p.trainable);
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulator() {
+        let mut p = Param::new("b", Tensor::zeros([3]));
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn join_path_handles_empty_parent() {
+        assert_eq!(join_path("", "weight"), "weight");
+        assert_eq!(join_path("fc", "weight"), "fc.weight");
+        assert_eq!(join_path("layer1.block0", "conv1"), "layer1.block0.conv1");
+    }
+}

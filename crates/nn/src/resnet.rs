@@ -1,0 +1,185 @@
+//! Builder for the paper's second evaluated network: ResNet-18 (Fig. 3).
+//!
+//! Topology (CIFAR variant, as used by the paper's CIFAR-10 evaluation):
+//! a 3×3 stem convolution, four stages of two [`BasicBlock`]s with channel
+//! widths `[w, 2w, 4w, 8w]` and stride-2 downsampling at the start of stages
+//! 2–4, global average pooling and a final dense classifier — 18 weighted
+//! layers in total (1 stem + 2·2·4 block convs + 1 fc).
+//!
+//! The paper runs the standard width `w = 64`. This reproduction defaults to
+//! a narrower `w` for CPU-tractable campaigns; the topology — which is what
+//! the per-layer injection experiment (Fig. 3) measures — is identical, and
+//! `w = 64` is one argument away (see DESIGN.md §4).
+
+use crate::layers::{BasicBlock, BatchNorm2d, Conv2d, Dense, GlobalAvgPool, Relu};
+use crate::sequential::Sequential;
+use bdlfi_tensor::Conv2dSpec;
+use rand::Rng;
+
+/// Configuration for [`resnet18`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Input image channels (3 for RGB).
+    pub in_channels: usize,
+    /// Base width `w` (the paper's network uses 64).
+    pub base_width: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl Default for ResNetConfig {
+    /// CPU-tractable default: RGB input, base width 8, 10 classes.
+    fn default() -> Self {
+        ResNetConfig { in_channels: 3, base_width: 8, classes: 10 }
+    }
+}
+
+/// Builds a CIFAR-style ResNet-18 as a [`Sequential`].
+///
+/// Layer names follow the torchvision convention (`conv1`, `bn1`, `relu`,
+/// `layer1_0` … `layer4_1`, `avgpool`, `fc`), so per-layer fault campaigns
+/// report recognisable positions.
+///
+/// # Panics
+///
+/// Panics if any configuration field is zero.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let cfg = bdlfi_nn::ResNetConfig { in_channels: 3, base_width: 4, classes: 10 };
+/// let mut net = bdlfi_nn::resnet18(cfg, &mut rng);
+/// let logits = net.predict(&bdlfi_tensor::Tensor::zeros([1, 3, 32, 32]));
+/// assert_eq!(logits.dims(), &[1, 10]);
+/// ```
+pub fn resnet18<R: Rng + ?Sized>(cfg: ResNetConfig, rng: &mut R) -> Sequential {
+    assert!(cfg.in_channels > 0, "resnet18 requires in_channels > 0");
+    assert!(cfg.base_width > 0, "resnet18 requires base_width > 0");
+    assert!(cfg.classes > 0, "resnet18 requires classes > 0");
+
+    let w = cfg.base_width;
+    let mut net = Sequential::new()
+        .with(
+            "conv1",
+            Conv2d::without_bias(cfg.in_channels, w, Conv2dSpec::new(3).with_padding(1), rng),
+        )
+        .with("bn1", BatchNorm2d::new(w))
+        .with("relu", Relu::new());
+
+    let stage_widths = [w, 2 * w, 4 * w, 8 * w];
+    let mut in_c = w;
+    for (stage, &out_c) in stage_widths.iter().enumerate() {
+        let stride = if stage == 0 { 1 } else { 2 };
+        net.push(format!("layer{}_0", stage + 1), BasicBlock::new(in_c, out_c, stride, rng));
+        net.push(format!("layer{}_1", stage + 1), BasicBlock::new(out_c, out_c, 1, rng));
+        in_c = out_c;
+    }
+
+    net.push("avgpool", GlobalAvgPool::new());
+    net.push("fc", Dense::new(8 * w, cfg.classes, rng));
+    net
+}
+
+/// The injectable "layer positions" of a ResNet-18 built by [`resnet18`],
+/// ordered by depth: the stem, the eight basic blocks and the classifier.
+///
+/// This is the x-axis of the paper's Fig. 3 (layer-by-layer injection).
+pub fn resnet18_layer_positions() -> Vec<&'static str> {
+    vec![
+        "conv1", "layer1_0", "layer1_1", "layer2_0", "layer2_1", "layer3_0", "layer3_1",
+        "layer4_0", "layer4_1", "fc",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use bdlfi_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> (Sequential, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = resnet18(ResNetConfig { in_channels: 3, base_width: 2, classes: 10 }, &mut rng);
+        (net, rng)
+    }
+
+    #[test]
+    fn forward_shape_is_logits() {
+        let (mut net, mut rng) = tiny();
+        let x = Tensor::rand_normal([2, 3, 32, 32], 0.0, 1.0, &mut rng);
+        let y = net.predict(&x);
+        assert_eq!(y.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn has_eighteen_weighted_layers() {
+        let (net, _) = tiny();
+        // Count conv + dense weights (the "18" in ResNet-18 counts these,
+        // excluding the three projection shortcuts).
+        let mut weighted = 0;
+        net.visit_params("", &mut |p, _| {
+            if p.ends_with(".weight") && !p.contains("bn") && !p.contains("down_bn") {
+                weighted += 1;
+            }
+        });
+        // 1 stem + 16 block convs + 3 projection convs + 1 fc = 21 weights;
+        // canonical count excludes projections: 21 - 3 = 18.
+        assert_eq!(weighted, 21);
+        let mut projections = 0;
+        net.visit_params("", &mut |p, _| {
+            if p.contains("down_conv") && p.ends_with(".weight") {
+                projections += 1;
+            }
+        });
+        assert_eq!(projections, 3);
+        assert_eq!(weighted - projections, 18);
+    }
+
+    #[test]
+    fn layer_positions_match_structure() {
+        let (net, _) = tiny();
+        let names = net.layer_names();
+        for pos in resnet18_layer_positions() {
+            assert!(names.contains(&pos.to_string()), "missing {pos}");
+        }
+    }
+
+    #[test]
+    fn spatial_downsampling_by_eight() {
+        let (mut net, mut rng) = tiny();
+        // 32x32 -> stage strides 1,2,2,2 -> 4x4 before GAP. Check via tap.
+        let x = Tensor::rand_normal([1, 3, 32, 32], 0.0, 1.0, &mut rng);
+        let mut last_spatial = None;
+        net.predict_with_tap(&x, &mut |p, t| {
+            if p == "layer4_1" {
+                last_spatial = Some(t.dims().to_vec());
+            }
+        });
+        assert_eq!(last_spatial.unwrap(), vec![1, 16, 4, 4]);
+    }
+
+    #[test]
+    fn width_scales_parameter_count_quadratically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = resnet18(ResNetConfig { in_channels: 3, base_width: 2, classes: 10 }, &mut rng);
+        let big = resnet18(ResNetConfig { in_channels: 3, base_width: 4, classes: 10 }, &mut rng);
+        let (s, b) = (small.param_count(), big.param_count());
+        assert!(b > 3 * s, "expected roughly quadratic growth: {s} -> {b}");
+    }
+
+    #[test]
+    fn train_mode_forward_backward_runs() {
+        use crate::layer::{ForwardCtx, Mode};
+        let (mut net, mut rng) = tiny();
+        let x = Tensor::rand_normal([2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let mut ctx = ForwardCtx::new(Mode::Train);
+        let y = crate::layer::Layer::forward(&mut net, &x, &mut ctx);
+        let g = Tensor::ones(y.dims());
+        let gx = crate::layer::Layer::backward(&mut net, &g);
+        assert_eq!(gx.dims(), x.dims());
+    }
+}

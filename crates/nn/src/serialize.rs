@@ -1,0 +1,175 @@
+//! Weight persistence: save trained "golden run" networks to JSON and load
+//! them back, so figure benches and examples can reuse a network instead of
+//! retraining.
+//!
+//! Only parameter *values* are persisted (not gradients or optimizer
+//! state), keyed by parameter path. Loading validates that every saved path
+//! exists with the right shape and that no model parameter is missing.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::sequential::Sequential;
+use bdlfi_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// On-disk representation of a model's weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightFile {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Parameter values keyed by path.
+    pub params: BTreeMap<String, Tensor>,
+}
+
+/// Extracts a model's weights as a [`WeightFile`].
+pub fn export_weights(model: &Sequential) -> WeightFile {
+    let mut params = BTreeMap::new();
+    model.visit_params("", &mut |path, p| {
+        params.insert(path.to_string(), p.value.clone());
+    });
+    WeightFile { version: 1, params }
+}
+
+/// Installs weights into a structurally matching model.
+///
+/// # Errors
+///
+/// Returns [`NnError::WeightMismatch`] if a model parameter is missing from
+/// the file, a file entry has no matching model parameter, or shapes differ.
+pub fn import_weights(model: &mut Sequential, weights: &WeightFile) -> Result<(), NnError> {
+    // Every model param must be present with the right shape.
+    let mut error: Option<NnError> = None;
+    let mut used = 0usize;
+    model.visit_params_mut("", &mut |path, p| {
+        if error.is_some() {
+            return;
+        }
+        match weights.params.get(path) {
+            None => {
+                error = Some(NnError::WeightMismatch {
+                    path: path.to_string(),
+                    detail: "missing from weight file".into(),
+                });
+            }
+            Some(t) if t.dims() != p.value.dims() => {
+                error = Some(NnError::WeightMismatch {
+                    path: path.to_string(),
+                    detail: format!("shape {:?} != model shape {:?}", t.dims(), p.value.dims()),
+                });
+            }
+            Some(t) => {
+                p.value = t.clone();
+                used += 1;
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if used != weights.params.len() {
+        let model_paths: std::collections::BTreeSet<String> =
+            model.param_paths().into_iter().collect();
+        let orphan = weights
+            .params
+            .keys()
+            .find(|k| !model_paths.contains(*k))
+            .cloned()
+            .unwrap_or_default();
+        return Err(NnError::WeightMismatch {
+            path: orphan,
+            detail: "present in weight file but not in model".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Saves a model's weights to a JSON file.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written or serialisation fails.
+pub fn save_weights(model: &Sequential, path: impl AsRef<Path>) -> Result<(), NnError> {
+    let file = std::fs::File::create(path)?;
+    serde_json::to_writer(std::io::BufWriter::new(file), &export_weights(model))?;
+    Ok(())
+}
+
+/// Loads weights from a JSON file into a structurally matching model.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read, parsed, or does not match
+/// the model structure.
+pub fn load_weights(model: &mut Sequential, path: impl AsRef<Path>) -> Result<(), NnError> {
+    let file = std::fs::File::open(path)?;
+    let weights: WeightFile = serde_json::from_reader(std::io::BufReader::new(file))?;
+    import_weights(model, &weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut a = mlp(2, &[4], 2, &mut rng);
+        let mut b = mlp(2, &[4], 2, &mut rng); // different init
+        let wf = export_weights(&a);
+        import_weights(&mut b, &wf).unwrap();
+
+        let x = Tensor::rand_normal([3, 2], 0.0, 1.0, &mut rng);
+        assert!(a.predict(&x).approx_eq(&b.predict(&x), 1e-7));
+    }
+
+    #[test]
+    fn import_rejects_shape_mismatch() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = mlp(2, &[4], 2, &mut rng);
+        let mut b = mlp(2, &[8], 2, &mut rng);
+        let err = import_weights(&mut b, &export_weights(&a)).unwrap_err();
+        assert!(err.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn import_rejects_orphan_params() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = mlp(2, &[4, 4], 2, &mut rng); // has fc3.*
+        let mut b = mlp(2, &[4], 2, &mut rng);
+        let err = import_weights(&mut b, &export_weights(&a)).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("not in model") || msg.contains("shape"),
+            "unexpected error: {msg}"
+        );
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let dir = std::env::temp_dir().join("bdlfi_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("weights.json");
+
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = mlp(3, &[5], 4, &mut rng);
+        save_weights(&a, &path).unwrap();
+        let mut b = mlp(3, &[5], 4, &mut rng);
+        load_weights(&mut b, &path).unwrap();
+        assert_eq!(export_weights(&a).params, export_weights(&b).params);
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let mut m = mlp(2, &[2], 2, &mut rng);
+        let err = load_weights(&mut m, "/nonexistent/weights.json").unwrap_err();
+        assert!(matches!(err, NnError::Io(_)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for tensor construction and manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+///
+/// Most element-wise and linear-algebra operations in this crate panic on
+/// shape mismatch (the mismatch is a programming error, and hot loops cannot
+/// afford `Result` plumbing); the fallible *constructors* and explicit
+/// `try_*` entry points return this type instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the number of elements implied
+    /// by the shape.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two shapes that were required to be identical differ.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// A reshape was requested to a shape with a different element count.
+    ReshapeMismatch {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested target shape.
+        to: Vec<usize>,
+    },
+    /// An operation required a specific rank (number of dimensions).
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Provided rank.
+        actual: usize,
+    },
+    /// An index was out of bounds for the given axis.
+    IndexOutOfBounds {
+        /// Axis on which the index was out of range.
+        axis: usize,
+        /// Offending index.
+        index: usize,
+        /// Axis length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, found rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { axis, index, len } => {
+                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch { expected: 4, actual: 3 },
+            TensorError::ShapeMismatch { left: vec![2, 2], right: vec![3] },
+            TensorError::ReshapeMismatch { from: vec![2, 2], to: vec![5] },
+            TensorError::RankMismatch { expected: 2, actual: 4 },
+            TensorError::IndexOutOfBounds { axis: 1, index: 9, len: 3 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

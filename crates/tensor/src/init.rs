@@ -1,0 +1,131 @@
+//! Random tensor initialisers used to seed network training.
+//!
+//! Normal deviates are produced with a Box–Muller transform so the crate
+//! needs nothing beyond `rand`'s uniform source.
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Draws a standard-normal deviate via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+impl Tensor {
+    /// Tensor with elements drawn uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform<R: Rng + ?Sized>(
+        shape: impl Into<Shape>,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Tensor {
+        assert!(lo < hi, "rand_uniform requires lo < hi");
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Tensor with elements drawn from `N(mean, std²)`.
+    pub fn rand_normal<R: Rng + ?Sized>(
+        shape: impl Into<Shape>,
+        mean: f32,
+        std: f32,
+        rng: &mut R,
+    ) -> Tensor {
+        let shape = shape.into();
+        let n = shape.num_elements();
+        let data = (0..n).map(|_| mean + std * standard_normal(rng)).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Kaiming/He-uniform initialisation for a layer with `fan_in` inputs:
+    /// uniform on `[-√(6/fan_in), √(6/fan_in)]`, appropriate before ReLU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in == 0`.
+    pub fn kaiming_uniform<R: Rng + ?Sized>(
+        shape: impl Into<Shape>,
+        fan_in: usize,
+        rng: &mut R,
+    ) -> Tensor {
+        assert!(fan_in > 0, "kaiming_uniform requires fan_in > 0");
+        let bound = (6.0 / fan_in as f32).sqrt();
+        Tensor::rand_uniform(shape, -bound, bound, rng)
+    }
+
+    /// Xavier/Glorot-uniform initialisation:
+    /// uniform on `[-√(6/(fan_in+fan_out)), √(6/(fan_in+fan_out))]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in + fan_out == 0`.
+    pub fn xavier_uniform<R: Rng + ?Sized>(
+        shape: impl Into<Shape>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut R,
+    ) -> Tensor {
+        assert!(fan_in + fan_out > 0, "xavier_uniform requires fan_in + fan_out > 0");
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(shape, -bound, bound, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::rand_uniform([1000], -2.0, 3.0, &mut rng);
+        assert!(t.data().iter().all(|&x| (-2.0..3.0).contains(&x)));
+        // Mean should be near the midpoint 0.5.
+        assert!((t.mean() - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::rand_normal([20_000], 1.0, 2.0, &mut rng);
+        assert!((t.mean() - 1.0).abs() < 0.1);
+        let var = t.map(|x| (x - 1.0) * (x - 1.0)).mean();
+        assert!((var - 4.0).abs() < 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = Tensor::kaiming_uniform([1000], 10, &mut rng);
+        let large = Tensor::kaiming_uniform([1000], 1000, &mut rng);
+        assert!(small.map(f32::abs).max() > large.map(f32::abs).max());
+        assert!(large.map(f32::abs).max() <= (6.0f32 / 1000.0).sqrt());
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = Tensor::rand_normal([16], 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        let b = Tensor::rand_normal([16], 0.0, 1.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Concatenation and row-range slicing along the batch axis — the
+//! utilities batched pipelines are built from.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Concatenates tensors along axis 0. All inputs must agree on every
+    /// trailing dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or trailing dimensions differ.
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_rows needs at least one tensor");
+        let tail = &parts[0].dims()[1..];
+        let mut rows = 0usize;
+        for p in parts {
+            assert_eq!(
+                &p.dims()[1..],
+                tail,
+                "concat_rows requires identical trailing dimensions"
+            );
+            rows += p.dim(0);
+        }
+        let mut data = Vec::with_capacity(rows * tail.iter().product::<usize>());
+        for p in parts {
+            data.extend_from_slice(p.data());
+        }
+        let mut dims = vec![rows];
+        dims.extend_from_slice(tail);
+        Tensor::from_vec(data, dims)
+    }
+
+    /// Copies rows `start..end` (axis 0) into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, out of bounds, or the tensor is
+    /// rank 0.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert!(self.rank() >= 1, "slice_rows requires a batched tensor");
+        assert!(start < end && end <= self.dim(0), "row range {start}..{end} out of bounds");
+        let row_len = self.len() / self.dim(0);
+        let mut dims = self.dims().to_vec();
+        dims[0] = end - start;
+        Tensor::from_vec(
+            self.data()[start * row_len..end * row_len].to_vec(),
+            dims,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_then_slice_roundtrips() {
+        let a = Tensor::from_fn([2, 3], |i| (i[0] * 3 + i[1]) as f32);
+        let b = Tensor::from_fn([1, 3], |i| 100.0 + i[1] as f32);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.dims(), &[3, 3]);
+        assert_eq!(c.slice_rows(0, 2), a);
+        assert_eq!(c.slice_rows(2, 3), b);
+    }
+
+    #[test]
+    fn concat_preserves_higher_rank_tails() {
+        let a = Tensor::ones([2, 3, 4, 4]);
+        let b = Tensor::zeros([3, 3, 4, 4]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.dims(), &[5, 3, 4, 4]);
+        assert_eq!(c.slice_rows(0, 2).sum(), a.sum());
+        assert_eq!(c.slice_rows(2, 5).sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical trailing dimensions")]
+    fn mismatched_tails_rejected() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([2, 4]);
+        Tensor::concat_rows(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_the_end_rejected() {
+        Tensor::zeros([2, 2]).slice_rows(1, 3);
+    }
+}

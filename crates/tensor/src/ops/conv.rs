@@ -1,0 +1,382 @@
+//! 2-D convolution via im2col + matrix multiplication, with the full
+//! backward pass needed for training (ResNet-18 substrate).
+//!
+//! All image tensors are NCHW (batch, channels, height, width); weights are
+//! `(out_channels, in_channels, kh, kw)`.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Kernel height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Vertical and horizontal zero padding (applied on both sides).
+    pub padding: (usize, usize),
+}
+
+impl Conv2dSpec {
+    /// Creates a spec with a square kernel, unit stride and no padding.
+    pub fn new(kernel: usize) -> Self {
+        Conv2dSpec { kernel: (kernel, kernel), stride: (1, 1), padding: (0, 0) }
+    }
+
+    /// Sets a uniform stride, returning the modified spec.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = (stride, stride);
+        self
+    }
+
+    /// Sets a uniform padding, returning the modified spec.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = (padding, padding);
+        self
+    }
+
+    /// Output spatial size for an input of size `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit in the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        assert!(
+            h + 2 * ph >= kh && w + 2 * pw >= kw,
+            "kernel {kh}x{kw} does not fit input {h}x{w} with padding {ph}x{pw}"
+        );
+        ((h + 2 * ph - kh) / sh + 1, (w + 2 * pw - kw) / sw + 1)
+    }
+}
+
+/// Unfolds one CHW image into the im2col matrix of shape
+/// `(c * kh * kw, oh * ow)`: column `q` holds the receptive field of output
+/// position `q`, so convolution becomes `W_mat · cols`.
+///
+/// Out-of-bounds (padding) positions contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `image` is not rank 3 or the kernel does not fit.
+pub fn im2col(image: &Tensor, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(image.rank(), 3, "im2col expects a CHW image");
+    let (c, h, w) = (image.dim(0), image.dim(1), image.dim(2));
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols_n = oh * ow;
+    let rows_n = c * kh * kw;
+    let src = image.data();
+    let mut out = vec![0.0f32; rows_n * cols_n];
+
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let dst_row = &mut out[row * cols_n..(row + 1) * cols_n];
+                for oi in 0..oh {
+                    let si = (oi * sh + ki) as isize - ph as isize;
+                    if si < 0 || si >= h as isize {
+                        continue;
+                    }
+                    let src_base = (ch * h + si as usize) * w;
+                    for oj in 0..ow {
+                        let sj = (oj * sw + kj) as isize - pw as isize;
+                        if sj < 0 || sj >= w as isize {
+                            continue;
+                        }
+                        dst_row[oi * ow + oj] = src[src_base + sj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [rows_n, cols_n])
+}
+
+/// Folds an im2col matrix back into a CHW image, *accumulating* overlapping
+/// contributions — the adjoint of [`im2col`], used for input gradients.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape implied by `(c, h, w)` and
+/// `spec`.
+pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Tensor {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        cols.dims(),
+        &[c * kh * kw, oh * ow],
+        "col2im: cols shape does not match geometry"
+    );
+    let src = cols.data();
+    let cols_n = oh * ow;
+    let mut out = vec![0.0f32; c * h * w];
+
+    for ch in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ch * kh + ki) * kw + kj;
+                let src_row = &src[row * cols_n..(row + 1) * cols_n];
+                for oi in 0..oh {
+                    let si = (oi * sh + ki) as isize - ph as isize;
+                    if si < 0 || si >= h as isize {
+                        continue;
+                    }
+                    let dst_base = (ch * h + si as usize) * w;
+                    for oj in 0..ow {
+                        let sj = (oj * sw + kj) as isize - pw as isize;
+                        if sj < 0 || sj >= w as isize {
+                            continue;
+                        }
+                        out[dst_base + sj as usize] += src_row[oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [c, h, w])
+}
+
+/// Batched 2-D convolution forward pass.
+///
+/// `input` is `(n, c, h, w)`, `weight` is `(oc, c, kh, kw)`, optional `bias`
+/// is `(oc,)`; the result is `(n, oc, oh, ow)`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "conv2d expects NCHW input");
+    assert_eq!(weight.rank(), 4, "conv2d expects OIHW weights");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (oc, ic, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    assert_eq!(c, ic, "conv2d: input channels {c} != weight channels {ic}");
+    assert_eq!((kh, kw), spec.kernel, "conv2d: weight kernel does not match spec");
+    if let Some(b) = bias {
+        assert_eq!(b.dims(), &[oc], "conv2d: bias must have one entry per output channel");
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let w_mat = weight.reshape([oc, c * kh * kw]);
+    let plane = oh * ow;
+    let mut out = vec![0.0f32; n * oc * plane];
+
+    for img in 0..n {
+        let image = Tensor::from_vec(
+            input.data()[img * c * h * w..(img + 1) * c * h * w].to_vec(),
+            [c, h, w],
+        );
+        let cols = im2col(&image, spec);
+        let res = w_mat.matmul(&cols); // (oc, oh*ow)
+        let dst = &mut out[img * oc * plane..(img + 1) * oc * plane];
+        dst.copy_from_slice(res.data());
+        if let Some(b) = bias {
+            for och in 0..oc {
+                let bv = b.data()[och];
+                for x in &mut dst[och * plane..(och + 1) * plane] {
+                    *x += bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, oc, oh, ow])
+}
+
+/// Gradients of a batched 2-D convolution.
+///
+/// Given the forward inputs and `grad_out = ∂L/∂output` of shape
+/// `(n, oc, oh, ow)`, returns `(∂L/∂input, ∂L/∂weight, ∂L/∂bias)`.
+///
+/// # Panics
+///
+/// Panics on rank or dimension mismatches.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: Conv2dSpec,
+) -> (Tensor, Tensor, Tensor) {
+    assert_eq!(input.rank(), 4, "conv2d_backward expects NCHW input");
+    assert_eq!(grad_out.rank(), 4, "conv2d_backward expects NCHW grad_out");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (oc, _, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d_backward: grad_out shape mismatch");
+
+    let w_mat = weight.reshape([oc, c * kh * kw]);
+    let plane = oh * ow;
+    let mut grad_input = vec![0.0f32; n * c * h * w];
+    let mut grad_weight = Tensor::zeros([oc, c * kh * kw]);
+    let mut grad_bias = vec![0.0f32; oc];
+
+    for img in 0..n {
+        let image = Tensor::from_vec(
+            input.data()[img * c * h * w..(img + 1) * c * h * w].to_vec(),
+            [c, h, w],
+        );
+        let cols = im2col(&image, spec); // (K, L)
+        let go = Tensor::from_vec(
+            grad_out.data()[img * oc * plane..(img + 1) * oc * plane].to_vec(),
+            [oc, plane],
+        );
+        // dW += dY · colsᵀ
+        grad_weight.add_assign_t(&go.matmul_nt(&cols));
+        // db += row sums of dY
+        for och in 0..oc {
+            grad_bias[och] += go.row(och).iter().sum::<f32>();
+        }
+        // dcols = Wᵀ · dY, then fold back
+        let dcols = w_mat.matmul_tn(&go); // (K, L)
+        let dimg = col2im(&dcols, c, h, w, spec);
+        grad_input[img * c * h * w..(img + 1) * c * h * w].copy_from_slice(dimg.data());
+    }
+
+    (
+        Tensor::from_vec(grad_input, [n, c, h, w]),
+        grad_weight.reshape([oc, c, kh, kw]),
+        Tensor::from_vec(grad_bias, [oc]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_geometry() {
+        let s = Conv2dSpec::new(3).with_padding(1);
+        assert_eq!(s.output_hw(32, 32), (32, 32));
+        let s = Conv2dSpec::new(3).with_stride(2).with_padding(1);
+        assert_eq!(s.output_hw(32, 32), (16, 16));
+        let s = Conv2dSpec::new(1);
+        assert_eq!(s.output_hw(7, 5), (7, 5));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // A 1x1 kernel with unit stride flattens each channel plane.
+        let img = Tensor::from_fn([2, 2, 2], |i| (i[0] * 4 + i[1] * 2 + i[2]) as f32);
+        let cols = im2col(&img, Conv2dSpec::new(1));
+        assert_eq!(cols.dims(), &[2, 4]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // Single 1x3x3 image, single 1x1x2x2 averaging-ish kernel.
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            [1, 1, 3, 3],
+        );
+        let weight = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [1, 1, 2, 2]);
+        let out = conv2d(&input, &weight, None, Conv2dSpec::new(2));
+        // Each output = top-left + bottom-right of the 2x2 window.
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[1.0 + 5.0, 2.0 + 6.0, 4.0 + 8.0, 5.0 + 9.0]);
+    }
+
+    #[test]
+    fn conv2d_bias_adds_per_channel() {
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let weight = Tensor::ones([2, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![10.0, -10.0], [2]);
+        let out = conv2d(&input, &weight, Some(&bias), Conv2dSpec::new(1));
+        assert_eq!(out.dims(), &[1, 2, 2, 2]);
+        assert_eq!(&out.data()[..4], &[11.0; 4]);
+        assert_eq!(&out.data()[4..], &[-9.0; 4]);
+    }
+
+    #[test]
+    fn padding_behaves_like_zero_border() {
+        let input = Tensor::ones([1, 1, 2, 2]);
+        let weight = Tensor::ones([1, 1, 3, 3]);
+        let out = conv2d(&input, &weight, None, Conv2dSpec::new(3).with_padding(1));
+        // Centre of each output = count of in-bounds ones in the 3x3 window.
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let spec = Conv2dSpec::new(2).with_stride(1).with_padding(1);
+        let x = Tensor::from_fn([2, 3, 3], |i| ((i[0] + 1) * (i[1] + 2) * (i[2] + 3)) as f32 * 0.1);
+        let cols = im2col(&x, spec);
+        let y = Tensor::from_fn(cols.dims(), |i| ((i[0] * 7 + i[1] * 3) % 5) as f32 - 2.0);
+        let lhs = cols.dot(&y);
+        let folded = col2im(&y, 2, 3, 3, spec);
+        let rhs = x.dot(&folded);
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        let spec = Conv2dSpec::new(3).with_stride(2).with_padding(1);
+        let input = Tensor::from_fn([2, 2, 5, 5], |i| {
+            ((i[0] * 31 + i[1] * 17 + i[2] * 7 + i[3] * 3) % 11) as f32 * 0.1 - 0.5
+        });
+        let weight = Tensor::from_fn([3, 2, 3, 3], |i| {
+            ((i[0] * 13 + i[1] * 5 + i[2] * 3 + i[3]) % 7) as f32 * 0.1 - 0.3
+        });
+        let bias = Tensor::from_vec(vec![0.1, -0.2, 0.3], [3]);
+
+        // Loss = sum(conv output); then dL/dout = ones.
+        let out = conv2d(&input, &weight, Some(&bias), spec);
+        let grad_out = Tensor::ones(out.dims());
+        let (gi, gw, gb) = conv2d_backward(&input, &weight, &grad_out, spec);
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, wt: &Tensor, b: &Tensor| conv2d(inp, wt, Some(b), spec).sum();
+
+        // Check a scattering of coordinates in each gradient.
+        for &idx in &[0usize, 7, 23, 49] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let fd = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            assert!(
+                (fd - gi.data()[idx]).abs() < 2e-2,
+                "grad_input[{idx}]: fd={fd}, analytic={}",
+                gi.data()[idx]
+            );
+        }
+        for &idx in &[0usize, 5, 17, 53] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 2e-1,
+                "grad_weight[{idx}]: fd={fd}, analytic={}",
+                gw.data()[idx]
+            );
+        }
+        for idx in 0..3 {
+            let mut bp = bias.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = bias.clone();
+            bm.data_mut()[idx] -= eps;
+            let fd = (loss(&input, &weight, &bp) - loss(&input, &weight, &bm)) / (2.0 * eps);
+            assert!(
+                (fd - gb.data()[idx]).abs() < 2e-1,
+                "grad_bias[{idx}]: fd={fd}, analytic={}",
+                gb.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn kernel_too_large_panics() {
+        Conv2dSpec::new(5).output_hw(3, 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Matrix multiplication kernels.
+//!
+//! Three variants cover everything the training and inference paths need
+//! without materialising transposes:
+//!
+//! * [`Tensor::matmul`] — `C = A · B`
+//! * [`Tensor::matmul_tn`] — `C = Aᵀ · B` (used for weight gradients)
+//! * [`Tensor::matmul_nt`] — `C = A · Bᵀ` (used for input gradients)
+//!
+//! The plain kernel uses `i-k-j` loop order so that the inner loop is a
+//! unit-stride fused multiply-add over rows of `B` and `C`, which LLVM
+//! auto-vectorises. That keeps fault-injection campaigns (thousands of full
+//! network inferences) tractable on CPU — the paper's point that BDLFI needs
+//! only fast *inference*, not debugger hooks.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Matrix product `self · rhs` for rank-2 tensors `(m, k) · (k, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul: lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul: rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (l, &a_il) in a_row.iter().enumerate() {
+                if a_il == 0.0 {
+                    continue;
+                }
+                let b_row = &b[l * n..(l + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_il * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix product `selfᵀ · rhs` for rank-2 tensors `(k, m)ᵀ · (k, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the leading dimensions
+    /// differ.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn: lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul_tn: rhs must be rank 2");
+        let (k, m) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_tn: leading dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for l in 0..k {
+            let a_row = &a[l * m..(l + 1) * m];
+            let b_row = &b[l * n..(l + 1) * n];
+            for (i, &a_li) in a_row.iter().enumerate() {
+                if a_li == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out[i * n..(i + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_li * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix product `self · rhsᵀ` for rank-2 tensors `(m, k) · (n, k)ᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the trailing dimensions
+    /// differ.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt: lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul_nt: rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_nt: trailing dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Matrix-vector product `self · v` for a rank-2 `(m, k)` tensor and a
+    /// rank-1 length-`k` vector, returning a length-`m` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matvec: lhs must be rank 2");
+        assert_eq!(v.rank(), 1, "matvec: rhs must be rank 1");
+        let (m, k) = (self.dim(0), self.dim(1));
+        assert_eq!(k, v.dim(0), "matvec: dimensions differ");
+        let a = self.data();
+        let x = v.data();
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = &a[i * k..(i + 1) * k];
+            out.push(row.iter().zip(x.iter()).map(|(&p, &q)| p * q).sum());
+        }
+        Tensor::from_vec(out, [m])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "transpose2d requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let a = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = a[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, [n, m])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_fn([4, 4], |i| (i[0] * 4 + i[1]) as f32);
+        assert!(a.matmul(&Tensor::eye(4)).approx_eq(&a, 1e-6));
+        assert!(Tensor::eye(4).matmul(&a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_panics_on_dim_mismatch() {
+        Tensor::zeros([2, 3]).matmul(&Tensor::zeros([2, 3]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_fn([3, 4], |i| (i[0] + 2 * i[1]) as f32);
+        let v = Tensor::from_vec(vec![1.0, -1.0, 2.0, 0.5], [4]);
+        let via_matmul = a.matmul(&v.reshape([4, 1]));
+        let direct = a.matvec(&v);
+        assert!(direct.reshape([3, 1]).approx_eq(&via_matmul, 1e-5));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn([3, 5], |i| (i[0] * 5 + i[1]) as f32);
+        assert_eq!(a.transpose2d().transpose2d(), a);
+        assert_eq!(a.transpose2d().at(&[4, 2]), a.at(&[2, 4]));
+    }
+
+    fn arb_matrix(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
+        proptest::collection::vec(-5.0f32..5.0, m * n)
+            .prop_map(move |v| Tensor::from_vec(v, [m, n]))
+    }
+
+    proptest! {
+        #[test]
+        fn tn_matches_explicit_transpose(
+            a in arb_matrix(4, 3),
+            b in arb_matrix(4, 5),
+        ) {
+            let expected = a.transpose2d().matmul(&b);
+            prop_assert!(a.matmul_tn(&b).approx_eq(&expected, 1e-4));
+        }
+
+        #[test]
+        fn nt_matches_explicit_transpose(
+            a in arb_matrix(4, 3),
+            b in arb_matrix(5, 3),
+        ) {
+            let expected = a.matmul(&b.transpose2d());
+            prop_assert!(a.matmul_nt(&b).approx_eq(&expected, 1e-4));
+        }
+
+        #[test]
+        fn matmul_distributes_over_addition(
+            a in arb_matrix(3, 4),
+            b in arb_matrix(4, 2),
+            c in arb_matrix(4, 2),
+        ) {
+            let lhs = a.matmul(&b.add_t(&c));
+            let rhs = a.matmul(&b).add_t(&a.matmul(&c));
+            prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Numeric kernels: element-wise arithmetic, matrix multiplication,
+//! convolution, pooling, reductions, padding and softmax.
+
+pub mod concat;
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+pub mod softmax;

@@ -1,0 +1,257 @@
+//! Pooling kernels for NCHW tensors: max pooling (with argmax tracking for
+//! the backward pass) and global average pooling (the ResNet-18 head).
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2dSpec {
+    /// Window height and width.
+    pub kernel: (usize, usize),
+    /// Vertical and horizontal stride.
+    pub stride: (usize, usize),
+    /// Zero padding applied on both sides (max pooling treats padded cells
+    /// as `-inf`, i.e. they never win).
+    pub padding: (usize, usize),
+}
+
+impl Pool2dSpec {
+    /// Square window with stride equal to the window size (non-overlapping).
+    pub fn new(kernel: usize) -> Self {
+        Pool2dSpec { kernel: (kernel, kernel), stride: (kernel, kernel), padding: (0, 0) }
+    }
+
+    /// Sets a uniform stride, returning the modified spec.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = (stride, stride);
+        self
+    }
+
+    /// Sets a uniform padding, returning the modified spec.
+    pub fn with_padding(mut self, padding: usize) -> Self {
+        self.padding = (padding, padding);
+        self
+    }
+
+    /// Output spatial size for an input of size `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit in the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        assert!(
+            h + 2 * ph >= kh && w + 2 * pw >= kw,
+            "pool window {kh}x{kw} does not fit input {h}x{w} with padding {ph}x{pw}"
+        );
+        ((h + 2 * ph - kh) / sh + 1, (w + 2 * pw - kw) / sw + 1)
+    }
+}
+
+/// Max-pooling forward pass over an NCHW tensor.
+///
+/// Returns the pooled tensor and, for each output element, the flat index of
+/// the winning input element (used by [`maxpool2d_backward`]).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or the window does not fit.
+pub fn maxpool2d(input: &Tensor, spec: Pool2dSpec) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.rank(), 4, "maxpool2d expects an NCHW tensor");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.output_hw(h, w);
+    let src = input.data();
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut argmax = Vec::with_capacity(n * c * oh * ow);
+
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = usize::MAX;
+                    for ki in 0..kh {
+                        let si = (oi * sh + ki) as isize - ph as isize;
+                        if si < 0 || si >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let sj = (oj * sw + kj) as isize - pw as isize;
+                            if sj < 0 || sj >= w as isize {
+                                continue;
+                            }
+                            let idx = base + si as usize * w + sj as usize;
+                            let v = src[idx];
+                            // NaNs (possible under fault injection) lose ties
+                            // deterministically: only strictly greater wins.
+                            if best_idx == usize::MAX || v > best {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    debug_assert_ne!(best_idx, usize::MAX, "empty pooling window");
+                    out.push(best);
+                    argmax.push(best_idx);
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, [n, c, oh, ow]), argmax)
+}
+
+/// Max-pooling backward pass: routes each output gradient to the input
+/// element that won the forward max.
+///
+/// # Panics
+///
+/// Panics if `grad_out.len() != argmax.len()`.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "maxpool2d_backward: grad/argmax length mismatch"
+    );
+    let mut grad_in = Tensor::zeros(input_dims.to_vec());
+    let gi = grad_in.data_mut();
+    for (&g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
+        gi[idx] += g;
+    }
+    grad_in
+}
+
+/// Global average pooling: `(n, c, h, w) -> (n, c)`.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    assert_eq!(input.rank(), 4, "global_avg_pool expects an NCHW tensor");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let plane = h * w;
+    let mut out = Vec::with_capacity(n * c);
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * plane;
+            let s: f32 = input.data()[base..base + plane].iter().sum();
+            out.push(s / plane as f32);
+        }
+    }
+    Tensor::from_vec(out, [n, c])
+}
+
+/// Backward pass of [`global_avg_pool`]: spreads each `(n, c)` gradient
+/// uniformly over the corresponding `h × w` plane.
+///
+/// # Panics
+///
+/// Panics if `grad_out` is not `(n, c)` for the given input dims.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: &[usize]) -> Tensor {
+    assert_eq!(input_dims.len(), 4, "global_avg_pool_backward expects NCHW dims");
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    assert_eq!(grad_out.dims(), &[n, c], "global_avg_pool_backward: grad shape mismatch");
+    let plane = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c * h * w];
+    for img in 0..n {
+        for ch in 0..c {
+            let g = grad_out.data()[img * c + ch] / plane;
+            let base = (img * c + ch) * h * w;
+            for x in &mut out[base..base + h * w] {
+                *x = g;
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_known_values() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                0.0, 0.0, 4.0, 4.0,
+            ],
+            [1, 1, 4, 4],
+        );
+        let (out, argmax) = maxpool2d(&input, Pool2dSpec::new(2));
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, 9.0, 4.0]);
+        assert_eq!(argmax, vec![5, 7, 8, 14]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_winners() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
+        let (_, argmax) = maxpool2d(&input, Pool2dSpec::new(2));
+        let grad_out = Tensor::from_vec(vec![10.0], [1, 1, 1, 1]);
+        let gi = maxpool2d_backward(&grad_out, &argmax, &[1, 1, 2, 2]);
+        assert_eq!(gi.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn maxpool_with_padding_ignores_border() {
+        let input = Tensor::from_vec(vec![-1.0, -2.0, -3.0, -4.0], [1, 1, 2, 2]);
+        let spec = Pool2dSpec { kernel: (2, 2), stride: (2, 2), padding: (1, 1) };
+        let (out, _) = maxpool2d(&input, spec);
+        // Every window contains exactly one real (negative) element; padding
+        // must not contribute zeros that would beat them.
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn overlapping_stride_pool() {
+        let input = Tensor::from_vec((1..=9).map(|x| x as f32).collect(), [1, 1, 3, 3]);
+        let spec = Pool2dSpec::new(2).with_stride(1);
+        let (out, _) = maxpool2d(&input, spec);
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_means_planes() {
+        let input = Tensor::from_vec(
+            vec![1.0, 3.0, 5.0, 7.0, 10.0, 20.0, 30.0, 40.0],
+            [1, 2, 2, 2],
+        );
+        let out = global_avg_pool(&input);
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.data(), &[4.0, 25.0]);
+    }
+
+    #[test]
+    fn gap_backward_is_uniform_spread() {
+        let grad = Tensor::from_vec(vec![8.0, 4.0], [1, 2]);
+        let gi = global_avg_pool_backward(&grad, &[1, 2, 2, 2]);
+        assert_eq!(&gi.data()[..4], &[2.0; 4]);
+        assert_eq!(&gi.data()[4..], &[1.0; 4]);
+    }
+
+    #[test]
+    fn gap_roundtrip_adjoint() {
+        // <gap(x), y> == <x, gap_backward(y)>
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| (i[0] + i[1] * 2 + i[2] * 3 + i[3]) as f32);
+        let gx = global_avg_pool(&x);
+        let y = Tensor::from_fn([2, 3], |i| (i[0] * 3 + i[1]) as f32 - 2.0);
+        let lhs = gx.dot(&y);
+        let rhs = x.dot(&global_avg_pool_backward(&y, x.dims()));
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+}

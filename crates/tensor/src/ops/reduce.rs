@@ -1,0 +1,236 @@
+//! Reductions: totals, per-axis sums and means, extrema and argmax.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (accumulated in f64 for stability).
+    pub fn sum(&self) -> f32 {
+        self.data().iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Mean of all elements.
+    ///
+    /// Returns `NaN` for empty tensors.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            return f32::NAN;
+        }
+        (self.data().iter().map(|&x| x as f64).sum::<f64>() / self.len() as f64) as f32
+    }
+
+    /// Maximum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> f32 {
+        assert!(!self.is_empty(), "max of an empty tensor");
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn min(&self) -> f32 {
+        assert!(!self.is_empty(), "min of an empty tensor");
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Column sums of a rank-2 tensor: `(m, n) -> (n,)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_axis0(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_axis0 requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = vec![0.0f32; n];
+        for i in 0..m {
+            let row = &self.data()[i * n..(i + 1) * n];
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += x;
+            }
+        }
+        Tensor::from_vec(out, [n])
+    }
+
+    /// Column means of a rank-2 tensor: `(m, n) -> (n,)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero rows.
+    pub fn mean_axis0(&self) -> Tensor {
+        let m = self.dim(0);
+        assert!(m > 0, "mean_axis0 of a zero-row matrix");
+        self.sum_axis0().scale(1.0 / m as f32)
+    }
+
+    /// Row sums of a rank-2 tensor: `(m, n) -> (m,)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn sum_axis1(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "sum_axis1 requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            out.push(self.data()[i * n..(i + 1) * n].iter().sum());
+        }
+        Tensor::from_vec(out, [m])
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    ///
+    /// Ties resolve to the lowest index, matching common ML framework
+    /// semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or has zero columns.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        assert!(n > 0, "argmax_rows of a zero-column matrix");
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = &self.data()[i * n..(i + 1) * n];
+            let mut best = 0;
+            let mut best_v = row[0];
+            for (j, &v) in row.iter().enumerate().skip(1) {
+                if v > best_v {
+                    best = j;
+                    best_v = v;
+                }
+            }
+            out.push(best);
+        }
+        out
+    }
+
+    /// Per-channel mean over an NCHW rank-4 tensor: `(n, c, h, w) -> (c,)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4.
+    pub fn mean_per_channel(&self) -> Tensor {
+        assert_eq!(self.rank(), 4, "mean_per_channel requires a rank-4 NCHW tensor");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let mut sums = vec![0.0f64; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * plane;
+                let s: f64 = self.data()[base..base + plane].iter().map(|&x| x as f64).sum();
+                sums[ch] += s;
+            }
+        }
+        Tensor::from_vec(sums.iter().map(|&s| (s / count) as f32).collect(), [c])
+    }
+
+    /// Per-channel biased variance over an NCHW rank-4 tensor given the
+    /// per-channel means: `(n, c, h, w) -> (c,)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 4 or `means` is not rank 1 of length
+    /// `c`.
+    pub fn var_per_channel(&self, means: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 4, "var_per_channel requires a rank-4 NCHW tensor");
+        let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
+        assert_eq!(means.dims(), &[c], "means must have one entry per channel");
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let mut sums = vec![0.0f64; c];
+        for img in 0..n {
+            for ch in 0..c {
+                let mu = means.data()[ch] as f64;
+                let base = (img * c + ch) * plane;
+                let s: f64 = self.data()[base..base + plane]
+                    .iter()
+                    .map(|&x| {
+                        let d = x as f64 - mu;
+                        d * d
+                    })
+                    .sum();
+                sums[ch] += s;
+            }
+        }
+        Tensor::from_vec(sums.iter().map(|&s| (s / count) as f32).collect(), [c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn global_reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, 4.0], [2, 2]);
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 1.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), -2.0);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        assert_eq!(t.sum_axis0().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(t.mean_axis0().data(), &[2.5, 3.5, 4.5]);
+        assert_eq!(t.sum_axis1().data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn argmax_rows_with_ties_resolves_low() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 3.0, 0.0, -1.0, -1.0], [2, 3]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn channel_stats_match_manual() {
+        // 2 images, 2 channels, 1x2 planes.
+        let t = Tensor::from_vec(
+            vec![
+                1.0, 3.0, /* img0 ch0 */ 10.0, 10.0, /* img0 ch1 */
+                5.0, 7.0, /* img1 ch0 */ 20.0, 20.0, /* img1 ch1 */
+            ],
+            [2, 2, 1, 2],
+        );
+        let mu = t.mean_per_channel();
+        assert_eq!(mu.data(), &[4.0, 15.0]);
+        let var = t.var_per_channel(&mu);
+        // ch0: values 1,3,5,7 -> var = mean((x-4)^2) = (9+1+1+9)/4 = 5
+        // ch1: values 10,10,20,20 -> var = 25
+        assert_eq!(var.data(), &[5.0, 25.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(Tensor::zeros([0]).mean().is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn sum_axis_decomposition(v in proptest::collection::vec(-10.0f32..10.0, 12)) {
+            let t = Tensor::from_vec(v, [3, 4]);
+            let total = t.sum();
+            prop_assert!((t.sum_axis0().sum() - total).abs() < 1e-3);
+            prop_assert!((t.sum_axis1().sum() - total).abs() < 1e-3);
+        }
+
+        #[test]
+        fn argmax_picks_max(v in proptest::collection::vec(-10.0f32..10.0, 8)) {
+            let t = Tensor::from_vec(v.clone(), [2, 4]);
+            for (i, &j) in t.argmax_rows().iter().enumerate() {
+                let row = &v[i * 4..(i + 1) * 4];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                prop_assert_eq!(row[j], m);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Numerically stable softmax and log-softmax over matrix rows.
+//!
+//! The network output layer in both evaluated models (paper Fig. 1 ① and the
+//! ResNet-18 head) is a softmax; classification error — the statistic BDLFI
+//! infers a distribution over — is computed from these rows.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Row-wise softmax of a rank-2 tensor, stabilised by subtracting the
+    /// per-row maximum before exponentiation.
+    ///
+    /// Rows containing non-finite values (which bit-flip fault injection
+    /// readily produces: `NaN`, `±inf` from exponent-bit flips) are mapped to
+    /// a uniform distribution so that downstream error statistics stay
+    /// well-defined; an injected `NaN` is certainly a misprediction signal,
+    /// and uniform output encodes "no information survived".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = self.clone();
+        for i in 0..m {
+            let row = &mut out.data_mut()[i * n..(i + 1) * n];
+            if row.iter().any(|x| !x.is_finite()) {
+                // Fault-corrupted logits: treat +inf as the dominant class if
+                // exactly one is +inf, else fall back to uniform.
+                let inf_count = row.iter().filter(|x| **x == f32::INFINITY).count();
+                if inf_count == 1 && row.iter().all(|x| !x.is_nan()) {
+                    for x in row.iter_mut() {
+                        *x = if *x == f32::INFINITY { 1.0 } else { 0.0 };
+                    }
+                } else {
+                    for x in row.iter_mut() {
+                        *x = 1.0 / n as f32;
+                    }
+                }
+                continue;
+            }
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax of a rank-2 tensor (stable log-sum-exp form).
+    ///
+    /// Unlike [`Tensor::softmax_rows`] this does **not** sanitise non-finite
+    /// rows: it is used for training on clean data, where a non-finite logit
+    /// is a bug worth surfacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "log_softmax_rows requires a rank-2 tensor");
+        let (m, n) = (self.dim(0), self.dim(1));
+        let mut out = self.clone();
+        for i in 0..m {
+            let row = &mut out.data_mut()[i * n..(i + 1) * n];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = max
+                + row
+                    .iter()
+                    .map(|&x| ((x - max) as f64).exp())
+                    .sum::<f64>()
+                    .ln() as f32;
+            for x in row.iter_mut() {
+                *x -= lse;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]);
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits get larger probabilities.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], [1, 3]);
+        let b = a.add_scalar(100.0);
+        assert!(a.softmax_rows().approx_eq(&b.softmax_rows(), 1e-6));
+    }
+
+    #[test]
+    fn nan_rows_become_uniform() {
+        let t = Tensor::from_vec(vec![f32::NAN, 1.0, 2.0], [1, 3]);
+        let s = t.softmax_rows();
+        for &x in s.data() {
+            assert!((x - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_positive_infinity_dominates() {
+        let t = Tensor::from_vec(vec![0.0, f32::INFINITY, 5.0], [1, 3]);
+        let s = t.softmax_rows();
+        assert_eq!(s.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn two_infinities_fall_back_to_uniform() {
+        let t = Tensor::from_vec(vec![f32::INFINITY, f32::INFINITY, 5.0], [1, 3]);
+        let s = t.softmax_rows();
+        for &x in s.data() {
+            assert!((x - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -1.5, 2.0, 0.1, 0.2, 0.3], [2, 3]);
+        let ls = t.log_softmax_rows();
+        let s = t.softmax_rows().map(f32::ln);
+        assert!(ls.approx_eq(&s, 1e-5));
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_rows_are_distributions(
+            v in proptest::collection::vec(-30.0f32..30.0, 12),
+        ) {
+            let s = Tensor::from_vec(v, [3, 4]).softmax_rows();
+            for i in 0..3 {
+                let row = s.row(i);
+                prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+                prop_assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+}

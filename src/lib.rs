@@ -1,0 +1,23 @@
+//! # bdlfi-suite
+//!
+//! Umbrella crate for the BDLFI reproduction ("Towards a Bayesian Approach
+//! for Assessing Fault Tolerance of Deep Neural Networks", DSN 2019).
+//!
+//! Re-exports the full stack under short module names and hosts the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! # Examples
+//!
+//! ```
+//! use bdlfi_suite::tensor::Tensor;
+//! let t = Tensor::ones([2, 2]);
+//! assert_eq!(t.sum(), 4.0);
+//! ```
+
+pub use bdlfi as core;
+pub use bdlfi_baseline as baseline;
+pub use bdlfi_bayes as bayes;
+pub use bdlfi_data as data;
+pub use bdlfi_faults as faults;
+pub use bdlfi_nn as nn;
+pub use bdlfi_tensor as tensor;

@@ -1,0 +1,158 @@
+//! Paper-fidelity tests: the fused fault-injection hot path must agree
+//! with the explicit Bayesian-network formalisation of the per-neuron
+//! failure model (paper Fig. 1 ②), and the XOR fault semantics must hold
+//! through the full model stack.
+
+use bdlfi_suite::bayes::dist::Bernoulli;
+use bdlfi_suite::bayes::graph::BayesNet;
+use bdlfi_suite::core::FaultyModel;
+use bdlfi_suite::data::Dataset;
+use bdlfi_suite::faults::{
+    bits::flip_bit, BernoulliBitFlip, BitRange, FaultConfig, FaultModel, SiteSpec,
+};
+use bdlfi_suite::nn::{layers::Dense, Sequential};
+use bdlfi_suite::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A single-neuron "network": y = w * x (one dense weight, zero bias).
+fn one_neuron(w: f32) -> Sequential {
+    Sequential::new().with(
+        "fc",
+        Dense::from_weights(Tensor::from_vec(vec![w], [1, 1]), Tensor::zeros([1])),
+    )
+}
+
+#[test]
+fn fused_injection_matches_bayes_net_formalisation() {
+    // Paper Fig. 1 (2): b ~ Bernoulli(p); W' = flip(W, sign) if b; y = W' x.
+    // We restrict the fault model to the sign bit so the BayesNet has one
+    // stochastic node, then compare the empirical output distribution of
+    // the fused FaultyModel path against ancestral samples of the graph.
+    let (w, x, p) = (2.0f32, 3.0f32, 0.3f64);
+
+    // Explicit graph.
+    let mut net = BayesNet::new();
+    let b = net.add_stochastic("b", Bernoulli::new(p));
+    let w_faulty = net.add_deterministic("w_faulty", vec![b], move |pv| {
+        if pv[0] == 1.0 {
+            f64::from(flip_bit(w, 31))
+        } else {
+            f64::from(w)
+        }
+    });
+    let y = net.add_deterministic("y", vec![w_faulty], move |pv| pv[0] * f64::from(x));
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let n = 20_000;
+    let graph_mean: f64 = (0..n)
+        .map(|_| {
+            let s = net.sample(&mut rng);
+            net.value(&s, y)
+        })
+        .sum::<f64>()
+        / n as f64;
+
+    // Fused path: sample FaultConfigs over the single weight restricted to
+    // the sign bit, apply, run the network.
+    let model = one_neuron(w);
+    let data = Arc::new(Dataset::new(Tensor::from_vec(vec![x], [1, 1]), vec![0], 1));
+    let fm = FaultyModel::new(
+        model,
+        data,
+        &SiteSpec::Params(vec!["fc.weight".into()]),
+        Arc::new(BernoulliBitFlip::with_bits(p, BitRange::sign())),
+    );
+
+    let mut model = one_neuron(w);
+    let mut rng = StdRng::seed_from_u64(1);
+    let fused_mean: f64 = (0..n)
+        .map(|_| {
+            let cfg = fm.sample_config(&mut rng);
+            let out = cfg.with_applied(&mut model, |m| {
+                m.predict(&Tensor::from_vec(vec![x], [1, 1]))
+            });
+            f64::from(out.data()[0])
+        })
+        .sum::<f64>()
+        / n as f64;
+
+    // E[y] = (1-p)*w*x + p*(-w*x) = (1-2p) w x = 0.4 * 6 = 2.4.
+    let expected = (1.0 - 2.0 * p) * f64::from(w) * f64::from(x);
+    assert!((graph_mean - expected).abs() < 0.1, "graph mean {graph_mean}");
+    assert!((fused_mean - expected).abs() < 0.1, "fused mean {fused_mean}");
+    assert!((graph_mean - fused_mean).abs() < 0.15);
+}
+
+#[test]
+fn w_prime_is_elementwise_xor_of_w() {
+    // Paper: W' = e (x) W with XOR semantics over the binary32 encoding.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut model = bdlfi_suite::nn::mlp(2, &[8], 2, &mut rng);
+    let sites = bdlfi_suite::faults::resolve_sites(&model, &SiteSpec::AllParams);
+    let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(0.05), &mut rng);
+
+    let before = bdlfi_suite::nn::serialize::export_weights(&model);
+    cfg.apply(&mut model);
+    let after = bdlfi_suite::nn::serialize::export_weights(&model);
+
+    // Every changed element differs by exactly the mask's XOR pattern.
+    for (path, b) in &before.params {
+        let a = &after.params[path];
+        let mask = cfg.mask(path);
+        let mut expected: Vec<u32> = b.data().iter().map(|v| v.to_bits()).collect();
+        for &(idx, m) in mask.entries() {
+            expected[idx] ^= m;
+        }
+        let actual: Vec<u32> = a.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(expected, actual, "XOR semantics violated at {path}");
+    }
+}
+
+#[test]
+fn no_assumption_on_number_of_flipped_bits() {
+    // Paper: "We do not make any assumptions about the number of bits in
+    // error; this is determined by p." At large p, multi-bit outcomes must
+    // actually occur.
+    let mut rng = StdRng::seed_from_u64(3);
+    let model = one_neuron(1.0);
+    let sites = bdlfi_suite::faults::resolve_sites(
+        &model,
+        &SiteSpec::Params(vec!["fc.weight".into()]),
+    );
+    let fm = BernoulliBitFlip::new(0.2);
+    let mut counts = std::collections::BTreeMap::new();
+    for _ in 0..2000 {
+        let cfg = FaultConfig::sample(&sites.params, &fm, &mut rng);
+        *counts.entry(cfg.total_flips()).or_insert(0usize) += 1;
+    }
+    // 32 bits at p=0.2: expect ~6.4 flips; 0-flip and >=10-flip outcomes
+    // both occur across 2000 draws, and the mode is multi-bit.
+    assert!(counts.keys().any(|&k| k >= 10), "no heavy multi-bit outcomes: {counts:?}");
+    let mode = counts.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+    assert!(mode >= 3, "mode {mode} should be multi-bit");
+}
+
+#[test]
+fn transient_activation_faults_do_not_persist() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut model = bdlfi_suite::nn::mlp(2, &[8], 2, &mut rng);
+    let x = Tensor::rand_normal([4, 2], 0.0, 1.0, &mut rng);
+    let clean = model.predict(&x);
+
+    // Corrupt activations heavily through a tap for one inference...
+    let heavy = BernoulliBitFlip::new(0.2);
+    let mut tap_rng = StdRng::seed_from_u64(5);
+    let _ = model.predict_with_tap(&x, &mut |path, t| {
+        if path == "fc1" {
+            heavy.sample_mask(t.len(), &mut tap_rng).apply(t);
+        }
+    });
+
+    // ...and the next plain inference is bit-identical to the first.
+    let again = model.predict(&x);
+    let a: Vec<u32> = clean.data().iter().map(|v| v.to_bits()).collect();
+    let b: Vec<u32> = again.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,99 @@
+//! Cross-crate property-based tests: invariants that must hold for
+//! arbitrary fault configurations, probabilities and network inputs.
+
+use bdlfi_suite::bayes::BetaBernoulli;
+use bdlfi_suite::faults::{BernoulliBitFlip, FaultConfig, FaultModel, ParamSite, SiteSpec};
+use bdlfi_suite::nn::{mlp, Sequential};
+use bdlfi_suite::tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model(seed: u64) -> Sequential {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mlp(3, &[6], 2, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Injection followed by re-injection is the identity on the weight
+    /// bits, for any flip probability and seed.
+    #[test]
+    fn apply_is_involution_for_any_p(p in 0.0f64..0.5, seed in 0u64..1000) {
+        let mut m = model(seed);
+        let sites = bdlfi_suite::faults::resolve_sites(&m, &SiteSpec::AllParams);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(p), &mut rng);
+
+        let before = bdlfi_suite::nn::serialize::export_weights(&m);
+        cfg.apply(&mut m);
+        cfg.apply(&mut m);
+        let after = bdlfi_suite::nn::serialize::export_weights(&m);
+        for (path, t) in &before.params {
+            let a: Vec<u32> = t.data().iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = after.params[path].data().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The joint prior log-probability is monotone in the flip count:
+    /// removing a flip (at p < 0.5) can only raise the probability.
+    #[test]
+    fn prior_prefers_fewer_flips(p in 1e-6f64..0.49, seed in 0u64..1000) {
+        let sites = vec![ParamSite { path: "w".into(), len: 4 }];
+        let fm = BernoulliBitFlip::new(p);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = FaultConfig::sample(&sites, &fm, &mut rng);
+        prop_assume!(!cfg.is_clean());
+
+        let lp_faulty = cfg.log_prob(&sites, &fm).unwrap();
+        let lp_clean = FaultConfig::clean().log_prob(&sites, &fm).unwrap();
+        prop_assert!(lp_clean > lp_faulty);
+        // And the gap is exactly flips * ln((1-p)/p).
+        let expected = cfg.total_flips() as f64 * ((1.0 - p).ln() - p.ln());
+        prop_assert!((lp_clean - lp_faulty - expected).abs() < 1e-6);
+    }
+
+    /// Forward inference never panics and produces the right shape under
+    /// arbitrary weight corruption (NaN/inf logits included).
+    #[test]
+    fn corrupted_inference_is_total(p in 0.0f64..0.3, seed in 0u64..500) {
+        let mut m = model(seed);
+        let sites = bdlfi_suite::faults::resolve_sites(&m, &SiteSpec::AllParams);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(p), &mut rng);
+        let x = Tensor::rand_normal([5, 3], 0.0, 1.0, &mut rng);
+
+        let logits = cfg.with_applied(&mut m, |m| m.predict(&x));
+        prop_assert_eq!(logits.dims(), &[5, 2]);
+        // Softmax sanitisation keeps probabilities usable even when logits
+        // are non-finite.
+        let probs = logits.softmax_rows();
+        for i in 0..5 {
+            let s: f32 = probs.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(probs.row(i).iter().all(|v| v.is_finite()));
+        }
+    }
+
+    /// Beta–Bernoulli credible intervals are ordered, inside [0, 1], and
+    /// contain the posterior mean.
+    #[test]
+    fn credible_intervals_are_coherent(s in 0u64..200, extra in 1u64..200) {
+        let t = s + extra;
+        let bb = BetaBernoulli::jeffreys().update(s, t);
+        let (lo, hi) = bb.credible_interval(0.9);
+        prop_assert!(0.0 <= lo && lo < hi && hi <= 1.0);
+        let mean = bb.mean();
+        prop_assert!(lo <= mean && mean <= hi);
+    }
+
+    /// Expected flip counts scale linearly with tensor size.
+    #[test]
+    fn expected_flips_scale_linearly(p in 1e-6f64..0.1, len in 1usize..10_000) {
+        let fm = BernoulliBitFlip::new(p);
+        let single = fm.expected_flips(1);
+        prop_assert!((fm.expected_flips(len) - single * len as f64).abs() < 1e-6);
+    }
+}
