@@ -35,7 +35,10 @@ pub struct ProportionEstimate {
 pub fn estimate_proportion(successes: u64, trials: u64, level: f64) -> ProportionEstimate {
     assert!(successes <= trials, "successes cannot exceed trials");
     assert!(trials > 0, "need at least one trial");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level must be in (0, 1)"
+    );
     let rate = successes as f64 / trials as f64;
     ProportionEstimate {
         successes,
@@ -148,9 +151,7 @@ mod tests {
         assert!(e.wilson.0 < 0.3 && 0.3 < e.wilson.1);
         assert!(e.clopper_pearson.0 < 0.3 && 0.3 < e.clopper_pearson.1);
         // Clopper–Pearson is conservative: at least as wide as Wilson.
-        assert!(
-            e.clopper_pearson.1 - e.clopper_pearson.0 >= e.wilson.1 - e.wilson.0 - 1e-9
-        );
+        assert!(e.clopper_pearson.1 - e.clopper_pearson.0 >= e.wilson.1 - e.wilson.0 - 1e-9);
     }
 
     #[test]
@@ -174,8 +175,16 @@ mod tests {
     fn clopper_pearson_matches_known_value() {
         // k=1, n=10, 95%: CP interval ≈ (0.0025, 0.4450).
         let e = estimate_proportion(1, 10, 0.95);
-        assert!((e.clopper_pearson.0 - 0.0025).abs() < 5e-4, "{:?}", e.clopper_pearson);
-        assert!((e.clopper_pearson.1 - 0.4450).abs() < 5e-3, "{:?}", e.clopper_pearson);
+        assert!(
+            (e.clopper_pearson.0 - 0.0025).abs() < 5e-4,
+            "{:?}",
+            e.clopper_pearson
+        );
+        assert!(
+            (e.clopper_pearson.1 - 0.4450).abs() < 5e-3,
+            "{:?}",
+            e.clopper_pearson
+        );
     }
 
     #[test]

@@ -51,18 +51,29 @@ pub struct ExhaustiveResult {
 ///
 /// Panics if the spec resolves to no parameter sites or the dataset is
 /// empty.
-pub fn run_exhaustive(model: &Sequential, eval: &Arc<Dataset>, spec: &SiteSpec) -> ExhaustiveResult {
+pub fn run_exhaustive(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+) -> ExhaustiveResult {
     assert!(!eval.is_empty(), "evaluation set must not be empty");
     let mut model = model.clone();
     let sites = resolve_sites(&model, spec);
-    assert!(!sites.params.is_empty(), "exhaustive FI requires parameter sites");
+    assert!(
+        !sites.params.is_empty(),
+        "exhaustive FI requires parameter sites"
+    );
 
     let golden_logits = predict_all(&mut model, eval.inputs(), 64);
     let golden_preds = golden_logits.argmax_rows();
     let golden_error = bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
 
     let mut by_bit: Vec<BitPositionStats> = (0..32u8)
-        .map(|bit| BitPositionStats { bit, injections: 0, sdc: 0 })
+        .map(|bit| BitPositionStats {
+            bit,
+            injections: 0,
+            sdc: 0,
+        })
         .collect();
     let mut total = 0u64;
     let mut sdc_total = 0u64;
@@ -85,8 +96,7 @@ pub fn run_exhaustive(model: &Sequential, eval: &Arc<Dataset>, spec: &SiteSpec) 
                     .iter()
                     .zip(golden_preds.iter())
                     .any(|(a, b)| a != b);
-                error_sum +=
-                    bdlfi_nn::metrics::classification_error(&logits, eval.labels());
+                error_sum += bdlfi_nn::metrics::classification_error(&logits, eval.labels());
                 total += 1;
                 by_bit[bit as usize].injections += 1;
                 if corrupted {
@@ -122,7 +132,11 @@ mod tests {
         let mut model = mlp(2, &[4], 2, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 20, batch_size: 16, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 20,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         (model, Arc::new(test))
@@ -132,7 +146,13 @@ mod tests {
     fn covers_the_whole_single_bit_space() {
         let (model, eval) = tiny_trained();
         // fc1 only: (2*4 + 4) elements * 32 bits = 384 injections.
-        let res = run_exhaustive(&model, &eval, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        let res = run_exhaustive(
+            &model,
+            &eval,
+            &SiteSpec::LayerParams {
+                prefix: "fc1".into(),
+            },
+        );
         assert_eq!(res.injections, 384);
         assert_eq!(res.by_bit.iter().map(|b| b.injections).sum::<u64>(), 384);
         for b in &res.by_bit {
@@ -163,11 +183,17 @@ mod tests {
     #[test]
     fn sampled_campaign_converges_to_exhaustive_rate() {
         let (model, eval) = tiny_trained();
-        let spec = SiteSpec::LayerParams { prefix: "fc2".into() };
+        let spec = SiteSpec::LayerParams {
+            prefix: "fc2".into(),
+        };
         let exact = run_exhaustive(&model, &eval, &spec);
 
         let mut fi = RandomFi::new(model, eval, &spec);
-        let sampled = fi.run(&RandomFiConfig { injections: 800, seed: 4, level: 0.95 });
+        let sampled = fi.run(&RandomFiConfig {
+            injections: 800,
+            seed: 4,
+            level: 0.95,
+        });
         assert!(
             (sampled.sdc.rate - exact.sdc.rate).abs() < 0.07,
             "sampled {} vs exact {}",
@@ -183,7 +209,9 @@ mod tests {
     #[test]
     fn golden_error_matches_other_tools() {
         let (model, eval) = tiny_trained();
-        let spec = SiteSpec::LayerParams { prefix: "fc2".into() };
+        let spec = SiteSpec::LayerParams {
+            prefix: "fc2".into(),
+        };
         let exact = run_exhaustive(&model, &eval, &spec);
         let fi = RandomFi::new(model, eval, &spec);
         assert_eq!(exact.golden_error, fi.golden_error());

@@ -8,8 +8,8 @@
 
 use crate::random_fi::{RandomFi, RandomFiConfig, RandomFiResult};
 use bdlfi_data::Dataset;
-use bdlfi_nn::Sequential;
 use bdlfi_faults::SiteSpec;
+use bdlfi_nn::Sequential;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -53,19 +53,28 @@ pub fn run_layer_fi(
             let mut fi = RandomFi::new(
                 model.clone(),
                 Arc::clone(eval),
-                &SiteSpec::LayerParams { prefix: layer.to_string() },
+                &SiteSpec::LayerParams {
+                    prefix: layer.to_string(),
+                },
             );
             let mut layer_cfg = cfg.clone();
             // Decorrelate layers while staying reproducible.
             layer_cfg.seed = cfg.seed.wrapping_add(depth as u64 * 7919);
-            LayerFiResult { depth, layer: layer.to_string(), result: fi.run(&layer_cfg) }
+            LayerFiResult {
+                depth,
+                layer: layer.to_string(),
+                result: fi.run(&layer_cfg),
+            }
         })
         .collect();
 
     let depths: Vec<f64> = layers.iter().map(|l| l.depth as f64).collect();
     let rates: Vec<f64> = layers.iter().map(|l| l.result.sdc.rate).collect();
     let depth_correlation = spearman(&depths, &rates);
-    LayerFiStudy { layers, depth_correlation }
+    LayerFiStudy {
+        layers,
+        depth_correlation,
+    }
 }
 
 /// Spearman rank correlation (duplicated minimally here so the baseline
@@ -126,7 +135,11 @@ mod tests {
         let mut model = mlp(2, &[12, 12], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 15, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         (model, Arc::new(test))
@@ -139,7 +152,11 @@ mod tests {
             &model,
             &eval,
             &["fc1", "fc2", "fc3"],
-            &RandomFiConfig { injections: 20, seed: 0, level: 0.95 },
+            &RandomFiConfig {
+                injections: 20,
+                seed: 0,
+                level: 0.95,
+            },
         );
         assert_eq!(study.layers.len(), 3);
         for (i, l) in study.layers.iter().enumerate() {
@@ -155,11 +172,28 @@ mod tests {
         // different seed can change the measured depth trend.
         let (model, eval) = trained();
         let layers = ["fc1", "fc2", "fc3"];
-        let a = run_layer_fi(&model, &eval, &layers, &RandomFiConfig { injections: 8, seed: 10, level: 0.95 });
-        let b = run_layer_fi(&model, &eval, &layers, &RandomFiConfig { injections: 8, seed: 77, level: 0.95 });
-        let rates = |s: &LayerFiStudy| -> Vec<f64> {
-            s.layers.iter().map(|l| l.result.sdc.rate).collect()
-        };
+        let a = run_layer_fi(
+            &model,
+            &eval,
+            &layers,
+            &RandomFiConfig {
+                injections: 8,
+                seed: 10,
+                level: 0.95,
+            },
+        );
+        let b = run_layer_fi(
+            &model,
+            &eval,
+            &layers,
+            &RandomFiConfig {
+                injections: 8,
+                seed: 77,
+                level: 0.95,
+            },
+        );
+        let rates =
+            |s: &LayerFiStudy| -> Vec<f64> { s.layers.iter().map(|l| l.result.sdc.rate).collect() };
         // Not asserting instability (it is probabilistic), but the runs must
         // both be valid and need not agree.
         assert_eq!(rates(&a).len(), rates(&b).len());
@@ -172,11 +206,16 @@ mod tests {
             &model,
             &eval,
             &["fc1", "fc2"],
-            &RandomFiConfig { injections: 10, seed: 5, level: 0.95 },
+            &RandomFiConfig {
+                injections: 48,
+                seed: 5,
+                level: 0.95,
+            },
         );
         // Same model + same seed would give identical error sequences only
         // if the layers coincidentally behave identically; the decorrelated
-        // seeds make this overwhelmingly unlikely.
+        // seeds plus enough injections for at least one damaging flip make
+        // this overwhelmingly unlikely.
         assert_ne!(study.layers[0].result.errors, study.layers[1].result.errors);
     }
 }

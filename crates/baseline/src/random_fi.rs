@@ -11,8 +11,8 @@
 use crate::estimator::{estimate_proportion, ProportionEstimate};
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultModel, SingleBitFlip, SiteSpec};
-use bdlfi_nn::Sequential;
 use bdlfi_nn::predict_all;
+use bdlfi_nn::Sequential;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -31,7 +31,11 @@ pub struct RandomFiConfig {
 
 impl Default for RandomFiConfig {
     fn default() -> Self {
-        RandomFiConfig { injections: 100, seed: 42, level: 0.95 }
+        RandomFiConfig {
+            injections: 100,
+            seed: 42,
+            level: 0.95,
+        }
     }
 }
 
@@ -101,9 +105,16 @@ impl RandomFi {
         );
         let golden_logits = predict_all(&mut model, eval.inputs(), 64);
         let golden_preds = golden_logits.argmax_rows();
-        let golden_error =
-            bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
-        RandomFi { model, eval, sites, fault_model, single_bit: false, golden_preds, golden_error }
+        let golden_error = bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
+        RandomFi {
+            model,
+            eval,
+            sites,
+            fault_model,
+            single_bit: false,
+            golden_preds,
+            golden_error,
+        }
     }
 
     /// The golden-run classification error.
@@ -125,9 +136,15 @@ impl RandomFi {
             fault.apply(&mut self.model); // restore (XOR involution)
 
             let preds = logits.argmax_rows();
-            let corrupted = preds.iter().zip(self.golden_preds.iter()).any(|(a, b)| a != b);
+            let corrupted = preds
+                .iter()
+                .zip(self.golden_preds.iter())
+                .any(|(a, b)| a != b);
             sdc_count += u64::from(corrupted);
-            errors.push(bdlfi_nn::metrics::classification_error(&logits, self.eval.labels()));
+            errors.push(bdlfi_nn::metrics::classification_error(
+                &logits,
+                self.eval.labels(),
+            ));
         }
 
         RandomFiResult {
@@ -153,8 +170,7 @@ impl RandomFi {
                     let mask = self.fault_model.sample_mask(site.len, rng);
                     // Re-anchor the sampled single flip to the chosen element
                     // so the choice is uniform across the *whole* space.
-                    let bit_pattern =
-                        mask.entries().first().map(|&(_, m)| m).unwrap_or(1);
+                    let bit_pattern = mask.entries().first().map(|&(_, m)| m).unwrap_or(1);
                     let mut anchored = bdlfi_faults::FaultMask::empty();
                     for b in 0..32u8 {
                         if bit_pattern & (1 << b) != 0 {
@@ -186,7 +202,11 @@ mod tests {
         let mut model = mlp(2, &[16], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 20, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 20,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         (model, Arc::new(test))
@@ -196,7 +216,11 @@ mod tests {
     fn campaign_reports_consistent_counts() {
         let (model, eval) = trained();
         let mut fi = RandomFi::new(model, eval, &SiteSpec::AllParams);
-        let res = fi.run(&RandomFiConfig { injections: 50, seed: 1, level: 0.95 });
+        let res = fi.run(&RandomFiConfig {
+            injections: 50,
+            seed: 1,
+            level: 0.95,
+        });
         assert_eq!(res.injections, 50);
         assert_eq!(res.errors.len(), 50);
         assert_eq!(res.sdc.trials, 50);
@@ -209,7 +233,11 @@ mod tests {
         let (model, eval) = trained();
         let mut fi = RandomFi::new(model, eval, &SiteSpec::AllParams);
         let golden = fi.golden_error();
-        let _ = fi.run(&RandomFiConfig { injections: 30, seed: 2, level: 0.95 });
+        let _ = fi.run(&RandomFiConfig {
+            injections: 30,
+            seed: 2,
+            level: 0.95,
+        });
         // Rerunning the golden evaluation must give the same error.
         let logits = predict_all(&mut fi.model, fi.eval.inputs(), 64);
         let err = bdlfi_nn::metrics::classification_error(&logits, fi.eval.labels());
@@ -220,9 +248,17 @@ mod tests {
     fn campaign_is_reproducible_under_seed() {
         let (model, eval) = trained();
         let mut fi = RandomFi::new(model.clone(), Arc::clone(&eval), &SiteSpec::AllParams);
-        let a = fi.run(&RandomFiConfig { injections: 25, seed: 3, level: 0.95 });
+        let a = fi.run(&RandomFiConfig {
+            injections: 25,
+            seed: 3,
+            level: 0.95,
+        });
         let mut fi2 = RandomFi::new(model, eval, &SiteSpec::AllParams);
-        let b = fi2.run(&RandomFiConfig { injections: 25, seed: 3, level: 0.95 });
+        let b = fi2.run(&RandomFiConfig {
+            injections: 25,
+            seed: 3,
+            level: 0.95,
+        });
         assert_eq!(a.errors, b.errors);
         assert_eq!(a.sdc.successes, b.sdc.successes);
     }
@@ -238,7 +274,11 @@ mod tests {
             &SiteSpec::AllParams,
             Arc::new(BernoulliBitFlip::new(1e-6)),
         );
-        let res = bern.run(&RandomFiConfig { injections: 40, seed: 4, level: 0.95 });
+        let res = bern.run(&RandomFiConfig {
+            injections: 40,
+            seed: 4,
+            level: 0.95,
+        });
         assert!((res.mean_error - res.golden_error).abs() < 0.05);
     }
 

@@ -30,10 +30,12 @@ pub fn split_rhat(chains: &[Trace]) -> f64 {
     let n = halves.iter().map(|h| h.len()).min().unwrap();
     let halves: Vec<&[f64]> = halves.iter().map(|h| &h[..n]).collect();
 
-    let means: Vec<f64> = halves.iter().map(|h| h.iter().sum::<f64>() / n as f64).collect();
+    let means: Vec<f64> = halves
+        .iter()
+        .map(|h| h.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand = means.iter().sum::<f64>() / m as f64;
-    let b = n as f64 / (m as f64 - 1.0)
-        * means.iter().map(|mu| (mu - grand).powi(2)).sum::<f64>();
+    let b = n as f64 / (m as f64 - 1.0) * means.iter().map(|mu| (mu - grand).powi(2)).sum::<f64>();
     let w = halves
         .iter()
         .zip(means.iter())
@@ -64,7 +66,9 @@ pub fn autocorrelations(x: &[f64], max_lag: usize) -> Vec<f64> {
     }
     (0..=max_lag.min(n - 1))
         .map(|lag| {
-            let c: f64 = (0..n - lag).map(|i| (x[i] - mean) * (x[i + lag] - mean)).sum();
+            let c: f64 = (0..n - lag)
+                .map(|i| (x[i] - mean) * (x[i + lag] - mean))
+                .sum();
             c / (n as f64 * var)
         })
         .collect()
@@ -95,13 +99,16 @@ pub fn ess(chains: &[Trace]) -> f64 {
         .map(|c| autocorrelations(&c.samples()[..n], max_lag))
         .collect();
     let mean_acf = |lag: usize| -> f64 {
-        acfs.iter().map(|a| a.get(lag).copied().unwrap_or(0.0)).sum::<f64>() / acfs.len() as f64
+        acfs.iter()
+            .map(|a| a.get(lag).copied().unwrap_or(0.0))
+            .sum::<f64>()
+            / acfs.len() as f64
     };
 
     // Geyer: tau = 1 + 2 * sum of (rho_{2t} + rho_{2t+1}) while positive.
     let mut tau = 1.0f64;
     let mut lag = 1usize;
-    while lag + 1 <= max_lag {
+    while lag < max_lag {
         let pair = mean_acf(lag) + mean_acf(lag + 1);
         if pair <= 0.0 {
             break;
@@ -116,7 +123,10 @@ pub fn ess(chains: &[Trace]) -> f64 {
 ///
 /// Returns `NaN` when ESS or the variance is undefined.
 pub fn mcse(chains: &[Trace]) -> f64 {
-    let pooled: Vec<f64> = chains.iter().flat_map(|c| c.samples().iter().copied()).collect();
+    let pooled: Vec<f64> = chains
+        .iter()
+        .flat_map(|c| c.samples().iter().copied())
+        .collect();
     if pooled.len() < 2 {
         return f64::NAN;
     }
@@ -137,7 +147,10 @@ pub fn mcse(chains: &[Trace]) -> f64 {
 /// Uses `⌈√n⌉`-sized batches on the pooled samples. Returns `NaN` for
 /// fewer than 4 batches of data.
 pub fn mcse_batch_means(chains: &[Trace]) -> f64 {
-    let pooled: Vec<f64> = chains.iter().flat_map(|c| c.samples().iter().copied()).collect();
+    let pooled: Vec<f64> = chains
+        .iter()
+        .flat_map(|c| c.samples().iter().copied())
+        .collect();
     let n = pooled.len();
     if n < 16 {
         return f64::NAN;
@@ -151,8 +164,7 @@ pub fn mcse_batch_means(chains: &[Trace]) -> f64 {
         .map(|b| pooled[b * batch..(b + 1) * batch].iter().sum::<f64>() / batch as f64)
         .collect();
     let grand = means.iter().sum::<f64>() / m as f64;
-    let var_of_means =
-        means.iter().map(|x| (x - grand).powi(2)).sum::<f64>() / (m as f64 - 1.0);
+    let var_of_means = means.iter().map(|x| (x - grand).powi(2)).sum::<f64>() / (m as f64 - 1.0);
     (var_of_means / m as f64).sqrt()
 }
 
@@ -181,11 +193,16 @@ pub fn geweke_z(trace: &Trace, first_frac: f64, last_frac: f64) -> f64 {
     let a = &x[..n1];
     let b = &x[n - n2..];
     let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
-    let var = |s: &[f64], m: f64| s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
+    let var =
+        |s: &[f64], m: f64| s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
     let (ma, mb) = (mean(a), mean(b));
     let se = (var(a, ma) / n1 as f64 + var(b, mb) / n2 as f64).sqrt();
     if se <= 0.0 {
-        return if (ma - mb).abs() <= f64::EPSILON { 0.0 } else { f64::INFINITY };
+        return if (ma - mb).abs() <= f64::EPSILON {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     (ma - mb) / se
 }
@@ -285,7 +302,10 @@ mod tests {
         let a = mcse(&chains);
         let b = mcse_batch_means(&chains);
         assert!(a.is_finite() && b.is_finite());
-        assert!(b / a < 2.0 && a / b < 2.0, "ess-route {a} vs batch-means {b}");
+        assert!(
+            b / a < 2.0 && a / b < 2.0,
+            "ess-route {a} vs batch-means {b}"
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl Bernoulli {
     ///
     /// Panics unless `0 <= p <= 1`.
     pub fn new(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "bernoulli probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "bernoulli probability must be in [0, 1]"
+        );
         Bernoulli { p }
     }
 }
@@ -133,7 +136,10 @@ impl Normal {
 
     /// The standard normal.
     pub fn standard() -> Self {
-        Normal { mu: 0.0, sigma: 1.0 }
+        Normal {
+            mu: 0.0,
+            sigma: 1.0,
+        }
     }
 }
 
@@ -177,7 +183,10 @@ impl Beta {
     ///
     /// Panics unless both shapes are positive.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!(alpha > 0.0 && beta > 0.0, "beta requires positive shape parameters");
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "beta requires positive shape parameters"
+        );
         Beta { alpha, beta }
     }
 
@@ -257,7 +266,10 @@ impl Binomial {
     ///
     /// Panics unless `0 <= p <= 1`.
     pub fn new(n: u64, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "binomial probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "binomial probability must be in [0, 1]"
+        );
         Binomial { n, p }
     }
 }
@@ -388,11 +400,19 @@ impl Categorical {
     ///
     /// Panics if the weights are empty, contain negatives, or sum to zero.
     pub fn new(weights: Vec<f64>) -> Self {
-        assert!(!weights.is_empty(), "categorical requires at least one weight");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            !weights.is_empty(),
+            "categorical requires at least one weight"
+        );
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");
-        Categorical { probs: weights.into_iter().map(|w| w / total).collect() }
+        Categorical {
+            probs: weights.into_iter().map(|w| w / total).collect(),
+        }
     }
 
     /// Uniform over `k` categories.
@@ -402,7 +422,9 @@ impl Categorical {
     /// Panics if `k == 0`.
     pub fn uniform(k: usize) -> Self {
         assert!(k > 0, "categorical requires k > 0");
-        Categorical { probs: vec![1.0 / k as f64; k] }
+        Categorical {
+            probs: vec![1.0 / k as f64; k],
+        }
     }
 
     /// Normalised category probabilities.
@@ -435,7 +457,11 @@ impl Distribution for Categorical {
     }
 
     fn mean(&self) -> f64 {
-        self.probs.iter().enumerate().map(|(i, &p)| i as f64 * p).sum()
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| i as f64 * p)
+            .sum()
     }
 
     fn variance(&self) -> f64 {

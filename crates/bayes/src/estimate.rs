@@ -24,12 +24,18 @@ impl BetaBernoulli {
     /// The Jeffreys prior `Beta(1/2, 1/2)` — a sensible default for error
     /// probabilities that may be extreme.
     pub fn jeffreys() -> Self {
-        BetaBernoulli { alpha: 0.5, beta: 0.5 }
+        BetaBernoulli {
+            alpha: 0.5,
+            beta: 0.5,
+        }
     }
 
     /// The uniform prior `Beta(1, 1)`.
     pub fn uniform() -> Self {
-        BetaBernoulli { alpha: 1.0, beta: 1.0 }
+        BetaBernoulli {
+            alpha: 1.0,
+            beta: 1.0,
+        }
     }
 
     /// Updates with `successes` out of `trials` Bernoulli observations.
@@ -61,7 +67,10 @@ impl BetaBernoulli {
     ///
     /// Panics unless `0 < level < 1`.
     pub fn credible_interval(self, level: f64) -> (f64, f64) {
-        assert!((0.0..1.0).contains(&level) && level > 0.0, "level must be in (0, 1)");
+        assert!(
+            (0.0..1.0).contains(&level) && level > 0.0,
+            "level must be in (0, 1)"
+        );
         let tail = (1.0 - level) / 2.0;
         let post = self.posterior();
         (post.quantile(tail), post.quantile(1.0 - tail))
@@ -79,10 +88,17 @@ impl BetaBernoulli {
 ///
 /// Panics if the slices differ in length or are empty.
 pub fn self_normalized_estimate(values: &[f64], log_weights: &[f64]) -> (f64, f64) {
-    assert_eq!(values.len(), log_weights.len(), "values/weights length mismatch");
+    assert_eq!(
+        values.len(),
+        log_weights.len(),
+        "values/weights length mismatch"
+    );
     assert!(!values.is_empty(), "cannot estimate from zero samples");
     // Stabilise by subtracting the max log-weight.
-    let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max_lw = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let weights: Vec<f64> = log_weights.iter().map(|lw| (lw - max_lw).exp()).collect();
     let sum_w: f64 = weights.iter().sum();
     let sum_w2: f64 = weights.iter().map(|w| w * w).sum();
@@ -151,7 +167,13 @@ mod tests {
         let values: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
         let log_w: Vec<f64> = values
             .iter()
-            .map(|&x| if x == 1.0 { (0.9f64 / 0.5).ln() } else { (0.1f64 / 0.5).ln() })
+            .map(|&x| {
+                if x == 1.0 {
+                    (0.9f64 / 0.5).ln()
+                } else {
+                    (0.1f64 / 0.5).ln()
+                }
+            })
             .collect();
         let (est, ess) = self_normalized_estimate(&values, &log_w);
         assert!((est - 0.9).abs() < 1e-12);

@@ -260,9 +260,7 @@ mod tests {
     fn conditional_nodes_use_parent_values() {
         let mut net = BayesNet::new();
         let mu = net.add_stochastic("mu", Normal::new(0.0, 1.0));
-        let x = net.add_conditional("x", vec![mu], |pv| {
-            Box::new(Normal::new(pv[0], 0.1))
-        });
+        let x = net.add_conditional("x", vec![mu], |pv| Box::new(Normal::new(pv[0], 0.1)));
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..50 {
             let s = net.sample(&mut rng);

@@ -62,7 +62,7 @@ pub mod special;
 pub use diagnostics::{autocorrelations, ess, geweke_z, mcse, mcse_batch_means, split_rhat};
 pub use estimate::{self_normalized_estimate, BetaBernoulli};
 pub use mcmc::{
-    mh_step, run_chain, ChainConfig, ChainResult, IndependenceProposal, MixtureProposal,
-    Proposal, Trace, TraceSummary,
+    mh_step, run_chain, ChainConfig, ChainResult, IndependenceProposal, MixtureProposal, Proposal,
+    Trace, TraceSummary,
 };
 pub use parallel::parallel_map;

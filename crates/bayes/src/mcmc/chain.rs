@@ -25,7 +25,11 @@ pub struct ChainConfig {
 
 impl Default for ChainConfig {
     fn default() -> Self {
-        ChainConfig { burn_in: 100, samples: 1000, thin: 1 }
+        ChainConfig {
+            burn_in: 100,
+            samples: 1000,
+            thin: 1,
+        }
     }
 }
 
@@ -107,12 +111,27 @@ mod tests {
         let target = Normal::new(4.0, 1.0);
         let mut log_target = |x: &f64| target.log_prob(*x);
         let mut stat = |x: &f64| *x;
-        let cfg = ChainConfig { burn_in: 500, samples: 8000, thin: 2 };
+        let cfg = ChainConfig {
+            burn_in: 500,
+            samples: 8000,
+            thin: 2,
+        };
         let mut rng = StdRng::seed_from_u64(0);
-        let res = run_chain(0.0, &RandomWalk(1.5), &mut log_target, &mut stat, cfg, &mut rng);
+        let res = run_chain(
+            0.0,
+            &RandomWalk(1.5),
+            &mut log_target,
+            &mut stat,
+            cfg,
+            &mut rng,
+        );
 
         assert_eq!(res.trace.len(), 8000);
-        assert!((res.trace.mean() - 4.0).abs() < 0.1, "mean {}", res.trace.mean());
+        assert!(
+            (res.trace.mean() - 4.0).abs() < 0.1,
+            "mean {}",
+            res.trace.mean()
+        );
         assert!(res.acceptance_rate > 0.2 && res.acceptance_rate < 0.9);
     }
 
@@ -126,16 +145,31 @@ mod tests {
                 evals += 1;
                 *x
             };
-            let cfg = ChainConfig { burn_in: 50, samples: 10, thin: 5 };
+            let cfg = ChainConfig {
+                burn_in: 50,
+                samples: 10,
+                thin: 5,
+            };
             let mut rng = StdRng::seed_from_u64(1);
-            run_chain(0.0, &RandomWalk(1.0), &mut log_target, &mut stat, cfg, &mut rng);
+            run_chain(
+                0.0,
+                &RandomWalk(1.0),
+                &mut log_target,
+                &mut stat,
+                cfg,
+                &mut rng,
+            );
         }
         assert_eq!(evals, 10);
     }
 
     #[test]
     fn total_steps_accounts_for_thinning() {
-        let cfg = ChainConfig { burn_in: 10, samples: 5, thin: 3 };
+        let cfg = ChainConfig {
+            burn_in: 10,
+            samples: 5,
+            thin: 3,
+        };
         assert_eq!(cfg.total_steps(), 25);
     }
 
@@ -144,9 +178,20 @@ mod tests {
         let target = Normal::standard();
         let mut log_target = |x: &f64| target.log_prob(*x);
         let mut stat = |x: &f64| *x;
-        let cfg = ChainConfig { burn_in: 0, samples: 100, thin: 1 };
+        let cfg = ChainConfig {
+            burn_in: 0,
+            samples: 100,
+            thin: 1,
+        };
         let mut rng = StdRng::seed_from_u64(2);
-        let res = run_chain(10.0, &RandomWalk(1.0), &mut log_target, &mut stat, cfg, &mut rng);
+        let res = run_chain(
+            10.0,
+            &RandomWalk(1.0),
+            &mut log_target,
+            &mut stat,
+            cfg,
+            &mut rng,
+        );
         // After 100 steps from 10, the walk has moved towards the target.
         assert!(res.final_state.abs() < 10.0);
         assert_eq!(*res.trace.samples().last().unwrap(), res.final_state);
@@ -158,8 +203,19 @@ mod tests {
         let target = Normal::standard();
         let mut log_target = |x: &f64| target.log_prob(*x);
         let mut stat = |x: &f64| *x;
-        let cfg = ChainConfig { burn_in: 0, samples: 0, thin: 1 };
+        let cfg = ChainConfig {
+            burn_in: 0,
+            samples: 0,
+            thin: 1,
+        };
         let mut rng = StdRng::seed_from_u64(3);
-        run_chain(0.0, &RandomWalk(1.0), &mut log_target, &mut stat, cfg, &mut rng);
+        run_chain(
+            0.0,
+            &RandomWalk(1.0),
+            &mut log_target,
+            &mut stat,
+            cfg,
+            &mut rng,
+        );
     }
 }

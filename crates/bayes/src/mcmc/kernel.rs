@@ -67,7 +67,11 @@ where
 {
     /// Creates an independence proposal from a sampler and its log-density.
     pub fn new(sample: F, log_density: G) -> Self {
-        IndependenceProposal { sample, log_density, _marker: std::marker::PhantomData }
+        IndependenceProposal {
+            sample,
+            log_density,
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -97,8 +101,14 @@ impl<S> MixtureProposal<S> {
     ///
     /// Panics if empty or any weight is non-positive.
     pub fn new(components: Vec<(f64, Box<dyn Proposal<S>>)>) -> Self {
-        assert!(!components.is_empty(), "mixture requires at least one component");
-        assert!(components.iter().all(|(w, _)| *w > 0.0), "weights must be positive");
+        assert!(
+            !components.is_empty(),
+            "mixture requires at least one component"
+        );
+        assert!(
+            components.iter().all(|(w, _)| *w > 0.0),
+            "weights must be positive"
+        );
         MixtureProposal { components }
     }
 }
@@ -123,7 +133,10 @@ pub struct DistributionProposal<D: Distribution>(pub D);
 impl<D: Distribution> Proposal<f64> for DistributionProposal<D> {
     fn propose(&self, current: &f64, rng: &mut dyn Rng) -> (f64, f64) {
         let candidate = self.0.sample(rng);
-        (candidate, self.0.log_prob(*current) - self.0.log_prob(candidate))
+        (
+            candidate,
+            self.0.log_prob(*current) - self.0.log_prob(candidate),
+        )
     }
 }
 

@@ -32,7 +32,9 @@ pub struct TraceSummary {
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
-        Trace { samples: Vec::new() }
+        Trace {
+            samples: Vec::new(),
+        }
     }
 
     /// Wraps existing samples.
@@ -182,7 +184,9 @@ impl Extend<f64> for Trace {
 
 impl FromIterator<f64> for Trace {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Trace { samples: iter.into_iter().collect() }
+        Trace {
+            samples: iter.into_iter().collect(),
+        }
     }
 }
 

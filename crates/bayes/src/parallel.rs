@@ -1,15 +1,34 @@
-//! Parallel chain execution on scoped OS threads (crossbeam).
+//! Parallel chain execution on scoped OS threads.
 //!
 //! The paper's point (3): BDLFI campaigns need only *inference*, so they
-//! parallelise trivially — one MCMC chain per thread, no debugger hooks or
+//! parallelise trivially — one MCMC chain per worker, no debugger hooks or
 //! system support. This helper runs one closure per chain index and
 //! collects the results in order.
+//!
+//! Unlike the original one-thread-per-index implementation, the worker
+//! count is capped at [`std::thread::available_parallelism`]: campaigns
+//! routinely ask for dozens of chains (E3 runs 18 layer campaigns × 4
+//! chains), and oversubscribing the machine with hundreds of OS threads
+//! only adds scheduler churn. Indices are handed out through a chunked
+//! atomic queue so long and short chains balance across workers.
 
-/// Runs `f(0), …, f(n-1)` on separate scoped threads and returns the
-/// results in index order.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads: the machine's available parallelism
+/// (falls back to 1 if it cannot be queried).
+fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), …, f(n-1)` on a bounded pool of scoped threads and returns
+/// the results in index order.
 ///
-/// `f` is cloned per thread via `&` capture, so it must be `Sync`; results
-/// must be `Send`.
+/// `f` is shared across workers via `&` capture, so it must be `Sync`;
+/// results must be `Send`. At most `available_parallelism()` threads run
+/// at once; work is claimed in chunks from a shared atomic counter, so an
+/// expensive index does not serialise the rest of the batch behind it.
 ///
 /// # Panics
 ///
@@ -25,21 +44,40 @@ where
     if n == 1 {
         return vec![f(0)];
     }
+    let workers = max_workers().min(n);
+    // Small chunks keep the queue balanced; 1 when work is scarce.
+    let chunk = (n / (workers * 4)).max(1);
+
+    let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (i, slot) in out.iter_mut().enumerate() {
-            let f = &f;
-            handles.push(scope.spawn(move |_| {
-                *slot = Some(f(i));
-            }));
-        }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            return local;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            local.push((i, f(i)));
+                        }
+                    }
+                })
+            })
+            .collect();
         for h in handles {
-            h.join().expect("parallel_map worker panicked");
+            for (i, value) in h.join().expect("parallel_map worker panicked") {
+                out[i] = Some(value);
+            }
         }
-    })
-    .expect("parallel_map scope failed");
-    out.into_iter().map(|s| s.expect("worker did not produce a result")).collect()
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker did not produce a result"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -75,5 +113,26 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn many_more_tasks_than_cores() {
+        // Far more indices than any machine has cores: exercises the
+        // chunked queue and result merging.
+        let out = parallel_map(1000, |i| i + 1);
+        assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_is_bounded() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        parallel_map(256, |i| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            i
+        });
+        let used = ids.lock().unwrap().len();
+        assert!(used <= super::max_workers());
     }
 }

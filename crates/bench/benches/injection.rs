@@ -2,10 +2,10 @@
 //! across flip probabilities (the geometric-skipping path), XOR
 //! application, and whole-model configuration sampling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bdlfi_faults::{resolve_sites, BernoulliBitFlip, FaultConfig, FaultModel, SiteSpec};
 use bdlfi_nn::mlp;
 use bdlfi_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -14,10 +14,14 @@ fn bench_mask_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("mask_sampling_100k_elements");
     for &p in &[1e-6f64, 1e-4, 1e-2] {
         let model = BernoulliBitFlip::new(p);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("p={p:.0e}")), &p, |b, _| {
-            let mut rng = StdRng::seed_from_u64(0);
-            b.iter(|| black_box(model.sample_mask(100_000, &mut rng)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("p={p:.0e}")),
+            &p,
+            |b, _| {
+                let mut rng = StdRng::seed_from_u64(0);
+                b.iter(|| black_box(model.sample_mask(100_000, &mut rng)));
+            },
+        );
     }
     group.finish();
 }

@@ -2,11 +2,11 @@
 //! configuration proposals under the prior target, and the cost of the
 //! convergence diagnostics that implement completeness certification.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bdlfi::proposals::{BitToggleProposal, PriorProposal};
 use bdlfi_bayes::{ess, mh_step, split_rhat, Trace};
 use bdlfi_faults::{resolve_sites, BernoulliBitFlip, BitRange, FaultConfig, FaultModel, SiteSpec};
 use bdlfi_nn::mlp;
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -31,7 +31,13 @@ fn bench_mh_steps(c: &mut Criterion) {
         let mut state = FaultConfig::clean();
         let mut lp = log_target(&state);
         b.iter(|| {
-            black_box(mh_step(&mut state, &mut lp, &prior, &mut log_target, &mut rng));
+            black_box(mh_step(
+                &mut state,
+                &mut lp,
+                &prior,
+                &mut log_target,
+                &mut rng,
+            ));
         });
     });
     group.bench_function("bit_toggle_proposal", |b| {
@@ -39,7 +45,13 @@ fn bench_mh_steps(c: &mut Criterion) {
         let mut state = FaultConfig::clean();
         let mut lp = log_target(&state);
         b.iter(|| {
-            black_box(mh_step(&mut state, &mut lp, &toggle, &mut log_target, &mut rng));
+            black_box(mh_step(
+                &mut state,
+                &mut lp,
+                &toggle,
+                &mut log_target,
+                &mut rng,
+            ));
         });
     });
     group.finish();

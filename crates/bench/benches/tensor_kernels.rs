@@ -3,8 +3,8 @@
 //! paper's point that BDLFI campaigns are pure inference and therefore
 //! accelerate with the platform's inference throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use bdlfi_tensor::{conv2d, Conv2dSpec, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -26,6 +26,24 @@ fn bench_matmul(c: &mut Criterion) {
             bench.iter(|| black_box(a.matmul_nt(&b)));
         });
     }
+    group.finish();
+}
+
+/// Blocked kernel vs. the retired naive loops at 256³ — the headline
+/// comparison for the cache-blocked, register-tiled rewrite.
+fn bench_matmul_blocked_vs_naive(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 256usize;
+    let a = Tensor::rand_normal([n, n], 0.0, 1.0, &mut rng);
+    let b = Tensor::rand_normal([n, n], 0.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("matmul_256");
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    group.bench_function("blocked", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)));
+    });
+    group.bench_function("naive", |bench| {
+        bench.iter(|| black_box(a.matmul_naive(&b)));
+    });
     group.finish();
 }
 
@@ -55,5 +73,11 @@ fn bench_softmax(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_conv2d, bench_softmax);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_blocked_vs_naive,
+    bench_conv2d,
+    bench_softmax
+);
 criterion_main!(benches);

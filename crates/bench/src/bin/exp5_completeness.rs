@@ -34,7 +34,11 @@ fn main() {
     );
     let cfg = CampaignConfig {
         chains: scale.chains.max(3),
-        chain: ChainConfig { burn_in: 0, samples: scale.samples * 4, thin: 1 },
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: scale.samples * 4,
+            thin: 1,
+        },
         kernel: KernelChoice::Prior,
         seed: 5,
         ..CampaignConfig::default()
@@ -58,7 +62,10 @@ fn main() {
             .map(|t| Trace::from_samples(t.samples()[..k].to_vec()))
             .collect();
         let c = assess(&prefixes, &criteria);
-        let pooled: Trace = prefixes.iter().flat_map(|t| t.samples().iter().copied()).collect();
+        let pooled: Trace = prefixes
+            .iter()
+            .flat_map(|t| t.samples().iter().copied())
+            .collect();
         println!(
             "| {} | {:.4} | {:.0} | {:.5} | {} | {} |",
             k,
@@ -93,7 +100,11 @@ fn main() {
             &SiteSpec::AllParams,
             Arc::new(BernoulliBitFlip::new(p)),
         );
-        let res = fi.run(&RandomFiConfig { injections: budget, seed: 6, level: 0.95 });
+        let res = fi.run(&RandomFiConfig {
+            injections: budget,
+            seed: 6,
+            level: 0.95,
+        });
         println!(
             "| {} | {:.3} | {:.3} |",
             budget,

@@ -38,13 +38,21 @@ fn main() {
     println!("# golden error: {:.2} %", fm.golden_error() * 100.0);
     println!();
     println!("## Estimation: tilted-prior importance sampling");
-    println!("| kernel | mean estimate of E[error - golden] | std over seeds | hit fraction | IS-ESS |");
+    println!(
+        "| kernel | mean estimate of E[error - golden] | std over seeds | hit fraction | IS-ESS |"
+    );
     println!("|---|---|---|---|---|");
 
     for (name, kernel) in [
         ("prior (iid)", KernelChoice::Prior),
-        ("tilted prior x10", KernelChoice::TiltedPrior { factor: 10.0 }),
-        ("tilted prior x30", KernelChoice::TiltedPrior { factor: 30.0 }),
+        (
+            "tilted prior x10",
+            KernelChoice::TiltedPrior { factor: 10.0 },
+        ),
+        (
+            "tilted prior x30",
+            KernelChoice::TiltedPrior { factor: 30.0 },
+        ),
     ] {
         let mut estimates = Vec::new();
         let mut hit_fracs = Vec::new();
@@ -52,7 +60,11 @@ fn main() {
         for &seed in &seeds {
             let cfg = CampaignConfig {
                 chains: 2,
-                chain: ChainConfig { burn_in: 0, samples: scale.samples, thin: 1 },
+                chain: ChainConfig {
+                    burn_in: 0,
+                    samples: scale.samples,
+                    thin: 1,
+                },
                 kernel,
                 seed,
                 ..CampaignConfig::default()
@@ -98,7 +110,11 @@ fn main() {
     let beta = barrier + 2.0;
     let cfg = CampaignConfig {
         chains: 2,
-        chain: ChainConfig { burn_in: scale.burn_in * 4, samples: scale.samples, thin: 1 },
+        chain: ChainConfig {
+            burn_in: scale.burn_in * 4,
+            samples: scale.samples,
+            thin: 1,
+        },
         kernel: KernelChoice::Tempered { beta },
         seed: 21,
         ..CampaignConfig::default()

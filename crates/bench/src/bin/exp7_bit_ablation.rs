@@ -23,7 +23,11 @@ fn main() {
 
     let cfg = CampaignConfig {
         chains: scale.chains.min(2),
-        chain: ChainConfig { burn_in: 0, samples: scale.samples, thin: 1 },
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: scale.samples,
+            thin: 1,
+        },
         kernel: KernelChoice::Prior,
         seed: 7,
         ..CampaignConfig::default()
@@ -71,7 +75,10 @@ fn main() {
             "hidden activations (transient)",
             SiteSpec::Activations(vec!["fc1".into(), "relu1".into()]),
         ),
-        ("output logits (transient)", SiteSpec::Activations(vec!["fc2".into()])),
+        (
+            "output logits (transient)",
+            SiteSpec::Activations(vec!["fc2".into()]),
+        ),
         ("network input (transient)", SiteSpec::Input),
     ];
     for (name, spec) in sites {
@@ -82,7 +89,12 @@ fn main() {
             Arc::new(BernoulliBitFlip::new(p)),
         );
         let rep = run_campaign(&fm, &cfg);
-        println!("| {} | {} | {:.2} |", name, pct(rep.mean_error), rep.error_increase_pct());
+        println!(
+            "| {} | {} | {:.2} |",
+            name,
+            pct(rep.mean_error),
+            rep.error_increase_pct()
+        );
     }
     println!();
     println!(

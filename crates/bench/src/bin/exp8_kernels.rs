@@ -36,24 +36,45 @@ fn main() {
 
     let kernels: [(&str, KernelChoice, usize); 5] = [
         ("prior (iid)", KernelChoice::Prior, 0),
-        ("gibbs (exact conditional)", KernelChoice::Gibbs { p }, scale.burn_in * 4),
-        ("single-bit toggle", KernelChoice::BitToggle { block: 1 }, scale.burn_in * 4),
-        ("8-bit block toggle", KernelChoice::BitToggle { block: 8 }, scale.burn_in * 4),
-        ("mixture (10% refresh)", KernelChoice::Mixture { refresh_weight: 0.1 }, scale.burn_in * 2),
+        (
+            "gibbs (exact conditional)",
+            KernelChoice::Gibbs { p },
+            scale.burn_in * 4,
+        ),
+        (
+            "single-bit toggle",
+            KernelChoice::BitToggle { block: 1 },
+            scale.burn_in * 4,
+        ),
+        (
+            "8-bit block toggle",
+            KernelChoice::BitToggle { block: 8 },
+            scale.burn_in * 4,
+        ),
+        (
+            "mixture (10% refresh)",
+            KernelChoice::Mixture {
+                refresh_weight: 0.1,
+            },
+            scale.burn_in * 2,
+        ),
     ];
 
     for (name, kernel, burn_in) in kernels {
         let cfg = CampaignConfig {
             chains: scale.chains,
-            chain: ChainConfig { burn_in, samples: scale.samples * 2, thin: 1 },
+            chain: ChainConfig {
+                burn_in,
+                samples: scale.samples * 2,
+                thin: 1,
+            },
             kernel,
             seed: 8,
             ..CampaignConfig::default()
         };
         let rep = run_campaign(&fm, &cfg);
         let total = rep.total_samples() as f64;
-        let mean_acc =
-            rep.acceptance_rates.iter().sum::<f64>() / rep.acceptance_rates.len() as f64;
+        let mean_acc = rep.acceptance_rates.iter().sum::<f64>() / rep.acceptance_rates.len() as f64;
         println!(
             "| {} | {} | {:.3} | {:.0} | {:.3} | {:.3} | {} |",
             name,
@@ -62,7 +83,11 @@ fn main() {
             rep.completeness.ess,
             rep.completeness.ess / total,
             mean_acc,
-            if rep.completeness.certified { "yes" } else { "NO" }
+            if rep.completeness.certified {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!();

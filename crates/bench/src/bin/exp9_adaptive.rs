@@ -9,7 +9,9 @@
 //!
 //! Run with `cargo run --release -p bdlfi-bench --bin exp9_adaptive`.
 
-use bdlfi::{run_campaign_adaptive, CampaignConfig, CompletenessCriteria, FaultyModel, KernelChoice};
+use bdlfi::{
+    run_campaign_adaptive, CampaignConfig, CompletenessCriteria, FaultyModel, KernelChoice,
+};
 use bdlfi_bayes::ChainConfig;
 use bdlfi_bench::harness::{golden_mlp, pct, Scale};
 use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
@@ -35,7 +37,11 @@ fn main() {
         );
         let cfg = CampaignConfig {
             chains: scale.chains.max(3),
-            chain: ChainConfig { burn_in: 0, samples: 50, thin: 1 },
+            chain: ChainConfig {
+                burn_in: 0,
+                samples: 50,
+                thin: 1,
+            },
             kernel: KernelChoice::Prior,
             seed: 9,
             criteria: CompletenessCriteria::default(),
@@ -51,7 +57,11 @@ fn main() {
             rep.completeness.rhat,
             rep.completeness.ess,
             rep.completeness.mcse,
-            if rep.completeness.certified { "yes" } else { "capped" },
+            if rep.completeness.certified {
+                "yes"
+            } else {
+                "capped"
+            },
             pct(rep.mean_error),
             wall
         );

@@ -56,8 +56,14 @@ fn main() {
     println!("|---|---|");
     println!("| grid | {0} x {0} |", map.resolution);
     println!("| fault samples | {} |", scale.boundary_samples);
-    println!("| mean err-prob near boundary (low-margin half) | {} % |", pct(near));
-    println!("| mean err-prob far from boundary (high-margin half) | {} % |", pct(far));
+    println!(
+        "| mean err-prob near boundary (low-margin half) | {} % |",
+        pct(near)
+    );
+    println!(
+        "| mean err-prob far from boundary (high-margin half) | {} % |",
+        pct(far)
+    );
     println!("| near/far ratio | {:.2}x |", near / far.max(1e-12));
     println!(
         "| Spearman(margin, err-prob) | {:.3} (negative = errors concentrate at boundary) |",

@@ -19,7 +19,11 @@ fn main() {
 
     let cfg = CampaignConfig {
         chains: scale.chains,
-        chain: ChainConfig { burn_in: scale.burn_in, samples: scale.samples, thin: 1 },
+        chain: ChainConfig {
+            burn_in: scale.burn_in,
+            samples: scale.samples,
+            thin: 1,
+        },
         kernel: KernelChoice::Prior,
         seed: 2,
         ..CampaignConfig::default()
@@ -47,7 +51,11 @@ fn main() {
             pct(r.summary.q95),
             r.completeness.rhat,
             r.completeness.ess,
-            if r.completeness.certified { "yes" } else { "no" }
+            if r.completeness.certified {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();

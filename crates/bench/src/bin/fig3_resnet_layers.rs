@@ -35,12 +35,22 @@ fn main() {
     };
 
     println!("# Fig. 3: ResNet-18 layer-by-layer injection ({flips} expected bit flips/layer)");
-    println!("# per-layer p scaled so every layer absorbs the same fault burden; depth 0 = stem conv");
+    println!(
+        "# per-layer p scaled so every layer absorbs the same fault burden; depth 0 = stem conv"
+    );
     println!();
-    println!("| depth | layer | elements | p (per-bit) | error % (mean) | q95 % | R-hat | certified |");
+    println!(
+        "| depth | layer | elements | p (per-bit) | error % (mean) | q95 % | R-hat | certified |"
+    );
     println!("|---|---|---|---|---|---|---|---|");
 
-    let res = run_layerwise(&model, &eval, &layers, LayerBudget::ExpectedFlips(flips), &cfg);
+    let res = run_layerwise(
+        &model,
+        &eval,
+        &layers,
+        LayerBudget::ExpectedFlips(flips),
+        &cfg,
+    );
     for l in &res.layers {
         println!(
             "| {} | {} | {} | {:.2e} | {} | {} | {:.3} | {} |",
@@ -51,7 +61,11 @@ fn main() {
             pct(l.report.mean_error),
             pct(l.report.summary.q95),
             l.report.completeness.rhat,
-            if l.report.completeness.certified { "yes" } else { "no" }
+            if l.report.completeness.certified {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();
@@ -70,7 +84,11 @@ fn main() {
             &model,
             &eval,
             &layers,
-            &RandomFiConfig { injections: budget.max(5), seed: 17, level: 0.95 },
+            &RandomFiConfig {
+                injections: budget.max(5),
+                seed: 17,
+                level: 0.95,
+            },
         );
         let rates: Vec<String> = study
             .layers

@@ -60,7 +60,11 @@ fn main() {
             pct(r.summary.q05),
             pct(r.summary.q95),
             r.completeness.rhat,
-            if r.completeness.certified { "yes" } else { "no" }
+            if r.completeness.certified {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!();

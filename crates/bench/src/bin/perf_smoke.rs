@@ -1,0 +1,111 @@
+//! Performance smoke test for the incremental-inference engine: measures
+//! campaign throughput (fault configurations evaluated per second) for a
+//! layerwise campaign on a deep MLP, cold vs. incremental, and writes the
+//! numbers to `BENCH_campaign.json`.
+//!
+//! The scenario mirrors the paper's per-layer experiment (E3/Fig. 3): all
+//! faults confined to the final dense layer of an 8-hidden-layer MLP. The
+//! *cold* path applies each configuration and re-runs the whole network;
+//! the *incremental* path (what `FaultyModel::eval_logits` now does)
+//! resumes from the cached golden activation just before the dirty layer.
+//! Both produce bit-identical logits — verified per configuration here —
+//! so the speedup is pure redundancy elimination.
+//!
+//! Run with `cargo run --release -p bdlfi-bench --bin perf_smoke`.
+
+use bdlfi::FaultyModel;
+use bdlfi_data::gaussian_blobs;
+use bdlfi_faults::{BernoulliBitFlip, FaultConfig, SiteSpec};
+use bdlfi_nn::{mlp, predict_all};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchReport {
+    scenario: String,
+    network: String,
+    eval_examples: usize,
+    configs: usize,
+    cold_samples_per_sec: f64,
+    incremental_samples_per_sec: f64,
+    speedup: f64,
+    bitwise_identical: bool,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let hidden = [64usize; 8];
+    let data = Arc::new(gaussian_blobs(256, 3, 1.0, &mut rng));
+    let model = mlp(2, &hidden, 3, &mut rng);
+    let last_layer = format!("fc{}", hidden.len() + 1);
+
+    let mut fm = FaultyModel::new(
+        model.clone(),
+        Arc::clone(&data),
+        &SiteSpec::LayerParams {
+            prefix: last_layer.clone(),
+        },
+        Arc::new(BernoulliBitFlip::new(1e-3)),
+    );
+
+    // Fixed workload: the same configurations for both paths.
+    let configs: Vec<FaultConfig> = (0..200).map(|_| fm.sample_config(&mut rng)).collect();
+
+    // Warm both paths once (page in weights, fill the scratch arena).
+    let mut cold_model = model.clone();
+    let _ = predict_all(&mut cold_model, data.inputs(), 64);
+    let _ = fm.eval_logits(&configs[0], &mut rng);
+
+    let t0 = Instant::now();
+    let cold_logits: Vec<_> = configs
+        .iter()
+        .map(|cfg| cfg.with_applied(&mut cold_model, |m| predict_all(m, data.inputs(), 64)))
+        .collect();
+    let cold_secs = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let inc_logits: Vec<_> = configs
+        .iter()
+        .map(|cfg| fm.eval_logits(cfg, &mut rng))
+        .collect();
+    let inc_secs = t1.elapsed().as_secs_f64();
+
+    let bitwise_identical = cold_logits.iter().zip(&inc_logits).all(|(a, b)| {
+        a.data()
+            .iter()
+            .map(|v| v.to_bits())
+            .eq(b.data().iter().map(|v| v.to_bits()))
+    });
+
+    let report = BenchReport {
+        scenario: format!("layerwise campaign, faults in {last_layer} only"),
+        network: format!("mlp 2 -> {hidden:?} -> 3"),
+        eval_examples: data.len(),
+        configs: configs.len(),
+        cold_samples_per_sec: configs.len() as f64 / cold_secs,
+        incremental_samples_per_sec: configs.len() as f64 / inc_secs,
+        speedup: cold_secs / inc_secs,
+        bitwise_identical,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_campaign.json", &json).expect("cannot write BENCH_campaign.json");
+    println!("{json}");
+
+    assert!(
+        bitwise_identical,
+        "incremental logits diverged from cold logits"
+    );
+    assert!(
+        report.speedup >= 3.0,
+        "expected >= 3x layerwise speedup, measured {:.2}x",
+        report.speedup
+    );
+    println!(
+        "incremental path is {:.1}x faster ({:.0} vs {:.0} configs/sec), logits bit-identical",
+        report.speedup, report.incremental_samples_per_sec, report.cold_samples_per_sec
+    );
+}

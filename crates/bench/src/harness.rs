@@ -9,8 +9,7 @@
 
 use bdlfi_data::{gaussian_blobs, synth_cifar, Dataset, SynthCifarConfig};
 use bdlfi_nn::{
-    evaluate, mlp, optim::Sgd, resnet18, serialize, ResNetConfig, Sequential, TrainConfig,
-    Trainer,
+    evaluate, mlp, optim::Sgd, resnet18, serialize, ResNetConfig, Sequential, TrainConfig, Trainer,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,16 +104,28 @@ pub fn golden_mlp() -> (Sequential, Arc<Dataset>, Arc<Dataset>) {
 
     let cache = artifacts_dir().join("mlp_weights.json");
     if serialize::load_weights(&mut model, &cache).is_err() {
-        eprintln!("[harness] training golden MLP ({} examples)...", train.len());
+        eprintln!(
+            "[harness] training golden MLP ({} examples)...",
+            train.len()
+        );
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 40, batch_size: 32, lr_decay: 0.1, lr_milestones: &[30], verbose: false },
+            TrainConfig {
+                epochs: 40,
+                batch_size: 32,
+                lr_decay: 0.1,
+                lr_milestones: &[30],
+                verbose: false,
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         serialize::save_weights(&model, &cache).expect("cannot cache MLP weights");
     }
     let acc = evaluate(&mut model, test.inputs(), test.labels(), 64);
-    eprintln!("[harness] golden MLP test error: {:.2} %", (1.0 - acc) * 100.0);
+    eprintln!(
+        "[harness] golden MLP test error: {:.2} %",
+        (1.0 - acc) * 100.0
+    );
     (model, Arc::new(train), Arc::new(test))
 }
 
@@ -127,13 +138,23 @@ pub fn golden_mlp() -> (Sequential, Arc<Dataset>, Arc<Dataset>) {
 /// cached under the artifacts directory.
 pub fn golden_resnet(eval_size: usize) -> (Sequential, Arc<Dataset>, Arc<Dataset>) {
     let mut rng = StdRng::seed_from_u64(18);
-    let cfg = SynthCifarConfig { classes: 10, image_size: 32, noise: 1.0, phase_jitter: 1.0, label_noise: 0.30 };
+    let cfg = SynthCifarConfig {
+        classes: 10,
+        image_size: 32,
+        noise: 1.0,
+        phase_jitter: 1.0,
+        label_noise: 0.30,
+    };
     let data = synth_cifar(1200 + eval_size, cfg, &mut rng);
     let indices: Vec<usize> = (0..data.len()).collect();
     let train = data.subset(&indices[..1200]);
     let eval = data.subset(&indices[1200..]);
 
-    let net_cfg = ResNetConfig { in_channels: 3, base_width: 8, classes: 10 };
+    let net_cfg = ResNetConfig {
+        in_channels: 3,
+        base_width: 8,
+        classes: 10,
+    };
     let mut model = resnet18(net_cfg, &mut rng);
 
     let cache = artifacts_dir().join("resnet18_w8_weights.json");
@@ -144,13 +165,22 @@ pub fn golden_resnet(eval_size: usize) -> (Sequential, Arc<Dataset>, Arc<Dataset
         );
         let mut trainer = Trainer::new(
             Sgd::new(0.05).with_momentum(0.9).with_weight_decay(5e-4),
-            TrainConfig { epochs: 8, batch_size: 32, lr_decay: 0.1, lr_milestones: &[6], verbose: true },
+            TrainConfig {
+                epochs: 8,
+                batch_size: 32,
+                lr_decay: 0.1,
+                lr_milestones: &[6],
+                verbose: true,
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         serialize::save_weights(&model, &cache).expect("cannot cache ResNet weights");
     }
     let acc = evaluate(&mut model, eval.inputs(), eval.labels(), 32);
-    eprintln!("[harness] golden ResNet-18 eval error: {:.2} %", (1.0 - acc) * 100.0);
+    eprintln!(
+        "[harness] golden ResNet-18 eval error: {:.2} %",
+        (1.0 - acc) * 100.0
+    );
     (model, Arc::new(train), Arc::new(eval))
 }
 

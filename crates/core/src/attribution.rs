@@ -150,9 +150,10 @@ fn attribute_single_chain(
 
     // Default β from the per-bit rate implied by the fault model.
     let total_bits: f64 = sites.iter().map(|s| s.len as f64 * 32.0).sum();
-    let p_est = (fm.fault_model().expected_flips(
-        sites.iter().map(|s| s.len).sum::<usize>(),
-    ) / total_bits)
+    let p_est = (fm
+        .fault_model()
+        .expected_flips(sites.iter().map(|s| s.len).sum::<usize>())
+        / total_bits)
         .clamp(1e-12, 0.5);
     let beta = beta.unwrap_or(((1.0 - p_est) / p_est).ln() + 2.0);
 
@@ -169,7 +170,8 @@ fn attribute_single_chain(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut act_rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
     let sites_arc = Arc::new(sites.clone());
-    let proposal = crate::proposals::BitToggleProposal::new(Arc::clone(&sites_arc), BitRange::all());
+    let proposal =
+        crate::proposals::BitToggleProposal::new(Arc::clone(&sites_arc), BitRange::all());
     let fault_model = Arc::clone(fm.fault_model());
 
     let mut state = FaultConfig::clean();
@@ -280,7 +282,11 @@ mod tests {
         let mut model = mlp(2, &[16], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 20, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 20,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, data.inputs(), data.labels(), &mut rng);
         FaultyModel::new(

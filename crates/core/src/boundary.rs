@@ -74,7 +74,10 @@ impl BoundaryMap {
     ///
     /// Panics if an index exceeds the resolution.
     pub fn at(&self, ix: usize, iy: usize) -> f64 {
-        assert!(ix < self.resolution && iy < self.resolution, "grid index out of range");
+        assert!(
+            ix < self.resolution && iy < self.resolution,
+            "grid index out of range"
+        );
         self.error_prob[iy * self.resolution + ix]
     }
 
@@ -113,7 +116,13 @@ impl BoundaryMap {
             .fold(f64::INFINITY, f64::min)
             .max(1e-12)
             .ln();
-        let hi = self.error_prob.iter().copied().fold(0.0f64, f64::max).max(1e-12).ln();
+        let hi = self
+            .error_prob
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1e-12)
+            .ln();
         let span = (hi - lo).max(1e-9);
         let mut out = String::with_capacity((self.resolution + 1) * self.resolution);
         for iy in (0..self.resolution).rev() {
@@ -155,10 +164,8 @@ pub fn boundary_map(
     let mut coords = Vec::with_capacity(n * 2);
     for iy in 0..res {
         for ix in 0..res {
-            let x = cfg.x_range.0
-                + (cfg.x_range.1 - cfg.x_range.0) * ix as f32 / (res - 1) as f32;
-            let y = cfg.y_range.0
-                + (cfg.y_range.1 - cfg.y_range.0) * iy as f32 / (res - 1) as f32;
+            let x = cfg.x_range.0 + (cfg.x_range.1 - cfg.x_range.0) * ix as f32 / (res - 1) as f32;
+            let y = cfg.y_range.0 + (cfg.y_range.1 - cfg.y_range.0) * iy as f32 / (res - 1) as f32;
             coords.push(x);
             coords.push(y);
         }
@@ -171,7 +178,10 @@ pub fn boundary_map(
 
     // Softmax margin of the golden run: distance-to-boundary proxy.
     let margin = {
-        let logits = fm.eval_logits(&bdlfi_faults::FaultConfig::clean(), &mut StdRng::seed_from_u64(0));
+        let logits = fm.eval_logits(
+            &bdlfi_faults::FaultConfig::clean(),
+            &mut StdRng::seed_from_u64(0),
+        );
         let probs = logits.softmax_rows();
         (0..n)
             .map(|i| {
@@ -203,7 +213,11 @@ pub fn boundary_map(
 
     let error_prob: Vec<f64> = mismatch_counts
         .iter()
-        .map(|&k| BetaBernoulli::jeffreys().update(k, cfg.fault_samples as u64).mean())
+        .map(|&k| {
+            BetaBernoulli::jeffreys()
+                .update(k, cfg.fault_samples as u64)
+                .mean()
+        })
         .collect();
     let margin_correlation = spearman(&margin, &error_prob);
 
@@ -237,7 +251,11 @@ mod tests {
         let mut model = mlp(2, &[32], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 30, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 30,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, data.inputs(), data.labels(), &mut rng);
         model

@@ -92,7 +92,11 @@ impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             chains: 4,
-            chain: ChainConfig { burn_in: 20, samples: 250, thin: 1 },
+            chain: ChainConfig {
+                burn_in: 20,
+                samples: 250,
+                thin: 1,
+            },
             kernel: KernelChoice::Prior,
             seed: 42,
             criteria: CompletenessCriteria::default(),
@@ -152,24 +156,29 @@ impl ChainWorker {
         };
 
         let proposal: Box<dyn Proposal<FaultConfig>> = match cfg.kernel {
-            KernelChoice::Prior | KernelChoice::TiltedPrior { .. } => {
-                Box::new(PriorProposal::new(Arc::clone(&sites), Arc::clone(&sampling_model)))
-            }
+            KernelChoice::Prior | KernelChoice::TiltedPrior { .. } => Box::new(PriorProposal::new(
+                Arc::clone(&sites),
+                Arc::clone(&sampling_model),
+            )),
             KernelChoice::BitToggle { block } => Box::new(BitToggleProposal::with_block(
                 Arc::clone(&sites),
                 BitRange::all(),
                 block.max(1),
             )),
-            KernelChoice::Gibbs { p } => {
-                Box::new(GibbsBitProposal::new(Arc::clone(&sites), BitRange::all(), p))
-            }
+            KernelChoice::Gibbs { p } => Box::new(GibbsBitProposal::new(
+                Arc::clone(&sites),
+                BitRange::all(),
+                p,
+            )),
             KernelChoice::Mixture { refresh_weight } => {
                 let w = refresh_weight.clamp(1e-6, 1.0 - 1e-6);
                 Box::new(MixtureProposal::new(vec![
                     (
                         w,
-                        Box::new(PriorProposal::new(Arc::clone(&sites), Arc::clone(&fault_model)))
-                            as Box<dyn Proposal<FaultConfig>>,
+                        Box::new(PriorProposal::new(
+                            Arc::clone(&sites),
+                            Arc::clone(&fault_model),
+                        )) as Box<dyn Proposal<FaultConfig>>,
                     ),
                     (
                         1.0 - w,
@@ -184,8 +193,10 @@ impl ChainWorker {
                 Box::new(MixtureProposal::new(vec![
                     (
                         0.1,
-                        Box::new(PriorProposal::new(Arc::clone(&sites), Arc::clone(&fault_model)))
-                            as Box<dyn Proposal<FaultConfig>>,
+                        Box::new(PriorProposal::new(
+                            Arc::clone(&sites),
+                            Arc::clone(&fault_model),
+                        )) as Box<dyn Proposal<FaultConfig>>,
                     ),
                     (
                         0.9,
@@ -279,10 +290,10 @@ impl ChainWorker {
             schedule,
             &mut self.rng,
         );
-        drop(model);
-        drop(act_rng);
-        drop(flips);
-        drop(log_weights);
+        let _ = model;
+        let _ = act_rng;
+        let _ = flips;
+        let _ = log_weights;
 
         self.state = res.final_state;
         self.burned_in = true;
@@ -298,7 +309,11 @@ impl ChainWorker {
 }
 
 /// Assembles the report from finished workers.
-fn assemble(fm: &FaultyModel, cfg: &CampaignConfig, workers: &[Mutex<ChainWorker>]) -> CampaignReport {
+fn assemble(
+    fm: &FaultyModel,
+    cfg: &CampaignConfig,
+    workers: &[Mutex<ChainWorker>],
+) -> CampaignReport {
     let traces: Vec<Trace> = workers
         .iter()
         .map(|w| w.lock().expect("chain worker poisoned").trace.clone())
@@ -323,7 +338,10 @@ fn assemble(fm: &FaultyModel, cfg: &CampaignConfig, workers: &[Mutex<ChainWorker
     };
 
     let completeness: CompletenessReport = assess(&traces, &cfg.criteria);
-    let pooled: Trace = traces.iter().flat_map(|t| t.samples().iter().copied()).collect();
+    let pooled: Trace = traces
+        .iter()
+        .flat_map(|t| t.samples().iter().copied())
+        .collect();
     // Importance re-weighting back to the prior for biased-sampling
     // kernels (tilted prior, tempered); weights are recorded per sample
     // by the workers and are identically zero for prior-targeting kernels.
@@ -440,7 +458,11 @@ mod tests {
         let mut model = mlp(2, &[16], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 25, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 25,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         FaultyModel::new(
@@ -454,10 +476,18 @@ mod tests {
     fn quick_cfg(kernel: KernelChoice) -> CampaignConfig {
         CampaignConfig {
             chains: 2,
-            chain: ChainConfig { burn_in: 5, samples: 60, thin: 1 },
+            chain: ChainConfig {
+                burn_in: 5,
+                samples: 60,
+                thin: 1,
+            },
             kernel,
             seed: 1,
-            criteria: CompletenessCriteria { max_rhat: 1.2, min_ess: 20.0, max_mcse: 0.1 },
+            criteria: CompletenessCriteria {
+                max_rhat: 1.2,
+                min_ess: 20.0,
+                max_mcse: 0.1,
+            },
         }
     }
 
@@ -494,7 +524,9 @@ mod tests {
         let mut cfg = quick_cfg(KernelChoice::Prior);
         cfg.chain.samples = 150;
         let prior = run_campaign(&fm, &cfg);
-        let mut cfg = quick_cfg(KernelChoice::Mixture { refresh_weight: 0.3 });
+        let mut cfg = quick_cfg(KernelChoice::Mixture {
+            refresh_weight: 0.3,
+        });
         cfg.chain.samples = 150;
         cfg.chain.burn_in = 50;
         let mixed = run_campaign(&fm, &cfg);
@@ -567,7 +599,11 @@ mod tests {
         cfg.chain.samples = 150;
         cfg.chain.burn_in = 100;
         let gibbs = run_campaign(&fm, &cfg);
-        assert!(gibbs.acceptance_rates.iter().all(|&a| a > 0.999), "{:?}", gibbs.acceptance_rates);
+        assert!(
+            gibbs.acceptance_rates.iter().all(|&a| a > 0.999),
+            "{:?}",
+            gibbs.acceptance_rates
+        );
         let mut cfg = quick_cfg(KernelChoice::Prior);
         cfg.chain.samples = 150;
         let prior = run_campaign(&fm, &cfg);
@@ -595,7 +631,11 @@ mod tests {
         let fm = trained_faulty_model(1e-3);
         let mut cfg = quick_cfg(KernelChoice::Prior);
         cfg.chain.samples = 50; // segment size
-        cfg.criteria = CompletenessCriteria { max_rhat: 1.1, min_ess: 60.0, max_mcse: 0.05 };
+        cfg.criteria = CompletenessCriteria {
+            max_rhat: 1.1,
+            min_ess: 60.0,
+            max_mcse: 0.05,
+        };
         let rep = run_campaign_adaptive(&fm, &cfg, 1000);
         assert!(rep.completeness.certified, "{:?}", rep.completeness);
         // Stopped in segments of 50.
@@ -609,7 +649,11 @@ mod tests {
         let mut cfg = quick_cfg(KernelChoice::Prior);
         cfg.chain.samples = 20;
         // Impossible criteria: must run to the cap and stop.
-        cfg.criteria = CompletenessCriteria { max_rhat: 1.0001, min_ess: 1e9, max_mcse: 1e-9 };
+        cfg.criteria = CompletenessCriteria {
+            max_rhat: 1.0001,
+            min_ess: 1e9,
+            max_mcse: 1e-9,
+        };
         let rep = run_campaign_adaptive(&fm, &cfg, 60);
         assert!(!rep.completeness.certified);
         assert_eq!(rep.traces[0].len(), 60);
@@ -621,7 +665,11 @@ mod tests {
         let mut cfg = quick_cfg(KernelChoice::Prior);
         cfg.chain.samples = 40;
         // Trivial criteria certify after the first segment.
-        cfg.criteria = CompletenessCriteria { max_rhat: 100.0, min_ess: 1.0, max_mcse: 10.0 };
+        cfg.criteria = CompletenessCriteria {
+            max_rhat: 100.0,
+            min_ess: 1.0,
+            max_mcse: 10.0,
+        };
         let adaptive = run_campaign_adaptive(&fm, &cfg, 400);
         let fixed = run_campaign(&fm, &cfg);
         assert_eq!(adaptive.traces[0].samples(), fixed.traces[0].samples());

@@ -24,7 +24,11 @@ pub struct CompletenessCriteria {
 
 impl Default for CompletenessCriteria {
     fn default() -> Self {
-        CompletenessCriteria { max_rhat: 1.01, min_ess: 400.0, max_mcse: 0.01 }
+        CompletenessCriteria {
+            max_rhat: 1.01,
+            min_ess: 400.0,
+            max_mcse: 0.01,
+        }
     }
 }
 
@@ -55,7 +59,12 @@ pub fn assess(chains: &[Trace], criteria: &CompletenessCriteria) -> Completeness
     let rhat_ok = rhat.is_finite() && rhat <= criteria.max_rhat;
     let ess_ok = e.is_finite() && e >= criteria.min_ess;
     let mcse_ok = m.is_finite() && m <= criteria.max_mcse;
-    CompletenessReport { rhat, ess: e, mcse: m, certified: rhat_ok && ess_ok && mcse_ok }
+    CompletenessReport {
+        rhat,
+        ess: e,
+        mcse: m,
+        certified: rhat_ok && ess_ok && mcse_ok,
+    }
 }
 
 /// The number of recorded samples per chain after which the campaign first
@@ -144,7 +153,11 @@ mod tests {
 
     #[test]
     fn samples_to_certify_increases_with_noise() {
-        let crit = CompletenessCriteria { max_rhat: 1.05, min_ess: 100.0, max_mcse: 0.01 };
+        let crit = CompletenessCriteria {
+            max_rhat: 1.05,
+            min_ess: 100.0,
+            max_mcse: 0.01,
+        };
         let quiet = iid_chains(4, 4000, 0.05);
         let loud = iid_chains(4, 4000, 0.3);
         let a = samples_to_certify(&quiet, &crit, 50).expect("quiet certifies");

@@ -9,7 +9,7 @@
 
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultModel, ResolvedSites, SiteSpec};
-use bdlfi_nn::{predict_batched, Sequential};
+use bdlfi_nn::{predict_batched, PrefixCache, Sequential};
 use bdlfi_tensor::Tensor;
 use rand::Rng;
 use std::sync::Arc;
@@ -18,7 +18,8 @@ use std::sync::Arc;
 /// resolved set of injection sites.
 ///
 /// Cloning a `FaultyModel` clones the network (each MCMC chain owns one),
-/// while the evaluation data and fault model are shared.
+/// while the evaluation data, fault model and golden prefix-activation
+/// cache are shared.
 #[derive(Clone)]
 pub struct FaultyModel {
     model: Sequential,
@@ -28,6 +29,11 @@ pub struct FaultyModel {
     batch_size: usize,
     golden_preds: Arc<Vec<usize>>,
     golden_error: f64,
+    /// Golden activations at every top-level layer boundary: evaluating a
+    /// parameter-fault configuration re-runs only the suffix from its first
+    /// dirty layer. `None` only when transient (activation/input) sites are
+    /// configured, which force full re-runs anyway.
+    prefix: Option<Arc<PrefixCache>>,
 }
 
 impl std::fmt::Debug for FaultyModel {
@@ -59,14 +65,36 @@ impl FaultyModel {
     ) -> Self {
         assert!(!eval.is_empty(), "evaluation set must not be empty");
         let sites = resolve_sites(&model, spec);
-        assert!(!sites.is_empty(), "site spec resolved to no injection sites");
+        assert!(
+            !sites.is_empty(),
+            "site spec resolved to no injection sites"
+        );
 
         let batch_size = 64;
-        let golden_logits = predict_batched(&mut model, eval.inputs(), batch_size, &mut |_, _| {});
+        // Transient sites resample faults inside every forward pass, so no
+        // prefix of the network is reusable; only build the cache when all
+        // sites are (persistent) parameter faults.
+        let transient = !sites.activations.is_empty() || sites.input;
+        let (golden_logits, prefix) = if transient {
+            let logits = predict_batched(&mut model, eval.inputs(), batch_size, &mut |_, _| {});
+            (logits, None)
+        } else {
+            let cache = PrefixCache::build(&mut model, eval.inputs(), batch_size);
+            (cache.golden_logits(), Some(Arc::new(cache)))
+        };
         let golden_preds = Arc::new(golden_logits.argmax_rows());
         let golden_error = bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
 
-        FaultyModel { model, eval, sites, fault_model, batch_size, golden_preds, golden_error }
+        FaultyModel {
+            model,
+            eval,
+            sites,
+            fault_model,
+            batch_size,
+            golden_preds,
+            golden_error,
+            prefix,
+        }
     }
 
     /// The resolved parameter injection sites.
@@ -116,7 +144,24 @@ impl FaultyModel {
     /// Parameter faults come from `cfg`; activation faults (if any
     /// activation sites are configured) are freshly sampled per forward
     /// pass — transient faults do not persist across inferences.
+    ///
+    /// When only parameter sites are configured, inference resumes from
+    /// the golden prefix-activation cache at `cfg`'s first dirty layer
+    /// instead of re-running the whole network — bit-identical to the cold
+    /// run, but costing only the dirty suffix. Transient (activation or
+    /// input) sites force the full tapped pass.
     pub fn eval_logits(&mut self, cfg: &FaultConfig, rng: &mut dyn Rng) -> Tensor {
+        if let Some(prefix) = &self.prefix {
+            let prefix = Arc::clone(prefix);
+            let start = cfg
+                .first_dirty_layer(&self.model)
+                .unwrap_or_else(|| self.model.len());
+            cfg.apply(&mut self.model);
+            let logits = prefix.predict_from(&mut self.model, start);
+            cfg.apply(&mut self.model);
+            return logits;
+        }
+
         let activations = &self.sites.activations;
         let inject_input = self.sites.input;
         let fault_model = Arc::clone(&self.fault_model);
@@ -177,7 +222,11 @@ mod tests {
         let mut model = mlp(2, &[16], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 15, batch_size: 16, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, data.inputs(), data.labels(), &mut rng);
         let fm = FaultyModel::new(
@@ -275,6 +324,70 @@ mod tests {
         );
         let e = clean_fm.eval_error(&FaultConfig::clean(), &mut rng);
         assert_eq!(e, clean_fm.golden_error());
+    }
+
+    #[test]
+    fn incremental_eval_matches_cold_forward_bitwise() {
+        let (mut fm, mut rng) = setup(0.02);
+        assert!(
+            fm.prefix.is_some(),
+            "param-only sites should enable the cache"
+        );
+        let inputs = Arc::clone(&fm.eval);
+        let batch = fm.batch_size;
+        for _ in 0..5 {
+            let cfg = fm.sample_config(&mut rng);
+            let inc = fm.eval_logits(&cfg, &mut rng);
+            let cold = cfg.with_applied(&mut fm.model, |m| {
+                predict_batched(m, inputs.inputs(), batch, &mut |_, _| {})
+            });
+            let ib: Vec<u32> = inc.data().iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u32> = cold.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ib, cb, "incremental logits diverge from cold run");
+        }
+    }
+
+    #[test]
+    fn layer_scoped_sites_resume_mid_network() {
+        use bdlfi_nn::{optim::Sgd, TrainConfig, Trainer};
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Arc::new(gaussian_blobs(60, 3, 0.5, &mut rng));
+        let mut model = mlp(2, &[8, 8], 3, &mut rng);
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1),
+            TrainConfig {
+                epochs: 5,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        );
+        trainer.fit(&mut model, data.inputs(), data.labels(), &mut rng);
+        // Faults scoped to the last dense layer: every config's first dirty
+        // layer is deep, so the incremental path reuses most of the network.
+        let mut fm = FaultyModel::new(
+            model,
+            data,
+            &SiteSpec::LayerParams {
+                prefix: "fc3".into(),
+            },
+            Arc::new(BernoulliBitFlip::new(0.05)),
+        );
+        let inputs = Arc::clone(&fm.eval);
+        let batch = fm.batch_size;
+        let cfg = loop {
+            let c = fm.sample_config(&mut rng);
+            if !c.is_clean() {
+                break c;
+            }
+        };
+        assert_eq!(cfg.first_dirty_layer(&fm.model), Some(4)); // fc1 relu1 fc2 relu2 fc3
+        let inc = fm.eval_logits(&cfg, &mut rng);
+        let cold = cfg.with_applied(&mut fm.model, |m| {
+            predict_batched(m, inputs.inputs(), batch, &mut |_, _| {})
+        });
+        let ib: Vec<u32> = inc.data().iter().map(|v| v.to_bits()).collect();
+        let cb: Vec<u32> = cold.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ib, cb);
     }
 
     #[test]

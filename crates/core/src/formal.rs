@@ -48,7 +48,7 @@ pub fn dense_fault_net(weight: &Tensor, bias: &Tensor, x: &[f32], p: f64) -> Den
 
     // One faulty-parameter node per scalar: 32 Bernoulli bit leaves feeding
     // a deterministic XOR node (the paper's `W' = e ⊙ W`).
-    let mut faulty_scalar = |net: &mut BayesNet, name: &str, value: f32| -> NodeId {
+    let faulty_scalar = |net: &mut BayesNet, name: &str, value: f32| -> NodeId {
         let bits: Vec<NodeId> = (0..32)
             .map(|k| net.add_stochastic(format!("{name}.b{k}"), Bernoulli::new(p)))
             .collect();
@@ -84,20 +84,27 @@ pub fn dense_fault_net(weight: &Tensor, bias: &Tensor, x: &[f32], p: f64) -> Den
             .collect();
         parents.push(faulty_biases[j]);
         let xs = x_owned.clone();
-        outputs.push(net.add_deterministic(format!("y[{j}]"), parents, move |vals| {
-            let (ws, b) = vals.split_at(vals.len() - 1);
-            let z: f64 = ws.iter().zip(xs.iter()).map(|(w, x)| w * x).sum::<f64>() + b[0];
-            z.max(0.0)
-        }));
+        outputs.push(
+            net.add_deterministic(format!("y[{j}]"), parents, move |vals| {
+                let (ws, b) = vals.split_at(vals.len() - 1);
+                let z: f64 = ws.iter().zip(xs.iter()).map(|(w, x)| w * x).sum::<f64>() + b[0];
+                z.max(0.0)
+            }),
+        );
     }
 
-    DenseFaultNet { net, faulty_weights, faulty_biases, outputs }
+    DenseFaultNet {
+        net,
+        faulty_weights,
+        faulty_biases,
+        outputs,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bdlfi_faults::{BernoulliBitFlip, FaultConfig, FaultModel, ParamSite};
+    use bdlfi_faults::{BernoulliBitFlip, FaultConfig, ParamSite};
     use bdlfi_nn::layers::Dense;
     use bdlfi_nn::{ForwardCtx, Layer, Mode};
     use rand::rngs::StdRng;
@@ -163,7 +170,10 @@ mod tests {
         // Clean reference outputs.
         let mut dense_clean = Dense::from_weights(w.clone(), b.clone());
         let y_clean = dense_clean
-            .forward(&Tensor::from_vec(x.clone(), [1, 2]), &mut ForwardCtx::new(Mode::Eval))
+            .forward(
+                &Tensor::from_vec(x.clone(), [1, 2]),
+                &mut ForwardCtx::new(Mode::Eval),
+            )
             .map(|v| v.max(0.0));
 
         let deviates = |y: f64, j: usize| -> bool {
@@ -189,8 +199,14 @@ mod tests {
         let mut seq = bdlfi_nn::Sequential::new();
         seq.push("fc", dense);
         let sites = vec![
-            ParamSite { path: "fc.weight".into(), len: 4 },
-            ParamSite { path: "fc.bias".into(), len: 2 },
+            ParamSite {
+                path: "fc.weight".into(),
+                len: 4,
+            },
+            ParamSite {
+                path: "fc.bias".into(),
+                len: 2,
+            },
         ];
         let fm = BernoulliBitFlip::new(p);
         let mut rng = StdRng::seed_from_u64(2);
@@ -199,8 +215,8 @@ mod tests {
         for _ in 0..n {
             let cfg = FaultConfig::sample(&sites, &fm, &mut rng);
             let y = cfg.with_applied(&mut seq, |m| m.predict(&xt));
-            for j in 0..2 {
-                fused_dev[j] += f64::from(deviates(f64::from(y.at(&[0, j]).max(0.0)), j));
+            for (j, dev) in fused_dev.iter_mut().enumerate() {
+                *dev += f64::from(deviates(f64::from(y.at(&[0, j]).max(0.0)), j));
             }
         }
         for m in &mut fused_dev {
@@ -239,6 +255,9 @@ mod tests {
             idx += 1; // skip the deterministic XOR node
         }
         let expected = set * p.ln() + (total_bits - set) * (1.0 - p).ln();
-        assert!((lp - expected).abs() < 1e-9, "lp {lp} vs expected {expected}");
+        assert!(
+            (lp - expected).abs() < 1e-9,
+            "lp {lp} vs expected {expected}"
+        );
     }
 }

@@ -93,19 +93,26 @@ pub fn run_layerwise(
     budget: LayerBudget,
     cfg: &CampaignConfig,
 ) -> LayerwiseResult {
-    assert!(!layers.is_empty(), "layerwise study needs at least one layer");
+    assert!(
+        !layers.is_empty(),
+        "layerwise study needs at least one layer"
+    );
     if let LayerBudget::PerBit(p) = budget {
-        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1]"
+        );
     }
 
     let results: Vec<LayerResult> = layers
         .iter()
         .enumerate()
         .map(|(depth, &layer)| {
-            let spec = SiteSpec::LayerParams { prefix: layer.to_string() };
+            let spec = SiteSpec::LayerParams {
+                prefix: layer.to_string(),
+            };
             // Resolve first to size the budget.
-            let elements =
-                bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
+            let elements = bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
             let p = budget.probability_for(elements);
             let fm = FaultyModel::new(
                 model.clone(),
@@ -128,7 +135,11 @@ pub fn run_layerwise(
     let errors: Vec<f64> = results.iter().map(|r| r.report.mean_error).collect();
     let depth_correlation = spearman(&depths, &errors);
 
-    LayerwiseResult { layers: results, golden_error, depth_correlation }
+    LayerwiseResult {
+        layers: results,
+        golden_error,
+        depth_correlation,
+    }
 }
 
 #[cfg(test)]
@@ -145,10 +156,18 @@ mod tests {
     fn quick_cfg() -> CampaignConfig {
         CampaignConfig {
             chains: 2,
-            chain: ChainConfig { burn_in: 0, samples: 40, thin: 1 },
+            chain: ChainConfig {
+                burn_in: 0,
+                samples: 40,
+                thin: 1,
+            },
             kernel: KernelChoice::Prior,
             seed: 5,
-            criteria: CompletenessCriteria { max_rhat: 2.0, min_ess: 10.0, max_mcse: 0.2 },
+            criteria: CompletenessCriteria {
+                max_rhat: 2.0,
+                min_ess: 10.0,
+                max_mcse: 0.2,
+            },
         }
     }
 
@@ -160,7 +179,11 @@ mod tests {
         let mut model = mlp(2, &[16, 16], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 15, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
 
@@ -229,6 +252,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(22);
         let data = gaussian_blobs(50, 2, 0.5, &mut rng);
         let model = mlp(2, &[4], 2, &mut rng);
-        run_layerwise(&model, &Arc::new(data), &["nope"], LayerBudget::PerBit(1e-3), &quick_cfg());
+        run_layerwise(
+            &model,
+            &Arc::new(data),
+            &["nope"],
+            LayerBudget::PerBit(1e-3),
+            &quick_cfg(),
+        );
     }
 }

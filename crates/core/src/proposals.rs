@@ -67,7 +67,10 @@ impl BitToggleProposal {
     ///
     /// Panics if `sites` is empty or `block == 0`.
     pub fn with_block(sites: Arc<Vec<ParamSite>>, bits: BitRange, block: usize) -> Self {
-        assert!(!sites.is_empty(), "bit toggle proposal needs at least one site");
+        assert!(
+            !sites.is_empty(),
+            "bit toggle proposal needs at least one site"
+        );
         assert!(block > 0, "block size must be positive");
         let mut cumulative = Vec::with_capacity(sites.len());
         let mut acc = 0usize;
@@ -76,14 +79,24 @@ impl BitToggleProposal {
             cumulative.push(acc);
         }
         assert!(acc > 0, "sites must contain at least one element");
-        BitToggleProposal { sites, bits, block, cumulative, total_elements: acc }
+        BitToggleProposal {
+            sites,
+            bits,
+            block,
+            cumulative,
+            total_elements: acc,
+        }
     }
 
     pub(crate) fn pick_site(&self, rng: &mut dyn Rng) -> (usize, usize) {
         // Uniform over elements, then locate the owning site.
         let flat = rng.random_range(0..self.total_elements);
         let site_idx = self.cumulative.partition_point(|&c| c <= flat);
-        let before = if site_idx == 0 { 0 } else { self.cumulative[site_idx - 1] };
+        let before = if site_idx == 0 {
+            0
+        } else {
+            self.cumulative[site_idx - 1]
+        };
         (site_idx, flat - before)
     }
 }
@@ -176,8 +189,14 @@ mod tests {
 
     fn sites() -> Arc<Vec<ParamSite>> {
         Arc::new(vec![
-            ParamSite { path: "a.weight".into(), len: 10 },
-            ParamSite { path: "b.weight".into(), len: 30 },
+            ParamSite {
+                path: "a.weight".into(),
+                len: 10,
+            },
+            ParamSite {
+                path: "b.weight".into(),
+                len: 30,
+            },
         ])
     }
 
@@ -188,13 +207,18 @@ mod tests {
         let proposal = PriorProposal::new(Arc::clone(&sites), Arc::clone(&fm));
         let sites2 = Arc::clone(&sites);
         let fm2 = Arc::clone(&fm);
-        let mut log_target =
-            move |c: &FaultConfig| c.log_prob(&sites2, fm2.as_ref()).unwrap();
+        let mut log_target = move |c: &FaultConfig| c.log_prob(&sites2, fm2.as_ref()).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let mut state = FaultConfig::clean();
         let mut lp = log_target(&state);
         for _ in 0..200 {
-            assert!(mh_step(&mut state, &mut lp, &proposal, &mut log_target, &mut rng));
+            assert!(mh_step(
+                &mut state,
+                &mut lp,
+                &proposal,
+                &mut log_target,
+                &mut rng
+            ));
         }
     }
 
@@ -212,7 +236,10 @@ mod tests {
     #[test]
     fn bit_toggle_can_heal_existing_faults() {
         let proposal = BitToggleProposal::new(
-            Arc::new(vec![ParamSite { path: "w".into(), len: 1 }]),
+            Arc::new(vec![ParamSite {
+                path: "w".into(),
+                len: 1,
+            }]),
             BitRange::new(0, 1), // only bit 0 of element 0 exists
         );
         let mut rng = StdRng::seed_from_u64(2);
@@ -230,7 +257,10 @@ mod tests {
         // of single-bit toggles should reach mean flip count ≈ 64 p.
         let p = 0.2;
         let fm: Arc<dyn FaultModel> = Arc::new(BernoulliBitFlip::new(p));
-        let sites = Arc::new(vec![ParamSite { path: "w".into(), len: 2 }]);
+        let sites = Arc::new(vec![ParamSite {
+            path: "w".into(),
+            len: 2,
+        }]);
         let proposal = BitToggleProposal::new(Arc::clone(&sites), BitRange::all());
         let sites2 = Arc::clone(&sites);
         let mut log_target = move |c: &FaultConfig| c.log_prob(&sites2, fm.as_ref()).unwrap();
@@ -247,7 +277,10 @@ mod tests {
         }
         let mean = total / n as f64;
         let expected = 64.0 * p;
-        assert!((mean - expected).abs() < 1.0, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 1.0,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]
@@ -272,7 +305,10 @@ mod tests {
     #[test]
     fn gibbs_chain_matches_marginal_flip_count() {
         let p = 0.25;
-        let sites = Arc::new(vec![ParamSite { path: "w".into(), len: 1 }]);
+        let sites = Arc::new(vec![ParamSite {
+            path: "w".into(),
+            len: 1,
+        }]);
         let fm: Arc<dyn FaultModel> = Arc::new(BernoulliBitFlip::new(p));
         let proposal = GibbsBitProposal::new(Arc::clone(&sites), BitRange::all(), p);
         let sites2 = Arc::clone(&sites);
@@ -290,13 +326,19 @@ mod tests {
         }
         let mean = total / n as f64;
         let expected = 32.0 * p;
-        assert!((mean - expected).abs() < 0.5, "mean {mean}, expected {expected}");
+        assert!(
+            (mean - expected).abs() < 0.5,
+            "mean {mean}, expected {expected}"
+        );
     }
 
     #[test]
     fn gibbs_hastings_ratio_is_consistent() {
         let p = 0.1f64;
-        let sites = Arc::new(vec![ParamSite { path: "w".into(), len: 1 }]);
+        let sites = Arc::new(vec![ParamSite {
+            path: "w".into(),
+            len: 1,
+        }]);
         let proposal = GibbsBitProposal::new(Arc::clone(&sites), BitRange::new(0, 1), p);
         let mut rng = StdRng::seed_from_u64(7);
         // From clean state the only non-identity move is setting the bit:

@@ -61,7 +61,7 @@ impl CampaignReport {
     pub fn render_distribution(&self) -> String {
         let pooled = self.pooled_trace();
         let hi = pooled.quantile(1.0).max(self.golden_error) * 1.05 + 1e-6;
-        let mut out = pooled.render_histogram(0.0, hi.min(1.0).max(0.02), 12, 40);
+        let mut out = pooled.render_histogram(0.0, hi.clamp(0.02, 1.0), 12, 40);
         out.push_str(&format!(
             "golden-run error: {:.3} | faulty mean: {:.3}\n",
             self.golden_error, self.mean_error
@@ -101,7 +101,11 @@ impl fmt::Display for CampaignReport {
             self.traces.first().map_or(0, Trace::len),
             self.total_samples()
         )?;
-        writeln!(f, "  golden error      : {:6.2} %", self.golden_error * 100.0)?;
+        writeln!(
+            f,
+            "  golden error      : {:6.2} %",
+            self.golden_error * 100.0
+        )?;
         writeln!(
             f,
             "  faulty error      : {:6.2} %  (mean; q05 {:5.2} %, q95 {:5.2} %)",
@@ -121,7 +125,11 @@ impl fmt::Display for CampaignReport {
         write!(
             f,
             "  completeness      : {}",
-            if self.completeness.certified { "CERTIFIED" } else { "not certified" }
+            if self.completeness.certified {
+                "CERTIFIED"
+            } else {
+                "not certified"
+            }
         )
     }
 }
@@ -139,14 +147,23 @@ mod tests {
             summary: t.summary(),
             traces: vec![t],
             acceptance_rates: vec![1.0],
-            completeness: CompletenessReport { rhat: 1.0, ess: 4.0, mcse: 0.04, certified: false },
+            completeness: CompletenessReport {
+                rhat: 1.0,
+                ess: 4.0,
+                mcse: 0.04,
+                certified: false,
+            },
             golden_error: 0.05,
             mean_error: 0.2,
             importance_ess: None,
             mean_flips: 3.5,
             config: CampaignConfig {
                 chains: 1,
-                chain: ChainConfig { burn_in: 0, samples: 4, thin: 1 },
+                chain: ChainConfig {
+                    burn_in: 0,
+                    samples: 4,
+                    thin: 1,
+                },
                 kernel: KernelChoice::Prior,
                 seed: 0,
                 criteria: CompletenessCriteria::default(),

@@ -106,7 +106,7 @@ pub fn fit_knee(x: &[f64], y: &[f64]) -> KneeFit {
         let (sse_l, slope_l) = sse_of(&x[..=k], &y[..=k]);
         let (sse_r, slope_r) = sse_of(&x[k..], &y[k..]);
         let total = sse_l + sse_r;
-        if best.map_or(true, |b| total < b.sse) {
+        if best.is_none_or(|b| total < b.sse) {
             best = Some(KneeFit {
                 knee_index: k,
                 knee_x: x[k],
@@ -163,9 +163,16 @@ mod tests {
     fn knee_found_in_hockey_stick() {
         // Flat until x = 5, then slope 2 — knee at index 5.
         let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v <= 5.0 { 1.0 } else { 1.0 + 2.0 * (v - 5.0) }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v <= 5.0 { 1.0 } else { 1.0 + 2.0 * (v - 5.0) })
+            .collect();
         let fit = fit_knee(&x, &y);
-        assert!((4..=6).contains(&fit.knee_index), "knee at {}", fit.knee_index);
+        assert!(
+            (4..=6).contains(&fit.knee_index),
+            "knee at {}",
+            fit.knee_index
+        );
         assert!(fit.left_slope.abs() < 0.3);
         assert!(fit.right_slope > 1.5);
     }
@@ -173,7 +180,10 @@ mod tests {
     #[test]
     fn knee_fit_sse_is_small_for_exact_piecewise_data() {
         let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let y: Vec<f64> = x.iter().map(|&v| if v <= 4.0 { 0.0 } else { v - 4.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v <= 4.0 { 0.0 } else { v - 4.0 })
+            .collect();
         let fit = fit_knee(&x, &y);
         assert!(fit.sse < 1e-9, "sse {}", fit.sse);
     }

@@ -46,7 +46,10 @@ impl SweepResult {
         }
         let (xs, ys) = self.log_curve();
         let fit = fit_knee(&xs, &ys);
-        Some(KneeAnalysis { knee_p: 10f64.powf(fit.knee_x), fit })
+        Some(KneeAnalysis {
+            knee_p: 10f64.powf(fit.knee_x),
+            fit,
+        })
     }
 }
 
@@ -89,7 +92,10 @@ pub fn run_sweep(
     cfg: &CampaignConfig,
 ) -> SweepResult {
     assert!(!ps.is_empty(), "sweep needs at least one probability");
-    assert!(ps.iter().all(|p| (0.0..=1.0).contains(p)), "probabilities must be in [0, 1]");
+    assert!(
+        ps.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
     let mut points: Vec<SweepPoint> = ps
         .iter()
         .map(|&p| {
@@ -99,12 +105,18 @@ pub fn run_sweep(
                 spec,
                 Arc::new(BernoulliBitFlip::new(p)),
             );
-            SweepPoint { p, report: run_campaign(&fm, cfg) }
+            SweepPoint {
+                p,
+                report: run_campaign(&fm, cfg),
+            }
         })
         .collect();
     points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
     let golden_error = points[0].report.golden_error;
-    SweepResult { points, golden_error }
+    SweepResult {
+        points,
+        golden_error,
+    }
 }
 
 #[cfg(test)]
@@ -121,10 +133,18 @@ mod tests {
     fn quick_cfg() -> CampaignConfig {
         CampaignConfig {
             chains: 2,
-            chain: ChainConfig { burn_in: 0, samples: 40, thin: 1 },
+            chain: ChainConfig {
+                burn_in: 0,
+                samples: 40,
+                thin: 1,
+            },
             kernel: KernelChoice::Prior,
             seed: 3,
-            criteria: CompletenessCriteria { max_rhat: 2.0, min_ess: 10.0, max_mcse: 0.2 },
+            criteria: CompletenessCriteria {
+                max_rhat: 2.0,
+                min_ess: 10.0,
+                max_mcse: 0.2,
+            },
         }
     }
 
@@ -135,7 +155,11 @@ mod tests {
         let mut model = mlp(2, &[16], 3, &mut rng);
         let mut trainer = Trainer::new(
             Sgd::new(0.1).with_momentum(0.9),
-            TrainConfig { epochs: 20, batch_size: 32, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 20,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
         );
         trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
         (model, Arc::new(test))
@@ -168,7 +192,11 @@ mod tests {
             errs[0],
             sweep.golden_error
         );
-        assert!(errs[5] > sweep.golden_error + 0.05, "high-p error {}", errs[5]);
+        assert!(
+            errs[5] > sweep.golden_error + 0.05,
+            "high-p error {}",
+            errs[5]
+        );
 
         // Knee analysis runs and lands inside the sweep range.
         let knee = sweep.knee().expect("enough points for knee");

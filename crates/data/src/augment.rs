@@ -18,7 +18,10 @@ pub struct AugmentConfig {
 impl Default for AugmentConfig {
     /// The usual CIFAR recipe: flip half the images, shift by up to 4 px.
     fn default() -> Self {
-        AugmentConfig { flip_prob: 0.5, max_shift: 4 }
+        AugmentConfig {
+            flip_prob: 0.5,
+            max_shift: 4,
+        }
     }
 }
 
@@ -27,13 +30,12 @@ impl Default for AugmentConfig {
 /// # Panics
 ///
 /// Panics if `images` is not rank 4 or `flip_prob` is not a probability.
-pub fn augment_batch<R: Rng + ?Sized>(
-    images: &Tensor,
-    cfg: AugmentConfig,
-    rng: &mut R,
-) -> Tensor {
+pub fn augment_batch<R: Rng + ?Sized>(images: &Tensor, cfg: AugmentConfig, rng: &mut R) -> Tensor {
     assert_eq!(images.rank(), 4, "augment_batch expects an NCHW tensor");
-    assert!((0.0..=1.0).contains(&cfg.flip_prob), "flip_prob must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&cfg.flip_prob),
+        "flip_prob must be in [0, 1]"
+    );
     let (n, c, h, w) = (images.dim(0), images.dim(1), images.dim(2), images.dim(3));
     let mut out = images.clone();
     let plane = h * w;
@@ -60,7 +62,11 @@ pub fn augment_batch<R: Rng + ?Sized>(
                 for x in 0..w as isize {
                     let sy = y - dy;
                     let sx_pre = x - dx;
-                    let sx = if flip { w as isize - 1 - sx_pre } else { sx_pre };
+                    let sx = if flip {
+                        w as isize - 1 - sx_pre
+                    } else {
+                        sx_pre
+                    };
                     let v = if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
                         src[ch * plane + sy as usize * w + sx as usize]
                     } else {
@@ -106,7 +112,14 @@ mod tests {
     fn identity_config_is_noop() {
         let x = ramp_image();
         let mut rng = StdRng::seed_from_u64(0);
-        let y = augment_batch(&x, AugmentConfig { flip_prob: 0.0, max_shift: 0 }, &mut rng);
+        let y = augment_batch(
+            &x,
+            AugmentConfig {
+                flip_prob: 0.0,
+                max_shift: 0,
+            },
+            &mut rng,
+        );
         assert_eq!(y, x);
     }
 
@@ -114,11 +127,25 @@ mod tests {
     fn certain_flip_mirrors_rows() {
         let x = ramp_image();
         let mut rng = StdRng::seed_from_u64(1);
-        let y = augment_batch(&x, AugmentConfig { flip_prob: 1.0, max_shift: 0 }, &mut rng);
+        let y = augment_batch(
+            &x,
+            AugmentConfig {
+                flip_prob: 1.0,
+                max_shift: 0,
+            },
+            &mut rng,
+        );
         // Row 0 was [0,1,2,3]; mirrored it is [3,2,1,0].
         assert_eq!(&y.data()[..4], &[3.0, 2.0, 1.0, 0.0]);
         // Double flip restores.
-        let z = augment_batch(&y, AugmentConfig { flip_prob: 1.0, max_shift: 0 }, &mut rng);
+        let z = augment_batch(
+            &y,
+            AugmentConfig {
+                flip_prob: 1.0,
+                max_shift: 0,
+            },
+            &mut rng,
+        );
         assert_eq!(z, x);
     }
 
@@ -130,7 +157,14 @@ mod tests {
         // at the border. Run several draws and check invariants each time.
         let mut saw_shifted = false;
         for _ in 0..20 {
-            let y = augment_batch(&x, AugmentConfig { flip_prob: 0.0, max_shift: 2 }, &mut rng);
+            let y = augment_batch(
+                &x,
+                AugmentConfig {
+                    flip_prob: 0.0,
+                    max_shift: 2,
+                },
+                &mut rng,
+            );
             let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
             let ones = y.data().iter().filter(|&&v| v == 1.0).count();
             assert_eq!(zeros + ones, 16, "values must stay {{0, 1}}");

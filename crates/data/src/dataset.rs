@@ -24,9 +24,17 @@ impl Dataset {
     /// Panics if `inputs.dim(0) != labels.len()` or any label is
     /// `>= classes`.
     pub fn new(inputs: Tensor, labels: Vec<usize>, classes: usize) -> Self {
-        assert_eq!(inputs.dim(0), labels.len(), "input batch and label count must match");
+        assert_eq!(
+            inputs.dim(0),
+            labels.len(),
+            "input batch and label count must match"
+        );
         assert!(labels.iter().all(|&l| l < classes), "label out of range");
-        Dataset { inputs, labels, classes }
+        Dataset {
+            inputs,
+            labels,
+            classes,
+        }
     }
 
     /// Number of examples.
@@ -80,7 +88,11 @@ impl Dataset {
         }
         let mut dims = self.inputs.dims().to_vec();
         dims[0] = indices.len();
-        Dataset { inputs: Tensor::from_vec(data, dims), labels, classes: self.classes }
+        Dataset {
+            inputs: Tensor::from_vec(data, dims),
+            labels,
+            classes: self.classes,
+        }
     }
 
     /// Shuffles and splits into `(train, test)` with `train_fraction` of the
@@ -156,7 +168,15 @@ impl Dataset {
             centred.at(&[i[0], i[1]]) / std.data()[i[1]]
         })
         .reshape(self.inputs.dims().to_vec());
-        (Dataset { inputs: normed, labels: self.labels.clone(), classes: self.classes }, mean, std)
+        (
+            Dataset {
+                inputs: normed,
+                labels: self.labels.clone(),
+                classes: self.classes,
+            },
+            mean,
+            std,
+        )
     }
 }
 

@@ -24,7 +24,10 @@ pub fn gaussian_blobs<R: Rng + ?Sized>(
     spread: f32,
     rng: &mut R,
 ) -> Dataset {
-    assert!(n > 0 && classes > 0, "gaussian_blobs requires n > 0 and classes > 0");
+    assert!(
+        n > 0 && classes > 0,
+        "gaussian_blobs requires n > 0 and classes > 0"
+    );
     assert!(spread > 0.0, "spread must be positive");
     let radius = 3.0f32;
     let mut data = Vec::with_capacity(n * 2);
@@ -73,7 +76,10 @@ pub fn two_moons<R: Rng + ?Sized>(n: usize, noise: f32, rng: &mut R) -> Dataset 
 ///
 /// Panics if `n == 0`, `classes == 0` or `noise < 0`.
 pub fn spirals<R: Rng + ?Sized>(n: usize, classes: usize, noise: f32, rng: &mut R) -> Dataset {
-    assert!(n > 0 && classes > 0, "spirals requires n > 0 and classes > 0");
+    assert!(
+        n > 0 && classes > 0,
+        "spirals requires n > 0 and classes > 0"
+    );
     assert!(noise >= 0.0, "noise must be non-negative");
     let mut data = Vec::with_capacity(n * 2);
     let mut labels = Vec::with_capacity(n);
@@ -81,8 +87,8 @@ pub fn spirals<R: Rng + ?Sized>(n: usize, classes: usize, noise: f32, rng: &mut 
         let class = i % classes;
         let t: f32 = rng.random::<f32>();
         let r = 0.3 + 2.7 * t;
-        let angle =
-            1.75 * t * 2.0 * std::f32::consts::PI + 2.0 * std::f32::consts::PI * class as f32 / classes as f32;
+        let angle = 1.75 * t * 2.0 * std::f32::consts::PI
+            + 2.0 * std::f32::consts::PI * class as f32 / classes as f32;
         data.push(r * angle.cos() + noise * standard_normal(rng));
         data.push(r * angle.sin() + noise * standard_normal(rng));
         labels.push(class);
@@ -104,8 +110,7 @@ mod tests {
 
         // Per-class means should be near the circle of radius 3.
         for class in 0..3 {
-            let idx: Vec<usize> =
-                (0..300).filter(|&i| d.labels()[i] == class).collect();
+            let idx: Vec<usize> = (0..300).filter(|&i| d.labels()[i] == class).collect();
             let sub = d.subset(&idx);
             let mean = sub.inputs().mean_axis0();
             let r = (mean.data()[0].powi(2) + mean.data()[1].powi(2)).sqrt();

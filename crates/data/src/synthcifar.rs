@@ -97,8 +97,8 @@ pub fn synth_cifar<R: Rng + ?Sized>(n: usize, cfg: SynthCifarConfig, rng: &mut R
         let (dy, dx) = (orientation.sin(), orientation.cos());
         let freq = 2.0 * std::f32::consts::PI * cycles / s as f32;
 
-        for ch in 0..3 {
-            let phase = colour[ch] + jitter;
+        for &chroma in &colour {
+            let phase = chroma + jitter;
             for y in 0..s {
                 for x in 0..s {
                     let carrier = (freq * (dx * x as f32 + dy * y as f32) + phase).sin();
@@ -108,15 +108,13 @@ pub fn synth_cifar<R: Rng + ?Sized>(n: usize, cfg: SynthCifarConfig, rng: &mut R
             }
         }
         // Label noise: replace by a uniformly random different class.
-        let label = if cfg.label_noise > 0.0
-            && cfg.classes > 1
-            && rng.random::<f32>() < cfg.label_noise
-        {
-            let offset = rng.random_range(1..cfg.classes);
-            (class + offset) % cfg.classes
-        } else {
-            class
-        };
+        let label =
+            if cfg.label_noise > 0.0 && cfg.classes > 1 && rng.random::<f32>() < cfg.label_noise {
+                let offset = rng.random_range(1..cfg.classes);
+                (class + offset) % cfg.classes
+            } else {
+                class
+            };
         labels.push(label);
     }
     Dataset::new(Tensor::from_vec(data, [n, 3, s, s]), labels, cfg.classes)
@@ -131,7 +129,13 @@ mod tests {
     #[test]
     fn shapes_and_balance() {
         let mut rng = StdRng::seed_from_u64(0);
-        let cfg = SynthCifarConfig { classes: 10, image_size: 16, noise: 0.3, phase_jitter: 0.5, label_noise: 0.0 };
+        let cfg = SynthCifarConfig {
+            classes: 10,
+            image_size: 16,
+            noise: 0.3,
+            phase_jitter: 0.5,
+            label_noise: 0.0,
+        };
         let d = synth_cifar(50, cfg, &mut rng);
         assert_eq!(d.inputs().dims(), &[50, 3, 16, 16]);
         assert_eq!(d.class_counts(), vec![5; 10]);
@@ -154,7 +158,13 @@ mod tests {
     #[test]
     fn noiseless_images_of_same_class_correlate() {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = SynthCifarConfig { classes: 2, image_size: 8, noise: 0.0, phase_jitter: 0.0, label_noise: 0.0 };
+        let cfg = SynthCifarConfig {
+            classes: 2,
+            image_size: 8,
+            noise: 0.0,
+            phase_jitter: 0.0,
+            label_noise: 0.0,
+        };
         let d = synth_cifar(4, cfg, &mut rng);
         let len = 3 * 8 * 8;
         let img = |i: usize| &d.inputs().data()[i * len..(i + 1) * len];
@@ -166,8 +176,17 @@ mod tests {
 
     #[test]
     fn noise_increases_within_class_variance() {
-        let cfg_clean = SynthCifarConfig { classes: 2, image_size: 8, noise: 0.0, phase_jitter: 0.0, label_noise: 0.0 };
-        let cfg_noisy = SynthCifarConfig { noise: 1.0, ..cfg_clean };
+        let cfg_clean = SynthCifarConfig {
+            classes: 2,
+            image_size: 8,
+            noise: 0.0,
+            phase_jitter: 0.0,
+            label_noise: 0.0,
+        };
+        let cfg_noisy = SynthCifarConfig {
+            noise: 1.0,
+            ..cfg_clean
+        };
         let clean = synth_cifar(10, cfg_clean, &mut StdRng::seed_from_u64(2));
         let noisy = synth_cifar(10, cfg_noisy, &mut StdRng::seed_from_u64(2));
         let len = 3 * 8 * 8;

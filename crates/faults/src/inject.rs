@@ -23,7 +23,9 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// The fault-free configuration.
     pub fn clean() -> Self {
-        FaultConfig { masks: HashMap::new() }
+        FaultConfig {
+            masks: HashMap::new(),
+        }
     }
 
     /// Samples a configuration: one independent mask per parameter site.
@@ -67,6 +69,21 @@ impl FaultConfig {
         self.masks.keys().map(String::as_str).collect()
     }
 
+    /// Index of the shallowest top-level layer of `model` whose parameters
+    /// this configuration corrupts, or `None` for a clean configuration.
+    ///
+    /// Every layer before this index computes on golden weights, so its
+    /// activations are bit-identical to the golden run — the invariant the
+    /// incremental-inference cache ([`bdlfi_nn::PrefixCache`]) exploits. A
+    /// mask whose path matches no layer maps conservatively to `Some(0)`
+    /// (full re-run).
+    pub fn first_dirty_layer(&self, model: &Sequential) -> Option<usize> {
+        self.masks
+            .keys()
+            .map(|path| model.layer_index_of_param(path).unwrap_or(0))
+            .min()
+    }
+
     /// Joint log-probability of this configuration under a per-site fault
     /// model, given the site list (sites without masks contribute their
     /// no-fault probability).
@@ -102,7 +119,11 @@ impl FaultConfig {
     /// Runs `f` with the faults applied, guaranteeing the model is restored
     /// afterwards (XOR involution), even though `f` may inspect the faulty
     /// model freely.
-    pub fn with_applied<T>(&self, model: &mut Sequential, f: impl FnOnce(&mut Sequential) -> T) -> T {
+    pub fn with_applied<T>(
+        &self,
+        model: &mut Sequential,
+        f: impl FnOnce(&mut Sequential) -> T,
+    ) -> T {
         self.apply(model);
         let out = f(model);
         self.apply(model);
@@ -171,7 +192,12 @@ mod tests {
     #[test]
     fn sample_respects_sites() {
         let m = model();
-        let sites = resolve_sites(&m, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        let sites = resolve_sites(
+            &m,
+            &SiteSpec::LayerParams {
+                prefix: "fc1".into(),
+            },
+        );
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = FaultConfig::sample(&sites.params, &BernoulliBitFlip::new(0.5), &mut rng);
         for path in cfg.affected_paths() {
@@ -208,6 +234,29 @@ mod tests {
         cfg.set_mask("fc1.weight", FaultMask::empty());
         assert!(cfg.is_clean());
         assert_eq!(cfg.mask("fc1.weight"), FaultMask::empty());
+    }
+
+    #[test]
+    fn first_dirty_layer_tracks_shallowest_mask() {
+        let m = model(); // fc1(0), relu1(1), fc2(2)
+        let mut cfg = FaultConfig::clean();
+        assert_eq!(cfg.first_dirty_layer(&m), None);
+
+        let mut mask = FaultMask::empty();
+        mask.push_bit(0, 3);
+        cfg.set_mask("fc2.weight", mask.clone());
+        assert_eq!(cfg.first_dirty_layer(&m), Some(2));
+
+        cfg.set_mask("fc1.bias", mask.clone());
+        assert_eq!(cfg.first_dirty_layer(&m), Some(0));
+
+        // Removing the shallow mask moves the dirty frontier back down.
+        cfg.set_mask("fc1.bias", FaultMask::empty());
+        assert_eq!(cfg.first_dirty_layer(&m), Some(2));
+
+        // Unknown paths are conservative: everything re-runs.
+        cfg.set_mask("ghost.weight", mask);
+        assert_eq!(cfg.first_dirty_layer(&m), Some(0));
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub struct FaultMask {
 impl FaultMask {
     /// The empty mask (no faults).
     pub fn empty() -> Self {
-        FaultMask { entries: Vec::new() }
+        FaultMask {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a mask from `(element_index, xor_pattern)` pairs.
@@ -102,7 +104,11 @@ impl FaultMask {
     /// XOR-composes two masks: the result of applying both.
     pub fn merged(&self, other: &FaultMask) -> FaultMask {
         FaultMask::from_entries(
-            self.entries.iter().chain(other.entries.iter()).copied().collect(),
+            self.entries
+                .iter()
+                .chain(other.entries.iter())
+                .copied()
+                .collect(),
         )
     }
 

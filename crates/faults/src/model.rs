@@ -64,7 +64,10 @@ impl BernoulliBitFlip {
     ///
     /// Panics unless `0 <= p <= 1`.
     pub fn with_bits(p: f64, bits: BitRange) -> Self {
-        assert!((0.0..=1.0).contains(&p), "flip probability must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1]"
+        );
         BernoulliBitFlip { p, bits }
     }
 }
@@ -147,7 +150,10 @@ impl FaultModel for BernoulliBitFlip {
         }
         // Cap at 1/2: a proposal rate above one half would make the
         // importance weights of sparse configurations explode.
-        Some(Box::new(BernoulliBitFlip::with_bits((self.p * factor).min(0.5), self.bits)))
+        Some(Box::new(BernoulliBitFlip::with_bits(
+            (self.p * factor).min(0.5),
+            self.bits,
+        )))
     }
 }
 
@@ -162,7 +168,9 @@ pub struct SingleBitFlip {
 impl SingleBitFlip {
     /// Creates the model over all 32 bits.
     pub fn new() -> Self {
-        SingleBitFlip { bits: BitRange::all() }
+        SingleBitFlip {
+            bits: BitRange::all(),
+        }
     }
 }
 
@@ -216,7 +224,10 @@ impl ExactKBitFlips {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        ExactKBitFlips { k, bits: BitRange::all() }
+        ExactKBitFlips {
+            k,
+            bits: BitRange::all(),
+        }
     }
 }
 
@@ -289,7 +300,9 @@ mod tests {
     #[test]
     fn bernoulli_p_zero_and_one() {
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(BernoulliBitFlip::new(0.0).sample_mask(10, &mut rng).is_empty());
+        assert!(BernoulliBitFlip::new(0.0)
+            .sample_mask(10, &mut rng)
+            .is_empty());
         let full = BernoulliBitFlip::new(1.0).sample_mask(10, &mut rng);
         assert_eq!(full.bit_count(), 320);
     }
@@ -303,7 +316,10 @@ mod tests {
         for &(_, pattern) in mask.entries() {
             for bit in 0..32u8 {
                 if pattern & (1 << bit) != 0 {
-                    assert!(BitRange::exponent().contains(bit), "bit {bit} outside exponent");
+                    assert!(
+                        BitRange::exponent().contains(bit),
+                        "bit {bit} outside exponent"
+                    );
                 }
             }
         }

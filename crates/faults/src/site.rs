@@ -76,26 +76,32 @@ impl ResolvedSites {
 pub fn resolve_sites(model: &Sequential, spec: &SiteSpec) -> ResolvedSites {
     let mut all: Vec<ParamSite> = Vec::new();
     model.visit_params("", &mut |path, p| {
-        all.push(ParamSite { path: path.to_string(), len: p.len() });
+        all.push(ParamSite {
+            path: path.to_string(),
+            len: p.len(),
+        });
     });
 
     match spec {
-        SiteSpec::AllParams => {
-            ResolvedSites { params: all, activations: Vec::new(), input: false }
-        }
+        SiteSpec::AllParams => ResolvedSites {
+            params: all,
+            activations: Vec::new(),
+            input: false,
+        },
         SiteSpec::LayerParams { prefix } => {
             let params: Vec<ParamSite> = all
                 .into_iter()
-                .filter(|s| {
-                    s.path == *prefix
-                        || s.path.starts_with(&format!("{prefix}."))
-                })
+                .filter(|s| s.path == *prefix || s.path.starts_with(&format!("{prefix}.")))
                 .collect();
             assert!(
                 !params.is_empty(),
                 "no parameters under layer prefix {prefix:?}"
             );
-            ResolvedSites { params, activations: Vec::new(), input: false }
+            ResolvedSites {
+                params,
+                activations: Vec::new(),
+                input: false,
+            }
         }
         SiteSpec::Params(paths) => {
             let params: Vec<ParamSite> = paths
@@ -107,14 +113,22 @@ pub fn resolve_sites(model: &Sequential, spec: &SiteSpec) -> ResolvedSites {
                         .clone()
                 })
                 .collect();
-            ResolvedSites { params, activations: Vec::new(), input: false }
+            ResolvedSites {
+                params,
+                activations: Vec::new(),
+                input: false,
+            }
         }
-        SiteSpec::Activations(layers) => {
-            ResolvedSites { params: Vec::new(), activations: layers.clone(), input: false }
-        }
-        SiteSpec::Input => {
-            ResolvedSites { params: Vec::new(), activations: Vec::new(), input: true }
-        }
+        SiteSpec::Activations(layers) => ResolvedSites {
+            params: Vec::new(),
+            activations: layers.clone(),
+            input: false,
+        },
+        SiteSpec::Input => ResolvedSites {
+            params: Vec::new(),
+            activations: Vec::new(),
+            input: true,
+        },
     }
 }
 
@@ -142,7 +156,12 @@ mod tests {
     #[test]
     fn layer_prefix_filters() {
         let m = model();
-        let r = resolve_sites(&m, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        let r = resolve_sites(
+            &m,
+            &SiteSpec::LayerParams {
+                prefix: "fc1".into(),
+            },
+        );
         let paths: Vec<&str> = r.params.iter().map(|p| p.path.as_str()).collect();
         assert_eq!(paths, vec!["fc1.weight", "fc1.bias"]);
     }
@@ -154,7 +173,12 @@ mod tests {
         let mut m = Sequential::new();
         m.push("fc1", bdlfi_nn::layers::Dense::new(2, 2, &mut rng));
         m.push("fc10", bdlfi_nn::layers::Dense::new(2, 2, &mut rng));
-        let r = resolve_sites(&m, &SiteSpec::LayerParams { prefix: "fc1".into() });
+        let r = resolve_sites(
+            &m,
+            &SiteSpec::LayerParams {
+                prefix: "fc1".into(),
+            },
+        );
         assert_eq!(r.params.len(), 2);
         assert!(r.params.iter().all(|p| p.path.starts_with("fc1.")));
     }
@@ -162,7 +186,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "no parameters under layer prefix")]
     fn unknown_prefix_panics() {
-        resolve_sites(&model(), &SiteSpec::LayerParams { prefix: "nope".into() });
+        resolve_sites(
+            &model(),
+            &SiteSpec::LayerParams {
+                prefix: "nope".into(),
+            },
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl StuckAtFault {
     ///
     /// Panics if `len == 0` and `count > 0`.
     pub fn sample(len: usize, count: usize, rng: &mut dyn Rng) -> Self {
-        assert!(len > 0 || count == 0, "cannot sample faults over an empty tensor");
+        assert!(
+            len > 0 || count == 0,
+            "cannot sample faults over an empty tensor"
+        );
         let bits = (0..count)
             .map(|_| StuckBit {
                 element: rng.random_range(0..len),
@@ -142,7 +145,11 @@ mod tests {
     #[test]
     fn stuck_at_one_sets_the_bit() {
         let mut t = Tensor::from_vec(vec![1.0], [1]);
-        let f = StuckAtFault::new(vec![StuckBit { element: 0, bit: 31, value: true }]);
+        let f = StuckAtFault::new(vec![StuckBit {
+            element: 0,
+            bit: 31,
+            value: true,
+        }]);
         let undo = f.apply(&mut t);
         assert_eq!(t.data()[0], -1.0); // sign forced on
         undo.restore(&mut t);
@@ -152,7 +159,11 @@ mod tests {
     #[test]
     fn stuck_at_current_value_is_masked() {
         let mut t = Tensor::from_vec(vec![-2.0], [1]);
-        let f = StuckAtFault::new(vec![StuckBit { element: 0, bit: 31, value: true }]);
+        let f = StuckAtFault::new(vec![StuckBit {
+            element: 0,
+            bit: 31,
+            value: true,
+        }]);
         assert_eq!(f.effective_changes(&t), 0); // sign already set
         let before = t.data()[0].to_bits();
         let undo = f.apply(&mut t);
@@ -180,8 +191,16 @@ mod tests {
         // second wins while applied, restore unwinds to the original.
         let mut t = Tensor::from_vec(vec![1.0], [1]);
         let f = StuckAtFault::new(vec![
-            StuckBit { element: 0, bit: 31, value: true },
-            StuckBit { element: 0, bit: 31, value: false },
+            StuckBit {
+                element: 0,
+                bit: 31,
+                value: true,
+            },
+            StuckBit {
+                element: 0,
+                bit: 31,
+                value: false,
+            },
         ]);
         let undo = f.apply(&mut t);
         assert_eq!(t.data()[0], 1.0); // second fault forced sign back to 0

@@ -65,9 +65,14 @@ mod tests {
 
     #[test]
     fn display_mentions_the_path() {
-        let e = NnError::UnknownParam { path: "fc.weight".into() };
+        let e = NnError::UnknownParam {
+            path: "fc.weight".into(),
+        };
         assert!(e.to_string().contains("fc.weight"));
-        let e = NnError::WeightMismatch { path: "conv1.bias".into(), detail: "missing".into() };
+        let e = NnError::WeightMismatch {
+            path: "conv1.bias".into(),
+            detail: "missing".into(),
+        };
         assert!(e.to_string().contains("conv1.bias"));
         assert!(e.to_string().contains("missing"));
     }

@@ -38,7 +38,7 @@ pub fn check_input_gradient(
     eps: f32,
     max_coords: usize,
 ) -> GradCheck {
-    let mut loss = |l: &mut dyn Layer, x: &Tensor| -> f32 {
+    let loss = |l: &mut dyn Layer, x: &Tensor| -> f32 {
         l.forward(x, &mut ForwardCtx::new(Mode::Train)).dot(probe)
     };
     let _ = loss(layer, x);
@@ -58,7 +58,10 @@ pub fn check_input_gradient(
         checked += 1;
         idx += stride;
     }
-    GradCheck { max_abs_err, checked }
+    GradCheck {
+        max_abs_err,
+        checked,
+    }
 }
 
 /// Checks a layer's *parameter* gradients against central finite
@@ -90,7 +93,7 @@ pub fn check_param_gradients(
         let stride = (len / max_coords.max(1)).max(1);
         let mut idx = 0;
         while idx < len {
-            let mut perturb = |delta: f32, layer: &mut dyn Layer| -> f32 {
+            let perturb = |delta: f32, layer: &mut dyn Layer| -> f32 {
                 let mut orig = 0.0;
                 layer.visit_params_mut("", &mut |p, param| {
                     if p == path {
@@ -114,7 +117,10 @@ pub fn check_param_gradients(
             idx += stride;
         }
     }
-    GradCheck { max_abs_err, checked }
+    GradCheck {
+        max_abs_err,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -126,7 +132,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn probe_like(t: &Tensor) -> Tensor {
-        Tensor::from_fn(t.dims(), |i| ((i.iter().sum::<usize>() * 7) % 5) as f32 * 0.3 - 0.6)
+        Tensor::from_fn(t.dims(), |i| {
+            ((i.iter().sum::<usize>() * 7) % 5) as f32 * 0.3 - 0.6
+        })
     }
 
     #[test]
@@ -166,8 +174,11 @@ mod tests {
     fn smooth_activations_pass_tightly() {
         let mut rng = StdRng::seed_from_u64(1);
         let x = Tensor::rand_normal([4, 6], 0.0, 1.0, &mut rng);
-        for layer in [&mut Sigmoid::new() as &mut dyn Layer, &mut Tanh::new(), &mut Softmax::new()]
-        {
+        for layer in [
+            &mut Sigmoid::new() as &mut dyn Layer,
+            &mut Tanh::new(),
+            &mut Softmax::new(),
+        ] {
             let y = layer.forward(&x, &mut ForwardCtx::new(Mode::Eval));
             let probe = probe_like(&y);
             let check = check_input_gradient(layer, &x, &probe, 1e-3, 24);

@@ -55,6 +55,142 @@ pub fn predict_all(model: &mut Sequential, inputs: &Tensor, batch_size: usize) -
     predict_batched(model, inputs, batch_size, &mut |_, _| {})
 }
 
+/// Golden boundary activations for a fixed evaluation set, enabling
+/// incremental suffix re-inference.
+///
+/// Every top-level layer before the first fault-dirtied one computes on
+/// clean weights, so its outputs are bit-identical to the golden run. The
+/// cache therefore stores the *golden* activation at every top-level layer
+/// boundary (per batch), built once; evaluating a fault configuration then
+/// costs only the suffix from its first dirty layer —
+/// [`PrefixCache::predict_from`] — instead of the whole depth.
+///
+/// Resumed runs are bitwise identical to cold runs because
+/// [`Sequential::forward_from`] shares the cold path's code and every layer
+/// computes each example independently of the rest of its batch
+/// (eval-mode batch norm uses running statistics; the blocked matmul
+/// reduces each output row in a fixed, batch-independent order).
+///
+/// The cache holds clean-model activations only; it is immutable after
+/// construction and safe to share across MCMC chains evaluating different
+/// fault configurations on clones of the same golden model.
+pub struct PrefixCache {
+    /// `batches[b][l]` = golden output of top-level layer `l - 1` for batch
+    /// `b` (`batches[b][0]` is the batch input), so index `l` is exactly
+    /// what a forward pass resumed at layer `l` consumes. The last entry is
+    /// the golden logits.
+    batches: Vec<Vec<Tensor>>,
+    layers: usize,
+    examples: usize,
+    classes: usize,
+}
+
+impl std::fmt::Debug for PrefixCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixCache")
+            .field("batches", &self.batches.len())
+            .field("layers", &self.layers)
+            .field("examples", &self.examples)
+            .field("classes", &self.classes)
+            .finish()
+    }
+}
+
+impl PrefixCache {
+    /// Runs the (clean) model over `inputs` in chunks of `batch_size`,
+    /// recording the activation at every top-level layer boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has no examples or `batch_size == 0`.
+    pub fn build(model: &mut Sequential, inputs: &Tensor, batch_size: usize) -> Self {
+        let n = inputs.dim(0);
+        assert!(n > 0, "PrefixCache needs at least one example");
+        assert!(batch_size > 0, "batch size must be positive");
+        let layers = model.len();
+        let example_len = inputs.len() / n;
+        let mut batches = Vec::new();
+        let mut classes = 0;
+        let mut i = 0usize;
+        while i < n {
+            let end = (i + batch_size).min(n);
+            let mut dims = inputs.dims().to_vec();
+            dims[0] = end - i;
+            let bx = Tensor::from_vec(
+                inputs.data()[i * example_len..end * example_len].to_vec(),
+                dims,
+            );
+            let mut boundary = Vec::with_capacity(layers + 1);
+            boundary.push(bx.clone());
+            let logits = model.predict_with_tap(&bx, &mut |path, t| {
+                // Top-level boundaries only; nested children carry a dot.
+                if !path.contains('.') {
+                    boundary.push(t.clone());
+                }
+            });
+            debug_assert_eq!(boundary.len(), layers + 1);
+            classes = logits.dim(1);
+            batches.push(boundary);
+            i = end;
+        }
+        PrefixCache {
+            batches,
+            layers,
+            examples: n,
+            classes,
+        }
+    }
+
+    /// Number of cached evaluation examples.
+    pub fn examples(&self) -> usize {
+        self.examples
+    }
+
+    /// The golden logits over the whole evaluation set, assembled from the
+    /// cached final boundaries without touching the model.
+    pub fn golden_logits(&self) -> Tensor {
+        let mut out = Vec::with_capacity(self.examples * self.classes);
+        for boundary in &self.batches {
+            out.extend_from_slice(boundary[self.layers].data());
+        }
+        Tensor::from_vec(out, [self.examples, self.classes])
+    }
+
+    /// Evaluates `model` (typically with faults applied) over the cached
+    /// evaluation set, re-running only layers `start..` on the cached
+    /// golden activations.
+    ///
+    /// `start` must be at most the first layer whose parameters differ
+    /// from the golden model, otherwise stale prefix activations are
+    /// reused; `start == model.len()` returns the golden logits outright
+    /// (the clean-configuration fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` has a different layer count than the cached one
+    /// or `start > model.len()`.
+    pub fn predict_from(&self, model: &mut Sequential, start: usize) -> Tensor {
+        assert_eq!(
+            model.len(),
+            self.layers,
+            "model shape differs from cached model"
+        );
+        if start == self.layers {
+            return self.golden_logits();
+        }
+        let mut out = Vec::with_capacity(self.examples * self.classes);
+        for boundary in &self.batches {
+            let logits = model.forward_from(
+                start,
+                &boundary[start],
+                &mut crate::layer::ForwardCtx::new(crate::layer::Mode::Eval),
+            );
+            out.extend_from_slice(logits.data());
+        }
+        Tensor::from_vec(out, [self.examples, self.classes])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +248,120 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut m = mlp(2, &[4], 2, &mut rng);
         predict_all(&mut m, &Tensor::zeros([0, 2]), 4);
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// XORs one mantissa bit into the first element of the parameter at
+    /// `path` — a representative weight fault.
+    fn flip_param(m: &mut Sequential, path: &str) {
+        use crate::layer::Layer;
+        let mut hit = false;
+        m.visit_params_mut("", &mut |p, param| {
+            if p == path {
+                hit = true;
+                let d = param.value.data_mut();
+                d[0] = f32::from_bits(d[0].to_bits() ^ (1 << 20));
+            }
+        });
+        assert!(hit, "no parameter {path}");
+    }
+
+    #[test]
+    fn cached_resume_is_bitwise_identical_on_mlp() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut m = mlp(3, &[8, 6], 2, &mut rng);
+        let x = Tensor::rand_normal([9, 3], 0.0, 1.0, &mut rng);
+        let cache = PrefixCache::build(&mut m, &x, 4);
+        assert_eq!(
+            bits(&cache.golden_logits()),
+            bits(&predict_all(&mut m, &x, 4))
+        );
+
+        // For each dense layer: corrupt it, compare a cold batched run with
+        // the resumed run from the layer's own index — every cut point.
+        for path in ["fc1.weight", "fc2.bias", "fc3.weight"] {
+            let mut faulty = m.clone();
+            flip_param(&mut faulty, path);
+            let start = faulty.layer_index_of_param(path).unwrap();
+            let cold = predict_all(&mut faulty, &x, 4);
+            let warm = cache.predict_from(&mut faulty, start);
+            assert_eq!(bits(&cold), bits(&warm), "cut at {path} (layer {start})");
+            // Resuming even earlier must also agree (start is an upper
+            // bound on what is reusable, not an exact requirement).
+            let warm0 = cache.predict_from(&mut faulty, 0);
+            assert_eq!(bits(&cold), bits(&warm0));
+        }
+    }
+
+    #[test]
+    fn cached_resume_is_bitwise_identical_on_resnet18() {
+        use crate::{resnet18, ResNetConfig};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = resnet18(
+            ResNetConfig {
+                in_channels: 3,
+                base_width: 2,
+                classes: 10,
+            },
+            &mut rng,
+        );
+        let x = Tensor::rand_normal([3, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let cache = PrefixCache::build(&mut m, &x, 2);
+
+        // One representative parameter per top-level position, including
+        // residual-block internals (conv2 sits after the block's skip
+        // branch point, so this exercises the block-boundary cut rule).
+        for path in [
+            "conv1.weight",
+            "bn1.weight",
+            "layer1_0.conv1.weight",
+            "layer2_0.down_conv.weight",
+            "layer3_1.conv2.weight",
+            "layer4_1.bn2.bias",
+            "fc.weight",
+        ] {
+            let mut faulty = m.clone();
+            flip_param(&mut faulty, path);
+            let start = faulty.layer_index_of_param(path).unwrap();
+            let cold = predict_all(&mut faulty, &x, 2);
+            let warm = cache.predict_from(&mut faulty, start);
+            assert_eq!(bits(&cold), bits(&warm), "cut at {path} (layer {start})");
+        }
+
+        // And the full sweep of cut indices on the clean model.
+        for start in 0..=m.len() {
+            let warm = cache.predict_from(&mut m, start);
+            assert_eq!(
+                bits(&cache.golden_logits()),
+                bits(&warm),
+                "clean cut {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_fast_path_skips_the_model_entirely() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut m = mlp(2, &[4], 2, &mut rng);
+        let x = Tensor::rand_normal([5, 2], 0.0, 1.0, &mut rng);
+        let cache = PrefixCache::build(&mut m, &x, 5);
+        // Corrupt the model arbitrarily: start == len must ignore it.
+        flip_param(&mut m, "fc1.weight");
+        let len = m.len();
+        let out = cache.predict_from(&mut m, len);
+        assert_eq!(bits(&out), bits(&cache.golden_logits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from cached")]
+    fn mismatched_model_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = mlp(2, &[4], 2, &mut rng);
+        let cache = PrefixCache::build(&mut m, &Tensor::zeros([2, 2]), 2);
+        let mut other = mlp(2, &[4, 4], 2, &mut rng);
+        cache.predict_from(&mut other, 0);
     }
 }

@@ -40,12 +40,20 @@ pub struct ForwardCtx<'a> {
 impl<'a> ForwardCtx<'a> {
     /// Context for a plain forward pass in the given mode, without a tap.
     pub fn new(mode: Mode) -> Self {
-        ForwardCtx { mode, tap: None, path: Vec::new() }
+        ForwardCtx {
+            mode,
+            tap: None,
+            path: Vec::new(),
+        }
     }
 
     /// Context that additionally fires `tap` after every layer.
     pub fn with_tap(mode: Mode, tap: ActivationTap<'a>) -> Self {
-        ForwardCtx { mode, tap: Some(tap), path: Vec::new() }
+        ForwardCtx {
+            mode,
+            tap: Some(tap),
+            path: Vec::new(),
+        }
     }
 
     /// The pass mode.
@@ -64,7 +72,9 @@ impl<'a> ForwardCtx<'a> {
     ///
     /// Panics if the scope stack is empty (unbalanced `push`/`pop`).
     pub fn pop(&mut self) {
-        self.path.pop().expect("ForwardCtx::pop without matching push");
+        self.path
+            .pop()
+            .expect("ForwardCtx::pop without matching push");
     }
 
     /// The current structural path, components joined with `.`.

@@ -15,7 +15,9 @@ pub struct Sigmoid {
 impl Sigmoid {
     /// Creates a sigmoid layer.
     pub fn new() -> Self {
-        Sigmoid { cached_output: None }
+        Sigmoid {
+            cached_output: None,
+        }
     }
 }
 
@@ -55,7 +57,9 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a tanh layer.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 
@@ -92,9 +96,8 @@ mod tests {
 
     fn gradcheck(layer: &mut dyn Layer, x: &Tensor) {
         let w = Tensor::from_fn(x.dims(), |i| (i.iter().sum::<usize>() % 3) as f32 - 1.0);
-        let mut loss = |l: &mut dyn Layer, x: &Tensor| {
-            l.forward(x, &mut ForwardCtx::new(Mode::Train)).dot(&w)
-        };
+        let loss =
+            |l: &mut dyn Layer, x: &Tensor| l.forward(x, &mut ForwardCtx::new(Mode::Train)).dot(&w);
         let _ = loss(layer, x);
         let gx = layer.backward(&w);
         let eps = 1e-3f32;

@@ -83,8 +83,7 @@ impl Layer for BatchNorm2d {
                 let m = self.momentum;
                 self.running_mean.value =
                     self.running_mean.value.scale(1.0 - m).add_t(&mean.scale(m));
-                self.running_var.value =
-                    self.running_var.value.scale(1.0 - m).add_t(&var.scale(m));
+                self.running_var.value = self.running_var.value.scale(1.0 - m).add_t(&var.scale(m));
 
                 // Cache normalised activations for backward.
                 let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
@@ -207,7 +206,11 @@ mod tests {
         let var = y.var_per_channel(&mu);
         for ch in 0..2 {
             assert!(mu.data()[ch].abs() < 1e-4, "mean {}", mu.data()[ch]);
-            assert!((var.data()[ch] - 1.0).abs() < 1e-3, "var {}", var.data()[ch]);
+            assert!(
+                (var.data()[ch] - 1.0).abs() < 1e-3,
+                "var {}",
+                var.data()[ch]
+            );
         }
     }
 

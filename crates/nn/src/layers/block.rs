@@ -69,12 +69,7 @@ impl BasicBlock {
         self.downsample.is_some()
     }
 
-    fn run_child(
-        child: &mut dyn Layer,
-        name: &str,
-        x: &Tensor,
-        ctx: &mut ForwardCtx,
-    ) -> Tensor {
+    fn run_child(child: &mut dyn Layer, name: &str, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
         ctx.push(name);
         let mut y = child.forward(x, ctx);
         ctx.fire(&mut y);
@@ -207,7 +202,16 @@ mod tests {
         drop(ctx);
         assert_eq!(
             paths,
-            vec!["conv1", "bn1", "relu1", "conv2", "bn2", "down_conv", "down_bn", "relu2"]
+            vec![
+                "conv1",
+                "bn1",
+                "relu1",
+                "conv2",
+                "bn2",
+                "down_conv",
+                "down_bn",
+                "relu2"
+            ]
         );
     }
 

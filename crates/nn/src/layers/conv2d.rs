@@ -19,12 +19,7 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a convolution with Kaiming-uniform weights and zero bias.
-    pub fn new<R: Rng + ?Sized>(
-        in_c: usize,
-        out_c: usize,
-        spec: Conv2dSpec,
-        rng: &mut R,
-    ) -> Self {
+    pub fn new<R: Rng + ?Sized>(in_c: usize, out_c: usize, spec: Conv2dSpec, rng: &mut R) -> Self {
         let (kh, kw) = spec.kernel;
         let fan_in = in_c * kh * kw;
         Conv2d {
@@ -76,7 +71,12 @@ impl Layer for Conv2d {
         if ctx.mode() == Mode::Train {
             self.cached_input = Some(input.clone());
         }
-        conv2d(input, &self.weight.value, self.bias.as_ref().map(|b| &b.value), self.spec)
+        conv2d(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+        )
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -131,7 +131,12 @@ mod tests {
     #[test]
     fn strided_conv_downsamples() {
         let mut rng = StdRng::seed_from_u64(6);
-        let mut c = Conv2d::without_bias(4, 4, Conv2dSpec::new(3).with_stride(2).with_padding(1), &mut rng);
+        let mut c = Conv2d::without_bias(
+            4,
+            4,
+            Conv2dSpec::new(3).with_stride(2).with_padding(1),
+            &mut rng,
+        );
         let x = Tensor::rand_normal([1, 4, 16, 16], 0.0, 1.0, &mut rng);
         let y = c.forward(&x, &mut ForwardCtx::new(Mode::Eval));
         assert_eq!(y.dims(), &[1, 4, 8, 8]);
@@ -165,7 +170,11 @@ mod tests {
             let lm = c.forward(&x, &mut ForwardCtx::new(Mode::Eval)).sum();
             c.weight.value.data_mut()[idx] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - gw.data()[idx]).abs() < 0.05, "fd={fd} got={}", gw.data()[idx]);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 0.05,
+                "fd={fd} got={}",
+                gw.data()[idx]
+            );
         }
     }
 }

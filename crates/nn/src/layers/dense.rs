@@ -20,7 +20,10 @@ impl Dense {
     /// Creates a dense layer with Kaiming-uniform weights and zero bias.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
         Dense {
-            weight: Param::new("weight", Tensor::kaiming_uniform([in_dim, out_dim], in_dim, rng)),
+            weight: Param::new(
+                "weight",
+                Tensor::kaiming_uniform([in_dim, out_dim], in_dim, rng),
+            ),
             bias: Param::new("bias", Tensor::zeros([out_dim])),
             cached_input: None,
         }
@@ -34,8 +37,16 @@ impl Dense {
     /// Panics if the shapes are inconsistent.
     pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
         assert_eq!(weight.rank(), 2, "dense weight must be rank 2");
-        assert_eq!(bias.dims(), &[weight.dim(1)], "dense bias must match weight columns");
-        Dense { weight: Param::new("weight", weight), bias: Param::new("bias", bias), cached_input: None }
+        assert_eq!(
+            bias.dims(),
+            &[weight.dim(1)],
+            "dense bias must match weight columns"
+        );
+        Dense {
+            weight: Param::new("weight", weight),
+            bias: Param::new("bias", bias),
+            cached_input: None,
+        }
     }
 
     /// Input width.
@@ -66,7 +77,9 @@ impl Layer for Dense {
         if ctx.mode() == crate::layer::Mode::Train {
             self.cached_input = Some(input.clone());
         }
-        input.matmul(&self.weight.value).add_row_broadcast(&self.bias.value)
+        input
+            .matmul(&self.weight.value)
+            .add_row_broadcast(&self.bias.value)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -129,9 +142,7 @@ mod tests {
         let gx = d.backward(&grad_out);
 
         let eps = 1e-2f32;
-        let loss = |d: &mut Dense, x: &Tensor| {
-            d.forward(x, &mut ForwardCtx::new(Mode::Eval)).sum()
-        };
+        let loss = |d: &mut Dense, x: &Tensor| d.forward(x, &mut ForwardCtx::new(Mode::Eval)).sum();
         // Input gradient.
         for idx in [0usize, 5, 11] {
             let mut xp = x.clone();
@@ -139,7 +150,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
             let fd = (loss(&mut d, &xp) - loss(&mut d, &xm)) / (2.0 * eps);
-            assert!((fd - gx.data()[idx]).abs() < 1e-2, "dx[{idx}] fd={fd} got={}", gx.data()[idx]);
+            assert!(
+                (fd - gx.data()[idx]).abs() < 1e-2,
+                "dx[{idx}] fd={fd} got={}",
+                gx.data()[idx]
+            );
         }
         // Weight gradient.
         let gw = d.weight.grad.clone();
@@ -151,7 +166,11 @@ mod tests {
             let lm = loss(&mut d, &x);
             d.weight.value.data_mut()[idx] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            assert!((fd - gw.data()[idx]).abs() < 5e-2, "dw[{idx}] fd={fd} got={}", gw.data()[idx]);
+            assert!(
+                (fd - gw.data()[idx]).abs() < 5e-2,
+                "dw[{idx}] fd={fd} got={}",
+                gw.data()[idx]
+            );
         }
         // Bias gradient: dL/db_j = batch size for sum loss.
         assert!(d.bias.grad.approx_eq(&Tensor::full([2], 4.0), 1e-4));

@@ -44,8 +44,15 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Dropout { p, rng: SplitMix64(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng: SplitMix64(seed),
+            mask: None,
+        }
     }
 
     /// The drop probability.
@@ -84,7 +91,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("dropout backward before train-mode forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("dropout backward before train-mode forward");
         grad_out.mul_t(mask)
     }
 

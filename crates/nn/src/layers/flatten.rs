@@ -13,7 +13,9 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Flatten { cached_input_dims: None }
+        Flatten {
+            cached_input_dims: None,
+        }
     }
 }
 

@@ -16,7 +16,11 @@ pub struct MaxPool2d {
 impl MaxPool2d {
     /// Creates a max-pool layer with the given window geometry.
     pub fn new(spec: Pool2dSpec) -> Self {
-        MaxPool2d { spec, cached_argmax: None, cached_input_dims: None }
+        MaxPool2d {
+            spec,
+            cached_argmax: None,
+            cached_input_dims: None,
+        }
     }
 
     /// The pooling geometry.
@@ -62,7 +66,9 @@ pub struct GlobalAvgPool {
 impl GlobalAvgPool {
     /// Creates a global-average-pool layer.
     pub fn new() -> Self {
-        GlobalAvgPool { cached_input_dims: None }
+        GlobalAvgPool {
+            cached_input_dims: None,
+        }
     }
 }
 

@@ -30,7 +30,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("relu backward before train-mode forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("relu backward before train-mode forward");
         grad_out.mul_t(mask)
     }
 

@@ -19,7 +19,9 @@ pub struct Softmax {
 impl Softmax {
     /// Creates a softmax layer.
     pub fn new() -> Self {
-        Softmax { cached_output: None }
+        Softmax {
+            cached_output: None,
+        }
     }
 }
 
@@ -81,9 +83,8 @@ mod tests {
         let mut s = Softmax::new();
         let x = Tensor::from_vec(vec![0.2, -0.7, 1.1, 0.4], [1, 4]);
         let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], [1, 4]);
-        let loss = |s: &mut Softmax, x: &Tensor| {
-            s.forward(x, &mut ForwardCtx::new(Mode::Train)).dot(&w)
-        };
+        let loss =
+            |s: &mut Softmax, x: &Tensor| s.forward(x, &mut ForwardCtx::new(Mode::Train)).dot(&w);
         let _ = loss(&mut s, &x);
         let gx = s.backward(&w);
 

@@ -62,7 +62,7 @@ pub mod serialize;
 mod trainer;
 
 pub use error::NnError;
-pub use infer::{predict_all, predict_batched};
+pub use infer::{predict_all, predict_batched, PrefixCache};
 pub use layer::{ActivationTap, ForwardCtx, Layer, Mode};
 pub use mlp::mlp;
 pub use params::{join_path, Param};

@@ -13,7 +13,11 @@ use bdlfi_tensor::Tensor;
 /// Panics if `logits` is not rank 2, `labels.len() != n`, or any label is
 /// out of range.
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.rank(), 2, "cross_entropy expects (batch, classes) logits");
+    assert_eq!(
+        logits.rank(),
+        2,
+        "cross_entropy expects (batch, classes) logits"
+    );
     let (n, k) = (logits.dim(0), logits.dim(1));
     assert_eq!(labels.len(), n, "label count must match batch size");
     assert!(labels.iter().all(|&l| l < k), "label out of range");
@@ -40,7 +44,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
 ///
 /// Panics if the shapes differ.
 pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
-    assert_eq!(pred.shape(), target.shape(), "mse requires identical shapes");
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "mse requires identical shapes"
+    );
     let diff = pred.sub_t(target);
     let loss = diff.squared_norm() / pred.len() as f32;
     let grad = diff.scale(2.0 / pred.len() as f32);

@@ -11,12 +11,20 @@ use bdlfi_tensor::Tensor;
 /// size.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
     assert_eq!(logits.rank(), 2, "accuracy expects (batch, classes) logits");
-    assert_eq!(logits.dim(0), labels.len(), "label count must match batch size");
+    assert_eq!(
+        logits.dim(0),
+        labels.len(),
+        "label count must match batch size"
+    );
     if labels.is_empty() {
         return f64::NAN;
     }
     let preds = logits.argmax_rows();
-    let correct = preds.iter().zip(labels.iter()).filter(|(p, l)| p == l).count();
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / labels.len() as f64
 }
 
@@ -37,11 +45,22 @@ pub fn classification_error(logits: &Tensor, labels: &[usize]) -> f64 {
 /// Panics if `logits` is not rank 2, the batch sizes differ, or a label is
 /// `>= classes`.
 pub fn confusion_matrix(logits: &Tensor, labels: &[usize], classes: usize) -> Vec<Vec<usize>> {
-    assert_eq!(logits.rank(), 2, "confusion_matrix expects (batch, classes) logits");
-    assert_eq!(logits.dim(0), labels.len(), "label count must match batch size");
+    assert_eq!(
+        logits.rank(),
+        2,
+        "confusion_matrix expects (batch, classes) logits"
+    );
+    assert_eq!(
+        logits.dim(0),
+        labels.len(),
+        "label count must match batch size"
+    );
     let mut m = vec![vec![0usize; classes]; classes];
     for (&pred, &truth) in logits.argmax_rows().iter().zip(labels.iter()) {
-        assert!(truth < classes, "label {truth} out of range for {classes} classes");
+        assert!(
+            truth < classes,
+            "label {truth} out of range for {classes} classes"
+        );
         let pred = pred.min(classes - 1);
         m[truth][pred] += 1;
     }

@@ -35,7 +35,10 @@ pub fn mlp<R: Rng + ?Sized>(
 ) -> Sequential {
     assert!(in_dim > 0, "mlp requires in_dim > 0");
     assert!(classes > 0, "mlp requires classes > 0");
-    assert!(hidden.iter().all(|&h| h > 0), "mlp hidden widths must be positive");
+    assert!(
+        hidden.iter().all(|&h| h > 0),
+        "mlp hidden widths must be positive"
+    );
 
     let mut model = Sequential::new();
     let mut prev = in_dim;
@@ -44,7 +47,10 @@ pub fn mlp<R: Rng + ?Sized>(
         model.push(format!("relu{}", i + 1), Relu::new());
         prev = h;
     }
-    model.push(format!("fc{}", hidden.len() + 1), Dense::new(prev, classes, rng));
+    model.push(
+        format!("fc{}", hidden.len() + 1),
+        Dense::new(prev, classes, rng),
+    );
     model
 }
 

@@ -1,7 +1,7 @@
 //! The Adam optimizer (Kingma & Ba, 2015) with bias correction.
 
-use crate::optim::Optimizer;
 use crate::layer::Layer;
+use crate::optim::Optimizer;
 use crate::sequential::Sequential;
 use bdlfi_tensor::Tensor;
 use std::collections::HashMap;
@@ -27,7 +27,14 @@ impl Adam {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: HashMap::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: HashMap::new(),
+        }
     }
 
     /// Overrides the moment decay rates, returning the optimizer.
@@ -36,7 +43,10 @@ impl Adam {
     ///
     /// Panics unless both betas are in `[0, 1)`.
     pub fn with_betas(mut self, beta1: f32, beta2: f32) -> Self {
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas must be in [0, 1)"
+        );
         self.beta1 = beta1;
         self.beta2 = beta2;
         self

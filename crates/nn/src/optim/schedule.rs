@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn step_decay_applies_per_milestone() {
-        let s = StepDecay { milestones: vec![2, 4], gamma: 0.1 };
+        let s = StepDecay {
+            milestones: vec![2, 4],
+            gamma: 0.1,
+        };
         assert_eq!(s.rate(1.0, 0), 1.0);
         assert_eq!(s.rate(1.0, 1), 1.0);
         assert!((s.rate(1.0, 2) - 0.1).abs() < 1e-7);
@@ -89,7 +92,10 @@ mod tests {
 
     #[test]
     fn cosine_endpoints_and_monotonicity() {
-        let s = CosineAnnealing { total_epochs: 11, min_rate: 0.01 };
+        let s = CosineAnnealing {
+            total_epochs: 11,
+            min_rate: 0.01,
+        };
         assert!((s.rate(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((s.rate(1.0, 10) - 0.01).abs() < 1e-6);
         // Beyond the horizon stays at the floor.
@@ -105,7 +111,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_then_delegates() {
-        let s = Warmup { warmup_epochs: 4, inner: Constant };
+        let s = Warmup {
+            warmup_epochs: 4,
+            inner: Constant,
+        };
         assert!((s.rate(1.0, 0) - 0.25).abs() < 1e-7);
         assert!((s.rate(1.0, 3) - 1.0).abs() < 1e-7);
         assert_eq!(s.rate(1.0, 9), 1.0);
@@ -115,7 +124,10 @@ mod tests {
     fn warmup_shifts_inner_epochs() {
         let s = Warmup {
             warmup_epochs: 2,
-            inner: StepDecay { milestones: vec![1], gamma: 0.5 },
+            inner: StepDecay {
+                milestones: vec![1],
+                gamma: 0.5,
+            },
         };
         // Epoch 2 maps to inner epoch 0 (no decay yet), epoch 3 to inner 1.
         assert_eq!(s.rate(1.0, 2), 1.0);

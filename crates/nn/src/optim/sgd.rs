@@ -1,8 +1,8 @@
 //! Stochastic gradient descent with classical momentum and decoupled weight
 //! decay.
 
-use crate::optim::Optimizer;
 use crate::layer::Layer;
+use crate::optim::Optimizer;
 use crate::sequential::Sequential;
 use bdlfi_tensor::Tensor;
 use std::collections::HashMap;
@@ -24,7 +24,12 @@ impl Sgd {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: HashMap::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Sets the momentum coefficient, returning the optimizer.
@@ -136,7 +141,10 @@ mod tests {
         let mut m = Sequential::new().with("bn", BatchNorm2d::new(2));
         m.with_param_mut("bn.running_mean", &mut |p| p.grad.fill(10.0));
         Sgd::new(1.0).step(&mut m);
-        assert_eq!(m.param_value("bn.running_mean").unwrap().data(), &[0.0, 0.0]);
+        assert_eq!(
+            m.param_value("bn.running_mean").unwrap().data(),
+            &[0.0, 0.0]
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ impl Param {
     /// Creates a trainable parameter with a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.dims());
-        Param { name: name.into(), value, grad, trainable: true }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            trainable: true,
+        }
     }
 
     /// Creates a non-trainable parameter (e.g. a running statistic).

@@ -30,7 +30,11 @@ pub struct ResNetConfig {
 impl Default for ResNetConfig {
     /// CPU-tractable default: RGB input, base width 8, 10 classes.
     fn default() -> Self {
-        ResNetConfig { in_channels: 3, base_width: 8, classes: 10 }
+        ResNetConfig {
+            in_channels: 3,
+            base_width: 8,
+            classes: 10,
+        }
     }
 }
 
@@ -72,8 +76,14 @@ pub fn resnet18<R: Rng + ?Sized>(cfg: ResNetConfig, rng: &mut R) -> Sequential {
     let mut in_c = w;
     for (stage, &out_c) in stage_widths.iter().enumerate() {
         let stride = if stage == 0 { 1 } else { 2 };
-        net.push(format!("layer{}_0", stage + 1), BasicBlock::new(in_c, out_c, stride, rng));
-        net.push(format!("layer{}_1", stage + 1), BasicBlock::new(out_c, out_c, 1, rng));
+        net.push(
+            format!("layer{}_0", stage + 1),
+            BasicBlock::new(in_c, out_c, stride, rng),
+        );
+        net.push(
+            format!("layer{}_1", stage + 1),
+            BasicBlock::new(out_c, out_c, 1, rng),
+        );
         in_c = out_c;
     }
 
@@ -103,7 +113,14 @@ mod tests {
 
     fn tiny() -> (Sequential, StdRng) {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = resnet18(ResNetConfig { in_channels: 3, base_width: 2, classes: 10 }, &mut rng);
+        let net = resnet18(
+            ResNetConfig {
+                in_channels: 3,
+                base_width: 2,
+                classes: 10,
+            },
+            &mut rng,
+        );
         (net, rng)
     }
 
@@ -165,8 +182,22 @@ mod tests {
     #[test]
     fn width_scales_parameter_count_quadratically() {
         let mut rng = StdRng::seed_from_u64(1);
-        let small = resnet18(ResNetConfig { in_channels: 3, base_width: 2, classes: 10 }, &mut rng);
-        let big = resnet18(ResNetConfig { in_channels: 3, base_width: 4, classes: 10 }, &mut rng);
+        let small = resnet18(
+            ResNetConfig {
+                in_channels: 3,
+                base_width: 2,
+                classes: 10,
+            },
+            &mut rng,
+        );
+        let big = resnet18(
+            ResNetConfig {
+                in_channels: 3,
+                base_width: 4,
+                classes: 10,
+            },
+            &mut rng,
+        );
         let (s, b) = (small.param_count(), big.param_count());
         assert!(b > 3 * s, "expected roughly quadratic growth: {s} -> {b}");
     }

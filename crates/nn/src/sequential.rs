@@ -39,7 +39,9 @@ impl std::fmt::Debug for Sequential {
             .iter()
             .map(|(n, l)| format!("{n}:{}", l.kind()))
             .collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
@@ -68,7 +70,10 @@ impl Sequential {
     /// name contains `'.'` (reserved as the path separator).
     pub fn push(&mut self, name: impl Into<String>, layer: impl Layer + 'static) {
         let name = name.into();
-        assert!(!name.contains('.'), "layer name {name:?} must not contain '.'");
+        assert!(
+            !name.contains('.'),
+            "layer name {name:?} must not contain '.'"
+        );
         assert!(
             self.layers.iter().all(|(n, _)| *n != name),
             "duplicate layer name {name:?}"
@@ -99,6 +104,51 @@ impl Sequential {
     /// Convenience inference: eval-mode forward with no tap.
     pub fn predict(&mut self, input: &Tensor) -> Tensor {
         self.forward(input, &mut ForwardCtx::new(Mode::Eval))
+    }
+
+    /// Index of the top-level layer owning the parameter at `path` (the
+    /// first dotted component is matched against layer names), or `None`
+    /// if no layer matches.
+    ///
+    /// This is the map from a fault site to the shallowest layer whose
+    /// output it can change: a composite layer (e.g. a residual block)
+    /// counts as one unit, so faults anywhere inside it dirty exactly that
+    /// top-level index — the correct re-execution cut point, since a
+    /// block's skip connection consumes the *block* input, never an
+    /// activation internal to an earlier sibling.
+    pub fn layer_index_of_param(&self, path: &str) -> Option<usize> {
+        let head = path.split('.').next().unwrap_or(path);
+        self.layers.iter().position(|(n, _)| n == head)
+    }
+
+    /// Forward pass resumed at top-level layer `start`: runs layers
+    /// `start..` on `input`, which must be the activation a full forward
+    /// pass would feed layer `start` (i.e. the output of layer
+    /// `start - 1`, or the network input for `start == 0`).
+    ///
+    /// With `start == len()` this is the identity on `input` — the fully
+    /// cached case. Layer computations are deterministic, so resuming from
+    /// a cached prefix activation reproduces the cold run's outputs
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > len()`.
+    pub fn forward_from(&mut self, start: usize, input: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        assert!(
+            start <= self.layers.len(),
+            "forward_from: start {start} beyond {} layers",
+            self.layers.len()
+        );
+        let mut x = input.clone();
+        for (name, layer) in &mut self.layers[start..] {
+            ctx.push(name);
+            let mut y = layer.forward(&x, ctx);
+            ctx.fire(&mut y);
+            ctx.pop();
+            x = y;
+        }
+        x
     }
 
     /// Eval-mode forward pass that fires `tap` after every layer (including
@@ -174,15 +224,9 @@ impl Layer for Sequential {
     }
 
     fn forward(&mut self, input: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
-        let mut x = input.clone();
-        for (name, layer) in &mut self.layers {
-            ctx.push(name);
-            let mut y = layer.forward(&x, ctx);
-            ctx.fire(&mut y);
-            ctx.pop();
-            x = y;
-        }
-        x
+        // Delegating to forward_from(0, ..) keeps the cold and resumed
+        // paths on one code path, so they cannot drift apart numerically.
+        self.forward_from(0, input, ctx)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -270,7 +314,9 @@ mod tests {
     fn tap_fires_for_each_layer_in_order() {
         let mut m = tiny_mlp(4);
         let mut paths = Vec::new();
-        m.predict_with_tap(&Tensor::zeros([1, 2]), &mut |p, _| paths.push(p.to_string()));
+        m.predict_with_tap(&Tensor::zeros([1, 2]), &mut |p, _| {
+            paths.push(p.to_string())
+        });
         assert_eq!(paths, vec!["fc1", "relu1", "fc2"]);
     }
 
@@ -317,6 +363,43 @@ mod tests {
         assert_eq!(b.map(f32::abs).sum(), 0.0);
         // Original still predicts with its own weights.
         let _ = m.predict(&Tensor::zeros([1, 2]));
+    }
+
+    #[test]
+    fn layer_index_of_param_maps_to_top_level() {
+        let m = tiny_mlp(10);
+        assert_eq!(m.layer_index_of_param("fc1.weight"), Some(0));
+        assert_eq!(m.layer_index_of_param("fc1.bias"), Some(0));
+        assert_eq!(m.layer_index_of_param("fc2.weight"), Some(2));
+        assert_eq!(m.layer_index_of_param("nope.weight"), None);
+    }
+
+    #[test]
+    fn forward_from_resumes_bitwise_identically() {
+        let mut m = tiny_mlp(11);
+        let x = Tensor::from_fn([3, 2], |i| (i[0] * 2 + i[1]) as f32 * 0.3 - 0.5);
+
+        // Record every boundary activation during a cold run.
+        let mut boundaries = vec![x.clone()];
+        let cold = m.predict_with_tap(&x, &mut |path, t| {
+            if !path.contains('.') {
+                boundaries.push(t.clone());
+            }
+        });
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        assert_eq!(boundaries.len(), m.len() + 1);
+        for (start, boundary) in boundaries.clone().iter().enumerate() {
+            let resumed = m.forward_from(start, boundary, &mut ForwardCtx::new(Mode::Eval));
+            assert_eq!(bits(&cold), bits(&resumed), "resume at layer {start}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn forward_from_past_end_panics() {
+        let mut m = tiny_mlp(12);
+        m.forward_from(4, &Tensor::zeros([1, 3]), &mut ForwardCtx::new(Mode::Eval));
     }
 
     #[test]

@@ -38,7 +38,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 10, batch_size: 32, lr_decay: 0.1, lr_milestones: &[], verbose: false }
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr_decay: 0.1,
+            lr_milestones: &[],
+            verbose: false,
+        }
     }
 }
 
@@ -153,7 +159,8 @@ impl<O: Optimizer> Trainer<O> {
         let mut history = Vec::with_capacity(self.config.epochs);
 
         for epoch in 0..self.config.epochs {
-            self.optimizer.set_learning_rate(schedule.rate(base_lr, epoch).max(1e-12));
+            self.optimizer
+                .set_learning_rate(schedule.rate(base_lr, epoch).max(1e-12));
             let epoch_inputs = match epoch_transform.as_mut() {
                 Some(f) => f(inputs),
                 None => inputs.clone(),
@@ -230,7 +237,12 @@ fn gather_batch(
 /// # Panics
 ///
 /// Panics if the batch sizes mismatch or the dataset is empty.
-pub fn evaluate(model: &mut Sequential, inputs: &Tensor, labels: &[usize], batch_size: usize) -> f64 {
+pub fn evaluate(
+    model: &mut Sequential,
+    inputs: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> f64 {
     let n = inputs.dim(0);
     assert_eq!(n, labels.len(), "input batch and label count must match");
     assert!(n > 0, "cannot evaluate on an empty dataset");
@@ -272,7 +284,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(100);
         let (x, y) = blobs(200, &mut rng);
         let mut model = mlp(2, &[8], 2, &mut rng);
-        let cfg = TrainConfig { epochs: 30, batch_size: 16, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(Sgd::new(0.1).with_momentum(0.9), cfg);
         let history = trainer.fit(&mut model, &x, &y, &mut rng);
 
@@ -317,9 +333,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(104);
         let (x, y) = blobs(100, &mut rng);
         let mut model = mlp(2, &[8], 2, &mut rng);
-        let cfg = TrainConfig { epochs: 10, batch_size: 20, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 20,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(Sgd::new(0.2), cfg);
-        let schedule = CosineAnnealing { total_epochs: 10, min_rate: 0.002 };
+        let schedule = CosineAnnealing {
+            total_epochs: 10,
+            min_rate: 0.002,
+        };
         let history = trainer.fit_scheduled(&mut model, &x, &y, &schedule, None, &mut rng);
         assert_eq!(history.len(), 10);
         // The optimizer ends at the schedule's floor.
@@ -335,7 +358,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(105);
         let (x, y) = blobs(40, &mut rng);
         let mut model = mlp(2, &[4], 2, &mut rng);
-        let cfg = TrainConfig { epochs: 3, batch_size: 10, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 10,
+            ..TrainConfig::default()
+        };
         let mut trainer = Trainer::new(Sgd::new(0.1), cfg);
         let mut calls = 0usize;
         let mut transform = |t: &Tensor| {
@@ -359,9 +386,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(106);
         let (x, y) = blobs(10, &mut rng);
         let mut model = mlp(2, &[4], 2, &mut rng);
-        let mut trainer = Trainer::new(Sgd::new(0.1), TrainConfig { epochs: 1, batch_size: 5, ..TrainConfig::default() });
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1),
+            TrainConfig {
+                epochs: 1,
+                batch_size: 5,
+                ..TrainConfig::default()
+            },
+        );
         let mut bad = |_: &Tensor| Tensor::zeros([3, 3]);
-        trainer.fit_scheduled(&mut model, &x, &y, &crate::optim::Constant, Some(&mut bad), &mut rng);
+        trainer.fit_scheduled(
+            &mut model,
+            &x,
+            &y,
+            &crate::optim::Constant,
+            Some(&mut bad),
+            &mut rng,
+        );
     }
 
     #[test]

@@ -62,13 +62,19 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }
             TensorError::ReshapeMismatch { from, to } => {
-                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+                write!(
+                    f,
+                    "cannot reshape {from:?} into {to:?}: element counts differ"
+                )
             }
             TensorError::RankMismatch { expected, actual } => {
                 write!(f, "expected rank {expected}, found rank {actual}")
             }
             TensorError::IndexOutOfBounds { axis, index, len } => {
-                write!(f, "index {index} out of bounds for axis {axis} of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for axis {axis} of length {len}"
+                )
             }
         }
     }
@@ -83,11 +89,27 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<TensorError> = vec![
-            TensorError::LengthMismatch { expected: 4, actual: 3 },
-            TensorError::ShapeMismatch { left: vec![2, 2], right: vec![3] },
-            TensorError::ReshapeMismatch { from: vec![2, 2], to: vec![5] },
-            TensorError::RankMismatch { expected: 2, actual: 4 },
-            TensorError::IndexOutOfBounds { axis: 1, index: 9, len: 3 },
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2, 2],
+                right: vec![3],
+            },
+            TensorError::ReshapeMismatch {
+                from: vec![2, 2],
+                to: vec![5],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 4,
+            },
+            TensorError::IndexOutOfBounds {
+                axis: 1,
+                index: 9,
+                len: 3,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -75,7 +75,10 @@ impl Tensor {
         fan_out: usize,
         rng: &mut R,
     ) -> Tensor {
-        assert!(fan_in + fan_out > 0, "xavier_uniform requires fan_in + fan_out > 0");
+        assert!(
+            fan_in + fan_out > 0,
+            "xavier_uniform requires fan_in + fan_out > 0"
+        );
         let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
         Tensor::rand_uniform(shape, -bound, bound, rng)
     }

@@ -36,6 +36,7 @@
 mod error;
 pub mod init;
 pub mod ops;
+pub mod scratch;
 mod shape;
 mod tensor;
 

@@ -39,14 +39,14 @@ impl Tensor {
     /// rank 0.
     pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
         assert!(self.rank() >= 1, "slice_rows requires a batched tensor");
-        assert!(start < end && end <= self.dim(0), "row range {start}..{end} out of bounds");
+        assert!(
+            start < end && end <= self.dim(0),
+            "row range {start}..{end} out of bounds"
+        );
         let row_len = self.len() / self.dim(0);
         let mut dims = self.dims().to_vec();
         dims[0] = end - start;
-        Tensor::from_vec(
-            self.data()[start * row_len..end * row_len].to_vec(),
-            dims,
-        )
+        Tensor::from_vec(self.data()[start * row_len..end * row_len].to_vec(), dims)
     }
 }
 

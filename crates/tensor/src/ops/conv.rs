@@ -3,7 +3,16 @@
 //!
 //! All image tensors are NCHW (batch, channels, height, width); weights are
 //! `(out_channels, in_channels, kh, kw)`.
+//!
+//! The forward and backward loops are allocation-free on the steady state:
+//! im2col matrices and matmul temporaries live in [`crate::scratch`]
+//! buffers that are recycled across images and across calls, and the
+//! blocked GEMM ([`super::gemm`]) writes straight into the output (or
+//! accumulates straight into the gradient) instead of materialising
+//! per-image product tensors.
 
+use crate::ops::gemm::gemm_strided;
+use crate::scratch;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +30,11 @@ pub struct Conv2dSpec {
 impl Conv2dSpec {
     /// Creates a spec with a square kernel, unit stride and no padding.
     pub fn new(kernel: usize) -> Self {
-        Conv2dSpec { kernel: (kernel, kernel), stride: (1, 1), padding: (0, 0) }
+        Conv2dSpec {
+            kernel: (kernel, kernel),
+            stride: (1, 1),
+            padding: (0, 0),
+        }
     }
 
     /// Sets a uniform stride, returning the modified spec.
@@ -66,19 +79,30 @@ pub fn im2col(image: &Tensor, spec: Conv2dSpec) -> Tensor {
     assert_eq!(image.rank(), 3, "im2col expects a CHW image");
     let (c, h, w) = (image.dim(0), image.dim(1), image.dim(2));
     let (kh, kw) = spec.kernel;
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = vec![0.0f32; c * kh * kw * oh * ow];
+    im2col_into(image.data(), c, h, w, spec, &mut out);
+    Tensor::from_vec(out, [c * kh * kw, oh * ow])
+}
+
+/// Allocation-free core of [`im2col`]: unfolds one CHW image (given as a
+/// raw slice) into `dst`, which must hold `c·kh·kw · oh·ow` elements.
+/// `dst` is fully overwritten (padding positions are zeroed first).
+fn im2col_into(src: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec, dst: &mut [f32]) {
+    let (kh, kw) = spec.kernel;
     let (sh, sw) = spec.stride;
     let (ph, pw) = spec.padding;
     let (oh, ow) = spec.output_hw(h, w);
     let cols_n = oh * ow;
-    let rows_n = c * kh * kw;
-    let src = image.data();
-    let mut out = vec![0.0f32; rows_n * cols_n];
+    debug_assert_eq!(src.len(), c * h * w);
+    debug_assert_eq!(dst.len(), c * kh * kw * cols_n);
+    dst.fill(0.0);
 
     for ch in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ch * kh + ki) * kw + kj;
-                let dst_row = &mut out[row * cols_n..(row + 1) * cols_n];
+                let dst_row = &mut dst[row * cols_n..(row + 1) * cols_n];
                 for oi in 0..oh {
                     let si = (oi * sh + ki) as isize - ph as isize;
                     if si < 0 || si >= h as isize {
@@ -96,7 +120,6 @@ pub fn im2col(image: &Tensor, spec: Conv2dSpec) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, [rows_n, cols_n])
 }
 
 /// Folds an im2col matrix back into a CHW image, *accumulating* overlapping
@@ -108,17 +131,29 @@ pub fn im2col(image: &Tensor, spec: Conv2dSpec) -> Tensor {
 /// `spec`.
 pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> Tensor {
     let (kh, kw) = spec.kernel;
-    let (sh, sw) = spec.stride;
-    let (ph, pw) = spec.padding;
     let (oh, ow) = spec.output_hw(h, w);
     assert_eq!(
         cols.dims(),
         &[c * kh * kw, oh * ow],
         "col2im: cols shape does not match geometry"
     );
-    let src = cols.data();
-    let cols_n = oh * ow;
     let mut out = vec![0.0f32; c * h * w];
+    col2im_into(cols.data(), c, h, w, spec, &mut out);
+    Tensor::from_vec(out, [c, h, w])
+}
+
+/// Allocation-free core of [`col2im`]: folds an im2col matrix (raw slice)
+/// back into a `c·h·w` destination slice, **accumulating** overlapping
+/// contributions. `dst` is not zeroed — callers either pass fresh zeroed
+/// storage or rely on the accumulation.
+fn col2im_into(src: &[f32], c: usize, h: usize, w: usize, spec: Conv2dSpec, dst: &mut [f32]) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols_n = oh * ow;
+    debug_assert_eq!(src.len(), c * kh * kw * cols_n);
+    debug_assert_eq!(dst.len(), c * h * w);
 
     for ch in 0..c {
         for ki in 0..kh {
@@ -136,13 +171,12 @@ pub fn col2im(cols: &Tensor, c: usize, h: usize, w: usize, spec: Conv2dSpec) -> 
                         if sj < 0 || sj >= w as isize {
                             continue;
                         }
-                        out[dst_base + sj as usize] += src_row[oi * ow + oj];
+                        dst[dst_base + sj as usize] += src_row[oi * ow + oj];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, [c, h, w])
 }
 
 /// Batched 2-D convolution forward pass.
@@ -159,24 +193,38 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (oc, ic, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     assert_eq!(c, ic, "conv2d: input channels {c} != weight channels {ic}");
-    assert_eq!((kh, kw), spec.kernel, "conv2d: weight kernel does not match spec");
+    assert_eq!(
+        (kh, kw),
+        spec.kernel,
+        "conv2d: weight kernel does not match spec"
+    );
     if let Some(b) = bias {
-        assert_eq!(b.dims(), &[oc], "conv2d: bias must have one entry per output channel");
+        assert_eq!(
+            b.dims(),
+            &[oc],
+            "conv2d: bias must have one entry per output channel"
+        );
     }
     let (oh, ow) = spec.output_hw(h, w);
-    let w_mat = weight.reshape([oc, c * kh * kw]);
     let plane = oh * ow;
+    let kdim = c * kh * kw;
+    let chw = c * h * w;
+    let wm = weight.data(); // (oc, kdim) viewed row-major
     let mut out = vec![0.0f32; n * oc * plane];
+    let mut cols = scratch::take(kdim * plane);
 
     for img in 0..n {
-        let image = Tensor::from_vec(
-            input.data()[img * c * h * w..(img + 1) * c * h * w].to_vec(),
-            [c, h, w],
+        im2col_into(
+            &input.data()[img * chw..(img + 1) * chw],
+            c,
+            h,
+            w,
+            spec,
+            &mut cols,
         );
-        let cols = im2col(&image, spec);
-        let res = w_mat.matmul(&cols); // (oc, oh*ow)
         let dst = &mut out[img * oc * plane..(img + 1) * oc * plane];
-        dst.copy_from_slice(res.data());
+        // (oc, plane) = (oc, kdim) · (kdim, plane), written in place.
+        gemm_strided(oc, plane, kdim, wm, (kdim, 1), &cols, (plane, 1), dst);
         if let Some(b) = bias {
             for och in 0..oc {
                 let bv = b.data()[och];
@@ -208,39 +256,64 @@ pub fn conv2d_backward(
     let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
     let (oc, _, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
     let (oh, ow) = spec.output_hw(h, w);
-    assert_eq!(grad_out.dims(), &[n, oc, oh, ow], "conv2d_backward: grad_out shape mismatch");
+    assert_eq!(
+        grad_out.dims(),
+        &[n, oc, oh, ow],
+        "conv2d_backward: grad_out shape mismatch"
+    );
 
-    let w_mat = weight.reshape([oc, c * kh * kw]);
     let plane = oh * ow;
-    let mut grad_input = vec![0.0f32; n * c * h * w];
-    let mut grad_weight = Tensor::zeros([oc, c * kh * kw]);
+    let kdim = c * kh * kw;
+    let chw = c * h * w;
+    let wm = weight.data(); // (oc, kdim) viewed row-major
+    let mut grad_input = vec![0.0f32; n * chw];
+    let mut grad_weight = vec![0.0f32; oc * kdim];
     let mut grad_bias = vec![0.0f32; oc];
+    let mut cols = scratch::take(kdim * plane);
+    let mut dcols = scratch::take(kdim * plane);
 
     for img in 0..n {
-        let image = Tensor::from_vec(
-            input.data()[img * c * h * w..(img + 1) * c * h * w].to_vec(),
-            [c, h, w],
+        im2col_into(
+            &input.data()[img * chw..(img + 1) * chw],
+            c,
+            h,
+            w,
+            spec,
+            &mut cols,
         );
-        let cols = im2col(&image, spec); // (K, L)
-        let go = Tensor::from_vec(
-            grad_out.data()[img * oc * plane..(img + 1) * oc * plane].to_vec(),
-            [oc, plane],
+        let go = &grad_out.data()[img * oc * plane..(img + 1) * oc * plane]; // (oc, plane)
+                                                                             // dW += dY · colsᵀ — the GEMM's accumulate semantics sum over the
+                                                                             // batch directly, no per-image product tensor.
+        gemm_strided(
+            oc,
+            kdim,
+            plane,
+            go,
+            (plane, 1),
+            &cols,
+            (1, plane),
+            &mut grad_weight,
         );
-        // dW += dY · colsᵀ
-        grad_weight.add_assign_t(&go.matmul_nt(&cols));
         // db += row sums of dY
         for och in 0..oc {
-            grad_bias[och] += go.row(och).iter().sum::<f32>();
+            grad_bias[och] += go[och * plane..(och + 1) * plane].iter().sum::<f32>();
         }
-        // dcols = Wᵀ · dY, then fold back
-        let dcols = w_mat.matmul_tn(&go); // (K, L)
-        let dimg = col2im(&dcols, c, h, w, spec);
-        grad_input[img * c * h * w..(img + 1) * c * h * w].copy_from_slice(dimg.data());
+        // dcols = Wᵀ · dY, then fold back into this image's input gradient.
+        dcols.fill(0.0);
+        gemm_strided(kdim, plane, oc, wm, (1, kdim), go, (plane, 1), &mut dcols);
+        col2im_into(
+            &dcols,
+            c,
+            h,
+            w,
+            spec,
+            &mut grad_input[img * chw..(img + 1) * chw],
+        );
     }
 
     (
         Tensor::from_vec(grad_input, [n, c, h, w]),
-        grad_weight.reshape([oc, c, kh, kw]),
+        Tensor::from_vec(grad_weight, [oc, c, kh, kw]),
         Tensor::from_vec(grad_bias, [oc]),
     )
 }
@@ -307,7 +380,9 @@ mod tests {
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
         let spec = Conv2dSpec::new(2).with_stride(1).with_padding(1);
-        let x = Tensor::from_fn([2, 3, 3], |i| ((i[0] + 1) * (i[1] + 2) * (i[2] + 3)) as f32 * 0.1);
+        let x = Tensor::from_fn([2, 3, 3], |i| {
+            ((i[0] + 1) * (i[1] + 2) * (i[2] + 3)) as f32 * 0.1
+        });
         let cols = im2col(&x, spec);
         let y = Tensor::from_fn(cols.dims(), |i| ((i[0] * 7 + i[1] * 3) % 5) as f32 - 2.0);
         let lhs = cols.dot(&y);

@@ -51,7 +51,11 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn add_assign_t(&mut self, other: &Tensor) {
-        assert_eq!(self.shape(), other.shape(), "add_assign_t requires identical shapes");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign_t requires identical shapes"
+        );
         for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
             *a += b;
         }
@@ -63,7 +67,11 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn sub_assign_t(&mut self, other: &Tensor) {
-        assert_eq!(self.shape(), other.shape(), "sub_assign_t requires identical shapes");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "sub_assign_t requires identical shapes"
+        );
         for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
             *a -= b;
         }
@@ -75,7 +83,11 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape(), other.shape(), "axpy requires identical shapes");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy requires identical shapes"
+        );
         for (a, &b) in self.data_mut().iter_mut().zip(other.data().iter()) {
             *a += alpha * b;
         }
@@ -113,7 +125,11 @@ impl Tensor {
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Tensor {
         assert_eq!(self.rank(), 2, "add_row_broadcast requires a rank-2 tensor");
         assert_eq!(bias.rank(), 1, "bias must be rank 1");
-        assert_eq!(self.dim(1), bias.dim(0), "bias width must match matrix width");
+        assert_eq!(
+            self.dim(1),
+            bias.dim(0),
+            "bias width must match matrix width"
+        );
         let mut out = self.clone();
         let cols = self.dim(1);
         let b = bias.data();
@@ -132,7 +148,10 @@ impl Tensor {
 
     /// Sum of squares of all elements.
     pub fn squared_norm(&self) -> f32 {
-        self.data().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>() as f32
+        self.data()
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>() as f32
     }
 
     /// Dot product with a same-shaped tensor (sum of element products).

@@ -7,12 +7,18 @@
 //! * [`Tensor::matmul_tn`] — `C = Aᵀ · B` (used for weight gradients)
 //! * [`Tensor::matmul_nt`] — `C = A · Bᵀ` (used for input gradients)
 //!
-//! The plain kernel uses `i-k-j` loop order so that the inner loop is a
-//! unit-stride fused multiply-add over rows of `B` and `C`, which LLVM
-//! auto-vectorises. That keeps fault-injection campaigns (thousands of full
-//! network inferences) tractable on CPU — the paper's point that BDLFI needs
-//! only fast *inference*, not debugger hooks.
+//! All three are thin shims over one cache-blocked, register-tiled kernel
+//! ([`super::gemm`]): a transpose is expressed as a swapped stride pair, so
+//! the packed micro-panels and the `MR × NR` register tile are shared. That
+//! keeps fault-injection campaigns (thousands of full network inferences)
+//! tractable on CPU — the paper's point that BDLFI needs only fast
+//! *inference*, not debugger hooks.
+//!
+//! The original naive loops are kept behind `cfg(test)` / the
+//! `reference-kernels` feature as independent oracles for equivalence tests
+//! and benchmarks.
 
+use crate::ops::gemm::gemm_strided;
 use crate::tensor::Tensor;
 
 impl Tensor {
@@ -28,22 +34,8 @@ impl Tensor {
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
 
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (l, &a_il) in a_row.iter().enumerate() {
-                if a_il == 0.0 {
-                    continue;
-                }
-                let b_row = &b[l * n..(l + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_il * bv;
-                }
-            }
-        }
+        gemm_strided(m, n, k, self.data(), (k, 1), rhs.data(), (n, 1), &mut out);
         Tensor::from_vec(out, [m, n])
     }
 
@@ -60,22 +52,10 @@ impl Tensor {
         let (k2, n) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul_tn: leading dimensions differ ({k} vs {k2})");
 
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for l in 0..k {
-            let a_row = &a[l * m..(l + 1) * m];
-            let b_row = &b[l * n..(l + 1) * n];
-            for (i, &a_li) in a_row.iter().enumerate() {
-                if a_li == 0.0 {
-                    continue;
-                }
-                let c_row = &mut out[i * n..(i + 1) * n];
-                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c += a_li * bv;
-                }
-            }
-        }
+        // Aᵀ: walking a row of the product walks a column of the stored
+        // (k, m) operand, hence the (1, m) stride pair.
+        gemm_strided(m, n, k, self.data(), (1, m), rhs.data(), (n, 1), &mut out);
         Tensor::from_vec(out, [m, n])
     }
 
@@ -92,26 +72,17 @@ impl Tensor {
         let (n, k2) = (rhs.dim(0), rhs.dim(1));
         assert_eq!(k, k2, "matmul_nt: trailing dimensions differ ({k} vs {k2})");
 
-        let a = self.data();
-        let b = rhs.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut out[i * n..(i + 1) * n];
-            for (j, c) in c_row.iter_mut().enumerate() {
-                let b_row = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
-                    acc += av * bv;
-                }
-                *c = acc;
-            }
-        }
+        // Bᵀ: element (l, j) of the logical operand lives at b[j * k + l].
+        gemm_strided(m, n, k, self.data(), (k, 1), rhs.data(), (1, k), &mut out);
         Tensor::from_vec(out, [m, n])
     }
 
     /// Matrix-vector product `self · v` for a rank-2 `(m, k)` tensor and a
     /// rank-1 length-`k` vector, returning a length-`m` vector.
+    ///
+    /// Stays a plain row-dot loop: with a single output column there is
+    /// nothing for the blocked kernel's packing to amortise.
     ///
     /// # Panics
     ///
@@ -147,6 +118,107 @@ impl Tensor {
             }
         }
         Tensor::from_vec(out, [n, m])
+    }
+
+    /// Reference `self · rhs` using the original naive `i-k-j` loop.
+    ///
+    /// Kept only as an oracle for equivalence tests and for the
+    /// blocked-vs-naive benchmark comparison (`reference-kernels` feature);
+    /// production code always takes the blocked path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the inner dimensions differ.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul: lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul: rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul: inner dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (l, &a_il) in a_row.iter().enumerate() {
+                if a_il == 0.0 {
+                    continue;
+                }
+                let b_row = &b[l * n..(l + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_il * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Reference `selfᵀ · rhs` (naive loop); see [`Tensor::matmul_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the leading dimensions
+    /// differ.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_tn_naive(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_tn: lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul_tn: rhs must be rank 2");
+        let (k, m) = (self.dim(0), self.dim(1));
+        let (k2, n) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_tn: leading dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for l in 0..k {
+            let a_row = &a[l * m..(l + 1) * m];
+            let b_row = &b[l * n..(l + 1) * n];
+            for (i, &a_li) in a_row.iter().enumerate() {
+                if a_li == 0.0 {
+                    continue;
+                }
+                let c_row = &mut out[i * n..(i + 1) * n];
+                for (c, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c += a_li * bv;
+                }
+            }
+        }
+        Tensor::from_vec(out, [m, n])
+    }
+
+    /// Reference `self · rhsᵀ` (naive loop); see [`Tensor::matmul_naive`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank 2 or the trailing dimensions
+    /// differ.
+    #[cfg(any(test, feature = "reference-kernels"))]
+    pub fn matmul_nt_naive(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rank(), 2, "matmul_nt: lhs must be rank 2");
+        assert_eq!(rhs.rank(), 2, "matmul_nt: rhs must be rank 2");
+        let (m, k) = (self.dim(0), self.dim(1));
+        let (n, k2) = (rhs.dim(0), rhs.dim(1));
+        assert_eq!(k, k2, "matmul_nt: trailing dimensions differ ({k} vs {k2})");
+
+        let a = self.data();
+        let b = rhs.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut out[i * n..(i + 1) * n];
+            for (j, c) in c_row.iter_mut().enumerate() {
+                let b_row = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row.iter()) {
+                    acc += av * bv;
+                }
+                *c = acc;
+            }
+        }
+        Tensor::from_vec(out, [m, n])
     }
 }
 
@@ -193,6 +265,60 @@ mod tests {
         assert_eq!(a.transpose2d().at(&[4, 2]), a.at(&[2, 4]));
     }
 
+    fn pseudo_random(dims: [usize; 2], salt: usize) -> Tensor {
+        Tensor::from_fn(dims, |i| {
+            let x = (i[0] * 131 + i[1] * 17 + salt * 7919) % 1999;
+            x as f32 / 500.0 - 2.0
+        })
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_tile_boundaries() {
+        // Shapes chosen to straddle the MR=4 / NR=16 / MC=64 / KC=NC=256
+        // tile boundaries, including partial edge tiles everywhere.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (2, 3, 4),
+            (5, 7, 3),
+            (17, 33, 9),
+            (64, 64, 64),
+            (65, 100, 130),
+            (31, 257, 66),
+        ] {
+            let a = pseudo_random([m, k], 1);
+            let b = pseudo_random([k, n], 2);
+            let tol = 1e-4 * k as f32;
+            assert!(
+                a.matmul(&b).approx_eq(&a.matmul_naive(&b), tol),
+                "matmul mismatch at ({m},{k},{n})"
+            );
+
+            let at = pseudo_random([k, m], 3);
+            assert!(
+                at.matmul_tn(&b).approx_eq(&at.matmul_tn_naive(&b), tol),
+                "matmul_tn mismatch at ({m},{k},{n})"
+            );
+
+            let bt = pseudo_random([n, k], 4);
+            assert!(
+                a.matmul_nt(&bt).approx_eq(&a.matmul_nt_naive(&bt), tol),
+                "matmul_nt mismatch at ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_is_deterministic() {
+        // Same operands → bitwise-identical output on repeated calls; the
+        // incremental-inference cache depends on this.
+        let a = pseudo_random([37, 53], 5);
+        let b = pseudo_random([53, 29], 6);
+        let first = a.matmul(&b);
+        for _ in 0..3 {
+            assert_eq!(a.matmul(&b).data(), first.data());
+        }
+    }
+
     fn arb_matrix(m: usize, n: usize) -> impl Strategy<Value = Tensor> {
         proptest::collection::vec(-5.0f32..5.0, m * n)
             .prop_map(move |v| Tensor::from_vec(v, [m, n]))
@@ -226,6 +352,14 @@ mod tests {
             let lhs = a.matmul(&b.add_t(&c));
             let rhs = a.matmul(&b).add_t(&a.matmul(&c));
             prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+        }
+
+        #[test]
+        fn blocked_matches_naive_on_random_operands(
+            a in arb_matrix(9, 21),
+            b in arb_matrix(21, 13),
+        ) {
+            prop_assert!(a.matmul(&b).approx_eq(&a.matmul_naive(&b), 1e-3));
         }
     }
 }

@@ -4,6 +4,7 @@
 pub mod concat;
 pub mod conv;
 pub mod elementwise;
+pub(crate) mod gemm;
 pub mod matmul;
 pub mod pool;
 pub mod reduce;

@@ -19,7 +19,11 @@ pub struct Pool2dSpec {
 impl Pool2dSpec {
     /// Square window with stride equal to the window size (non-overlapping).
     pub fn new(kernel: usize) -> Self {
-        Pool2dSpec { kernel: (kernel, kernel), stride: (kernel, kernel), padding: (0, 0) }
+        Pool2dSpec {
+            kernel: (kernel, kernel),
+            stride: (kernel, kernel),
+            padding: (0, 0),
+        }
     }
 
     /// Sets a uniform stride, returning the modified spec.
@@ -113,11 +117,7 @@ pub fn maxpool2d(input: &Tensor, spec: Pool2dSpec) -> (Tensor, Vec<usize>) {
 /// # Panics
 ///
 /// Panics if `grad_out.len() != argmax.len()`.
-pub fn maxpool2d_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_dims: &[usize],
-) -> Tensor {
+pub fn maxpool2d_backward(grad_out: &Tensor, argmax: &[usize], input_dims: &[usize]) -> Tensor {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
@@ -158,9 +158,17 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
 ///
 /// Panics if `grad_out` is not `(n, c)` for the given input dims.
 pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: &[usize]) -> Tensor {
-    assert_eq!(input_dims.len(), 4, "global_avg_pool_backward expects NCHW dims");
+    assert_eq!(
+        input_dims.len(),
+        4,
+        "global_avg_pool_backward expects NCHW dims"
+    );
     let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
-    assert_eq!(grad_out.dims(), &[n, c], "global_avg_pool_backward: grad shape mismatch");
+    assert_eq!(
+        grad_out.dims(),
+        &[n, c],
+        "global_avg_pool_backward: grad shape mismatch"
+    );
     let plane = (h * w) as f32;
     let mut out = vec![0.0f32; n * c * h * w];
     for img in 0..n {
@@ -208,7 +216,11 @@ mod tests {
     #[test]
     fn maxpool_with_padding_ignores_border() {
         let input = Tensor::from_vec(vec![-1.0, -2.0, -3.0, -4.0], [1, 1, 2, 2]);
-        let spec = Pool2dSpec { kernel: (2, 2), stride: (2, 2), padding: (1, 1) };
+        let spec = Pool2dSpec {
+            kernel: (2, 2),
+            stride: (2, 2),
+            padding: (1, 1),
+        };
         let (out, _) = maxpool2d(&input, spec);
         // Every window contains exactly one real (negative) element; padding
         // must not contribute zeros that would beat them.

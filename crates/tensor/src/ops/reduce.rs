@@ -25,7 +25,10 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn max(&self) -> f32 {
         assert!(!self.is_empty(), "max of an empty tensor");
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -116,16 +119,23 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank 4.
     pub fn mean_per_channel(&self) -> Tensor {
-        assert_eq!(self.rank(), 4, "mean_per_channel requires a rank-4 NCHW tensor");
+        assert_eq!(
+            self.rank(),
+            4,
+            "mean_per_channel requires a rank-4 NCHW tensor"
+        );
         let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
         let plane = h * w;
         let count = (n * plane) as f64;
         let mut sums = vec![0.0f64; c];
         for img in 0..n {
-            for ch in 0..c {
+            for (ch, sum) in sums.iter_mut().enumerate() {
                 let base = (img * c + ch) * plane;
-                let s: f64 = self.data()[base..base + plane].iter().map(|&x| x as f64).sum();
-                sums[ch] += s;
+                let s: f64 = self.data()[base..base + plane]
+                    .iter()
+                    .map(|&x| x as f64)
+                    .sum();
+                *sum += s;
             }
         }
         Tensor::from_vec(sums.iter().map(|&s| (s / count) as f32).collect(), [c])
@@ -139,14 +149,18 @@ impl Tensor {
     /// Panics if the tensor is not rank 4 or `means` is not rank 1 of length
     /// `c`.
     pub fn var_per_channel(&self, means: &Tensor) -> Tensor {
-        assert_eq!(self.rank(), 4, "var_per_channel requires a rank-4 NCHW tensor");
+        assert_eq!(
+            self.rank(),
+            4,
+            "var_per_channel requires a rank-4 NCHW tensor"
+        );
         let (n, c, h, w) = (self.dim(0), self.dim(1), self.dim(2), self.dim(3));
         assert_eq!(means.dims(), &[c], "means must have one entry per channel");
         let plane = h * w;
         let count = (n * plane) as f64;
         let mut sums = vec![0.0f64; c];
         for img in 0..n {
-            for ch in 0..c {
+            for (ch, sum) in sums.iter_mut().enumerate() {
                 let mu = means.data()[ch] as f64;
                 let base = (img * c + ch) * plane;
                 let s: f64 = self.data()[base..base + plane]
@@ -156,7 +170,7 @@ impl Tensor {
                         d * d
                     })
                     .sum();
-                sums[ch] += s;
+                *sum += s;
             }
         }
         Tensor::from_vec(sums.iter().map(|&s| (s / count) as f32).collect(), [c])

@@ -1,0 +1,114 @@
+//! Thread-local scratch-buffer arena for kernel temporaries.
+//!
+//! Fault-injection campaigns run thousands of forward passes over the same
+//! network, and every conv layer used to allocate (and fault-in pages for)
+//! fresh im2col matrices, per-image copies and matmul outputs on each pass.
+//! This module recycles those buffers: [`take`] hands out a zeroed `Vec<f32>`
+//! from a per-thread pool, and dropping the returned [`ScratchBuf`] returns
+//! the allocation to the pool instead of freeing it.
+//!
+//! The pool is thread-local, so parallel MCMC chains each keep their own
+//! warm buffers without any synchronisation.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Maximum number of idle buffers kept per thread; beyond this, dropped
+/// buffers are simply freed. Conv forward + backward needs at most a handful
+/// of live buffers at once, so a small cap bounds memory without ever
+/// hitting the allocator on the steady-state inference path.
+const POOL_CAP: usize = 8;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A pooled `f32` buffer; dereferences to a slice of the requested length.
+///
+/// On drop the underlying allocation is returned to the thread-local pool
+/// for reuse by the next [`take`].
+#[derive(Debug)]
+pub struct ScratchBuf {
+    buf: Vec<f32>,
+}
+
+/// Borrows a zero-filled buffer of exactly `len` elements from the
+/// thread-local pool, allocating only if the pool is empty or too small.
+pub fn take(len: usize) -> ScratchBuf {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    ScratchBuf { buf }
+}
+
+impl Deref for ScratchBuf {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_even_after_reuse() {
+        {
+            let mut b = take(16);
+            b.iter_mut().for_each(|x| *x = 42.0);
+        }
+        let b = take(16);
+        assert!(b.iter().all(|&x| x == 0.0));
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn capacity_is_recycled() {
+        let ptr = {
+            let b = take(1024);
+            b.as_ptr()
+        };
+        // The freed allocation should be handed straight back.
+        let b = take(1024);
+        assert_eq!(b.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn nested_takes_get_distinct_buffers() {
+        let mut a = take(8);
+        let mut b = take(8);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert_ne!(a.as_ptr(), b.as_ptr());
+        assert_eq!((a[0], b[0]), (1.0, 2.0));
+    }
+
+    #[test]
+    fn zero_length_take_works() {
+        let b = take(0);
+        assert!(b.is_empty());
+    }
+}

@@ -194,7 +194,7 @@ mod tests {
     fn offset_matches_manual_computation() {
         let s = Shape::new(vec![2, 3, 4]);
         assert_eq!(s.offset(&[0, 0, 0]), 0);
-        assert_eq!(s.offset(&[1, 2, 3]), 1 * 12 + 2 * 4 + 3);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 2 * 4 + 3);
         assert_eq!(s.offset(&[0, 1, 2]), 6);
     }
 
@@ -217,7 +217,10 @@ mod tests {
         assert!(a.ensure_same(&a.clone()).is_ok());
         assert_eq!(
             a.ensure_same(&b),
-            Err(TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] })
+            Err(TensorError::ShapeMismatch {
+                left: vec![2, 3],
+                right: vec![3, 2]
+            })
         );
     }
 

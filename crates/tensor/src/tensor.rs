@@ -30,7 +30,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -42,12 +45,18 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.num_elements();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Creates a rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor {
+            shape: Shape::scalar(),
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor from a flat row-major data vector.
@@ -173,7 +182,8 @@ impl Tensor {
     /// Panics if the element counts differ; use [`Tensor::try_reshape`] for a
     /// fallible variant.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
-        self.try_reshape(shape).expect("reshape must preserve element count")
+        self.try_reshape(shape)
+            .expect("reshape must preserve element count")
     }
 
     /// Returns a copy reshaped to `shape`.
@@ -189,7 +199,10 @@ impl Tensor {
                 to: shape.dims().to_vec(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Reshapes in place (no copy).
@@ -274,7 +287,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "max_abs_diff requires identical shapes");
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff requires identical shapes"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -331,7 +347,10 @@ mod tests {
         assert!(Tensor::try_from_vec(vec![1.0; 6], [2, 3]).is_ok());
         assert_eq!(
             Tensor::try_from_vec(vec![1.0; 5], [2, 3]),
-            Err(TensorError::LengthMismatch { expected: 6, actual: 5 })
+            Err(TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            })
         );
     }
 

@@ -11,6 +11,7 @@
 //! ```
 
 use bdlfi_suite::baseline::{RandomFi, RandomFiConfig};
+use bdlfi_suite::bayes::ChainConfig;
 use bdlfi_suite::core::{run_campaign, CampaignConfig, FaultyModel, KernelChoice};
 use bdlfi_suite::data::gaussian_blobs;
 use bdlfi_suite::faults::{BernoulliBitFlip, SiteSpec};
@@ -28,7 +29,11 @@ fn main() {
     let mut model = mlp(2, &[32], 3, &mut rng);
     let mut trainer = Trainer::new(
         Sgd::new(0.1).with_momentum(0.9),
-        TrainConfig { epochs: 30, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
 
@@ -44,7 +49,11 @@ fn main() {
         Arc::clone(&fault_model) as _,
     );
     for budget in [50usize, 200] {
-        let res = fi.run(&RandomFiConfig { injections: budget, seed: 5, level: 0.95 });
+        let res = fi.run(&RandomFiConfig {
+            injections: budget,
+            seed: 5,
+            level: 0.95,
+        });
         println!(
             "  {budget:>4} injections: mean error {:.2} %, SDC rate {:.2} (95% Wilson [{:.2}, {:.2}]) — no completeness signal",
             res.mean_error * 100.0,
@@ -57,10 +66,16 @@ fn main() {
     // --- BDLFI: same model, same fault prior, certified inference. ---
     println!("\n## BDLFI campaign (same fault prior)");
     let fm = FaultyModel::new(model, test, &SiteSpec::AllParams, fault_model);
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 4;
-    cfg.chain.samples = 200;
-    cfg.kernel = KernelChoice::Prior;
+    let base = CampaignConfig::default();
+    let cfg = CampaignConfig {
+        chains: 4,
+        chain: ChainConfig {
+            samples: 200,
+            ..base.chain
+        },
+        kernel: KernelChoice::Prior,
+        ..base
+    };
     let report = run_campaign(&fm, &cfg);
     println!("{report}");
     println!();

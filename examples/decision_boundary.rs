@@ -27,7 +27,11 @@ fn main() {
     let mut model = mlp(2, &[48, 32], 2, &mut rng);
     let mut trainer = Trainer::new(
         Adam::new(0.01),
-        TrainConfig { epochs: 60, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
     let acc = evaluate(&mut model, test.inputs(), test.labels(), 64);
@@ -52,16 +56,31 @@ fn main() {
     println!("golden class regions:");
     for iy in (0..map.resolution).rev() {
         let line: String = (0..map.resolution)
-            .map(|ix| if map.golden_pred[iy * map.resolution + ix] == 0 { '.' } else { 'o' })
+            .map(|ix| {
+                if map.golden_pred[iy * map.resolution + ix] == 0 {
+                    '.'
+                } else {
+                    'o'
+                }
+            })
             .collect();
         println!("{line}");
     }
 
     let (near, far) = map.near_far_split();
     println!();
-    println!("mean error probability near the boundary : {:.2} %", near * 100.0);
-    println!("mean error probability far from boundary : {:.2} %", far * 100.0);
-    println!("Spearman(margin, error probability)      : {:.3}", map.margin_correlation);
+    println!(
+        "mean error probability near the boundary : {:.2} %",
+        near * 100.0
+    );
+    println!(
+        "mean error probability far from boundary : {:.2} %",
+        far * 100.0
+    );
+    println!(
+        "Spearman(margin, error probability)      : {:.3}",
+        map.margin_correlation
+    );
     println!();
     println!(
         "paper finding: points near the decision boundary are most affected by faults \

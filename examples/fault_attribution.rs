@@ -28,7 +28,11 @@ fn main() {
     let mut model = mlp(2, &[32], 3, &mut rng);
     let mut trainer = Trainer::new(
         Sgd::new(0.1).with_momentum(0.9),
-        TrainConfig { epochs: 30, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
 
@@ -68,7 +72,12 @@ fn main() {
         &model,
         &SiteSpec::AllParams,
         Arc::new(BernoulliBitFlip::new(2e-3)),
-        &BoundaryConfig { resolution: 32, fault_samples: 150, seed: 10, ..BoundaryConfig::default() },
+        &BoundaryConfig {
+            resolution: 32,
+            fault_samples: 150,
+            seed: 10,
+            ..BoundaryConfig::default()
+        },
     );
     // Set targets relative to the map's overall risk level: margin
     // thresholding can only push the unprotected mean towards the

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use bdlfi_suite::bayes::ChainConfig;
 use bdlfi_suite::core::{run_campaign, CampaignConfig, FaultyModel, KernelChoice};
 use bdlfi_suite::data::gaussian_blobs;
 use bdlfi_suite::faults::{BernoulliBitFlip, SiteSpec};
@@ -24,7 +25,11 @@ fn main() {
     // 2. Train the golden network.
     let mut trainer = Trainer::new(
         Sgd::new(0.1).with_momentum(0.9),
-        TrainConfig { epochs: 30, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
     let golden_acc = evaluate(&mut model, test.inputs(), test.labels(), 64);
@@ -42,10 +47,16 @@ fn main() {
 
     // 4. Infer the distribution of classification error under faults with
     //    MCMC, and certify campaign completeness from chain mixing.
-    let mut cfg = CampaignConfig::default();
-    cfg.kernel = KernelChoice::Prior;
-    cfg.chains = 3;
-    cfg.chain.samples = 150;
+    let base = CampaignConfig::default();
+    let cfg = CampaignConfig {
+        kernel: KernelChoice::Prior,
+        chains: 3,
+        chain: ChainConfig {
+            samples: 150,
+            ..base.chain
+        },
+        ..base
+    };
     let report = run_campaign(&fm, &cfg);
 
     println!("{report}");

@@ -1,9 +1,9 @@
 //! Integration tests for the adaptive (run-until-certified) campaign mode
 //! and the transient fault sites (inputs, activations) across the stack.
 
+use bdlfi_suite::bayes::ChainConfig;
 use bdlfi_suite::core::{
     run_campaign, run_campaign_adaptive, CampaignConfig, CompletenessCriteria, FaultyModel,
-    KernelChoice,
 };
 use bdlfi_suite::data::{gaussian_blobs, Dataset};
 use bdlfi_suite::faults::{BernoulliBitFlip, SiteSpec};
@@ -19,7 +19,11 @@ fn trained() -> (Sequential, Arc<Dataset>) {
     let mut model = mlp(2, &[24], 3, &mut rng);
     let mut trainer = Trainer::new(
         Sgd::new(0.1).with_momentum(0.9),
-        TrainConfig { epochs: 25, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
     (model, Arc::new(test))
@@ -42,11 +46,20 @@ fn adaptive_certifies_with_fewer_samples_on_easy_targets() {
         &SiteSpec::AllParams,
         Arc::new(BernoulliBitFlip::new(1e-2)),
     );
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 40; // segment
-    cfg.criteria = CompletenessCriteria { max_rhat: 1.1, min_ess: 50.0, max_mcse: 0.015 };
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 40, // segment
+            thin: 1,
+        },
+        criteria: CompletenessCriteria {
+            max_rhat: 1.1,
+            min_ess: 50.0,
+            max_mcse: 0.015,
+        },
+        ..CampaignConfig::default()
+    };
 
     let easy_rep = run_campaign_adaptive(&easy, &cfg, 2000);
     let hard_rep = run_campaign_adaptive(&hard, &cfg, 2000);
@@ -71,10 +84,15 @@ fn input_faults_behave_like_a_transient_site() {
     assert!(fm_input.sites().input);
     assert!(fm_input.sites().params.is_empty());
 
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 40;
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 40,
+            thin: 1,
+        },
+        ..CampaignConfig::default()
+    };
     let rep = run_campaign(&fm_input, &cfg);
     // Input faults at this rate measurably perturb some samples but the
     // distribution stays valid.
@@ -114,10 +132,15 @@ fn activation_and_param_sites_compose_through_specs() {
         SiteSpec::Activations(vec!["relu1".into()]),
         SiteSpec::Input,
     ];
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 20;
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 20,
+            thin: 1,
+        },
+        ..CampaignConfig::default()
+    };
     for spec in specs {
         let fm = FaultyModel::new(
             model.clone(),
@@ -127,6 +150,10 @@ fn activation_and_param_sites_compose_through_specs() {
         );
         let a = run_campaign(&fm, &cfg);
         let b = run_campaign(&fm, &cfg);
-        assert_eq!(a.traces[0].samples(), b.traces[0].samples(), "spec {spec:?}");
+        assert_eq!(
+            a.traces[0].samples(),
+            b.traces[0].samples(),
+            "spec {spec:?}"
+        );
     }
 }

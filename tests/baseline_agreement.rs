@@ -5,6 +5,7 @@
 //! hooks — not a different answer.)
 
 use bdlfi_suite::baseline::{RandomFi, RandomFiConfig};
+use bdlfi_suite::bayes::ChainConfig;
 use bdlfi_suite::core::{run_campaign, CampaignConfig, FaultyModel, KernelChoice};
 use bdlfi_suite::data::{gaussian_blobs, Dataset};
 use bdlfi_suite::faults::{BernoulliBitFlip, SiteSpec};
@@ -20,7 +21,11 @@ fn trained() -> (Sequential, Arc<Dataset>) {
     let mut model = mlp(2, &[24], 3, &mut rng);
     let mut trainer = Trainer::new(
         Sgd::new(0.1).with_momentum(0.9),
-        TrainConfig { epochs: 25, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 25,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
     (model, Arc::new(test))
@@ -39,15 +44,24 @@ fn mean_error_estimates_agree_in_the_large_sample_limit() {
         &SiteSpec::AllParams,
         Arc::clone(&fault_model) as _,
     );
-    let mc = fi.run(&RandomFiConfig { injections: 600, seed: 1, level: 0.95 });
+    let mc = fi.run(&RandomFiConfig {
+        injections: 600,
+        seed: 1,
+        level: 0.95,
+    });
 
     // BDLFI with the prior kernel.
     let fm = FaultyModel::new(model, test, &SiteSpec::AllParams, fault_model);
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 3;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 200;
-    cfg.kernel = KernelChoice::Prior;
+    let cfg = CampaignConfig {
+        chains: 3,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 200,
+            thin: 1,
+        },
+        kernel: KernelChoice::Prior,
+        ..CampaignConfig::default()
+    };
     let bdlfi = run_campaign(&fm, &cfg);
 
     assert_eq!(mc.golden_error, bdlfi.golden_error, "same golden run");
@@ -79,7 +93,11 @@ fn single_bit_flips_rarely_corrupt_but_sometimes_do() {
     // the SDC rate must be strictly between 0 and 1 with enough runs.
     let (model, test) = trained();
     let mut fi = RandomFi::new(model, test, &SiteSpec::AllParams);
-    let res = fi.run(&RandomFiConfig { injections: 400, seed: 2, level: 0.95 });
+    let res = fi.run(&RandomFiConfig {
+        injections: 400,
+        seed: 2,
+        level: 0.95,
+    });
     assert!(res.sdc.rate > 0.0, "no corruption in 400 single-bit flips");
     assert!(res.sdc.rate < 1.0, "every single-bit flip corrupted");
     // Interval is meaningful.
@@ -98,9 +116,15 @@ fn bdlfi_reports_completeness_baseline_does_not() {
         &SiteSpec::AllParams,
         Arc::new(BernoulliBitFlip::new(1e-3)),
     );
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.samples = 50;
+    let base = CampaignConfig::default();
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            samples: 50,
+            ..base.chain
+        },
+        ..base
+    };
     let report = run_campaign(&fm, &cfg);
     // Certification verdict and its evidence exist and are consistent.
     let c = report.completeness;

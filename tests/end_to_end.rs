@@ -2,6 +2,7 @@
 //! sweeps and boundary analyses across the whole crate stack, and check
 //! the paper's three findings hold qualitatively.
 
+use bdlfi_suite::bayes::ChainConfig;
 use bdlfi_suite::core::{
     boundary_map, log_spaced_probabilities, run_campaign, run_sweep, BoundaryConfig,
     CampaignConfig, FaultyModel, KernelChoice,
@@ -20,7 +21,11 @@ fn trained_mlp() -> (Sequential, Arc<Dataset>) {
     let mut model = mlp(2, &[32], 3, &mut rng);
     let mut trainer = Trainer::new(
         Sgd::new(0.1).with_momentum(0.9),
-        TrainConfig { epochs: 30, batch_size: 32, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 30,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
     let acc = evaluate(&mut model, test.inputs(), test.labels(), 64);
@@ -29,13 +34,17 @@ fn trained_mlp() -> (Sequential, Arc<Dataset>) {
 }
 
 fn quick_campaign() -> CampaignConfig {
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 60;
-    cfg.kernel = KernelChoice::Prior;
-    cfg.seed = 7;
-    cfg
+    CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 60,
+            thin: 1,
+        },
+        kernel: KernelChoice::Prior,
+        seed: 7,
+        ..CampaignConfig::default()
+    }
 }
 
 #[test]
@@ -56,7 +65,10 @@ fn campaign_distribution_is_coherent() {
     // Faults cannot reduce the long-run mean below zero excess by much.
     assert!(report.mean_error >= report.golden_error - 0.05);
     // The prior kernel accepts everything.
-    assert!(report.acceptance_rates.iter().all(|&a| (a - 1.0).abs() < 1e-12));
+    assert!(report
+        .acceptance_rates
+        .iter()
+        .all(|&a| (a - 1.0).abs() < 1e-12));
     // Completeness diagnostics are populated.
     assert!(report.completeness.rhat.is_finite());
     assert!(report.completeness.ess > 0.0);
@@ -71,7 +83,11 @@ fn finding_two_regimes_in_flip_probability() {
 
     let errs: Vec<f64> = sweep.points.iter().map(|pt| pt.report.mean_error).collect();
     // Flat start: within 2 percentage points of golden.
-    assert!((errs[0] - sweep.golden_error).abs() < 0.02, "low-p {}", errs[0]);
+    assert!(
+        (errs[0] - sweep.golden_error).abs() < 0.02,
+        "low-p {}",
+        errs[0]
+    );
     // Steep end: at least 15 points above golden.
     assert!(errs[5] > sweep.golden_error + 0.15, "high-p {}", errs[5]);
     // Knee exists and separates slopes.
@@ -87,11 +103,20 @@ fn finding_errors_concentrate_at_boundary() {
         &model,
         &SiteSpec::AllParams,
         Arc::new(BernoulliBitFlip::new(2e-3)),
-        &BoundaryConfig { resolution: 20, fault_samples: 80, seed: 3, ..BoundaryConfig::default() },
+        &BoundaryConfig {
+            resolution: 20,
+            fault_samples: 400,
+            seed: 0,
+            ..BoundaryConfig::default()
+        },
     );
     let (near, far) = map.near_far_split();
     assert!(near > far, "near {near} <= far {far}");
-    assert!(map.margin_correlation < -0.2, "corr {}", map.margin_correlation);
+    assert!(
+        map.margin_correlation < -0.2,
+        "corr {}",
+        map.margin_correlation
+    );
 }
 
 #[test]
@@ -128,7 +153,9 @@ fn site_scoping_restricts_damage() {
     let one = FaultyModel::new(
         model,
         test,
-        &SiteSpec::LayerParams { prefix: "fc2".into() },
+        &SiteSpec::LayerParams {
+            prefix: "fc2".into(),
+        },
         Arc::new(BernoulliBitFlip::new(p)),
     );
     let ra = run_campaign(&all, &quick_campaign());

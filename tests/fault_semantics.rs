@@ -80,8 +80,14 @@ fn fused_injection_matches_bayes_net_formalisation() {
 
     // E[y] = (1-p)*w*x + p*(-w*x) = (1-2p) w x = 0.4 * 6 = 2.4.
     let expected = (1.0 - 2.0 * p) * f64::from(w) * f64::from(x);
-    assert!((graph_mean - expected).abs() < 0.1, "graph mean {graph_mean}");
-    assert!((fused_mean - expected).abs() < 0.1, "fused mean {fused_mean}");
+    assert!(
+        (graph_mean - expected).abs() < 0.1,
+        "graph mean {graph_mean}"
+    );
+    assert!(
+        (fused_mean - expected).abs() < 0.1,
+        "fused mean {fused_mean}"
+    );
     assert!((graph_mean - fused_mean).abs() < 0.15);
 }
 
@@ -117,10 +123,8 @@ fn no_assumption_on_number_of_flipped_bits() {
     // actually occur.
     let mut rng = StdRng::seed_from_u64(3);
     let model = one_neuron(1.0);
-    let sites = bdlfi_suite::faults::resolve_sites(
-        &model,
-        &SiteSpec::Params(vec!["fc.weight".into()]),
-    );
+    let sites =
+        bdlfi_suite::faults::resolve_sites(&model, &SiteSpec::Params(vec!["fc.weight".into()]));
     let fm = BernoulliBitFlip::new(0.2);
     let mut counts = std::collections::BTreeMap::new();
     for _ in 0..2000 {
@@ -129,8 +133,15 @@ fn no_assumption_on_number_of_flipped_bits() {
     }
     // 32 bits at p=0.2: expect ~6.4 flips; 0-flip and >=10-flip outcomes
     // both occur across 2000 draws, and the mode is multi-bit.
-    assert!(counts.keys().any(|&k| k >= 10), "no heavy multi-bit outcomes: {counts:?}");
-    let mode = counts.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+    assert!(
+        counts.keys().any(|&k| k >= 10),
+        "no heavy multi-bit outcomes: {counts:?}"
+    );
+    let mode = counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(&k, _)| k)
+        .unwrap();
     assert!(mode >= 3, "mode {mode} should be multi-bit");
 }
 

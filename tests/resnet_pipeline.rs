@@ -3,12 +3,15 @@
 //! study. Sized for the test profile (narrow width, small images where the
 //! topology allows).
 
-use bdlfi_suite::core::{run_campaign, run_layerwise, CampaignConfig, FaultyModel, KernelChoice, LayerBudget};
+use bdlfi_suite::bayes::ChainConfig;
+use bdlfi_suite::core::{
+    run_campaign, run_layerwise, CampaignConfig, FaultyModel, KernelChoice, LayerBudget,
+};
 use bdlfi_suite::data::{synth_cifar, Dataset, SynthCifarConfig};
 use bdlfi_suite::faults::{BernoulliBitFlip, SiteSpec};
 use bdlfi_suite::nn::{
-    evaluate, optim::Sgd, resnet18, resnet18_layer_positions, serialize, ResNetConfig,
-    Sequential, TrainConfig, Trainer,
+    evaluate, optim::Sgd, resnet18, resnet18_layer_positions, serialize, ResNetConfig, Sequential,
+    TrainConfig, Trainer,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,10 +19,23 @@ use std::sync::Arc;
 
 fn tiny_resnet_and_data() -> (Sequential, Dataset, Dataset) {
     let mut rng = StdRng::seed_from_u64(300);
-    let cfg = SynthCifarConfig { classes: 4, image_size: 16, noise: 0.3, phase_jitter: 0.5, label_noise: 0.0 };
+    let cfg = SynthCifarConfig {
+        classes: 4,
+        image_size: 16,
+        noise: 0.3,
+        phase_jitter: 0.5,
+        label_noise: 0.0,
+    };
     let data = synth_cifar(160, cfg, &mut rng);
     let (train, eval) = data.split(0.8, &mut rng);
-    let net = resnet18(ResNetConfig { in_channels: 3, base_width: 2, classes: 4 }, &mut rng);
+    let net = resnet18(
+        ResNetConfig {
+            in_channels: 3,
+            base_width: 2,
+            classes: 4,
+        },
+        &mut rng,
+    );
     (net, train, eval)
 }
 
@@ -29,7 +45,11 @@ fn training_reduces_loss_and_beats_chance() {
     let mut rng = StdRng::seed_from_u64(301);
     let mut trainer = Trainer::new(
         Sgd::new(0.05).with_momentum(0.9),
-        TrainConfig { epochs: 3, batch_size: 16, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
     );
     let history = trainer.fit(&mut net, train.inputs(), train.labels(), &mut rng);
     assert!(history.last().unwrap().train_loss < history[0].train_loss);
@@ -47,11 +67,16 @@ fn campaign_on_conv_net_is_coherent_and_restores_weights() {
         &SiteSpec::AllParams,
         Arc::new(BernoulliBitFlip::new(1e-4)),
     );
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 8;
-    cfg.kernel = KernelChoice::Prior;
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 8,
+            thin: 1,
+        },
+        kernel: KernelChoice::Prior,
+        ..CampaignConfig::default()
+    };
     let report = run_campaign(&fm, &cfg);
 
     assert_eq!(report.total_samples(), 16);
@@ -79,17 +104,32 @@ fn layerwise_study_covers_the_resnet_positions() {
     let mut rng = StdRng::seed_from_u64(302);
     let mut trainer = Trainer::new(
         Sgd::new(0.05).with_momentum(0.9),
-        TrainConfig { epochs: 2, batch_size: 16, ..TrainConfig::default() },
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
     );
     trainer.fit(&mut net, train.inputs(), train.labels(), &mut rng);
 
     // Subset of positions keeps the test quick; ordering must be preserved.
     let layers = ["conv1", "layer2_0", "layer4_1", "fc"];
-    let mut cfg = CampaignConfig::default();
-    cfg.chains = 2;
-    cfg.chain.burn_in = 0;
-    cfg.chain.samples = 6;
-    let res = run_layerwise(&net, &Arc::new(eval), &layers, LayerBudget::ExpectedFlips(4.0), &cfg);
+    let cfg = CampaignConfig {
+        chains: 2,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 6,
+            thin: 1,
+        },
+        ..CampaignConfig::default()
+    };
+    let res = run_layerwise(
+        &net,
+        &Arc::new(eval),
+        &layers,
+        LayerBudget::ExpectedFlips(4.0),
+        &cfg,
+    );
 
     assert_eq!(res.layers.len(), 4);
     for (i, l) in res.layers.iter().enumerate() {
@@ -113,7 +153,14 @@ fn weights_roundtrip_through_disk_and_campaign() {
     serialize::save_weights(&net, &path).unwrap();
 
     let mut rng = StdRng::seed_from_u64(303);
-    let mut fresh = resnet18(ResNetConfig { in_channels: 3, base_width: 2, classes: 4 }, &mut rng);
+    let mut fresh = resnet18(
+        ResNetConfig {
+            in_channels: 3,
+            base_width: 2,
+            classes: 4,
+        },
+        &mut rng,
+    );
     serialize::load_weights(&mut fresh, &path).unwrap();
 
     let eval = Arc::new(eval);

@@ -23,7 +23,13 @@ fn stuck_weights_change_predictions_and_restore_exactly() {
     // Force the top exponent bit of several weights to 1 — a catastrophic
     // permanent defect.
     let fault = StuckAtFault::new(
-        (0..5).map(|e| StuckBit { element: e, bit: 30, value: true }).collect(),
+        (0..5)
+            .map(|e| StuckBit {
+                element: e,
+                bit: 30,
+                value: true,
+            })
+            .collect(),
     );
     let mut corrupted = Vec::new();
     m.with_param_mut("fc1.weight", &mut |p| {
@@ -35,7 +41,10 @@ fn stuck_weights_change_predictions_and_restore_exactly() {
     });
     // Forcing the exponent MSB yields a huge magnitude or (exponent
     // all-ones with nonzero mantissa) a NaN — either way, catastrophic.
-    assert!(corrupted.iter().take(5).all(|&w| w.abs() > 1e18 || !w.is_finite()));
+    assert!(corrupted
+        .iter()
+        .take(5)
+        .all(|&w| w.abs() > 1e18 || !w.is_finite()));
 
     // The model is bit-identical to the clean state afterwards.
     let again: Vec<u32> = m.predict(&x).data().iter().map(|v| v.to_bits()).collect();
@@ -50,8 +59,16 @@ fn stuck_at_differs_from_transient_xor_semantics() {
 
     // stuck-at-1 on the sign bit of both elements.
     let stuck = StuckAtFault::new(vec![
-        StuckBit { element: 0, bit: 31, value: true },
-        StuckBit { element: 1, bit: 31, value: true },
+        StuckBit {
+            element: 0,
+            bit: 31,
+            value: true,
+        },
+        StuckBit {
+            element: 1,
+            bit: 31,
+            value: true,
+        },
     ]);
     assert_eq!(stuck.effective_changes(&t), 1); // only the +3.0 changes
     let undo = stuck.apply(&mut t);

@@ -1,0 +1,292 @@
+//! Offline drop-in subset of the `criterion` API used by this workspace.
+//!
+//! Implements the measurement surface the benches call — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `Throughput`,
+//! `SamplingMode`, `criterion_group!`, `criterion_main!` — with a simple
+//! adaptive timer instead of upstream's statistical engine: each benchmark
+//! warms up, picks an iteration count targeting a fixed measurement
+//! window, and reports the mean time per iteration (plus throughput when
+//! configured). Good enough to compare kernels before/after a change,
+//! which is all this workspace needs.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Work-per-iteration hint used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Sampling strategy; accepted for API compatibility, not used.
+#[derive(Debug, Clone, Copy)]
+pub enum SamplingMode {
+    /// Default mode.
+    Auto,
+    /// Flat sampling for long-running benchmarks.
+    Flat,
+    /// Linear sampling.
+    Linear,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_one(name, self.measurement_window, None, &mut f);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            window: self.measurement_window,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    window: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub timer self-calibrates.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.window, self.throughput, &mut f);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.window, self.throughput, &mut wrapped);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    window: Duration,
+    /// Mean seconds per iteration, filled in by `iter`.
+    secs_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count whose batch
+        // runtime is long enough to swamp timer noise.
+        let mut iters: u64 = 1;
+        let calibration_floor = self.window.as_secs_f64() / 20.0;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= calibration_floor || iters >= 1 << 30 {
+                // Scale up to fill the measurement window, then measure.
+                let target = self.window.as_secs_f64();
+                let scale = if elapsed > 0.0 { target / elapsed } else { 1000.0 };
+                let measured_iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 32);
+                let start = Instant::now();
+                for _ in 0..measured_iters {
+                    black_box(routine());
+                }
+                let total = start.elapsed().as_secs_f64();
+                self.secs_per_iter = Some(total / measured_iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    window: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        window,
+        secs_per_iter: None,
+    };
+    f(&mut bencher);
+    match bencher.secs_per_iter {
+        Some(secs) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.3e} elem/s)", n as f64 / secs)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.3e} B/s)", n as f64 / secs)
+                }
+                None => String::new(),
+            };
+            println!("{label:<50} time: {}{rate}", format_time(secs));
+        }
+        None => println!("{label:<50} (no measurement: iter was not called)"),
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            measurement_window: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10).sampling_mode(SamplingMode::Flat);
+        group.throughput(Throughput::Elements(128));
+        group.bench_with_input(BenchmarkId::new("sum", 128), &128u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("direct", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("nn", 64).to_string(), "nn/64");
+        assert_eq!(BenchmarkId::from_parameter("p=1e-3").to_string(), "p=1e-3");
+    }
+}

@@ -1,0 +1,79 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::{Strategy, TestRng};
+
+/// Length specification for [`vec`]: a fixed `usize` or a `Range<usize>`.
+pub trait SizeRange {
+    /// Samples a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty length range");
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+/// Strategy generating `Vec`s whose elements come from `element` and whose
+/// length comes from `size`.
+pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::new(4);
+        let fixed = vec(0u32..10, 7usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 7);
+        let ranged = vec(0u32..10, 2usize..5);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn tuple_elements_work() {
+        let mut rng = TestRng::new(5);
+        let s = vec((0usize..8, crate::num::u32::ANY), 0usize..6);
+        for _ in 0..50 {
+            for (i, _bits) in s.generate(&mut rng) {
+                assert!(i < 8);
+            }
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Offline drop-in subset of the `serde` API used by this workspace.
+//!
+//! The build environment has no crates registry, so this crate provides the
+//! minimal machinery the workspace needs: a JSON-shaped [`Value`] data
+//! model, [`Serialize`]/[`Deserialize`] traits that convert to and from it,
+//! and (behind the `derive` feature) re-exported derive macros from the
+//! companion `serde_derive` stub. `serde_json` renders [`Value`] to text
+//! and parses it back.
+//!
+//! Compared to upstream serde this intentionally drops the zero-copy
+//! visitor architecture: every workspace use site round-trips whole
+//! documents through JSON files or strings, where a tree model is fine.
+
+mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates a "expected X while deserialising Y" error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        DeError {
+            msg: format!("expected {what} while deserialising {context}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the JSON data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value shape does not match.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Hook for the derive macro: the value to use when a struct field is
+    /// absent from the serialized object (`Some(None)` only for `Option`).
+    fn missing_field_default() -> Option<Self> {
+        None
+    }
+}
+
+/// Derive-macro helper: extracts and deserialises field `key` from an
+/// object's entries, honouring [`Deserialize::missing_field_default`].
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the field is missing (and has no default) or has
+/// the wrong shape.
+pub fn from_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_json_value(v)
+            .map_err(|e| DeError::custom(format!("{context}.{key}: {e}"))),
+        None => T::missing_field_default()
+            .ok_or_else(|| DeError::custom(format!("missing field `{key}` in {context}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_u64().ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_i64().ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // JSON has no NaN/inf literal; serde_json writes them as null.
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+
+    fn missing_field_default() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items = v.as_array().ok_or_else(|| DeError::expected("array", "array"))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_json_value).collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let items = match v {
+                    Value::Array(items) => items,
+                    _ => return Err(DeError::expected("array", "tuple")),
+                };
+                let expected = [$( $idx , )+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected {expected}-tuple, found array of {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Types usable as JSON object keys.
+pub trait JsonKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] if the key cannot be parsed.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_keys {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::custom(format!("invalid integer key `{s}`")))
+            }
+        }
+    )*};
+}
+
+int_keys!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "BTreeMap")),
+        }
+    }
+}
+
+impl<K: JsonKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // Sort keys so output (and therefore golden files) is deterministic.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_json_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: JsonKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "HashMap")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip_and_missing_default() {
+        assert_eq!(Option::<u32>::from_json_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::from_json_value(&Value::Number(Number::U(3))).unwrap(),
+            Some(3)
+        );
+        assert_eq!(Option::<u32>::missing_field_default(), Some(None));
+        assert_eq!(u32::missing_field_default(), None);
+    }
+
+    #[test]
+    fn u64_precision_is_preserved() {
+        let big = u64::MAX - 3;
+        let v = big.to_json_value();
+        assert_eq!(u64::from_json_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn nan_serialises_to_null_and_back() {
+        let v = f32::NAN.to_json_value();
+        // Number::F(NaN) renders as null in serde_json; deserialising null
+        // yields NaN again.
+        assert!(f32::from_json_value(&Value::Null).unwrap().is_nan());
+        assert!(matches!(v, Value::Number(Number::F(f)) if f.is_nan()));
+    }
+
+    #[test]
+    fn tuple_arity_is_checked() {
+        let v = Value::Array(vec![Value::Number(Number::U(1))]);
+        assert!(<(u32, u32)>::from_json_value(&v).is_err());
+    }
+
+    #[test]
+    fn hashmap_output_is_sorted() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 1u32);
+        m.insert("a".to_string(), 2u32);
+        match m.to_json_value() {
+            Value::Object(entries) => {
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(entries[1].0, "b");
+            }
+            _ => panic!("expected object"),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The JSON-shaped data model shared by `serde` and `serde_json`.
+
+/// A JSON number, kept in its native representation so 64-bit integers
+/// (e.g. RNG seeds) round-trip without f64 precision loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Negative (or any signed) integer.
+    I(i64),
+    /// Non-negative integer.
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+/// A parsed JSON document.
+///
+/// Objects are stored as insertion-ordered key/value pairs; lookups are
+/// linear scans, which is fine for the struct-sized objects this workspace
+/// serialises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(n)) => Some(*n),
+            Value::Number(Number::I(n)) if *n >= 0 => Some(*n as u64),
+            Value::Number(Number::F(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(n)) => Some(*n),
+            Value::Number(Number::U(n)) if *n <= i64::MAX as u64 => Some(*n as i64),
+            Value::Number(Number::F(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F(f)) => Some(*f),
+            Value::Number(Number::I(n)) => Some(*n as f64),
+            Value::Number(Number::U(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the object entries if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the array items if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object (linear scan).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Number(Number::U(7)).as_i64(), Some(7));
+        assert_eq!(Value::Number(Number::I(-7)).as_u64(), None);
+        assert_eq!(Value::Number(Number::F(3.0)).as_u64(), Some(3));
+        assert_eq!(Value::Number(Number::F(3.5)).as_u64(), None);
+        assert_eq!(Value::Number(Number::U(u64::MAX)).as_u64(), Some(u64::MAX));
+        assert_eq!(Value::Number(Number::U(u64::MAX)).as_i64(), None);
+    }
+
+    #[test]
+    fn object_lookup() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Bool(true)),
+            ("b".into(), Value::Null),
+        ]);
+        assert_eq!(v.get("a"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -1,0 +1,451 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no registry access, so `syn`/`quote` are unavailable):
+//! a small hand parser extracts the type shape, and code generation goes
+//! through strings re-parsed into a token stream.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! structs with named fields, tuple structs, unit structs, and enums with
+//! unit / tuple / struct variants (serialised with serde's external
+//! tagging). Generics and `#[serde(...)]` attributes are rejected loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct TypeDef {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> TypeDef {
+    let mut it: Tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = expect_ident(&mut it, "`struct` or `enum`");
+    let name = expect_ident(&mut it, "type name");
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected token after `struct {name}`: {other:?}"),
+            };
+            TypeDef {
+                name,
+                kind: Kind::Struct(fields),
+            }
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            TypeDef {
+                name,
+                kind: Kind::Enum(parse_variants(body)),
+            }
+        }
+        other => panic!("derive supports only structs and enums, found `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(it: &mut Tokens) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        let text = g.stream().to_string();
+                        if text.starts_with("serde") {
+                            panic!("vendored serde_derive does not support #[serde(...)] attributes");
+                        }
+                    }
+                    other => panic!("malformed attribute: {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field `{id}`, found {other:?}"),
+                }
+                skip_type(&mut it);
+            }
+            other => panic!("expected field name, found {other:?}"),
+        }
+    }
+    names
+}
+
+/// Consumes type tokens up to and including the next top-level comma,
+/// tracking `<...>` nesting (parens/brackets arrive as whole groups).
+fn skip_type(it: &mut Tokens) {
+    let mut depth = 0usize;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts fields in a tuple-struct/-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut pending = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    depth = depth.saturating_sub(1);
+                    pending = true;
+                }
+                ',' if depth == 0 => {
+                    count += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut it: Tokens = stream.into_iter().peekable();
+    let mut out = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        match it.next() {
+            None => {
+                out.push((name, Fields::Unit));
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                out.push((name, Fields::Unit));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next comma.
+                skip_type(&mut it);
+                out.push((name, Fields::Unit));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                out.push((name, Fields::Named(parse_named_fields(g.stream()))));
+                expect_comma_or_end(&mut it);
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                out.push((name, Fields::Tuple(count_tuple_fields(g.stream()))));
+                expect_comma_or_end(&mut it);
+            }
+            other => panic!("unexpected token after variant `{name}`: {other:?}"),
+        }
+    }
+    out
+}
+
+fn expect_comma_or_end(it: &mut Tokens) {
+    match it.next() {
+        None => {}
+        Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+        other => panic!("expected `,` between variants, found {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn str_lit(s: &str) -> String {
+    format!("::std::string::String::from(\"{s}\")")
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(fields) => ser_fields_body(fields, "self.", None),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({lit}),",
+                        lit = str_lit(v)
+                    )),
+                    Fields::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: String = pats
+                                .iter()
+                                .map(|p| format!("::serde::Serialize::to_json_value({p}),"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({pats}) => ::serde::Value::Object(::std::vec![({lit}, {inner})]),",
+                            pats = pats.join(", "),
+                            lit = str_lit(v)
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let entries: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({lit}, ::serde::Serialize::to_json_value({f})),",
+                                    lit = str_lit(f)
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pats} }} => ::serde::Value::Object(::std::vec![({lit}, \
+                             ::serde::Value::Object(::std::vec![{entries}]))]),",
+                            pats = fs.join(", "),
+                            lit = str_lit(v)
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] #[allow(unused_variables, clippy::all)] \
+         impl ::serde::Serialize for {name} {{ \
+             fn to_json_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+/// Serialisation expression for a set of struct fields accessed through
+/// `prefix` (e.g. `self.`).
+fn ser_fields_body(fields: &Fields, prefix: &str, _ctx: Option<&str>) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let entries: String = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({lit}, ::serde::Serialize::to_json_value(&{prefix}{f})),",
+                        lit = str_lit(f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        Fields::Tuple(1) => format!("::serde::Serialize::to_json_value(&{prefix}0)"),
+        Fields::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json_value(&{prefix}{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+    }
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Fields::Named(fs)) => {
+            let fields: String = fs
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(__entries, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let __entries = v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", \"{name}\"))?; \
+                 ::std::result::Result::Ok({name} {{ {fields} }})"
+            )
+        }
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(v)?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = v.as_array().ok_or_else(|| \
+                     ::serde::DeError::expected(\"array\", \"{name}\"))?; \
+                 if __items.len() != {n} {{ \
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected {n} elements for {name}, found {{}}\", __items.len()))); \
+                 }} \
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!(
+            "match v {{ \
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"null\", \"{name}\")), \
+             }}"
+        ),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived] #[allow(unused_variables, clippy::all)] \
+         impl ::serde::Deserialize for {name} {{ \
+             fn from_json_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+            )),
+            Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                     ::serde::Deserialize::from_json_value(__content)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: String = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__items[{i}])?,"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{ \
+                         let __items = __content.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", \"{name}::{v}\"))?; \
+                         if __items.len() != {n} {{ \
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"expected {n} elements for {name}::{v}, found {{}}\", \
+                                     __items.len()))); \
+                         }} \
+                         ::std::result::Result::Ok({name}::{v}({items})) \
+                     }}"
+                ));
+            }
+            Fields::Named(fs) => {
+                let fields: String = fs
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::from_field(__fields, \"{f}\", \"{name}::{v}\")?,")
+                    })
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{ \
+                         let __fields = __content.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", \"{name}::{v}\"))?; \
+                         ::std::result::Result::Ok({name}::{v} {{ {fields} }}) \
+                     }}"
+                ));
+            }
+        }
+    }
+    format!(
+        "if let ::std::option::Option::Some(__s) = v.as_str() {{ \
+             return match __s {{ \
+                 {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown unit variant `{{}}` for {name}\", __other))), \
+             }}; \
+         }} \
+         let __entries = v.as_object().ok_or_else(|| \
+             ::serde::DeError::expected(\"string or object\", \"{name}\"))?; \
+         if __entries.len() != 1 {{ \
+             return ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected single-key object for enum {name}\"))); \
+         }} \
+         let (__tag, __content) = &__entries[0]; \
+         match __tag.as_str() {{ \
+             {tagged_arms} \
+             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{}}` for {name}\", __other))), \
+         }}"
+    )
+}

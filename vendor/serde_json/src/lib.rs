@@ -1,0 +1,186 @@
+//! Offline drop-in subset of the `serde_json` API used by this workspace:
+//! `to_string`, `to_string_pretty`, `to_writer`, `to_writer_pretty`,
+//! `from_str`, `from_reader`, and the [`Error`] type.
+//!
+//! Works against the vendored `serde` crate's [`Value`] data model. The
+//! emitter mirrors upstream serde_json's conventions this workspace
+//! depends on: non-finite floats render as `null`, integers render
+//! without a decimal point, and pretty output indents by two spaces.
+
+mod parse;
+mod print;
+
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Serialisation/deserialisation failure (syntax, shape mismatch, or I/O).
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::new(format!("io error: {e}"))
+    }
+}
+
+/// Serialises `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; returns `Err` only to keep the
+/// upstream-compatible signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_json_value()))
+}
+
+/// Serialises `value` to a human-readable, two-space-indented string.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; see [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_json_value()))
+}
+
+/// Serialises `value` as compact JSON into `writer`.
+///
+/// # Errors
+///
+/// Returns an error if the writer fails.
+pub fn to_writer<W: Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<(), Error> {
+    writer.write_all(print::compact(&value.to_json_value()).as_bytes())?;
+    Ok(())
+}
+
+/// Serialises `value` as pretty JSON into `writer`.
+///
+/// # Errors
+///
+/// Returns an error if the writer fails.
+pub fn to_writer_pretty<W: Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(print::pretty(&value.to_json_value()).as_bytes())?;
+    Ok(())
+}
+
+/// Parses a value of type `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    Ok(T::from_json_value(&value)?)
+}
+
+/// Parses a value of type `T` from a reader (reads to end first).
+///
+/// # Errors
+///
+/// Returns an error on I/O failure, malformed JSON, or a shape mismatch.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&"hi".to_string()).unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5e3").unwrap(), 1500.0);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn u64_seed_roundtrips_exactly() {
+        let seed = 0xDEAD_BEEF_CAFE_F00Du64;
+        let s = to_string(&seed).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), seed);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_string(&f32::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f32>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1.0f32, -2.25, 3.5];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f32>>(&s).unwrap(), v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![(1usize, 2u32), (3, 4)]);
+        let s = to_string(&m).unwrap();
+        assert_eq!(from_str::<BTreeMap<String, Vec<(usize, u32)>>>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line1\nline\\2 \"quoted\" \t unicode: \u{1F600} control: \u{1}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn pretty_output_is_parseable_and_indented() {
+        let v = vec![vec![1u32, 2], vec![3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<u32>("42 trailing").is_err());
+        assert!(from_str::<u32>("\"not a number\"").is_err());
+        assert!(from_str::<Vec<u32>>("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1u8, 2, 3]).unwrap();
+        let back: Vec<u8> = from_reader(&buf[..]).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+}
