@@ -11,6 +11,7 @@
 //! the exhaustive rate.
 
 use crate::estimator::{estimate_proportion, ProportionEstimate};
+use bdlfi::engine::{EvalEngine, EvalSink, RunMeta};
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultMask, SiteSpec};
 use bdlfi_nn::{predict_all, Sequential};
@@ -42,6 +43,8 @@ pub struct ExhaustiveResult {
     /// SDC counts broken down by bit position — the exact form of the E7
     /// bit-field ablation.
     pub by_bit: Vec<BitPositionStats>,
+    /// Engine execution metadata (worker count, wall-clock, injections/sec).
+    pub run_meta: RunMeta,
 }
 
 /// Runs the exhaustive study over every single-bit fault in the sites
@@ -56,6 +59,23 @@ pub fn run_exhaustive(
     eval: &Arc<Dataset>,
     spec: &SiteSpec,
 ) -> ExhaustiveResult {
+    run_exhaustive_with(model, eval, spec, 0)
+}
+
+/// [`run_exhaustive`] with an explicit engine worker count (0 = all
+/// available cores). The enumeration is deterministic, so the result is
+/// identical at every worker count.
+///
+/// # Panics
+///
+/// Panics if the spec resolves to no parameter sites or the dataset is
+/// empty.
+pub fn run_exhaustive_with(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    workers: usize,
+) -> ExhaustiveResult {
     assert!(!eval.is_empty(), "evaluation set must not be empty");
     let mut model = model.clone();
     let sites = resolve_sites(&model, spec);
@@ -68,51 +88,89 @@ pub fn run_exhaustive(
     let golden_preds = golden_logits.argmax_rows();
     let golden_error = bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
 
-    let mut by_bit: Vec<BitPositionStats> = (0..32u8)
-        .map(|bit| BitPositionStats {
-            bit,
-            injections: 0,
-            sdc: 0,
-        })
-        .collect();
-    let mut total = 0u64;
-    let mut sdc_total = 0u64;
-    let mut error_sum = 0.0f64;
-
+    // Flatten the (site, element, bit) enumeration into one task index
+    // space: site `s` owns `site.len * 32` consecutive task ids starting
+    // at `starts[s]`.
+    let mut starts = Vec::with_capacity(sites.params.len());
+    let mut total_tasks = 0usize;
     for site in &sites.params {
-        for element in 0..site.len {
-            for bit in 0..32u8 {
-                let mut mask = FaultMask::empty();
-                mask.push_bit(element, bit);
-                let mut cfg = FaultConfig::clean();
-                cfg.set_mask(&site.path, mask);
+        starts.push(total_tasks);
+        total_tasks += site.len * 32;
+    }
 
-                cfg.apply(&mut model);
-                let logits = predict_all(&mut model, eval.inputs(), 64);
-                cfg.apply(&mut model);
-
-                let corrupted = logits
-                    .argmax_rows()
-                    .iter()
-                    .zip(golden_preds.iter())
-                    .any(|(a, b)| a != b);
-                error_sum += bdlfi_nn::metrics::classification_error(&logits, eval.labels());
-                total += 1;
-                by_bit[bit as usize].injections += 1;
-                if corrupted {
-                    sdc_total += 1;
-                    by_bit[bit as usize].sdc += 1;
-                }
+    /// Streaming aggregation of per-injection outcomes — totals and the
+    /// per-bit breakdown, no per-injection buffering.
+    struct Agg {
+        by_bit: Vec<BitPositionStats>,
+        total: u64,
+        sdc_total: u64,
+        error_sum: f64,
+    }
+    impl EvalSink<(u8, bool, f64)> for Agg {
+        fn accept(&mut self, _task_id: usize, (bit, corrupted, error): (u8, bool, f64)) {
+            self.total += 1;
+            self.error_sum += error;
+            self.by_bit[bit as usize].injections += 1;
+            if corrupted {
+                self.sdc_total += 1;
+                self.by_bit[bit as usize].sdc += 1;
             }
         }
     }
 
+    let mut agg = Agg {
+        by_bit: (0..32u8)
+            .map(|bit| BitPositionStats {
+                bit,
+                injections: 0,
+                sdc: 0,
+            })
+            .collect(),
+        total: 0,
+        sdc_total: 0,
+        error_sum: 0.0,
+    };
+
+    // The task set is a deterministic enumeration (no RNG), so the engine
+    // seed is irrelevant; workers each own a model clone.
+    let engine = EvalEngine::with_workers(0, workers);
+    let run_meta = engine.run(
+        total_tasks,
+        || model.clone(),
+        |model, ctx| {
+            let site_idx = starts.partition_point(|&s| s <= ctx.task_id) - 1;
+            let site = &sites.params[site_idx];
+            let offset = ctx.task_id - starts[site_idx];
+            let element = offset / 32;
+            let bit = (offset % 32) as u8;
+
+            let mut mask = FaultMask::empty();
+            mask.push_bit(element, bit);
+            let mut cfg = FaultConfig::clean();
+            cfg.set_mask(&site.path, mask);
+
+            cfg.apply(model);
+            let logits = predict_all(model, eval.inputs(), 64);
+            cfg.apply(model); // restore (XOR involution)
+
+            let corrupted = logits
+                .argmax_rows()
+                .iter()
+                .zip(golden_preds.iter())
+                .any(|(a, b)| a != b);
+            let error = bdlfi_nn::metrics::classification_error(&logits, eval.labels());
+            (bit, corrupted, error)
+        },
+        &mut agg,
+    );
+
     ExhaustiveResult {
-        injections: total,
-        sdc: estimate_proportion(sdc_total, total, 0.95),
-        mean_error: error_sum / total as f64,
+        injections: agg.total,
+        sdc: estimate_proportion(agg.sdc_total, agg.total, 0.95),
+        mean_error: agg.error_sum / agg.total as f64,
         golden_error,
-        by_bit,
+        by_bit: agg.by_bit,
+        run_meta,
     }
 }
 
@@ -188,11 +246,12 @@ mod tests {
         };
         let exact = run_exhaustive(&model, &eval, &spec);
 
-        let mut fi = RandomFi::new(model, eval, &spec);
+        let fi = RandomFi::new(model, eval, &spec);
         let sampled = fi.run(&RandomFiConfig {
             injections: 800,
             seed: 4,
             level: 0.95,
+            workers: 0,
         });
         assert!(
             (sampled.sdc.rate - exact.sdc.rate).abs() < 0.07,
@@ -204,6 +263,24 @@ mod tests {
         // 5% miss probability, checked loosely).
         assert!(exact.sdc.rate > sampled.sdc.wilson.0 - 0.05);
         assert!(exact.sdc.rate < sampled.sdc.wilson.1 + 0.05);
+    }
+
+    #[test]
+    fn exhaustive_is_worker_count_invariant() {
+        let (model, eval) = tiny_trained();
+        let spec = SiteSpec::LayerParams {
+            prefix: "fc2".into(),
+        };
+        let serial = run_exhaustive_with(&model, &eval, &spec, 1);
+        let parallel = run_exhaustive_with(&model, &eval, &spec, 4);
+        assert_eq!(serial.injections, parallel.injections);
+        assert_eq!(serial.sdc.successes, parallel.sdc.successes);
+        assert_eq!(serial.mean_error, parallel.mean_error);
+        for (a, b) in serial.by_bit.iter().zip(&parallel.by_bit) {
+            assert_eq!(a.injections, b.injections);
+            assert_eq!(a.sdc, b.sdc);
+        }
+        assert_eq!(parallel.run_meta.tasks as u64, parallel.injections);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! manufactures the depth effect reported by earlier studies.
 
 use crate::random_fi::{RandomFi, RandomFiConfig, RandomFiResult};
+use bdlfi::engine::{EvalEngine, RunMeta};
+use bdlfi::stats::spearman;
+use bdlfi_bayes::seed_stream;
 use bdlfi_data::Dataset;
 use bdlfi_faults::SiteSpec;
 use bdlfi_nn::Sequential;
@@ -31,6 +34,8 @@ pub struct LayerFiStudy {
     pub layers: Vec<LayerFiResult>,
     /// Spearman rank correlation between depth and measured SDC rate.
     pub depth_correlation: f64,
+    /// Engine execution metadata for the per-layer fan-out.
+    pub run_meta: RunMeta,
 }
 
 /// Runs one single-bit-flip campaign per layer with `cfg.injections`
@@ -46,27 +51,28 @@ pub fn run_layer_fi(
     cfg: &RandomFiConfig,
 ) -> LayerFiStudy {
     assert!(!layers.is_empty(), "study needs at least one layer");
-    let layers: Vec<LayerFiResult> = layers
-        .iter()
-        .enumerate()
-        .map(|(depth, &layer)| {
-            let mut fi = RandomFi::new(
-                model.clone(),
-                Arc::clone(eval),
-                &SiteSpec::LayerParams {
-                    prefix: layer.to_string(),
-                },
-            );
-            let mut layer_cfg = cfg.clone();
-            // Decorrelate layers while staying reproducible.
-            layer_cfg.seed = cfg.seed.wrapping_add(depth as u64 * 7919);
-            LayerFiResult {
-                depth,
-                layer: layer.to_string(),
-                result: fi.run(&layer_cfg),
-            }
-        })
-        .collect();
+    // Fan the per-layer campaigns out through the engine. Layer `depth`
+    // re-seeds its campaign from `seed_stream(cfg.seed, depth)`, which
+    // decorrelates layers without the collision risk of additive offsets.
+    let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let (layers, run_meta) = engine.map(names, |ctx, layer| {
+        let depth = ctx.task_id;
+        let fi = RandomFi::new(
+            model.clone(),
+            Arc::clone(eval),
+            &SiteSpec::LayerParams {
+                prefix: layer.clone(),
+            },
+        );
+        let mut layer_cfg = cfg.clone();
+        layer_cfg.seed = seed_stream(cfg.seed, depth as u64);
+        LayerFiResult {
+            depth,
+            layer,
+            result: fi.run(&layer_cfg),
+        }
+    });
 
     let depths: Vec<f64> = layers.iter().map(|l| l.depth as f64).collect();
     let rates: Vec<f64> = layers.iter().map(|l| l.result.sdc.rate).collect();
@@ -74,50 +80,8 @@ pub fn run_layer_fi(
     LayerFiStudy {
         layers,
         depth_correlation,
+        run_meta,
     }
-}
-
-/// Spearman rank correlation (duplicated minimally here so the baseline
-/// crate does not depend on the BDLFI core it is compared against).
-fn spearman(x: &[f64], y: &[f64]) -> f64 {
-    let rank = |v: &[f64]| -> Vec<f64> {
-        let n = v.len();
-        let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).expect("NaN in rank input"));
-        let mut out = vec![0.0; n];
-        let mut i = 0;
-        while i < n {
-            let mut j = i;
-            while j + 1 < n && v[idx[j + 1]] == v[idx[i]] {
-                j += 1;
-            }
-            let avg = (i + j) as f64 / 2.0 + 1.0;
-            for &k in &idx[i..=j] {
-                out[k] = avg;
-            }
-            i = j + 1;
-        }
-        out
-    };
-    let (rx, ry) = (rank(x), rank(y));
-    let n = rx.len() as f64;
-    if n < 2.0 {
-        return f64::NAN;
-    }
-    let mx = rx.iter().sum::<f64>() / n;
-    let my = ry.iter().sum::<f64>() / n;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (&a, &b) in rx.iter().zip(ry.iter()) {
-        sxy += (a - mx) * (b - my);
-        sxx += (a - mx).powi(2);
-        syy += (b - my).powi(2);
-    }
-    if sxx <= 0.0 || syy <= 0.0 {
-        return f64::NAN;
-    }
-    sxy / (sxx * syy).sqrt()
 }
 
 #[cfg(test)]
@@ -156,6 +120,7 @@ mod tests {
                 injections: 20,
                 seed: 0,
                 level: 0.95,
+                workers: 0,
             },
         );
         assert_eq!(study.layers.len(), 3);
@@ -180,6 +145,7 @@ mod tests {
                 injections: 8,
                 seed: 10,
                 level: 0.95,
+                workers: 0,
             },
         );
         let b = run_layer_fi(
@@ -190,6 +156,7 @@ mod tests {
                 injections: 8,
                 seed: 77,
                 level: 0.95,
+                workers: 0,
             },
         );
         let rates =
@@ -210,6 +177,7 @@ mod tests {
                 injections: 48,
                 seed: 5,
                 level: 0.95,
+                workers: 0,
             },
         );
         // Same model + same seed would give identical error sequences only

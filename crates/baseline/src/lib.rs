@@ -22,8 +22,8 @@
 //! let data = Arc::new(bdlfi_data::gaussian_blobs(50, 2, 0.5, &mut rng));
 //! let model = bdlfi_nn::mlp(2, &[8], 2, &mut rng);
 //!
-//! let mut fi = RandomFi::new(model, data, &SiteSpec::AllParams);
-//! let result = fi.run(&RandomFiConfig { injections: 20, seed: 1, level: 0.95 });
+//! let fi = RandomFi::new(model, data, &SiteSpec::AllParams);
+//! let result = fi.run(&RandomFiConfig { injections: 20, seed: 1, level: 0.95, workers: 0 });
 //! assert_eq!(result.injections, 20);
 //! ```
 
@@ -35,6 +35,6 @@ mod layer_fi;
 mod random_fi;
 
 pub use estimator::{estimate_proportion, normal_quantile, ProportionEstimate};
-pub use exhaustive::{run_exhaustive, BitPositionStats, ExhaustiveResult};
+pub use exhaustive::{run_exhaustive, run_exhaustive_with, BitPositionStats, ExhaustiveResult};
 pub use layer_fi::{run_layer_fi, LayerFiResult, LayerFiStudy};
 pub use random_fi::{RandomFi, RandomFiConfig, RandomFiResult};

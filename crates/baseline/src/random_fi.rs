@@ -9,12 +9,13 @@
 //! methodological gap the paper targets.
 
 use crate::estimator::{estimate_proportion, ProportionEstimate};
+use bdlfi::engine::{EvalEngine, EvalSink, RunMeta};
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultModel, SingleBitFlip, SiteSpec};
 use bdlfi_nn::predict_all;
 use bdlfi_nn::Sequential;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -23,10 +24,13 @@ use std::sync::Arc;
 pub struct RandomFiConfig {
     /// Number of injection runs.
     pub injections: usize,
-    /// RNG seed.
+    /// RNG seed; injection `i` draws from `seed_stream(seed, i)`.
     pub seed: u64,
     /// Confidence level for the reported intervals.
     pub level: f64,
+    /// Worker threads for injection runs (0 = all available cores).
+    /// Results are bit-identical at every worker count.
+    pub workers: usize,
 }
 
 impl Default for RandomFiConfig {
@@ -35,6 +39,7 @@ impl Default for RandomFiConfig {
             injections: 100,
             seed: 42,
             level: 0.95,
+            workers: 0,
         }
     }
 }
@@ -53,6 +58,8 @@ pub struct RandomFiResult {
     pub golden_error: f64,
     /// Per-run classification errors, in injection order.
     pub errors: Vec<f64>,
+    /// Engine execution metadata (worker count, wall-clock, injections/sec).
+    pub run_meta: RunMeta,
 }
 
 /// A traditional random fault injector bound to a model and workload.
@@ -122,37 +129,56 @@ impl RandomFi {
         self.golden_error
     }
 
-    /// Runs the campaign.
-    pub fn run(&mut self, cfg: &RandomFiConfig) -> RandomFiResult {
+    /// Runs the campaign through the shared evaluation engine: each worker
+    /// injects into its own clone of the model, injection `i` samples its
+    /// fault from seed-stream `i`, and results aggregate in injection
+    /// order — so the report is identical at every worker count.
+    pub fn run(&self, cfg: &RandomFiConfig) -> RandomFiResult {
         assert!(cfg.injections > 0, "campaign needs at least one injection");
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut sdc_count = 0u64;
-        let mut errors = Vec::with_capacity(cfg.injections);
 
-        for _ in 0..cfg.injections {
-            let fault = self.sample_injection(&mut rng);
-            fault.apply(&mut self.model);
-            let logits = predict_all(&mut self.model, self.eval.inputs(), 64);
-            fault.apply(&mut self.model); // restore (XOR involution)
-
-            let preds = logits.argmax_rows();
-            let corrupted = preds
-                .iter()
-                .zip(self.golden_preds.iter())
-                .any(|(a, b)| a != b);
-            sdc_count += u64::from(corrupted);
-            errors.push(bdlfi_nn::metrics::classification_error(
-                &logits,
-                self.eval.labels(),
-            ));
+        struct Tally {
+            sdc_count: u64,
+            errors: Vec<f64>,
         }
+        impl EvalSink<(bool, f64)> for Tally {
+            fn accept(&mut self, _task_id: usize, (corrupted, error): (bool, f64)) {
+                self.sdc_count += u64::from(corrupted);
+                self.errors.push(error);
+            }
+        }
+
+        let mut tally = Tally {
+            sdc_count: 0,
+            errors: Vec::with_capacity(cfg.injections),
+        };
+        let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+        let run_meta = engine.run(
+            cfg.injections,
+            || self.model.clone(),
+            |model, ctx| {
+                let fault = self.sample_injection(&mut ctx.rng);
+                fault.apply(model);
+                let logits = predict_all(model, self.eval.inputs(), 64);
+                fault.apply(model); // restore (XOR involution)
+
+                let corrupted = logits
+                    .argmax_rows()
+                    .iter()
+                    .zip(self.golden_preds.iter())
+                    .any(|(a, b)| a != b);
+                let error = bdlfi_nn::metrics::classification_error(&logits, self.eval.labels());
+                (corrupted, error)
+            },
+            &mut tally,
+        );
 
         RandomFiResult {
             injections: cfg.injections,
-            sdc: estimate_proportion(sdc_count, cfg.injections as u64, cfg.level),
-            mean_error: errors.iter().sum::<f64>() / errors.len() as f64,
+            sdc: estimate_proportion(tally.sdc_count, cfg.injections as u64, cfg.level),
+            mean_error: tally.errors.iter().sum::<f64>() / tally.errors.len() as f64,
             golden_error: self.golden_error,
-            errors,
+            errors: tally.errors,
+            run_meta,
         }
     }
 
@@ -194,6 +220,7 @@ mod tests {
     use bdlfi_data::gaussian_blobs;
     use bdlfi_faults::BernoulliBitFlip;
     use bdlfi_nn::{mlp, optim::Sgd, TrainConfig, Trainer};
+    use rand::SeedableRng;
 
     fn trained() -> (Sequential, Arc<Dataset>) {
         let mut rng = StdRng::seed_from_u64(0);
@@ -215,17 +242,19 @@ mod tests {
     #[test]
     fn campaign_reports_consistent_counts() {
         let (model, eval) = trained();
-        let mut fi = RandomFi::new(model, eval, &SiteSpec::AllParams);
+        let fi = RandomFi::new(model, eval, &SiteSpec::AllParams);
         let res = fi.run(&RandomFiConfig {
             injections: 50,
             seed: 1,
             level: 0.95,
+            workers: 0,
         });
         assert_eq!(res.injections, 50);
         assert_eq!(res.errors.len(), 50);
         assert_eq!(res.sdc.trials, 50);
         assert!(res.sdc.rate >= 0.0 && res.sdc.rate <= 1.0);
         assert!((0.0..=1.0).contains(&res.mean_error));
+        assert_eq!(res.run_meta.tasks, 50);
     }
 
     #[test]
@@ -237,6 +266,7 @@ mod tests {
             injections: 30,
             seed: 2,
             level: 0.95,
+            workers: 0,
         });
         // Rerunning the golden evaluation must give the same error.
         let logits = predict_all(&mut fi.model, fi.eval.inputs(), 64);
@@ -247,20 +277,42 @@ mod tests {
     #[test]
     fn campaign_is_reproducible_under_seed() {
         let (model, eval) = trained();
-        let mut fi = RandomFi::new(model.clone(), Arc::clone(&eval), &SiteSpec::AllParams);
+        let fi = RandomFi::new(model.clone(), Arc::clone(&eval), &SiteSpec::AllParams);
         let a = fi.run(&RandomFiConfig {
             injections: 25,
             seed: 3,
             level: 0.95,
+            workers: 0,
         });
-        let mut fi2 = RandomFi::new(model, eval, &SiteSpec::AllParams);
+        let fi2 = RandomFi::new(model, eval, &SiteSpec::AllParams);
         let b = fi2.run(&RandomFiConfig {
             injections: 25,
             seed: 3,
             level: 0.95,
+            workers: 0,
         });
         assert_eq!(a.errors, b.errors);
         assert_eq!(a.sdc.successes, b.sdc.successes);
+    }
+
+    #[test]
+    fn campaign_is_worker_count_invariant() {
+        let (model, eval) = trained();
+        let fi = RandomFi::new(model, eval, &SiteSpec::AllParams);
+        let run_with = |workers: usize| {
+            fi.run(&RandomFiConfig {
+                injections: 25,
+                seed: 6,
+                level: 0.95,
+                workers,
+            })
+        };
+        let serial = run_with(1);
+        let parallel = run_with(3);
+        assert_eq!(serial.errors, parallel.errors);
+        assert_eq!(serial.sdc.successes, parallel.sdc.successes);
+        assert_eq!(serial.mean_error, parallel.mean_error);
+        assert_eq!(parallel.run_meta.workers, 3);
     }
 
     #[test]
@@ -268,7 +320,7 @@ mod tests {
         // With the Bernoulli model at tiny p the mean error stays near the
         // golden run; single-bit flips produce some SDCs.
         let (model, eval) = trained();
-        let mut bern = RandomFi::with_fault_model(
+        let bern = RandomFi::with_fault_model(
             model.clone(),
             Arc::clone(&eval),
             &SiteSpec::AllParams,
@@ -278,6 +330,7 @@ mod tests {
             injections: 40,
             seed: 4,
             level: 0.95,
+            workers: 0,
         });
         assert!((res.mean_error - res.golden_error).abs() < 0.05);
     }

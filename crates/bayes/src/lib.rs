@@ -19,7 +19,10 @@
 //! * [`estimate`] — Beta–Bernoulli conjugate posteriors (credible
 //!   intervals on error probabilities) and self-normalised importance
 //!   sampling (re-weighting of rare-event accelerated campaigns);
-//! * [`parallel`] — scoped-thread chain parallelism;
+//! * [`seed`] — SplitMix64 per-task seed streams, the deterministic seed
+//!   discipline every parallel campaign derives its RNGs from (executed by
+//!   `bdlfi::engine::EvalEngine`, which replaced this crate's former
+//!   `parallel_map` helper);
 //! * [`special`] — log-gamma and the regularised incomplete beta.
 //!
 //! # Examples
@@ -56,7 +59,7 @@ pub mod dist;
 pub mod estimate;
 pub mod graph;
 pub mod mcmc;
-pub mod parallel;
+pub mod seed;
 pub mod special;
 
 pub use diagnostics::{autocorrelations, ess, geweke_z, mcse, mcse_batch_means, split_rhat};
@@ -65,4 +68,4 @@ pub use mcmc::{
     mh_step, run_chain, ChainConfig, ChainResult, IndependenceProposal, MixtureProposal, Proposal,
     Trace, TraceSummary,
 };
-pub use parallel::parallel_map;
+pub use seed::seed_stream;

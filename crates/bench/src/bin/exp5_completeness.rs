@@ -94,7 +94,7 @@ fn main() {
     println!("| injections | SDC rate | 95% CI width |");
     println!("|---|---|---|");
     for budget in [25usize, 50, 100, 200, 400] {
-        let mut fi = RandomFi::with_fault_model(
+        let fi = RandomFi::with_fault_model(
             model.clone(),
             Arc::clone(&test),
             &SiteSpec::AllParams,
@@ -104,6 +104,7 @@ fn main() {
             injections: budget,
             seed: 6,
             level: 0.95,
+            workers: 0,
         });
         println!(
             "| {} | {:.3} | {:.3} |",

@@ -45,6 +45,7 @@ fn main() {
             kernel: KernelChoice::Prior,
             seed: 9,
             criteria: CompletenessCriteria::default(),
+            workers: 0,
         };
         let start = Instant::now();
         let rep = run_campaign_adaptive(&fm, &cfg, 2000);

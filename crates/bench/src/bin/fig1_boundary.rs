@@ -33,6 +33,7 @@ fn main() {
             resolution: scale.boundary_res,
             fault_samples: scale.boundary_samples,
             seed: 1,
+            workers: 0,
         },
     );
 

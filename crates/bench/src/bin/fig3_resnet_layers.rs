@@ -88,6 +88,7 @@ fn main() {
                 injections: budget.max(5),
                 seed: 17,
                 level: 0.95,
+                workers: 0,
             },
         );
         let rates: Vec<String> = study

@@ -1,19 +1,26 @@
-//! Performance smoke test for the incremental-inference engine: measures
-//! campaign throughput (fault configurations evaluated per second) for a
-//! layerwise campaign on a deep MLP, cold vs. incremental, and writes the
-//! numbers to `BENCH_campaign.json`.
+//! Performance smoke test for the fault-evaluation pipeline. Two
+//! scenarios, both written to `BENCH_campaign.json`:
 //!
-//! The scenario mirrors the paper's per-layer experiment (E3/Fig. 3): all
-//! faults confined to the final dense layer of an 8-hidden-layer MLP. The
-//! *cold* path applies each configuration and re-runs the whole network;
-//! the *incremental* path (what `FaultyModel::eval_logits` now does)
-//! resumes from the cached golden activation just before the dirty layer.
-//! Both produce bit-identical logits — verified per configuration here —
-//! so the speedup is pure redundancy elimination.
+//! 1. **Incremental inference** — campaign throughput (fault
+//!    configurations evaluated per second) for a layerwise campaign on a
+//!    deep MLP, cold vs. incremental. The scenario mirrors the paper's
+//!    per-layer experiment (E3/Fig. 3): all faults confined to the final
+//!    dense layer of an 8-hidden-layer MLP. The *cold* path applies each
+//!    configuration and re-runs the whole network; the *incremental* path
+//!    (what `FaultyModel::eval_logits` does) resumes from the cached
+//!    golden activation just before the dirty layer. Both produce
+//!    bit-identical logits — verified per configuration here — so the
+//!    speedup is pure redundancy elimination.
+//! 2. **Baseline-FI parallelism** — the traditional random-FI campaign
+//!    run serially (`workers: 1`) and through the `EvalEngine` worker
+//!    pool (`workers: 0` = all cores). The per-injection RNG streams are
+//!    derived from `seed_stream(seed, injection)`, so the two runs must
+//!    agree bit-for-bit; the speedup is pure parallelism.
 //!
 //! Run with `cargo run --release -p bdlfi-bench --bin perf_smoke`.
 
 use bdlfi::FaultyModel;
+use bdlfi_baseline::{RandomFi, RandomFiConfig};
 use bdlfi_data::gaussian_blobs;
 use bdlfi_faults::{BernoulliBitFlip, FaultConfig, SiteSpec};
 use bdlfi_nn::{mlp, predict_all};
@@ -24,7 +31,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 #[derive(Serialize)]
-struct BenchReport {
+struct IncrementalReport {
     scenario: String,
     network: String,
     eval_examples: usize,
@@ -35,7 +42,26 @@ struct BenchReport {
     bitwise_identical: bool,
 }
 
-fn main() {
+#[derive(Serialize)]
+struct BaselineFiReport {
+    scenario: String,
+    network: String,
+    eval_examples: usize,
+    injections: usize,
+    workers: usize,
+    serial_injections_per_sec: f64,
+    parallel_injections_per_sec: f64,
+    speedup: f64,
+    identical_results: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    incremental: IncrementalReport,
+    baseline_fi: BaselineFiReport,
+}
+
+fn incremental_bench() -> IncrementalReport {
     let mut rng = StdRng::seed_from_u64(0);
     let hidden = [64usize; 8];
     let data = Arc::new(gaussian_blobs(256, 3, 1.0, &mut rng));
@@ -80,7 +106,7 @@ fn main() {
             .eq(b.data().iter().map(|v| v.to_bits()))
     });
 
-    let report = BenchReport {
+    IncrementalReport {
         scenario: format!("layerwise campaign, faults in {last_layer} only"),
         network: format!("mlp 2 -> {hidden:?} -> 3"),
         eval_examples: data.len(),
@@ -89,23 +115,93 @@ fn main() {
         incremental_samples_per_sec: configs.len() as f64 / inc_secs,
         speedup: cold_secs / inc_secs,
         bitwise_identical,
+    }
+}
+
+fn baseline_fi_bench() -> BaselineFiReport {
+    let mut rng = StdRng::seed_from_u64(1);
+    let hidden = [48usize; 4];
+    let data = Arc::new(gaussian_blobs(256, 3, 1.0, &mut rng));
+    let model = mlp(2, &hidden, 3, &mut rng);
+
+    let fi = RandomFi::new(model, Arc::clone(&data), &SiteSpec::AllParams);
+    let injections = 200;
+    let cfg = |workers: usize| RandomFiConfig {
+        injections,
+        seed: 7,
+        level: 0.95,
+        workers,
+    };
+
+    // Warm caches, then time serial vs engine-parallel.
+    let _ = fi.run(&RandomFiConfig {
+        injections: 8,
+        ..cfg(1)
+    });
+    let serial = fi.run(&cfg(1));
+    let parallel = fi.run(&cfg(0));
+
+    // seed_stream-derived per-injection RNGs make worker count irrelevant
+    // to the statistics: the runs must agree exactly.
+    let identical_results = serial.errors == parallel.errors
+        && serial.sdc.successes == parallel.sdc.successes
+        && serial.mean_error == parallel.mean_error;
+
+    BaselineFiReport {
+        scenario: "traditional random FI, all parameters, serial vs engine".into(),
+        network: format!("mlp 2 -> {hidden:?} -> 3"),
+        eval_examples: data.len(),
+        injections,
+        workers: parallel.run_meta.workers,
+        serial_injections_per_sec: serial.run_meta.tasks_per_sec,
+        parallel_injections_per_sec: parallel.run_meta.tasks_per_sec,
+        speedup: serial.run_meta.elapsed_secs / parallel.run_meta.elapsed_secs,
+        identical_results,
+    }
+}
+
+fn main() {
+    let report = BenchReport {
+        incremental: incremental_bench(),
+        baseline_fi: baseline_fi_bench(),
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write("BENCH_campaign.json", &json).expect("cannot write BENCH_campaign.json");
     println!("{json}");
 
+    let inc = &report.incremental;
     assert!(
-        bitwise_identical,
+        inc.bitwise_identical,
         "incremental logits diverged from cold logits"
     );
     assert!(
-        report.speedup >= 3.0,
+        inc.speedup >= 3.0,
         "expected >= 3x layerwise speedup, measured {:.2}x",
-        report.speedup
+        inc.speedup
     );
     println!(
         "incremental path is {:.1}x faster ({:.0} vs {:.0} configs/sec), logits bit-identical",
-        report.speedup, report.incremental_samples_per_sec, report.cold_samples_per_sec
+        inc.speedup, inc.incremental_samples_per_sec, inc.cold_samples_per_sec
+    );
+
+    let fi = &report.baseline_fi;
+    assert!(
+        fi.identical_results,
+        "parallel baseline FI diverged from serial"
+    );
+    // The parallel-speedup floor only makes sense with real cores behind
+    // the pool; on small runners just require parity with serial.
+    if fi.workers >= 8 {
+        assert!(
+            fi.speedup >= 4.0,
+            "expected >= 4x baseline-FI speedup on {} workers, measured {:.2}x",
+            fi.workers,
+            fi.speedup
+        );
+    }
+    println!(
+        "baseline FI on {} workers is {:.1}x faster ({:.0} vs {:.0} injections/sec), results identical",
+        fi.workers, fi.speedup, fi.parallel_injections_per_sec, fi.serial_injections_per_sec
     );
 }

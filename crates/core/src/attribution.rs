@@ -9,9 +9,9 @@
 //! most reliability — the engineering decision the paper's methodology
 //! exists to inform.
 
-use crate::campaign::{CampaignConfig, KernelChoice};
+use crate::engine::EvalEngine;
 use crate::faulty_model::FaultyModel;
-use bdlfi_bayes::mh_step;
+use bdlfi_bayes::{mh_step, seed_stream};
 use bdlfi_faults::{BitRange, FaultConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -84,17 +84,17 @@ pub fn attribute_faults(
     assert!(samples > 0, "attribution needs at least one sample");
     let restarts = 8.min(samples);
     let per_chain = samples.div_ceil(restarts);
-    let mut merged: Option<AttributionReport> = None;
-    let mut weights: Vec<usize> = Vec::new();
-    for r in 0..restarts {
-        let rep = attribute_single_chain(fm, per_chain, beta, seed.wrapping_add(r as u64 * 6151));
-        weights.push(rep.samples);
-        merged = Some(match merged {
-            None => rep,
-            Some(acc) => merge_reports(acc, rep),
-        });
-    }
-    merged.expect("at least one restart")
+    // Restarts are independent chains — fan them out through the engine
+    // (restart `r` draws from seed-stream lanes 2r and 2r+1) and merge the
+    // reports in restart order, so the result is worker-count invariant.
+    let engine = EvalEngine::new(seed);
+    let (reports, _meta) = engine.map((0..restarts).collect(), |_ctx, r| {
+        attribute_single_chain(fm, per_chain, beta, seed, r)
+    });
+    reports
+        .into_iter()
+        .reduce(merge_reports)
+        .expect("at least one restart")
 }
 
 /// Pools two attribution reports, weighting by their sample counts.
@@ -143,6 +143,7 @@ fn attribute_single_chain(
     samples: usize,
     beta: Option<f64>,
     seed: u64,
+    restart: usize,
 ) -> AttributionReport {
     assert!(samples > 0, "attribution needs at least one sample");
     let sites = fm.sites().params.clone();
@@ -157,18 +158,13 @@ fn attribute_single_chain(
         .clamp(1e-12, 0.5);
     let beta = beta.unwrap_or(((1.0 - p_est) / p_est).ln() + 2.0);
 
-    // Indicator-tempered chain (exploration mode of E6).
-    let cfg = CampaignConfig {
-        chains: 1,
-        kernel: KernelChoice::Tempered { beta },
-        seed,
-        ..CampaignConfig::default()
-    };
     let golden = fm.golden_error();
 
+    // Indicator-tempered chain (exploration mode of E6). Two seed-stream
+    // lanes per restart: proposals and transient activation faults.
     let mut model = fm.clone();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut act_rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
+    let mut rng = StdRng::seed_from_u64(seed_stream(seed, 2 * restart as u64));
+    let mut act_rng = StdRng::seed_from_u64(seed_stream(seed, 2 * restart as u64 + 1));
     let sites_arc = Arc::new(sites.clone());
     let proposal =
         crate::proposals::BitToggleProposal::new(Arc::clone(&sites_arc), BitRange::all());

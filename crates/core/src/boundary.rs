@@ -3,6 +3,7 @@
 //! against the original classification boundary. The paper's finding:
 //! *the effect of faults is most significant at the decision boundary.*
 
+use crate::engine::{EvalEngine, EvalSink, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::stats::spearman;
 use bdlfi_bayes::BetaBernoulli;
@@ -26,8 +27,11 @@ pub struct BoundaryConfig {
     pub resolution: usize,
     /// Number of fault configurations sampled from the prior.
     pub fault_samples: usize,
-    /// RNG seed.
+    /// RNG seed; fault sample `i` draws from `seed_stream(seed, i)`.
     pub seed: u64,
+    /// Worker threads for fault evaluation (0 = all available cores).
+    /// Maps are bit-identical at every worker count.
+    pub workers: usize,
 }
 
 impl Default for BoundaryConfig {
@@ -38,6 +42,7 @@ impl Default for BoundaryConfig {
             resolution: 40,
             fault_samples: 200,
             seed: 42,
+            workers: 0,
         }
     }
 }
@@ -65,6 +70,8 @@ pub struct BoundaryMap {
     /// paper's boundary finding corresponds to a strongly *negative*
     /// value: low margin (near the boundary) ⇒ high error probability.
     pub margin_correlation: f64,
+    /// Engine execution metadata for the fault-sample fan-out.
+    pub run_meta: RunMeta,
 }
 
 impl BoundaryMap {
@@ -201,15 +208,37 @@ pub fn boundary_map(
             .collect::<Vec<f64>>()
     };
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut mismatch_counts = vec![0u64; n];
-    for _ in 0..cfg.fault_samples {
-        let fault_cfg = fm.sample_config(&mut rng);
-        let mismatch = fm.eval_mismatch(&fault_cfg, &mut rng);
-        for (count, hit) in mismatch_counts.iter_mut().zip(mismatch.iter()) {
-            *count += u64::from(*hit);
+    // Per-point mismatch counter fed incrementally by the engine — no
+    // per-sample result buffering.
+    struct MismatchSink {
+        counts: Vec<u64>,
+    }
+    impl EvalSink<Vec<bool>> for MismatchSink {
+        fn accept(&mut self, _task_id: usize, mismatch: Vec<bool>) {
+            for (count, hit) in self.counts.iter_mut().zip(mismatch) {
+                *count += u64::from(hit);
+            }
         }
     }
+
+    // Fan the fault samples out through the engine: each worker owns a
+    // clone of the faulty model (sharing the golden prefix cache), and
+    // sample `i` draws its configuration and transient faults from the
+    // seed stream of task `i` — so the map is worker-count invariant.
+    let mut sink = MismatchSink {
+        counts: vec![0u64; n],
+    };
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let run_meta = engine.run(
+        cfg.fault_samples,
+        || fm.clone(),
+        |fm, ctx| {
+            let fault_cfg = fm.sample_config(&mut ctx.rng);
+            fm.eval_mismatch(&fault_cfg, &mut ctx.rng)
+        },
+        &mut sink,
+    );
+    let mismatch_counts = sink.counts;
 
     let error_prob: Vec<f64> = mismatch_counts
         .iter()
@@ -229,6 +258,7 @@ pub fn boundary_map(
         golden_pred,
         margin,
         margin_correlation,
+        run_meta,
     }
 }
 
@@ -315,6 +345,30 @@ mod tests {
         let art = map.render_ascii();
         assert_eq!(art.lines().count(), 16);
         assert!(art.lines().all(|l| l.len() == 16));
+    }
+
+    #[test]
+    fn boundary_map_is_worker_count_invariant() {
+        let model = trained_mlp();
+        let map_with = |workers: usize| {
+            boundary_map(
+                &model,
+                &SiteSpec::AllParams,
+                Arc::new(BernoulliBitFlip::new(2e-3)),
+                &BoundaryConfig {
+                    resolution: 8,
+                    fault_samples: 30,
+                    seed: 5,
+                    workers,
+                    ..BoundaryConfig::default()
+                },
+            )
+        };
+        let serial = map_with(1);
+        let parallel = map_with(3);
+        assert_eq!(serial.error_prob, parallel.error_prob);
+        assert_eq!(serial.margin_correlation, parallel.margin_correlation);
+        assert_eq!(parallel.run_meta.tasks, 30);
     }
 
     #[test]

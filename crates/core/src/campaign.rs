@@ -12,19 +12,19 @@
 //! further injections change nothing".
 
 use crate::completeness::{assess, CompletenessCriteria, CompletenessReport};
+use crate::engine::{EvalEngine, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::proposals::{BitToggleProposal, GibbsBitProposal, PriorProposal};
 use crate::report::CampaignReport;
 use bdlfi_bayes::{
-    parallel_map, run_chain, self_normalized_estimate, ChainConfig, MixtureProposal, Proposal,
-    Trace,
+    run_chain, seed_stream, self_normalized_estimate, ChainConfig, MixtureProposal, Proposal, Trace,
 };
 use bdlfi_faults::{BitRange, FaultConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The MCMC kernel a campaign uses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -82,10 +82,15 @@ pub struct CampaignConfig {
     pub chain: ChainConfig,
     /// Kernel choice.
     pub kernel: KernelChoice,
-    /// Base RNG seed; chain `i` uses `seed + i`.
+    /// Base RNG seed; chain `i` derives its proposal stream from
+    /// `seed_stream(seed, 2 i)` and its transient-activation stream from
+    /// `seed_stream(seed, 2 i + 1)`.
     pub seed: u64,
     /// Completeness thresholds.
     pub criteria: CompletenessCriteria,
+    /// Worker threads for chain execution (0 = all available cores).
+    /// Reports are bit-identical at every worker count.
+    pub workers: usize,
 }
 
 impl Default for CampaignConfig {
@@ -100,6 +105,7 @@ impl Default for CampaignConfig {
             kernel: KernelChoice::Prior,
             seed: 42,
             criteria: CompletenessCriteria::default(),
+            workers: 0,
         }
     }
 }
@@ -123,12 +129,12 @@ struct ChainWorker {
 
 impl ChainWorker {
     fn new(fm: &FaultyModel, cfg: &CampaignConfig, idx: usize) -> Self {
+        // Two seed-stream lanes per chain: proposals and transient
+        // activation faults draw from disjoint SplitMix64 streams.
         ChainWorker {
             fm: fm.clone(),
-            rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(idx as u64)),
-            act_rng: StdRng::seed_from_u64(
-                cfg.seed.wrapping_add(0x9E37_79B9).wrapping_add(idx as u64),
-            ),
+            rng: StdRng::seed_from_u64(seed_stream(cfg.seed, 2 * idx as u64)),
+            act_rng: StdRng::seed_from_u64(seed_stream(cfg.seed, 2 * idx as u64 + 1)),
             state: FaultConfig::clean(),
             trace: Trace::new(),
             flips: Vec::new(),
@@ -312,21 +318,15 @@ impl ChainWorker {
 fn assemble(
     fm: &FaultyModel,
     cfg: &CampaignConfig,
-    workers: &[Mutex<ChainWorker>],
+    workers: &[ChainWorker],
+    run_meta: RunMeta,
 ) -> CampaignReport {
-    let traces: Vec<Trace> = workers
-        .iter()
-        .map(|w| w.lock().expect("chain worker poisoned").trace.clone())
-        .collect();
-    let acceptance_rates: Vec<f64> = workers
-        .iter()
-        .map(|w| w.lock().expect("chain worker poisoned").acceptance_rate())
-        .collect();
+    let traces: Vec<Trace> = workers.iter().map(|w| w.trace.clone()).collect();
+    let acceptance_rates: Vec<f64> = workers.iter().map(ChainWorker::acceptance_rate).collect();
     let mean_flips = {
         let mut total = 0.0;
         let mut count = 0usize;
         for w in workers {
-            let w = w.lock().expect("chain worker poisoned");
             total += w.flips.iter().sum::<f64>();
             count += w.flips.len();
         }
@@ -347,7 +347,7 @@ fn assemble(
     // by the workers and are identically zero for prior-targeting kernels.
     let pooled_log_w: Vec<f64> = workers
         .iter()
-        .flat_map(|w| w.lock().expect("chain worker poisoned").log_weights.clone())
+        .flat_map(|w| w.log_weights.iter().copied())
         .collect();
     let weighted = pooled_log_w.iter().any(|&w| w != 0.0);
     let (mean_error, importance_ess) = if weighted {
@@ -367,12 +367,29 @@ fn assemble(
         importance_ess,
         mean_flips,
         config: *cfg,
+        run_meta,
     }
 }
 
+/// Moves the chain workers through one engine segment of `samples`
+/// recorded samples each. Chains carry their own persistent RNG streams
+/// (derived in [`ChainWorker::new`]), so the engine's per-task context is
+/// only used for scheduling and throughput accounting.
+fn advance_all(
+    workers: Vec<ChainWorker>,
+    cfg: &CampaignConfig,
+    samples: usize,
+) -> (Vec<ChainWorker>, RunMeta) {
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    engine.map(workers, |_ctx, mut w| {
+        w.advance(cfg, samples);
+        w
+    })
+}
+
 /// Runs a fixed-budget BDLFI campaign: `cfg.chains` MCMC chains over fault
-/// configurations, one OS thread per chain, each owning a clone of the
-/// golden network.
+/// configurations, fanned out through the shared [`EvalEngine`], each
+/// chain owning a clone of the golden network (sharing its prefix cache).
 ///
 /// # Panics
 ///
@@ -380,16 +397,11 @@ fn assemble(
 pub fn run_campaign(fm: &FaultyModel, cfg: &CampaignConfig) -> CampaignReport {
     assert!(cfg.chains > 0, "campaign needs at least one chain");
     assert!(cfg.chain.samples > 0, "campaign must record samples");
-    let workers: Vec<Mutex<ChainWorker>> = (0..cfg.chains)
-        .map(|i| Mutex::new(ChainWorker::new(fm, cfg, i)))
+    let workers: Vec<ChainWorker> = (0..cfg.chains)
+        .map(|i| ChainWorker::new(fm, cfg, i))
         .collect();
-    parallel_map(cfg.chains, |i| {
-        workers[i]
-            .lock()
-            .expect("chain worker poisoned")
-            .advance(cfg, cfg.chain.samples);
-    });
-    assemble(fm, cfg, &workers)
+    let (workers, meta) = advance_all(workers, cfg, cfg.chain.samples);
+    assemble(fm, cfg, &workers, meta)
 }
 
 /// Runs an adaptive campaign: chains are extended in segments of
@@ -416,28 +428,27 @@ pub fn run_campaign_adaptive(
         max_samples_per_chain >= cfg.chain.samples,
         "max_samples_per_chain must be at least one segment"
     );
-    let workers: Vec<Mutex<ChainWorker>> = (0..cfg.chains)
-        .map(|i| Mutex::new(ChainWorker::new(fm, cfg, i)))
+    let mut workers: Vec<ChainWorker> = (0..cfg.chains)
+        .map(|i| ChainWorker::new(fm, cfg, i))
         .collect();
 
     let mut recorded = 0usize;
+    let mut run_meta: Option<RunMeta> = None;
     loop {
         let segment = cfg.chain.samples.min(max_samples_per_chain - recorded);
-        parallel_map(cfg.chains, |i| {
-            workers[i]
-                .lock()
-                .expect("chain worker poisoned")
-                .advance(cfg, segment);
+        let (advanced, meta) = advance_all(workers, cfg, segment);
+        workers = advanced;
+        run_meta = Some(match run_meta {
+            Some(prev) => prev.merged_with(meta),
+            None => meta,
         });
         recorded += segment;
 
-        let traces: Vec<Trace> = workers
-            .iter()
-            .map(|w| w.lock().expect("chain worker poisoned").trace.clone())
-            .collect();
+        let traces: Vec<Trace> = workers.iter().map(|w| w.trace.clone()).collect();
         let verdict = assess(&traces, &cfg.criteria);
         if verdict.certified || recorded >= max_samples_per_chain {
-            return assemble(fm, cfg, &workers);
+            let meta = run_meta.unwrap_or_default();
+            return assemble(fm, cfg, &workers, meta);
         }
     }
 }
@@ -488,6 +499,7 @@ mod tests {
                 min_ess: 20.0,
                 max_mcse: 0.1,
             },
+            workers: 0,
         }
     }
 
@@ -624,6 +636,22 @@ mod tests {
         let b = run_campaign(&fm, &quick_cfg(KernelChoice::Prior));
         assert_eq!(a.traces[0].samples(), b.traces[0].samples());
         assert_eq!(a.mean_error, b.mean_error);
+    }
+
+    #[test]
+    fn campaign_is_worker_count_invariant() {
+        let fm = trained_faulty_model(1e-3);
+        let mut cfg = quick_cfg(KernelChoice::Prior);
+        cfg.workers = 1;
+        let serial = run_campaign(&fm, &cfg);
+        cfg.workers = 2;
+        let parallel = run_campaign(&fm, &cfg);
+        for (a, b) in serial.traces.iter().zip(&parallel.traces) {
+            assert_eq!(a.samples(), b.samples());
+        }
+        assert_eq!(serial.mean_error, parallel.mean_error);
+        assert_eq!(parallel.run_meta.tasks, cfg.chains);
+        assert_eq!(parallel.run_meta.workers, 2);
     }
 
     #[test]

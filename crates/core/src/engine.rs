@@ -1,0 +1,520 @@
+//! The unified fault-evaluation engine: one worker pool, one seed
+//! discipline, one streaming-result contract for every campaign driver.
+//!
+//! The paper's pipeline is "evaluate many fault configurations, then
+//! reason statistically about the results", and point (3) of its case for
+//! BDLFI is that those evaluations need only *inference*, so they
+//! parallelise trivially. Before this module existed, every driver —
+//! MCMC campaigns, sweeps, layerwise studies, boundary maps, the
+//! traditional-FI baselines — hand-rolled its own model cloning, RNG
+//! seeding, threading and result collection. [`EvalEngine`] consolidates
+//! all of that:
+//!
+//! * a **bounded worker pool** (at most
+//!   [`std::thread::available_parallelism`] scoped threads) with a chunked
+//!   atomic task queue, so expensive tasks do not serialise the batch;
+//! * **per-worker state** built once per worker by an `init` closure —
+//!   drivers hand each worker a cloned [`crate::FaultyModel`] (the clone
+//!   shares the golden prefix-activation cache, evaluation data and fault
+//!   model behind `Arc`s, so a worker costs one network's weights);
+//! * a **deterministic seed discipline**: task `i` receives an RNG seeded
+//!   with [`seed_stream`]`(engine_seed, i)`, so results are a pure
+//!   function of `(seed, task_id)` and therefore bit-identical at any
+//!   worker count — the determinism contract the equivalence tests pin;
+//! * an **ordered streaming sink** ([`EvalSink`]): results are delivered
+//!   to the sink in task order as they complete (a small reorder buffer
+//!   holds out-of-order finishers), enabling incremental aggregation and
+//!   progress counting without `Mutex<Vec<_>>` plumbing in drivers;
+//! * [`RunMeta`] throughput accounting (tasks, workers, elapsed seconds,
+//!   tasks/sec) embedded in every driver report for cross-run comparison.
+
+use bdlfi_bayes::seed_stream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Execution metadata of one engine run, embedded in every driver report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunMeta {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Worker threads the pool ran with.
+    pub workers: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Throughput: tasks (fault configurations, chains, …) per second.
+    pub tasks_per_sec: f64,
+    /// The engine seed the per-task RNG streams were derived from.
+    pub seed: u64,
+}
+
+// The vendored serde derive cannot mark struct fields optional, so RunMeta
+// implements the traits by hand: reports serialized before they carried a
+// `run_meta` field deserialize with `RunMeta::default()` in its place.
+impl Serialize for RunMeta {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("tasks".to_string(), self.tasks.to_json_value()),
+            ("workers".to_string(), self.workers.to_json_value()),
+            (
+                "elapsed_secs".to_string(),
+                self.elapsed_secs.to_json_value(),
+            ),
+            (
+                "tasks_per_sec".to_string(),
+                self.tasks_per_sec.to_json_value(),
+            ),
+            ("seed".to_string(), self.seed.to_json_value()),
+        ])
+    }
+}
+
+impl Deserialize for RunMeta {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("object", "RunMeta"))?;
+        Ok(RunMeta {
+            tasks: serde::from_field(entries, "tasks", "RunMeta")?,
+            workers: serde::from_field(entries, "workers", "RunMeta")?,
+            elapsed_secs: serde::from_field(entries, "elapsed_secs", "RunMeta")?,
+            tasks_per_sec: serde::from_field(entries, "tasks_per_sec", "RunMeta")?,
+            seed: serde::from_field(entries, "seed", "RunMeta")?,
+        })
+    }
+
+    fn missing_field_default() -> Option<Self> {
+        Some(RunMeta::default())
+    }
+}
+
+impl RunMeta {
+    /// Pools this run's accounting with a later run over the same pool —
+    /// used by segmented drivers (adaptive campaigns) that issue several
+    /// engine runs per report.
+    #[must_use]
+    pub fn merged_with(self, later: RunMeta) -> RunMeta {
+        let tasks = self.tasks + later.tasks;
+        let elapsed_secs = self.elapsed_secs + later.elapsed_secs;
+        RunMeta {
+            tasks,
+            workers: self.workers.max(later.workers),
+            elapsed_secs,
+            tasks_per_sec: if elapsed_secs > 0.0 {
+                tasks as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            seed: self.seed,
+        }
+    }
+}
+
+/// Receives task results *in task order* as they complete.
+///
+/// The engine guarantees `accept(0, _)`, `accept(1, _)`, … exactly once
+/// each, in order, regardless of which workers finish first — so sinks can
+/// aggregate incrementally (running means, per-bit counters, progress
+/// bars) without buffering or locking of their own.
+pub trait EvalSink<T> {
+    /// Consumes the result of task `task_id`.
+    fn accept(&mut self, task_id: usize, value: T);
+}
+
+/// The simplest sink: collects every result into a `Vec` in task order.
+#[derive(Debug)]
+pub struct CollectSink<T> {
+    items: Vec<T>,
+}
+
+impl<T> CollectSink<T> {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CollectSink { items: Vec::new() }
+    }
+
+    /// The collected results, in task order.
+    #[must_use]
+    pub fn into_inner(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T> Default for CollectSink<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EvalSink<T> for CollectSink<T> {
+    fn accept(&mut self, task_id: usize, value: T) {
+        debug_assert_eq!(task_id, self.items.len(), "sink delivery out of order");
+        self.items.push(value);
+    }
+}
+
+/// Per-task context handed to the task closure: the task's index and its
+/// private, deterministically derived RNG stream.
+pub struct TaskCtx {
+    /// Index of this task in `0..tasks`.
+    pub task_id: usize,
+    /// RNG seeded with `seed_stream(engine_seed, task_id)` — never shared
+    /// between tasks, so results cannot depend on execution interleaving.
+    pub rng: StdRng,
+}
+
+/// The shared evaluation executor. See the module docs for the contract.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalEngine {
+    seed: u64,
+    workers: usize,
+}
+
+/// Reorder buffer + sink behind one lock: workers insert completions and
+/// drain the contiguous prefix to the sink.
+struct Delivery<'s, T, S: ?Sized> {
+    next: usize,
+    pending: BTreeMap<usize, T>,
+    sink: &'s mut S,
+}
+
+impl EvalEngine {
+    /// An engine whose per-task RNG streams derive from `seed`, using all
+    /// available cores.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        EvalEngine { seed, workers: 0 }
+    }
+
+    /// An engine with an explicit worker-thread count (`0` = all available
+    /// cores). Results are identical for every worker count; this knob
+    /// exists for the determinism tests and for serial baselines.
+    #[must_use]
+    pub fn with_workers(seed: u64, workers: usize) -> Self {
+        EvalEngine { seed, workers }
+    }
+
+    /// The seed the per-task streams derive from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker count a run over `tasks` tasks would use.
+    #[must_use]
+    pub fn workers_for(&self, tasks: usize) -> usize {
+        let cap = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        cap.min(tasks).max(1)
+    }
+
+    /// Runs `tasks` tasks on the pool and streams results into `sink` in
+    /// task order.
+    ///
+    /// `init` builds each worker's private state once (typically a cloned
+    /// `FaultyModel` or network); `task` is then called for every task the
+    /// worker claims, with that state and the task's [`TaskCtx`]. For the
+    /// worker-count-invariance guarantee to hold, `task` must leave the
+    /// worker state as it found it (fault evaluations restore weights via
+    /// the XOR involution, so this is the natural driver behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `init`, `task` or the sink.
+    pub fn run<W, T, I, F, S>(&self, tasks: usize, init: I, task: F, sink: &mut S) -> RunMeta
+    where
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &mut TaskCtx) -> T + Sync,
+        S: EvalSink<T> + Send + ?Sized,
+    {
+        let started = Instant::now();
+        let workers = self.workers_for(tasks);
+        if tasks == 0 {
+            return self.meta(0, workers, started);
+        }
+
+        if workers == 1 {
+            // Serial fast path — bit-identical to the pooled path because
+            // every task owns its seed stream.
+            let mut state = init();
+            for i in 0..tasks {
+                let mut ctx = self.ctx(i);
+                let value = task(&mut state, &mut ctx);
+                sink.accept(i, value);
+            }
+            return self.meta(tasks, 1, started);
+        }
+
+        // Chunked atomic queue: big enough chunks to amortise contention,
+        // small enough that long tasks do not serialise the batch.
+        let chunk = (tasks / (workers * 4)).max(1);
+        let next = AtomicUsize::new(0);
+        let delivery = Mutex::new(Delivery {
+            next: 0,
+            pending: BTreeMap::new(),
+            sink,
+        });
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                let delivery = &delivery;
+                let init = &init;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut state = init();
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= tasks {
+                            return;
+                        }
+                        for i in start..(start + chunk).min(tasks) {
+                            let mut ctx = self.ctx(i);
+                            let value = task(&mut state, &mut ctx);
+                            let mut d = delivery.lock().expect("engine sink poisoned");
+                            d.pending.insert(i, value);
+                            loop {
+                                let id = d.next;
+                                let Some(v) = d.pending.remove(&id) else {
+                                    break;
+                                };
+                                d.sink.accept(id, v);
+                                d.next += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        let d = delivery.into_inner().expect("engine sink poisoned");
+        assert_eq!(
+            d.next, tasks,
+            "engine delivered {} of {tasks} tasks",
+            d.next
+        );
+        self.meta(tasks, workers, started)
+    }
+
+    /// Maps owned `items` through `f` on the pool, returning outputs in
+    /// input order. Item `i` runs as task `i` (same seed discipline as
+    /// [`EvalEngine::run`]); this is the fan-out primitive for drivers
+    /// whose tasks carry distinct payloads (per-layer campaigns, sweep
+    /// points, MCMC chain workers moved through a segment).
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> (Vec<T>, RunMeta)
+    where
+        I: Send,
+        T: Send,
+        F: Fn(&mut TaskCtx, I) -> T + Sync,
+    {
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let mut sink = CollectSink::new();
+        let meta = self.run(
+            slots.len(),
+            || (),
+            |(), ctx| {
+                let item = slots[ctx.task_id]
+                    .lock()
+                    .expect("engine item slot poisoned")
+                    .take()
+                    .expect("engine task claimed twice");
+                f(ctx, item)
+            },
+            &mut sink,
+        );
+        (sink.into_inner(), meta)
+    }
+
+    fn ctx(&self, task_id: usize) -> TaskCtx {
+        TaskCtx {
+            task_id,
+            rng: StdRng::seed_from_u64(seed_stream(self.seed, task_id as u64)),
+        }
+    }
+
+    fn meta(&self, tasks: usize, workers: usize, started: Instant) -> RunMeta {
+        let elapsed_secs = started.elapsed().as_secs_f64();
+        RunMeta {
+            tasks,
+            workers,
+            elapsed_secs,
+            tasks_per_sec: if elapsed_secs > 0.0 {
+                tasks as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            seed: self.seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Records the arrival order of task ids.
+    struct OrderSink(Vec<usize>);
+    impl EvalSink<u64> for OrderSink {
+        fn accept(&mut self, task_id: usize, _value: u64) {
+            self.0.push(task_id);
+        }
+    }
+
+    fn draws(workers: usize, tasks: usize, seed: u64) -> Vec<u64> {
+        let engine = EvalEngine::with_workers(seed, workers);
+        let mut sink = CollectSink::new();
+        engine.run(tasks, || (), |(), ctx| ctx.rng.random::<u64>(), &mut sink);
+        sink.into_inner()
+    }
+
+    #[test]
+    fn sink_receives_results_in_task_order() {
+        for workers in [1, 2, 5] {
+            let engine = EvalEngine::with_workers(0, workers);
+            let mut sink = OrderSink(Vec::new());
+            engine.run(137, || (), |(), ctx| ctx.task_id as u64, &mut sink);
+            assert_eq!(sink.0, (0..137).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn results_are_invariant_to_worker_count() {
+        let serial = draws(1, 100, 42);
+        for workers in [2, 3, 8] {
+            assert_eq!(draws(workers, 100, 42), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tasks_get_disjoint_rng_streams() {
+        let d = draws(4, 256, 7);
+        let unique: std::collections::HashSet<_> = d.iter().collect();
+        assert_eq!(unique.len(), d.len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        assert_ne!(draws(2, 32, 1), draws(2, 32, 2));
+        assert_eq!(draws(2, 32, 1), draws(2, 32, 1));
+    }
+
+    #[test]
+    fn init_runs_once_per_worker_and_state_persists() {
+        let inits = AtomicUsize::new(0);
+        let engine = EvalEngine::with_workers(0, 3);
+        let mut sink = CollectSink::new();
+        engine.run(
+            64,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize // per-worker task counter
+            },
+            |count, _ctx| {
+                *count += 1;
+                *count
+            },
+            &mut sink,
+        );
+        let inits = inits.load(Ordering::SeqCst);
+        assert!(inits <= 3, "{inits} inits for 3 workers");
+        // Every task ran against a persistent worker state: a worker that
+        // processed k tasks delivered exactly the values 1..=k, so the
+        // pooled multiset has non-increasing occurrence counts, starting
+        // from one `1` per active worker. (A worker may legitimately see
+        // zero tasks if another drains the queue first.)
+        let values = sink.into_inner();
+        assert_eq!(values.len(), 64);
+        let max = *values.iter().max().expect("non-empty");
+        let mut counts = vec![0usize; max + 1];
+        for &v in &values {
+            counts[v] += 1;
+        }
+        let active = counts[1];
+        assert!(
+            (1..=inits).contains(&active),
+            "{active} active workers for {inits} inits"
+        );
+        for v in 1..max {
+            assert!(
+                counts[v] >= counts[v + 1],
+                "counter gap at {v}: {} < {}",
+                counts[v],
+                counts[v + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order_and_consumes_each_item_once() {
+        let engine = EvalEngine::with_workers(9, 4);
+        let items: Vec<String> = (0..50).map(|i| format!("item-{i}")).collect();
+        let (out, meta) = engine.map(items, |ctx, s| format!("{s}@{}", ctx.task_id));
+        assert_eq!(out.len(), 50);
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("item-{i}@{i}"));
+        }
+        assert_eq!(meta.tasks, 50);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let engine = EvalEngine::new(0);
+        let mut sink = CollectSink::<u64>::new();
+        let meta = engine.run(0, || (), |(), _| 0u64, &mut sink);
+        assert_eq!(meta.tasks, 0);
+        assert!(sink.into_inner().is_empty());
+    }
+
+    #[test]
+    fn worker_count_is_bounded_by_tasks_and_request() {
+        let engine = EvalEngine::with_workers(0, 8);
+        assert_eq!(engine.workers_for(3), 3);
+        assert_eq!(engine.workers_for(100), 8);
+        let auto = EvalEngine::new(0);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        assert_eq!(auto.workers_for(1_000_000), cores);
+    }
+
+    #[test]
+    #[should_panic]
+    fn task_panics_propagate() {
+        let engine = EvalEngine::with_workers(0, 2);
+        let mut sink = CollectSink::new();
+        engine.run(
+            8,
+            || (),
+            |(), ctx| {
+                assert!(ctx.task_id != 5, "boom");
+                ctx.task_id
+            },
+            &mut sink,
+        );
+    }
+
+    #[test]
+    fn meta_reports_throughput() {
+        let engine = EvalEngine::with_workers(3, 2);
+        let mut sink = CollectSink::new();
+        let meta = engine.run(32, || (), |(), ctx| ctx.task_id, &mut sink);
+        assert_eq!(meta.tasks, 32);
+        assert_eq!(meta.workers, 2);
+        assert_eq!(meta.seed, 3);
+        assert!(meta.elapsed_secs >= 0.0);
+        assert!(meta.tasks_per_sec > 0.0);
+        let merged = meta.merged_with(meta);
+        assert_eq!(merged.tasks, 64);
+        assert_eq!(merged.seed, 3);
+    }
+}

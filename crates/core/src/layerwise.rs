@@ -4,6 +4,7 @@
 //! small-sample random-FI studies.)
 
 use crate::campaign::{run_campaign, CampaignConfig};
+use crate::engine::{EvalEngine, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
 use crate::stats::spearman;
@@ -77,6 +78,8 @@ pub struct LayerwiseResult {
     /// Spearman rank correlation between layer depth and mean error —
     /// the paper's claim is that this is near zero.
     pub depth_correlation: f64,
+    /// Engine execution metadata for the per-layer fan-out.
+    pub run_meta: RunMeta,
 }
 
 /// Runs one BDLFI campaign per layer prefix, injecting only into that
@@ -104,31 +107,33 @@ pub fn run_layerwise(
         );
     }
 
-    let results: Vec<LayerResult> = layers
-        .iter()
-        .enumerate()
-        .map(|(depth, &layer)| {
-            let spec = SiteSpec::LayerParams {
-                prefix: layer.to_string(),
-            };
-            // Resolve first to size the budget.
-            let elements = bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
-            let p = budget.probability_for(elements);
-            let fm = FaultyModel::new(
-                model.clone(),
-                Arc::clone(eval),
-                &spec,
-                Arc::new(BernoulliBitFlip::new(p)),
-            );
-            LayerResult {
-                depth,
-                layer: layer.to_string(),
-                elements,
-                p,
-                report: run_campaign(&fm, cfg),
-            }
-        })
-        .collect();
+    // One campaign per layer, fanned out through the engine; each
+    // campaign is deterministic in (cfg.seed, layer), so the study is
+    // worker-count invariant.
+    let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let (results, run_meta) = engine.map(names, |ctx, layer| {
+        let depth = ctx.task_id;
+        let spec = SiteSpec::LayerParams {
+            prefix: layer.clone(),
+        };
+        // Resolve first to size the budget.
+        let elements = bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
+        let p = budget.probability_for(elements);
+        let fm = FaultyModel::new(
+            model.clone(),
+            Arc::clone(eval),
+            &spec,
+            Arc::new(BernoulliBitFlip::new(p)),
+        );
+        LayerResult {
+            depth,
+            layer,
+            elements,
+            p,
+            report: run_campaign(&fm, cfg),
+        }
+    });
 
     let golden_error = results[0].report.golden_error;
     let depths: Vec<f64> = results.iter().map(|r| r.depth as f64).collect();
@@ -139,6 +144,7 @@ pub fn run_layerwise(
         layers: results,
         golden_error,
         depth_correlation,
+        run_meta,
     }
 }
 
@@ -168,6 +174,7 @@ mod tests {
                 min_ess: 10.0,
                 max_mcse: 0.2,
             },
+            workers: 0,
         }
     }
 

@@ -18,6 +18,10 @@
 //!
 //! * [`FaultyModel`] — a golden network bound to an evaluation set and a
 //!   fault model over resolved injection sites (paper Fig. 1 ① + ②);
+//! * [`engine`] — the shared fault-evaluation executor: one bounded
+//!   worker pool, SplitMix64 per-task seed streams and ordered streaming
+//!   sinks that every campaign driver (and the baseline FI drivers) runs
+//!   through;
 //! * [`proposals`] — MCMC moves over joint fault configurations (prior
 //!   refreshes, single-/multi-bit toggles);
 //! * [`run_campaign`] — multi-chain inference with completeness
@@ -61,6 +65,7 @@ mod attribution;
 mod boundary;
 mod campaign;
 mod completeness;
+pub mod engine;
 mod faulty_model;
 pub mod formal;
 pub mod proposals;
@@ -75,8 +80,9 @@ pub use attribution::{attribute_faults, AttributionReport, SiteAttribution};
 pub use boundary::{boundary_map, BoundaryConfig, BoundaryMap};
 pub use campaign::{run_campaign, run_campaign_adaptive, CampaignConfig, KernelChoice};
 pub use completeness::{assess, samples_to_certify, CompletenessCriteria, CompletenessReport};
+pub use engine::{CollectSink, EvalEngine, EvalSink, RunMeta, TaskCtx};
 pub use faulty_model::FaultyModel;
 pub use layerwise::{run_layerwise, LayerBudget, LayerResult, LayerwiseResult};
-pub use protection::{plan_protection, ProtectionPlan};
+pub use protection::{plan_protection, run_protection_study, ProtectionPlan, ProtectionStudy};
 pub use report::CampaignReport;
 pub use sweep::{log_spaced_probabilities, run_sweep, KneeAnalysis, SweepPoint, SweepResult};

@@ -8,8 +8,11 @@
 //! those inputs get the expensive mitigations (re-execution, ensembling,
 //! range checks), everything else runs fast.
 
-use crate::boundary::BoundaryMap;
+use crate::boundary::{boundary_map, BoundaryConfig, BoundaryMap};
+use bdlfi_faults::{FaultModel, SiteSpec};
+use bdlfi_nn::Sequential;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A protection recommendation derived from a boundary map.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,6 +36,39 @@ impl ProtectionPlan {
     pub fn concentration(&self) -> f64 {
         self.protected_error / self.unprotected_error.max(1e-12)
     }
+}
+
+/// A boundary map together with the protection plan derived from it —
+/// the end-to-end "map the feature space, then decide what to protect"
+/// study, evaluated through the shared `EvalEngine`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProtectionStudy {
+    /// The fault-induced error-probability map the plan was derived from
+    /// (its `run_meta` records the engine execution stats).
+    pub map: BoundaryMap,
+    /// The derived plan, or `None` if no margin threshold reaches the
+    /// target.
+    pub plan: Option<ProtectionPlan>,
+}
+
+/// Maps the feature space under the fault model (through the shared
+/// evaluation engine — see [`boundary_map`]) and derives the protection
+/// plan for `target_error` in one call.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`boundary_map`] and
+/// [`plan_protection`].
+pub fn run_protection_study(
+    model: &Sequential,
+    spec: &SiteSpec,
+    fault_model: Arc<dyn FaultModel>,
+    cfg: &BoundaryConfig,
+    target_error: f64,
+) -> ProtectionStudy {
+    let map = boundary_map(model, spec, fault_model, cfg);
+    let plan = plan_protection(&map, target_error);
+    ProtectionStudy { map, plan }
 }
 
 /// Derives the smallest protection region (by margin thresholding) whose
@@ -106,6 +142,7 @@ mod tests {
             golden_pred: vec![0; n * n],
             margin,
             margin_correlation: -1.0,
+            run_meta: crate::engine::RunMeta::default(),
         }
     }
 
@@ -151,5 +188,45 @@ mod tests {
     #[should_panic(expected = "target error must be in")]
     fn degenerate_target_rejected() {
         plan_protection(&synthetic_map(4), 0.0);
+    }
+
+    #[test]
+    fn protection_study_composes_map_and_plan_through_the_engine() {
+        use bdlfi_faults::BernoulliBitFlip;
+        use bdlfi_nn::{mlp, optim::Sgd, TrainConfig, Trainer};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(44);
+        let data = bdlfi_data::gaussian_blobs(200, 3, 0.5, &mut rng);
+        let mut model = mlp(2, &[16], 3, &mut rng);
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1).with_momentum(0.9),
+            TrainConfig {
+                epochs: 15,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
+        );
+        trainer.fit(&mut model, data.inputs(), data.labels(), &mut rng);
+
+        let cfg = BoundaryConfig {
+            resolution: 8,
+            fault_samples: 30,
+            seed: 4,
+            ..BoundaryConfig::default()
+        };
+        let study = run_protection_study(
+            &model,
+            &SiteSpec::AllParams,
+            Arc::new(BernoulliBitFlip::new(2e-3)),
+            &cfg,
+            0.9,
+        );
+        assert_eq!(study.map.error_prob.len(), 64);
+        assert_eq!(study.map.run_meta.tasks, 30);
+        // A target this loose is always reachable.
+        let plan = study.plan.expect("loose target must yield a plan");
+        assert!(plan.unprotected_error <= 0.9);
     }
 }

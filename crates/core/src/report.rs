@@ -3,6 +3,7 @@
 
 use crate::campaign::CampaignConfig;
 use crate::completeness::CompletenessReport;
+use crate::engine::RunMeta;
 use bdlfi_bayes::{Trace, TraceSummary};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -32,6 +33,8 @@ pub struct CampaignReport {
     pub mean_flips: f64,
     /// The configuration that produced this report.
     pub config: CampaignConfig,
+    /// Engine execution metadata (worker count, wall-clock, chains/sec).
+    pub run_meta: RunMeta,
 }
 
 impl CampaignReport {
@@ -119,6 +122,13 @@ impl fmt::Display for CampaignReport {
             "  mixing            : R-hat {:.4}, ESS {:.0}, MCSE {:.5}",
             self.completeness.rhat, self.completeness.ess, self.completeness.mcse
         )?;
+        if self.run_meta.tasks > 0 {
+            writeln!(
+                f,
+                "  engine            : {} workers, {:.1} s, {:.2} chains/s",
+                self.run_meta.workers, self.run_meta.elapsed_secs, self.run_meta.tasks_per_sec
+            )?;
+        }
         if let Some(iess) = self.importance_ess {
             writeln!(f, "  importance ESS    : {iess:.0}")?;
         }
@@ -167,7 +177,9 @@ mod tests {
                 kernel: KernelChoice::Prior,
                 seed: 0,
                 criteria: CompletenessCriteria::default(),
+                workers: 0,
             },
+            run_meta: RunMeta::default(),
         }
     }
 

@@ -3,6 +3,7 @@
 //! per-bit flip probability `p`, with the two-regime knee analysis.
 
 use crate::campaign::{run_campaign, CampaignConfig};
+use crate::engine::{EvalEngine, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
 use crate::stats::{fit_knee, KneeFit};
@@ -28,6 +29,8 @@ pub struct SweepResult {
     pub points: Vec<SweepPoint>,
     /// Golden-run classification error (the horizontal reference line).
     pub golden_error: f64,
+    /// Engine execution metadata for the sweep-level fan-out.
+    pub run_meta: RunMeta,
 }
 
 impl SweepResult {
@@ -96,26 +99,28 @@ pub fn run_sweep(
         ps.iter().all(|p| (0.0..=1.0).contains(p)),
         "probabilities must be in [0, 1]"
     );
-    let mut points: Vec<SweepPoint> = ps
-        .iter()
-        .map(|&p| {
-            let fm = FaultyModel::new(
-                model.clone(),
-                Arc::clone(eval),
-                spec,
-                Arc::new(BernoulliBitFlip::new(p)),
-            );
-            SweepPoint {
-                p,
-                report: run_campaign(&fm, cfg),
-            }
-        })
-        .collect();
+    // Fan the per-p campaigns out through the engine; each campaign is a
+    // deterministic function of (cfg.seed, p), so sweep results do not
+    // depend on scheduling.
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let (mut points, run_meta) = engine.map(ps.to_vec(), |_ctx, p| {
+        let fm = FaultyModel::new(
+            model.clone(),
+            Arc::clone(eval),
+            spec,
+            Arc::new(BernoulliBitFlip::new(p)),
+        );
+        SweepPoint {
+            p,
+            report: run_campaign(&fm, cfg),
+        }
+    });
     points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
     let golden_error = points[0].report.golden_error;
     SweepResult {
         points,
         golden_error,
+        run_meta,
     }
 }
 
@@ -145,6 +150,7 @@ mod tests {
                 min_ess: 10.0,
                 max_mcse: 0.2,
             },
+            workers: 0,
         }
     }
 

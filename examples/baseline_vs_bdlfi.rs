@@ -42,7 +42,7 @@ fn main() {
 
     // --- Traditional: same Bernoulli fault model, fixed budget. ---
     println!("## traditional random FI (Bernoulli model, p = {p})");
-    let mut fi = RandomFi::with_fault_model(
+    let fi = RandomFi::with_fault_model(
         model.clone(),
         Arc::clone(&test),
         &SiteSpec::AllParams,
@@ -53,6 +53,7 @@ fn main() {
             injections: budget,
             seed: 5,
             level: 0.95,
+            workers: 0,
         });
         println!(
             "  {budget:>4} injections: mean error {:.2} %, SDC rate {:.2} (95% Wilson [{:.2}, {:.2}]) — no completeness signal",

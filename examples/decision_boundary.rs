@@ -47,6 +47,7 @@ fn main() {
             resolution: 48,
             fault_samples: 150,
             seed: 2,
+            workers: 0,
         },
     );
 

@@ -38,7 +38,7 @@ fn mean_error_estimates_agree_in_the_large_sample_limit() {
     let fault_model = Arc::new(BernoulliBitFlip::new(p));
 
     // Traditional MC with the same Bernoulli prior.
-    let mut fi = RandomFi::with_fault_model(
+    let fi = RandomFi::with_fault_model(
         model.clone(),
         Arc::clone(&test),
         &SiteSpec::AllParams,
@@ -48,6 +48,7 @@ fn mean_error_estimates_agree_in_the_large_sample_limit() {
         injections: 600,
         seed: 1,
         level: 0.95,
+        workers: 0,
     });
 
     // BDLFI with the prior kernel.
@@ -92,11 +93,12 @@ fn single_bit_flips_rarely_corrupt_but_sometimes_do() {
     // are masked (low mantissa bits), some corrupt (high exponent bits) —
     // the SDC rate must be strictly between 0 and 1 with enough runs.
     let (model, test) = trained();
-    let mut fi = RandomFi::new(model, test, &SiteSpec::AllParams);
+    let fi = RandomFi::new(model, test, &SiteSpec::AllParams);
     let res = fi.run(&RandomFiConfig {
         injections: 400,
         seed: 2,
         level: 0.95,
+        workers: 0,
     });
     assert!(res.sdc.rate > 0.0, "no corruption in 400 single-bit flips");
     assert!(res.sdc.rate < 1.0, "every single-bit flip corrupted");

@@ -106,7 +106,7 @@ fn finding_errors_concentrate_at_boundary() {
         &BoundaryConfig {
             resolution: 20,
             fault_samples: 400,
-            seed: 0,
+            seed: 1,
             ..BoundaryConfig::default()
         },
     );
