@@ -11,7 +11,8 @@
 //! the exhaustive rate.
 
 use crate::estimator::{estimate_proportion, ProportionEstimate};
-use bdlfi::engine::{EvalEngine, EvalSink, RunMeta};
+use bdlfi::checkpoint::fingerprint;
+use bdlfi::engine::{CheckpointSpec, EngineError, EvalEngine, EvalSink, RunControl, RunMeta};
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultMask, SiteSpec};
 use bdlfi_nn::{predict_all, Sequential};
@@ -76,6 +77,32 @@ pub fn run_exhaustive_with(
     spec: &SiteSpec,
     workers: usize,
 ) -> ExhaustiveResult {
+    match run_exhaustive_controlled(model, eval, spec, workers, &RunControl::default(), None) {
+        Ok(res) => res,
+        Err(e) => panic!("exhaustive study failed: {e}"),
+    }
+}
+
+/// [`run_exhaustive_with`] with cooperative cancellation and an optional
+/// checkpoint journal (one entry per `(element, bit)` injection, in
+/// enumeration order).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_exhaustive_with`].
+pub fn run_exhaustive_controlled(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    workers: usize,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<ExhaustiveResult, EngineError> {
     assert!(!eval.is_empty(), "evaluation set must not be empty");
     let mut model = model.clone();
     let sites = resolve_sites(&model, spec);
@@ -107,7 +134,11 @@ pub fn run_exhaustive_with(
         error_sum: f64,
     }
     impl EvalSink<(u8, bool, f64)> for Agg {
-        fn accept(&mut self, _task_id: usize, (bit, corrupted, error): (u8, bool, f64)) {
+        fn accept(
+            &mut self,
+            _task_id: usize,
+            (bit, corrupted, error): (u8, bool, f64),
+        ) -> Result<(), EngineError> {
             self.total += 1;
             self.error_sum += error;
             self.by_bit[bit as usize].injections += 1;
@@ -115,6 +146,7 @@ pub fn run_exhaustive_with(
                 self.sdc_total += 1;
                 self.by_bit[bit as usize].sdc += 1;
             }
+            Ok(())
         }
     }
 
@@ -134,7 +166,18 @@ pub fn run_exhaustive_with(
     // The task set is a deterministic enumeration (no RNG), so the engine
     // seed is irrelevant; workers each own a model clone.
     let engine = EvalEngine::with_workers(0, workers);
-    let run_meta = engine.run(
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            let site_shape: Vec<(String, usize)> = sites
+                .params
+                .iter()
+                .map(|p| (p.path.clone(), p.len))
+                .collect();
+            s.fingerprint = fingerprint("exhaustive", &(site_shape, golden_error));
+        }
+        s
+    });
+    let run_meta = engine.run_checkpointed(
         total_tasks,
         || model.clone(),
         |model, ctx| {
@@ -159,19 +202,21 @@ pub fn run_exhaustive_with(
                 .zip(golden_preds.iter())
                 .any(|(a, b)| a != b);
             let error = bdlfi_nn::metrics::classification_error(&logits, eval.labels());
-            (bit, corrupted, error)
+            Ok((bit, corrupted, error))
         },
         &mut agg,
-    );
+        ctl,
+        ckpt.as_ref(),
+    )?;
 
-    ExhaustiveResult {
+    Ok(ExhaustiveResult {
         injections: agg.total,
         sdc: estimate_proportion(agg.sdc_total, agg.total, 0.95),
         mean_error: agg.error_sum / agg.total as f64,
         golden_error,
         by_bit: agg.by_bit,
         run_meta,
-    }
+    })
 }
 
 #[cfg(test)]

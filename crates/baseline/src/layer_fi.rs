@@ -7,7 +7,8 @@
 //! manufactures the depth effect reported by earlier studies.
 
 use crate::random_fi::{RandomFi, RandomFiConfig, RandomFiResult};
-use bdlfi::engine::{EvalEngine, RunMeta};
+use bdlfi::checkpoint::fingerprint;
+use bdlfi::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
 use bdlfi::stats::spearman;
 use bdlfi_bayes::seed_stream;
 use bdlfi_data::Dataset;
@@ -50,38 +51,79 @@ pub fn run_layer_fi(
     layers: &[&str],
     cfg: &RandomFiConfig,
 ) -> LayerFiStudy {
+    match run_layer_fi_controlled(model, eval, layers, cfg, &RunControl::default(), None) {
+        Ok(study) => study,
+        Err(e) => panic!("per-layer FI study failed: {e}"),
+    }
+}
+
+/// [`run_layer_fi`] with cooperative cancellation and an optional
+/// checkpoint journal (one entry per completed layer, in depth order).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_layer_fi`].
+pub fn run_layer_fi_controlled(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    cfg: &RandomFiConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<LayerFiStudy, EngineError> {
     assert!(!layers.is_empty(), "study needs at least one layer");
     // Fan the per-layer campaigns out through the engine. Layer `depth`
     // re-seeds its campaign from `seed_stream(cfg.seed, depth)`, which
     // decorrelates layers without the collision risk of additive offsets.
     let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
-    let (layers, run_meta) = engine.map(names, |ctx, layer| {
-        let depth = ctx.task_id;
-        let fi = RandomFi::new(
-            model.clone(),
-            Arc::clone(eval),
-            &SiteSpec::LayerParams {
-                prefix: layer.clone(),
-            },
-        );
-        let mut layer_cfg = cfg.clone();
-        layer_cfg.seed = seed_stream(cfg.seed, depth as u64);
-        LayerFiResult {
-            depth,
-            layer,
-            result: fi.run(&layer_cfg),
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            s.fingerprint = fingerprint("layer_fi", &(cfg.clone(), names.clone()));
         }
+        s
     });
+    let mut sink = CollectSink::new();
+    let run_meta = engine.run_checkpointed(
+        names.len(),
+        || (),
+        |(), ctx| {
+            let depth = ctx.task_id;
+            let layer = names[depth].clone();
+            let fi = RandomFi::new(
+                model.clone(),
+                Arc::clone(eval),
+                &SiteSpec::LayerParams {
+                    prefix: layer.clone(),
+                },
+            );
+            let mut layer_cfg = cfg.clone();
+            layer_cfg.seed = seed_stream(cfg.seed, depth as u64);
+            Ok(LayerFiResult {
+                depth,
+                layer,
+                result: fi.run(&layer_cfg),
+            })
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    let layers = sink.into_inner();
 
     let depths: Vec<f64> = layers.iter().map(|l| l.depth as f64).collect();
     let rates: Vec<f64> = layers.iter().map(|l| l.result.sdc.rate).collect();
     let depth_correlation = spearman(&depths, &rates);
-    LayerFiStudy {
+    Ok(LayerFiStudy {
         layers,
         depth_correlation,
         run_meta,
-    }
+    })
 }
 
 #[cfg(test)]

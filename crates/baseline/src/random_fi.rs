@@ -9,7 +9,8 @@
 //! methodological gap the paper targets.
 
 use crate::estimator::{estimate_proportion, ProportionEstimate};
-use bdlfi::engine::{EvalEngine, EvalSink, RunMeta};
+use bdlfi::checkpoint::fingerprint;
+use bdlfi::engine::{CheckpointSpec, EngineError, EvalEngine, EvalSink, RunControl, RunMeta};
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultModel, SingleBitFlip, SiteSpec};
 use bdlfi_nn::predict_all;
@@ -134,6 +135,30 @@ impl RandomFi {
     /// fault from seed-stream `i`, and results aggregate in injection
     /// order — so the report is identical at every worker count.
     pub fn run(&self, cfg: &RandomFiConfig) -> RandomFiResult {
+        match self.run_controlled(cfg, &RunControl::default(), None) {
+            Ok(res) => res,
+            Err(e) => panic!("random-FI campaign failed: {e}"),
+        }
+    }
+
+    /// [`RandomFi::run`] with cooperative cancellation and an optional
+    /// checkpoint journal (one entry per completed injection, in
+    /// injection order).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Interrupted`] on a cooperative stop, plus
+    /// journal/sink failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.injections == 0`.
+    pub fn run_controlled(
+        &self,
+        cfg: &RandomFiConfig,
+        ctl: &RunControl,
+        ckpt: Option<&CheckpointSpec>,
+    ) -> Result<RandomFiResult, EngineError> {
         assert!(cfg.injections > 0, "campaign needs at least one injection");
 
         struct Tally {
@@ -141,9 +166,14 @@ impl RandomFi {
             errors: Vec<f64>,
         }
         impl EvalSink<(bool, f64)> for Tally {
-            fn accept(&mut self, _task_id: usize, (corrupted, error): (bool, f64)) {
+            fn accept(
+                &mut self,
+                _task_id: usize,
+                (corrupted, error): (bool, f64),
+            ) -> Result<(), EngineError> {
                 self.sdc_count += u64::from(corrupted);
                 self.errors.push(error);
+                Ok(())
             }
         }
 
@@ -152,7 +182,16 @@ impl RandomFi {
             errors: Vec::with_capacity(cfg.injections),
         };
         let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
-        let run_meta = engine.run(
+        let ckpt = ckpt.cloned().map(|mut s| {
+            if s.fingerprint.is_empty() {
+                s.fingerprint = fingerprint(
+                    "random_fi",
+                    &(cfg.clone(), self.single_bit, self.golden_error),
+                );
+            }
+            s
+        });
+        let run_meta = engine.run_checkpointed(
             cfg.injections,
             || self.model.clone(),
             |model, ctx| {
@@ -167,19 +206,21 @@ impl RandomFi {
                     .zip(self.golden_preds.iter())
                     .any(|(a, b)| a != b);
                 let error = bdlfi_nn::metrics::classification_error(&logits, self.eval.labels());
-                (corrupted, error)
+                Ok((corrupted, error))
             },
             &mut tally,
-        );
+            ctl,
+            ckpt.as_ref(),
+        )?;
 
-        RandomFiResult {
+        Ok(RandomFiResult {
             injections: cfg.injections,
             sdc: estimate_proportion(tally.sdc_count, cfg.injections as u64, cfg.level),
             mean_error: tally.errors.iter().sum::<f64>() / tally.errors.len() as f64,
             golden_error: self.golden_error,
             errors: tally.errors,
             run_meta,
-        }
+        })
     }
 
     /// One injection: under the single-bit model, a uniformly chosen

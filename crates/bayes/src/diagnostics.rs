@@ -5,6 +5,12 @@
 
 use crate::mcmc::Trace;
 
+/// Borrow each chain's samples as a slice — lets the `_slices` diagnostics
+/// run on growing prefixes without cloning chain data.
+fn borrow_samples(chains: &[Trace]) -> Vec<&[f64]> {
+    chains.iter().map(Trace::samples).collect()
+}
+
 /// Split-R̂ (Gelman–Rubin potential scale reduction with split chains,
 /// following BDA3 / Vehtari et al.).
 ///
@@ -13,11 +19,16 @@ use crate::mcmc::Trace;
 /// half-chains of at least 2 samples, or zero within-chain variance with
 /// zero between-chain variance).
 pub fn split_rhat(chains: &[Trace]) -> f64 {
+    split_rhat_slices(&borrow_samples(chains))
+}
+
+/// [`split_rhat`] on borrowed sample slices — the allocation-free form the
+/// growing-prefix completeness scans assess with.
+pub fn split_rhat_slices(chains: &[&[f64]]) -> f64 {
     // Split every chain in half to detect non-stationarity within chains.
     let halves: Vec<&[f64]> = chains
         .iter()
-        .flat_map(|c| {
-            let s = c.samples();
+        .flat_map(|s| {
             let mid = s.len() / 2;
             [&s[..mid], &s[mid..]]
         })
@@ -75,18 +86,23 @@ pub fn autocorrelations(x: &[f64], max_lag: usize) -> Vec<f64> {
 }
 
 /// Effective sample size via Geyer's initial positive sequence: sums
-/// autocorrelations over consecutive lag pairs until a pair's sum goes
+/// autocorrelations over even/odd lag pairs until a pair's sum goes
 /// non-positive, pooling chains by averaging their autocorrelation
 /// functions.
 ///
 /// Returns `NaN` when undefined (no samples); a constant trace has ESS
 /// equal to its sample count (every draw agrees, nothing left to learn).
 pub fn ess(chains: &[Trace]) -> f64 {
-    let total: usize = chains.iter().map(Trace::len).sum();
+    ess_slices(&borrow_samples(chains))
+}
+
+/// [`ess`] on borrowed sample slices.
+pub fn ess_slices(chains: &[&[f64]]) -> f64 {
+    let total: usize = chains.iter().map(|c| c.len()).sum();
     if total == 0 {
         return f64::NAN;
     }
-    let n = chains.iter().map(Trace::len).min().unwrap_or(0);
+    let n = chains.iter().map(|c| c.len()).min().unwrap_or(0);
     if n < 4 {
         return total as f64;
     }
@@ -96,7 +112,7 @@ pub fn ess(chains: &[Trace]) -> f64 {
     // zero autocorrelation beyond lag 0).
     let acfs: Vec<Vec<f64>> = chains
         .iter()
-        .map(|c| autocorrelations(&c.samples()[..n], max_lag))
+        .map(|c| autocorrelations(&c[..n], max_lag))
         .collect();
     let mean_acf = |lag: usize| -> f64 {
         acfs.iter()
@@ -105,9 +121,12 @@ pub fn ess(chains: &[Trace]) -> f64 {
             / acfs.len() as f64
     };
 
-    // Geyer: tau = 1 + 2 * sum of (rho_{2t} + rho_{2t+1}) while positive.
-    let mut tau = 1.0f64;
-    let mut lag = 1usize;
+    // Geyer's theorem guarantees Γ_t = ρ_{2t} + ρ_{2t+1} is non-negative
+    // (and decreasing) for reversible chains, so the sum is truncated at
+    // the first non-positive *even/odd* pair: τ = 2·ΣΓ_t − 1 with
+    // Γ_0 = ρ_0 + ρ_1 = 1 + ρ_1, then pairs (2,3), (4,5), …
+    let mut tau = 1.0 + 2.0 * mean_acf(1);
+    let mut lag = 2usize;
     while lag < max_lag {
         let pair = mean_acf(lag) + mean_acf(lag + 1);
         if pair <= 0.0 {
@@ -116,23 +135,32 @@ pub fn ess(chains: &[Trace]) -> f64 {
         tau += 2.0 * pair;
         lag += 2;
     }
-    (total as f64 / tau).min(total as f64)
+    // Antithetic chains can drive τ below 1 (super-efficient sampling);
+    // keep it positive and cap the ESS at the sample count.
+    (total as f64 / tau.max(f64::EPSILON)).min(total as f64)
 }
 
 /// Monte Carlo standard error of the pooled mean: `sd / √ESS`.
 ///
 /// Returns `NaN` when ESS or the variance is undefined.
 pub fn mcse(chains: &[Trace]) -> f64 {
-    let pooled: Vec<f64> = chains
-        .iter()
-        .flat_map(|c| c.samples().iter().copied())
-        .collect();
-    if pooled.len() < 2 {
+    mcse_slices(&borrow_samples(chains))
+}
+
+/// [`mcse`] on borrowed sample slices.
+pub fn mcse_slices(chains: &[&[f64]]) -> f64 {
+    let total: usize = chains.iter().map(|c| c.len()).sum();
+    if total < 2 {
         return f64::NAN;
     }
-    let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
-    let var = pooled.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (pooled.len() - 1) as f64;
-    let e = ess(chains);
+    let mean = chains.iter().flat_map(|c| c.iter()).sum::<f64>() / total as f64;
+    let var = chains
+        .iter()
+        .flat_map(|c| c.iter())
+        .map(|x| (x - mean).powi(2))
+        .sum::<f64>()
+        / (total - 1) as f64;
+    let e = ess_slices(chains);
     if !e.is_finite() || e <= 0.0 {
         return f64::NAN;
     }
@@ -284,6 +312,41 @@ mod tests {
             .collect();
         let e = ess(&[chain]);
         assert!(e < 400.0, "ess {e}");
+    }
+
+    #[test]
+    fn ess_matches_ar1_integrated_autocorrelation_time() {
+        // AR(1) with coefficient φ has integrated autocorrelation time
+        // τ = (1 + φ)/(1 − φ); with φ = 0.9, τ = 19, so ESS ≈ N/19.
+        // The old (1,2),(3,4) pairing truncated the Geyer sum one lag
+        // early whenever ρ was still decaying, biasing ESS upward.
+        let phi = 0.9f64;
+        let n = 200_000usize;
+        let mut rng = StdRng::seed_from_u64(40);
+        let d = Normal::standard();
+        let mut x = 0.0;
+        let chain: Trace = (0..n)
+            .map(|_| {
+                x = phi * x + (1.0 - phi * phi).sqrt() * d.sample(&mut rng);
+                x
+            })
+            .collect();
+        let tau = (1.0 + phi) / (1.0 - phi);
+        let expected = n as f64 / tau;
+        let e = ess(&[chain]);
+        assert!(
+            (e - expected).abs() < 0.25 * expected,
+            "ess {e}, expected ≈ {expected} (τ = {tau})"
+        );
+    }
+
+    #[test]
+    fn slice_diagnostics_match_trace_diagnostics() {
+        let chains: Vec<Trace> = (0..3).map(|s| iid_chain(s + 50, 500, 0.5)).collect();
+        let slices: Vec<&[f64]> = chains.iter().map(Trace::samples).collect();
+        assert_eq!(split_rhat(&chains), split_rhat_slices(&slices));
+        assert_eq!(ess(&chains), ess_slices(&slices));
+        assert_eq!(mcse(&chains), mcse_slices(&slices));
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub mod mcmc;
 pub mod seed;
 pub mod special;
 
-pub use diagnostics::{autocorrelations, ess, geweke_z, mcse, mcse_batch_means, split_rhat};
+pub use diagnostics::{
+    autocorrelations, ess, ess_slices, geweke_z, mcse, mcse_batch_means, mcse_slices, split_rhat,
+    split_rhat_slices,
+};
 pub use estimate::{self_normalized_estimate, BetaBernoulli};
 pub use mcmc::{
     mh_step, run_chain, ChainConfig, ChainResult, IndependenceProposal, MixtureProposal, Proposal,

@@ -18,15 +18,33 @@
 //!    agree bit-for-bit; the speedup is pure parallelism.
 //!
 //! Run with `cargo run --release -p bdlfi-bench --bin perf_smoke`.
+//!
+//! # Checkpointed campaign mode
+//!
+//! `perf_smoke --campaign` instead runs one deterministic BDLFI campaign,
+//! for exercising the crash-safe checkpoint/resume path end to end (the CI
+//! `checkpoint-resume` job drives it):
+//!
+//! * `--checkpoint PATH` — journal completed chains to `PATH`;
+//! * `--resume` — resume from an existing journal at `PATH`;
+//! * `--stop-after N` — cooperatively stop after `N` chains (exit code 3);
+//! * `--report PATH` — write the final campaign report as JSON with
+//!   normalized `run_meta` (timing and resume provenance zeroed), so an
+//!   interrupted-then-resumed run is byte-identical to an uninterrupted
+//!   one;
+//! * `--workers N` — engine worker threads (default 0 = all cores).
 
-use bdlfi::FaultyModel;
+use bdlfi::engine::{CheckpointSpec, EngineError, RunControl, RunMeta};
+use bdlfi::{run_campaign_controlled, CampaignConfig, FaultyModel, KernelChoice};
 use bdlfi_baseline::{RandomFi, RandomFiConfig};
+use bdlfi_bayes::ChainConfig;
 use bdlfi_data::gaussian_blobs;
 use bdlfi_faults::{BernoulliBitFlip, FaultConfig, SiteSpec};
-use bdlfi_nn::{mlp, predict_all};
+use bdlfi_nn::{mlp, optim::Sgd, predict_all, TrainConfig, Trainer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -160,7 +178,123 @@ fn baseline_fi_bench() -> BaselineFiReport {
     }
 }
 
+struct CampaignArgs {
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    stop_after: Option<usize>,
+    report: Option<PathBuf>,
+    workers: usize,
+}
+
+fn parse_campaign_args(mut args: std::env::Args) -> CampaignArgs {
+    let mut out = CampaignArgs {
+        checkpoint: None,
+        resume: false,
+        stop_after: None,
+        report: None,
+        workers: 0,
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--checkpoint" => out.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+            "--resume" => out.resume = true,
+            "--stop-after" => {
+                out.stop_after = Some(value("--stop-after").parse().expect("--stop-after: usize"));
+            }
+            "--report" => out.report = Some(PathBuf::from(value("--report"))),
+            "--workers" => out.workers = value("--workers").parse().expect("--workers: usize"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    out
+}
+
+/// The deterministic campaign the checkpoint mode runs: a trained MLP with
+/// Bernoulli faults over all parameters. Everything is seeded, so reports
+/// from any interrupt/resume schedule must agree bit for bit.
+fn checkpointed_campaign(args: &CampaignArgs) -> Result<(), EngineError> {
+    let mut rng = StdRng::seed_from_u64(900);
+    let data = gaussian_blobs(200, 3, 0.6, &mut rng);
+    let (train, test) = data.split(0.7, &mut rng);
+    let mut model = mlp(2, &[16, 16], 3, &mut rng);
+    let mut trainer = Trainer::new(
+        Sgd::new(0.1).with_momentum(0.9),
+        TrainConfig {
+            epochs: 12,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
+    );
+    trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
+    let fm = FaultyModel::new(
+        model,
+        Arc::new(test),
+        &SiteSpec::AllParams,
+        Arc::new(BernoulliBitFlip::new(1e-3)),
+    );
+    let cfg = CampaignConfig {
+        chains: 8,
+        chain: ChainConfig {
+            burn_in: 10,
+            samples: 60,
+            thin: 1,
+        },
+        kernel: KernelChoice::Prior,
+        seed: 9,
+        criteria: Default::default(),
+        workers: args.workers,
+    };
+
+    let ctl = match args.stop_after {
+        Some(n) => RunControl::stop_after(n),
+        None => RunControl::new(),
+    };
+    let ckpt = args.checkpoint.as_ref().map(|path| {
+        let spec = CheckpointSpec::new(path.clone(), String::new());
+        if args.resume {
+            spec.resuming()
+        } else {
+            spec
+        }
+    });
+
+    let mut report = run_campaign_controlled(&fm, &cfg, &ctl, ckpt.as_ref())?;
+    // Normalize execution metadata so reports from different interrupt
+    // schedules (and worker counts) compare byte-for-byte.
+    report.run_meta = RunMeta::default();
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    if let Some(path) = &args.report {
+        std::fs::write(path, &json).expect("cannot write report");
+    }
+    println!(
+        "campaign complete: mean_error {:.6}, {} chains",
+        report.mean_error, report.config.chains
+    );
+    Ok(())
+}
+
 fn main() {
+    let mut args = std::env::args();
+    let _bin = args.next();
+    if let Some(first) = args.next() {
+        assert_eq!(first, "--campaign", "unknown mode {first}; try --campaign");
+        match checkpointed_campaign(&parse_campaign_args(args)) {
+            Ok(()) => return,
+            Err(EngineError::Interrupted { completed, tasks }) => {
+                eprintln!("interrupted after {completed}/{tasks} chains (journal flushed)");
+                std::process::exit(3);
+            }
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let report = BenchReport {
         incremental: incremental_bench(),
         baseline_fi: baseline_fi_bench(),

@@ -9,7 +9,8 @@
 //! most reliability — the engineering decision the paper's methodology
 //! exists to inform.
 
-use crate::engine::EvalEngine;
+use crate::checkpoint::fingerprint;
+use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl};
 use crate::faulty_model::FaultyModel;
 use bdlfi_bayes::{mh_step, seed_stream};
 use bdlfi_faults::{BitRange, FaultConfig};
@@ -81,6 +82,31 @@ pub fn attribute_faults(
     beta: Option<f64>,
     seed: u64,
 ) -> AttributionReport {
+    match attribute_faults_controlled(fm, samples, beta, seed, &RunControl::default(), None) {
+        Ok(report) => report,
+        Err(e) => panic!("attribution failed: {e}"),
+    }
+}
+
+/// [`attribute_faults`] with cooperative cancellation and an optional
+/// checkpoint journal (one entry per completed restart chain).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`attribute_faults`].
+pub fn attribute_faults_controlled(
+    fm: &FaultyModel,
+    samples: usize,
+    beta: Option<f64>,
+    seed: u64,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<AttributionReport, EngineError> {
     assert!(samples > 0, "attribution needs at least one sample");
     let restarts = 8.min(samples);
     let per_chain = samples.div_ceil(restarts);
@@ -88,13 +114,37 @@ pub fn attribute_faults(
     // (restart `r` draws from seed-stream lanes 2r and 2r+1) and merge the
     // reports in restart order, so the result is worker-count invariant.
     let engine = EvalEngine::new(seed);
-    let (reports, _meta) = engine.map((0..restarts).collect(), |_ctx, r| {
-        attribute_single_chain(fm, per_chain, beta, seed, r)
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            s.fingerprint = fingerprint(
+                "attribution",
+                &(samples, beta.unwrap_or(f64::NAN), seed, fm.golden_error()),
+            );
+        }
+        s
     });
-    reports
+    let mut sink = CollectSink::new();
+    engine.run_checkpointed(
+        restarts,
+        || (),
+        |(), ctx| {
+            Ok(attribute_single_chain(
+                fm,
+                per_chain,
+                beta,
+                seed,
+                ctx.task_id,
+            ))
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    Ok(sink
+        .into_inner()
         .into_iter()
         .reduce(merge_reports)
-        .expect("at least one restart")
+        .expect("at least one restart"))
 }
 
 /// Pools two attribution reports, weighting by their sample counts.

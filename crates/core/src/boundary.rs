@@ -3,7 +3,8 @@
 //! against the original classification boundary. The paper's finding:
 //! *the effect of faults is most significant at the decision boundary.*
 
-use crate::engine::{EvalEngine, EvalSink, RunMeta};
+use crate::checkpoint::fingerprint;
+use crate::engine::{CheckpointSpec, EngineError, EvalEngine, EvalSink, RunControl, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::stats::spearman;
 use bdlfi_bayes::BetaBernoulli;
@@ -161,6 +162,31 @@ pub fn boundary_map(
     fault_model: Arc<dyn FaultModel>,
     cfg: &BoundaryConfig,
 ) -> BoundaryMap {
+    match boundary_map_controlled(model, spec, fault_model, cfg, &RunControl::default(), None) {
+        Ok(map) => map,
+        Err(e) => panic!("boundary map failed: {e}"),
+    }
+}
+
+/// [`boundary_map`] with cooperative cancellation and an optional
+/// checkpoint journal (one entry per fault sample).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop (resume with the
+/// same config to finish), plus journal/sink failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`boundary_map`].
+pub fn boundary_map_controlled(
+    model: &Sequential,
+    spec: &SiteSpec,
+    fault_model: Arc<dyn FaultModel>,
+    cfg: &BoundaryConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<BoundaryMap, EngineError> {
     assert!(cfg.resolution >= 2, "resolution must be at least 2");
     assert!(cfg.fault_samples > 0, "need at least one fault sample");
 
@@ -214,10 +240,11 @@ pub fn boundary_map(
         counts: Vec<u64>,
     }
     impl EvalSink<Vec<bool>> for MismatchSink {
-        fn accept(&mut self, _task_id: usize, mismatch: Vec<bool>) {
+        fn accept(&mut self, _task_id: usize, mismatch: Vec<bool>) -> Result<(), EngineError> {
             for (count, hit) in self.counts.iter_mut().zip(mismatch) {
                 *count += u64::from(hit);
             }
+            Ok(())
         }
     }
 
@@ -229,15 +256,23 @@ pub fn boundary_map(
         counts: vec![0u64; n],
     };
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
-    let run_meta = engine.run(
+    let ckpt = ckpt.cloned().map(|mut spec| {
+        if spec.fingerprint.is_empty() {
+            spec.fingerprint = fingerprint("boundary_map", cfg);
+        }
+        spec
+    });
+    let run_meta = engine.run_checkpointed(
         cfg.fault_samples,
         || fm.clone(),
         |fm, ctx| {
             let fault_cfg = fm.sample_config(&mut ctx.rng);
-            fm.eval_mismatch(&fault_cfg, &mut ctx.rng)
+            Ok(fm.eval_mismatch(&fault_cfg, &mut ctx.rng))
         },
         &mut sink,
-    );
+        ctl,
+        ckpt.as_ref(),
+    )?;
     let mismatch_counts = sink.counts;
 
     let error_prob: Vec<f64> = mismatch_counts
@@ -250,7 +285,7 @@ pub fn boundary_map(
         .collect();
     let margin_correlation = spearman(&margin, &error_prob);
 
-    BoundaryMap {
+    Ok(BoundaryMap {
         resolution: res,
         x_range: cfg.x_range,
         y_range: cfg.y_range,
@@ -259,7 +294,7 @@ pub fn boundary_map(
         margin,
         margin_correlation,
         run_meta,
-    }
+    })
 }
 
 /// Infers the class count from the model's final dense layer output.

@@ -11,8 +11,9 @@
 //! completeness criteria certify — the operational form of "inject until
 //! further injections change nothing".
 
+use crate::checkpoint::{fingerprint, CheckpointError, CheckpointHeader, CheckpointWriter};
 use crate::completeness::{assess, CompletenessCriteria, CompletenessReport};
-use crate::engine::{EvalEngine, RunMeta};
+use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::proposals::{BitToggleProposal, GibbsBitProposal, PriorProposal};
 use crate::report::CampaignReport;
@@ -110,6 +111,23 @@ impl Default for CampaignConfig {
     }
 }
 
+/// The complete, serializable outcome of one chain after a segment: its
+/// recorded statistics plus everything needed to continue the chain
+/// bit-identically — the Markov state and the exact positions of both RNG
+/// streams. This is what the checkpoint journal stores per chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ChainOutcome {
+    samples: Vec<f64>,
+    flips: Vec<f64>,
+    log_weights: Vec<f64>,
+    accepted: usize,
+    steps: usize,
+    burned_in: bool,
+    state: FaultConfig,
+    rng: [u64; 4],
+    act_rng: [u64; 4],
+}
+
 /// Persistent per-chain state, allowing campaigns to be extended in
 /// segments without restarting the Markov chains.
 struct ChainWorker {
@@ -142,6 +160,38 @@ impl ChainWorker {
             accepted: 0,
             steps: 0,
             burned_in: false,
+        }
+    }
+
+    /// Captures the chain's cumulative outcome (for journaling/assembly).
+    fn snapshot(&self) -> ChainOutcome {
+        ChainOutcome {
+            samples: self.trace.samples().to_vec(),
+            flips: self.flips.clone(),
+            log_weights: self.log_weights.clone(),
+            accepted: self.accepted,
+            steps: self.steps,
+            burned_in: self.burned_in,
+            state: self.state.clone(),
+            rng: self.rng.state(),
+            act_rng: self.act_rng.state(),
+        }
+    }
+
+    /// Rebuilds a chain at the exact point a [`ChainOutcome`] captured, so
+    /// a resumed campaign continues bit-identically.
+    fn restore(fm: &FaultyModel, outcome: &ChainOutcome) -> Self {
+        ChainWorker {
+            fm: fm.clone(),
+            rng: StdRng::from_state(outcome.rng),
+            act_rng: StdRng::from_state(outcome.act_rng),
+            state: outcome.state.clone(),
+            trace: Trace::from_samples(outcome.samples.clone()),
+            flips: outcome.flips.clone(),
+            log_weights: outcome.log_weights.clone(),
+            accepted: outcome.accepted,
+            steps: outcome.steps,
+            burned_in: outcome.burned_in,
         }
     }
 
@@ -308,27 +358,29 @@ impl ChainWorker {
         self.steps += new_steps;
         self.trace.extend(res.trace.samples().iter().copied());
     }
-
-    fn acceptance_rate(&self) -> f64 {
-        self.accepted as f64 / self.steps.max(1) as f64
-    }
 }
 
-/// Assembles the report from finished workers.
+/// Assembles the report from finished chains' outcomes.
 fn assemble(
     fm: &FaultyModel,
     cfg: &CampaignConfig,
-    workers: &[ChainWorker],
+    outcomes: &[ChainOutcome],
     run_meta: RunMeta,
 ) -> CampaignReport {
-    let traces: Vec<Trace> = workers.iter().map(|w| w.trace.clone()).collect();
-    let acceptance_rates: Vec<f64> = workers.iter().map(ChainWorker::acceptance_rate).collect();
+    let traces: Vec<Trace> = outcomes
+        .iter()
+        .map(|o| Trace::from_samples(o.samples.clone()))
+        .collect();
+    let acceptance_rates: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.accepted as f64 / o.steps.max(1) as f64)
+        .collect();
     let mean_flips = {
         let mut total = 0.0;
         let mut count = 0usize;
-        for w in workers {
-            total += w.flips.iter().sum::<f64>();
-            count += w.flips.len();
+        for o in outcomes {
+            total += o.flips.iter().sum::<f64>();
+            count += o.flips.len();
         }
         if count == 0 {
             0.0
@@ -345,9 +397,9 @@ fn assemble(
     // Importance re-weighting back to the prior for biased-sampling
     // kernels (tilted prior, tempered); weights are recorded per sample
     // by the workers and are identically zero for prior-targeting kernels.
-    let pooled_log_w: Vec<f64> = workers
+    let pooled_log_w: Vec<f64> = outcomes
         .iter()
-        .flat_map(|w| w.log_weights.iter().copied())
+        .flat_map(|o| o.log_weights.iter().copied())
         .collect();
     let weighted = pooled_log_w.iter().any(|&w| w != 0.0);
     let (mean_error, importance_ess) = if weighted {
@@ -395,13 +447,61 @@ fn advance_all(
 ///
 /// Panics if `cfg.chains == 0` or the chain schedule records no samples.
 pub fn run_campaign(fm: &FaultyModel, cfg: &CampaignConfig) -> CampaignReport {
+    match run_campaign_controlled(fm, cfg, &RunControl::default(), None) {
+        Ok(rep) => rep,
+        Err(e) => panic!("campaign failed: {e}"),
+    }
+}
+
+/// [`run_campaign`] with cooperative cancellation and an optional
+/// checkpoint journal (one entry per finished chain, holding the chain's
+/// complete outcome). An interrupted campaign resumes bit-identically:
+/// journaled chains are replayed, the rest run from scratch — every chain
+/// is a pure function of `(cfg.seed, chain_index)`.
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_campaign`].
+pub fn run_campaign_controlled(
+    fm: &FaultyModel,
+    cfg: &CampaignConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<CampaignReport, EngineError> {
     assert!(cfg.chains > 0, "campaign needs at least one chain");
     assert!(cfg.chain.samples > 0, "campaign must record samples");
-    let workers: Vec<ChainWorker> = (0..cfg.chains)
-        .map(|i| ChainWorker::new(fm, cfg, i))
-        .collect();
-    let (workers, meta) = advance_all(workers, cfg, cfg.chain.samples);
-    assemble(fm, cfg, &workers, meta)
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let ckpt = ckpt.cloned().map(|mut spec| {
+        if spec.fingerprint.is_empty() {
+            spec.fingerprint = campaign_fingerprint(fm, cfg);
+        }
+        spec
+    });
+    let mut sink = CollectSink::new();
+    let meta = engine.run_checkpointed(
+        cfg.chains,
+        || fm.clone(),
+        |fm, ctx| {
+            let mut worker = ChainWorker::new(fm, cfg, ctx.task_id);
+            worker.advance(cfg, cfg.chain.samples);
+            Ok(worker.snapshot())
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    Ok(assemble(fm, cfg, &sink.into_inner(), meta))
+}
+
+/// The fingerprint binding a campaign journal to its identity: driver,
+/// config, and the golden error as a cheap model/dataset proxy.
+fn campaign_fingerprint(fm: &FaultyModel, cfg: &CampaignConfig) -> String {
+    fingerprint("campaign", &(*cfg, fm.golden_error()))
 }
 
 /// Runs an adaptive campaign: chains are extended in segments of
@@ -422,19 +522,159 @@ pub fn run_campaign_adaptive(
     cfg: &CampaignConfig,
     max_samples_per_chain: usize,
 ) -> CampaignReport {
+    match run_campaign_adaptive_controlled(
+        fm,
+        cfg,
+        max_samples_per_chain,
+        &RunControl::default(),
+        None,
+    ) {
+        Ok(rep) => rep,
+        Err(e) => panic!("adaptive campaign failed: {e}"),
+    }
+}
+
+/// [`run_campaign_adaptive`] with cooperative cancellation and an optional
+/// checkpoint journal.
+///
+/// The adaptive driver journals at *segment* granularity: after each
+/// segment, one open-ended journal entry records every chain's cumulative
+/// [`ChainOutcome`] (statistics, Markov state, exact RNG positions). A
+/// resumed run restores the chains from the last entry and continues
+/// bit-identically; at most one in-flight segment of work is recomputed.
+/// `ctl.stop_after` counts *segments* for this driver.
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop;
+/// [`CheckpointError::AlreadyComplete`] (wrapped) when resuming a journal
+/// whose chains already certified or exhausted the budget; plus journal
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_campaign_adaptive`].
+pub fn run_campaign_adaptive_controlled(
+    fm: &FaultyModel,
+    cfg: &CampaignConfig,
+    max_samples_per_chain: usize,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<CampaignReport, EngineError> {
     assert!(cfg.chains > 0, "campaign needs at least one chain");
     assert!(cfg.chain.samples > 0, "segment size must be positive");
     assert!(
         max_samples_per_chain >= cfg.chain.samples,
         "max_samples_per_chain must be at least one segment"
     );
-    let mut workers: Vec<ChainWorker> = (0..cfg.chains)
-        .map(|i| ChainWorker::new(fm, cfg, i))
-        .collect();
+    // Worst-case segment count (criteria never certify): the budget in
+    // full segments. Used as the `tasks` denominator for interrupts.
+    let max_segments = max_samples_per_chain.div_ceil(cfg.chain.samples);
 
+    // Segment journals are open-ended (`tasks: 0`): the number of entries
+    // depends on when the criteria certify.
+    let header = |spec: &CheckpointSpec| CheckpointHeader {
+        fingerprint: if spec.fingerprint.is_empty() {
+            fingerprint(
+                "campaign_adaptive",
+                &(*cfg, max_samples_per_chain, fm.golden_error()),
+            )
+        } else {
+            spec.fingerprint.clone()
+        },
+        seed: cfg.seed,
+        tasks: 0,
+    };
+
+    let mut writer: Option<CheckpointWriter> = None;
+    let mut workers: Vec<ChainWorker>;
+    let mut segments_done = 0usize;
     let mut recorded = 0usize;
     let mut run_meta: Option<RunMeta> = None;
+    let mut resumed_from = None;
+
+    match ckpt {
+        Some(spec) if spec.resume => {
+            let (w, replayed) =
+                CheckpointWriter::resume(&spec.path, &header(spec), spec.sync_every)?;
+            writer = Some(w);
+            segments_done = replayed.len();
+            resumed_from = (segments_done > 0).then_some(segments_done);
+            // Re-derive the deterministic segment schedule the journaled
+            // run followed, so `recorded` matches it exactly.
+            for _ in 0..segments_done {
+                recorded += cfg.chain.samples.min(max_samples_per_chain - recorded);
+            }
+            workers = match replayed.last() {
+                Some(last) => {
+                    let outcomes = Vec::<ChainOutcome>::from_json_value(last).map_err(|e| {
+                        CheckpointError::Corrupt {
+                            line: segments_done + 1,
+                            detail: format!("segment outcome does not deserialize: {e}"),
+                        }
+                    })?;
+                    if outcomes.len() != cfg.chains {
+                        return Err(CheckpointError::Mismatch {
+                            field: "chains",
+                            expected: cfg.chains.to_string(),
+                            found: outcomes.len().to_string(),
+                        }
+                        .into());
+                    }
+                    outcomes
+                        .iter()
+                        .map(|o| ChainWorker::restore(fm, o))
+                        .collect()
+                }
+                None => (0..cfg.chains)
+                    .map(|i| ChainWorker::new(fm, cfg, i))
+                    .collect(),
+            };
+            // A journal whose chains already certified (or exhausted the
+            // budget) has nothing to resume.
+            if segments_done > 0 {
+                let traces: Vec<Trace> = workers.iter().map(|w| w.trace.clone()).collect();
+                if assess(&traces, &cfg.criteria).certified || recorded >= max_samples_per_chain {
+                    return Err(CheckpointError::AlreadyComplete {
+                        tasks: segments_done,
+                    }
+                    .into());
+                }
+            }
+        }
+        Some(spec) => {
+            writer = Some(CheckpointWriter::create(
+                &spec.path,
+                &header(spec),
+                spec.sync_every,
+            )?);
+            workers = (0..cfg.chains)
+                .map(|i| ChainWorker::new(fm, cfg, i))
+                .collect();
+        }
+        None => {
+            workers = (0..cfg.chains)
+                .map(|i| ChainWorker::new(fm, cfg, i))
+                .collect();
+        }
+    }
+
     loop {
+        if ctl
+            .stop
+            .as_ref()
+            .is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed))
+            || ctl.stop_after.is_some_and(|n| segments_done >= n)
+        {
+            if let Some(w) = writer.as_mut() {
+                w.sync()?;
+            }
+            return Err(EngineError::Interrupted {
+                completed: segments_done,
+                tasks: max_segments,
+            });
+        }
+
         let segment = cfg.chain.samples.min(max_samples_per_chain - recorded);
         let (advanced, meta) = advance_all(workers, cfg, segment);
         workers = advanced;
@@ -444,11 +684,20 @@ pub fn run_campaign_adaptive(
         });
         recorded += segment;
 
+        if let Some(w) = writer.as_mut() {
+            let snapshots: Vec<ChainOutcome> = workers.iter().map(ChainWorker::snapshot).collect();
+            w.append(segments_done, &snapshots)?;
+            w.sync()?;
+        }
+        segments_done += 1;
+
         let traces: Vec<Trace> = workers.iter().map(|w| w.trace.clone()).collect();
         let verdict = assess(&traces, &cfg.criteria);
         if verdict.certified || recorded >= max_samples_per_chain {
-            let meta = run_meta.unwrap_or_default();
-            return assemble(fm, cfg, &workers, meta);
+            let mut meta = run_meta.unwrap_or_default();
+            meta.resumed_from = resumed_from;
+            let outcomes: Vec<ChainOutcome> = workers.iter().map(ChainWorker::snapshot).collect();
+            return Ok(assemble(fm, cfg, &outcomes, meta));
         }
     }
 }

@@ -1,0 +1,604 @@
+//! Crash-safe campaign journals: the persistence layer behind
+//! checkpoint/resume.
+//!
+//! A long fault-injection campaign is thousands of independent,
+//! deterministic tasks (every task is a pure function of
+//! `(campaign_seed, task_id)` — the engine's seed discipline). That makes
+//! a *result journal* a complete checkpoint: record each finished task's
+//! result in task order, and an interrupted campaign resumes by replaying
+//! the journal into its sink and computing only the remaining tasks. The
+//! resumed report is bit-identical to an uninterrupted run.
+//!
+//! The journal is a JSONL file:
+//!
+//! ```text
+//! {"magic":"bdlfi-checkpoint","version":1,"fingerprint":"9f…","seed":42,"tasks":128}
+//! {"task":0,"value":…}
+//! {"task":1,"value":…}
+//! ```
+//!
+//! * The **header** binds the journal to one campaign: a [`fingerprint`]
+//!   of the driver name + serialized config, the engine seed, and the task
+//!   count (`0` for open-ended segment journals). It is written to a
+//!   temporary file, fsync'd, and atomically renamed into place, so a
+//!   journal either exists with a valid header or not at all.
+//! * **Entries** are appended one line per completed task, in task order,
+//!   and fsync'd in batches (plus once on stop/completion), bounding the
+//!   work lost to a crash to the unsynced tail.
+//! * The **reader** is strict: any malformed or out-of-order line is a
+//!   typed [`CheckpointError::Corrupt`], a header that does not match the
+//!   resuming campaign is a [`CheckpointError::Mismatch`], and resuming a
+//!   journal that already covers every task is
+//!   [`CheckpointError::AlreadyComplete`] — never a panic, never a silent
+//!   partial report.
+
+use serde::Serialize;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic string identifying a BDLFI checkpoint journal.
+const MAGIC: &str = "bdlfi-checkpoint";
+/// Current journal format version.
+const VERSION: u64 = 1;
+
+/// Why a journal could not be written, read, or resumed from.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A journal line failed to parse or was out of order (1-based line).
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The journal header does not match the resuming campaign.
+    Mismatch {
+        /// Which header field disagreed.
+        field: &'static str,
+        /// The value the resuming campaign expected.
+        expected: String,
+        /// The value found in the journal.
+        found: String,
+    },
+    /// The journal already covers every task — there is nothing to resume.
+    AlreadyComplete {
+        /// The task count the journal covers.
+        tasks: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { line, detail } => {
+                write!(f, "corrupt checkpoint journal at line {line}: {detail}")
+            }
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {field} mismatch: campaign has {expected}, journal has {found}"
+            ),
+            CheckpointError::AlreadyComplete { tasks } => {
+                write!(
+                    f,
+                    "checkpoint already complete: all {tasks} tasks journaled"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// The identity a journal is bound to, stored in its header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// [`fingerprint`] of the driver name + campaign configuration.
+    pub fingerprint: String,
+    /// The engine seed the per-task RNG streams derive from.
+    pub seed: u64,
+    /// Total task count; `0` marks an open-ended (segment) journal, for
+    /// which [`CheckpointError::AlreadyComplete`] is never raised.
+    pub tasks: usize,
+}
+
+impl CheckpointHeader {
+    fn to_json_line(&self) -> String {
+        let obj = serde::Value::Object(vec![
+            ("magic".to_string(), MAGIC.to_string().to_json_value()),
+            ("version".to_string(), VERSION.to_json_value()),
+            ("fingerprint".to_string(), self.fingerprint.to_json_value()),
+            ("seed".to_string(), self.seed.to_json_value()),
+            ("tasks".to_string(), self.tasks.to_json_value()),
+        ]);
+        serde_json::to_string(&obj).expect("header serialization is infallible")
+    }
+
+    fn parse(line: &str) -> Result<Self, CheckpointError> {
+        let corrupt = |detail: String| CheckpointError::Corrupt { line: 1, detail };
+        let v: serde::Value =
+            serde_json::from_str(line).map_err(|e| corrupt(format!("unparseable header: {e}")))?;
+        let magic = v
+            .get("magic")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| corrupt("header missing `magic`".to_string()))?;
+        if magic != MAGIC {
+            return Err(corrupt(format!(
+                "not a checkpoint journal (magic `{magic}`)"
+            )));
+        }
+        let version = v
+            .get("version")
+            .and_then(serde::Value::as_u64)
+            .ok_or_else(|| corrupt("header missing `version`".to_string()))?;
+        if version != VERSION {
+            return Err(CheckpointError::Mismatch {
+                field: "version",
+                expected: VERSION.to_string(),
+                found: version.to_string(),
+            });
+        }
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| corrupt("header missing `fingerprint`".to_string()))?
+            .to_string();
+        let seed = v
+            .get("seed")
+            .and_then(serde::Value::as_u64)
+            .ok_or_else(|| corrupt("header missing `seed`".to_string()))?;
+        let tasks =
+            v.get("tasks")
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| corrupt("header missing `tasks`".to_string()))? as usize;
+        Ok(CheckpointHeader {
+            fingerprint,
+            seed,
+            tasks,
+        })
+    }
+
+    fn verify_matches(&self, expected: &CheckpointHeader) -> Result<(), CheckpointError> {
+        let mismatch = |field, expected: &dyn fmt::Display, found: &dyn fmt::Display| {
+            Err(CheckpointError::Mismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            })
+        };
+        if self.fingerprint != expected.fingerprint {
+            return mismatch("fingerprint", &expected.fingerprint, &self.fingerprint);
+        }
+        if self.seed != expected.seed {
+            return mismatch("seed", &expected.seed, &self.seed);
+        }
+        if self.tasks != expected.tasks {
+            return mismatch("tasks", &expected.tasks, &self.tasks);
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a 64-bit fingerprint of a driver name + its serialized
+/// configuration — the identity check that stops a journal from being
+/// replayed into a campaign with a different config, model or seed
+/// derivation.
+pub fn fingerprint<C: Serialize + ?Sized>(driver: &str, config: &C) -> String {
+    let json = serde_json::to_string(config).unwrap_or_default();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in driver.as_bytes().iter().chain(json.as_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Reads and strictly validates a journal: returns its header and the
+/// journaled result values in task order.
+///
+/// # Errors
+///
+/// [`CheckpointError::Io`] if the file cannot be read,
+/// [`CheckpointError::Corrupt`] for any malformed, out-of-order or
+/// truncated line.
+pub fn read_journal(path: &Path) -> Result<(CheckpointHeader, Vec<serde::Value>), CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or(CheckpointError::Corrupt {
+        line: 1,
+        detail: "empty journal (no header)".to_string(),
+    })?;
+    let header = CheckpointHeader::parse(header_line)?;
+
+    let mut values = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2; // 1-based, after the header
+        if line.is_empty() {
+            return Err(CheckpointError::Corrupt {
+                line: line_no,
+                detail: "empty entry line".to_string(),
+            });
+        }
+        let v: serde::Value = serde_json::from_str(line).map_err(|e| CheckpointError::Corrupt {
+            line: line_no,
+            detail: format!("unparseable entry (truncated write?): {e}"),
+        })?;
+        let task = v
+            .get("task")
+            .and_then(serde::Value::as_u64)
+            .ok_or_else(|| CheckpointError::Corrupt {
+                line: line_no,
+                detail: "entry missing `task`".to_string(),
+            })? as usize;
+        if task != idx {
+            return Err(CheckpointError::Corrupt {
+                line: line_no,
+                detail: format!("entry for task {task} where task {idx} was expected"),
+            });
+        }
+        let value = v.get("value").ok_or_else(|| CheckpointError::Corrupt {
+            line: line_no,
+            detail: "entry missing `value`".to_string(),
+        })?;
+        if header.tasks > 0 && task >= header.tasks {
+            return Err(CheckpointError::Corrupt {
+                line: line_no,
+                detail: format!("entry for task {task} beyond task count {}", header.tasks),
+            });
+        }
+        values.push(value.clone());
+    }
+    Ok((header, values))
+}
+
+/// Appends completed-task results to a journal, fsync'ing in batches.
+///
+/// Created via [`CheckpointWriter::create`] (fresh journal, atomic header
+/// install) or [`CheckpointWriter::resume`] (validate + replay an existing
+/// journal, then continue appending).
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: File,
+    entries: usize,
+    unsynced: usize,
+    sync_every: usize,
+}
+
+impl CheckpointWriter {
+    /// Creates a fresh journal at `path`: the header is written to a
+    /// sibling temporary file, fsync'd, and renamed into place, so a
+    /// half-written header can never be observed at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on any filesystem failure.
+    pub fn create(
+        path: &Path,
+        header: &CheckpointHeader,
+        sync_every: usize,
+    ) -> Result<Self, CheckpointError> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = tmp_path(path);
+        let mut file = File::create(&tmp)?;
+        writeln!(file, "{}", header.to_json_line())?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // The handle follows the inode across the rename, so appends after
+        // this point land in the installed journal.
+        Ok(CheckpointWriter {
+            file,
+            entries: 0,
+            unsynced: 0,
+            sync_every: sync_every.max(1),
+        })
+    }
+
+    /// Opens an existing journal for appending: validates it strictly,
+    /// checks its header against `expected`, and returns the journaled
+    /// values (in task order) for replay.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`read_journal`] raises, [`CheckpointError::Mismatch`]
+    /// when the header disagrees with `expected`, and
+    /// [`CheckpointError::AlreadyComplete`] when a closed-ended journal
+    /// already covers all of its tasks.
+    pub fn resume(
+        path: &Path,
+        expected: &CheckpointHeader,
+        sync_every: usize,
+    ) -> Result<(Self, Vec<serde::Value>), CheckpointError> {
+        let (header, values) = read_journal(path)?;
+        header.verify_matches(expected)?;
+        if header.tasks > 0 && values.len() >= header.tasks {
+            return Err(CheckpointError::AlreadyComplete {
+                tasks: header.tasks,
+            });
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        let writer = CheckpointWriter {
+            file,
+            entries: values.len(),
+            unsynced: 0,
+            sync_every: sync_every.max(1),
+        };
+        Ok((writer, values))
+    }
+
+    /// The number of entries the journal holds (replayed + appended).
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Appends the result of `task_id`, which must be the next task in
+    /// order. Fsyncs once every `sync_every` appends; call
+    /// [`CheckpointWriter::sync`] to force the tail out (on stop or
+    /// completion).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on write failure,
+    /// [`CheckpointError::Corrupt`] if `task_id` is out of order (an
+    /// engine-invariant violation surfaced as an error rather than a
+    /// corrupted journal).
+    pub fn append<T: Serialize + ?Sized>(
+        &mut self,
+        task_id: usize,
+        value: &T,
+    ) -> Result<(), CheckpointError> {
+        if task_id != self.entries {
+            return Err(CheckpointError::Corrupt {
+                line: self.entries + 2,
+                detail: format!(
+                    "append of task {task_id} where task {} was expected",
+                    self.entries
+                ),
+            });
+        }
+        let obj = serde::Value::Object(vec![
+            ("task".to_string(), task_id.to_json_value()),
+            ("value".to_string(), value.to_json_value()),
+        ]);
+        let line = serde_json::to_string(&obj).expect("value serialization is infallible");
+        writeln!(self.file, "{line}")?;
+        self.entries += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces any unsynced appends to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the fsync fails.
+    pub fn sync(&mut self) -> Result<(), CheckpointError> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdlfi_ckpt_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn header(tasks: usize) -> CheckpointHeader {
+        CheckpointHeader {
+            fingerprint: fingerprint("test-driver", &42u64),
+            seed: 7,
+            tasks,
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_in_task_order() {
+        let dir = unique_dir("roundtrip");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(3), 2).unwrap();
+        for i in 0..3usize {
+            w.append(i, &(i as u64 * 10)).unwrap();
+        }
+        w.sync().unwrap();
+        let (h, values) = read_journal(&path).unwrap();
+        assert_eq!(h, header(3));
+        let back: Vec<u64> = values
+            .iter()
+            .map(|v| u64::from_json_value(v).unwrap())
+            .collect();
+        assert_eq!(back, vec![0, 10, 20]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_replays_and_continues() {
+        let dir = unique_dir("resume");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let (mut w, replayed) = CheckpointWriter::resume(&path, &header(4), 32).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(w.entries(), 2);
+        w.append(2, &3u64).unwrap();
+        w.append(3, &4u64).unwrap();
+        w.sync().unwrap();
+        let (_, values) = read_journal(&path).unwrap();
+        assert_eq!(values.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_entry_is_a_typed_corrupt_error() {
+        let dir = unique_dir("truncated");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Simulate a torn write: chop the last line mid-JSON.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 5]).unwrap();
+        match CheckpointWriter::resume(&path, &header(4), 32) {
+            Err(CheckpointError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_entry_is_corrupt() {
+        let dir = unique_dir("order");
+        let path = dir.join("j.jsonl");
+        let w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"task\":1,\"value\":5}\n");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            read_journal(&path),
+            Err(CheckpointError::Corrupt { line: 2, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_and_seed_mismatches_are_typed() {
+        let dir = unique_dir("mismatch");
+        let path = dir.join("j.jsonl");
+        drop(CheckpointWriter::create(&path, &header(4), 32).unwrap());
+
+        let mut other = header(4);
+        other.fingerprint = fingerprint("test-driver", &43u64);
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &other, 32),
+            Err(CheckpointError::Mismatch {
+                field: "fingerprint",
+                ..
+            })
+        ));
+
+        let mut other = header(4);
+        other.seed = 8;
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &other, 32),
+            Err(CheckpointError::Mismatch { field: "seed", .. })
+        ));
+
+        let other = header(5);
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &other, 32),
+            Err(CheckpointError::Mismatch { field: "tasks", .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_after_complete_is_typed() {
+        let dir = unique_dir("complete");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(2), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &header(2), 32),
+            Err(CheckpointError::AlreadyComplete { tasks: 2 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_ended_journals_never_report_complete() {
+        let dir = unique_dir("open");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(0), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (_, replayed) = CheckpointWriter::resume(&path, &header(0), 32).unwrap();
+        assert_eq!(replayed.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_an_io_error() {
+        let dir = unique_dir("missing");
+        assert!(matches!(
+            read_journal(&dir.join("nope.jsonl")),
+            Err(CheckpointError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_order_append_is_rejected() {
+        let dir = unique_dir("append_order");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        assert!(matches!(
+            w.append(2, &3u64),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_depends_on_driver_and_config() {
+        assert_ne!(fingerprint("a", &1u64), fingerprint("b", &1u64));
+        assert_ne!(fingerprint("a", &1u64), fingerprint("a", &2u64));
+        assert_eq!(fingerprint("a", &1u64), fingerprint("a", &1u64));
+    }
+}

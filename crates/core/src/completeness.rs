@@ -7,7 +7,7 @@
 //! (split-R̂), carry enough information (ESS) and pin the estimate down
 //! (Monte Carlo standard error).
 
-use bdlfi_bayes::{ess, mcse, split_rhat, Trace};
+use bdlfi_bayes::{ess_slices, mcse_slices, split_rhat_slices, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Thresholds a campaign must meet to be certified complete.
@@ -52,9 +52,16 @@ pub struct CompletenessReport {
 /// exactly 1.0 from constant traces passes (a statistic that never moves
 /// is maximally converged).
 pub fn assess(chains: &[Trace], criteria: &CompletenessCriteria) -> CompletenessReport {
-    let rhat = split_rhat(chains);
-    let e = ess(chains);
-    let m = mcse(chains);
+    let slices: Vec<&[f64]> = chains.iter().map(Trace::samples).collect();
+    assess_slices(&slices, criteria)
+}
+
+/// [`assess`] on borrowed sample slices — lets growing-prefix scans avoid
+/// cloning each prefix into a fresh [`Trace`].
+pub fn assess_slices(chains: &[&[f64]], criteria: &CompletenessCriteria) -> CompletenessReport {
+    let rhat = split_rhat_slices(chains);
+    let e = ess_slices(chains);
+    let m = mcse_slices(chains);
     // Constant traces have zero variance: mcse = 0, which certifies.
     let rhat_ok = rhat.is_finite() && rhat <= criteria.max_rhat;
     let ess_ok = e.is_finite() && e >= criteria.min_ess;
@@ -85,11 +92,10 @@ pub fn samples_to_certify(
     let n = chains.iter().map(Trace::len).min().unwrap_or(0);
     let mut k = step;
     while k <= n {
-        let prefixes: Vec<Trace> = chains
-            .iter()
-            .map(|c| Trace::from_samples(c.samples()[..k].to_vec()))
-            .collect();
-        if assess(&prefixes, criteria).certified {
+        // Borrow each prefix instead of cloning it into a fresh Trace —
+        // the scan is O(n·k_certify) in samples touched, not O(n²) allocated.
+        let prefixes: Vec<&[f64]> = chains.iter().map(|c| &c.samples()[..k]).collect();
+        if assess_slices(&prefixes, criteria).certified {
             return Some(k);
         }
         k += step;
@@ -163,6 +169,39 @@ mod tests {
         let a = samples_to_certify(&quiet, &crit, 50).expect("quiet certifies");
         let b = samples_to_certify(&loud, &crit, 50).expect("loud certifies");
         assert!(a < b, "quiet {a} vs loud {b}");
+    }
+
+    #[test]
+    fn borrowed_prefix_scan_matches_cloning_reference() {
+        // The certified step must be unchanged by the move from cloned
+        // prefix Traces to borrowed slices.
+        let crit = CompletenessCriteria {
+            max_rhat: 1.05,
+            min_ess: 100.0,
+            max_mcse: 0.01,
+        };
+        for chains in [iid_chains(4, 4000, 0.05), iid_chains(4, 4000, 0.3)] {
+            let step = 50;
+            let fast = samples_to_certify(&chains, &crit, step);
+            let reference = {
+                let n = chains.iter().map(Trace::len).min().unwrap_or(0);
+                let mut found = None;
+                let mut k = step;
+                while k <= n {
+                    let prefixes: Vec<Trace> = chains
+                        .iter()
+                        .map(|c| Trace::from_samples(c.samples()[..k].to_vec()))
+                        .collect();
+                    if assess(&prefixes, &crit).certified {
+                        found = Some(k);
+                        break;
+                    }
+                    k += step;
+                }
+                found
+            };
+            assert_eq!(fast, reference);
+        }
     }
 
     #[test]

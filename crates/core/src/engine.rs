@@ -28,14 +28,172 @@
 //! * [`RunMeta`] throughput accounting (tasks, workers, elapsed seconds,
 //!   tasks/sec) embedded in every driver report for cross-run comparison.
 
+use crate::checkpoint::{CheckpointError, CheckpointHeader, CheckpointWriter};
 use bdlfi_bayes::seed_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Why an engine run did not complete normally. Every variant is
+/// *recoverable*: an interrupted or failed campaign leaves its journal (if
+/// any) synced, so the caller can report, retry, or resume instead of
+/// aborting the process.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Cooperative cancellation: the stop flag was raised (or the
+    /// `stop_after` watermark reached) and the engine drained cleanly.
+    /// `completed` results were delivered (and journaled, when
+    /// checkpointing) — resuming runs only the remaining tasks.
+    Interrupted {
+        /// Results delivered to the sink before the stop, in task order.
+        completed: usize,
+        /// The full task count of the run.
+        tasks: usize,
+    },
+    /// A task closure panicked; the run drained and no further tasks ran.
+    TaskPanicked {
+        /// The task whose closure panicked.
+        task_id: usize,
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
+    /// An engine-internal lock was poisoned (a panic elsewhere corrupted
+    /// shared state).
+    Poisoned(&'static str),
+    /// The checkpoint journal could not be written, read, or resumed from.
+    Checkpoint(CheckpointError),
+    /// A task reported a driver-level failure (e.g. a nested engine run
+    /// was interrupted or its sink failed).
+    Task {
+        /// The task that failed.
+        task_id: usize,
+        /// The failure, boxed to keep the variant small.
+        source: Box<EngineError>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Interrupted { completed, tasks } => {
+                write!(f, "run interrupted after {completed} of {tasks} tasks")
+            }
+            EngineError::TaskPanicked { task_id, detail } => {
+                write!(f, "task {task_id} panicked: {detail}")
+            }
+            EngineError::Poisoned(what) => write!(f, "engine poisoned: {what}"),
+            EngineError::Checkpoint(e) => write!(f, "{e}"),
+            EngineError::Task { task_id, source } => {
+                write!(f, "task {task_id} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Checkpoint(e) => Some(e),
+            EngineError::Task { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
+
+/// Cooperative cancellation for an engine run (and, transitively, the
+/// campaign driver above it): a shared stop flag a signal handler or
+/// supervisor can raise, plus a deterministic `stop_after` watermark for
+/// tests. The engine checks between tasks and drains cleanly — delivered
+/// results stay delivered (and journaled), and the run returns
+/// [`EngineError::Interrupted`].
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Raise to request a stop at the next task boundary.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Stop once this many results (including replayed ones) have been
+    /// delivered — a deterministic kill switch for resume tests.
+    pub stop_after: Option<usize>,
+}
+
+impl RunControl {
+    /// A control that never stops.
+    #[must_use]
+    pub fn new() -> Self {
+        RunControl::default()
+    }
+
+    /// A control wired to a shared stop flag.
+    #[must_use]
+    pub fn with_stop(flag: Arc<AtomicBool>) -> Self {
+        RunControl {
+            stop: Some(flag),
+            stop_after: None,
+        }
+    }
+
+    /// A control that stops after `n` delivered results.
+    #[must_use]
+    pub fn stop_after(n: usize) -> Self {
+        RunControl {
+            stop: None,
+            stop_after: Some(n),
+        }
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+}
+
+/// Where (and how) a checkpointed run journals its results.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// The journal file.
+    pub path: PathBuf,
+    /// [`crate::checkpoint::fingerprint`] of the driver + config, binding
+    /// the journal to one campaign identity.
+    pub fingerprint: String,
+    /// Resume from an existing journal (replay + continue) instead of
+    /// creating a fresh one.
+    pub resume: bool,
+    /// Fsync the journal once every this many appends.
+    pub sync_every: usize,
+}
+
+impl CheckpointSpec {
+    /// A fresh-journal spec with the default sync batch (32 appends).
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>, fingerprint: String) -> Self {
+        CheckpointSpec {
+            path: path.into(),
+            fingerprint,
+            resume: false,
+            sync_every: 32,
+        }
+    }
+
+    /// The same spec, resuming from the existing journal.
+    #[must_use]
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+}
 
 /// Execution metadata of one engine run, embedded in every driver report.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -50,6 +208,9 @@ pub struct RunMeta {
     pub tasks_per_sec: f64,
     /// The engine seed the per-task RNG streams were derived from.
     pub seed: u64,
+    /// When the run resumed from a checkpoint journal: how many task
+    /// results were replayed rather than recomputed.
+    pub resumed_from: Option<usize>,
 }
 
 // The vendored serde derive cannot mark struct fields optional, so RunMeta
@@ -69,6 +230,10 @@ impl Serialize for RunMeta {
                 self.tasks_per_sec.to_json_value(),
             ),
             ("seed".to_string(), self.seed.to_json_value()),
+            (
+                "resumed_from".to_string(),
+                self.resumed_from.to_json_value(),
+            ),
         ])
     }
 }
@@ -84,6 +249,7 @@ impl Deserialize for RunMeta {
             elapsed_secs: serde::from_field(entries, "elapsed_secs", "RunMeta")?,
             tasks_per_sec: serde::from_field(entries, "tasks_per_sec", "RunMeta")?,
             seed: serde::from_field(entries, "seed", "RunMeta")?,
+            resumed_from: serde::from_field(entries, "resumed_from", "RunMeta")?,
         })
     }
 
@@ -110,6 +276,7 @@ impl RunMeta {
                 0.0
             },
             seed: self.seed,
+            resumed_from: self.resumed_from.or(later.resumed_from),
         }
     }
 }
@@ -122,7 +289,13 @@ impl RunMeta {
 /// bars) without buffering or locking of their own.
 pub trait EvalSink<T> {
     /// Consumes the result of task `task_id`.
-    fn accept(&mut self, task_id: usize, value: T);
+    ///
+    /// # Errors
+    ///
+    /// A sink may fail recoverably (e.g. streaming results to a file that
+    /// ran out of space); the engine drains and surfaces the error instead
+    /// of panicking.
+    fn accept(&mut self, task_id: usize, value: T) -> Result<(), EngineError>;
 }
 
 /// The simplest sink: collects every result into a `Vec` in task order.
@@ -152,9 +325,10 @@ impl<T> Default for CollectSink<T> {
 }
 
 impl<T> EvalSink<T> for CollectSink<T> {
-    fn accept(&mut self, task_id: usize, value: T) {
+    fn accept(&mut self, task_id: usize, value: T) -> Result<(), EngineError> {
         debug_assert_eq!(task_id, self.items.len(), "sink delivery out of order");
         self.items.push(value);
+        Ok(())
     }
 }
 
@@ -175,12 +349,53 @@ pub struct EvalEngine {
     workers: usize,
 }
 
-/// Reorder buffer + sink behind one lock: workers insert completions and
-/// drain the contiguous prefix to the sink.
-struct Delivery<'s, T, S: ?Sized> {
+/// Receives each delivered result before the sink — the hook the
+/// checkpoint writer plugs into. Deliveries arrive in task order, so the
+/// journal is always a contiguous result prefix.
+trait Journal<T> {
+    fn record(&mut self, task_id: usize, value: &T) -> Result<(), CheckpointError>;
+    fn sync(&mut self) -> Result<(), CheckpointError>;
+}
+
+/// The no-op journal plain (non-checkpointed) runs use.
+struct NoJournal;
+
+impl<T> Journal<T> for NoJournal {
+    fn record(&mut self, _task_id: usize, _value: &T) -> Result<(), CheckpointError> {
+        Ok(())
+    }
+    fn sync(&mut self) -> Result<(), CheckpointError> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Journal<T> for CheckpointWriter {
+    fn record(&mut self, task_id: usize, value: &T) -> Result<(), CheckpointError> {
+        self.append(task_id, value)
+    }
+    fn sync(&mut self) -> Result<(), CheckpointError> {
+        CheckpointWriter::sync(self)
+    }
+}
+
+/// Reorder buffer + journal + sink behind one lock: workers insert
+/// completions and drain the contiguous prefix (journal first, then sink).
+struct Delivery<'s, T, S: ?Sized, J> {
     next: usize,
     pending: BTreeMap<usize, T>,
     sink: &'s mut S,
+    journal: &'s mut J,
+    error: Option<EngineError>,
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl EvalEngine {
@@ -230,7 +445,9 @@ impl EvalEngine {
     ///
     /// # Panics
     ///
-    /// Propagates panics from `init`, `task` or the sink.
+    /// Propagates panics from `init`, `task` or the sink (as well as any
+    /// [`EngineError`] a sink returns — plain runs have no recovery
+    /// story; use [`EvalEngine::run_checkpointed`] for fallible runs).
     pub fn run<W, T, I, F, S>(&self, tasks: usize, init: I, task: F, sink: &mut S) -> RunMeta
     where
         T: Send,
@@ -239,57 +456,256 @@ impl EvalEngine {
         S: EvalSink<T> + Send + ?Sized,
     {
         let started = Instant::now();
-        let workers = self.workers_for(tasks);
-        if tasks == 0 {
-            return self.meta(0, workers, started);
+        match self.run_inner(
+            tasks,
+            0,
+            &init,
+            &|w: &mut W, ctx: &mut TaskCtx| Ok(task(w, ctx)),
+            sink,
+            &mut NoJournal,
+            &RunControl::default(),
+            started,
+        ) {
+            Ok(meta) => meta,
+            Err(EngineError::TaskPanicked { task_id, detail }) => {
+                panic!("task {task_id} panicked: {detail}")
+            }
+            Err(e) => panic!("engine run failed: {e}"),
         }
+    }
+
+    /// [`EvalEngine::run`] with cooperative cancellation and an optional
+    /// durable checkpoint journal.
+    ///
+    /// With a [`CheckpointSpec`], every delivered result is appended to a
+    /// crash-safe JSONL journal *in task order* (fsync'd in batches and on
+    /// stop). On `resume`, the journal's fingerprint/seed/task-count are
+    /// verified, the journaled results are replayed into `sink` (marked in
+    /// [`RunMeta::resumed_from`]) and only the remaining tasks execute —
+    /// bit-identical to an uninterrupted run, because each task is a pure
+    /// function of `(engine_seed, task_id)`.
+    ///
+    /// `task` returns a `Result` so nested engine runs (drivers that run a
+    /// campaign per task) can surface their own interruptions/failures;
+    /// the first error drains the pool and is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Interrupted`] when `ctl` stopped the run (delivered
+    /// results are journaled; resume to finish), plus every failure mode
+    /// of the journal, the sink, and the tasks.
+    #[allow(clippy::missing_panics_doc)] // replay delivers < tasks entries
+    pub fn run_checkpointed<W, T, I, F, S>(
+        &self,
+        tasks: usize,
+        init: I,
+        task: F,
+        sink: &mut S,
+        ctl: &RunControl,
+        ckpt: Option<&CheckpointSpec>,
+    ) -> Result<RunMeta, EngineError>
+    where
+        T: Send + Serialize + Deserialize,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &mut TaskCtx) -> Result<T, EngineError> + Sync,
+        S: EvalSink<T> + Send + ?Sized,
+    {
+        let started = Instant::now();
+        let Some(spec) = ckpt else {
+            return self.run_inner(tasks, 0, &init, &task, sink, &mut NoJournal, ctl, started);
+        };
+
+        let header = CheckpointHeader {
+            fingerprint: spec.fingerprint.clone(),
+            seed: self.seed,
+            tasks,
+        };
+        let (mut writer, replayed) = if spec.resume {
+            CheckpointWriter::resume(&spec.path, &header, spec.sync_every)?
+        } else {
+            (
+                CheckpointWriter::create(&spec.path, &header, spec.sync_every)?,
+                Vec::new(),
+            )
+        };
+        let start = replayed.len();
+        assert!(
+            start < tasks || tasks == 0,
+            "resume rejects complete journals"
+        );
+        for (i, v) in replayed.iter().enumerate() {
+            let value = T::from_json_value(v).map_err(|e| CheckpointError::Corrupt {
+                line: i + 2,
+                detail: format!("journaled value does not deserialize: {e}"),
+            })?;
+            sink.accept(i, value)?;
+        }
+        let mut meta =
+            self.run_inner(tasks, start, &init, &task, sink, &mut writer, ctl, started)?;
+        if start > 0 {
+            meta.resumed_from = Some(start);
+        }
+        Ok(meta)
+    }
+
+    /// The one execution path under both `run` flavours: tasks
+    /// `start..tasks` execute (the journal already covers `0..start`),
+    /// results are delivered in task order to `journal` then `sink`, and
+    /// `ctl` is consulted at every task boundary.
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner<W, T, I, F, S, J>(
+        &self,
+        tasks: usize,
+        start: usize,
+        init: &I,
+        task: &F,
+        sink: &mut S,
+        journal: &mut J,
+        ctl: &RunControl,
+        started: Instant,
+    ) -> Result<RunMeta, EngineError>
+    where
+        T: Send,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &mut TaskCtx) -> Result<T, EngineError> + Sync,
+        S: EvalSink<T> + Send + ?Sized,
+        J: Journal<T> + Send,
+    {
+        let workers = self.workers_for(tasks - start);
+        if tasks == start {
+            journal.sync()?;
+            return Ok(self.meta(tasks, workers, started));
+        }
+        let stop_at = ctl.stop_after.unwrap_or(usize::MAX);
 
         if workers == 1 {
             // Serial fast path — bit-identical to the pooled path because
             // every task owns its seed stream.
             let mut state = init();
-            for i in 0..tasks {
+            for i in start..tasks {
+                if ctl.stop_requested() || i >= stop_at {
+                    journal.sync()?;
+                    return Err(EngineError::Interrupted {
+                        completed: i,
+                        tasks,
+                    });
+                }
                 let mut ctx = self.ctx(i);
-                let value = task(&mut state, &mut ctx);
-                sink.accept(i, value);
+                let value = match catch_unwind(AssertUnwindSafe(|| task(&mut state, &mut ctx))) {
+                    Ok(Ok(v)) => v,
+                    Ok(Err(e)) => {
+                        journal.sync()?;
+                        return Err(EngineError::Task {
+                            task_id: i,
+                            source: Box::new(e),
+                        });
+                    }
+                    Err(payload) => {
+                        journal.sync()?;
+                        return Err(EngineError::TaskPanicked {
+                            task_id: i,
+                            detail: panic_detail(payload),
+                        });
+                    }
+                };
+                journal.record(i, &value)?;
+                sink.accept(i, value)?;
             }
-            return self.meta(tasks, 1, started);
+            journal.sync()?;
+            return Ok(self.meta(tasks, 1, started));
         }
 
         // Chunked atomic queue: big enough chunks to amortise contention,
         // small enough that long tasks do not serialise the batch.
-        let chunk = (tasks / (workers * 4)).max(1);
-        let next = AtomicUsize::new(0);
+        let chunk = ((tasks - start) / (workers * 4)).max(1);
+        let next = AtomicUsize::new(start);
+        // Raised on stop/error: workers stop claiming and drain out.
+        let abort = AtomicBool::new(false);
+        // Distinguishes a cooperative stop from an error drain.
+        let interrupted = AtomicBool::new(false);
         let delivery = Mutex::new(Delivery {
-            next: 0,
+            next: start,
             pending: BTreeMap::new(),
             sink,
+            journal,
+            error: None,
         });
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let next = &next;
+                let abort = &abort;
+                let interrupted = &interrupted;
                 let delivery = &delivery;
-                let init = &init;
-                let task = &task;
                 scope.spawn(move || {
                     let mut state = init();
                     loop {
-                        let start = next.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= tasks {
+                        if abort.load(Ordering::Relaxed) {
                             return;
                         }
-                        for i in start..(start + chunk).min(tasks) {
+                        let claim = next.fetch_add(chunk, Ordering::Relaxed);
+                        if claim >= tasks {
+                            return;
+                        }
+                        for i in claim..(claim + chunk).min(tasks) {
+                            if abort.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            if ctl.stop_requested() {
+                                interrupted.store(true, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                                return;
+                            }
                             let mut ctx = self.ctx(i);
-                            let value = task(&mut state, &mut ctx);
-                            let mut d = delivery.lock().expect("engine sink poisoned");
-                            d.pending.insert(i, value);
-                            loop {
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| task(&mut state, &mut ctx)));
+                            let Ok(mut d) = delivery.lock() else {
+                                abort.store(true, Ordering::Relaxed);
+                                return;
+                            };
+                            match outcome {
+                                Ok(Ok(v)) => {
+                                    d.pending.insert(i, v);
+                                }
+                                Ok(Err(e)) => {
+                                    d.error.get_or_insert(EngineError::Task {
+                                        task_id: i,
+                                        source: Box::new(e),
+                                    });
+                                    abort.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                                Err(payload) => {
+                                    d.error.get_or_insert(EngineError::TaskPanicked {
+                                        task_id: i,
+                                        detail: panic_detail(payload),
+                                    });
+                                    abort.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                            // Drain the contiguous prefix: journal, then
+                            // sink, stopping at the watermark.
+                            while d.error.is_none() {
+                                if d.next >= stop_at {
+                                    interrupted.store(true, Ordering::Relaxed);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
                                 let id = d.next;
                                 let Some(v) = d.pending.remove(&id) else {
                                     break;
                                 };
-                                d.sink.accept(id, v);
+                                if let Err(e) = d.journal.record(id, &v) {
+                                    d.error = Some(e.into());
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                if let Err(e) = d.sink.accept(id, v) {
+                                    d.error = Some(e);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
                                 d.next += 1;
                             }
                         }
@@ -298,13 +714,23 @@ impl EvalEngine {
             }
         });
 
-        let d = delivery.into_inner().expect("engine sink poisoned");
+        let d = delivery
+            .into_inner()
+            .map_err(|_| EngineError::Poisoned("engine delivery lock"))?;
+        let completed = d.next;
+        let sync_result = d.journal.sync();
+        if let Some(e) = d.error {
+            return Err(e);
+        }
+        sync_result?;
+        if interrupted.load(Ordering::Relaxed) {
+            return Err(EngineError::Interrupted { completed, tasks });
+        }
         assert_eq!(
-            d.next, tasks,
-            "engine delivered {} of {tasks} tasks",
-            d.next
+            completed, tasks,
+            "engine delivered {completed} of {tasks} tasks"
         );
-        self.meta(tasks, workers, started)
+        Ok(self.meta(tasks, workers, started))
     }
 
     /// Maps owned `items` through `f` on the pool, returning outputs in
@@ -355,6 +781,7 @@ impl EvalEngine {
                 0.0
             },
             seed: self.seed,
+            resumed_from: None,
         }
     }
 }
@@ -367,8 +794,9 @@ mod tests {
     /// Records the arrival order of task ids.
     struct OrderSink(Vec<usize>);
     impl EvalSink<u64> for OrderSink {
-        fn accept(&mut self, task_id: usize, _value: u64) {
+        fn accept(&mut self, task_id: usize, _value: u64) -> Result<(), EngineError> {
             self.0.push(task_id);
+            Ok(())
         }
     }
 
@@ -500,6 +928,150 @@ mod tests {
                 ctx.task_id
             },
             &mut sink,
+        );
+    }
+
+    fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bdlfi_engine_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn stop_after_interrupts_and_resume_is_bit_identical() {
+        let reference = draws(1, 64, 11);
+        for workers in [1, 4] {
+            let dir = ckpt_dir(&format!("resume_{workers}"));
+            let spec = CheckpointSpec::new(dir.join("j.jsonl"), "fp".to_string());
+            let engine = EvalEngine::with_workers(11, workers);
+
+            let mut sink = CollectSink::new();
+            let err = engine
+                .run_checkpointed(
+                    64,
+                    || (),
+                    |(), ctx| Ok(ctx.rng.random::<u64>()),
+                    &mut sink,
+                    &RunControl::stop_after(20),
+                    Some(&spec),
+                )
+                .unwrap_err();
+            let completed = match err {
+                EngineError::Interrupted { completed, tasks } => {
+                    assert_eq!(tasks, 64);
+                    completed
+                }
+                other => panic!("expected Interrupted, got {other}"),
+            };
+            assert!(completed >= 20, "stopped before the watermark");
+            assert!(completed < 64, "never stopped");
+            // The sink saw exactly the journaled prefix.
+            assert_eq!(sink.into_inner().as_slice(), &reference[..completed]);
+
+            let mut sink = CollectSink::new();
+            let meta = engine
+                .run_checkpointed(
+                    64,
+                    || (),
+                    |(), ctx| Ok(ctx.rng.random::<u64>()),
+                    &mut sink,
+                    &RunControl::new(),
+                    Some(&spec.clone().resuming()),
+                )
+                .unwrap();
+            assert_eq!(meta.resumed_from, Some(completed));
+            assert_eq!(sink.into_inner(), reference, "workers={workers}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn stop_flag_interrupts_promptly() {
+        let flag = Arc::new(AtomicBool::new(true)); // raised before the run
+        let engine = EvalEngine::with_workers(0, 2);
+        let mut sink = CollectSink::new();
+        let err = engine
+            .run_checkpointed(
+                32,
+                || (),
+                |(), ctx| Ok(ctx.task_id),
+                &mut sink,
+                &RunControl::with_stop(flag),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Interrupted { .. }), "{err}");
+    }
+
+    #[test]
+    fn task_errors_surface_without_panicking() {
+        let engine = EvalEngine::with_workers(0, 2);
+        let mut sink = CollectSink::new();
+        let err = engine
+            .run_checkpointed(
+                16,
+                || (),
+                |(), ctx| {
+                    if ctx.task_id == 7 {
+                        Err(EngineError::Poisoned("simulated"))
+                    } else {
+                        Ok(ctx.task_id)
+                    }
+                },
+                &mut sink,
+                &RunControl::new(),
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Task { task_id: 7, .. }), "{err}");
+    }
+
+    #[test]
+    fn checkpointed_panic_is_a_typed_error() {
+        let engine = EvalEngine::with_workers(0, 2);
+        let mut sink = CollectSink::new();
+        let err = engine
+            .run_checkpointed(
+                8,
+                || (),
+                |(), ctx| {
+                    assert!(ctx.task_id != 5, "boom");
+                    Ok(ctx.task_id)
+                },
+                &mut sink,
+                &RunControl::new(),
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::TaskPanicked { task_id: 5, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn run_meta_roundtrips_resumed_from() {
+        let meta = RunMeta {
+            tasks: 4,
+            workers: 2,
+            elapsed_secs: 1.0,
+            tasks_per_sec: 4.0,
+            seed: 3,
+            resumed_from: Some(2),
+        };
+        let back = RunMeta::from_json_value(&meta.to_json_value()).unwrap();
+        assert_eq!(back, meta);
+        // Reports serialized before the field existed deserialize to None.
+        let legacy = serde::Value::Object(vec![
+            ("tasks".to_string(), 4usize.to_json_value()),
+            ("workers".to_string(), 2usize.to_json_value()),
+            ("elapsed_secs".to_string(), 1.0f64.to_json_value()),
+            ("tasks_per_sec".to_string(), 4.0f64.to_json_value()),
+            ("seed".to_string(), 3u64.to_json_value()),
+        ]);
+        assert_eq!(
+            RunMeta::from_json_value(&legacy).unwrap().resumed_from,
+            None
         );
     }
 

@@ -4,7 +4,8 @@
 //! small-sample random-FI studies.)
 
 use crate::campaign::{run_campaign, CampaignConfig};
-use crate::engine::{EvalEngine, RunMeta};
+use crate::checkpoint::fingerprint;
+use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
 use crate::stats::spearman;
@@ -96,6 +97,40 @@ pub fn run_layerwise(
     budget: LayerBudget,
     cfg: &CampaignConfig,
 ) -> LayerwiseResult {
+    match run_layerwise_controlled(
+        model,
+        eval,
+        layers,
+        budget,
+        cfg,
+        &RunControl::default(),
+        None,
+    ) {
+        Ok(res) => res,
+        Err(e) => panic!("layerwise study failed: {e}"),
+    }
+}
+
+/// [`run_layerwise`] with cooperative cancellation and an optional
+/// checkpoint journal (one entry per completed layer, in depth order).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_layerwise`].
+pub fn run_layerwise_controlled(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    budget: LayerBudget,
+    cfg: &CampaignConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<LayerwiseResult, EngineError> {
     assert!(
         !layers.is_empty(),
         "layerwise study needs at least one layer"
@@ -109,43 +144,59 @@ pub fn run_layerwise(
 
     // One campaign per layer, fanned out through the engine; each
     // campaign is deterministic in (cfg.seed, layer), so the study is
-    // worker-count invariant.
+    // worker-count invariant. Task `i` covers `layers[i]` at depth `i`.
     let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
-    let (results, run_meta) = engine.map(names, |ctx, layer| {
-        let depth = ctx.task_id;
-        let spec = SiteSpec::LayerParams {
-            prefix: layer.clone(),
-        };
-        // Resolve first to size the budget.
-        let elements = bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
-        let p = budget.probability_for(elements);
-        let fm = FaultyModel::new(
-            model.clone(),
-            Arc::clone(eval),
-            &spec,
-            Arc::new(BernoulliBitFlip::new(p)),
-        );
-        LayerResult {
-            depth,
-            layer,
-            elements,
-            p,
-            report: run_campaign(&fm, cfg),
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            s.fingerprint = fingerprint("layerwise", &(*cfg, names.clone(), budget));
         }
+        s
     });
+    let mut sink = CollectSink::new();
+    let run_meta = engine.run_checkpointed(
+        names.len(),
+        || (),
+        |(), ctx| {
+            let depth = ctx.task_id;
+            let layer = names[depth].clone();
+            let spec = SiteSpec::LayerParams {
+                prefix: layer.clone(),
+            };
+            // Resolve first to size the budget.
+            let elements = bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
+            let p = budget.probability_for(elements);
+            let fm = FaultyModel::new(
+                model.clone(),
+                Arc::clone(eval),
+                &spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(LayerResult {
+                depth,
+                layer,
+                elements,
+                p,
+                report: run_campaign(&fm, cfg),
+            })
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    let results = sink.into_inner();
 
     let golden_error = results[0].report.golden_error;
     let depths: Vec<f64> = results.iter().map(|r| r.depth as f64).collect();
     let errors: Vec<f64> = results.iter().map(|r| r.report.mean_error).collect();
     let depth_correlation = spearman(&depths, &errors);
 
-    LayerwiseResult {
+    Ok(LayerwiseResult {
         layers: results,
         golden_error,
         depth_correlation,
         run_meta,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -64,6 +64,7 @@
 mod attribution;
 mod boundary;
 mod campaign;
+pub mod checkpoint;
 mod completeness;
 pub mod engine;
 mod faulty_model;
@@ -76,13 +77,31 @@ mod sweep;
 mod layerwise;
 mod protection;
 
-pub use attribution::{attribute_faults, AttributionReport, SiteAttribution};
-pub use boundary::{boundary_map, BoundaryConfig, BoundaryMap};
-pub use campaign::{run_campaign, run_campaign_adaptive, CampaignConfig, KernelChoice};
-pub use completeness::{assess, samples_to_certify, CompletenessCriteria, CompletenessReport};
-pub use engine::{CollectSink, EvalEngine, EvalSink, RunMeta, TaskCtx};
+pub use attribution::{
+    attribute_faults, attribute_faults_controlled, AttributionReport, SiteAttribution,
+};
+pub use boundary::{boundary_map, boundary_map_controlled, BoundaryConfig, BoundaryMap};
+pub use campaign::{
+    run_campaign, run_campaign_adaptive, run_campaign_adaptive_controlled, run_campaign_controlled,
+    CampaignConfig, KernelChoice,
+};
+pub use checkpoint::{fingerprint, CheckpointError, CheckpointHeader, CheckpointWriter};
+pub use completeness::{
+    assess, assess_slices, samples_to_certify, CompletenessCriteria, CompletenessReport,
+};
+pub use engine::{
+    CheckpointSpec, CollectSink, EngineError, EvalEngine, EvalSink, RunControl, RunMeta, TaskCtx,
+};
 pub use faulty_model::FaultyModel;
-pub use layerwise::{run_layerwise, LayerBudget, LayerResult, LayerwiseResult};
-pub use protection::{plan_protection, run_protection_study, ProtectionPlan, ProtectionStudy};
+pub use layerwise::{
+    run_layerwise, run_layerwise_controlled, LayerBudget, LayerResult, LayerwiseResult,
+};
+pub use protection::{
+    plan_protection, run_protection_study, run_protection_study_controlled, ProtectionPlan,
+    ProtectionStudy,
+};
 pub use report::CampaignReport;
-pub use sweep::{log_spaced_probabilities, run_sweep, KneeAnalysis, SweepPoint, SweepResult};
+pub use sweep::{
+    log_spaced_probabilities, run_sweep, run_sweep_controlled, KneeAnalysis, SweepPoint,
+    SweepResult,
+};

@@ -8,7 +8,8 @@
 //! those inputs get the expensive mitigations (re-execution, ensembling,
 //! range checks), everything else runs fast.
 
-use crate::boundary::{boundary_map, BoundaryConfig, BoundaryMap};
+use crate::boundary::{boundary_map_controlled, BoundaryConfig, BoundaryMap};
+use crate::engine::{CheckpointSpec, EngineError, RunControl};
 use bdlfi_faults::{FaultModel, SiteSpec};
 use bdlfi_nn::Sequential;
 use serde::{Deserialize, Serialize};
@@ -66,9 +67,44 @@ pub fn run_protection_study(
     cfg: &BoundaryConfig,
     target_error: f64,
 ) -> ProtectionStudy {
-    let map = boundary_map(model, spec, fault_model, cfg);
+    match run_protection_study_controlled(
+        model,
+        spec,
+        fault_model,
+        cfg,
+        target_error,
+        &RunControl::default(),
+        None,
+    ) {
+        Ok(study) => study,
+        Err(e) => panic!("protection study failed: {e}"),
+    }
+}
+
+/// [`run_protection_study`] with cooperative cancellation and an optional
+/// checkpoint journal (journaled at the underlying boundary-map
+/// granularity — one entry per fault sample).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_protection_study`].
+pub fn run_protection_study_controlled(
+    model: &Sequential,
+    spec: &SiteSpec,
+    fault_model: Arc<dyn FaultModel>,
+    cfg: &BoundaryConfig,
+    target_error: f64,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<ProtectionStudy, EngineError> {
+    let map = boundary_map_controlled(model, spec, fault_model, cfg, ctl, ckpt)?;
     let plan = plan_protection(&map, target_error);
-    ProtectionStudy { map, plan }
+    Ok(ProtectionStudy { map, plan })
 }
 
 /// Derives the smallest protection region (by margin thresholding) whose

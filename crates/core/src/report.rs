@@ -198,7 +198,8 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let dir = std::env::temp_dir().join("bdlfi_report_test");
+        // Unique per process: concurrent test invocations must not collide.
+        let dir = std::env::temp_dir().join(format!("bdlfi_report_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("report.json");
         let rep = dummy_report();
@@ -206,7 +207,7 @@ mod tests {
         let back = CampaignReport::load_json(&path).unwrap();
         assert_eq!(back.mean_error, rep.mean_error);
         assert_eq!(back.traces[0].samples(), rep.traces[0].samples());
-        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -101,7 +101,10 @@ pub fn fit_knee(x: &[f64], y: &[f64]) -> KneeFit {
     };
 
     let mut best: Option<KneeFit> = None;
-    for k in 1..n - 2 {
+    // Breakpoints 1..=n-2 give both segments at least two points (the left
+    // segment holds k+1 points, the right n-k) — a symmetric floor, so a
+    // knee in the last interior position is a candidate too.
+    for k in 1..n - 1 {
         // Left segment [0..=k], right segment [k..n): knee shared.
         let (sse_l, slope_l) = sse_of(&x[..=k], &y[..=k]);
         let (sse_r, slope_r) = sse_of(&x[k..], &y[k..]);
@@ -186,6 +189,22 @@ mod tests {
             .collect();
         let fit = fit_knee(&x, &y);
         assert!(fit.sse < 1e-9, "sse {}", fit.sse);
+    }
+
+    #[test]
+    fn knee_in_last_interior_position_is_found() {
+        // Flat everywhere except the final point: the ideal breakpoint is
+        // k = n-2, which the old asymmetric loop (1..n-2) excluded.
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v <= 6.0 { 1.0 } else { 1.0 + 5.0 * (v - 6.0) })
+            .collect();
+        let fit = fit_knee(&x, &y);
+        assert_eq!(fit.knee_index, 6, "knee at {}", fit.knee_index);
+        assert!(fit.sse < 1e-9, "sse {}", fit.sse);
+        assert!(fit.left_slope.abs() < 1e-9);
+        assert!((fit.right_slope - 5.0).abs() < 1e-9);
     }
 
     #[test]

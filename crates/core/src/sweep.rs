@@ -3,7 +3,8 @@
 //! per-bit flip probability `p`, with the two-regime knee analysis.
 
 use crate::campaign::{run_campaign, CampaignConfig};
-use crate::engine::{EvalEngine, RunMeta};
+use crate::checkpoint::fingerprint;
+use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
 use crate::stats::{fit_knee, KneeFit};
@@ -94,6 +95,33 @@ pub fn run_sweep(
     ps: &[f64],
     cfg: &CampaignConfig,
 ) -> SweepResult {
+    match run_sweep_controlled(model, eval, spec, ps, cfg, &RunControl::default(), None) {
+        Ok(sweep) => sweep,
+        Err(e) => panic!("sweep failed: {e}"),
+    }
+}
+
+/// [`run_sweep`] with cooperative cancellation and an optional checkpoint
+/// journal (one entry per completed sweep point, in the order of `ps`).
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop (completed points
+/// are journaled; resume with identical `ps`/`cfg` to finish), plus
+/// journal/sink failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_sweep`].
+pub fn run_sweep_controlled(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    ps: &[f64],
+    cfg: &CampaignConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SweepResult, EngineError> {
     assert!(!ps.is_empty(), "sweep needs at least one probability");
     assert!(
         ps.iter().all(|p| (0.0..=1.0).contains(p)),
@@ -101,27 +129,44 @@ pub fn run_sweep(
     );
     // Fan the per-p campaigns out through the engine; each campaign is a
     // deterministic function of (cfg.seed, p), so sweep results do not
-    // depend on scheduling.
+    // depend on scheduling. Task `i` evaluates `ps[i]` (journal order is
+    // the caller's order; points are sorted only in the final result).
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
-    let (mut points, run_meta) = engine.map(ps.to_vec(), |_ctx, p| {
-        let fm = FaultyModel::new(
-            model.clone(),
-            Arc::clone(eval),
-            spec,
-            Arc::new(BernoulliBitFlip::new(p)),
-        );
-        SweepPoint {
-            p,
-            report: run_campaign(&fm, cfg),
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            s.fingerprint = fingerprint("sweep", &(*cfg, ps.to_vec()));
         }
+        s
     });
+    let mut sink = CollectSink::new();
+    let run_meta = engine.run_checkpointed(
+        ps.len(),
+        || (),
+        |(), ctx| {
+            let p = ps[ctx.task_id];
+            let fm = FaultyModel::new(
+                model.clone(),
+                Arc::clone(eval),
+                spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(SweepPoint {
+                p,
+                report: run_campaign(&fm, cfg),
+            })
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    let mut points = sink.into_inner();
     points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
     let golden_error = points[0].report.golden_error;
-    SweepResult {
+    Ok(SweepResult {
         points,
         golden_error,
         run_meta,
-    }
+    })
 }
 
 #[cfg(test)]

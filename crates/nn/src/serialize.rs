@@ -151,7 +151,9 @@ mod tests {
 
     #[test]
     fn save_load_file_roundtrip() {
-        let dir = std::env::temp_dir().join("bdlfi_nn_serialize_test");
+        // Unique per process: concurrent test invocations must not collide.
+        let dir =
+            std::env::temp_dir().join(format!("bdlfi_nn_serialize_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("weights.json");
 

@@ -147,7 +147,8 @@ fn layerwise_study_covers_the_resnet_positions() {
 #[test]
 fn weights_roundtrip_through_disk_and_campaign() {
     let (net, _train, eval) = tiny_resnet_and_data();
-    let dir = std::env::temp_dir().join("bdlfi_resnet_roundtrip");
+    // Unique per process: concurrent test invocations must not collide.
+    let dir = std::env::temp_dir().join(format!("bdlfi_resnet_roundtrip_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("w.json");
     serialize::save_weights(&net, &path).unwrap();
