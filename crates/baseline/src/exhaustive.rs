@@ -16,6 +16,7 @@ use bdlfi::engine::{CheckpointSpec, EngineError, EvalEngine, EvalSink, RunContro
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultMask, SiteSpec};
 use bdlfi_nn::{predict_all, Sequential};
+use bdlfi_quant::{QPrefixCache, QuantModel};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -46,6 +47,60 @@ pub struct ExhaustiveResult {
     pub by_bit: Vec<BitPositionStats>,
     /// Engine execution metadata (worker count, wall-clock, injections/sec).
     pub run_meta: RunMeta,
+}
+
+/// Streaming aggregation of per-injection outcomes — totals and the
+/// per-bit breakdown, no per-injection buffering.
+struct Agg {
+    by_bit: Vec<BitPositionStats>,
+    total: u64,
+    sdc_total: u64,
+    error_sum: f64,
+}
+
+impl Agg {
+    fn new() -> Self {
+        Agg {
+            by_bit: (0..32u8)
+                .map(|bit| BitPositionStats {
+                    bit,
+                    injections: 0,
+                    sdc: 0,
+                })
+                .collect(),
+            total: 0,
+            sdc_total: 0,
+            error_sum: 0.0,
+        }
+    }
+
+    fn into_result(self, golden_error: f64, run_meta: RunMeta) -> ExhaustiveResult {
+        ExhaustiveResult {
+            injections: self.total,
+            sdc: estimate_proportion(self.sdc_total, self.total, 0.95),
+            mean_error: self.error_sum / self.total as f64,
+            golden_error,
+            by_bit: self.by_bit,
+            run_meta,
+        }
+    }
+}
+
+impl EvalSink<(u8, bool, f64)> for Agg {
+    fn accept(
+        &mut self,
+        _task_id: usize,
+        (bit, corrupted, error): (u8, bool, f64),
+    ) -> Result<(), EngineError> {
+        self.total += 1;
+        self.error_sum += error;
+        self.by_bit[bit as usize].injections += 1;
+        if corrupted {
+            self.sdc_total += 1;
+            self.by_bit[bit as usize].sdc += 1;
+        }
+        Ok(())
+    }
 }
 
 /// Runs the exhaustive study over every single-bit fault in the sites
@@ -125,43 +180,7 @@ pub fn run_exhaustive_controlled(
         total_tasks += site.len * 32;
     }
 
-    /// Streaming aggregation of per-injection outcomes — totals and the
-    /// per-bit breakdown, no per-injection buffering.
-    struct Agg {
-        by_bit: Vec<BitPositionStats>,
-        total: u64,
-        sdc_total: u64,
-        error_sum: f64,
-    }
-    impl EvalSink<(u8, bool, f64)> for Agg {
-        fn accept(
-            &mut self,
-            _task_id: usize,
-            (bit, corrupted, error): (u8, bool, f64),
-        ) -> Result<(), EngineError> {
-            self.total += 1;
-            self.error_sum += error;
-            self.by_bit[bit as usize].injections += 1;
-            if corrupted {
-                self.sdc_total += 1;
-                self.by_bit[bit as usize].sdc += 1;
-            }
-            Ok(())
-        }
-    }
-
-    let mut agg = Agg {
-        by_bit: (0..32u8)
-            .map(|bit| BitPositionStats {
-                bit,
-                injections: 0,
-                sdc: 0,
-            })
-            .collect(),
-        total: 0,
-        sdc_total: 0,
-        error_sum: 0.0,
-    };
+    let mut agg = Agg::new();
 
     // The task set is a deterministic enumeration (no RNG), so the engine
     // seed is irrelevant; workers each own a model clone.
@@ -209,14 +228,139 @@ pub fn run_exhaustive_controlled(
         ckpt.as_ref(),
     )?;
 
-    Ok(ExhaustiveResult {
-        injections: agg.total,
-        sdc: estimate_proportion(agg.sdc_total, agg.total, 0.95),
-        mean_error: agg.error_sum / agg.total as f64,
-        golden_error,
-        by_bit: agg.by_bit,
-        run_meta,
-    })
+    Ok(agg.into_result(golden_error, run_meta))
+}
+
+/// Runs the exhaustive study over every single-bit fault of a *quantized*
+/// model's sites selected by `spec`. The enumeration is width-aware: an
+/// int8 weight site contributes 8 positions per element (a complete 8-bit
+/// sweep), i32 bias words and f32 scales 32. `by_bit` keeps its 32 rows;
+/// positions a representation does not have simply record zero injections.
+///
+/// Each injection resumes inference from a shared golden prefix cache at
+/// the fault's stage, so the study costs only dirty suffixes.
+///
+/// # Panics
+///
+/// Panics if the spec resolves to no site or the dataset is empty.
+pub fn run_exhaustive_quant(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+) -> ExhaustiveResult {
+    run_exhaustive_quant_with(qm, eval, spec, 0)
+}
+
+/// [`run_exhaustive_quant`] with an explicit engine worker count (0 = all
+/// available cores). The enumeration is deterministic, so the result is
+/// identical at every worker count.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_exhaustive_quant`].
+pub fn run_exhaustive_quant_with(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    workers: usize,
+) -> ExhaustiveResult {
+    match run_exhaustive_quant_controlled(qm, eval, spec, workers, &RunControl::default(), None) {
+        Ok(res) => res,
+        Err(e) => panic!("quant exhaustive study failed: {e}"),
+    }
+}
+
+/// [`run_exhaustive_quant_with`] with cooperative cancellation and an
+/// optional checkpoint journal (one entry per injection, in enumeration
+/// order), under its own fingerprint namespace.
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_exhaustive_quant`].
+pub fn run_exhaustive_quant_controlled(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    workers: usize,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<ExhaustiveResult, EngineError> {
+    assert!(!eval.is_empty(), "evaluation set must not be empty");
+    let mut qm = qm.clone();
+    let sites = qm.sites_matching(spec);
+    assert!(
+        !sites.params.is_empty(),
+        "exhaustive FI requires parameter sites"
+    );
+
+    let cache = Arc::new(QPrefixCache::build(&mut qm, eval.inputs(), 64));
+    let golden_logits = cache.golden_logits();
+    let golden_preds = golden_logits.argmax_rows();
+    let golden_error = bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
+
+    // Width-aware flattening: site `s` owns `site.len * site.repr.width()`
+    // consecutive task ids.
+    let mut starts = Vec::with_capacity(sites.params.len());
+    let mut total_tasks = 0usize;
+    for site in &sites.params {
+        starts.push(total_tasks);
+        total_tasks += site.len * site.repr.width() as usize;
+    }
+
+    let mut agg = Agg::new();
+
+    let engine = EvalEngine::with_workers(0, workers);
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            let site_shape: Vec<(String, usize, u8)> = sites
+                .params
+                .iter()
+                .map(|p| (p.path.clone(), p.len, p.repr.width()))
+                .collect();
+            s.fingerprint = fingerprint("exhaustive_quant", &(site_shape, golden_error));
+        }
+        s
+    });
+    let run_meta = engine.run_checkpointed(
+        total_tasks,
+        || qm.clone(),
+        |qm, ctx| {
+            let site_idx = starts.partition_point(|&s| s <= ctx.task_id) - 1;
+            let site = &sites.params[site_idx];
+            let width = site.repr.width() as usize;
+            let offset = ctx.task_id - starts[site_idx];
+            let element = offset / width;
+            let bit = (offset % width) as u8;
+
+            let mut mask = FaultMask::empty();
+            mask.push_bit(element, bit);
+            let mut cfg = FaultConfig::clean();
+            cfg.set_mask(&site.path, mask);
+
+            let start = qm.first_dirty_op(&cfg).unwrap_or_else(|| qm.len());
+            qm.apply(&cfg);
+            let logits = cache.predict_from(qm, start);
+            qm.apply(&cfg); // restore (XOR involution)
+
+            let corrupted = logits
+                .argmax_rows()
+                .iter()
+                .zip(golden_preds.iter())
+                .any(|(a, b)| a != b);
+            let error = bdlfi_nn::metrics::classification_error(&logits, eval.labels());
+            Ok((bit, corrupted, error))
+        },
+        &mut agg,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+
+    Ok(agg.into_result(golden_error, run_meta))
 }
 
 #[cfg(test)]
@@ -326,6 +470,69 @@ mod tests {
             assert_eq!(a.sdc, b.sdc);
         }
         assert_eq!(parallel.run_meta.tasks as u64, parallel.injections);
+    }
+
+    #[test]
+    fn quant_exhaustive_sweeps_all_eight_bits_of_int8_weights() {
+        use bdlfi_quant::{quantize_model, CalibConfig};
+        let (model, eval) = tiny_trained();
+        let qm = quantize_model(&model, eval.inputs(), &CalibConfig::default());
+        // fc1.weight only: 2*4 int8 elements * 8 bits = 64 injections.
+        let res = run_exhaustive_quant(&qm, &eval, &SiteSpec::Params(vec!["fc1.weight".into()]));
+        assert_eq!(res.injections, 64);
+        for b in &res.by_bit[..8] {
+            assert_eq!(b.injections, 8, "bit {} injections", b.bit);
+            assert!(b.sdc <= b.injections);
+        }
+        // An int8 word has no positions above bit 7.
+        for b in &res.by_bit[8..] {
+            assert_eq!(b.injections, 0, "bit {} injected on an i8 site", b.bit);
+        }
+    }
+
+    #[test]
+    fn quant_exhaustive_mixes_widths_and_is_worker_invariant() {
+        use bdlfi_quant::{quantize_model, CalibConfig};
+        let (model, eval) = tiny_trained();
+        let qm = quantize_model(&model, eval.inputs(), &CalibConfig::default());
+        let spec = SiteSpec::LayerParams {
+            prefix: "fc2".into(),
+        };
+        let serial = run_exhaustive_quant_with(&qm, &eval, &spec, 1);
+        // fc2: 4*2 i8 weights * 8 + 2 i32 biases * 32 + w_scale * 32
+        // + out_zp * 32 = 64 + 64 + 32 + 32 = 192 injections.
+        assert_eq!(serial.injections, 192);
+        let parallel = run_exhaustive_quant_with(&qm, &eval, &spec, 4);
+        assert_eq!(serial.sdc.successes, parallel.sdc.successes);
+        assert_eq!(serial.mean_error, parallel.mean_error);
+        for (a, b) in serial.by_bit.iter().zip(&parallel.by_bit) {
+            assert_eq!(a.injections, b.injections);
+            assert_eq!(a.sdc, b.sdc);
+        }
+    }
+
+    #[test]
+    fn quant_int8_msb_corrupts_more_than_lsb() {
+        use bdlfi_quant::{quantize_model, CalibConfig};
+        let (model, eval) = tiny_trained();
+        let qm = quantize_model(&model, eval.inputs(), &CalibConfig::default());
+        let res = run_exhaustive_quant(
+            &qm,
+            &eval,
+            &SiteSpec::Params(vec!["fc1.weight".into(), "fc2.weight".into()]),
+        );
+        let sdc_rate = |bit: usize| {
+            let b = &res.by_bit[bit];
+            b.sdc as f64 / b.injections.max(1) as f64
+        };
+        // In two's complement the top bit moves a weight by 256 quantization
+        // steps, the bottom bit by one.
+        assert!(
+            sdc_rate(7) >= sdc_rate(0),
+            "sign/MSB rate {} < LSB rate {}",
+            sdc_rate(7),
+            sdc_rate(0)
+        );
     }
 
     #[test]

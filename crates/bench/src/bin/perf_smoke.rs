@@ -16,6 +16,11 @@
 //!    pool (`workers: 0` = all cores). The per-injection RNG streams are
 //!    derived from `seed_stream(seed, injection)`, so the two runs must
 //!    agree bit-for-bit; the speedup is pure parallelism.
+//! 3. **Quantized workload** — the same trained MLP run as a BDLFI
+//!    campaign in f32 (`FaultyModel`) and int8 (`QuantFaultyModel`) on
+//!    identical configs, comparing campaign throughput and asserting the
+//!    int8 report is bit-identical at `workers: 1` and at full
+//!    parallelism (`perf_smoke --quant` runs just this scenario).
 //!
 //! Run with `cargo run --release -p bdlfi-bench --bin perf_smoke`.
 //!
@@ -35,12 +40,16 @@
 //! * `--workers N` — engine worker threads (default 0 = all cores).
 
 use bdlfi::engine::{CheckpointSpec, EngineError, RunControl, RunMeta};
-use bdlfi::{run_campaign_controlled, CampaignConfig, FaultyModel, KernelChoice};
+use bdlfi::{
+    run_campaign, run_campaign_controlled, CampaignConfig, CampaignReport, FaultyModel,
+    KernelChoice, QuantFaultyModel,
+};
 use bdlfi_baseline::{RandomFi, RandomFiConfig};
 use bdlfi_bayes::ChainConfig;
 use bdlfi_data::gaussian_blobs;
 use bdlfi_faults::{BernoulliBitFlip, FaultConfig, SiteSpec};
 use bdlfi_nn::{mlp, optim::Sgd, predict_all, TrainConfig, Trainer};
+use bdlfi_quant::{quantize_model, CalibConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -74,9 +83,22 @@ struct BaselineFiReport {
 }
 
 #[derive(Serialize)]
+struct QuantReport {
+    scenario: String,
+    network: String,
+    eval_examples: usize,
+    campaign_samples: usize,
+    f32_samples_per_sec: f64,
+    int8_samples_per_sec: f64,
+    int8_relative_throughput: f64,
+    int8_worker_invariant: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     incremental: IncrementalReport,
     baseline_fi: BaselineFiReport,
+    quant: QuantReport,
 }
 
 fn incremental_bench() -> IncrementalReport {
@@ -175,6 +197,82 @@ fn baseline_fi_bench() -> BaselineFiReport {
         parallel_injections_per_sec: parallel.run_meta.tasks_per_sec,
         speedup: serial.run_meta.elapsed_secs / parallel.run_meta.elapsed_secs,
         identical_results,
+    }
+}
+
+/// Reports from different worker counts must agree on everything except
+/// execution metadata; normalize that away before comparing bytes.
+fn normalized_report_bytes(report: &CampaignReport) -> String {
+    let mut normalized = report.clone();
+    normalized.run_meta = RunMeta::default();
+    normalized.config.workers = 0;
+    serde_json::to_string(&normalized).expect("report serialises")
+}
+
+fn quant_bench() -> QuantReport {
+    let mut rng = StdRng::seed_from_u64(2);
+    let hidden = [32usize; 4];
+    let data = gaussian_blobs(512, 3, 0.9, &mut rng);
+    let (train, test) = data.split(0.5, &mut rng);
+    let test = Arc::new(test);
+    let mut model = mlp(2, &hidden, 3, &mut rng);
+    let mut trainer = Trainer::new(
+        Sgd::new(0.1).with_momentum(0.9),
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
+    );
+    trainer.fit(&mut model, train.inputs(), train.labels(), &mut rng);
+    let qm = quantize_model(&model, train.inputs(), &CalibConfig::default());
+
+    let fault_model = Arc::new(BernoulliBitFlip::new(1e-3));
+    let fm = FaultyModel::new(
+        model,
+        Arc::clone(&test),
+        &SiteSpec::AllParams,
+        Arc::clone(&fault_model) as _,
+    );
+    let qfm = QuantFaultyModel::new(qm, Arc::clone(&test), &SiteSpec::AllParams, fault_model);
+
+    let cfg = |workers: usize| CampaignConfig {
+        chains: 8,
+        chain: ChainConfig {
+            burn_in: 0,
+            samples: 50,
+            thin: 1,
+        },
+        kernel: KernelChoice::Prior,
+        seed: 13,
+        criteria: Default::default(),
+        workers,
+    };
+    let samples = 8 * 50;
+
+    // Warm both workloads, then time full-parallelism campaigns.
+    let _ = run_campaign(&fm, &cfg(1));
+    let f32_report = run_campaign(&fm, &cfg(0));
+    let _ = run_campaign(&qfm, &cfg(1));
+    let int8_report = run_campaign(&qfm, &cfg(0));
+
+    // Seed discipline makes the worker count irrelevant to the result:
+    // the int8 campaign must be bit-identical serial vs pooled.
+    let int8_serial = run_campaign(&qfm, &cfg(1));
+    let int8_worker_invariant =
+        normalized_report_bytes(&int8_serial) == normalized_report_bytes(&int8_report);
+
+    let f32_rate = samples as f64 / f32_report.run_meta.elapsed_secs;
+    let int8_rate = samples as f64 / int8_report.run_meta.elapsed_secs;
+    QuantReport {
+        scenario: "BDLFI campaign, f32 vs int8 deployment of the same MLP".into(),
+        network: format!("mlp 2 -> {hidden:?} -> 3"),
+        eval_examples: test.len(),
+        campaign_samples: samples,
+        f32_samples_per_sec: f32_rate,
+        int8_samples_per_sec: int8_rate,
+        int8_relative_throughput: int8_rate / f32_rate,
+        int8_worker_invariant,
     }
 }
 
@@ -277,27 +375,49 @@ fn checkpointed_campaign(args: &CampaignArgs) -> Result<(), EngineError> {
     Ok(())
 }
 
+fn report_quant(quant: &QuantReport) {
+    assert!(
+        quant.int8_worker_invariant,
+        "int8 campaign diverged between workers=1 and the full pool"
+    );
+    println!(
+        "int8 campaign runs at {:.2}x f32 throughput ({:.0} vs {:.0} samples/sec), \
+         worker-count invariant",
+        quant.int8_relative_throughput, quant.int8_samples_per_sec, quant.f32_samples_per_sec
+    );
+}
+
 fn main() {
     let mut args = std::env::args();
     let _bin = args.next();
     if let Some(first) = args.next() {
-        assert_eq!(first, "--campaign", "unknown mode {first}; try --campaign");
-        match checkpointed_campaign(&parse_campaign_args(args)) {
-            Ok(()) => return,
-            Err(EngineError::Interrupted { completed, tasks }) => {
-                eprintln!("interrupted after {completed}/{tasks} chains (journal flushed)");
-                std::process::exit(3);
+        match first.as_str() {
+            "--campaign" => match checkpointed_campaign(&parse_campaign_args(args)) {
+                Ok(()) => return,
+                Err(EngineError::Interrupted { completed, tasks }) => {
+                    eprintln!("interrupted after {completed}/{tasks} chains (journal flushed)");
+                    std::process::exit(3);
+                }
+                Err(e) => {
+                    eprintln!("campaign failed: {e}");
+                    std::process::exit(1);
+                }
+            },
+            "--quant" => {
+                let quant = quant_bench();
+                let json = serde_json::to_string_pretty(&quant).expect("report serialises");
+                println!("{json}");
+                report_quant(&quant);
+                return;
             }
-            Err(e) => {
-                eprintln!("campaign failed: {e}");
-                std::process::exit(1);
-            }
+            other => panic!("unknown mode {other}; try --campaign or --quant"),
         }
     }
 
     let report = BenchReport {
         incremental: incremental_bench(),
         baseline_fi: baseline_fi_bench(),
+        quant: quant_bench(),
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
@@ -338,4 +458,6 @@ fn main() {
         "baseline FI on {} workers is {:.1}x faster ({:.0} vs {:.0} injections/sec), results identical",
         fi.workers, fi.speedup, fi.parallel_injections_per_sec, fi.serial_injections_per_sec
     );
+
+    report_quant(&report.quant);
 }

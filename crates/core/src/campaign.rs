@@ -14,9 +14,9 @@
 use crate::checkpoint::{fingerprint, CheckpointError, CheckpointHeader, CheckpointWriter};
 use crate::completeness::{assess, CompletenessCriteria, CompletenessReport};
 use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
-use crate::faulty_model::FaultyModel;
 use crate::proposals::{BitToggleProposal, GibbsBitProposal, PriorProposal};
 use crate::report::CampaignReport;
+use crate::workload::FaultWorkload;
 use bdlfi_bayes::{
     run_chain, seed_stream, self_normalized_estimate, ChainConfig, MixtureProposal, Proposal, Trace,
 };
@@ -129,9 +129,11 @@ struct ChainOutcome {
 }
 
 /// Persistent per-chain state, allowing campaigns to be extended in
-/// segments without restarting the Markov chains.
-struct ChainWorker {
-    fm: FaultyModel,
+/// segments without restarting the Markov chains. Generic over the
+/// [`FaultWorkload`], so the same machinery drives f32 and quantized
+/// campaigns.
+struct ChainWorker<W: FaultWorkload> {
+    fm: W,
     rng: StdRng,
     act_rng: StdRng,
     state: FaultConfig,
@@ -145,8 +147,8 @@ struct ChainWorker {
     burned_in: bool,
 }
 
-impl ChainWorker {
-    fn new(fm: &FaultyModel, cfg: &CampaignConfig, idx: usize) -> Self {
+impl<W: FaultWorkload> ChainWorker<W> {
+    fn new(fm: &W, cfg: &CampaignConfig, idx: usize) -> Self {
         // Two seed-stream lanes per chain: proposals and transient
         // activation faults draw from disjoint SplitMix64 streams.
         ChainWorker {
@@ -180,7 +182,7 @@ impl ChainWorker {
 
     /// Rebuilds a chain at the exact point a [`ChainOutcome`] captured, so
     /// a resumed campaign continues bit-identically.
-    fn restore(fm: &FaultyModel, outcome: &ChainOutcome) -> Self {
+    fn restore(fm: &W, outcome: &ChainOutcome) -> Self {
         ChainWorker {
             fm: fm.clone(),
             rng: StdRng::from_state(outcome.rng),
@@ -361,8 +363,8 @@ impl ChainWorker {
 }
 
 /// Assembles the report from finished chains' outcomes.
-fn assemble(
-    fm: &FaultyModel,
+fn assemble<W: FaultWorkload>(
+    fm: &W,
     cfg: &CampaignConfig,
     outcomes: &[ChainOutcome],
     run_meta: RunMeta,
@@ -427,11 +429,11 @@ fn assemble(
 /// recorded samples each. Chains carry their own persistent RNG streams
 /// (derived in [`ChainWorker::new`]), so the engine's per-task context is
 /// only used for scheduling and throughput accounting.
-fn advance_all(
-    workers: Vec<ChainWorker>,
+fn advance_all<W: FaultWorkload>(
+    workers: Vec<ChainWorker<W>>,
     cfg: &CampaignConfig,
     samples: usize,
-) -> (Vec<ChainWorker>, RunMeta) {
+) -> (Vec<ChainWorker<W>>, RunMeta) {
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
     engine.map(workers, |_ctx, mut w| {
         w.advance(cfg, samples);
@@ -443,10 +445,13 @@ fn advance_all(
 /// configurations, fanned out through the shared [`EvalEngine`], each
 /// chain owning a clone of the golden network (sharing its prefix cache).
 ///
+/// Generic over the [`FaultWorkload`]: pass a [`crate::FaultyModel`] for
+/// the f32 workload or a [`crate::QuantFaultyModel`] for the int8 one.
+///
 /// # Panics
 ///
 /// Panics if `cfg.chains == 0` or the chain schedule records no samples.
-pub fn run_campaign(fm: &FaultyModel, cfg: &CampaignConfig) -> CampaignReport {
+pub fn run_campaign<W: FaultWorkload>(fm: &W, cfg: &CampaignConfig) -> CampaignReport {
     match run_campaign_controlled(fm, cfg, &RunControl::default(), None) {
         Ok(rep) => rep,
         Err(e) => panic!("campaign failed: {e}"),
@@ -467,8 +472,8 @@ pub fn run_campaign(fm: &FaultyModel, cfg: &CampaignConfig) -> CampaignReport {
 /// # Panics
 ///
 /// Same preconditions as [`run_campaign`].
-pub fn run_campaign_controlled(
-    fm: &FaultyModel,
+pub fn run_campaign_controlled<W: FaultWorkload>(
+    fm: &W,
     cfg: &CampaignConfig,
     ctl: &RunControl,
     ckpt: Option<&CheckpointSpec>,
@@ -500,7 +505,7 @@ pub fn run_campaign_controlled(
 
 /// The fingerprint binding a campaign journal to its identity: driver,
 /// config, and the golden error as a cheap model/dataset proxy.
-fn campaign_fingerprint(fm: &FaultyModel, cfg: &CampaignConfig) -> String {
+fn campaign_fingerprint<W: FaultWorkload>(fm: &W, cfg: &CampaignConfig) -> String {
     fingerprint("campaign", &(*cfg, fm.golden_error()))
 }
 
@@ -517,8 +522,8 @@ fn campaign_fingerprint(fm: &FaultyModel, cfg: &CampaignConfig) -> String {
 ///
 /// Panics if `cfg.chains == 0`, the segment size is zero, or
 /// `max_samples_per_chain < cfg.chain.samples`.
-pub fn run_campaign_adaptive(
-    fm: &FaultyModel,
+pub fn run_campaign_adaptive<W: FaultWorkload>(
+    fm: &W,
     cfg: &CampaignConfig,
     max_samples_per_chain: usize,
 ) -> CampaignReport {
@@ -554,8 +559,8 @@ pub fn run_campaign_adaptive(
 /// # Panics
 ///
 /// Same preconditions as [`run_campaign_adaptive`].
-pub fn run_campaign_adaptive_controlled(
-    fm: &FaultyModel,
+pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
+    fm: &W,
     cfg: &CampaignConfig,
     max_samples_per_chain: usize,
     ctl: &RunControl,
@@ -587,7 +592,7 @@ pub fn run_campaign_adaptive_controlled(
     };
 
     let mut writer: Option<CheckpointWriter> = None;
-    let mut workers: Vec<ChainWorker>;
+    let mut workers: Vec<ChainWorker<W>>;
     let mut segments_done = 0usize;
     let mut recorded = 0usize;
     let mut run_meta: Option<RunMeta> = None;
@@ -706,6 +711,7 @@ pub fn run_campaign_adaptive_controlled(
 mod tests {
     use super::*;
     use crate::completeness::CompletenessCriteria;
+    use crate::FaultyModel;
     use bdlfi_data::gaussian_blobs;
     use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
     use bdlfi_nn::{mlp, optim::Sgd, TrainConfig, Trainer};

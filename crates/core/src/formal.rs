@@ -198,16 +198,7 @@ mod tests {
         let dense = Dense::from_weights(w, b);
         let mut seq = bdlfi_nn::Sequential::new();
         seq.push("fc", dense);
-        let sites = vec![
-            ParamSite {
-                path: "fc.weight".into(),
-                len: 4,
-            },
-            ParamSite {
-                path: "fc.bias".into(),
-                len: 2,
-            },
-        ];
+        let sites = vec![ParamSite::new("fc.weight", 4), ParamSite::new("fc.bias", 2)];
         let fm = BernoulliBitFlip::new(p);
         let mut rng = StdRng::seed_from_u64(2);
         let xt = Tensor::from_vec(x.clone(), [1, 2]);

@@ -9,9 +9,11 @@ use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunCon
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
 use crate::stats::spearman;
+use crate::workload::QuantFaultyModel;
 use bdlfi_data::Dataset;
 use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
 use bdlfi_nn::Sequential;
+use bdlfi_quant::QuantModel;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -44,11 +46,22 @@ impl LayerBudget {
     ///
     /// Panics if `elements == 0` under [`LayerBudget::ExpectedFlips`].
     pub fn probability_for(&self, elements: usize) -> f64 {
+        self.probability_for_bits(elements as u64 * 32)
+    }
+
+    /// The per-bit probability this budget induces for a layer exposing
+    /// `bits` injectable bits — the width-aware form, summing each site's
+    /// `len × repr.width()` for mixed-representation (quantized) layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` under [`LayerBudget::ExpectedFlips`].
+    pub fn probability_for_bits(&self, bits: u64) -> f64 {
         match *self {
             LayerBudget::PerBit(p) => p,
             LayerBudget::ExpectedFlips(flips) => {
-                assert!(elements > 0, "cannot spread flips over an empty layer");
-                (flips / (32.0 * elements as f64)).min(1.0)
+                assert!(bits > 0, "cannot spread flips over an empty layer");
+                (flips / bits as f64).min(1.0)
             }
         }
     }
@@ -199,6 +212,124 @@ pub fn run_layerwise_controlled(
     })
 }
 
+/// [`run_layerwise`] over the *quantized* workload: one campaign per
+/// stage prefix of the int8 model, with the fault burden sized by the
+/// layer's injectable *bit* count (int8 weight bytes contribute 8 bits per
+/// element, i32 biases 32).
+///
+/// # Panics
+///
+/// Panics if `layers` is empty, the budget induces an invalid probability,
+/// or a prefix matches no quantized site.
+pub fn run_layerwise_quant(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    budget: LayerBudget,
+    cfg: &CampaignConfig,
+) -> LayerwiseResult {
+    match run_layerwise_quant_controlled(
+        qm,
+        eval,
+        layers,
+        budget,
+        cfg,
+        &RunControl::default(),
+        None,
+    ) {
+        Ok(res) => res,
+        Err(e) => panic!("quant layerwise study failed: {e}"),
+    }
+}
+
+/// [`run_layerwise_quant`] with cooperative cancellation and an optional
+/// checkpoint journal, in its own fingerprint namespace.
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_layerwise_quant`].
+pub fn run_layerwise_quant_controlled(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    budget: LayerBudget,
+    cfg: &CampaignConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<LayerwiseResult, EngineError> {
+    assert!(
+        !layers.is_empty(),
+        "layerwise study needs at least one layer"
+    );
+    if let LayerBudget::PerBit(p) = budget {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1]"
+        );
+    }
+
+    let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            s.fingerprint = fingerprint("layerwise_quant", &(*cfg, names.clone(), budget));
+        }
+        s
+    });
+    let mut sink = CollectSink::new();
+    let run_meta = engine.run_checkpointed(
+        names.len(),
+        || (),
+        |(), ctx| {
+            let depth = ctx.task_id;
+            let layer = names[depth].clone();
+            let spec = SiteSpec::LayerParams {
+                prefix: layer.clone(),
+            };
+            // Size the budget by the layer's injectable bit space, which
+            // mixes 8-bit and 32-bit sites.
+            let sites = qm.sites_matching(&spec);
+            let elements = sites.total_param_elements();
+            let bits: u64 = sites.params.iter().map(|s| s.injectable_bits()).sum();
+            let p = budget.probability_for_bits(bits);
+            let qfm = QuantFaultyModel::new(
+                qm.clone(),
+                Arc::clone(eval),
+                &spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(LayerResult {
+                depth,
+                layer,
+                elements,
+                p,
+                report: run_campaign(&qfm, cfg),
+            })
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    let results = sink.into_inner();
+
+    let golden_error = results[0].report.golden_error;
+    let depths: Vec<f64> = results.iter().map(|r| r.depth as f64).collect();
+    let errors: Vec<f64> = results.iter().map(|r| r.report.mean_error).collect();
+    let depth_correlation = spearman(&depths, &errors);
+
+    Ok(LayerwiseResult {
+        layers: results,
+        golden_error,
+        depth_correlation,
+        run_meta,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +417,38 @@ mod tests {
         let burden = |l: &LayerResult| l.p * 32.0 * l.elements as f64;
         assert!((burden(&res.layers[0]) - burden(&res.layers[1])).abs() < 1e-9);
         // Mean observed flips per sample should be near 4 for both.
+        for l in &res.layers {
+            assert!(
+                (l.report.mean_flips - 4.0).abs() < 1.5,
+                "{}: mean flips {}",
+                l.layer,
+                l.report.mean_flips
+            );
+        }
+    }
+
+    #[test]
+    fn quant_layerwise_sizes_budget_by_bits() {
+        use bdlfi_quant::{quantize_model, CalibConfig};
+        let mut rng = StdRng::seed_from_u64(24);
+        let data = gaussian_blobs(100, 2, 0.6, &mut rng);
+        let model = mlp(2, &[32], 2, &mut rng);
+        let qm = quantize_model(&model, data.inputs(), &CalibConfig::default());
+        let res = run_layerwise_quant(
+            &qm,
+            &Arc::new(data),
+            &["fc1", "fc2"],
+            LayerBudget::ExpectedFlips(4.0),
+            &quick_cfg(),
+        );
+        // fc1: 2*32 int8 weights (8 bits) + 32 i32 biases + w_scale (f32)
+        // + out_zp (i32) = 64*8 + 32*32 + 32 + 32 = 1600 bits.
+        assert!(
+            (res.layers[0].p - 4.0 / 1600.0).abs() < 1e-12,
+            "{}",
+            res.layers[0].p
+        );
+        // Mean observed flips per sample near the 4-flip budget.
         for l in &res.layers {
             assert!(
                 (l.report.mean_flips - 4.0).abs() < 1.5,

@@ -18,6 +18,10 @@
 //!
 //! * [`FaultyModel`] — a golden network bound to an evaluation set and a
 //!   fault model over resolved injection sites (paper Fig. 1 ① + ②);
+//! * [`FaultWorkload`] / [`QuantFaultyModel`] — the workload abstraction
+//!   the campaign drivers run over, and its int8 quantized-deployment
+//!   implementation (built on `bdlfi-quant`), with representation-aware
+//!   bit flips in int8 weights, i32 biases and f32 scales;
 //! * [`engine`] — the shared fault-evaluation executor: one bounded
 //!   worker pool, SplitMix64 per-task seed streams and ordered streaming
 //!   sinks that every campaign driver (and the baseline FI drivers) runs
@@ -76,6 +80,7 @@ mod sweep;
 
 mod layerwise;
 mod protection;
+mod workload;
 
 pub use attribution::{
     attribute_faults, attribute_faults_controlled, AttributionReport, SiteAttribution,
@@ -94,7 +99,8 @@ pub use engine::{
 };
 pub use faulty_model::FaultyModel;
 pub use layerwise::{
-    run_layerwise, run_layerwise_controlled, LayerBudget, LayerResult, LayerwiseResult,
+    run_layerwise, run_layerwise_controlled, run_layerwise_quant, run_layerwise_quant_controlled,
+    LayerBudget, LayerResult, LayerwiseResult,
 };
 pub use protection::{
     plan_protection, run_protection_study, run_protection_study_controlled, ProtectionPlan,
@@ -102,6 +108,7 @@ pub use protection::{
 };
 pub use report::CampaignReport;
 pub use sweep::{
-    log_spaced_probabilities, run_sweep, run_sweep_controlled, KneeAnalysis, SweepPoint,
-    SweepResult,
+    log_spaced_probabilities, run_sweep, run_sweep_controlled, run_sweep_quant,
+    run_sweep_quant_controlled, KneeAnalysis, SweepPoint, SweepResult,
 };
+pub use workload::{FaultWorkload, QuantFaultyModel};

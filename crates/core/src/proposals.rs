@@ -42,13 +42,21 @@ impl Proposal<FaultConfig> for PriorProposal {
 /// bit)` positions. A toggle either injects a new flip or heals an
 /// existing one, so the proposal is its own inverse and the Hastings
 /// ratio is zero.
+///
+/// The proposal is representation-aware: the requested [`BitRange`] is
+/// clamped to each site's stored word width
+/// ([`BitRange::clamp_to`]), so int8 sites toggle within their 8 stored
+/// bits while f32 and i32 sites are unaffected. Positions are drawn
+/// uniformly over the *injectable bit space*, matching the per-bit AVF
+/// fault model's view of mixed-width site sets.
 pub struct BitToggleProposal {
     sites: Arc<Vec<ParamSite>>,
-    bits: BitRange,
+    // Per-site bit range: the requested range clamped to the site's width.
+    ranges: Vec<BitRange>,
     block: usize,
-    // Cumulative element counts for weighted site selection.
-    cumulative: Vec<usize>,
-    total_elements: usize,
+    // Cumulative injectable-bit counts for weighted site selection.
+    cumulative: Vec<u64>,
+    total_bits: u64,
 }
 
 impl BitToggleProposal {
@@ -65,39 +73,46 @@ impl BitToggleProposal {
     ///
     /// # Panics
     ///
-    /// Panics if `sites` is empty or `block == 0`.
+    /// Panics if `sites` is empty, `block == 0`, or `bits` has no overlap
+    /// with some site's stored word width.
     pub fn with_block(sites: Arc<Vec<ParamSite>>, bits: BitRange, block: usize) -> Self {
         assert!(
             !sites.is_empty(),
             "bit toggle proposal needs at least one site"
         );
         assert!(block > 0, "block size must be positive");
+        let ranges: Vec<BitRange> = sites.iter().map(|s| bits.clamp_to(s.repr)).collect();
         let mut cumulative = Vec::with_capacity(sites.len());
-        let mut acc = 0usize;
-        for s in sites.iter() {
-            acc += s.len;
+        let mut acc = 0u64;
+        for (s, r) in sites.iter().zip(&ranges) {
+            acc += s.len as u64 * u64::from(r.len());
             cumulative.push(acc);
         }
         assert!(acc > 0, "sites must contain at least one element");
         BitToggleProposal {
             sites,
-            bits,
+            ranges,
             block,
             cumulative,
-            total_elements: acc,
+            total_bits: acc,
         }
     }
 
-    pub(crate) fn pick_site(&self, rng: &mut dyn Rng) -> (usize, usize) {
-        // Uniform over elements, then locate the owning site.
-        let flat = rng.random_range(0..self.total_elements);
+    /// Draws one `(site, element, bit)` position uniformly over the
+    /// injectable bit space.
+    pub(crate) fn pick_position(&self, rng: &mut dyn Rng) -> (usize, usize, u8) {
+        let flat = rng.random_range(0..self.total_bits);
         let site_idx = self.cumulative.partition_point(|&c| c <= flat);
         let before = if site_idx == 0 {
             0
         } else {
             self.cumulative[site_idx - 1]
         };
-        (site_idx, flat - before)
+        let offset = flat - before;
+        let width = u64::from(self.ranges[site_idx].len());
+        let element = (offset / width) as usize;
+        let bit = self.ranges[site_idx].nth((offset % width) as u8);
+        (site_idx, element, bit)
     }
 }
 
@@ -105,8 +120,7 @@ impl Proposal<FaultConfig> for BitToggleProposal {
     fn propose(&self, current: &FaultConfig, rng: &mut dyn Rng) -> (FaultConfig, f64) {
         let mut candidate = current.clone();
         for _ in 0..self.block {
-            let (site_idx, element) = self.pick_site(rng);
-            let bit = self.bits.nth(rng.random_range(0..self.bits.len()));
+            let (site_idx, element, bit) = self.pick_position(rng);
             let path = &self.sites[site_idx].path;
             let mut mask = candidate.mask(path);
             mask.push_bit(element, bit);
@@ -128,23 +142,24 @@ impl Proposal<FaultConfig> for BitToggleProposal {
 pub struct GibbsBitProposal {
     toggle_space: BitToggleProposal,
     sites: Arc<Vec<ParamSite>>,
-    bits: BitRange,
     p: f64,
 }
 
 impl GibbsBitProposal {
-    /// Creates the proposal for flip probability `p` over the sites.
+    /// Creates the proposal for flip probability `p` over the sites. The
+    /// bit range is clamped per-site to each site's word width, exactly as
+    /// in [`BitToggleProposal`].
     ///
     /// # Panics
     ///
-    /// Panics if `sites` is empty or `p` is not in `(0, 1)` (the exact
-    /// conditional is degenerate at 0 and 1).
+    /// Panics if `sites` is empty, `p` is not in `(0, 1)` (the exact
+    /// conditional is degenerate at 0 and 1), or `bits` has no overlap
+    /// with some site's stored word width.
     pub fn new(sites: Arc<Vec<ParamSite>>, bits: BitRange, p: f64) -> Self {
         assert!(p > 0.0 && p < 1.0, "gibbs resampling needs p in (0, 1)");
         GibbsBitProposal {
             toggle_space: BitToggleProposal::new(Arc::clone(&sites), bits),
             sites,
-            bits,
             p,
         }
     }
@@ -152,8 +167,7 @@ impl GibbsBitProposal {
 
 impl Proposal<FaultConfig> for GibbsBitProposal {
     fn propose(&self, current: &FaultConfig, rng: &mut dyn Rng) -> (FaultConfig, f64) {
-        let (site_idx, element) = self.toggle_space.pick_site(rng);
-        let bit = self.bits.nth(rng.random_range(0..self.bits.len()));
+        let (site_idx, element, bit) = self.toggle_space.pick_position(rng);
         let path = &self.sites[site_idx].path;
 
         let mut mask = current.mask(path);
@@ -189,14 +203,8 @@ mod tests {
 
     fn sites() -> Arc<Vec<ParamSite>> {
         Arc::new(vec![
-            ParamSite {
-                path: "a.weight".into(),
-                len: 10,
-            },
-            ParamSite {
-                path: "b.weight".into(),
-                len: 30,
-            },
+            ParamSite::new("a.weight", 10),
+            ParamSite::new("b.weight", 30),
         ])
     }
 
@@ -236,10 +244,7 @@ mod tests {
     #[test]
     fn bit_toggle_can_heal_existing_faults() {
         let proposal = BitToggleProposal::new(
-            Arc::new(vec![ParamSite {
-                path: "w".into(),
-                len: 1,
-            }]),
+            Arc::new(vec![ParamSite::new("w", 1)]),
             BitRange::new(0, 1), // only bit 0 of element 0 exists
         );
         let mut rng = StdRng::seed_from_u64(2);
@@ -257,10 +262,7 @@ mod tests {
         // of single-bit toggles should reach mean flip count ≈ 64 p.
         let p = 0.2;
         let fm: Arc<dyn FaultModel> = Arc::new(BernoulliBitFlip::new(p));
-        let sites = Arc::new(vec![ParamSite {
-            path: "w".into(),
-            len: 2,
-        }]);
+        let sites = Arc::new(vec![ParamSite::new("w", 2)]);
         let proposal = BitToggleProposal::new(Arc::clone(&sites), BitRange::all());
         let sites2 = Arc::clone(&sites);
         let mut log_target = move |c: &FaultConfig| c.log_prob(&sites2, fm.as_ref()).unwrap();
@@ -305,10 +307,7 @@ mod tests {
     #[test]
     fn gibbs_chain_matches_marginal_flip_count() {
         let p = 0.25;
-        let sites = Arc::new(vec![ParamSite {
-            path: "w".into(),
-            len: 1,
-        }]);
+        let sites = Arc::new(vec![ParamSite::new("w", 1)]);
         let fm: Arc<dyn FaultModel> = Arc::new(BernoulliBitFlip::new(p));
         let proposal = GibbsBitProposal::new(Arc::clone(&sites), BitRange::all(), p);
         let sites2 = Arc::clone(&sites);
@@ -335,10 +334,7 @@ mod tests {
     #[test]
     fn gibbs_hastings_ratio_is_consistent() {
         let p = 0.1f64;
-        let sites = Arc::new(vec![ParamSite {
-            path: "w".into(),
-            len: 1,
-        }]);
+        let sites = Arc::new(vec![ParamSite::new("w", 1)]);
         let proposal = GibbsBitProposal::new(Arc::clone(&sites), BitRange::new(0, 1), p);
         let mut rng = StdRng::seed_from_u64(7);
         // From clean state the only non-identity move is setting the bit:
@@ -355,6 +351,29 @@ mod tests {
             }
         }
         assert!(saw_set);
+    }
+
+    #[test]
+    fn toggle_positions_respect_site_repr() {
+        use bdlfi_faults::Repr;
+        let sites = Arc::new(vec![
+            ParamSite::with_repr("q.weight", 4, Repr::I8),
+            ParamSite::with_repr("q.bias", 2, Repr::I32Accum),
+        ]);
+        let proposal = BitToggleProposal::new(Arc::clone(&sites), BitRange::all());
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw_i8 = false;
+        for _ in 0..500 {
+            let (site_idx, element, bit) = proposal.pick_position(&mut rng);
+            assert!(element < sites[site_idx].len);
+            if sites[site_idx].repr == Repr::I8 {
+                assert!(bit < 8, "int8 site drew bit {bit}");
+                saw_i8 = true;
+            } else {
+                assert!(bit < 32);
+            }
+        }
+        assert!(saw_i8);
     }
 
     #[test]

@@ -8,9 +8,11 @@ use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunCon
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
 use crate::stats::{fit_knee, KneeFit};
+use crate::workload::QuantFaultyModel;
 use bdlfi_data::Dataset;
 use bdlfi_faults::{BernoulliBitFlip, SiteSpec};
 use bdlfi_nn::Sequential;
+use bdlfi_quant::QuantModel;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -169,6 +171,91 @@ pub fn run_sweep_controlled(
     })
 }
 
+/// [`run_sweep`] over the *quantized* workload: one BDLFI campaign per
+/// probability in `ps`, injecting representation-aware bit flips into the
+/// int8 model's sites selected by `spec`.
+///
+/// # Panics
+///
+/// Panics if `ps` is empty or contains non-probabilities.
+pub fn run_sweep_quant(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    ps: &[f64],
+    cfg: &CampaignConfig,
+) -> SweepResult {
+    match run_sweep_quant_controlled(qm, eval, spec, ps, cfg, &RunControl::default(), None) {
+        Ok(sweep) => sweep,
+        Err(e) => panic!("quant sweep failed: {e}"),
+    }
+}
+
+/// [`run_sweep_quant`] with cooperative cancellation and an optional
+/// checkpoint journal — the quantized twin of [`run_sweep_controlled`],
+/// with its own fingerprint namespace so f32 and int8 journals never
+/// cross-resume.
+///
+/// # Errors
+///
+/// [`EngineError::Interrupted`] on a cooperative stop, plus journal/sink
+/// failures.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_sweep_quant`].
+pub fn run_sweep_quant_controlled(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    ps: &[f64],
+    cfg: &CampaignConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<SweepResult, EngineError> {
+    assert!(!ps.is_empty(), "sweep needs at least one probability");
+    assert!(
+        ps.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let ckpt = ckpt.cloned().map(|mut s| {
+        if s.fingerprint.is_empty() {
+            s.fingerprint = fingerprint("sweep_quant", &(*cfg, ps.to_vec()));
+        }
+        s
+    });
+    let mut sink = CollectSink::new();
+    let run_meta = engine.run_checkpointed(
+        ps.len(),
+        || (),
+        |(), ctx| {
+            let p = ps[ctx.task_id];
+            let qfm = QuantFaultyModel::new(
+                qm.clone(),
+                Arc::clone(eval),
+                spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(SweepPoint {
+                p,
+                report: run_campaign(&qfm, cfg),
+            })
+        },
+        &mut sink,
+        ctl,
+        ckpt.as_ref(),
+    )?;
+    let mut points = sink.into_inner();
+    points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
+    let golden_error = points[0].report.golden_error;
+    Ok(SweepResult {
+        points,
+        golden_error,
+        run_meta,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +354,32 @@ mod tests {
         );
         let ps: Vec<f64> = sweep.points.iter().map(|p| p.p).collect();
         assert!(ps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quant_sweep_error_grows_with_p() {
+        use bdlfi_quant::{quantize_model, CalibConfig};
+        let (model, eval) = trained();
+        let qm = quantize_model(&model, eval.inputs(), &CalibConfig::default());
+        let sweep = run_sweep_quant(
+            &qm,
+            &eval,
+            &SiteSpec::AllParams,
+            &[1e-5, 3e-2],
+            &quick_cfg(),
+        );
+        assert_eq!(sweep.points.len(), 2);
+        assert!(
+            (sweep.points[0].report.mean_error - sweep.golden_error).abs() < 0.05,
+            "low-p error {} vs golden {}",
+            sweep.points[0].report.mean_error,
+            sweep.golden_error
+        );
+        assert!(
+            sweep.points[1].report.mean_error > sweep.golden_error + 0.03,
+            "high-p error {}",
+            sweep.points[1].report.mean_error
+        );
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! The fault-evaluation workload abstraction and the quantized workload.
+//!
+//! Every campaign driver ultimately needs the same four things from the
+//! system under test: the resolved injection sites, the fault prior over
+//! them, the golden classification error, and a way to score one
+//! [`FaultConfig`]. [`FaultWorkload`] captures exactly that surface, so the
+//! MCMC campaign machinery ([`crate::run_campaign`] and friends) runs
+//! unchanged over the f32 [`FaultyModel`] and the int8
+//! [`QuantFaultyModel`] — the quantized-deployment workload of the paper's
+//! "memory units storing NN parameters" fault model.
+
+use crate::FaultyModel;
+use bdlfi_data::Dataset;
+use bdlfi_faults::{FaultConfig, FaultModel, ResolvedSites, SiteSpec};
+use bdlfi_quant::{QPrefixCache, QuantModel};
+use bdlfi_tensor::Tensor;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A system under fault injection, as seen by the campaign drivers.
+///
+/// Implementors bind a network to an evaluation set, a resolved set of
+/// injection sites and a fault prior. Cloning must be cheap enough to hand
+/// one copy to each parallel chain (share the heavy read-only state behind
+/// `Arc`s, clone only the mutable storage faults are XORed into).
+pub trait FaultWorkload: Clone + Send + Sync {
+    /// The resolved injection sites.
+    fn sites(&self) -> &ResolvedSites;
+
+    /// The shared fault prior.
+    fn fault_model(&self) -> &Arc<dyn FaultModel>;
+
+    /// Classification error of the fault-free network — the paper's
+    /// "golden run" line.
+    fn golden_error(&self) -> f64;
+
+    /// Classification error (vs. true labels) under one fault
+    /// configuration. `rng` drives transient faults where the workload has
+    /// any; pure-parameter workloads ignore it.
+    fn eval_error(&mut self, cfg: &FaultConfig, rng: &mut dyn Rng) -> f64;
+
+    /// Samples a fault configuration from the prior over the sites.
+    fn sample_config(&self, rng: &mut dyn Rng) -> FaultConfig {
+        FaultConfig::sample(&self.sites().params, self.fault_model().as_ref(), rng)
+    }
+
+    /// Joint prior log-probability of a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault model defines no density.
+    fn prior_log_prob(&self, cfg: &FaultConfig) -> f64 {
+        cfg.log_prob(&self.sites().params, self.fault_model().as_ref())
+            .expect("fault model must define a density for MCMC targets")
+    }
+}
+
+impl FaultWorkload for FaultyModel {
+    fn sites(&self) -> &ResolvedSites {
+        FaultyModel::sites(self)
+    }
+
+    fn fault_model(&self) -> &Arc<dyn FaultModel> {
+        FaultyModel::fault_model(self)
+    }
+
+    fn golden_error(&self) -> f64 {
+        FaultyModel::golden_error(self)
+    }
+
+    fn eval_error(&mut self, cfg: &FaultConfig, rng: &mut dyn Rng) -> f64 {
+        FaultyModel::eval_error(self, cfg, rng)
+    }
+}
+
+/// The quantized twin of [`FaultyModel`]: an int8 [`QuantModel`] bound to
+/// an evaluation set and a fault model over its representation-tagged
+/// sites (int8 weight bytes, i32 bias words, f32 scales).
+///
+/// Quantized storage is purely persistent — there are no transient
+/// activation sites — so every evaluation runs the golden-prefix
+/// incremental path: XOR the faults in, resume inference at the first
+/// dirty stage from the shared [`QPrefixCache`], XOR them back out.
+/// Cloning shares the evaluation data, prefix cache and fault model;
+/// each clone owns its quantized storage.
+#[derive(Clone)]
+pub struct QuantFaultyModel {
+    model: QuantModel,
+    eval: Arc<Dataset>,
+    sites: ResolvedSites,
+    fault_model: Arc<dyn FaultModel>,
+    golden_preds: Arc<Vec<usize>>,
+    golden_error: f64,
+    prefix: Arc<QPrefixCache>,
+}
+
+impl std::fmt::Debug for QuantFaultyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantFaultyModel")
+            .field("param_sites", &self.sites.params.len())
+            .field("eval_examples", &self.eval.len())
+            .field("golden_error", &self.golden_error)
+            .finish()
+    }
+}
+
+impl QuantFaultyModel {
+    /// Binds a quantized model to an evaluation set and fault model over
+    /// the sites selected by `spec`. Golden predictions, golden error and
+    /// the prefix cache are computed once here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty, the spec selects transient
+    /// (activation/input) sites, or it resolves to no site.
+    pub fn new(
+        mut model: QuantModel,
+        eval: Arc<Dataset>,
+        spec: &SiteSpec,
+        fault_model: Arc<dyn FaultModel>,
+    ) -> Self {
+        assert!(!eval.is_empty(), "evaluation set must not be empty");
+        let sites = model.sites_matching(spec);
+        assert!(
+            !sites.is_empty(),
+            "site spec resolved to no injection sites"
+        );
+
+        let prefix = QPrefixCache::build(&mut model, eval.inputs(), 64);
+        let golden_logits = prefix.golden_logits();
+        let golden_preds = Arc::new(golden_logits.argmax_rows());
+        let golden_error = bdlfi_nn::metrics::classification_error(&golden_logits, eval.labels());
+
+        QuantFaultyModel {
+            model,
+            eval,
+            sites,
+            fault_model,
+            golden_preds,
+            golden_error,
+            prefix: Arc::new(prefix),
+        }
+    }
+
+    /// The resolved (representation-tagged) injection sites.
+    pub fn sites(&self) -> &ResolvedSites {
+        &self.sites
+    }
+
+    /// The shared fault model.
+    pub fn fault_model(&self) -> &Arc<dyn FaultModel> {
+        &self.fault_model
+    }
+
+    /// The evaluation dataset.
+    pub fn eval(&self) -> &Dataset {
+        &self.eval
+    }
+
+    /// Classification error of the fault-free quantized network.
+    pub fn golden_error(&self) -> f64 {
+        self.golden_error
+    }
+
+    /// The golden quantized network's predictions on the evaluation set.
+    pub fn golden_preds(&self) -> &[usize] {
+        &self.golden_preds
+    }
+
+    /// The underlying quantized model.
+    pub fn model(&self) -> &QuantModel {
+        &self.model
+    }
+
+    /// Evaluates the faulted quantized network's logits over the whole
+    /// evaluation set, resuming from the golden prefix cache at the
+    /// configuration's first dirty stage. Bit-identical to a cold run.
+    pub fn eval_logits(&mut self, cfg: &FaultConfig) -> Tensor {
+        let start = self
+            .model
+            .first_dirty_op(cfg)
+            .unwrap_or_else(|| self.model.len());
+        self.model.apply(cfg);
+        let logits = self.prefix.predict_from(&mut self.model, start);
+        self.model.apply(cfg);
+        logits
+    }
+
+    /// Classification error (vs. true labels) under one configuration.
+    pub fn eval_error(&mut self, cfg: &FaultConfig) -> f64 {
+        let logits = self.eval_logits(cfg);
+        bdlfi_nn::metrics::classification_error(&logits, self.eval.labels())
+    }
+
+    /// Per-example prediction mismatch against the golden quantized run.
+    pub fn eval_mismatch(&mut self, cfg: &FaultConfig) -> Vec<bool> {
+        let logits = self.eval_logits(cfg);
+        logits
+            .argmax_rows()
+            .into_iter()
+            .zip(self.golden_preds.iter())
+            .map(|(f, &g)| f != g)
+            .collect()
+    }
+}
+
+impl FaultWorkload for QuantFaultyModel {
+    fn sites(&self) -> &ResolvedSites {
+        &self.sites
+    }
+
+    fn fault_model(&self) -> &Arc<dyn FaultModel> {
+        &self.fault_model
+    }
+
+    fn golden_error(&self) -> f64 {
+        self.golden_error
+    }
+
+    fn eval_error(&mut self, cfg: &FaultConfig, _rng: &mut dyn Rng) -> f64 {
+        QuantFaultyModel::eval_error(self, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdlfi_data::gaussian_blobs;
+    use bdlfi_faults::{BernoulliBitFlip, BitRange, Repr};
+    use bdlfi_nn::mlp;
+    use bdlfi_quant::{quantize_model, CalibConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(p: f64) -> (QuantFaultyModel, StdRng) {
+        use bdlfi_nn::{optim::Sgd, TrainConfig, Trainer};
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = Arc::new(gaussian_blobs(100, 3, 0.5, &mut rng));
+        let mut model = mlp(2, &[16], 3, &mut rng);
+        let mut trainer = Trainer::new(
+            Sgd::new(0.1).with_momentum(0.9),
+            TrainConfig {
+                epochs: 15,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+        );
+        trainer.fit(&mut model, data.inputs(), data.labels(), &mut rng);
+        let qm = quantize_model(&model, data.inputs(), &CalibConfig::default());
+        let qfm = QuantFaultyModel::new(
+            qm,
+            data,
+            &SiteSpec::AllParams,
+            Arc::new(BernoulliBitFlip::with_bits(p, BitRange::all_for(Repr::I8))),
+        );
+        (qfm, rng)
+    }
+
+    #[test]
+    fn clean_config_reproduces_golden_error() {
+        let (mut qfm, _) = setup(0.01);
+        assert!((0.0..=1.0).contains(&qfm.golden_error()));
+        let err = QuantFaultyModel::eval_error(&mut qfm, &FaultConfig::clean());
+        assert_eq!(err, qfm.golden_error());
+    }
+
+    #[test]
+    fn evaluation_restores_the_quantized_storage() {
+        let (mut qfm, mut rng) = setup(0.05);
+        let cfg = FaultWorkload::sample_config(&qfm, &mut rng);
+        let before = QuantFaultyModel::eval_error(&mut qfm, &FaultConfig::clean());
+        let _ = QuantFaultyModel::eval_error(&mut qfm, &cfg);
+        let after = QuantFaultyModel::eval_error(&mut qfm, &FaultConfig::clean());
+        assert_eq!(before, after, "storage not restored after faulty eval");
+    }
+
+    #[test]
+    fn incremental_eval_matches_cold_run_bitwise() {
+        let (mut qfm, mut rng) = setup(0.02);
+        for _ in 0..5 {
+            let cfg = FaultWorkload::sample_config(&qfm, &mut rng);
+            let inc = qfm.eval_logits(&cfg);
+            let mut cold_model = qfm.model.clone();
+            cold_model.apply(&cfg);
+            let cold = cold_model.predict_all(qfm.eval.inputs(), 64);
+            let ib: Vec<u32> = inc.data().iter().map(|v| v.to_bits()).collect();
+            let cb: Vec<u32> = cold.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ib, cb, "incremental logits diverge from cold run");
+        }
+    }
+
+    #[test]
+    fn sites_carry_reprs_and_prior_matches() {
+        let (qfm, mut rng) = setup(0.01);
+        assert!(FaultWorkload::sites(&qfm)
+            .params
+            .iter()
+            .any(|s| s.repr == Repr::I8));
+        let cfg = FaultWorkload::sample_config(&qfm, &mut rng);
+        let direct = cfg
+            .log_prob(&qfm.sites().params, qfm.fault_model().as_ref())
+            .unwrap();
+        assert_eq!(FaultWorkload::prior_log_prob(&qfm, &cfg), direct);
+    }
+
+    #[test]
+    fn mismatch_is_zero_for_clean_config() {
+        let (mut qfm, _) = setup(0.01);
+        let mm = qfm.eval_mismatch(&FaultConfig::clean());
+        assert!(mm.iter().all(|&b| !b));
+    }
+}

@@ -8,7 +8,7 @@
 //! more critical than low mantissa bits — the E7 ablation measures exactly
 //! this).
 
-use crate::bits::WORD_BITS;
+use crate::bits::{BitRange, Repr, WORD_BITS};
 use crate::mask::FaultMask;
 use crate::model::{BernoulliBitFlip, FaultModel};
 use rand::{Rng, RngExt};
@@ -46,6 +46,15 @@ impl AvfModel {
     pub fn to_fault_model(self) -> BernoulliBitFlip {
         BernoulliBitFlip::new(self.flip_probability())
     }
+
+    /// The Bernoulli fault model induced by this AVF over the word width
+    /// of `repr`: the per-bit probability is unchanged (it is a property
+    /// of the memory cell, not the datatype), but the injectable space is
+    /// `repr.width()` bits per element — an int8 element therefore absorbs
+    /// 4× fewer expected upsets than an f32 one.
+    pub fn to_fault_model_for(self, repr: Repr) -> BernoulliBitFlip {
+        BernoulliBitFlip::with_bits(self.flip_probability(), BitRange::all_for(repr))
+    }
 }
 
 /// Position-dependent AVF: an independent flip probability per bit
@@ -82,6 +91,16 @@ impl PerBitAvf {
     /// Panics if `bit >= 32`.
     pub fn prob(&self, bit: u8) -> f64 {
         self.probs[bit as usize]
+    }
+
+    /// The model restricted to the word width of `repr`: positions at or
+    /// above `repr.width()` have no storage and get probability zero.
+    pub fn clamped_to(&self, repr: Repr) -> Self {
+        let mut probs = self.probs;
+        for p in probs.iter_mut().skip(repr.width() as usize) {
+            *p = 0.0;
+        }
+        PerBitAvf { probs }
     }
 }
 
@@ -153,6 +172,18 @@ impl FaultModel for PerBitAvf {
     fn expected_flips(&self, len: usize) -> f64 {
         self.probs.iter().sum::<f64>() * len as f64
     }
+
+    fn sample_mask_for(&self, len: usize, repr: Repr, rng: &mut dyn Rng) -> FaultMask {
+        self.clamped_to(repr).sample_mask(len, rng)
+    }
+
+    fn log_prob_for(&self, mask: &FaultMask, len: usize, repr: Repr) -> Option<f64> {
+        self.clamped_to(repr).log_prob(mask, len)
+    }
+
+    fn expected_flips_for(&self, len: usize, repr: Repr) -> f64 {
+        self.clamped_to(repr).expected_flips(len)
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +224,35 @@ mod tests {
         for &(_, pattern) in mask.entries() {
             assert_eq!(pattern & !(1 << 31), 0);
         }
+    }
+
+    #[test]
+    fn avf_fault_model_scales_to_word_width() {
+        let m = AvfModel::new(1e-3, 0.5);
+        let f32_model = m.to_fault_model_for(Repr::F32);
+        let i8_model = m.to_fault_model_for(Repr::I8);
+        // Same per-bit probability, quarter the injectable space.
+        assert_eq!(f32_model.p, i8_model.p);
+        assert!((f32_model.expected_flips(100) / i8_model.expected_flips(100) - 4.0).abs() < 1e-9);
+        assert_eq!(i8_model.bits, BitRange::all_for(Repr::I8));
+    }
+
+    #[test]
+    fn per_bit_clamps_to_word_width() {
+        let model = PerBitAvf::uniform(0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mask = model.sample_mask_for(100, Repr::I8, &mut rng);
+        assert!(!mask.is_empty());
+        for &(_, pattern) in mask.entries() {
+            assert_eq!(pattern & !0xFF, 0);
+        }
+        assert!((model.expected_flips_for(10, Repr::I8) - 0.3 * 8.0 * 10.0).abs() < 1e-9);
+        // A flip above the width has zero probability.
+        let high = FaultMask::from_entries(vec![(0, 1 << 20)]);
+        assert_eq!(
+            model.log_prob_for(&high, 10, Repr::I8),
+            Some(f64::NEG_INFINITY)
+        );
     }
 
     #[test]

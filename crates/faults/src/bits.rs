@@ -6,13 +6,81 @@
 //! operations with flipped bits". Bit numbering here is LSB-first:
 //! bits 0–22 are the mantissa, 23–30 the exponent, 31 the sign.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Number of bits in the injected representation (IEEE-754 binary32).
 pub const WORD_BITS: u8 = 32;
 
 /// Index of the sign bit.
 pub const SIGN_BIT: u8 = 31;
+
+/// The stored representation a fault site injects into.
+///
+/// The paper's model is pure binary32 ([`Repr::F32`]); the quantized
+/// deployment workload adds int8 weight bytes ([`Repr::I8`]) and 32-bit
+/// integer bias/accumulator words ([`Repr::I32Accum`]). The representation
+/// determines the word width — and therefore the size of the per-element
+/// injection space — so every width-dependent computation (mask sampling,
+/// exhaustive enumeration, injection-space accounting) consults
+/// [`Repr::width`] instead of assuming 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Repr {
+    /// IEEE-754 binary32 — the paper's representation and the default, so
+    /// pre-quantization serialized sites deserialize unchanged.
+    #[default]
+    F32,
+    /// Signed 8-bit integer (quantized weights and activations).
+    I8,
+    /// Signed 32-bit integer (quantized biases, accumulators and
+    /// zero-points).
+    I32Accum,
+}
+
+impl Repr {
+    /// Number of injectable bits per stored element.
+    pub fn width(self) -> u8 {
+        match self {
+            Repr::F32 => 32,
+            Repr::I8 => 8,
+            Repr::I32Accum => 32,
+        }
+    }
+}
+
+// Hand-written serde: a `Repr` serializes as a plain string, and an
+// *absent* field defaults to `F32`, which is what keeps pre-quantization
+// checkpoints and site lists loadable ([`crate::ParamSite`] gained a
+// `repr` field after they were written).
+impl Serialize for Repr {
+    fn to_json_value(&self) -> Value {
+        Value::String(
+            match self {
+                Repr::F32 => "F32",
+                Repr::I8 => "I8",
+                Repr::I32Accum => "I32Accum",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for Repr {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => match s.as_str() {
+                "F32" => Ok(Repr::F32),
+                "I8" => Ok(Repr::I8),
+                "I32Accum" => Ok(Repr::I32Accum),
+                other => Err(DeError::custom(format!("unknown Repr variant {other:?}"))),
+            },
+            _ => Err(DeError::custom("Repr must be a string")),
+        }
+    }
+
+    fn missing_field_default() -> Option<Self> {
+        Some(Repr::F32)
+    }
+}
 
 /// Flips one bit of a float's binary32 representation.
 ///
@@ -32,6 +100,40 @@ pub const SIGN_BIT: u8 = 31;
 pub fn flip_bit(x: f32, bit: u8) -> f32 {
     assert!(bit < WORD_BITS, "bit index {bit} out of range");
     f32::from_bits(x.to_bits() ^ (1u32 << bit))
+}
+
+/// Flips one bit of a signed 8-bit integer (quantized weight byte).
+///
+/// # Panics
+///
+/// Panics if `bit >= 8`.
+///
+/// # Examples
+///
+/// ```
+/// use bdlfi_faults::bits::flip_bit_u8;
+/// // Flipping the sign bit of a two's-complement byte.
+/// assert_eq!(flip_bit_u8(1, 7), -127);
+/// // XOR involution, exactly as for floats.
+/// assert_eq!(flip_bit_u8(flip_bit_u8(-42, 3), 3), -42);
+/// ```
+pub fn flip_bit_u8(x: i8, bit: u8) -> i8 {
+    assert!(
+        bit < Repr::I8.width(),
+        "bit index {bit} out of range for i8"
+    );
+    (x as u8 ^ (1u8 << bit)) as i8
+}
+
+/// Flips one bit of a signed 32-bit integer (quantized bias or accumulator
+/// word).
+///
+/// # Panics
+///
+/// Panics if `bit >= 32`.
+pub fn flip_bit_u32(x: i32, bit: u8) -> i32 {
+    assert!(bit < WORD_BITS, "bit index {bit} out of range");
+    x ^ (1i32 << bit)
 }
 
 /// XORs a full 32-bit mask into a float's representation.
@@ -54,6 +156,40 @@ impl BitRange {
     /// All 32 bits — the paper's fault model.
     pub fn all() -> Self {
         BitRange { lo: 0, hi: 32 }
+    }
+
+    /// Every bit of the given representation: `[0, repr.width())`.
+    ///
+    /// `all_for(Repr::F32)` equals [`BitRange::all`]; `all_for(Repr::I8)`
+    /// is the exhaustive 8-bit space of a quantized weight byte.
+    pub fn all_for(repr: Repr) -> Self {
+        BitRange {
+            lo: 0,
+            hi: repr.width(),
+        }
+    }
+
+    /// Restricts the range to bits that exist in `repr`, i.e. intersects
+    /// with `[0, repr.width())`.
+    ///
+    /// For [`Repr::F32`] and [`Repr::I32Accum`] this is the identity, so
+    /// float campaigns are bit-for-bit unaffected by the clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the intersection is empty (e.g. an exponent-only range
+    /// clamped to an 8-bit word) — such a campaign cannot inject anything
+    /// at the site, which is a configuration bug.
+    pub fn clamp_to(&self, repr: Repr) -> Self {
+        let hi = self.hi.min(repr.width());
+        assert!(
+            self.lo < hi,
+            "bit range [{}, {}) has no bits within a {}-bit {repr:?} word",
+            self.lo,
+            self.hi,
+            repr.width()
+        );
+        BitRange { lo: self.lo, hi }
     }
 
     /// Only the sign bit.
@@ -169,12 +305,81 @@ mod tests {
         BitRange::new(5, 5);
     }
 
+    #[test]
+    fn repr_widths() {
+        assert_eq!(Repr::F32.width(), 32);
+        assert_eq!(Repr::I8.width(), 8);
+        assert_eq!(Repr::I32Accum.width(), 32);
+        assert_eq!(Repr::default(), Repr::F32);
+    }
+
+    #[test]
+    fn all_for_matches_width() {
+        assert_eq!(BitRange::all_for(Repr::F32), BitRange::all());
+        let i8_range = BitRange::all_for(Repr::I8);
+        assert_eq!(i8_range.len(), 8);
+        assert!(i8_range.contains(7) && !i8_range.contains(8));
+    }
+
+    #[test]
+    fn clamp_to_is_identity_for_f32() {
+        for r in [
+            BitRange::all(),
+            BitRange::sign(),
+            BitRange::exponent(),
+            BitRange::mantissa(),
+        ] {
+            assert_eq!(r.clamp_to(Repr::F32), r);
+            assert_eq!(r.clamp_to(Repr::I32Accum), r);
+        }
+        assert_eq!(
+            BitRange::all().clamp_to(Repr::I8),
+            BitRange::all_for(Repr::I8)
+        );
+        assert_eq!(BitRange::new(0, 12).clamp_to(Repr::I8), BitRange::new(0, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "no bits within")]
+    fn clamp_to_rejects_disjoint_range() {
+        BitRange::exponent().clamp_to(Repr::I8);
+    }
+
+    #[test]
+    fn i8_sign_bit_flip() {
+        assert_eq!(flip_bit_u8(0, 7), -128);
+        assert_eq!(flip_bit_u32(0, 31), i32::MIN);
+        assert_eq!(flip_bit_u32(flip_bit_u32(12345, 17), 17), 12345);
+    }
+
+    #[test]
+    fn repr_round_trips_through_serde_as_string() {
+        for r in [Repr::F32, Repr::I8, Repr::I32Accum] {
+            let v = r.to_json_value();
+            assert_eq!(Repr::from_json_value(&v).unwrap(), r);
+        }
+        assert_eq!(Repr::missing_field_default(), Some(Repr::F32));
+        assert!(Repr::from_json_value(&Value::String("I4".into())).is_err());
+    }
+
     proptest! {
         #[test]
         fn flip_is_involution(x in proptest::num::f32::ANY, bit in 0u8..32) {
             let y = flip_bit(flip_bit(x, bit), bit);
             // Compare representations: NaN != NaN as floats.
             prop_assert_eq!(y.to_bits(), x.to_bits());
+        }
+
+        #[test]
+        fn i8_flip_is_involution(raw in proptest::num::u32::ANY, bit in 0u8..8) {
+            let x = raw as u8 as i8;
+            prop_assert_eq!(flip_bit_u8(flip_bit_u8(x, bit), bit), x);
+        }
+
+        #[test]
+        fn i32_flip_is_involution(raw in proptest::num::u32::ANY, bit in 0u8..32) {
+            let x = raw as i32;
+            prop_assert_eq!(flip_bit_u32(flip_bit_u32(x, bit), bit), x);
         }
 
         #[test]

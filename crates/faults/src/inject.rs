@@ -28,11 +28,14 @@ impl FaultConfig {
         }
     }
 
-    /// Samples a configuration: one independent mask per parameter site.
+    /// Samples a configuration: one independent mask per parameter site,
+    /// drawn over each site's own word width
+    /// ([`FaultModel::sample_mask_for`]), so int8 sites flip within their
+    /// 8 stored bits and f32 sites behave exactly as before.
     pub fn sample(sites: &[ParamSite], model: &dyn FaultModel, rng: &mut dyn Rng) -> Self {
         let mut masks = HashMap::new();
         for site in sites {
-            let mask = model.sample_mask(site.len, rng);
+            let mask = model.sample_mask_for(site.len, site.repr, rng);
             if !mask.is_empty() {
                 masks.insert(site.path.clone(), mask);
             }
@@ -93,7 +96,7 @@ impl FaultConfig {
         let mut total = 0.0f64;
         for site in sites {
             let mask = self.mask(&site.path);
-            total += model.log_prob(&mask, site.len)?;
+            total += model.log_prob_for(&mask, site.len, site.repr)?;
         }
         Some(total)
     }
@@ -133,9 +136,10 @@ impl FaultConfig {
 
 /// Convenience: the total number of distinct `(element, bit)` positions a
 /// resolved site set exposes — the size of the paper's "enormous space of
-/// fault locations".
+/// fault locations". Counts each site at its own word width, so a
+/// quantized site set is 4× smaller per element than its f32 twin.
 pub fn injection_space_bits(sites: &ResolvedSites) -> u64 {
-    sites.total_param_elements() as u64 * u64::from(crate::bits::WORD_BITS)
+    sites.params.iter().map(ParamSite::injectable_bits).sum()
 }
 
 #[cfg(test)]
@@ -267,6 +271,40 @@ mod tests {
             injection_space_bits(&sites),
             (sites.total_param_elements() * 32) as u64
         );
+    }
+
+    #[test]
+    fn injection_space_counts_each_site_at_its_width() {
+        use crate::bits::Repr;
+        use crate::site::ParamSite;
+        let sites = ResolvedSites {
+            params: vec![
+                ParamSite::with_repr("q.weight", 10, Repr::I8),
+                ParamSite::with_repr("q.bias", 3, Repr::I32Accum),
+                ParamSite::with_repr("q.scale", 1, Repr::F32),
+            ],
+            activations: Vec::new(),
+            input: false,
+        };
+        assert_eq!(injection_space_bits(&sites), 10 * 8 + 3 * 32 + 32);
+    }
+
+    #[test]
+    fn sampling_respects_site_width() {
+        use crate::bits::Repr;
+        use crate::site::ParamSite;
+        let sites = vec![ParamSite::with_repr("q.weight", 40, Repr::I8)];
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = FaultConfig::sample(&sites, &BernoulliBitFlip::new(0.3), &mut rng);
+        assert!(!cfg.is_clean());
+        for &(_, pattern) in cfg.mask("q.weight").entries() {
+            assert_eq!(pattern & !0xFF, 0, "i8 site flipped a bit above 7");
+        }
+        // The density normalizes over the 8-bit space.
+        let lp_clean = FaultConfig::clean()
+            .log_prob(&sites, &BernoulliBitFlip::new(0.01))
+            .unwrap();
+        assert!((lp_clean - 40.0 * 8.0 * (0.99f64).ln()).abs() < 1e-9);
     }
 
     #[test]

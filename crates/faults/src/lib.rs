@@ -49,7 +49,7 @@ mod site;
 mod stuck;
 
 pub use avf::{AvfModel, PerBitAvf};
-pub use bits::BitRange;
+pub use bits::{BitRange, Repr};
 pub use inject::{injection_space_bits, FaultConfig};
 pub use mask::FaultMask;
 pub use model::{BernoulliBitFlip, ExactKBitFlips, FaultModel, SingleBitFlip};

@@ -101,6 +101,34 @@ impl FaultMask {
         }
     }
 
+    /// Applies the mask to a slice of quantized int8 weights.
+    ///
+    /// Only the low 8 bits of each pattern are meaningful for an
+    /// [`crate::bits::Repr::I8`] site; higher pattern bits have no storage
+    /// to land in and are ignored (a width-respecting fault model never
+    /// produces them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry indexes beyond the slice.
+    pub fn apply_slice_i8(&self, data: &mut [i8]) {
+        for &(i, m) in &self.entries {
+            data[i] = (data[i] as u8 ^ (m as u8)) as i8;
+        }
+    }
+
+    /// Applies the mask to a slice of quantized i32 words (biases,
+    /// zero-points, accumulators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry indexes beyond the slice.
+    pub fn apply_slice_i32(&self, data: &mut [i32]) {
+        for &(i, m) in &self.entries {
+            data[i] ^= m as i32;
+        }
+    }
+
     /// XOR-composes two masks: the result of applying both.
     pub fn merged(&self, other: &FaultMask) -> FaultMask {
         FaultMask::from_entries(
@@ -168,6 +196,30 @@ mod tests {
         // Differ in bit 0 of elem 0, and bit 0 of elem 1.
         assert_eq!(a.hamming_distance(&b), 2);
         assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn integer_apply_is_involution() {
+        let m = FaultMask::from_entries(vec![(0, 1 << 7), (2, 0b101)]);
+        let mut bytes: Vec<i8> = vec![1, -2, 3, 127];
+        let orig = bytes.clone();
+        m.apply_slice_i8(&mut bytes);
+        assert_ne!(bytes, orig);
+        assert_eq!(bytes[0], flip(1, 7));
+        m.apply_slice_i8(&mut bytes);
+        assert_eq!(bytes, orig);
+
+        let m32 = FaultMask::from_entries(vec![(1, 1 << 31), (3, 0xFFFF)]);
+        let mut words: Vec<i32> = vec![0, 1, -5, i32::MAX];
+        let worig = words.clone();
+        m32.apply_slice_i32(&mut words);
+        assert_ne!(words, worig);
+        m32.apply_slice_i32(&mut words);
+        assert_eq!(words, worig);
+
+        fn flip(x: i8, bit: u8) -> i8 {
+            crate::bits::flip_bit_u8(x, bit)
+        }
     }
 
     proptest! {

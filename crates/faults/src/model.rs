@@ -8,7 +8,7 @@
 //! [`ExactKBitFlips`] are the classical fault models used by traditional
 //! injectors (TensorFI-style), needed for the baseline comparison.
 
-use crate::bits::BitRange;
+use crate::bits::{BitRange, Repr};
 use crate::mask::FaultMask;
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
@@ -27,6 +27,33 @@ pub trait FaultModel: Send + Sync {
 
     /// Expected number of flipped bits for a tensor of `len` elements.
     fn expected_flips(&self, len: usize) -> f64;
+
+    /// [`FaultModel::sample_mask`] for a site stored in representation
+    /// `repr`: the injectable bit space is clamped to `repr`'s word width,
+    /// so an int8 site draws over 8 bits per element instead of 32.
+    ///
+    /// The default ignores the representation (correct for f32-only
+    /// models); width-aware models override it. For [`Repr::F32`] every
+    /// override must be — and the provided ones are — bit-identical to
+    /// `sample_mask`, preserving the determinism of existing campaigns.
+    fn sample_mask_for(&self, len: usize, repr: Repr, rng: &mut dyn Rng) -> FaultMask {
+        let _ = repr;
+        self.sample_mask(len, rng)
+    }
+
+    /// [`FaultModel::log_prob`] under the representation-clamped bit
+    /// space, matching [`FaultModel::sample_mask_for`].
+    fn log_prob_for(&self, mask: &FaultMask, len: usize, repr: Repr) -> Option<f64> {
+        let _ = repr;
+        self.log_prob(mask, len)
+    }
+
+    /// [`FaultModel::expected_flips`] under the representation-clamped bit
+    /// space.
+    fn expected_flips_for(&self, len: usize, repr: Repr) -> f64 {
+        let _ = repr;
+        self.expected_flips(len)
+    }
 
     /// A rare-event *proposal* version of this model with the fault rate
     /// inflated by `factor` (used by tilted-prior importance sampling);
@@ -144,6 +171,18 @@ impl FaultModel for BernoulliBitFlip {
         self.p * (len * self.bits.len() as usize) as f64
     }
 
+    fn sample_mask_for(&self, len: usize, repr: Repr, rng: &mut dyn Rng) -> FaultMask {
+        BernoulliBitFlip::with_bits(self.p, self.bits.clamp_to(repr)).sample_mask(len, rng)
+    }
+
+    fn log_prob_for(&self, mask: &FaultMask, len: usize, repr: Repr) -> Option<f64> {
+        BernoulliBitFlip::with_bits(self.p, self.bits.clamp_to(repr)).log_prob(mask, len)
+    }
+
+    fn expected_flips_for(&self, len: usize, repr: Repr) -> f64 {
+        BernoulliBitFlip::with_bits(self.p, self.bits.clamp_to(repr)).expected_flips(len)
+    }
+
     fn tilted(&self, factor: f64) -> Option<Box<dyn FaultModel>> {
         if factor <= 0.0 {
             return None;
@@ -204,6 +243,20 @@ impl FaultModel for SingleBitFlip {
 
     fn expected_flips(&self, _len: usize) -> f64 {
         1.0
+    }
+
+    fn sample_mask_for(&self, len: usize, repr: Repr, rng: &mut dyn Rng) -> FaultMask {
+        let clamped = SingleBitFlip {
+            bits: self.bits.clamp_to(repr),
+        };
+        clamped.sample_mask(len, rng)
+    }
+
+    fn log_prob_for(&self, mask: &FaultMask, len: usize, repr: Repr) -> Option<f64> {
+        let clamped = SingleBitFlip {
+            bits: self.bits.clamp_to(repr),
+        };
+        clamped.log_prob(mask, len)
     }
 }
 
@@ -270,6 +323,26 @@ impl FaultModel for ExactKBitFlips {
 
     fn expected_flips(&self, len: usize) -> f64 {
         self.k.min(len * self.bits.len() as usize) as f64
+    }
+
+    fn sample_mask_for(&self, len: usize, repr: Repr, rng: &mut dyn Rng) -> FaultMask {
+        let clamped = ExactKBitFlips {
+            k: self.k,
+            bits: self.bits.clamp_to(repr),
+        };
+        clamped.sample_mask(len, rng)
+    }
+
+    fn log_prob_for(&self, mask: &FaultMask, len: usize, repr: Repr) -> Option<f64> {
+        let clamped = ExactKBitFlips {
+            k: self.k,
+            bits: self.bits.clamp_to(repr),
+        };
+        clamped.log_prob(mask, len)
+    }
+
+    fn expected_flips_for(&self, len: usize, repr: Repr) -> f64 {
+        self.k.min(len * self.bits.clamp_to(repr).len() as usize) as f64
     }
 }
 
@@ -379,6 +452,63 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // 1 element = 32 bits total.
         assert_eq!(model.sample_mask(1, &mut rng).bit_count(), 32);
+    }
+
+    #[test]
+    fn repr_clamped_sampling_stays_in_word() {
+        let model = BernoulliBitFlip::new(0.4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mask = model.sample_mask_for(50, Repr::I8, &mut rng);
+        assert!(!mask.is_empty());
+        for &(_, pattern) in mask.entries() {
+            assert_eq!(pattern & !0xFF, 0, "flip above bit 7 on an i8 site");
+        }
+    }
+
+    #[test]
+    fn f32_repr_sampling_is_bit_identical_to_legacy() {
+        let model = BernoulliBitFlip::new(0.03);
+        let mut a = StdRng::seed_from_u64(8);
+        let mut b = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            assert_eq!(
+                model.sample_mask(100, &mut a),
+                model.sample_mask_for(100, Repr::F32, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn repr_clamped_density_normalizes_over_narrow_space() {
+        // On an i8 site the single-bit model is uniform over len * 8
+        // positions, not len * 32.
+        let model = SingleBitFlip::new();
+        let m = FaultMask::from_entries(vec![(3, 1 << 5)]);
+        let lp = model.log_prob_for(&m, 10, Repr::I8).unwrap();
+        assert!((lp - -(80.0f64.ln())).abs() < 1e-12);
+        // A flip above the word width has probability zero.
+        let high = FaultMask::from_entries(vec![(3, 1 << 9)]);
+        assert_eq!(
+            model.log_prob_for(&high, 10, Repr::I8),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    #[test]
+    fn repr_scales_expected_flips() {
+        let model = BernoulliBitFlip::new(0.01);
+        assert!((model.expected_flips_for(100, Repr::I8) - 8.0).abs() < 1e-9);
+        assert!((model.expected_flips_for(100, Repr::F32) - 32.0).abs() < 1e-9);
+        assert!((model.expected_flips_for(100, Repr::I32Accum) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_k_saturates_at_narrow_word() {
+        let model = ExactKBitFlips::new(1000);
+        let mut rng = StdRng::seed_from_u64(9);
+        // 1 element * 8 bits.
+        assert_eq!(model.sample_mask_for(1, Repr::I8, &mut rng).bit_count(), 8);
+        assert!((model.expected_flips_for(1, Repr::I8) - 8.0).abs() < 1e-12);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! addressed by the layer that produces them (injected through the
 //! [`bdlfi_nn::ActivationTap`] mechanism).
 
+use crate::bits::Repr;
 use bdlfi_nn::{Layer, Sequential};
 use serde::{Deserialize, Serialize};
 
@@ -37,8 +38,33 @@ pub enum SiteSpec {
 pub struct ParamSite {
     /// Full dotted parameter path.
     pub path: String,
-    /// Number of f32 elements in the parameter.
+    /// Number of stored elements in the parameter.
     pub len: usize,
+    /// The stored representation of each element. Defaults to
+    /// [`Repr::F32`] (including when deserializing pre-quantization site
+    /// lists, which lack the field).
+    pub repr: Repr,
+}
+
+impl ParamSite {
+    /// An f32 parameter site — the paper's representation.
+    pub fn new(path: impl Into<String>, len: usize) -> Self {
+        Self::with_repr(path, len, Repr::F32)
+    }
+
+    /// A parameter site with an explicit stored representation.
+    pub fn with_repr(path: impl Into<String>, len: usize, repr: Repr) -> Self {
+        ParamSite {
+            path: path.into(),
+            len,
+            repr,
+        }
+    }
+
+    /// Number of injectable `(element, bit)` positions the site exposes.
+    pub fn injectable_bits(&self) -> u64 {
+        self.len as u64 * u64::from(self.repr.width())
+    }
 }
 
 /// The outcome of resolving a [`SiteSpec`] against a model: the concrete
@@ -76,10 +102,7 @@ impl ResolvedSites {
 pub fn resolve_sites(model: &Sequential, spec: &SiteSpec) -> ResolvedSites {
     let mut all: Vec<ParamSite> = Vec::new();
     model.visit_params("", &mut |path, p| {
-        all.push(ParamSite {
-            path: path.to_string(),
-            len: p.len(),
-        });
+        all.push(ParamSite::new(path, p.len()));
     });
 
     match spec {
@@ -220,6 +243,29 @@ mod tests {
         assert!(r.params.is_empty() && r.activations.is_empty());
         assert!(r.input);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn resolved_sites_default_to_f32() {
+        let m = model();
+        let r = resolve_sites(&m, &SiteSpec::AllParams);
+        assert!(r.params.iter().all(|p| p.repr == Repr::F32));
+        assert_eq!(r.params[0].injectable_bits(), r.params[0].len as u64 * 32);
+    }
+
+    #[test]
+    fn pre_repr_serialized_sites_still_deserialize() {
+        // A site list written before `ParamSite` gained its `repr` field
+        // (no "repr" key) must load as F32.
+        let legacy = r#"{"path": "fc1.weight", "len": 8}"#;
+        let site: ParamSite = serde_json::from_str(legacy).unwrap();
+        assert_eq!(site, ParamSite::new("fc1.weight", 8));
+        assert_eq!(site.repr, Repr::F32);
+        // And the new form round-trips with the representation intact.
+        let quant = ParamSite::with_repr("fc1.weight", 8, Repr::I8);
+        let json = serde_json::to_string(&quant).unwrap();
+        let back: ParamSite = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, quant);
     }
 
     #[test]

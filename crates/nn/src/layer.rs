@@ -126,6 +126,16 @@ pub trait Layer: Send + Sync {
 
     /// Clones the layer into a boxed trait object.
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Downcasting hook for consumers that need concrete-layer access
+    /// (the post-training quantizer walks a trained [`crate::Sequential`]
+    /// and extracts Dense/Conv2d/BatchNorm2d/BasicBlock internals).
+    ///
+    /// Returns `None` by default; layers with quantizable structure
+    /// override it to return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 impl Clone for Box<dyn Layer> {

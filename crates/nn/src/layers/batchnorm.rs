@@ -44,6 +44,23 @@ impl BatchNorm2d {
         self.gamma.value.dim(0)
     }
 
+    /// Per-channel `(scale, shift)` of the eval-mode affine transform
+    /// `y = scale * x + shift`, for folding this layer into a preceding
+    /// convolution: `scale = gamma / sqrt(running_var + eps)`,
+    /// `shift = beta - running_mean * scale`.
+    pub fn fold_params(&self) -> Vec<(f32, f32)> {
+        let g = self.gamma.value.data();
+        let b = self.beta.value.data();
+        let mu = self.running_mean.value.data();
+        let var = self.running_var.value.data();
+        (0..self.channels())
+            .map(|ch| {
+                let scale = g[ch] / (var[ch] + self.eps).sqrt();
+                (scale, b[ch] - mu[ch] * scale)
+            })
+            .collect()
+    }
+
     fn normalize(&self, input: &Tensor, mean: &Tensor, std_inv: &Tensor) -> Tensor {
         let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
         let plane = h * w;
@@ -186,6 +203,10 @@ impl Layer for BatchNorm2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -69,6 +69,31 @@ impl BasicBlock {
         self.downsample.is_some()
     }
 
+    /// The first 3×3 convolution.
+    pub fn conv1(&self) -> &Conv2d {
+        &self.conv1
+    }
+
+    /// The batch norm after [`BasicBlock::conv1`].
+    pub fn bn1(&self) -> &BatchNorm2d {
+        &self.bn1
+    }
+
+    /// The second 3×3 convolution.
+    pub fn conv2(&self) -> &Conv2d {
+        &self.conv2
+    }
+
+    /// The batch norm after [`BasicBlock::conv2`].
+    pub fn bn2(&self) -> &BatchNorm2d {
+        &self.bn2
+    }
+
+    /// The projection shortcut (1×1 conv + batch norm), if present.
+    pub fn downsample(&self) -> Option<(&Conv2d, &BatchNorm2d)> {
+        self.downsample.as_ref().map(|(c, b)| (c, b))
+    }
+
     fn run_child(child: &mut dyn Layer, name: &str, x: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
         ctx.push(name);
         let mut y = child.forward(x, ctx);
@@ -160,6 +185,10 @@ impl Layer for BasicBlock {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -60,6 +60,17 @@ impl Conv2d {
     pub fn in_channels(&self) -> usize {
         self.weight.value.dim(1)
     }
+
+    /// The weight tensor `(out_c, in_c, kh, kw)` — read access for the
+    /// quantizer.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor `(out_c,)`, if the convolution has one.
+    pub fn bias_value(&self) -> Option<&Tensor> {
+        self.bias.as_ref().map(|b| &b.value)
+    }
 }
 
 impl Layer for Conv2d {
@@ -108,6 +119,10 @@ impl Layer for Conv2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -58,6 +58,16 @@ impl Dense {
     pub fn out_dim(&self) -> usize {
         self.weight.value.dim(1)
     }
+
+    /// The weight tensor `(in, out)` — read access for the quantizer.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// The bias tensor `(out,)`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
 }
 
 impl Layer for Dense {
@@ -105,6 +115,10 @@ impl Layer for Dense {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

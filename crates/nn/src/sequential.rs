@@ -101,6 +101,17 @@ impl Sequential {
         self.layers.iter().map(|(_, l)| l.kind()).collect()
     }
 
+    /// The layer at top-level index `i` as `(name, layer)` — read access for
+    /// consumers that walk the pipeline structurally (e.g. the quantizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn layer_at(&self, i: usize) -> (&str, &dyn Layer) {
+        let (name, layer) = &self.layers[i];
+        (name.as_str(), layer.as_ref())
+    }
+
     /// Convenience inference: eval-mode forward with no tap.
     pub fn predict(&mut self, input: &Tensor) -> Tensor {
         self.forward(input, &mut ForwardCtx::new(Mode::Eval))

@@ -1,0 +1,122 @@
+//! Calibration observers: running range estimates over a calibration split,
+//! turned into activation [`QParams`] after the sweep.
+
+use crate::qparams::QParams;
+use bdlfi_tensor::Tensor;
+
+/// Which range statistic calibration uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserverKind {
+    /// Global min/max over every observed batch — tight on well-behaved
+    /// activations, sensitive to outliers.
+    MinMax,
+    /// Exponential moving average of per-batch min/max (the classic
+    /// TensorFlow-style calibration smoother) with the given momentum in
+    /// `(0, 1]`; `1.0` degenerates to tracking the latest batch.
+    MovingAverage {
+        /// EMA weight of the newest batch.
+        momentum: f32,
+    },
+}
+
+/// A running range estimate for one tapped activation.
+#[derive(Debug, Clone)]
+pub struct Observer {
+    kind: ObserverKind,
+    min: f32,
+    max: f32,
+    seen: bool,
+}
+
+impl Observer {
+    /// A fresh observer of the given kind.
+    pub fn new(kind: ObserverKind) -> Self {
+        Observer {
+            kind,
+            min: 0.0,
+            max: 0.0,
+            seen: false,
+        }
+    }
+
+    /// Folds one batch of activations into the estimate. Non-finite
+    /// elements are ignored.
+    pub fn observe(&mut self, t: &Tensor) {
+        let mut bmin = f32::INFINITY;
+        let mut bmax = f32::NEG_INFINITY;
+        for &v in t.data() {
+            if v.is_finite() {
+                bmin = bmin.min(v);
+                bmax = bmax.max(v);
+            }
+        }
+        if bmin > bmax {
+            return; // batch had no finite elements
+        }
+        if !self.seen {
+            self.min = bmin;
+            self.max = bmax;
+            self.seen = true;
+            return;
+        }
+        match self.kind {
+            ObserverKind::MinMax => {
+                self.min = self.min.min(bmin);
+                self.max = self.max.max(bmax);
+            }
+            ObserverKind::MovingAverage { momentum } => {
+                self.min += momentum * (bmin - self.min);
+                self.max += momentum * (bmax - self.max);
+            }
+        }
+    }
+
+    /// The calibrated activation parameters (unit parameters if nothing was
+    /// observed).
+    pub fn qparams(&self) -> QParams {
+        if !self.seen {
+            return QParams::unit();
+        }
+        QParams::from_range(self.min, self.max)
+    }
+
+    /// The observed `(min, max)` range, if any batch was seen.
+    pub fn range(&self) -> Option<(f32, f32)> {
+        self.seen.then_some((self.min, self.max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_tracks_global_extremes() {
+        let mut o = Observer::new(ObserverKind::MinMax);
+        o.observe(&Tensor::from_vec(vec![1.0, 2.0], [2]));
+        o.observe(&Tensor::from_vec(vec![-3.0, 0.5], [2]));
+        assert_eq!(o.range(), Some((-3.0, 2.0)));
+    }
+
+    #[test]
+    fn moving_average_smooths_batches() {
+        let mut o = Observer::new(ObserverKind::MovingAverage { momentum: 0.5 });
+        o.observe(&Tensor::from_vec(vec![0.0, 4.0], [2]));
+        o.observe(&Tensor::from_vec(vec![0.0, 8.0], [2]));
+        let (_, max) = o.range().unwrap();
+        assert!((max - 6.0).abs() < 1e-6); // 4 + 0.5·(8-4)
+    }
+
+    #[test]
+    fn non_finite_elements_are_skipped() {
+        let mut o = Observer::new(ObserverKind::MinMax);
+        o.observe(&Tensor::from_vec(vec![f32::NAN, f32::INFINITY, 1.0], [3]));
+        assert_eq!(o.range(), Some((1.0, 1.0)));
+    }
+
+    #[test]
+    fn unobserved_yields_unit_params() {
+        let o = Observer::new(ObserverKind::MinMax);
+        assert_eq!(o.qparams(), QParams::unit());
+    }
+}

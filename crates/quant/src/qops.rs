@@ -1,0 +1,643 @@
+//! Quantized operators: integer dense and convolution kernels, the
+//! quantized residual block, and the [`QOp`] sum type the
+//! [`crate::QuantModel`] pipelines.
+//!
+//! Every operator keeps the QDQ (quantize–dequantize) contract: tensors at
+//! op boundaries are `f32`, integer arithmetic lives strictly inside an op.
+//! The inner product runs on the blocked `i8 × i8 → i32` GEMM
+//! ([`bdlfi_tensor::qgemm`]); zero-point corrections and bias addition
+//! happen in `i64`, and the fixed-point [`Requant`] multiplier maps
+//! accumulators onto the output grid.
+//!
+//! Zero-point column/row sums are recomputed on **every** forward pass
+//! rather than cached at calibration time: a fault flipping a weight byte
+//! must change the correction term exactly as real hardware reading the
+//! faulted weight would.
+
+use crate::qparams::{QParams, Requant, WMAX};
+use bdlfi_faults::Repr;
+use bdlfi_nn::layers::{BatchNorm2d, Conv2d, Dense};
+use bdlfi_nn::Layer;
+use bdlfi_tensor::{qgemm, Conv2dSpec, I32Tensor, I8Tensor, Tensor};
+
+/// One mutable integer/float storage region of a quantized op, handed to
+/// fault-application visitors.
+pub enum QSlice<'a> {
+    /// int8 weight storage.
+    I8(&'a mut [i8]),
+    /// i32 bias / accumulator-domain storage.
+    I32(&'a mut [i32]),
+    /// f32 quantization-parameter storage.
+    F32(&'a mut [f32]),
+}
+
+/// The stored representation behind a [`QSlice`] variant.
+impl QSlice<'_> {
+    /// The fault-model representation of this storage region.
+    pub fn repr(&self) -> Repr {
+        match self {
+            QSlice::I8(_) => Repr::I8,
+            QSlice::I32(_) => Repr::I32Accum,
+            QSlice::F32(_) => Repr::F32,
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        match self {
+            QSlice::I8(s) => s.len(),
+            QSlice::I32(s) => s.len(),
+            QSlice::F32(s) => s.len(),
+        }
+    }
+
+    /// Whether the region is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn join(path: &str, name: &str) -> String {
+    if path.is_empty() {
+        name.to_string()
+    } else {
+        format!("{path}.{name}")
+    }
+}
+
+/// Symmetric int8 weight quantization: returns the quantized values and the
+/// per-tensor scale.
+pub fn quantize_weights(data: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = data
+        .iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0f32, |m, &v| m.max(v.abs()));
+    let qp = QParams::symmetric(max_abs);
+    let q = data
+        .iter()
+        .map(|&w| {
+            ((w as f64 / qp.scale as f64).round() as i64).clamp(-(WMAX as i64), WMAX as i64) as i8
+        })
+        .collect();
+    (q, qp.scale)
+}
+
+fn quantize_bias(data: &[f32], in_scale: f32, w_scale: f32) -> Vec<i32> {
+    let s = in_scale as f64 * w_scale as f64;
+    data.iter()
+        .map(|&b| (b as f64 / s).round() as i32)
+        .collect()
+}
+
+/// A quantized fully connected layer: int8 weight `(in, out)`, i32 bias
+/// `(out,)`, input/output activation grids.
+#[derive(Debug, Clone)]
+pub struct QDense {
+    weight: I8Tensor,
+    bias: I32Tensor,
+    w_scale: f32,
+    in_qp: QParams,
+    out_qp: QParams,
+}
+
+impl QDense {
+    /// Quantizes a trained [`Dense`] layer given calibrated input/output
+    /// activation parameters.
+    pub fn from_dense(layer: &Dense, in_qp: QParams, out_qp: QParams) -> Self {
+        let (qw, w_scale) = quantize_weights(layer.weight().data());
+        let qb = quantize_bias(layer.bias().data(), in_qp.scale, w_scale);
+        let out = layer.out_dim();
+        QDense {
+            weight: I8Tensor::from_vec(qw, [layer.in_dim(), out]),
+            bias: I32Tensor::from_vec(qb, [out]),
+            w_scale,
+            in_qp,
+            out_qp,
+        }
+    }
+
+    /// Integer forward pass over a `(n, in)` f32 batch.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let n = input.dim(0);
+        let k = self.weight.dim(0);
+        let out = self.weight.dim(1);
+        assert_eq!(input.dim(1), k, "qdense input width mismatch");
+
+        let qx: Vec<i8> = input
+            .data()
+            .iter()
+            .map(|&v| self.in_qp.quantize(v))
+            .collect();
+        let mut acc = vec![0i32; n * out];
+        qgemm(n, out, k, &qx, self.weight.data(), &mut acc);
+
+        // Zero-point correction: Σₖ (qx−zp)·w = acc − zp·Σₖ w, recomputed
+        // from the (possibly faulted) weights each pass.
+        let mut colsum = vec![0i64; out];
+        for row in self.weight.data().chunks_exact(out) {
+            for (cs, &w) in colsum.iter_mut().zip(row) {
+                *cs += w as i64;
+            }
+        }
+        let requant = Requant::from_scales(self.in_qp.scale, self.w_scale, self.out_qp.scale);
+        let zp_in = self.in_qp.zero_point as i64;
+        let zp_out = self.out_qp.zero_point;
+        let mut y = Vec::with_capacity(n * out);
+        for i in 0..n {
+            for j in 0..out {
+                let a = acc[i * out + j] as i64 - zp_in * colsum[j] + self.bias.data()[j] as i64;
+                y.push(dequant_acc(&requant, a, zp_out, self.out_qp.scale));
+            }
+        }
+        Tensor::from_vec(y, [n, out])
+    }
+
+    fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
+        f(&join(path, "weight"), Repr::I8, self.weight.len());
+        f(&join(path, "bias"), Repr::I32Accum, self.bias.len());
+        f(&join(path, "w_scale"), Repr::F32, 1);
+        f(&join(path, "out_zp"), Repr::I32Accum, 1);
+    }
+
+    fn visit_slices(&mut self, path: &str, f: &mut dyn FnMut(&str, QSlice)) {
+        f(&join(path, "weight"), QSlice::I8(self.weight.data_mut()));
+        f(&join(path, "bias"), QSlice::I32(self.bias.data_mut()));
+        f(
+            &join(path, "w_scale"),
+            QSlice::F32(std::slice::from_mut(&mut self.w_scale)),
+        );
+        f(
+            &join(path, "out_zp"),
+            QSlice::I32(std::slice::from_mut(&mut self.out_qp.zero_point)),
+        );
+    }
+}
+
+/// Requantize one corrected accumulator and dequantize it to f32: the op
+/// boundary value `(clamp(requant(a) + zp_out) − zp_out) · out_scale`.
+fn dequant_acc(requant: &Requant, a: i64, zp_out: i32, out_scale: f32) -> f32 {
+    let q = (requant.apply(a) as i64 + zp_out as i64).clamp(-128, 127);
+    ((q - zp_out as i64) as f64 * out_scale as f64) as f32
+}
+
+/// A quantized 2-D convolution (batch-norm folded in where applicable):
+/// int8 weight `(out_c, in_c, kh, kw)`, i32 bias `(out_c,)`.
+#[derive(Debug, Clone)]
+pub struct QConv {
+    weight: I8Tensor,
+    bias: I32Tensor,
+    w_scale: f32,
+    in_qp: QParams,
+    out_qp: QParams,
+    spec: Conv2dSpec,
+}
+
+impl QConv {
+    /// Quantizes a trained [`Conv2d`], optionally folding a following
+    /// eval-mode [`BatchNorm2d`] into the weights and bias first.
+    pub fn from_conv(
+        layer: &Conv2d,
+        bn: Option<&BatchNorm2d>,
+        in_qp: QParams,
+        out_qp: QParams,
+    ) -> Self {
+        let w = layer.weight();
+        let out_c = w.dim(0);
+        let per_ch = w.len() / out_c;
+        let mut wf = w.data().to_vec();
+        let mut bf = match layer.bias_value() {
+            Some(b) => b.data().to_vec(),
+            None => vec![0.0; out_c],
+        };
+        if let Some(bn) = bn {
+            assert_eq!(bn.channels(), out_c, "bn folding channel mismatch");
+            for (oc, (scale, shift)) in bn.fold_params().into_iter().enumerate() {
+                for v in &mut wf[oc * per_ch..(oc + 1) * per_ch] {
+                    *v *= scale;
+                }
+                bf[oc] = bf[oc] * scale + shift;
+            }
+        }
+        let (qw, w_scale) = quantize_weights(&wf);
+        let qb = quantize_bias(&bf, in_qp.scale, w_scale);
+        QConv {
+            weight: I8Tensor::from_vec(qw, w.dims().to_vec()),
+            bias: I32Tensor::from_vec(qb, [out_c]),
+            w_scale,
+            in_qp,
+            out_qp,
+            spec: layer.spec(),
+        }
+    }
+
+    /// Integer forward pass over an NCHW f32 batch.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let out_c = self.weight.dim(0);
+        assert_eq!(c, self.weight.dim(1), "qconv channel mismatch");
+        let (kh, kw) = self.spec.kernel;
+        let (oh, ow) = self.spec.output_hw(h, w);
+        let k = c * kh * kw;
+        let npix = oh * ow;
+
+        let qx: Vec<i8> = input
+            .data()
+            .iter()
+            .map(|&v| self.in_qp.quantize(v))
+            .collect();
+        // Padding is filled with the quantized representation of real zero.
+        let pad_val = self.in_qp.quantize(0.0);
+
+        // Per-output-channel weight sums for the zero-point correction.
+        let mut rowsum = vec![0i64; out_c];
+        for (oc, row) in self.weight.data().chunks_exact(k).enumerate() {
+            rowsum[oc] = row.iter().map(|&v| v as i64).sum();
+        }
+        let requant = Requant::from_scales(self.in_qp.scale, self.w_scale, self.out_qp.scale);
+        let zp_in = self.in_qp.zero_point as i64;
+        let zp_out = self.out_qp.zero_point;
+
+        let img_len = c * h * w;
+        let mut col = vec![0i8; k * npix];
+        let mut acc = vec![0i32; out_c * npix];
+        let mut y = Vec::with_capacity(n * out_c * npix);
+        for img in 0..n {
+            im2col_i8(
+                &qx[img * img_len..(img + 1) * img_len],
+                c,
+                h,
+                w,
+                self.spec,
+                pad_val,
+                &mut col,
+            );
+            acc.iter_mut().for_each(|v| *v = 0);
+            qgemm(out_c, npix, k, self.weight.data(), &col, &mut acc);
+            for oc in 0..out_c {
+                let corr = self.bias.data()[oc] as i64 - zp_in * rowsum[oc];
+                for p in 0..npix {
+                    let a = acc[oc * npix + p] as i64 + corr;
+                    y.push(dequant_acc(&requant, a, zp_out, self.out_qp.scale));
+                }
+            }
+        }
+        Tensor::from_vec(y, [n, out_c, oh, ow])
+    }
+
+    fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
+        f(&join(path, "weight"), Repr::I8, self.weight.len());
+        f(&join(path, "bias"), Repr::I32Accum, self.bias.len());
+        f(&join(path, "w_scale"), Repr::F32, 1);
+        f(&join(path, "out_zp"), Repr::I32Accum, 1);
+    }
+
+    fn visit_slices(&mut self, path: &str, f: &mut dyn FnMut(&str, QSlice)) {
+        f(&join(path, "weight"), QSlice::I8(self.weight.data_mut()));
+        f(&join(path, "bias"), QSlice::I32(self.bias.data_mut()));
+        f(
+            &join(path, "w_scale"),
+            QSlice::F32(std::slice::from_mut(&mut self.w_scale)),
+        );
+        f(
+            &join(path, "out_zp"),
+            QSlice::I32(std::slice::from_mut(&mut self.out_qp.zero_point)),
+        );
+    }
+}
+
+/// int8 im2col over one CHW image into a `(c·kh·kw, oh·ow)` row-major
+/// matrix, mirroring the f32 layout in `bdlfi_tensor::ops::conv`. Padded
+/// positions are filled with `pad_val` (the quantized zero).
+fn im2col_i8(
+    img: &[i8],
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+    pad_val: i8,
+    out: &mut [i8],
+) {
+    let (kh, kw) = spec.kernel;
+    let (sh, sw) = spec.stride;
+    let (ph, pw) = spec.padding;
+    let (oh, ow) = spec.output_hw(h, w);
+    let npix = oh * ow;
+    debug_assert_eq!(out.len(), c * kh * kw * npix);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let dst = &mut out[row * npix..(row + 1) * npix];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * sh + ki) as isize - ph as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dst[idx..idx + ow].fill(pad_val);
+                        idx += ow;
+                        continue;
+                    }
+                    let base = (ci * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * sw + kj) as isize - pw as isize;
+                        dst[idx] = if ix < 0 || ix >= w as isize {
+                            pad_val
+                        } else {
+                            img[base + ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn relu_inplace(t: &mut Tensor) {
+    for v in t.data_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// A quantized ResNet basic block: both 3×3 convolutions carry their batch
+/// norms folded in; the element-wise add and ReLUs run in f32 at op
+/// boundaries (QDQ contract).
+#[derive(Debug, Clone)]
+pub struct QBlock {
+    /// First folded convolution (`conv1`+`bn1`).
+    pub conv1: QConv,
+    /// Second folded convolution (`conv2`+`bn2`).
+    pub conv2: QConv,
+    /// Folded projection shortcut (`down_conv`+`down_bn`), if the block
+    /// projects.
+    pub down: Option<QConv>,
+}
+
+impl QBlock {
+    /// Forward pass mirroring
+    /// `relu(bn2(conv2(relu(bn1(conv1(x))))) + shortcut(x))` with the batch
+    /// norms folded into the integer convolutions.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let mut h = self.conv1.forward(input);
+        relu_inplace(&mut h);
+        let z = self.conv2.forward(&h);
+        let shortcut = match &self.down {
+            Some(d) => d.forward(input),
+            None => input.clone(),
+        };
+        let mut out = z.add_t(&shortcut);
+        relu_inplace(&mut out);
+        out
+    }
+
+    fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
+        self.conv1.visit_sites(&join(path, "conv1"), f);
+        self.conv2.visit_sites(&join(path, "conv2"), f);
+        if let Some(d) = &self.down {
+            d.visit_sites(&join(path, "down_conv"), f);
+        }
+    }
+
+    fn visit_slices(&mut self, path: &str, f: &mut dyn FnMut(&str, QSlice)) {
+        self.conv1.visit_slices(&join(path, "conv1"), f);
+        self.conv2.visit_slices(&join(path, "conv2"), f);
+        if let Some(d) = &mut self.down {
+            d.visit_slices(&join(path, "down_conv"), f);
+        }
+    }
+}
+
+/// One pipeline stage of a [`crate::QuantModel`], mirroring the source
+/// [`bdlfi_nn::Sequential`]'s top-level layers one-to-one so prefix-cache
+/// cut indices line up between the f32 and int8 graphs.
+pub enum QOp {
+    /// Quantized dense layer.
+    Dense(QDense),
+    /// Quantized convolution (possibly with a folded batch norm).
+    Conv(QConv),
+    /// Quantized residual block.
+    Block(Box<QBlock>),
+    /// A batch norm that was folded into the preceding convolution: the
+    /// stage passes its input through unchanged.
+    Identity,
+    /// A layer with no integer kernel (ReLU, pooling, flatten, softmax, …)
+    /// running in f32 exactly as in the source model.
+    Float(Box<dyn Layer>),
+}
+
+impl Clone for QOp {
+    fn clone(&self) -> Self {
+        match self {
+            QOp::Dense(d) => QOp::Dense(d.clone()),
+            QOp::Conv(c) => QOp::Conv(c.clone()),
+            QOp::Block(b) => QOp::Block(b.clone()),
+            QOp::Identity => QOp::Identity,
+            QOp::Float(l) => QOp::Float(l.clone_box()),
+        }
+    }
+}
+
+impl std::fmt::Debug for QOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QOp::Dense(_) => write!(f, "QOp::Dense"),
+            QOp::Conv(_) => write!(f, "QOp::Conv"),
+            QOp::Block(b) => write!(f, "QOp::Block(projection={})", b.down.is_some()),
+            QOp::Identity => write!(f, "QOp::Identity"),
+            QOp::Float(l) => write!(f, "QOp::Float({})", l.kind()),
+        }
+    }
+}
+
+impl QOp {
+    /// Short machine-readable stage kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            QOp::Dense(_) => "qdense",
+            QOp::Conv(_) => "qconv",
+            QOp::Block(_) => "qblock",
+            QOp::Identity => "identity",
+            QOp::Float(_) => "float",
+        }
+    }
+
+    /// Runs the stage on an f32 boundary tensor.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        match self {
+            QOp::Dense(d) => d.forward(input),
+            QOp::Conv(c) => c.forward(input),
+            QOp::Block(b) => b.forward(input),
+            QOp::Identity => input.clone(),
+            QOp::Float(l) => l.forward(input, &mut bdlfi_nn::ForwardCtx::new(bdlfi_nn::Mode::Eval)),
+        }
+    }
+
+    /// Enumerates the stage's fault sites as `(path, repr, len)`.
+    pub fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
+        match self {
+            QOp::Dense(d) => d.visit_sites(path, f),
+            QOp::Conv(c) => c.visit_sites(path, f),
+            QOp::Block(b) => b.visit_sites(path, f),
+            QOp::Identity | QOp::Float(_) => {}
+        }
+    }
+
+    /// Visits the stage's mutable storage regions for fault application.
+    pub fn visit_slices(&mut self, path: &str, f: &mut dyn FnMut(&str, QSlice)) {
+        match self {
+            QOp::Dense(d) => d.visit_slices(path, f),
+            QOp::Conv(c) => c.visit_slices(path, f),
+            QOp::Block(b) => b.visit_slices(path, f),
+            QOp::Identity | QOp::Float(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdlfi_nn::layers::Relu;
+    use bdlfi_nn::{ForwardCtx, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn approx_qparams(t: &Tensor) -> QParams {
+        let min = t.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = t.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        QParams::from_range(min, max)
+    }
+
+    #[test]
+    fn qdense_tracks_float_dense_within_quant_error() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(6, 4, &mut rng);
+        let x = Tensor::rand_normal([8, 6], 0.0, 1.0, &mut rng);
+        let want = d.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        let qd = QDense::from_dense(&d, approx_qparams(&x), approx_qparams(&want));
+        let got = qd.forward(&x);
+        assert_eq!(got.dims(), want.dims());
+        let span = {
+            let min = want.data().iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = want
+                .data()
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            max - min
+        };
+        for (g, w) in got.data().iter().zip(want.data()) {
+            // Worst-case error of an 8-bit grid plus accumulation slack.
+            assert!((g - w).abs() <= span * 0.05 + 0.05, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn qconv_tracks_float_conv_within_quant_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new(3, 5, Conv2dSpec::new(3).with_padding(1), &mut rng);
+        let x = Tensor::rand_normal([2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let want = c.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        let qc = QConv::from_conv(&c, None, approx_qparams(&x), approx_qparams(&want));
+        let got = qc.forward(&x);
+        assert_eq!(got.dims(), want.dims());
+        let span = {
+            let min = want.data().iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = want
+                .data()
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            max - min
+        };
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= span * 0.05 + 0.05, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn bn_folding_matches_conv_then_bn() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv2d::without_bias(2, 4, Conv2dSpec::new(3).with_padding(1), &mut rng);
+        let mut bn = BatchNorm2d::new(4);
+        // Give the batch norm non-trivial running statistics.
+        let warm = Tensor::rand_normal([4, 4, 5, 5], 0.3, 1.5, &mut rng);
+        bn.forward(&warm, &mut ForwardCtx::new(Mode::Train));
+        let x = Tensor::rand_normal([2, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let mid = c.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        let want = bn.forward(&mid, &mut ForwardCtx::new(Mode::Eval));
+        let qc = QConv::from_conv(&c, Some(&bn), approx_qparams(&x), approx_qparams(&want));
+        let got = qc.forward(&x);
+        let span = {
+            let min = want.data().iter().cloned().fold(f32::INFINITY, f32::min);
+            let max = want
+                .data()
+                .iter()
+                .cloned()
+                .fold(f32::NEG_INFINITY, f32::max);
+            max - min
+        };
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= span * 0.05 + 0.05, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn im2col_i8_matches_naive_gather() {
+        let spec = Conv2dSpec::new(3).with_padding(1).with_stride(2);
+        let (c, h, w) = (2usize, 5usize, 5usize);
+        let img: Vec<i8> = (0..(c * h * w) as i32)
+            .map(|v| (v % 120) as i8 - 50)
+            .collect();
+        let (oh, ow) = spec.output_hw(h, w);
+        let k = c * 9;
+        let mut col = vec![0i8; k * oh * ow];
+        im2col_i8(&img, c, h, w, spec, -7, &mut col);
+        for ci in 0..c {
+            for ki in 0..3 {
+                for kj in 0..3 {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = (oy * 2 + ki) as isize - 1;
+                            let ix = (ox * 2 + kj) as isize - 1;
+                            let want = if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                -7
+                            } else {
+                                img[(ci * h + iy as usize) * w + ix as usize]
+                            };
+                            let row = (ci * 3 + ki) * 3 + kj;
+                            let got = col[row * (oh * ow) + oy * ow + ox];
+                            assert_eq!(got, want);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qop_sites_enumerate_all_representations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Dense::new(3, 2, &mut rng);
+        let op = QOp::Dense(QDense::from_dense(&d, QParams::unit(), QParams::unit()));
+        let mut sites = Vec::new();
+        op.visit_sites("fc1", &mut |p, r, l| sites.push((p.to_string(), r, l)));
+        assert_eq!(
+            sites,
+            vec![
+                ("fc1.weight".into(), Repr::I8, 6),
+                ("fc1.bias".into(), Repr::I32Accum, 2),
+                ("fc1.w_scale".into(), Repr::F32, 1),
+                ("fc1.out_zp".into(), Repr::I32Accum, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn float_op_wraps_unquantized_layers() {
+        let mut op = QOp::Float(Box::new(Relu::new()));
+        let x = Tensor::from_vec(vec![-1.0, 2.0], [1, 2]);
+        assert_eq!(op.forward(&x).data(), &[0.0, 2.0]);
+        let mut count = 0;
+        op.visit_sites("r", &mut |_, _, _| count += 1);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-tensor affine quantization parameters and the fixed-point
+//! requantization pipeline.
+//!
+//! The scheme is the standard deployment recipe (Jacob et al., "Quantization
+//! and Training of Neural Networks for Efficient Integer-Arithmetic-Only
+//! Inference", CVPR 2018): asymmetric int8 activations, symmetric int8
+//! weights, i32 accumulators, and a per-layer fixed-point multiplier that
+//! rescales accumulators back to the output's int8 grid without touching
+//! floating point on the hot path.
+
+use serde::{Deserialize, Serialize};
+
+/// Quantized integer range for activations (full int8).
+pub const QMIN: i32 = -128;
+/// Upper end of the activation range.
+pub const QMAX: i32 = 127;
+/// Weights are clamped to the symmetric range `[-127, 127]` so that
+/// `-w` is always representable.
+pub const WMAX: i32 = 127;
+
+/// Per-tensor affine quantization: `real ≈ (q - zero_point) * scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QParams {
+    /// Step size of the integer grid.
+    pub scale: f32,
+    /// Integer representing real zero.
+    pub zero_point: i32,
+}
+
+impl QParams {
+    /// The identity-ish default used before calibration: unit scale, zero
+    /// offset.
+    pub fn unit() -> Self {
+        QParams {
+            scale: 1.0,
+            zero_point: 0,
+        }
+    }
+
+    /// Asymmetric activation parameters covering `[min, max]` with the full
+    /// int8 range. The interval is widened to include zero so that padding
+    /// and ReLU zeros are exactly representable.
+    pub fn from_range(min: f32, max: f32) -> Self {
+        let min = min.min(0.0);
+        let max = max.max(0.0);
+        let span = (max - min) as f64;
+        if !(span.is_finite()) || span <= 0.0 {
+            return QParams::unit();
+        }
+        let scale = span / (QMAX - QMIN) as f64;
+        let zp = (QMIN as f64 - min as f64 / scale).round() as i64;
+        QParams {
+            scale: scale as f32,
+            zero_point: zp.clamp(QMIN as i64, QMAX as i64) as i32,
+        }
+    }
+
+    /// Symmetric weight parameters for a tensor with largest magnitude
+    /// `max_abs`: zero point 0, scale `max_abs / 127`.
+    pub fn symmetric(max_abs: f32) -> Self {
+        if !max_abs.is_finite() || max_abs <= 0.0 {
+            return QParams::unit();
+        }
+        QParams {
+            scale: max_abs / WMAX as f32,
+            zero_point: 0,
+        }
+    }
+
+    /// Quantizes one real value onto the int8 grid (round-to-nearest,
+    /// saturating). Non-finite inputs map through Rust's saturating `as`
+    /// casts (`NaN → 0`), keeping faulted tensors well-defined.
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x as f64 / self.scale as f64).round() as i64;
+        (q.saturating_add(self.zero_point as i64)).clamp(QMIN as i64, QMAX as i64) as i8
+    }
+
+    /// Reconstructs the real value of a quantized element.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        ((q as i64 - self.zero_point as i64) as f64 * self.scale as f64) as f32
+    }
+}
+
+/// Requantization of an i32/i64 accumulator onto an int8 output grid:
+/// multiply by the effective scale `in_scale * w_scale / out_scale` and
+/// round.
+///
+/// The deployment path is [`Requant::Fixed`]: the real multiplier `m ∈ (0,
+/// 1]`-ish is decomposed as `m = f · 2^e` with `f ∈ [0.5, 1)`, stored as a
+/// Q31 integer `mult = round(f · 2³¹)` and a right shift — the accumulator
+/// product then needs only integer arithmetic. Degenerate multipliers (a
+/// fault flipping a scale to `NaN`, `inf`, zero or negative, or an exponent
+/// outside the shift range) fall back to [`Requant::Float`], which is
+/// deterministic under Rust's saturating float→int casts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Requant {
+    /// Fixed-point path: `round(acc * mult / 2³¹⁺ᵉ)` via a Q31 multiply and
+    /// rounding right shift.
+    Fixed {
+        /// Q31 mantissa in `[2³⁰, 2³¹)`.
+        mult: i32,
+        /// Total rounding right shift (`31 - e`).
+        rshift: u32,
+    },
+    /// Double-precision fallback for degenerate multipliers.
+    Float(f64),
+}
+
+impl Requant {
+    /// Builds the requantizer for effective multiplier
+    /// `in_scale * w_scale / out_scale`.
+    pub fn from_scales(in_scale: f32, w_scale: f32, out_scale: f32) -> Self {
+        let m = in_scale as f64 * w_scale as f64 / out_scale as f64;
+        Requant::from_multiplier(m)
+    }
+
+    /// Decomposes `m` into the Q31 fixed-point form, or falls back to the
+    /// float path when `m` is not a positive normal number or its exponent
+    /// cannot be expressed as a right shift.
+    pub fn from_multiplier(m: f64) -> Self {
+        if !m.is_finite() || m <= 0.0 {
+            return Requant::Float(m);
+        }
+        let bits = m.to_bits();
+        let exp_field = ((bits >> 52) & 0x7ff) as i32;
+        if exp_field == 0 {
+            // Subnormal: effectively zero at int8 precision.
+            return Requant::Float(m);
+        }
+        // m = f · 2^e with f ∈ [0.5, 1): force the exponent field to
+        // `1022` (the biased exponent of 0.5) keeping the mantissa bits.
+        let e = exp_field - 1022;
+        let f = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+        let mut mult = (f * (1u64 << 31) as f64).round() as i64;
+        let mut e = e;
+        if mult == 1i64 << 31 {
+            // f rounded up to 1.0: renormalise.
+            mult >>= 1;
+            e += 1;
+        }
+        let rshift = 31 - e;
+        if !(1..=62).contains(&rshift) {
+            // Multiplier ≥ 2³⁰ or vanishingly small: outside the shift
+            // budget of the integer path.
+            return Requant::Float(m);
+        }
+        Requant::Fixed {
+            mult: mult as i32,
+            rshift: rshift as u32,
+        }
+    }
+
+    /// Rescales an accumulator: `round(acc * m)`, saturating to `i32`.
+    pub fn apply(&self, acc: i64) -> i32 {
+        match *self {
+            Requant::Fixed { mult, rshift } => {
+                // Round half away from zero, matching `f64::round`.
+                let prod = acc * mult as i64;
+                let bias = 1i64 << (rshift - 1);
+                let shifted = if prod >= 0 {
+                    (prod + bias) >> rshift
+                } else {
+                    -((-prod + bias) >> rshift)
+                };
+                shifted.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+            }
+            Requant::Float(m) => (acc as f64 * m).round() as i32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_range_covers_interval_and_zero() {
+        let qp = QParams::from_range(-1.0, 3.0);
+        assert_eq!(qp.quantize(0.0), qp.zero_point as i8);
+        assert_eq!(qp.quantize(-1.0), QMIN as i8);
+        assert_eq!(qp.quantize(3.0), QMAX as i8);
+        // Round trip stays within half a step.
+        for x in [-1.0f32, -0.3, 0.0, 0.7, 2.9] {
+            let back = qp.dequantize(qp.quantize(x));
+            assert!((back - x).abs() <= qp.scale / 2.0 + 1e-6, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn relu_style_range_keeps_zero_exact() {
+        let qp = QParams::from_range(0.0, 6.0);
+        assert_eq!(qp.zero_point, QMIN);
+        assert_eq!(qp.dequantize(qp.quantize(0.0)), 0.0);
+    }
+
+    #[test]
+    fn symmetric_weights_have_zero_zero_point() {
+        let qp = QParams::symmetric(2.54);
+        assert_eq!(qp.zero_point, 0);
+        assert!((qp.scale - 2.54 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_ranges_fall_back_to_unit() {
+        assert_eq!(QParams::from_range(0.0, 0.0), QParams::unit());
+        // NaN endpoints collapse onto 0.0 (f32::min/max ignore NaN), so a
+        // NaN min behaves like an all-positive range.
+        assert_eq!(
+            QParams::from_range(f32::NAN, 1.0),
+            QParams::from_range(0.0, 1.0)
+        );
+        assert_eq!(QParams::from_range(f32::NAN, f32::NAN), QParams::unit());
+        assert_eq!(QParams::symmetric(0.0), QParams::unit());
+        assert_eq!(QParams::symmetric(f32::INFINITY), QParams::unit());
+    }
+
+    #[test]
+    fn quantize_saturates_and_handles_nan() {
+        let qp = QParams::from_range(-1.0, 1.0);
+        assert_eq!(qp.quantize(1e30), QMAX as i8);
+        assert_eq!(qp.quantize(-1e30), QMIN as i8);
+        let _ = qp.quantize(f32::NAN); // must not panic
+    }
+
+    #[test]
+    fn fixed_point_matches_float_reference() {
+        for m in [0.5, 0.25, 0.0313725, 1.0 / 3.0, 0.9999, 1e-4, 2.5] {
+            let r = Requant::from_multiplier(m);
+            assert!(matches!(r, Requant::Fixed { .. }), "m={m} -> {r:?}");
+            for acc in [-1_000_000i64, -12345, -1, 0, 1, 777, 2_000_003] {
+                let want = (acc as f64 * m).round() as i64;
+                let got = r.apply(acc) as i64;
+                assert!((want - got).abs() <= 1, "m={m} acc={acc}: {want} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_multipliers_use_float_path() {
+        assert!(matches!(
+            Requant::from_multiplier(f64::NAN),
+            Requant::Float(_)
+        ));
+        assert!(matches!(Requant::from_multiplier(0.0), Requant::Float(_)));
+        assert!(matches!(Requant::from_multiplier(-1.0), Requant::Float(_)));
+        assert!(matches!(
+            Requant::from_multiplier(f64::INFINITY),
+            Requant::Float(_)
+        ));
+        // Huge multiplier exceeds the shift budget but stays deterministic.
+        let r = Requant::from_multiplier(1e30);
+        assert_eq!(r.apply(2), i32::MAX); // saturating float→int cast
+        let r = Requant::from_multiplier(f64::NAN);
+        assert_eq!(r.apply(123), 0); // NaN casts to 0
+    }
+
+    #[test]
+    fn rounding_is_half_away_from_zero_both_signs() {
+        let r = Requant::from_multiplier(0.5);
+        assert_eq!(r.apply(3), 2); // 1.5 -> 2
+        assert_eq!(r.apply(-3), -2); // -1.5 -> -2 (away from zero)
+        assert_eq!(r.apply(5), 3); // 2.5 -> 3
+        assert_eq!(r.apply(-5), -3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Integer tensor storage for the quantized inference path.
+//!
+//! The f32 [`crate::Tensor`] carries the full broadcasting/autograd
+//! surface; quantized models only need shaped, addressable storage for
+//! int8 weights and i32 biases/accumulators, so these types stay minimal:
+//! a shape, a flat buffer, and mutable access for XOR fault injection.
+
+/// A shaped buffer of `i8` elements (quantized weights and activations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I8Tensor {
+    dims: Vec<usize>,
+    data: Vec<i8>,
+}
+
+/// A shaped buffer of `i32` elements (quantized biases, zero-points and
+/// accumulators).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct I32Tensor {
+    dims: Vec<usize>,
+    data: Vec<i32>,
+}
+
+macro_rules! itensor_impl {
+    ($name:ident, $elem:ty) => {
+        impl $name {
+            /// Builds a tensor from a flat buffer and dimensions.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the buffer length does not equal the dimension
+            /// product.
+            pub fn from_vec(data: Vec<$elem>, dims: impl Into<Vec<usize>>) -> Self {
+                let dims = dims.into();
+                let len: usize = dims.iter().product();
+                assert_eq!(
+                    data.len(),
+                    len,
+                    "{} elements do not fill shape {dims:?}",
+                    data.len()
+                );
+                Self { dims, data }
+            }
+
+            /// A zero-filled tensor.
+            pub fn zeros(dims: impl Into<Vec<usize>>) -> Self {
+                let dims = dims.into();
+                let len: usize = dims.iter().product();
+                Self {
+                    dims,
+                    data: vec![0; len],
+                }
+            }
+
+            /// The dimensions.
+            pub fn dims(&self) -> &[usize] {
+                &self.dims
+            }
+
+            /// The size of dimension `i`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i` is out of range.
+            pub fn dim(&self, i: usize) -> usize {
+                self.dims[i]
+            }
+
+            /// Total number of elements.
+            pub fn len(&self) -> usize {
+                self.data.len()
+            }
+
+            /// Whether the tensor holds no elements.
+            pub fn is_empty(&self) -> bool {
+                self.data.is_empty()
+            }
+
+            /// The flat element buffer (row-major).
+            pub fn data(&self) -> &[$elem] {
+                &self.data
+            }
+
+            /// Mutable access to the flat buffer — the fault-injection
+            /// hook (masks XOR bits in place).
+            pub fn data_mut(&mut self) -> &mut [$elem] {
+                &mut self.data
+            }
+        }
+    };
+}
+
+itensor_impl!(I8Tensor, i8);
+itensor_impl!(I32Tensor, i32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_data_agree() {
+        let t = I8Tensor::from_vec(vec![1, -2, 3, -4, 5, -6], [2, 3]);
+        assert_eq!(t.dims(), &[2, 3]);
+        assert_eq!(t.dim(1), 3);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.data()[3], -4);
+    }
+
+    #[test]
+    fn zeros_and_mutation() {
+        let mut t = I32Tensor::zeros([4]);
+        assert_eq!(t.data(), &[0; 4]);
+        t.data_mut()[2] = -7;
+        assert_eq!(t.data(), &[0, 0, -7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fill shape")]
+    fn mismatched_shape_rejected() {
+        I8Tensor::from_vec(vec![1, 2, 3], [2, 2]);
+    }
+}

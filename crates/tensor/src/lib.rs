@@ -18,7 +18,10 @@
 //! * reductions and argmax ([`ops::reduce`]);
 //! * fault-tolerant softmax ([`ops::softmax`]) that keeps campaign statistics
 //!   well-defined when bit flips produce `NaN`/`inf` logits;
-//! * RNG initialisers ([`init`]).
+//! * RNG initialisers ([`init`]);
+//! * integer storage ([`I8Tensor`], [`I32Tensor`]) and the blocked
+//!   `i8 × i8 → i32` GEMM ([`ops::qgemm`]) backing the quantized
+//!   deployment workload.
 //!
 //! # Examples
 //!
@@ -35,15 +38,18 @@
 
 mod error;
 pub mod init;
+mod itensor;
 pub mod ops;
 pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
+pub use itensor::{I32Tensor, I8Tensor};
 pub use ops::conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dSpec};
 pub use ops::pool::{
     global_avg_pool, global_avg_pool_backward, maxpool2d, maxpool2d_backward, Pool2dSpec,
 };
+pub use ops::qgemm::qgemm;
 pub use shape::Shape;
 pub use tensor::Tensor;

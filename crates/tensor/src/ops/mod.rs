@@ -7,5 +7,6 @@ pub mod elementwise;
 pub(crate) mod gemm;
 pub mod matmul;
 pub mod pool;
+pub mod qgemm;
 pub mod reduce;
 pub mod softmax;

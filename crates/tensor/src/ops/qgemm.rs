@@ -1,0 +1,268 @@
+//! Cache-blocked integer GEMM for the quantized inference path:
+//! `i8 × i8 → i32` accumulation.
+//!
+//! The blocking mirrors [`super::gemm`] (GEBP decomposition, packed
+//! `MR`-row / `NR`-column micro-panels, a register-resident `MR × NR`
+//! accumulator tile) so the two kernels share cache behaviour, but the
+//! arithmetic is exact: integer accumulation is associative, so the result
+//! is bit-identical at every block size, batch composition and worker
+//! count by construction — the determinism the fault-evaluation engine
+//! requires comes for free on the int8 path.
+//!
+//! Operands are row-major (`a` is `m × k`, `b` is `k × n`); quantized
+//! weights are packed row-major by the calibrator, so the strided-operand
+//! generality of the f32 kernel is not needed here.
+
+/// Rows per micro-panel of `a` (register-tile height).
+const MR: usize = 4;
+/// Columns per micro-panel of `b` (register-tile width).
+const NR: usize = 16;
+/// `k`-dimension block.
+const KC: usize = 256;
+/// Row block of `a` packed per inner iteration.
+const MC: usize = 64;
+/// Column block of `b` packed per L2-resident panel.
+const NC: usize = 256;
+
+/// Largest `k` for which `k · 127 · 127` fits an `i32` accumulator with
+/// headroom; callers are asserted below this bound.
+const K_MAX: usize = 100_000;
+
+/// Computes `C += A · B` where `A` is row-major `m × k` int8, `B` is
+/// row-major `k × n` int8 and `C` is row-major `m × n` int32.
+///
+/// The result is **accumulated** into `c`; callers wanting a plain product
+/// must pass a zeroed buffer.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its dimensions require, or if
+/// `k > 100_000` (i32 accumulator overflow headroom).
+pub fn qgemm(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    assert!(
+        k <= K_MAX,
+        "qgemm: k = {k} exceeds i32 accumulation headroom"
+    );
+    assert!(a.len() >= m * k, "qgemm: a shorter than m*k");
+    assert!(b.len() >= k * n, "qgemm: b shorter than k*n");
+    assert!(c.len() >= m * n, "qgemm: c shorter than m*n");
+
+    let mut apack = vec![0i8; MC * KC];
+    let mut bpack = vec![0i8; KC * NC];
+
+    for lc in (0..k).step_by(KC) {
+        let kc = KC.min(k - lc);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            pack_b(&mut bpack, b, n, lc, kc, jc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(&mut apack, a, k, ic, mc, lc, kc);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let bp = &bpack[(jr / NR) * kc * NR..][..kc * NR];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let ap = &apack[(ir / MR) * kc * MR..][..kc * MR];
+                        let c_off = (ic + ir) * n + jc + jr;
+                        micro_kernel(kc, ap, bp, &mut c[c_off..], n, mr, nr);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs an `mc × kc` block of `a` into `MR`-row micro-panels, zero-padding
+/// rows past `mc` (zero contributes nothing to an integer dot product).
+fn pack_a(dst: &mut [i8], a: &[i8], lda: usize, row0: usize, mc: usize, col0: usize, kc: usize) {
+    for (p, panel) in dst.chunks_mut(kc * MR).take(mc.div_ceil(MR)).enumerate() {
+        for l in 0..kc {
+            for r in 0..MR {
+                let i = p * MR + r;
+                panel[l * MR + r] = if i < mc {
+                    a[(row0 + i) * lda + col0 + l]
+                } else {
+                    0
+                };
+            }
+        }
+    }
+}
+
+/// Packs a `kc × nc` block of `b` into `NR`-column micro-panels,
+/// zero-padding columns past `nc`.
+fn pack_b(dst: &mut [i8], b: &[i8], ldb: usize, row0: usize, kc: usize, col0: usize, nc: usize) {
+    for (p, panel) in dst.chunks_mut(kc * NR).take(nc.div_ceil(NR)).enumerate() {
+        for l in 0..kc {
+            for q in 0..NR {
+                let j = p * NR + q;
+                panel[l * NR + q] = if j < nc {
+                    b[(row0 + l) * ldb + col0 + j]
+                } else {
+                    0
+                };
+            }
+        }
+    }
+}
+
+/// `MR × NR` integer register-tile kernel over one packed `kc` panel pair,
+/// accumulating into the top-left `mr × nr` corner of `c`.
+///
+/// Dispatches to an AVX2-compiled copy of the same body when available;
+/// integer arithmetic is exact, so the dispatch cannot change results.
+fn micro_kernel(kc: usize, ap: &[i8], bp: &[i8], c: &mut [i32], ldc: usize, mr: usize, nr: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the `avx2` check above guarantees the target feature is
+        // available on this CPU.
+        return unsafe { micro_kernel_avx2(kc, ap, bp, c, ldc, mr, nr) };
+    }
+    micro_kernel_body(kc, ap, bp, c, ldc, mr, nr);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn micro_kernel_avx2(
+    kc: usize,
+    ap: &[i8],
+    bp: &[i8],
+    c: &mut [i32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    micro_kernel_body(kc, ap, bp, c, ldc, mr, nr);
+}
+
+#[inline(always)]
+fn micro_kernel_body(
+    kc: usize,
+    ap: &[i8],
+    bp: &[i8],
+    c: &mut [i32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0i32; NR]; MR];
+    let (a_panels, _) = ap[..kc * MR].as_chunks::<MR>();
+    let (b_panels, _) = bp[..kc * NR].as_chunks::<NR>();
+    for (av, bv) in a_panels.iter().zip(b_panels) {
+        for r in 0..MR {
+            let a = i32::from(av[r]);
+            for q in 0..NR {
+                acc[r][q] += a * i32::from(bv[q]);
+            }
+        }
+    }
+    for r in 0..mr {
+        let row = &mut c[r * ldc..r * ldc + nr];
+        for (dst, &v) in row.iter_mut().zip(&acc[r][..nr]) {
+            *dst += v;
+        }
+    }
+}
+
+/// Scalar triple-loop oracle for [`qgemm`] — the reference kernel the
+/// property tests (and `reference-kernels` benchmark builds) compare the
+/// blocked kernel against. Integer arithmetic makes the comparison exact,
+/// not approximate.
+#[cfg(any(test, feature = "reference-kernels"))]
+pub fn qgemm_reference(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0i32;
+            for l in 0..k {
+                s += i32::from(a[i * k + l]) * i32::from(b[l * n + j]);
+            }
+            c[i * n + j] += s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, salt: u32) -> Vec<i8> {
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                (x % 255) as i64 as i8
+            })
+            .collect()
+    }
+
+    fn check(m: usize, n: usize, k: usize) {
+        let a = fill(m * k, 1);
+        let b = fill(k * n, 2);
+        let mut got = vec![0i32; m * n];
+        let mut want = vec![0i32; m * n];
+        qgemm(m, n, k, &a, &b, &mut got);
+        qgemm_reference(m, n, k, &a, &b, &mut want);
+        assert_eq!(got, want, "({m}x{n}x{k}) blocked != reference");
+    }
+
+    #[test]
+    fn matches_reference_exactly_across_block_boundaries() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (4, 16, 8),
+            (5, 17, 9),
+            (63, 15, 31),
+            (64, 16, 64),
+            (65, 17, 65),
+            (130, 70, 257),
+            (7, 300, 300),
+        ] {
+            check(m, n, k);
+        }
+    }
+
+    #[test]
+    fn accumulates_into_existing_output() {
+        let a: Vec<i8> = vec![1, 2, 3, 4];
+        let b: Vec<i8> = vec![1, 0, 0, 1];
+        let mut c = vec![10, 20, 30, 40];
+        qgemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![11, 22, 33, 44]);
+    }
+
+    #[test]
+    fn empty_dimensions_are_no_ops() {
+        let mut c = vec![7i32; 4];
+        qgemm(0, 2, 3, &[], &[0; 6], &mut c);
+        qgemm(2, 2, 0, &[], &[], &mut c);
+        assert_eq!(c, vec![7; 4]);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_per_product() {
+        // (-128) * (-128) * k at k = 256 stays well inside i32.
+        let a = vec![i8::MIN; 4 * 256];
+        let b = vec![i8::MIN; 256 * 4];
+        let mut c = vec![0i32; 16];
+        qgemm(4, 4, 256, &a, &b, &mut c);
+        assert!(c.iter().all(|&v| v == 128 * 128 * 256));
+    }
+
+    #[test]
+    fn rows_do_not_depend_on_batch_composition() {
+        let (m, n, k) = (37, 45, 53);
+        let a = fill(m * k, 5);
+        let b = fill(k * n, 6);
+        let mut whole = vec![0i32; m * n];
+        qgemm(m, n, k, &a, &b, &mut whole);
+        for i in [0usize, 1, 17, 36] {
+            let mut row = vec![0i32; n];
+            qgemm(1, n, k, &a[i * k..], &b, &mut row);
+            assert_eq!(&whole[i * n..(i + 1) * n], &row[..], "row {i} differs");
+        }
+    }
+}

@@ -20,4 +20,5 @@ pub use bdlfi_bayes as bayes;
 pub use bdlfi_data as data;
 pub use bdlfi_faults as faults;
 pub use bdlfi_nn as nn;
+pub use bdlfi_quant as quant;
 pub use bdlfi_tensor as tensor;

@@ -2,8 +2,12 @@
 //! arbitrary fault configurations, probabilities and network inputs.
 
 use bdlfi_suite::bayes::BetaBernoulli;
-use bdlfi_suite::faults::{BernoulliBitFlip, FaultConfig, FaultModel, ParamSite, SiteSpec};
+use bdlfi_suite::faults::bits::{flip_bit_u32, flip_bit_u8};
+use bdlfi_suite::faults::{
+    BernoulliBitFlip, BitRange, FaultConfig, FaultModel, ParamSite, Repr, SiteSpec,
+};
 use bdlfi_suite::nn::{mlp, Sequential};
+use bdlfi_suite::quant::{QParams, Requant};
 use bdlfi_suite::tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -41,7 +45,7 @@ proptest! {
     /// removing a flip (at p < 0.5) can only raise the probability.
     #[test]
     fn prior_prefers_fewer_flips(p in 1e-6f64..0.49, seed in 0u64..1000) {
-        let sites = vec![ParamSite { path: "w".into(), len: 4 }];
+        let sites = vec![ParamSite::new("w", 4)];
         let fm = BernoulliBitFlip::new(p);
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = FaultConfig::sample(&sites, &fm, &mut rng);
@@ -95,5 +99,82 @@ proptest! {
         let fm = BernoulliBitFlip::new(p);
         let single = fm.expected_flips(1);
         prop_assert!((fm.expected_flips(len) - single * len as f64).abs() < 1e-6);
+    }
+
+    // -----------------------------------------------------------------------
+    // Quantization invariants.
+    // -----------------------------------------------------------------------
+
+    /// Quantize→dequantize round-trips any value inside the calibrated
+    /// range to within half a quantization step.
+    #[test]
+    fn quantize_round_trip_within_half_step(
+        lo in -100.0f32..-1e-2,
+        hi in 1e-2f32..100.0,
+        frac in 0.0f32..1.0,
+    ) {
+        let qp = QParams::from_range(lo, hi);
+        let x = lo + frac * (hi - lo);
+        let rt = qp.dequantize(qp.quantize(x));
+        // Half a step, with slack for the f32 arithmetic of the scale
+        // itself (round-to-nearest lands exactly on the boundary).
+        let tol = 0.5 * qp.scale as f64 * (1.0 + 1e-4) + 1e-6;
+        prop_assert!(
+            ((rt - x) as f64).abs() <= tol,
+            "x={x} rt={rt} scale={}", qp.scale
+        );
+    }
+
+    /// The Q31 fixed-point requantizer agrees with the exact f64 reference
+    /// `round(acc * m)` to within one integer ULP of the output grid.
+    #[test]
+    fn requant_fixed_point_matches_f64_within_one_ulp(
+        m in 1e-6f64..1.0,
+        acc in -(1i64 << 24)..(1i64 << 24),
+    ) {
+        let rq = Requant::from_multiplier(m);
+        prop_assume!(matches!(rq, Requant::Fixed { .. }));
+        let exact = (acc as f64 * m).round() as i64;
+        let fixed = rq.apply(acc) as i64;
+        prop_assert!(
+            (fixed - exact).abs() <= 1,
+            "acc={acc} m={m}: fixed {fixed} vs exact {exact}"
+        );
+    }
+
+    /// Bit flips in integer storage are involutions, exactly as in f32:
+    /// re-flipping restores the original word, for every in-width bit.
+    #[test]
+    fn integer_bit_flips_are_involutions(word in 0u32..u32::MAX, bit in 0u8..32) {
+        let x32 = word as i32;
+        prop_assert_eq!(flip_bit_u32(flip_bit_u32(x32, bit), bit), x32);
+        prop_assert_ne!(flip_bit_u32(x32, bit), x32);
+        if bit < 8 {
+            let x8 = word as u8 as i8;
+            prop_assert_eq!(flip_bit_u8(flip_bit_u8(x8, bit), bit), x8);
+            prop_assert_ne!(flip_bit_u8(x8, bit), x8);
+        }
+    }
+
+    /// Clamping a bit range to a representation never widens it, and the
+    /// full range for a representation has exactly its storage width.
+    #[test]
+    fn bit_ranges_clamp_within_repr(lo in 0u8..32, span in 1u8..32) {
+        let hi = (lo + span).min(32);
+        let range = BitRange::new(lo, hi);
+        for repr in [Repr::F32, Repr::I8, Repr::I32Accum] {
+            prop_assert_eq!(BitRange::all_for(repr).len(), repr.width());
+            if lo >= repr.width() {
+                // Empty intersection: clamp_to panics by contract.
+                continue;
+            }
+            let clamped = range.clamp_to(repr);
+            prop_assert!(clamped.len() <= range.len());
+            for i in 0..clamped.len() {
+                let bit = clamped.nth(i);
+                prop_assert!(bit < repr.width(), "bit {bit} outside {repr:?}");
+                prop_assert!(range.contains(bit));
+            }
+        }
     }
 }
