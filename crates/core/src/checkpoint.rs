@@ -69,6 +69,11 @@ pub enum CheckpointError {
         /// The task count the journal covers.
         tasks: usize,
     },
+    /// A header or entry could not be serialized for the journal.
+    Encode {
+        /// What failed to encode.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -91,6 +96,9 @@ impl fmt::Display for CheckpointError {
                     f,
                     "checkpoint already complete: all {tasks} tasks journaled"
                 )
+            }
+            CheckpointError::Encode { detail } => {
+                write!(f, "checkpoint serialization failed: {detail}")
             }
         }
     }
@@ -124,7 +132,7 @@ pub struct CheckpointHeader {
 }
 
 impl CheckpointHeader {
-    fn to_json_line(&self) -> String {
+    fn to_json_line(&self) -> Result<String, CheckpointError> {
         let obj = serde::Value::Object(vec![
             ("magic".to_string(), MAGIC.to_string().to_json_value()),
             ("version".to_string(), VERSION.to_json_value()),
@@ -132,7 +140,9 @@ impl CheckpointHeader {
             ("seed".to_string(), self.seed.to_json_value()),
             ("tasks".to_string(), self.tasks.to_json_value()),
         ]);
-        serde_json::to_string(&obj).expect("header serialization is infallible")
+        serde_json::to_string(&obj).map_err(|e| CheckpointError::Encode {
+            detail: format!("journal header: {e}"),
+        })
     }
 
     fn parse(line: &str) -> Result<Self, CheckpointError> {
@@ -305,7 +315,7 @@ impl CheckpointWriter {
         }
         let tmp = tmp_path(path);
         let mut file = File::create(&tmp)?;
-        writeln!(file, "{}", header.to_json_line())?;
+        writeln!(file, "{}", header.to_json_line()?)?;
         file.sync_all()?;
         std::fs::rename(&tmp, path)?;
         // The handle follows the inode across the rename, so appends after
@@ -385,7 +395,9 @@ impl CheckpointWriter {
             ("task".to_string(), task_id.to_json_value()),
             ("value".to_string(), value.to_json_value()),
         ]);
-        let line = serde_json::to_string(&obj).expect("value serialization is infallible");
+        let line = serde_json::to_string(&obj).map_err(|e| CheckpointError::Encode {
+            detail: format!("task {task_id} entry: {e}"),
+        })?;
         writeln!(self.file, "{line}")?;
         self.entries += 1;
         self.unsynced += 1;

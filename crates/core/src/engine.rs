@@ -468,8 +468,10 @@ impl EvalEngine {
         ) {
             Ok(meta) => meta,
             Err(EngineError::TaskPanicked { task_id, detail }) => {
+                // bdlfi-lint: allow(BD005) -- `run` is the documented panicking convenience wrapper (see `# Panics`); fallible callers use `run_checkpointed`
                 panic!("task {task_id} panicked: {detail}")
             }
+            // bdlfi-lint: allow(BD005) -- same documented `# Panics` API boundary as above
             Err(e) => panic!("engine run failed: {e}"),
         }
     }
@@ -750,10 +752,15 @@ impl EvalEngine {
             slots.len(),
             || (),
             |(), ctx| {
-                let item = slots[ctx.task_id]
+                // A poisoned slot only means another worker panicked while
+                // holding the lock; the item inside is still intact, so
+                // recover it rather than cascading the panic.
+                let mut slot = slots[ctx.task_id]
                     .lock()
-                    .expect("engine item slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let item = slot
                     .take()
+                    // bdlfi-lint: allow(BD005) -- unreachable by construction: run_inner's atomic counter hands out each task id exactly once
                     .expect("engine task claimed twice");
                 f(ctx, item)
             },

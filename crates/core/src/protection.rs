@@ -9,6 +9,7 @@
 //! range checks), everything else runs fast.
 
 use crate::boundary::{boundary_map_controlled, BoundaryConfig, BoundaryMap};
+use crate::checkpoint::fingerprint;
 use crate::engine::{CheckpointSpec, EngineError, RunControl};
 use bdlfi_faults::{FaultModel, SiteSpec};
 use bdlfi_nn::Sequential;
@@ -102,7 +103,18 @@ pub fn run_protection_study_controlled(
     ctl: &RunControl,
     ckpt: Option<&CheckpointSpec>,
 ) -> Result<ProtectionStudy, EngineError> {
-    let map = boundary_map_controlled(model, spec, fault_model, cfg, ctl, ckpt)?;
+    // Bind this study's own journal fingerprint before delegating: a
+    // protection-study journal must not be resume-compatible with a plain
+    // boundary-map journal even though the sampled tasks coincide — the
+    // study derives a protection plan from the finished map, so the two
+    // runs make different claims about the same bytes.
+    let ckpt = ckpt.cloned().map(|mut spec| {
+        if spec.fingerprint.is_empty() {
+            spec.fingerprint = fingerprint("protection_study", &(*cfg, target_error.to_bits()));
+        }
+        spec
+    });
+    let map = boundary_map_controlled(model, spec, fault_model, cfg, ctl, ckpt.as_ref())?;
     let plan = plan_protection(&map, target_error);
     Ok(ProtectionStudy { map, plan })
 }

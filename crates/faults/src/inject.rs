@@ -11,20 +11,22 @@ use crate::site::{ParamSite, ResolvedSites};
 use bdlfi_nn::{Layer, Sequential};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One concrete joint fault configuration over a set of parameter sites.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FaultConfig {
-    // Keyed by parameter path. Empty masks are omitted.
-    masks: HashMap<String, FaultMask>,
+    // Keyed by parameter path. Empty masks are omitted. Ordered so the
+    // serialized form (checkpoint journals) and `affected_paths` are
+    // independent of hash state across runs.
+    masks: BTreeMap<String, FaultMask>,
 }
 
 impl FaultConfig {
     /// The fault-free configuration.
     pub fn clean() -> Self {
         FaultConfig {
-            masks: HashMap::new(),
+            masks: BTreeMap::new(),
         }
     }
 
@@ -33,7 +35,7 @@ impl FaultConfig {
     /// ([`FaultModel::sample_mask_for`]), so int8 sites flip within their
     /// 8 stored bits and f32 sites behave exactly as before.
     pub fn sample(sites: &[ParamSite], model: &dyn FaultModel, rng: &mut dyn Rng) -> Self {
-        let mut masks = HashMap::new();
+        let mut masks = BTreeMap::new();
         for site in sites {
             let mask = model.sample_mask_for(site.len, site.repr, rng);
             if !mask.is_empty() {
@@ -67,7 +69,7 @@ impl FaultConfig {
         self.masks.is_empty()
     }
 
-    /// Paths with a non-empty mask, in unspecified order.
+    /// Paths with a non-empty mask, in sorted (path) order.
     pub fn affected_paths(&self) -> Vec<&str> {
         self.masks.keys().map(String::as_str).collect()
     }

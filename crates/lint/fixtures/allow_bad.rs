@@ -1,0 +1,8 @@
+// Fixture: a reasonless allow directive. It is inert (the BD001 finding
+// survives) and itself reported as BD000. Must trip exactly {BD000, BD001}.
+
+fn demo_noise() -> f32 {
+    // bdlfi-lint: allow(BD001)
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

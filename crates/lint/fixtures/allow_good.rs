@@ -1,0 +1,8 @@
+// Fixture: the escape hatch used correctly — code + reason. The BD001
+// finding on the next line is waived, so the file must be clean.
+
+fn demo_noise() -> f32 {
+    // bdlfi-lint: allow(BD001) -- interactive demo harness, never feeds a campaign
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,7 @@
+// Fixture: nondeterministic entropy outside crates/bench. Linted under a
+// virtual non-bench path; must trip BD001 and nothing else.
+
+fn sample_noise() -> f32 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,10 @@
+// Fixture: explicit seeding — the only entropy discipline the workspace
+// allows outside crates/bench. Must be clean.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_noise(seed: u64) -> f32 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen_range(0.0..1.0)
+}

@@ -1,0 +1,10 @@
+// Fixture: additive seed derivation feeding an RNG constructor. `seed + i`
+// makes streams i and i+1 of adjacent base seeds collide; must trip BD002
+// and nothing else.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn per_chain_rng(seed: u64, chain: u64) -> StdRng {
+    StdRng::seed_from_u64(seed + chain)
+}

@@ -1,0 +1,12 @@
+// Fixture: the sanctioned seed discipline — SplitMix64 lane derivation via
+// `seed_stream`. Lane-index arithmetic (`2 * restart + 1`) inside the lane
+// argument is legal: the addition feeds the lane, not the seed. Must be
+// clean.
+
+use bdlfi_bayes::seed_stream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn per_restart_rng(seed: u64, restart: u64) -> StdRng {
+    StdRng::seed_from_u64(seed_stream(seed, 2 * restart + 1))
+}

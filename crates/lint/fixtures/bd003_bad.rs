@@ -1,0 +1,19 @@
+// Fixture: hash-order iteration in a serialization-adjacent file (it
+// derives Serialize). The report body's key order then varies run to run.
+// Must trip BD003 and nothing else.
+
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct Report {
+    lines: Vec<String>,
+}
+
+fn render(hits: HashMap<String, u64>) -> Report {
+    let mut lines = Vec::new();
+    for (site, count) in hits.iter() {
+        lines.push(format!("{site}: {count}"));
+    }
+    Report { lines }
+}

@@ -1,0 +1,20 @@
+// Fixture: the two legal shapes in serialization-adjacent code — ordered
+// iteration over a BTreeMap, and *keyed* (non-iterating) HashMap lookups.
+// Must be clean.
+
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Serialize)]
+struct Report {
+    lines: Vec<String>,
+}
+
+fn render(hits: BTreeMap<String, u64>, golden: &HashMap<String, u64>) -> Report {
+    let mut lines = Vec::new();
+    for (site, count) in hits.iter() {
+        let base = golden.get(site).copied().unwrap_or(0);
+        lines.push(format!("{site}: {count} (golden {base})"));
+    }
+    Report { lines }
+}

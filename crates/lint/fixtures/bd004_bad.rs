@@ -1,0 +1,6 @@
+// Fixture: an `unsafe` block with no SAFETY justification anywhere near
+// it. Must trip BD004 and nothing else.
+
+fn first_lane(v: &[f32; 8]) -> f32 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,11 @@
+// Fixture: a multi-line SAFETY justification whose contiguous comment
+// block ends directly above the `unsafe` keyword — the idiomatic shape the
+// rule must accept. Must be clean.
+
+fn first_lane(v: &[f32; 8]) -> f32 {
+    // SAFETY: `v` is a reference to a [f32; 8], so `as_ptr()` yields a
+    // valid, aligned, live pointer to its first element; reading one f32
+    // through it is in-bounds by construction. The array is borrowed for
+    // the whole call, so no aliasing write can race the read.
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,11 @@
+// Fixture: `unwrap`/`panic!` in a typed-error path. Linted under the
+// virtual path crates/core/src/engine.rs, where PR 3's resumability
+// contract bans process aborts. Must trip BD005 and nothing else.
+
+fn claim_slot(slots: &[std::sync::Mutex<Option<usize>>], id: usize) -> usize {
+    let item = slots[id].lock().unwrap().take();
+    match item {
+        Some(v) => v,
+        None => panic!("slot {id} already claimed"),
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: the same logic expressed with typed errors — and a test module
+// proving the test-region exemption (tests *should* unwrap). Linted under
+// the virtual path crates/core/src/engine.rs; must be clean.
+
+fn claim_slot(
+    slots: &[std::sync::Mutex<Option<usize>>],
+    id: usize,
+) -> Result<usize, EngineError> {
+    let mut slot = slots[id]
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    slot.take().ok_or(EngineError::Interrupted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_once() {
+        let slots = [std::sync::Mutex::new(Some(7usize))];
+        assert_eq!(claim_slot(&slots, 0).unwrap(), 7);
+    }
+}

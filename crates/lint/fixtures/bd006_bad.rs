@@ -1,0 +1,12 @@
+// Fixture: a controlled driver that accepts a CheckpointSpec but never
+// binds a journal fingerprint tag — its journals inherit the callee's
+// identity and become cross-driver resume-compatible. Must trip BD006 and
+// nothing else.
+
+pub fn run_study_controlled(
+    cfg: &StudyConfig,
+    ctl: &RunControl,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<Study, EngineError> {
+    inner_controlled(cfg, ctl, ckpt)
+}

@@ -1,0 +1,19 @@
+// Fixture: two different controlled drivers binding the SAME journal
+// fingerprint tag, so a journal written by one resumes cleanly under the
+// other. Must trip BD006 (cross-file pass) and nothing else.
+
+pub fn run_sweep_controlled(
+    cfg: &SweepConfig,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<Sweep, EngineError> {
+    let ckpt = bind(ckpt, fingerprint("study", cfg));
+    drive(cfg, ckpt)
+}
+
+pub fn run_grid_controlled(
+    cfg: &GridConfig,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<Grid, EngineError> {
+    let ckpt = bind(ckpt, fingerprint("study", cfg));
+    drive_grid(cfg, ckpt)
+}

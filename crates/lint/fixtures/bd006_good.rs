@@ -1,0 +1,23 @@
+// Fixture: the sanctioned shapes — one driver binding its tag directly,
+// one through a local `*_fingerprint` helper, tags distinct. Must be
+// clean.
+
+pub fn run_sweep_controlled(
+    cfg: &SweepConfig,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<Sweep, EngineError> {
+    let ckpt = bind(ckpt, fingerprint("sweep", cfg));
+    drive(cfg, ckpt)
+}
+
+pub fn run_grid_controlled(
+    cfg: &GridConfig,
+    ckpt: Option<&CheckpointSpec>,
+) -> Result<Grid, EngineError> {
+    let ckpt = bind(ckpt, grid_fingerprint(cfg));
+    drive_grid(cfg, ckpt)
+}
+
+fn grid_fingerprint(cfg: &GridConfig) -> String {
+    fingerprint("grid", cfg)
+}

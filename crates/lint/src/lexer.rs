@@ -1,0 +1,519 @@
+//! A hand-rolled Rust token scanner — just enough lexical fidelity for
+//! determinism linting, with no external parser dependency.
+//!
+//! The scanner's one job is to never mistake *text* for *code*: a
+//! `thread_rng` inside a doc comment, a `"SystemTime::now"` inside a
+//! string literal, or a `+` inside a char literal must not produce rule
+//! findings. That requires getting the genuinely tricky parts of Rust's
+//! lexical grammar right:
+//!
+//! * raw strings (`r"…"`, `r#"…"#`, any number of `#`s) and their byte
+//!   variants, whose bodies may contain unescaped quotes;
+//! * block comments, which **nest** in Rust (`/* /* */ */`);
+//! * the lifetime-vs-char-literal ambiguity: `'a'` is a char, `'a` is a
+//!   lifetime, `'\''` is a char, `b'x'` is a byte literal;
+//! * float exponents (`1e-4`) so the `-`/`+` inside a numeric literal is
+//!   never reported as an arithmetic operator.
+//!
+//! Comments are kept as tokens (the rules need them for `// SAFETY:`
+//! annotations and `// bdlfi-lint: allow(…)` directives); whitespace is
+//! dropped. Every token carries its 1-based line and column.
+
+/// The lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `thread_rng`, …), including
+    /// raw identifiers (`r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no trailing quote).
+    Lifetime,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'0'`.
+    CharLit,
+    /// A string literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    StrLit,
+    /// A numeric literal, including suffixes and exponents.
+    NumLit,
+    /// A `// …` comment (also `///` and `//!`).
+    LineComment,
+    /// A `/* … */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation character (`(`, `+`, `:`, `!`, …).
+    Punct,
+}
+
+/// One lexical token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token's exact source text (string/char literals keep their
+    /// quotes and prefixes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// True for either comment kind.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner {
+    fn new(src: &str) -> Self {
+        Scanner {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`. The scanner is total: any byte sequence produces a
+/// token stream (unterminated literals run to end of file rather than
+/// erroring), because a linter must degrade gracefully on code mid-edit.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut s = Scanner::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = s.peek(0) {
+        let (line, col) = (s.line, s.col);
+        let start = s.pos;
+
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && s.peek(1) == Some('/') {
+            while let Some(n) = s.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                s.bump();
+            }
+            out.push(token(&s, TokenKind::LineComment, start, line, col));
+            continue;
+        }
+        if c == '/' && s.peek(1) == Some('*') {
+            s.bump();
+            s.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (s.peek(0), s.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        s.bump();
+                        s.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        s.bump();
+                        s.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        s.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.push(token(&s, TokenKind::BlockComment, start, line, col));
+            continue;
+        }
+
+        // String-ish prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…', r#ident.
+        if is_ident_start(c) {
+            let mut k = 0;
+            while s.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            let ident: String = (0..k).filter_map(|i| s.peek(i)).collect();
+            let next = s.peek(k);
+            match (ident.as_str(), next) {
+                ("r" | "br" | "b", Some('"')) | ("r" | "br", Some('#')) => {
+                    let raw = ident != "b";
+                    if lex_prefixed_string(&mut s, &mut out, k, raw, line, col) {
+                        continue;
+                    }
+                }
+                ("b", Some('\'')) => {
+                    for _ in 0..k {
+                        s.bump();
+                    }
+                    lex_char(&mut s, &mut out, start, line, col);
+                    continue;
+                }
+                _ => {}
+            }
+            // Raw identifier `r#ident` (keyword escape, not a raw string).
+            if ident == "r" && next == Some('#') && s.peek(k + 1).is_some_and(is_ident_start) {
+                s.bump(); // r
+                s.bump(); // #
+                while s.peek(0).is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                out.push(token(&s, TokenKind::Ident, start, line, col));
+                continue;
+            }
+            for _ in 0..k {
+                s.bump();
+            }
+            out.push(token(&s, TokenKind::Ident, start, line, col));
+            continue;
+        }
+
+        if c == '"' {
+            s.bump();
+            lex_plain_string_body(&mut s);
+            out.push(token(&s, TokenKind::StrLit, start, line, col));
+            continue;
+        }
+
+        if c == '\'' {
+            // Lifetime or char literal. `'\…` is always a char escape;
+            // `'ident'` is a char iff the quote closes right after one
+            // ident-ish run, `'ident` without a closing quote is a
+            // lifetime; any other single char (`'€'`) is a char literal.
+            if s.peek(1) == Some('\\') {
+                lex_char(&mut s, &mut out, start, line, col);
+                continue;
+            }
+            if s.peek(1).is_some_and(is_ident_start) {
+                let mut k = 2;
+                while s.peek(k).is_some_and(is_ident_continue) {
+                    k += 1;
+                }
+                if s.peek(k) == Some('\'') && k == 2 {
+                    lex_char(&mut s, &mut out, start, line, col);
+                } else {
+                    s.bump(); // '
+                    while s.peek(0).is_some_and(is_ident_continue) {
+                        s.bump();
+                    }
+                    out.push(token(&s, TokenKind::Lifetime, start, line, col));
+                }
+                continue;
+            }
+            lex_char(&mut s, &mut out, start, line, col);
+            continue;
+        }
+
+        if c.is_ascii_digit() {
+            lex_number(&mut s);
+            out.push(token(&s, TokenKind::NumLit, start, line, col));
+            continue;
+        }
+
+        s.bump();
+        out.push(token(&s, TokenKind::Punct, start, line, col));
+    }
+    out
+}
+
+fn token(s: &Scanner, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
+    let text: String = s.chars[start..s.pos].iter().collect();
+    Token {
+        kind,
+        text,
+        line,
+        col,
+    }
+}
+
+/// Consumes an `r…"`, `br…"` or `b"` string starting at the current
+/// position (the prefix is `prefix_len` ident chars long). `raw` strings
+/// process no escapes and terminate at `"` + matching `#`s; `b"…"` honours
+/// `\"` like a plain string. Returns `true` if a string token was produced.
+fn lex_prefixed_string(
+    s: &mut Scanner,
+    out: &mut Vec<Token>,
+    prefix_len: usize,
+    raw: bool,
+    line: u32,
+    col: u32,
+) -> bool {
+    let start = s.pos;
+    let mut k = prefix_len;
+    let mut hashes = 0usize;
+    while s.peek(k) == Some('#') {
+        hashes += 1;
+        k += 1;
+    }
+    if s.peek(k) != Some('"') {
+        return false;
+    }
+    for _ in 0..=k {
+        s.bump(); // prefix, hashes, opening quote
+    }
+    if raw {
+        // Raw body: ends at `"` followed by exactly `hashes` #s.
+        'body: while let Some(ch) = s.peek(0) {
+            if ch == '"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if s.peek(1 + i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        s.bump();
+                    }
+                    break 'body;
+                }
+            }
+            s.bump();
+        }
+    } else {
+        lex_plain_string_body(s);
+    }
+    out.push(token(s, TokenKind::StrLit, start, line, col));
+    true
+}
+
+/// Consumes a plain string body after the opening `"`, honouring `\"`.
+fn lex_plain_string_body(s: &mut Scanner) {
+    while let Some(ch) = s.bump() {
+        match ch {
+            '\\' => {
+                s.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a char/byte literal starting at the opening `'`.
+fn lex_char(s: &mut Scanner, out: &mut Vec<Token>, start: usize, line: u32, col: u32) {
+    s.bump(); // opening '
+    if s.bump() == Some('\\') {
+        // Escape: simple (`\n`, `\'`) or bracketed (`\u{1F600}`).
+        if s.peek(0) == Some('u') && s.peek(1) == Some('{') {
+            while let Some(ch) = s.bump() {
+                if ch == '}' {
+                    break;
+                }
+            }
+        } else {
+            s.bump();
+        }
+    }
+    if s.peek(0) == Some('\'') {
+        s.bump();
+    }
+    out.push(token(s, TokenKind::CharLit, start, line, col));
+}
+
+/// Consumes a numeric literal: ints, floats, hex/oct/bin, suffixes, and
+/// exponents with signs (`1e-4` is one token, so its sign never looks
+/// like arithmetic to the rules).
+fn lex_number(s: &mut Scanner) {
+    // Leading digits, hex/bin/oct bodies, suffixes — one alnum/underscore run.
+    while s.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+        let cur = s.peek(0);
+        s.bump();
+        // Exponent sign: `e`/`E` followed by +/- and a digit.
+        if matches!(cur, Some('e' | 'E'))
+            && matches!(s.peek(0), Some('+' | '-'))
+            && s.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            s.bump();
+        }
+    }
+    // Fractional part — but never consume `..` (range) or `.method()`.
+    if s.peek(0) == Some('.') && s.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        s.bump();
+        while s.peek(0).is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            let cur = s.peek(0);
+            s.bump();
+            if matches!(cur, Some('e' | 'E'))
+                && matches!(s.peek(0), Some('+' | '-'))
+                && s.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                s.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_swallow_embedded_quotes_and_hashes() {
+        let toks = kinds(r####"let s = r#"a "quoted" body"# ;"####);
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".to_string()),
+                (TokenKind::Ident, "s".to_string()),
+                (TokenKind::Punct, "=".to_string()),
+                (TokenKind::StrLit, r##"r#"a "quoted" body"#"##.to_string()),
+                (TokenKind::Punct, ";".to_string()),
+            ]
+        );
+        // Two hashes, body containing a one-hash terminator lookalike.
+        let toks = kinds(r#####"r##"still "# going"## x"#####);
+        assert_eq!(toks[0].0, TokenKind::StrLit);
+        assert_eq!(toks[0].1, r####"r##"still "# going"##"####);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn byte_and_plain_strings_honour_escapes() {
+        let toks = kinds(r#"b"a\"b" "c\\" 'd'"#);
+        assert_eq!(toks[0], (TokenKind::StrLit, r#"b"a\"b""#.to_string()));
+        assert_eq!(toks[1], (TokenKind::StrLit, r#""c\\""#.to_string()));
+        assert_eq!(toks[2], (TokenKind::CharLit, "'d'".to_string()));
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_identifier_tokens() {
+        let toks = lex(r#"let x = "thread_rng() + SystemTime::now()";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(!toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert!(!toks.iter().any(|t| t.is_punct('+')));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "a".to_string()),
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still comment */".to_string()
+                ),
+                (TokenKind::Ident, "b".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_runs_to_eof() {
+        let toks = kinds("x /* never closed");
+        assert_eq!(toks[0], (TokenKind::Ident, "x".to_string()));
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str + 'x' + '\\'' + 'static + b'0'");
+        let got: Vec<_> = toks.iter().map(|(k, t)| (*k, t.as_str())).collect();
+        assert!(got.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(got.contains(&(TokenKind::CharLit, "'x'")));
+        assert!(got.contains(&(TokenKind::CharLit, "'\\''")));
+        assert!(got.contains(&(TokenKind::Lifetime, "'static")));
+        assert!(got.contains(&(TokenKind::CharLit, "b'0'")));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let toks = kinds(r"'\u{1F600}' 'q'");
+        assert_eq!(toks[0], (TokenKind::CharLit, r"'\u{1F600}'".to_string()));
+        assert_eq!(toks[1], (TokenKind::CharLit, "'q'".to_string()));
+    }
+
+    #[test]
+    fn exponent_signs_are_part_of_the_number() {
+        let toks = kinds("1e-4 + 2.5E+10 - 3");
+        assert_eq!(toks[0], (TokenKind::NumLit, "1e-4".to_string()));
+        assert_eq!(toks[1], (TokenKind::Punct, "+".to_string()));
+        assert_eq!(toks[2], (TokenKind::NumLit, "2.5E+10".to_string()));
+        assert_eq!(toks[3], (TokenKind::Punct, "-".to_string()));
+        assert_eq!(toks[4], (TokenKind::NumLit, "3".to_string()));
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let toks = kinds("for i in 0..n { a[i - 1]; } 1.5..2.5");
+        assert!(toks.contains(&(TokenKind::NumLit, "0".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "n".to_string())));
+        assert!(toks.contains(&(TokenKind::NumLit, "1.5".to_string())));
+        assert!(toks.contains(&(TokenKind::NumLit, "2.5".to_string())));
+    }
+
+    #[test]
+    fn raw_identifiers_are_identifiers() {
+        let toks = kinds("r#type + r#fn");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "r#fn".to_string()));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd // tail\n\"s\"");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (2, 6));
+        assert_eq!((toks[3].line, toks[3].col), (3, 1));
+    }
+
+    #[test]
+    fn doc_comments_are_comment_tokens() {
+        let toks = kinds("/// uses thread_rng\n//! and SystemTime\nfn f() {}");
+        assert_eq!(toks[0].0, TokenKind::LineComment);
+        assert_eq!(toks[1].0, TokenKind::LineComment);
+        assert_eq!(toks[2], (TokenKind::Ident, "fn".to_string()));
+    }
+}

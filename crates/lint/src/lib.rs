@@ -1,0 +1,170 @@
+//! `bdlfi-lint` — the BDLFI workspace's determinism-discipline static
+//! analyzer.
+//!
+//! The paper's statistical-completeness claim holds only if every fault
+//! campaign is bit-reproducible; PR 2's seed streams, PR 3's checkpoint
+//! fingerprints and PR 4's quant journals all defend that property at
+//! runtime. This crate enforces it at *source* level, before a campaign
+//! ever runs:
+//!
+//! | code  | rule |
+//! |-------|------|
+//! | BD001 | no nondeterministic entropy sources outside `crates/bench` |
+//! | BD002 | no additive `seed + i` derivation feeding RNG constructors |
+//! | BD003 | no HashMap/HashSet iteration in serialization-adjacent paths |
+//! | BD004 | every `unsafe` carries a `// SAFETY:` justification |
+//! | BD005 | no `unwrap`/`expect`/`panic!` in engine/checkpoint/EvalSink paths |
+//! | BD006 | every `*_controlled` driver binds a distinct journal fingerprint tag |
+//!
+//! Findings are span-accurate (`path:line:col: BDxxx: message`) and can
+//! be waived inline with `// bdlfi-lint: allow(BDxxx) -- reason` — the
+//! reason is mandatory. The analyzer is entirely self-contained: a
+//! hand-rolled lexer ([`lexer`]) plus token-level rules ([`rules`]), no
+//! `syn`, no external dependencies.
+//!
+//! Run it as `cargo run -p bdlfi-lint -- check .` (CI does, on every
+//! push).
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use diag::Finding;
+
+use rules::{all_rules, code_view, test_regions, FileCtx, Rule};
+use std::path::Path;
+
+/// Lints a single source text under a virtual workspace-relative path
+/// (rule scoping — bench exemption, engine/checkpoint paths — keys off
+/// this path). Runs per-file rule passes *and* each rule's cross-file
+/// `finish` pass, so single-file invariants of BD006 (duplicate tags
+/// within the file) are reported too. Suppression directives are applied.
+#[must_use]
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let mut rules = all_rules();
+    let mut findings = lint_into(&mut rules, path, src);
+    for rule in &mut rules {
+        findings.extend(rule.finish());
+    }
+    let tokens = lexer::lex(src);
+    let directives = diag::parse_directives(&tokens);
+    let mut out = diag::apply_directives(path, findings, &directives);
+    sort_findings(&mut out);
+    out
+}
+
+/// Lints every `.rs` file under `root`: per-file passes, then the
+/// cross-file `finish` passes, then suppression. Findings are sorted by
+/// `(path, line, col, code)`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk or file reads.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut rules = all_rules();
+    let mut findings = Vec::new();
+    let mut directives_by_path = Vec::new();
+    for file in walk::rust_files(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        let path = walk::display_path(root, &file);
+        findings.extend(lint_into(&mut rules, &path, &src));
+        let tokens = lexer::lex(&src);
+        let dirs = diag::parse_directives(&tokens);
+        if !dirs.is_empty() {
+            directives_by_path.push((path, dirs));
+        }
+    }
+    for rule in &mut rules {
+        findings.extend(rule.finish());
+    }
+    // Apply each file's directives to its own findings.
+    let mut out = Vec::new();
+    let mut by_path: std::collections::BTreeMap<String, Vec<Finding>> =
+        std::collections::BTreeMap::new();
+    for f in findings {
+        by_path.entry(f.path.clone()).or_default().push(f);
+    }
+    for (path, fs) in by_path {
+        let empty = Vec::new();
+        let dirs = directives_by_path
+            .iter()
+            .find(|(p, _)| *p == path)
+            .map_or(&empty, |(_, d)| d);
+        out.extend(diag::apply_directives(&path, fs, dirs));
+    }
+    sort_findings(&mut out);
+    Ok(out)
+}
+
+/// One per-file pass over all rules (no finish, no suppression).
+fn lint_into(rules: &mut [Box<dyn Rule>], path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lexer::lex(src);
+    let code = code_view(&tokens);
+    let regions = test_regions(path, &tokens);
+    let ctx = FileCtx {
+        path,
+        tokens: &tokens,
+        code: &code,
+        test_regions: &regions,
+    };
+    let mut findings = Vec::new();
+    for rule in rules.iter_mut() {
+        findings.extend(rule.check(&ctx));
+    }
+    findings
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.code).cmp(&(b.path.as_str(), b.line, b.col, b.code))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = r#"
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            use bdlfi_bayes::seed_stream;
+
+            fn per_task_rng(seed: u64, task: u64) -> StdRng {
+                StdRng::seed_from_u64(seed_stream(seed, task))
+            }
+        "#;
+        assert_eq!(lint_source("crates/demo/src/lib.rs", src), Vec::new());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_rendered_with_spans() {
+        let src = "fn f(seed: u64) {\n    let _ = StdRng::seed_from_u64(seed + 1);\n    let _ = thread_rng();\n}\n";
+        let out = lint_source("crates/demo/src/lib.rs", src);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].code, "BD002");
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].code, "BD001");
+        assert_eq!(out[1].line, 3);
+        assert!(out[0].render().starts_with("crates/demo/src/lib.rs:2:"));
+    }
+
+    #[test]
+    fn bench_crate_may_read_entropy() {
+        let src = "fn t() { let _ = thread_rng(); }";
+        assert!(lint_source("crates/bench/src/harness.rs", src).is_empty());
+        assert_eq!(lint_source("crates/other/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_directive_waives_with_reason_only() {
+        let with_reason = "// bdlfi-lint: allow(BD001) -- demo harness, not a campaign\nfn t() { let _ = thread_rng(); }\n";
+        assert!(lint_source("crates/demo/src/lib.rs", with_reason).is_empty());
+        let without = "// bdlfi-lint: allow(BD001)\nfn t() { let _ = thread_rng(); }\n";
+        let out = lint_source("crates/demo/src/lib.rs", without);
+        assert!(out.iter().any(|f| f.code == "BD001"));
+        assert!(out.iter().any(|f| f.code == diag::MALFORMED_DIRECTIVE));
+    }
+}

@@ -1,0 +1,45 @@
+//! CLI entry point: `bdlfi-lint check [PATH]`.
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bdlfi-lint check [PATH]\n\n\
+    Lints every .rs file under PATH (default: current directory) against\n\
+    the BDLFI determinism-discipline rules BD001..BD006. Waive a finding\n\
+    inline with `// bdlfi-lint: allow(BDxxx) -- reason`.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match args.split_first() {
+        Some((cmd, rest)) if cmd == "check" && rest.len() <= 1 => {
+            PathBuf::from(rest.first().map_or(".", String::as_str))
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match bdlfi_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bdlfi-lint: error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{}", f.render());
+    }
+    if findings.is_empty() {
+        println!("bdlfi-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "bdlfi-lint: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,81 @@
+//! BD001 — no nondeterministic entropy sources outside `crates/bench`.
+//!
+//! The reproduction's statistical-completeness claim rests on campaigns
+//! being a pure function of their configured seed. `thread_rng()`,
+//! `SeedableRng::from_entropy()`, `OsRng` and `SystemTime::now()` (the
+//! classic time-derived-seed source) all smuggle ambient state into that
+//! function. The bench crate is exempt: wall-clock timing harnesses
+//! legitimately read the clock, and their numbers are not part of any
+//! reproducible report.
+
+use super::{FileCtx, Rule};
+use crate::diag::Finding;
+
+/// Identifiers that are nondeterministic entropy sources wherever they
+/// appear in an expression.
+const BANNED_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+/// See module docs.
+pub struct EntropySources;
+
+impl Rule for EntropySources {
+    fn code(&self) -> &'static str {
+        "BD001"
+    }
+
+    fn name(&self) -> &'static str {
+        "no-entropy-sources"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        if ctx.path.starts_with("crates/bench/") {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            let t = &ctx.tokens[i];
+            for banned in BANNED_IDENTS {
+                if t.is_ident(banned) {
+                    out.push(ctx.finding(
+                        self.code(),
+                        i,
+                        format!(
+                            "nondeterministic entropy source `{banned}`: campaigns must \
+                             derive all randomness from an explicit seed \
+                             (seed_stream lanes); only crates/bench may read ambient \
+                             entropy"
+                        ),
+                    ));
+                }
+            }
+            // `SystemTime::now()` — time-derived seeds and timestamps in
+            // results. (`Instant` is fine: it only feeds RunMeta timing.)
+            if t.is_ident("SystemTime")
+                && ctx
+                    .code
+                    .get(k + 1)
+                    .is_some_and(|&j| ctx.tokens[j].is_punct(':'))
+                && ctx
+                    .code
+                    .get(k + 2)
+                    .is_some_and(|&j| ctx.tokens[j].is_punct(':'))
+                && ctx
+                    .code
+                    .get(k + 3)
+                    .is_some_and(|&j| ctx.tokens[j].is_ident("now"))
+            {
+                out.push(
+                    ctx.finding(
+                        self.code(),
+                        i,
+                        "time-derived value `SystemTime::now()`: wall-clock state must \
+                     not reach seeds or reported results; only crates/bench may \
+                     read the clock"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,115 @@
+//! BD002 — no additive seed derivation feeding an RNG constructor.
+//!
+//! `StdRng::seed_from_u64(seed + i)` was the exact bug class PR 2
+//! eradicated: consecutive integers are *correlated* SplitMix64 inputs,
+//! and overlapping `seed + i` ranges across drivers silently alias RNG
+//! streams between tasks. The sanctioned derivation is
+//! `seed_stream(seed, lane)`, whose output lanes are provably disjoint.
+//!
+//! The rule flags a top-level additive operator (`+`) in:
+//!
+//! * any argument of `seed_from_u64(…)`;
+//! * the *first* argument (the root seed) of `seed_stream(…)` and of
+//!   `EvalEngine::new(…)` / `EvalEngine::with_workers(…)`.
+//!
+//! "Top level" means directly inside the call's parentheses — a `+`
+//! nested in an inner call (`seed_from_u64(seed_stream(seed, 2 * r + 1))`)
+//! is lane arithmetic and stays legal.
+
+use super::{matching_delim, FileCtx, Rule};
+use crate::diag::Finding;
+
+/// See module docs.
+pub struct AdditiveSeeds;
+
+impl Rule for AdditiveSeeds {
+    fn code(&self) -> &'static str {
+        "BD002"
+    }
+
+    fn name(&self) -> &'static str {
+        "no-additive-seeds"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            let t = &ctx.tokens[i];
+            let guarded = if t.is_ident("seed_from_u64") {
+                Some(false) // every argument is seed material
+            } else if t.is_ident("seed_stream")
+                || ((t.is_ident("new") || t.is_ident("with_workers"))
+                    && is_path_of(ctx, k, "EvalEngine"))
+            {
+                Some(true) // only the root seed (first argument)
+            } else {
+                None
+            };
+            let Some(first_arg_only) = guarded else {
+                continue;
+            };
+            let Some(&open) = ctx.code.get(k + 1) else {
+                continue;
+            };
+            if !ctx.tokens[open].is_punct('(') {
+                continue;
+            }
+            let close = matching_delim(ctx.tokens, open);
+            if let Some(plus) = additive_at_top_level(ctx, open, close, first_arg_only) {
+                out.push(ctx.finding(
+                    self.code(),
+                    plus,
+                    format!(
+                        "additive seed derivation feeding `{}`: `seed + i` aliases \
+                         RNG streams; derive per-task seeds with \
+                         bdlfi_bayes::seed_stream(seed, lane) instead",
+                        callee_label(ctx, k)
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Whether the ident at code index `k` is preceded by `Qualifier::` with
+/// the given qualifier (e.g. `EvalEngine :: new`).
+fn is_path_of(ctx: &FileCtx<'_>, k: usize, qualifier: &str) -> bool {
+    k >= 3
+        && ctx.tokens[ctx.code[k - 1]].is_punct(':')
+        && ctx.tokens[ctx.code[k - 2]].is_punct(':')
+        && ctx.tokens[ctx.code[k - 3]].is_ident(qualifier)
+}
+
+/// Finds a `+` token at nesting depth 1 between `open` and `close`
+/// (tokens indices). With `first_arg_only`, stops at the first depth-1
+/// comma. Returns the token index of the offending `+`.
+fn additive_at_top_level(
+    ctx: &FileCtx<'_>,
+    open: usize,
+    close: usize,
+    first_arg_only: bool,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for &i in ctx.code.iter().filter(|&&i| i >= open && i <= close) {
+        let t = &ctx.tokens[i];
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 1 && first_arg_only => return None,
+            "+" if depth == 1 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Reconstructs a short label for the guarded callee at code index `k`.
+fn callee_label(ctx: &FileCtx<'_>, k: usize) -> String {
+    let name = &ctx.tokens[ctx.code[k]].text;
+    if is_path_of(ctx, k, "EvalEngine") {
+        format!("EvalEngine::{name}")
+    } else {
+        name.clone()
+    }
+}

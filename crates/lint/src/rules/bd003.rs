@@ -1,0 +1,260 @@
+//! BD003 — no iteration over `HashMap`/`HashSet` in serialization-adjacent
+//! code.
+//!
+//! `std::collections::HashMap` iteration order is randomized per process
+//! (SipHash keys from ambient entropy). Any hash-map iteration that feeds
+//! a report, a sink, a checkpoint journal, or a hand-written serde impl
+//! therefore leaks nondeterministic ordering into serialized bytes — the
+//! exact class of bug that breaks byte-compare resume tests. Keyed
+//! *lookups* are fine; only iteration is flagged. The fix is `BTreeMap`,
+//! or collecting into a `Vec` and sorting by an explicit key.
+//!
+//! Scope: a file participates if it names `EvalSink`, hand-written serde
+//! (`Serialize` / `Deserialize` / `to_json_value` / `serde_json`), or is
+//! one of the serialization modules (`report.rs`, `checkpoint.rs`,
+//! `serialize.rs`). Within in-scope files, the rule tracks identifiers
+//! declared with a hash-map/set type (let bindings, struct fields, fn
+//! params) and flags `for … in` loops over them and calls to ordering-
+//! sensitive iteration methods on them. Test regions are exempt.
+
+use super::{FileCtx, Rule};
+use crate::diag::Finding;
+
+/// Methods whose results depend on hash-iteration order.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// File names that are serialization modules regardless of content.
+const SCOPE_FILES: [&str; 3] = ["report.rs", "checkpoint.rs", "serialize.rs"];
+
+/// Identifiers whose presence marks a file as serialization-adjacent.
+const SCOPE_MARKERS: [&str; 5] = [
+    "EvalSink",
+    "Serialize",
+    "Deserialize",
+    "to_json_value",
+    "serde_json",
+];
+
+/// See module docs.
+pub struct UnorderedIteration;
+
+impl Rule for UnorderedIteration {
+    fn code(&self) -> &'static str {
+        "BD003"
+    }
+
+    fn name(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        if !in_scope(ctx) {
+            return Vec::new();
+        }
+        let hashed = hash_typed_names(ctx);
+        if hashed.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            if ctx.in_test(i) {
+                continue;
+            }
+            let t = &ctx.tokens[i];
+            // `name.iter()` / `self.name.keys()` …
+            if ITER_METHODS.contains(&t.text.as_str())
+                && t.kind == crate::lexer::TokenKind::Ident
+                && k >= 2
+                && ctx.tokens[ctx.code[k - 1]].is_punct('.')
+                && ctx
+                    .code
+                    .get(k + 1)
+                    .is_some_and(|&j| ctx.tokens[j].is_punct('('))
+            {
+                let recv = &ctx.tokens[ctx.code[k - 2]];
+                if hashed.iter().any(|n| recv.is_ident(n)) {
+                    out.push(ctx.finding(self.code(), i, message(&recv.text, &t.text)));
+                }
+            }
+            // `for pat in [&mut] [self.]name {`
+            if t.is_ident("for") {
+                if let Some((j, name)) = for_loop_over(ctx, k) {
+                    if hashed.iter().any(|n| n == &name) {
+                        out.push(ctx.finding(self.code(), j, message(&name, "for-in")));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn message(name: &str, how: &str) -> String {
+    format!(
+        "iteration (`{how}`) over unordered hash collection `{name}` in a \
+         serialization-adjacent path: hash order leaks into reports/journals; \
+         use BTreeMap or sort explicitly before emitting"
+    )
+}
+
+fn in_scope(ctx: &FileCtx<'_>) -> bool {
+    let file_name = ctx.path.rsplit('/').next().unwrap_or(ctx.path);
+    if SCOPE_FILES.contains(&file_name) {
+        return true;
+    }
+    ctx.code.iter().any(|&i| {
+        let t = &ctx.tokens[i];
+        SCOPE_MARKERS.iter().any(|m| t.is_ident(m))
+    })
+}
+
+/// Collects identifiers declared with a `HashMap`/`HashSet` type anywhere
+/// in the file: `let [mut] NAME : …Hash… =`, `let [mut] NAME = HashMap::…`,
+/// struct fields and fn params `NAME : …Hash… [,;)}]`.
+fn hash_typed_names(ctx: &FileCtx<'_>) -> Vec<String> {
+    let tok = |k: usize| ctx.code.get(k).map(|&i| &ctx.tokens[i]);
+    let mut names = Vec::new();
+    for k in 0..ctx.code.len() {
+        let Some(t) = tok(k) else { break };
+        if t.kind != crate::lexer::TokenKind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        let name = t.text.clone();
+        match tok(k + 1) {
+            // `NAME : <type tokens>` — scan the annotation for Hash types.
+            Some(colon)
+                if colon.is_punct(':')
+                    && tok(k + 2).is_some_and(|n| !n.is_punct(':')) // not a `::` path
+                    && !tok(k.wrapping_sub(1)).is_some_and(|p| p.is_punct(':')) =>
+            {
+                let mut depth = 0i32;
+                for j in k + 2..ctx.code.len() {
+                    let u = tok(j).expect("in bounds");
+                    match u.text.as_str() {
+                        "<" | "(" | "[" => depth += 1,
+                        ">" | ")" | "]" => {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        }
+                        "=" | ";" | "," | "{" | "}" if depth == 0 => break,
+                        _ => {}
+                    }
+                    if u.is_ident("HashMap") || u.is_ident("HashSet") {
+                        names.push(name.clone());
+                        break;
+                    }
+                    // Annotations are short; bail out of runaway scans.
+                    if j > k + 24 {
+                        break;
+                    }
+                }
+            }
+            // `NAME = [std::collections::]Hash{Map,Set}::…`
+            Some(eq) if eq.is_punct('=') => {
+                for j in k + 2..(k + 8).min(ctx.code.len()) {
+                    let u = tok(j).expect("in bounds");
+                    if u.is_ident("HashMap") || u.is_ident("HashSet") {
+                        names.push(name.clone());
+                        break;
+                    }
+                    if !(u.is_punct(':') || u.is_ident("std") || u.is_ident("collections")) {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// If code index `k` is a `for` keyword, returns the token index and name
+/// of the iterated identifier when the iterated expression is exactly
+/// `[&[mut]] [self.]NAME`.
+fn for_loop_over(ctx: &FileCtx<'_>, k: usize) -> Option<(usize, String)> {
+    // Find `in` at depth 0 (patterns may contain tuples/parens).
+    let mut depth = 0i32;
+    let mut in_k = None;
+    for j in k + 1..ctx.code.len().min(k + 32) {
+        let t = &ctx.tokens[ctx.code[j]];
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && t.kind == crate::lexer::TokenKind::Ident => {
+                in_k = Some(j);
+                break;
+            }
+            "{" => return None,
+            _ => {}
+        }
+    }
+    let in_k = in_k?;
+    // Expression tokens until the loop body `{`.
+    let mut expr: Vec<usize> = Vec::new();
+    for j in in_k + 1..ctx.code.len() {
+        let t = &ctx.tokens[ctx.code[j]];
+        if t.is_punct('{') {
+            break;
+        }
+        expr.push(ctx.code[j]);
+        if expr.len() > 6 {
+            return None; // complex expression — not a bare name
+        }
+    }
+    // Strip leading `&` / `mut`, then accept `NAME` or `self . NAME`.
+    let toks: Vec<&crate::lexer::Token> = expr.iter().map(|&i| &ctx.tokens[i]).collect();
+    let mut s = 0usize;
+    while s < toks.len() && (toks[s].is_punct('&') || toks[s].is_ident("mut")) {
+        s += 1;
+    }
+    let rest = &toks[s..];
+    match rest {
+        [name] if name.kind == crate::lexer::TokenKind::Ident => Some((expr[s], name.text.clone())),
+        [this, dot, name]
+            if this.is_ident("self")
+                && dot.is_punct('.')
+                && name.kind == crate::lexer::TokenKind::Ident =>
+        {
+            Some((expr[s + 2], name.text.clone()))
+        }
+        _ => None,
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "fn"
+            | "pub"
+            | "if"
+            | "else"
+            | "match"
+            | "return"
+            | "for"
+            | "while"
+            | "in"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "use"
+            | "mod"
+            | "where"
+            | "ref"
+    )
+}

@@ -1,0 +1,67 @@
+//! BD004 — every `unsafe` needs a `// SAFETY:` justification.
+//!
+//! The workspace's two `unsafe` call sites (the AVX2 micro-kernel
+//! dispatches in `ops/gemm.rs` and `ops/qgemm.rs`) are exactly the places
+//! where an undocumented assumption can silently turn into UB after a
+//! refactor. The rule requires a comment containing `SAFETY:` either on
+//! the `unsafe` line itself or anywhere in the contiguous comment block
+//! that ends on the line directly above it — close enough that the
+//! justification cannot drift away from the block it covers, while still
+//! permitting multi-line justifications.
+
+use super::{FileCtx, Rule};
+use crate::diag::Finding;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct UnsafeNeedsSafety;
+
+impl Rule for UnsafeNeedsSafety {
+    fn code(&self) -> &'static str {
+        "BD004"
+    }
+
+    fn name(&self) -> &'static str {
+        "unsafe-needs-safety-comment"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        // Lines carrying any comment, and lines whose comment says SAFETY:.
+        let mut comment_lines = BTreeSet::new();
+        let mut safety_lines = BTreeSet::new();
+        for c in ctx.tokens.iter().filter(|c| c.is_comment()) {
+            comment_lines.insert(c.line);
+            if c.text.contains("SAFETY:") {
+                safety_lines.insert(c.line);
+            }
+        }
+        let mut out = Vec::new();
+        for &i in ctx.code {
+            let t = &ctx.tokens[i];
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            // Same line, or any line of the contiguous comment run ending
+            // directly above.
+            let mut justified = safety_lines.contains(&t.line);
+            let mut line = t.line;
+            while !justified && line > 1 && comment_lines.contains(&(line - 1)) {
+                line -= 1;
+                justified = safety_lines.contains(&line);
+            }
+            if !justified {
+                out.push(
+                    ctx.finding(
+                        self.code(),
+                        i,
+                        "`unsafe` without a `// SAFETY:` comment: state the proof \
+                     obligation (pointer provenance, alignment, in-bounds, \
+                     target-feature availability) on or directly above the block"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        out
+    }
+}

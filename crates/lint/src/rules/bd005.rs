@@ -1,0 +1,106 @@
+//! BD005 — no `unwrap`/`expect`/`panic!` in typed-error paths.
+//!
+//! PR 3 made the engine and checkpoint layers fully fallible: worker
+//! panics, sink failures and journal corruption are typed
+//! `EngineError`/`CheckpointError` values so a crashed campaign leaves a
+//! resumable journal instead of a dead process. A stray `unwrap()` in
+//! those paths reintroduces the abort-the-world failure mode. The rule
+//! polices `crates/core/src/engine.rs`, `crates/core/src/checkpoint.rs`,
+//! and the body of every `impl … EvalSink … for …` block anywhere in the
+//! workspace. Test modules are exempt (tests *should* unwrap).
+//!
+//! Escape hatch: a documented panicking API boundary (e.g. the infallible
+//! `EvalEngine::run` convenience wrapper) carries
+//! `// bdlfi-lint: allow(BD005) -- reason`.
+
+use super::{matching_delim, FileCtx, Rule};
+use crate::diag::Finding;
+
+/// Files policed in their entirety (non-test regions).
+const SCOPE_PATHS: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/checkpoint.rs"];
+
+/// See module docs.
+pub struct PanicFreePaths;
+
+impl Rule for PanicFreePaths {
+    fn code(&self) -> &'static str {
+        "BD005"
+    }
+
+    fn name(&self) -> &'static str {
+        "typed-errors-in-engine-paths"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let whole_file = SCOPE_PATHS.iter().any(|p| ctx.path.ends_with(p));
+        let scopes: Vec<(usize, usize)> = if whole_file {
+            vec![(0, ctx.tokens.len())]
+        } else {
+            eval_sink_impl_bodies(ctx)
+        };
+        if scopes.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            if ctx.in_test(i) || !scopes.iter().any(|&(a, b)| (a..b).contains(&i)) {
+                continue;
+            }
+            let t = &ctx.tokens[i];
+            let next_is = |text: char| {
+                ctx.code
+                    .get(k + 1)
+                    .is_some_and(|&j| ctx.tokens[j].is_punct(text))
+            };
+            let prev_is_dot = k >= 1 && ctx.tokens[ctx.code[k - 1]].is_punct('.');
+            let offender =
+                if (t.is_ident("unwrap") || t.is_ident("expect")) && prev_is_dot && next_is('(') {
+                    Some(format!(".{}()", t.text))
+                } else if (t.is_ident("panic") || t.is_ident("unreachable") || t.is_ident("todo"))
+                    && next_is('!')
+                {
+                    Some(format!("{}!", t.text))
+                } else {
+                    None
+                };
+            if let Some(what) = offender {
+                out.push(ctx.finding(
+                    self.code(),
+                    i,
+                    format!(
+                        "`{what}` in a typed-error path (engine/checkpoint/EvalSink): \
+                         return EngineError/CheckpointError so interrupted campaigns \
+                         stay resumable"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Token ranges of `impl … EvalSink … for … { … }` bodies.
+fn eval_sink_impl_bodies(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (k, &i) in ctx.code.iter().enumerate() {
+        if !ctx.tokens[i].is_ident("impl") {
+            continue;
+        }
+        // Scan the impl header up to its body `{`; require `EvalSink` and
+        // `for` in the header.
+        let mut saw_sink = false;
+        let mut saw_for = false;
+        for j in k + 1..ctx.code.len().min(k + 64) {
+            let t = &ctx.tokens[ctx.code[j]];
+            if t.is_punct('{') {
+                if saw_sink && saw_for {
+                    out.push((ctx.code[j], matching_delim(ctx.tokens, ctx.code[j])));
+                }
+                break;
+            }
+            saw_sink |= t.is_ident("EvalSink");
+            saw_for |= t.is_ident("for");
+        }
+    }
+    out
+}

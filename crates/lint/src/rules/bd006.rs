@@ -1,0 +1,222 @@
+//! BD006 — every `*_controlled` driver taking a `CheckpointSpec` must
+//! bind a *distinct* journal fingerprint tag.
+//!
+//! The checkpoint header's fingerprint (`fingerprint("tag", &config)`)
+//! is what stops a journal written by one driver from being replayed
+//! into another — the f32/quant no-cross-resume guarantee relies on
+//! `"exhaustive"` vs `"exhaustive_quant"` being different tags even when
+//! the configs hash alike. Two failure modes are flagged:
+//!
+//! * a `*_controlled(… CheckpointSpec …)` driver that never binds a tag
+//!   at all (its journals inherit whatever the callee uses, so two
+//!   different studies become resume-compatible);
+//! * two different drivers binding the *same* tag.
+//!
+//! Tags are resolved from direct `fingerprint("tag", …)` calls in the
+//! driver body, or one level through a local `*fingerprint*` helper
+//! (e.g. `campaign_fingerprint(…)` → `fingerprint("campaign", …)`).
+
+use super::{matching_delim, FileCtx, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use std::collections::BTreeMap;
+
+/// One tag binding discovered in a driver body.
+#[derive(Debug, Clone)]
+struct TagUse {
+    fn_name: String,
+    path: String,
+    line: u32,
+    col: u32,
+}
+
+/// See module docs.
+#[derive(Default)]
+pub struct DistinctFingerprints {
+    /// tag → every controlled driver binding it (BTreeMap for
+    /// deterministic report order).
+    tags: BTreeMap<String, Vec<TagUse>>,
+}
+
+impl Rule for DistinctFingerprints {
+    fn code(&self) -> &'static str {
+        "BD006"
+    }
+
+    fn name(&self) -> &'static str {
+        "distinct-journal-fingerprints"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            if !ctx.tokens[i].is_ident("fn") || ctx.in_test(i) {
+                continue;
+            }
+            let Some(&name_i) = ctx.code.get(k + 1) else {
+                continue;
+            };
+            let name_tok = &ctx.tokens[name_i];
+            if name_tok.kind != TokenKind::Ident || !name_tok.text.ends_with("_controlled") {
+                continue;
+            }
+            let Some((sig_end, body_open)) = fn_body_open(ctx, k) else {
+                continue;
+            };
+            let sig_has_spec = (k..sig_end)
+                .filter_map(|j| ctx.code.get(j))
+                .any(|&t| ctx.tokens[t].is_ident("CheckpointSpec"));
+            if !sig_has_spec {
+                continue;
+            }
+            let body_close = matching_delim(ctx.tokens, body_open);
+            let mut tags = direct_tags(ctx, body_open, body_close);
+            if tags.is_empty() {
+                for helper in helper_calls(ctx, body_open, body_close) {
+                    tags.extend(helper_tags(ctx, &helper));
+                }
+            }
+            if tags.is_empty() {
+                out.push(ctx.finding(
+                    self.code(),
+                    name_i,
+                    format!(
+                        "`{}` takes a CheckpointSpec but never binds a journal \
+                         fingerprint tag: its journals are resume-compatible with \
+                         whatever driver it delegates to; bind a distinct \
+                         fingerprint(\"tag\", …) before delegating",
+                        name_tok.text
+                    ),
+                ));
+            }
+            for (tag, tag_i) in tags {
+                let t = &ctx.tokens[tag_i];
+                self.tags.entry(tag).or_default().push(TagUse {
+                    fn_name: name_tok.text.clone(),
+                    path: ctx.path.to_string(),
+                    line: t.line,
+                    col: t.col,
+                });
+            }
+        }
+        out
+    }
+
+    fn finish(&mut self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (tag, uses) in &self.tags {
+            let mut fns: Vec<&str> = uses.iter().map(|u| u.fn_name.as_str()).collect();
+            fns.sort_unstable();
+            fns.dedup();
+            if fns.len() < 2 {
+                continue;
+            }
+            for u in uses {
+                out.push(Finding {
+                    code: self.code(),
+                    path: u.path.clone(),
+                    line: u.line,
+                    col: u.col,
+                    message: format!(
+                        "journal fingerprint tag \"{tag}\" is shared by {} — journals \
+                         from different drivers must never be resume-compatible; give \
+                         each controlled driver its own tag",
+                        fns.join(" and ")
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// For the `fn` at code index `k`, returns `(code index past the
+/// signature, tokens index of the body `{`)`. Returns `None` for
+/// body-less declarations (trait methods).
+fn fn_body_open(ctx: &FileCtx<'_>, k: usize) -> Option<(usize, usize)> {
+    for j in k + 1..ctx.code.len() {
+        let t = &ctx.tokens[ctx.code[j]];
+        if t.is_punct('{') {
+            return Some((j, ctx.code[j]));
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Direct `fingerprint("tag", …)` calls between token indices
+/// `(open, close)`; returns `(tag, tokens index of the tag literal)`.
+fn direct_tags(ctx: &FileCtx<'_>, open: usize, close: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let idxs: Vec<usize> = ctx
+        .code
+        .iter()
+        .copied()
+        .filter(|&i| i > open && i < close)
+        .collect();
+    for (k, &i) in idxs.iter().enumerate() {
+        if !ctx.tokens[i].is_ident("fingerprint") {
+            continue;
+        }
+        let Some(&paren) = idxs.get(k + 1) else {
+            continue;
+        };
+        if !ctx.tokens[paren].is_punct('(') {
+            continue;
+        }
+        if let Some(&lit) = idxs.get(k + 2) {
+            let t = &ctx.tokens[lit];
+            if t.kind == TokenKind::StrLit && t.text.len() >= 2 {
+                out.push((t.text[1..t.text.len() - 1].to_string(), lit));
+            }
+        }
+    }
+    out
+}
+
+/// Names of called local helpers whose name contains `fingerprint`
+/// (excluding the bare `fingerprint` function itself).
+fn helper_calls(ctx: &FileCtx<'_>, open: usize, close: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let idxs: Vec<usize> = ctx
+        .code
+        .iter()
+        .copied()
+        .filter(|&i| i > open && i < close)
+        .collect();
+    for (k, &i) in idxs.iter().enumerate() {
+        let t = &ctx.tokens[i];
+        if t.kind == TokenKind::Ident
+            && t.text != "fingerprint"
+            && t.text.contains("fingerprint")
+            && idxs
+                .get(k + 1)
+                .is_some_and(|&j| ctx.tokens[j].is_punct('('))
+        {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Tags bound inside the body of local `fn helper(…)`.
+fn helper_tags(ctx: &FileCtx<'_>, helper: &str) -> Vec<(String, usize)> {
+    for (k, &i) in ctx.code.iter().enumerate() {
+        if !ctx.tokens[i].is_ident("fn") {
+            continue;
+        }
+        let Some(&name_i) = ctx.code.get(k + 1) else {
+            continue;
+        };
+        if !ctx.tokens[name_i].is_ident(helper) {
+            continue;
+        }
+        if let Some((_, body_open)) = fn_body_open(ctx, k) {
+            let body_close = matching_delim(ctx.tokens, body_open);
+            return direct_tags(ctx, body_open, body_close);
+        }
+    }
+    Vec::new()
+}

@@ -1,0 +1,56 @@
+//! Deterministic workspace walker: finds every `.rs` file under a root,
+//! in sorted order, skipping directories that are not project source.
+//!
+//! Skipped: `target/` (build output), `vendor/` (offline API-compatible
+//! subsets of external crates — not ours to lint), `.git/` and other
+//! dot-directories, and the linter's own `fixtures/` tree (its *bad*
+//! fixtures exist to violate the rules).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", ".git"];
+
+/// Collects every lintable `.rs` file under `root`, sorted by path.
+///
+/// # Errors
+///
+/// Propagates the first filesystem error encountered.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ft = entry.file_type()?;
+        if ft.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            if name == "fixtures" && dir.ends_with("crates/lint") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if ft.is_file() && name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Renders `path` relative to `root` with forward slashes — the path
+/// shape every rule's scoping patterns match against.
+#[must_use]
+pub fn display_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}

@@ -1,0 +1,46 @@
+//! Exit-code contract of the `bdlfi-lint` binary: 0 clean, 1 findings,
+//! 2 usage/I/O error — the shape the CI job keys off.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bdlfi-lint"))
+}
+
+#[test]
+fn check_on_the_workspace_exits_zero() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = bin().arg("check").arg(&root).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "expected clean workspace, got:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bdlfi-lint: clean"));
+}
+
+#[test]
+fn check_on_the_bad_fixtures_exits_one_with_codes() {
+    // Pointed directly at the fixture corpus the workspace walker skips,
+    // the path-insensitive rules all fire.
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let out = bin().arg("check").arg(&fixtures).output().expect("spawn");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for code in ["BD001", "BD002", "BD003", "BD004", "BD006"] {
+        assert!(stdout.contains(code), "expected {code} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn bad_usage_and_bad_paths_exit_two() {
+    let out = bin().output().expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .arg("check")
+        .arg("/nonexistent/bdlfi")
+        .output()
+        .expect("spawn");
+    assert_eq!(out.status.code(), Some(2));
+}

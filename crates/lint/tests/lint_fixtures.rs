@@ -1,0 +1,191 @@
+//! Fixture-driven acceptance tests for every rule: each `*_bad.rs` fixture
+//! trips exactly its rule (no more, no less), each `*_good.rs` fixture is
+//! clean, the allow escape hatch behaves, and — the acceptance criterion
+//! the CI job enforces from the outside — the workspace itself lints
+//! clean.
+//!
+//! Fixtures live in `crates/lint/fixtures/` (which the workspace walker
+//! deliberately skips) and are linted under *virtual* workspace-relative
+//! paths, because rule scoping is path-sensitive: BD001's bench exemption
+//! and BD005's engine/checkpoint scope both key off the path a file is
+//! presented under.
+
+use bdlfi_lint::{lint_source, lint_workspace, Finding};
+use std::path::{Path, PathBuf};
+
+/// Reads a fixture from `crates/lint/fixtures/`.
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lints a fixture under a virtual path and asserts every finding carries
+/// `code` (and that there is at least one).
+fn assert_trips(name: &str, virtual_path: &str, code: &str) -> Vec<Finding> {
+    let findings = lint_source(virtual_path, &fixture(name));
+    assert!(
+        !findings.is_empty(),
+        "{name} under {virtual_path}: expected {code} findings, got none"
+    );
+    for f in &findings {
+        assert_eq!(
+            f.code,
+            code,
+            "{name} under {virtual_path}: expected only {code}, got {}",
+            f.render()
+        );
+    }
+    findings
+}
+
+/// Lints a fixture under a virtual path and asserts it is clean.
+fn assert_clean(name: &str, virtual_path: &str) {
+    let findings = lint_source(virtual_path, &fixture(name));
+    assert!(
+        findings.is_empty(),
+        "{name} under {virtual_path}: expected clean, got:\n{}",
+        findings
+            .iter()
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+// ---- BD001: entropy sources ------------------------------------------
+
+#[test]
+fn bd001_bad_trips_only_bd001() {
+    let f = assert_trips("bd001_bad.rs", "crates/core/src/campaign.rs", "BD001");
+    assert!(f[0].render().contains("thread_rng"));
+}
+
+#[test]
+fn bd001_good_is_clean() {
+    assert_clean("bd001_good.rs", "crates/core/src/campaign.rs");
+}
+
+#[test]
+fn bd001_bad_is_legal_inside_bench() {
+    // The same entropy-reading source is sanctioned in crates/bench —
+    // wall-clock noise is the point of a benchmark harness.
+    assert_clean("bd001_bad.rs", "crates/bench/src/harness.rs");
+}
+
+// ---- BD002: additive seeds -------------------------------------------
+
+#[test]
+fn bd002_bad_trips_only_bd002() {
+    assert_trips("bd002_bad.rs", "crates/core/src/campaign.rs", "BD002");
+}
+
+#[test]
+fn bd002_good_lane_arithmetic_is_clean() {
+    assert_clean("bd002_good.rs", "crates/core/src/campaign.rs");
+}
+
+// ---- BD003: hash-order iteration -------------------------------------
+
+#[test]
+fn bd003_bad_trips_only_bd003() {
+    let f = assert_trips("bd003_bad.rs", "crates/core/src/report.rs", "BD003");
+    assert!(f[0].render().contains("hits"));
+}
+
+#[test]
+fn bd003_good_btreemap_and_keyed_lookups_are_clean() {
+    assert_clean("bd003_good.rs", "crates/core/src/report.rs");
+}
+
+// ---- BD004: SAFETY comments ------------------------------------------
+
+#[test]
+fn bd004_bad_trips_only_bd004() {
+    assert_trips("bd004_bad.rs", "crates/tensor/src/ops/simd.rs", "BD004");
+}
+
+#[test]
+fn bd004_good_multiline_safety_block_is_clean() {
+    assert_clean("bd004_good.rs", "crates/tensor/src/ops/simd.rs");
+}
+
+// ---- BD005: typed-error paths ----------------------------------------
+
+#[test]
+fn bd005_bad_trips_only_bd005() {
+    let f = assert_trips("bd005_bad.rs", "crates/core/src/engine.rs", "BD005");
+    // Both the unwrap and the panic! are reported.
+    assert!(f.len() >= 2, "expected unwrap + panic findings, got {f:?}");
+}
+
+#[test]
+fn bd005_good_typed_errors_and_test_unwraps_are_clean() {
+    assert_clean("bd005_good.rs", "crates/core/src/engine.rs");
+}
+
+#[test]
+fn bd005_scope_is_path_sensitive() {
+    // The very same unwrap/panic source is legal outside the policed
+    // engine/checkpoint/EvalSink paths.
+    assert_clean("bd005_bad.rs", "crates/nn/src/train.rs");
+}
+
+// ---- BD006: distinct fingerprints ------------------------------------
+
+#[test]
+fn bd006_bad_missing_tag_trips_only_bd006() {
+    let f = assert_trips("bd006_bad.rs", "crates/core/src/study.rs", "BD006");
+    assert!(f[0].render().contains("run_study_controlled"));
+}
+
+#[test]
+fn bd006_dup_bad_shared_tag_trips_only_bd006() {
+    let f = assert_trips("bd006_dup_bad.rs", "crates/core/src/study.rs", "BD006");
+    assert!(
+        f.iter().all(|x| x.render().contains("\"study\"")),
+        "findings should name the shared tag: {f:?}"
+    );
+}
+
+#[test]
+fn bd006_good_distinct_tags_and_helper_resolution_are_clean() {
+    assert_clean("bd006_good.rs", "crates/core/src/study.rs");
+}
+
+// ---- allow directive --------------------------------------------------
+
+#[test]
+fn allow_with_reason_waives_the_finding() {
+    assert_clean("allow_good.rs", "crates/core/src/campaign.rs");
+}
+
+#[test]
+fn allow_without_reason_is_inert_and_reported() {
+    let findings = lint_source("crates/core/src/campaign.rs", &fixture("allow_bad.rs"));
+    let mut codes: Vec<&str> = findings.iter().map(|f| f.code).collect();
+    codes.sort_unstable();
+    assert_eq!(codes, vec!["BD000", "BD001"], "got: {findings:?}");
+}
+
+// ---- the acceptance criterion, from the inside ------------------------
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let findings = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean; run `cargo run -p bdlfi-lint -- check .`:\n{}",
+        findings
+            .iter()
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

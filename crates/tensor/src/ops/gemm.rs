@@ -162,8 +162,14 @@ fn micro_kernel(
 ) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: the `avx2` check above guarantees the target feature is
-        // available on this CPU.
+        // SAFETY: calling a `#[target_feature(enable = "avx2")]` function
+        // is sound iff the CPU supports AVX2, and the runtime
+        // `is_x86_feature_detected!` check on the line above guarantees
+        // exactly that. Feature availability is the *only* proof
+        // obligation here: `micro_kernel_avx2` takes ordinary slices and
+        // its body is safe Rust (bounds-checked indexing, no raw
+        // pointers), so no aliasing, alignment or in-bounds reasoning is
+        // delegated to the caller.
         return unsafe { micro_kernel_avx2(kc, ap, bp, c, ldc, mr, nr) };
     }
     micro_kernel_body(kc, ap, bp, c, ldc, mr, nr);

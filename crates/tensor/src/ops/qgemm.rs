@@ -118,8 +118,13 @@ fn pack_b(dst: &mut [i8], b: &[i8], ldb: usize, row0: usize, kc: usize, col0: us
 fn micro_kernel(kc: usize, ap: &[i8], bp: &[i8], c: &mut [i32], ldc: usize, mr: usize, nr: usize) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: the `avx2` check above guarantees the target feature is
-        // available on this CPU.
+        // SAFETY: calling a `#[target_feature(enable = "avx2")]` function
+        // is sound iff the CPU supports AVX2, which the runtime
+        // `is_x86_feature_detected!` check on the line above guarantees.
+        // That is the only proof obligation: `micro_kernel_avx2` takes
+        // ordinary slices and its body is safe Rust (bounds-checked i8/i32
+        // indexing, no raw pointers), so no aliasing, alignment or
+        // in-bounds reasoning leaks to this call site.
         return unsafe { micro_kernel_avx2(kc, ap, bp, c, ldc, mr, nr) };
     }
     micro_kernel_body(kc, ap, bp, c, ldc, mr, nr);
