@@ -262,7 +262,8 @@ pub fn boundary_map_controlled(
         }
         spec
     });
-    let run_meta = engine.run_checkpointed(
+    let (delta_hits0, delta_fb0) = fm.delta_counters();
+    let mut run_meta = engine.run_checkpointed(
         cfg.fault_samples,
         || fm.clone(),
         |fm, ctx| {
@@ -273,6 +274,9 @@ pub fn boundary_map_controlled(
         ctl,
         ckpt.as_ref(),
     )?;
+    let (delta_hits1, delta_fb1) = fm.delta_counters();
+    run_meta.delta_hits = delta_hits1 - delta_hits0;
+    run_meta.delta_fallbacks = delta_fb1 - delta_fb0;
     let mismatch_counts = sink.counts;
 
     let error_prob: Vec<f64> = mismatch_counts

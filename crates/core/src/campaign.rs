@@ -488,7 +488,8 @@ pub fn run_campaign_controlled<W: FaultWorkload>(
         spec
     });
     let mut sink = CollectSink::new();
-    let meta = engine.run_checkpointed(
+    let (hits0, fb0) = fm.delta_counters();
+    let mut meta = engine.run_checkpointed(
         cfg.chains,
         || fm.clone(),
         |fm, ctx| {
@@ -500,6 +501,11 @@ pub fn run_campaign_controlled<W: FaultWorkload>(
         ctl,
         ckpt.as_ref(),
     )?;
+    // Chain clones share the workload's delta counters; the difference
+    // across the run is this campaign's sparse-delta accounting.
+    let (hits1, fb1) = fm.delta_counters();
+    meta.delta_hits = hits1 - hits0;
+    meta.delta_fallbacks = fb1 - fb0;
     Ok(assemble(fm, cfg, &sink.into_inner(), meta))
 }
 
@@ -575,6 +581,10 @@ pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
     // Worst-case segment count (criteria never certify): the budget in
     // full segments. Used as the `tasks` denominator for interrupts.
     let max_segments = max_samples_per_chain.div_ceil(cfg.chain.samples);
+    // Chain workers clone the workload and share its delta counters; the
+    // difference across the whole adaptive run is stamped into the final
+    // report's meta.
+    let (delta_hits0, delta_fb0) = fm.delta_counters();
 
     // Segment journals are open-ended (`tasks: 0`): the number of entries
     // depends on when the criteria certify.
@@ -701,6 +711,9 @@ pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
         if verdict.certified || recorded >= max_samples_per_chain {
             let mut meta = run_meta.unwrap_or_default();
             meta.resumed_from = resumed_from;
+            let (delta_hits1, delta_fb1) = fm.delta_counters();
+            meta.delta_hits = delta_hits1 - delta_hits0;
+            meta.delta_fallbacks = delta_fb1 - delta_fb0;
             let outcomes: Vec<ChainOutcome> = workers.iter().map(ChainWorker::snapshot).collect();
             return Ok(assemble(fm, cfg, &outcomes, meta));
         }

@@ -211,6 +211,11 @@ pub struct RunMeta {
     /// When the run resumed from a checkpoint journal: how many task
     /// results were replayed rather than recomputed.
     pub resumed_from: Option<usize>,
+    /// Evaluations served by the sparse-delta path during this run.
+    pub delta_hits: u64,
+    /// Evaluations routed to the exact fallback (incremental dense path)
+    /// during this run.
+    pub delta_fallbacks: u64,
 }
 
 // The vendored serde derive cannot mark struct fields optional, so RunMeta
@@ -234,6 +239,11 @@ impl Serialize for RunMeta {
                 "resumed_from".to_string(),
                 self.resumed_from.to_json_value(),
             ),
+            ("delta_hits".to_string(), self.delta_hits.to_json_value()),
+            (
+                "delta_fallbacks".to_string(),
+                self.delta_fallbacks.to_json_value(),
+            ),
         ])
     }
 }
@@ -250,11 +260,25 @@ impl Deserialize for RunMeta {
             tasks_per_sec: serde::from_field(entries, "tasks_per_sec", "RunMeta")?,
             seed: serde::from_field(entries, "seed", "RunMeta")?,
             resumed_from: serde::from_field(entries, "resumed_from", "RunMeta")?,
+            // Added after reports already existed in the wild: absent means
+            // the producing run predates the sparse-delta path.
+            delta_hits: opt_counter(entries, "delta_hits")?,
+            delta_fallbacks: opt_counter(entries, "delta_fallbacks")?,
         })
     }
 
     fn missing_field_default() -> Option<Self> {
         Some(RunMeta::default())
+    }
+}
+
+/// Reads a counter field that older reports do not carry: absent means 0.
+/// (The vendored serde errors on missing non-`Option` fields, so the
+/// back-compat default has to live here.)
+fn opt_counter(entries: &[(String, serde::Value)], name: &str) -> Result<u64, serde::DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => u64::from_json_value(v),
+        None => Ok(0),
     }
 }
 
@@ -277,6 +301,8 @@ impl RunMeta {
             },
             seed: self.seed,
             resumed_from: self.resumed_from.or(later.resumed_from),
+            delta_hits: self.delta_hits + later.delta_hits,
+            delta_fallbacks: self.delta_fallbacks + later.delta_fallbacks,
         }
     }
 }
@@ -789,6 +815,8 @@ impl EvalEngine {
             },
             seed: self.seed,
             resumed_from: None,
+            delta_hits: 0,
+            delta_fallbacks: 0,
         }
     }
 }
@@ -1065,6 +1093,8 @@ mod tests {
             tasks_per_sec: 4.0,
             seed: 3,
             resumed_from: Some(2),
+            delta_hits: 7,
+            delta_fallbacks: 1,
         };
         let back = RunMeta::from_json_value(&meta.to_json_value()).unwrap();
         assert_eq!(back, meta);
@@ -1076,10 +1106,11 @@ mod tests {
             ("tasks_per_sec".to_string(), 4.0f64.to_json_value()),
             ("seed".to_string(), 3u64.to_json_value()),
         ]);
-        assert_eq!(
-            RunMeta::from_json_value(&legacy).unwrap().resumed_from,
-            None
-        );
+        let from_legacy = RunMeta::from_json_value(&legacy).unwrap();
+        assert_eq!(from_legacy.resumed_from, None);
+        // Counter fields added later default to zero on legacy reports.
+        assert_eq!(from_legacy.delta_hits, 0);
+        assert_eq!(from_legacy.delta_fallbacks, 0);
     }
 
     #[test]

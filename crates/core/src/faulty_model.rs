@@ -7,6 +7,7 @@
 //! error against labels (Figs. 2–4) and prediction mismatch against the
 //! golden run (the Fig. 1 ③ boundary map).
 
+use crate::delta::{forward_delta_f32, DeltaStats, DENSIFY_THRESHOLD};
 use bdlfi_data::Dataset;
 use bdlfi_faults::{resolve_sites, FaultConfig, FaultModel, ResolvedSites, SiteSpec};
 use bdlfi_nn::{predict_batched, PrefixCache, Sequential};
@@ -34,6 +35,14 @@ pub struct FaultyModel {
     /// dirty layer. `None` only when transient (activation/input) sites are
     /// configured, which force full re-runs anyway.
     prefix: Option<Arc<PrefixCache>>,
+    /// Sparse-delta hit/fallback counters, shared across clones so a
+    /// campaign's workers aggregate into one pair drivers can stamp into
+    /// [`crate::engine::RunMeta`].
+    delta_stats: Arc<DeltaStats>,
+    /// Gate for the sparse-delta path; `true` by default. Disable to force
+    /// every evaluation through the incremental dense path (equivalence
+    /// tests diff the two).
+    delta_enabled: bool,
 }
 
 impl std::fmt::Debug for FaultyModel {
@@ -94,7 +103,22 @@ impl FaultyModel {
             golden_preds,
             golden_error,
             prefix,
+            delta_stats: Arc::new(DeltaStats::default()),
+            delta_enabled: true,
         }
+    }
+
+    /// Enables or disables the sparse-delta path (on by default). With it
+    /// off, every evaluation takes the incremental dense path; results are
+    /// bit-identical either way.
+    pub fn set_delta_enabled(&mut self, enabled: bool) {
+        self.delta_enabled = enabled;
+    }
+
+    /// `(hits, fallbacks)` of the sparse-delta path, aggregated across all
+    /// clones of this model (chains share the counters).
+    pub fn delta_counters(&self) -> (u64, u64) {
+        self.delta_stats.counters()
     }
 
     /// The resolved parameter injection sites.
@@ -145,21 +169,49 @@ impl FaultyModel {
     /// activation sites are configured) are freshly sampled per forward
     /// pass — transient faults do not persist across inferences.
     ///
-    /// When only parameter sites are configured, inference resumes from
-    /// the golden prefix-activation cache at `cfg`'s first dirty layer
-    /// instead of re-running the whole network — bit-identical to the cold
-    /// run, but costing only the dirty suffix. Transient (activation or
-    /// input) sites force the full tapped pass.
+    /// When only parameter sites are configured, inference first tries the
+    /// sparse-delta path (recompute the touched columns, propagate only the
+    /// deviating rows — see [`crate::delta`]), falling back to resuming
+    /// from the golden prefix-activation cache at `cfg`'s first dirty
+    /// layer when the configuration is not column-confined. Both paths are
+    /// bit-identical to the cold run. Transient (activation or input)
+    /// sites force the full tapped pass.
     pub fn eval_logits(&mut self, cfg: &FaultConfig, rng: &mut dyn Rng) -> Tensor {
         if let Some(prefix) = &self.prefix {
             let prefix = Arc::clone(prefix);
-            let start = cfg
-                .first_dirty_layer(&self.model)
-                .unwrap_or_else(|| self.model.len());
             cfg.apply(&mut self.model);
-            let logits = prefix.predict_from(&mut self.model, start);
+            // Sparse-delta first: column-confined configurations recompute
+            // only the touched columns plus the surviving dirty rows. A
+            // `None` means the planner refused (not column-confined) and
+            // the exact incremental suffix path runs instead; both are
+            // bit-identical to a cold dense pass.
+            let logits = if self.delta_enabled {
+                forward_delta_f32(&mut self.model, &prefix, cfg, DENSIFY_THRESHOLD)
+            } else {
+                None
+            };
+            let logits = match logits {
+                Some(l) => {
+                    self.delta_stats.record_hit();
+                    l
+                }
+                None => {
+                    if self.delta_enabled {
+                        self.delta_stats.record_fallback();
+                    }
+                    let start = cfg
+                        .first_dirty_layer(&self.model)
+                        .unwrap_or_else(|| self.model.len());
+                    prefix.predict_from(&mut self.model, start)
+                }
+            };
             cfg.apply(&mut self.model);
             return logits;
+        }
+        // Transient sites: no reusable prefix, so the delta path can never
+        // fire — count the forced full pass as a fallback.
+        if self.delta_enabled {
+            self.delta_stats.record_fallback();
         }
 
         let activations = &self.sites.activations;

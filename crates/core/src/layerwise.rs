@@ -204,6 +204,15 @@ pub fn run_layerwise_controlled(
     let errors: Vec<f64> = results.iter().map(|r| r.report.mean_error).collect();
     let depth_correlation = spearman(&depths, &errors);
 
+    // Roll the per-layer campaigns' sparse-delta accounting up into the
+    // outer meta so the study-level report shows the aggregate hit rate.
+    let mut run_meta = run_meta;
+    run_meta.delta_hits = results.iter().map(|r| r.report.run_meta.delta_hits).sum();
+    run_meta.delta_fallbacks = results
+        .iter()
+        .map(|r| r.report.run_meta.delta_fallbacks)
+        .sum();
+
     Ok(LayerwiseResult {
         layers: results,
         golden_error,
@@ -321,6 +330,15 @@ pub fn run_layerwise_quant_controlled(
     let depths: Vec<f64> = results.iter().map(|r| r.depth as f64).collect();
     let errors: Vec<f64> = results.iter().map(|r| r.report.mean_error).collect();
     let depth_correlation = spearman(&depths, &errors);
+
+    // Roll the per-layer campaigns' sparse-delta accounting up into the
+    // outer meta so the study-level report shows the aggregate hit rate.
+    let mut run_meta = run_meta;
+    run_meta.delta_hits = results.iter().map(|r| r.report.run_meta.delta_hits).sum();
+    run_meta.delta_fallbacks = results
+        .iter()
+        .map(|r| r.report.run_meta.delta_fallbacks)
+        .sum();
 
     Ok(LayerwiseResult {
         layers: results,

@@ -70,6 +70,7 @@ mod boundary;
 mod campaign;
 pub mod checkpoint;
 mod completeness;
+mod delta;
 pub mod engine;
 mod faulty_model;
 pub mod formal;
@@ -94,6 +95,7 @@ pub use checkpoint::{fingerprint, CheckpointError, CheckpointHeader, CheckpointW
 pub use completeness::{
     assess, assess_slices, samples_to_certify, CompletenessCriteria, CompletenessReport,
 };
+pub use delta::{forward_delta_f32, forward_delta_quant, DeltaStats, DENSIFY_THRESHOLD};
 pub use engine::{
     CheckpointSpec, CollectSink, EngineError, EvalEngine, EvalSink, RunControl, RunMeta, TaskCtx,
 };

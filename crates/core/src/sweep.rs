@@ -164,6 +164,14 @@ pub fn run_sweep_controlled(
     let mut points = sink.into_inner();
     points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
     let golden_error = points[0].report.golden_error;
+    // Roll the per-point campaigns' sparse-delta accounting up into the
+    // sweep-level meta.
+    let mut run_meta = run_meta;
+    run_meta.delta_hits = points.iter().map(|s| s.report.run_meta.delta_hits).sum();
+    run_meta.delta_fallbacks = points
+        .iter()
+        .map(|s| s.report.run_meta.delta_fallbacks)
+        .sum();
     Ok(SweepResult {
         points,
         golden_error,
@@ -249,6 +257,14 @@ pub fn run_sweep_quant_controlled(
     let mut points = sink.into_inner();
     points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
     let golden_error = points[0].report.golden_error;
+    // Roll the per-point campaigns' sparse-delta accounting up into the
+    // sweep-level meta.
+    let mut run_meta = run_meta;
+    run_meta.delta_hits = points.iter().map(|s| s.report.run_meta.delta_hits).sum();
+    run_meta.delta_fallbacks = points
+        .iter()
+        .map(|s| s.report.run_meta.delta_fallbacks)
+        .sum();
     Ok(SweepResult {
         points,
         golden_error,

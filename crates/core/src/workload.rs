@@ -9,6 +9,7 @@
 //! [`QuantFaultyModel`] — the quantized-deployment workload of the paper's
 //! "memory units storing NN parameters" fault model.
 
+use crate::delta::{forward_delta_quant, DeltaStats, DENSIFY_THRESHOLD};
 use crate::FaultyModel;
 use bdlfi_data::Dataset;
 use bdlfi_faults::{FaultConfig, FaultModel, ResolvedSites, SiteSpec};
@@ -53,6 +54,14 @@ pub trait FaultWorkload: Clone + Send + Sync {
         cfg.log_prob(&self.sites().params, self.fault_model().as_ref())
             .expect("fault model must define a density for MCMC targets")
     }
+
+    /// `(hits, fallbacks)` of the sparse-delta evaluation path, aggregated
+    /// across every clone of this workload. Workloads without a delta path
+    /// report `(0, 0)`; drivers stamp the per-run difference into
+    /// [`crate::engine::RunMeta`].
+    fn delta_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 impl FaultWorkload for FaultyModel {
@@ -70,6 +79,10 @@ impl FaultWorkload for FaultyModel {
 
     fn eval_error(&mut self, cfg: &FaultConfig, rng: &mut dyn Rng) -> f64 {
         FaultyModel::eval_error(self, cfg, rng)
+    }
+
+    fn delta_counters(&self) -> (u64, u64) {
+        FaultyModel::delta_counters(self)
     }
 }
 
@@ -92,6 +105,8 @@ pub struct QuantFaultyModel {
     golden_preds: Arc<Vec<usize>>,
     golden_error: f64,
     prefix: Arc<QPrefixCache>,
+    delta_stats: Arc<DeltaStats>,
+    delta_enabled: bool,
 }
 
 impl std::fmt::Debug for QuantFaultyModel {
@@ -139,7 +154,22 @@ impl QuantFaultyModel {
             golden_preds,
             golden_error,
             prefix: Arc::new(prefix),
+            delta_stats: Arc::new(DeltaStats::default()),
+            delta_enabled: true,
         }
+    }
+
+    /// Enables or disables the sparse-delta path (on by default). With it
+    /// off, every evaluation takes the incremental dense path; results are
+    /// bit-identical either way.
+    pub fn set_delta_enabled(&mut self, enabled: bool) {
+        self.delta_enabled = enabled;
+    }
+
+    /// `(hits, fallbacks)` of the sparse-delta path, aggregated across all
+    /// clones of this workload (chains share the counters).
+    pub fn delta_counters(&self) -> (u64, u64) {
+        self.delta_stats.counters()
     }
 
     /// The resolved (representation-tagged) injection sites.
@@ -173,15 +203,35 @@ impl QuantFaultyModel {
     }
 
     /// Evaluates the faulted quantized network's logits over the whole
-    /// evaluation set, resuming from the golden prefix cache at the
-    /// configuration's first dirty stage. Bit-identical to a cold run.
+    /// evaluation set: first through the sparse-delta path (recompute the
+    /// touched columns, propagate only the deviating rows — see
+    /// [`crate::delta`]), falling back to resuming from the golden prefix
+    /// cache at the configuration's first dirty stage when the faults are
+    /// not column-confined. Both paths are bit-identical to a cold run.
     pub fn eval_logits(&mut self, cfg: &FaultConfig) -> Tensor {
-        let start = self
-            .model
-            .first_dirty_op(cfg)
-            .unwrap_or_else(|| self.model.len());
+        let prefix = Arc::clone(&self.prefix);
         self.model.apply(cfg);
-        let logits = self.prefix.predict_from(&mut self.model, start);
+        let logits = if self.delta_enabled {
+            forward_delta_quant(&mut self.model, &prefix, cfg, DENSIFY_THRESHOLD)
+        } else {
+            None
+        };
+        let logits = match logits {
+            Some(l) => {
+                self.delta_stats.record_hit();
+                l
+            }
+            None => {
+                if self.delta_enabled {
+                    self.delta_stats.record_fallback();
+                }
+                let start = self
+                    .model
+                    .first_dirty_op(cfg)
+                    .unwrap_or_else(|| self.model.len());
+                prefix.predict_from(&mut self.model, start)
+            }
+        };
         self.model.apply(cfg);
         logits
     }
@@ -219,6 +269,10 @@ impl FaultWorkload for QuantFaultyModel {
 
     fn eval_error(&mut self, cfg: &FaultConfig, _rng: &mut dyn Rng) -> f64 {
         QuantFaultyModel::eval_error(self, cfg)
+    }
+
+    fn delta_counters(&self) -> (u64, u64) {
+        QuantFaultyModel::delta_counters(self)
     }
 }
 

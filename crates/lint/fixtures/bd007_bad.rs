@@ -1,0 +1,19 @@
+// Fixture: two ways the delta path can silently go approximate — a
+// delta routine whose signature cannot refuse, and a caller with no
+// exact fallback in reach. Must trip BD007 (twice) and nothing else.
+
+/// A delta routine that always claims success: saturation, conv fan-out,
+/// and requant cases have no way to refuse, so it ships approximate
+/// logits for them.
+pub fn forward_delta_blocks(model: &mut Sequential, cache: &PrefixCache) -> Tensor {
+    propagate(model, cache)
+}
+
+/// A caller that trusts the delta path unconditionally: when the routine
+/// refuses, there is no predict_from/forward_from route to exact logits.
+pub fn eval_sparse(model: &mut Sequential, cache: &PrefixCache, cfg: &FaultConfig) -> Tensor {
+    match forward_delta_f32(model, cache, cfg, 0.75) {
+        Some(out) => out,
+        None => cache.golden_logits().clone(),
+    }
+}

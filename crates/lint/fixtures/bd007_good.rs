@@ -1,0 +1,16 @@
+// Fixture: the sanctioned shape — the delta routine returns Option so it
+// can refuse, and its caller routes every refusal through the exact
+// incremental path. Must lint clean.
+
+/// Refuses (None) on saturation, conv fan-out, and requant cases.
+pub fn forward_delta_blocks(model: &mut Sequential, cache: &PrefixCache) -> Option<Tensor> {
+    propagate(model, cache)
+}
+
+/// Falls back to the exact incremental path whenever the delta refuses.
+pub fn eval_sparse(model: &mut Sequential, cache: &PrefixCache, cfg: &FaultConfig) -> Tensor {
+    match forward_delta_f32(model, cache, cfg, 0.75) {
+        Some(out) => out,
+        None => cache.predict_from(model, 0),
+    }
+}

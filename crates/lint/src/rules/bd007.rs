@@ -1,0 +1,159 @@
+//! BD007 — the sparse-delta fast path must never silently go
+//! approximate.
+//!
+//! `forward_delta_*` routines are bit-exactness-critical: campaigns trust
+//! them to either produce logits bit-identical to a dense re-inference or
+//! to *refuse* (return `None`) so the caller falls back to the exact
+//! incremental path. Two ways that contract can rot are flagged:
+//!
+//! * a production `forward_delta*` function whose signature cannot refuse
+//!   — no `Option` in its return type means every input is claimed
+//!   exact, including the saturation/conv/requant cases the delta
+//!   algebra cannot handle;
+//! * a production caller of a `forward_delta*` function whose body never
+//!   references an exact fallback (`predict_from` / `forward_from`) —
+//!   when the delta path refuses, such a caller has nothing sound to
+//!   fall back to and will either panic or ship a partial result.
+//!
+//! `forward_delta*` functions themselves are exempt from the second
+//! check: a wrapper that delegates to another delta routine propagates
+//! `None` to *its* caller, which is where the fallback belongs.
+
+use super::{matching_delim, FileCtx, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// See module docs.
+pub struct ExactDeltaFallback;
+
+impl Rule for ExactDeltaFallback {
+    fn code(&self) -> &'static str {
+        "BD007"
+    }
+
+    fn name(&self) -> &'static str {
+        "delta-exact-fallback-guard"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            if !ctx.tokens[i].is_ident("fn") || ctx.in_test(i) {
+                continue;
+            }
+            let Some(&name_i) = ctx.code.get(k + 1) else {
+                continue;
+            };
+            let name_tok = &ctx.tokens[name_i];
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let is_delta_fn = name_tok.text.starts_with("forward_delta");
+            if is_delta_fn && !signature_returns_option(ctx, k) {
+                out.push(ctx.finding(
+                    self.code(),
+                    name_i,
+                    format!(
+                        "`{}` cannot refuse: a delta-path routine must return \
+                         Option<…> so saturation, conv fan-out, and requant \
+                         cases fall back to the exact dense path instead of \
+                         shipping approximate logits",
+                        name_tok.text
+                    ),
+                ));
+            }
+            if is_delta_fn {
+                continue;
+            }
+            let Some((_, body_open)) = fn_body_open(ctx, k) else {
+                continue;
+            };
+            let body_close = matching_delim(ctx.tokens, body_open);
+            let body: Vec<usize> = ctx
+                .code
+                .iter()
+                .copied()
+                .filter(|&t| t > body_open && t < body_close)
+                .collect();
+            let Some(call_i) = first_delta_call(ctx, &body) else {
+                continue;
+            };
+            let guarded = body.iter().any(|&t| {
+                ctx.tokens[t].is_ident("predict_from") || ctx.tokens[t].is_ident("forward_from")
+            });
+            if !guarded {
+                out.push(ctx.finding(
+                    self.code(),
+                    call_i,
+                    format!(
+                        "`{}` calls `{}` but never references an exact fallback \
+                         (predict_from / forward_from): when the delta path \
+                         refuses, this caller has no bit-exact route to the \
+                         logits",
+                        name_tok.text, ctx.tokens[call_i].text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Whether the `fn` starting at code index `k` declares `-> … Option … `
+/// before its body `{` (or `;` for body-less declarations).
+fn signature_returns_option(ctx: &FileCtx<'_>, k: usize) -> bool {
+    let mut seen_arrow = false;
+    for j in k + 2..ctx.code.len() {
+        let t = &ctx.tokens[ctx.code[j]];
+        if t.is_punct('{') || t.is_punct(';') {
+            return false;
+        }
+        if !seen_arrow {
+            seen_arrow = t.is_punct('-')
+                && ctx
+                    .code
+                    .get(j + 1)
+                    .is_some_and(|&n| ctx.tokens[n].is_punct('>'));
+            continue;
+        }
+        if t.is_ident("Option") {
+            return true;
+        }
+    }
+    false
+}
+
+/// First `forward_delta*(…)` call site among the body's code-token
+/// indices, excluding nested `fn forward_delta*` definitions.
+fn first_delta_call(ctx: &FileCtx<'_>, body: &[usize]) -> Option<usize> {
+    for (k, &i) in body.iter().enumerate() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident || !t.text.starts_with("forward_delta") {
+            continue;
+        }
+        let called = body
+            .get(k + 1)
+            .is_some_and(|&n| ctx.tokens[n].is_punct('('));
+        let defined = k > 0 && ctx.tokens[body[k - 1]].is_ident("fn");
+        if called && !defined {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// For the `fn` at code index `k`, returns `(code index of the body `{`,
+/// tokens index of the body `{`)`. Returns `None` for body-less
+/// declarations (trait methods).
+fn fn_body_open(ctx: &FileCtx<'_>, k: usize) -> Option<(usize, usize)> {
+    for j in k + 1..ctx.code.len() {
+        let t = &ctx.tokens[ctx.code[j]];
+        if t.is_punct('{') {
+            return Some((j, ctx.code[j]));
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}

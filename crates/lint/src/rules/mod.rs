@@ -18,6 +18,7 @@ mod bd003;
 mod bd004;
 mod bd005;
 mod bd006;
+mod bd007;
 
 pub use bd001::EntropySources;
 pub use bd002::AdditiveSeeds;
@@ -25,6 +26,7 @@ pub use bd003::UnorderedIteration;
 pub use bd004::UnsafeNeedsSafety;
 pub use bd005::PanicFreePaths;
 pub use bd006::DistinctFingerprints;
+pub use bd007::ExactDeltaFallback;
 
 /// Everything a rule may inspect about one file.
 pub struct FileCtx<'a> {
@@ -84,6 +86,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(UnsafeNeedsSafety),
         Box::new(PanicFreePaths),
         Box::new(DistinctFingerprints::default()),
+        Box::new(ExactDeltaFallback),
     ]
 }
 

@@ -155,6 +155,28 @@ fn bd006_good_distinct_tags_and_helper_resolution_are_clean() {
     assert_clean("bd006_good.rs", "crates/core/src/study.rs");
 }
 
+// ---- BD007: delta exact-fallback guard --------------------------------
+
+#[test]
+fn bd007_bad_trips_only_bd007() {
+    let f = assert_trips("bd007_bad.rs", "crates/core/src/delta.rs", "BD007");
+    assert_eq!(f.len(), 2, "one per failure mode: {f:?}");
+    assert!(f[0].render().contains("forward_delta_blocks"));
+    assert!(f[1].render().contains("eval_sparse"));
+}
+
+#[test]
+fn bd007_good_is_clean() {
+    assert_clean("bd007_good.rs", "crates/core/src/delta.rs");
+}
+
+#[test]
+fn bd007_bad_is_ignored_in_test_code() {
+    // The same shapes are legal in integration tests, which routinely
+    // call the delta path directly to compare it against dense logits.
+    assert_clean("bd007_bad.rs", "tests/delta_equivalence.rs");
+}
+
 // ---- allow directive --------------------------------------------------
 
 #[test]

@@ -146,6 +146,27 @@ impl PrefixCache {
         self.examples
     }
 
+    /// Number of logit columns of the cached model.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of cached batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The golden boundary activation feeding top-level layer `l` of batch
+    /// `b` (`l == 0` is the batch input; `l == layers` the golden logits) —
+    /// read access for the sparse-delta evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `l` is out of range.
+    pub fn boundary(&self, b: usize, l: usize) -> &Tensor {
+        &self.batches[b][l]
+    }
+
     /// The golden logits over the whole evaluation set, assembled from the
     /// cached final boundaries without touching the model.
     pub fn golden_logits(&self) -> Tensor {

@@ -68,6 +68,43 @@ impl Dense {
     pub fn bias(&self) -> &Tensor {
         &self.bias.value
     }
+
+    /// Recomputes only the output columns `cols` of `y = x · W + b`,
+    /// returning an `(n, cols.len())` tensor whose column `c` is
+    /// bit-identical to column `cols[c]` of a full [`Layer::forward`] on
+    /// the same input.
+    ///
+    /// This is the sparse-delta evaluator's building block: a fault
+    /// confined to weight column `j` (or bias element `j`) perturbs only
+    /// output column `j`, so the faulty layer output is the golden output
+    /// with the touched columns recomputed. Bit-identity holds because the
+    /// blocked GEMM reduces every output element over `k` in a fixed order
+    /// that does not depend on which rows or columns share a call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches or a column index is out of
+    /// range.
+    pub fn forward_cols(&self, input: &Tensor, cols: &[usize]) -> Tensor {
+        assert_eq!(input.rank(), 2, "dense expects a (batch, features) input");
+        let (in_dim, out_dim) = (self.in_dim(), self.out_dim());
+        assert_eq!(input.dim(1), in_dim, "dense input width mismatch");
+        assert!(
+            cols.iter().all(|&c| c < out_dim),
+            "column index out of range"
+        );
+        let w = self.weight.value.data();
+        let mut wsub = Vec::with_capacity(in_dim * cols.len());
+        for r in 0..in_dim {
+            let row = &w[r * out_dim..(r + 1) * out_dim];
+            wsub.extend(cols.iter().map(|&c| row[c]));
+        }
+        let b = self.bias.value.data();
+        let bsub: Vec<f32> = cols.iter().map(|&c| b[c]).collect();
+        input
+            .matmul(&Tensor::from_vec(wsub, [in_dim, cols.len()]))
+            .add_row_broadcast(&Tensor::from_vec(bsub, [cols.len()]))
+    }
 }
 
 impl Layer for Dense {
@@ -216,6 +253,28 @@ mod tests {
     #[should_panic(expected = "input width")]
     fn forward_rejects_wrong_width() {
         fixed_dense().forward(&Tensor::zeros([1, 5]), &mut ForwardCtx::new(Mode::Eval));
+    }
+
+    #[test]
+    fn forward_cols_is_bitwise_identical_to_full_forward() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Wide enough to span several GEMM column panels.
+        let mut d = Dense::new(33, 70, &mut rng);
+        let x = Tensor::rand_normal([19, 33], 0.0, 1.0, &mut rng);
+        let full = d.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        for cols in [vec![0usize], vec![69], vec![3, 17, 64], (0..70).collect()] {
+            let sub = d.forward_cols(&x, &cols);
+            assert_eq!(sub.dims(), &[19, cols.len()]);
+            for i in 0..19 {
+                for (c, &col) in cols.iter().enumerate() {
+                    assert_eq!(
+                        sub.data()[i * cols.len() + c].to_bits(),
+                        full.data()[i * 70 + col].to_bits(),
+                        "row {i} col {col}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

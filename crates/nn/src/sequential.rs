@@ -162,6 +162,23 @@ impl Sequential {
         x
     }
 
+    /// Runs exactly one top-level layer on `input` — the per-layer building
+    /// block the sparse-delta evaluator steps with. Shares the loop body of
+    /// [`Sequential::forward_from`] (same push/fire discipline), so a chain
+    /// of `forward_one` calls is bit-identical to the fused pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn forward_one(&mut self, i: usize, input: &Tensor, ctx: &mut ForwardCtx) -> Tensor {
+        let (name, layer) = &mut self.layers[i];
+        ctx.push(name);
+        let mut y = layer.forward(input, ctx);
+        ctx.fire(&mut y);
+        ctx.pop();
+        y
+    }
+
     /// Eval-mode forward pass that fires `tap` after every layer (including
     /// nested children) — the activation fault-injection hook.
     pub fn predict_with_tap(

@@ -178,6 +178,29 @@ impl QuantModel {
         x
     }
 
+    /// The stage at index `i` as `(name, op)` — read access for structural
+    /// walkers (e.g. the sparse-delta planner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn op_at(&self, i: usize) -> (&str, &QOp) {
+        let (name, op) = &self.ops[i];
+        (name.as_str(), op)
+    }
+
+    /// Runs exactly one stage on `input` — the per-stage building block the
+    /// sparse-delta evaluator steps with. Bit-identical to that stage's
+    /// step inside [`QuantModel::forward_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn forward_one(&mut self, i: usize, input: &Tensor) -> Tensor {
+        let (_, op) = &mut self.ops[i];
+        op.forward(input)
+    }
+
     /// Batched inference over `inputs` in chunks of `batch_size`,
     /// concatenating the logits — the quantized twin of
     /// [`bdlfi_nn::predict_all`].
@@ -407,6 +430,27 @@ impl QPrefixCache {
     /// Number of cached evaluation examples.
     pub fn examples(&self) -> usize {
         self.examples
+    }
+
+    /// Number of logit columns of the cached model.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of cached batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// The golden boundary tensor feeding stage `l` of batch `b` (`l == 0`
+    /// is the batch input; `l == stages` the golden logits) — read access
+    /// for the sparse-delta evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `l` is out of range.
+    pub fn boundary(&self, b: usize, l: usize) -> &Tensor {
+        &self.batches[b][l]
     }
 
     /// The golden logits over the whole evaluation set.

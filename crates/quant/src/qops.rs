@@ -152,6 +152,68 @@ impl QDense {
         Tensor::from_vec(y, [n, out])
     }
 
+    /// Output width (weight columns).
+    pub fn out_dim(&self) -> usize {
+        self.weight.dim(1)
+    }
+
+    /// Recomputes only the output columns `cols` of the integer forward
+    /// pass, returning an `(n, cols.len())` tensor whose column `c` is
+    /// bit-identical to column `cols[c]` of [`QDense::forward`] on the same
+    /// input — the int8 twin of `Dense::forward_cols`.
+    ///
+    /// Exactness is structural here: integer accumulation is associative,
+    /// the zero-point column sum and bias are per-column, and the
+    /// requantize/dequantize chain is per-element, so a weight byte or
+    /// bias word fault perturbs exactly one output column. (Faults on
+    /// `w_scale` or `out_zp` reach every column through the shared
+    /// requantizer — callers must fall back to the full pass for those.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width mismatches or a column index is out of
+    /// range.
+    pub fn forward_cols(&self, input: &Tensor, cols: &[usize]) -> Tensor {
+        let n = input.dim(0);
+        let k = self.weight.dim(0);
+        let out = self.weight.dim(1);
+        assert_eq!(input.dim(1), k, "qdense input width mismatch");
+        assert!(cols.iter().all(|&c| c < out), "column index out of range");
+
+        let qx: Vec<i8> = input
+            .data()
+            .iter()
+            .map(|&v| self.in_qp.quantize(v))
+            .collect();
+        let m = cols.len();
+        let w = self.weight.data();
+        let mut wsub = Vec::with_capacity(k * m);
+        for r in 0..k {
+            let row = &w[r * out..(r + 1) * out];
+            wsub.extend(cols.iter().map(|&c| row[c]));
+        }
+        let mut acc = vec![0i32; n * m];
+        qgemm(n, m, k, &qx, &wsub, &mut acc);
+
+        let mut colsum = vec![0i64; m];
+        for row in wsub.chunks_exact(m) {
+            for (cs, &w) in colsum.iter_mut().zip(row) {
+                *cs += w as i64;
+            }
+        }
+        let requant = Requant::from_scales(self.in_qp.scale, self.w_scale, self.out_qp.scale);
+        let zp_in = self.in_qp.zero_point as i64;
+        let zp_out = self.out_qp.zero_point;
+        let mut y = Vec::with_capacity(n * m);
+        for i in 0..n {
+            for (j, &c) in cols.iter().enumerate() {
+                let a = acc[i * m + j] as i64 - zp_in * colsum[j] + self.bias.data()[c] as i64;
+                y.push(dequant_acc(&requant, a, zp_out, self.out_qp.scale));
+            }
+        }
+        Tensor::from_vec(y, [n, m])
+    }
+
     fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
         f(&join(path, "weight"), Repr::I8, self.weight.len());
         f(&join(path, "bias"), Repr::I32Accum, self.bias.len());
@@ -457,6 +519,17 @@ impl QOp {
             QOp::Block(_) => "qblock",
             QOp::Identity => "identity",
             QOp::Float(_) => "float",
+        }
+    }
+
+    /// The stage as a quantized dense layer, when it is one — the only
+    /// stage kind the sparse-delta evaluator handles natively (every other
+    /// kind fans a single-site fault out across channels, so callers fall
+    /// back to the exact full pass).
+    pub fn as_dense(&self) -> Option<&QDense> {
+        match self {
+            QOp::Dense(d) => Some(d),
+            _ => None,
         }
     }
 
