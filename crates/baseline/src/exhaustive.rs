@@ -499,9 +499,9 @@ mod tests {
             prefix: "fc2".into(),
         };
         let serial = run_exhaustive_quant_with(&qm, &eval, &spec, 1);
-        // fc2: 4*2 i8 weights * 8 + 2 i32 biases * 32 + w_scale * 32
-        // + out_zp * 32 = 64 + 64 + 32 + 32 = 192 injections.
-        assert_eq!(serial.injections, 192);
+        // fc2: 4*2 i8 weights * 8 + 2 i32 biases * 32 + 2 per-channel
+        // w_scales * 32 + out_zp * 32 = 64 + 64 + 64 + 32 = 224 injections.
+        assert_eq!(serial.injections, 224);
         let parallel = run_exhaustive_quant_with(&qm, &eval, &spec, 4);
         assert_eq!(serial.sdc.successes, parallel.sdc.successes);
         assert_eq!(serial.mean_error, parallel.mean_error);

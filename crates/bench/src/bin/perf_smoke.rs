@@ -29,7 +29,11 @@
 //!    campaign in f32 (`FaultyModel`) and int8 (`QuantFaultyModel`) on
 //!    identical configs, comparing campaign throughput and asserting the
 //!    int8 report is bit-identical at `workers: 1` and at full
-//!    parallelism (`perf_smoke --quant` runs just this scenario).
+//!    parallelism (`perf_smoke --quant` runs just this scenario). The
+//!    report records which micro-kernel the selector resolved; when that
+//!    is the AVX2 maddubs kernel, int8 throughput must be at least 1.0×
+//!    f32 (recorded-only on hosts without AVX2 or under a forced
+//!    `BDLFI_KERNEL`).
 //!
 //! Run with `cargo run --release -p bdlfi-bench --bin perf_smoke`.
 //!
@@ -115,6 +119,10 @@ struct QuantReport {
     int8_samples_per_sec: f64,
     int8_relative_throughput: f64,
     int8_worker_invariant: bool,
+    /// The micro-kernel variant the selector resolves for the campaign's
+    /// blocked int8 hidden-layer shape (honors `BDLFI_KERNEL`).
+    kernel_variant: String,
+    avx2_detected: bool,
 }
 
 #[derive(Serialize)]
@@ -356,7 +364,7 @@ fn normalized_report_bytes(report: &CampaignReport) -> String {
 
 fn quant_bench() -> QuantReport {
     let mut rng = StdRng::seed_from_u64(2);
-    let hidden = [32usize; 4];
+    let hidden = [128usize; 3];
     let data = gaussian_blobs(512, 3, 0.9, &mut rng);
     let (train, test) = data.split(0.5, &mut rng);
     let test = Arc::new(test);
@@ -409,6 +417,9 @@ fn quant_bench() -> QuantReport {
 
     let f32_rate = samples as f64 / f32_report.run_meta.elapsed_secs;
     let int8_rate = samples as f64 / int8_report.run_meta.elapsed_secs;
+    // The (batch, 128, 128) hidden-layer GEMM dominates the int8 campaign;
+    // record which micro-kernel the selector resolves for it.
+    let selection = bdlfi_tensor::kernels::select_i8(64, hidden[0], hidden[0]);
     QuantReport {
         scenario: "BDLFI campaign, f32 vs int8 deployment of the same MLP".into(),
         network: format!("mlp 2 -> {hidden:?} -> 3"),
@@ -418,6 +429,8 @@ fn quant_bench() -> QuantReport {
         int8_samples_per_sec: int8_rate,
         int8_relative_throughput: int8_rate / f32_rate,
         int8_worker_invariant,
+        kernel_variant: selection.variant.as_str().to_string(),
+        avx2_detected: bdlfi_tensor::kernels::avx2_available(),
     }
 }
 
@@ -525,10 +538,23 @@ fn report_quant(quant: &QuantReport) {
         quant.int8_worker_invariant,
         "int8 campaign diverged between workers=1 and the full pool"
     );
+    // The headline gate: with the AVX2 maddubs kernel selected, the int8
+    // deployment must not be slower than f32. On hosts without AVX2 (or
+    // with a variant forced via BDLFI_KERNEL) the ratio is recorded only.
+    if quant.avx2_detected && quant.kernel_variant == "avx2" {
+        assert!(
+            quant.int8_relative_throughput >= 1.0,
+            "int8 campaign below f32 throughput ({:.2}x) with the avx2 kernel selected",
+            quant.int8_relative_throughput
+        );
+    }
     println!(
-        "int8 campaign runs at {:.2}x f32 throughput ({:.0} vs {:.0} samples/sec), \
-         worker-count invariant",
-        quant.int8_relative_throughput, quant.int8_samples_per_sec, quant.f32_samples_per_sec
+        "int8 campaign runs at {:.2}x f32 throughput ({:.0} vs {:.0} samples/sec) \
+         on the `{}` kernel, worker-count invariant",
+        quant.int8_relative_throughput,
+        quant.int8_samples_per_sec,
+        quant.f32_samples_per_sec,
+        quant.kernel_variant
     );
 }
 

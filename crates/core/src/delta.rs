@@ -39,10 +39,11 @@
 //! `forward_from` — still exact, just no longer sparse. And whenever a
 //! configuration falls outside the provably-confined cases — transient
 //! activation/input sites, faults in conv/block/batch-norm layers (channel
-//! fan-out), quantized `w_scale`/`out_zp` faults (they reach every column
-//! through the shared requantizer), unknown mask paths — the planner
-//! refuses (`None`) and the caller falls back to the exact incremental
-//! path. [`DeltaStats`] counts both outcomes so reports show how often the
+//! fan-out), quantized `out_zp` faults (the output zero-point reaches
+//! every column through the shared requantizer), unknown mask paths — the
+//! planner refuses (`None`) and the caller falls back to the exact
+//! incremental path. Per-channel `w_scale` faults on dense stages *are*
+//! confined: scale element `e` feeds only column `e`'s requantizer. [`DeltaStats`] counts both outcomes so reports show how often the
 //! fast path fired.
 
 use bdlfi_faults::FaultConfig;
@@ -224,9 +225,10 @@ pub fn forward_delta_f32(
 
 /// The int8 twin of [`forward_delta_f32`]: evaluates a fault configuration
 /// on the quantized model through the sparse-delta path, or returns `None`
-/// when it is not provably column-confined (conv/block stages, `w_scale`
-/// or `out_zp` faults, unknown paths) — the caller must then fall back to
-/// the exact incremental path ([`QPrefixCache::predict_from`]).
+/// when it is not provably column-confined (conv/block stages, `out_zp`
+/// faults, unknown paths) — the caller must then fall back to the exact
+/// incremental path ([`QPrefixCache::predict_from`]). Dense weight bytes,
+/// bias words and per-channel `w_scale` elements all confine to a column.
 ///
 /// The model must already have `cfg` applied.
 pub fn forward_delta_quant(
@@ -292,9 +294,11 @@ fn plan_quant(model: &QuantModel, cfg: &FaultConfig) -> Option<BTreeMap<usize, V
 }
 
 /// Appends the output columns a mask on `field` perturbs: a weight flip at
-/// flat index `e` of an `(in, out)` matrix lands in column `e % out`, a
-/// bias flip at index `e` in column `e`. Any other field (`w_scale`,
-/// `out_zp`, …) reaches every column — refuse.
+/// flat index `e` of an `(in, out)` matrix lands in column `e % out`; a
+/// bias flip at index `e` — or a per-channel `w_scale` flip at index `e`,
+/// since dense weight scales are per output column and only column `e`'s
+/// requantizer reads scale `e` — lands in column `e`. Any other field
+/// (`out_zp`, `in_scale`, …) reaches every column — refuse.
 fn push_cols(
     cols: &mut Vec<usize>,
     field: &str,
@@ -303,7 +307,7 @@ fn push_cols(
 ) -> Option<()> {
     match field {
         "weight" => cols.extend(entries.iter().map(|&(e, _)| e % out)),
-        "bias" => {
+        "bias" | "w_scale" => {
             for &(e, _) in entries {
                 if e >= out {
                     return None;
@@ -586,11 +590,16 @@ mod tests {
             ("fc2.weight", 20, 3),
             ("fc2.bias", 1, 12),
             ("fc3.bias", 2, 20),
+            // Per-channel weight scales: element e feeds only column e's
+            // requantizer. Bit 30 blows the scale up to ~1e38 — the
+            // recompute must still bit-match the dense integer pass.
+            ("fc1.w_scale", 2, 12),
+            ("fc2.w_scale", 4, 30),
         ] {
             let cfg = flip_cfg(path, element, bit);
             qm.apply(&cfg);
             let delta = forward_delta_quant(&mut qm, &cache, &cfg, DENSIFY_THRESHOLD)
-                .expect("weight-byte/bias-word faults are column-confined");
+                .expect("weight-byte/bias-word/w-scale faults are column-confined");
             let cold = qm.predict_all(&x, 8);
             qm.apply(&cfg);
             assert_eq!(bits(&delta), bits(&cold), "{path}[{element}] bit {bit}");
@@ -598,17 +607,24 @@ mod tests {
     }
 
     #[test]
-    fn quant_scale_and_zero_point_faults_refuse() {
+    fn quant_zero_point_faults_refuse_but_w_scale_plans() {
         use bdlfi_quant::{quantize_model, CalibConfig};
         let mut rng = StdRng::seed_from_u64(6);
         let m = mlp(4, &[8], 3, &mut rng);
         let calib = Tensor::rand_normal([32, 4], 0.0, 1.0, &mut rng);
         let qm = quantize_model(&m, &calib, &CalibConfig::default());
-        // Scale and zero-point faults reach every output column through the
-        // shared requantizer — the planner must refuse both.
-        assert!(plan_quant(&qm, &flip_cfg("fc1.w_scale", 0, 12)).is_none());
+        // The output zero-point fans out to every column through the shared
+        // requantizer — the planner must refuse.
         assert!(plan_quant(&qm, &flip_cfg("fc1.out_zp", 0, 1)).is_none());
         assert!(plan_quant(&qm, &flip_cfg("nope.weight", 0, 1)).is_none());
+        // A per-channel weight scale feeds exactly one column's requantizer:
+        // scale element e plans as dirty column e.
+        let dirty = plan_quant(&qm, &flip_cfg("fc1.w_scale", 5, 12)).expect("w_scale is confined");
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty.values().next().unwrap(), &vec![5]);
+        // An out-of-range scale index (defensive: can't arise from sites)
+        // still refuses rather than planning a bogus column.
+        assert!(plan_quant(&qm, &flip_cfg("fc1.w_scale", 8, 1)).is_none());
     }
 
     #[test]

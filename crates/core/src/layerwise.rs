@@ -459,10 +459,11 @@ mod tests {
             LayerBudget::ExpectedFlips(4.0),
             &quick_cfg(),
         );
-        // fc1: 2*32 int8 weights (8 bits) + 32 i32 biases + w_scale (f32)
-        // + out_zp (i32) = 64*8 + 32*32 + 32 + 32 = 1600 bits.
+        // fc1: 2*32 int8 weights (8 bits) + 32 i32 biases + 32 per-channel
+        // w_scales (f32) + out_zp (i32) = 64*8 + 32*32 + 32*32 + 32 = 2592
+        // bits.
         assert!(
-            (res.layers[0].p - 4.0 / 1600.0).abs() < 1e-12,
+            (res.layers[0].p - 4.0 / 2592.0).abs() < 1e-12,
             "{}",
             res.layers[0].p
         );

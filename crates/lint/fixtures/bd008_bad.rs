@@ -1,0 +1,35 @@
+//! BD008 fixture: three dispatch-discipline violations, nothing else.
+//! A `*_reference` oracle is deliberately absent while `_mm256_add_ps`
+//! is used, one `#[target_feature]` kernel is called with no feature
+//! check at all, and another is called with a check but no `SAFETY:`
+//! justification between the check and the call.
+
+use std::arch::x86_64::*;
+
+#[target_feature(enable = "avx2")]
+fn kernel_a_avx2(x: &mut [f32]) {
+    // SAFETY: lanes loaded from an asserted-in-bounds slice.
+    unsafe {
+        let v = _mm256_loadu_ps(x.as_ptr());
+        _mm256_storeu_ps(x.as_mut_ptr(), _mm256_add_ps(v, v));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn kernel_b_avx2(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v += *v;
+    }
+}
+
+fn unguarded_dispatch(x: &mut [f32]) {
+    // SAFETY: (bogus) the build machine happens to have AVX2.
+    unsafe { kernel_a_avx2(x) }
+}
+
+// SAFETY: dispatch below re-checks the feature at runtime.
+unsafe fn undocumented_dispatch(x: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        kernel_b_avx2(x);
+    }
+}

@@ -1,0 +1,38 @@
+//! BD008 fixture: the sanctioned dispatch shape. Feature-checked call
+//! with an adjacent SAFETY justification, a tf-to-tf call needing no
+//! runtime check, and a scalar `*_reference` oracle next to the
+//! intrinsics.
+
+use std::arch::x86_64::*;
+
+#[target_feature(enable = "avx2")]
+fn kernel_core_avx2(x: &mut [f32]) {
+    // SAFETY: lanes loaded from an asserted-in-bounds slice.
+    unsafe {
+        let v = _mm256_loadu_ps(x.as_ptr());
+        _mm256_storeu_ps(x.as_mut_ptr(), _mm256_add_ps(v, v));
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn kernel_outer_avx2(x: &mut [f32]) {
+    // The enclosing fn is itself #[target_feature]: the feature holds
+    // statically, no runtime re-check needed.
+    kernel_core_avx2(x);
+}
+
+fn kernel_reference(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v += *v;
+    }
+}
+
+pub fn dispatch(x: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: calling a `#[target_feature(enable = "avx2")]` function
+        // requires the CPU to support AVX2, which the check above
+        // guarantees; the kernel takes ordinary slices otherwise.
+        return unsafe { kernel_outer_avx2(x) };
+    }
+    kernel_reference(x);
+}

@@ -15,6 +15,8 @@
 //! | BD004 | every `unsafe` carries a `// SAFETY:` justification |
 //! | BD005 | no `unwrap`/`expect`/`panic!` in engine/checkpoint/EvalSink paths |
 //! | BD006 | every `*_controlled` driver binds a distinct journal fingerprint tag |
+//! | BD007 | `forward_delta*` routines can refuse; their callers keep an exact fallback |
+//! | BD008 | `#[target_feature]` kernels reached only via guarded, SAFETY-justified dispatch; intrinsics modules name a `*_reference` oracle |
 //!
 //! Findings are span-accurate (`path:line:col: BDxxx: message`) and can
 //! be waived inline with `// bdlfi-lint: allow(BDxxx) -- reason` — the

@@ -1,0 +1,252 @@
+//! BD008 — SIMD kernel dispatch discipline.
+//!
+//! The kernel selector (PR 7) introduced real `#[target_feature]`
+//! intrinsics kernels. Two source-level invariants keep them sound and
+//! testable:
+//!
+//! * a `#[target_feature]` function may only be reached through a call
+//!   that is dominated by an `is_x86_feature_detected!` check inside the
+//!   same enclosing function, with a `// SAFETY:` comment between the
+//!   check and the call — executing AVX2 code on a CPU without AVX2 is
+//!   immediate UB, and the justification must sit where the dispatch
+//!   happens, not drift elsewhere. Calls made *from* another
+//!   `#[target_feature]` function are exempt (the caller's compilation
+//!   context already establishes the feature statically).
+//! * a file that uses x86 intrinsics (`_mm*` identifiers) must name a
+//!   `*_reference` oracle somewhere — every intrinsics kernel module
+//!   keeps a scalar reference implementation its equivalence tests pin
+//!   the fast path against.
+//!
+//! The call check joins across files in `finish`: definitions and call
+//! sites may live in different modules. Test regions are exempt from the
+//! call check (equivalence tests drive kernels directly), but a test
+//! `use` of the oracle still satisfies the reference requirement.
+
+use super::{matching_delim, FileCtx, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+/// See module docs.
+#[derive(Default)]
+pub struct SimdDispatchDiscipline {
+    /// Names of every `#[target_feature]` fn seen anywhere in the
+    /// workspace.
+    defs: BTreeSet<String>,
+    /// Production call sites that would violate the dispatch contract
+    /// *if* the callee turns out to be a `#[target_feature]` fn.
+    suspects: Vec<Suspect>,
+}
+
+struct Suspect {
+    name: String,
+    path: String,
+    line: u32,
+    col: u32,
+    guarded: bool,
+}
+
+/// One function item: its body token range and whether a
+/// `#[target_feature]` attribute guards it.
+struct FnInfo {
+    body: (usize, usize),
+    is_tf: bool,
+}
+
+impl Rule for SimdDispatchDiscipline {
+    fn code(&self) -> &'static str {
+        "BD008"
+    }
+
+    fn name(&self) -> &'static str {
+        "simd-kernel-dispatch-discipline"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let fns = collect_fns(ctx, &mut self.defs);
+        let mut out = Vec::new();
+        self.collect_suspects(ctx, &fns);
+        if let Some(f) = reference_oracle_finding(ctx, self.code()) {
+            out.push(f);
+        }
+        out
+    }
+
+    fn finish(&mut self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for s in &self.suspects {
+            if !self.defs.contains(&s.name) {
+                continue;
+            }
+            let message = if s.guarded {
+                format!(
+                    "call to `#[target_feature]` fn `{}` has no `// SAFETY:` \
+                     comment between the `is_x86_feature_detected!` check and \
+                     the call: the dispatch-site justification must not drift \
+                     away from the unsafe call it covers",
+                    s.name
+                )
+            } else {
+                format!(
+                    "`{}` is compiled with `#[target_feature]` but this call \
+                     is not dominated by an `is_x86_feature_detected!` check \
+                     in the same function: reaching it on a CPU without the \
+                     feature is undefined behavior",
+                    s.name
+                )
+            };
+            out.push(Finding {
+                code: self.code(),
+                path: s.path.clone(),
+                line: s.line,
+                col: s.col,
+                message,
+            });
+        }
+        out
+    }
+}
+
+impl SimdDispatchDiscipline {
+    /// Records every production call site that is *not* provably
+    /// disciplined (unguarded, or guarded without an adjacent SAFETY
+    /// justification) for the cross-file join in `finish`.
+    fn collect_suspects(&mut self, ctx: &FileCtx<'_>, fns: &[FnInfo]) {
+        for (k, &i) in ctx.code.iter().enumerate() {
+            let t = &ctx.tokens[i];
+            if t.kind != TokenKind::Ident || ctx.in_test(i) {
+                continue;
+            }
+            let called = ctx
+                .code
+                .get(k + 1)
+                .is_some_and(|&n| ctx.tokens[n].is_punct('('));
+            let defined = k > 0 && ctx.tokens[ctx.code[k - 1]].is_ident("fn");
+            if !called || defined {
+                continue;
+            }
+            // Innermost enclosing fn body.
+            let Some(encl) = fns
+                .iter()
+                .filter(|f| (f.body.0..f.body.1).contains(&i))
+                .min_by_key(|f| f.body.1 - f.body.0)
+            else {
+                continue;
+            };
+            if encl.is_tf {
+                continue; // tf-to-tf calls carry the feature statically
+            }
+            // Last feature check before the call, inside the same body.
+            let guard = ctx.code.iter().copied().rfind(|&g| {
+                g > encl.body.0 && g < i && ctx.tokens[g].is_ident("is_x86_feature_detected")
+            });
+            let safety = guard.is_some_and(|g| {
+                ctx.tokens[g..i]
+                    .iter()
+                    .any(|c| c.is_comment() && c.text.contains("SAFETY:"))
+            });
+            if guard.is_some() && safety {
+                continue;
+            }
+            self.suspects.push(Suspect {
+                name: t.text.clone(),
+                path: ctx.path.to_string(),
+                line: t.line,
+                col: t.col,
+                guarded: guard.is_some(),
+            });
+        }
+    }
+}
+
+/// Walks the file's items, recording each fn's body range and whether a
+/// `#[target_feature]` attribute precedes it; tf fn names go into `defs`.
+fn collect_fns(ctx: &FileCtx<'_>, defs: &mut BTreeSet<String>) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut pending_tf = false;
+    let mut k = 0usize;
+    while k < ctx.code.len() {
+        let i = ctx.code[k];
+        let t = &ctx.tokens[i];
+        if t.is_punct('#')
+            && ctx
+                .code
+                .get(k + 1)
+                .is_some_and(|&n| ctx.tokens[n].is_punct('['))
+        {
+            let close = matching_delim(ctx.tokens, ctx.code[k + 1]);
+            pending_tf |= ctx.tokens[ctx.code[k + 1]..close.min(ctx.tokens.len())]
+                .iter()
+                .any(|a| a.is_ident("target_feature"));
+            // Resume after the attribute's `]`.
+            k = ctx.code.partition_point(|&c| c <= close);
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(&name_i) = ctx.code.get(k + 1) {
+                let name_tok = &ctx.tokens[name_i];
+                if name_tok.kind == TokenKind::Ident {
+                    if let Some(open) = fn_body_open(ctx, k) {
+                        let close = matching_delim(ctx.tokens, open);
+                        if pending_tf {
+                            defs.insert(name_tok.text.clone());
+                        }
+                        fns.push(FnInfo {
+                            body: (open, close.min(ctx.tokens.len())),
+                            is_tf: pending_tf,
+                        });
+                    }
+                }
+            }
+            pending_tf = false;
+        } else if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            // Attributes attach only to the directly following item.
+            pending_tf = false;
+        }
+        k += 1;
+    }
+    fns
+}
+
+/// Tokens index of the body `{` for the fn keyword at code index `k`, or
+/// `None` for body-less declarations.
+fn fn_body_open(ctx: &FileCtx<'_>, k: usize) -> Option<usize> {
+    for j in k + 1..ctx.code.len() {
+        let t = &ctx.tokens[ctx.code[j]];
+        if t.is_punct('{') {
+            return Some(ctx.code[j]);
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// If the file's production code uses x86 intrinsics but no identifier in
+/// the file (tests included) ends with `_reference`, reports the first
+/// intrinsic use.
+fn reference_oracle_finding(ctx: &FileCtx<'_>, code: &'static str) -> Option<Finding> {
+    let first_mm = ctx.code.iter().copied().find(|&i| {
+        let t = &ctx.tokens[i];
+        t.kind == TokenKind::Ident && t.text.starts_with("_mm") && !ctx.in_test(i)
+    })?;
+    let has_oracle = ctx
+        .tokens
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.text.ends_with("_reference"));
+    if has_oracle {
+        return None;
+    }
+    Some(ctx.finding(
+        code,
+        first_mm,
+        format!(
+            "`{}` is an x86 intrinsic but this file names no `*_reference` \
+             oracle: every intrinsics kernel module must keep a scalar \
+             reference implementation for its equivalence tests to pin \
+             against",
+            ctx.tokens[first_mm].text
+        ),
+    ))
+}

@@ -19,6 +19,7 @@ mod bd004;
 mod bd005;
 mod bd006;
 mod bd007;
+mod bd008;
 
 pub use bd001::EntropySources;
 pub use bd002::AdditiveSeeds;
@@ -27,6 +28,7 @@ pub use bd004::UnsafeNeedsSafety;
 pub use bd005::PanicFreePaths;
 pub use bd006::DistinctFingerprints;
 pub use bd007::ExactDeltaFallback;
+pub use bd008::SimdDispatchDiscipline;
 
 /// Everything a rule may inspect about one file.
 pub struct FileCtx<'a> {
@@ -87,6 +89,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(PanicFreePaths),
         Box::new(DistinctFingerprints::default()),
         Box::new(ExactDeltaFallback),
+        Box::new(SimdDispatchDiscipline::default()),
     ]
 }
 

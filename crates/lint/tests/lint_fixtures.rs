@@ -177,6 +177,34 @@ fn bd007_bad_is_ignored_in_test_code() {
     assert_clean("bd007_bad.rs", "tests/delta_equivalence.rs");
 }
 
+// ---- BD008: SIMD kernel dispatch discipline ---------------------------
+
+#[test]
+fn bd008_bad_trips_only_bd008() {
+    let f = assert_trips("bd008_bad.rs", "crates/tensor/src/kernels/fast.rs", "BD008");
+    assert_eq!(f.len(), 3, "one per failure mode: {f:?}");
+    // Sorted by line: missing oracle (first intrinsic), unguarded call,
+    // guarded-but-unjustified call.
+    assert!(f[0].render().contains("_reference"));
+    assert!(f[1].render().contains("kernel_a_avx2"));
+    assert!(f[1].render().contains("is_x86_feature_detected"));
+    assert!(f[2].render().contains("kernel_b_avx2"));
+    assert!(f[2].render().contains("SAFETY"));
+}
+
+#[test]
+fn bd008_good_guarded_dispatch_and_oracle_are_clean() {
+    assert_clean("bd008_good.rs", "crates/tensor/src/kernels/fast.rs");
+}
+
+#[test]
+fn bd008_bad_is_ignored_in_test_code() {
+    // Equivalence tests drive kernels directly; the call checks don't
+    // apply there, and the oracle requirement keys off production
+    // intrinsics use only.
+    assert_clean("bd008_bad.rs", "crates/tensor/tests/kernel_equivalence.rs");
+}
+
 // ---- allow directive --------------------------------------------------
 
 #[test]

@@ -4,21 +4,30 @@
 //!
 //! Every operator keeps the QDQ (quantize–dequantize) contract: tensors at
 //! op boundaries are `f32`, integer arithmetic lives strictly inside an op.
-//! The inner product runs on the blocked `i8 × i8 → i32` GEMM
+//! The inner product runs on the selector-dispatched `i8 × i8 → i32` GEMM
 //! ([`bdlfi_tensor::qgemm`]); zero-point corrections and bias addition
-//! happen in `i64`, and the fixed-point [`Requant`] multiplier maps
-//! accumulators onto the output grid.
+//! happen in `i64`, and per-output-channel fixed-point [`Requant`]
+//! multipliers map accumulators onto the output grid through the batched
+//! helpers in [`crate::qparams`].
 //!
-//! Zero-point column/row sums are recomputed on **every** forward pass
-//! rather than cached at calibration time: a fault flipping a weight byte
-//! must change the correction term exactly as real hardware reading the
-//! faulted weight would.
+//! Weights carry **per-channel symmetric scales** (one f32 per output
+//! column of a dense layer, one per output channel of a convolution): each
+//! channel uses its own max-abs grid, so one outlier channel no longer
+//! dilates every other channel's step size. A fault flipping `w_scale[c]`
+//! consequently perturbs only output channel `c` — the requantizer is the
+//! only consumer of the scale — which is also what lets the sparse-delta
+//! path handle weight-scale faults column-sparsely.
+//!
+//! Zero-point column/row sums and the per-channel requantizers are
+//! recomputed on **every** forward pass rather than cached at calibration
+//! time: a fault flipping a weight byte or scale must change the
+//! correction exactly as real hardware reading the faulted value would.
 
-use crate::qparams::{QParams, Requant, WMAX};
+use crate::qparams::{requant_channel_into, requant_rows_into, QParams, Requant, WMAX};
 use bdlfi_faults::Repr;
 use bdlfi_nn::layers::{BatchNorm2d, Conv2d, Dense};
 use bdlfi_nn::Layer;
-use bdlfi_tensor::{qgemm, Conv2dSpec, I32Tensor, I8Tensor, Tensor};
+use bdlfi_tensor::{qgemm, scratch, Conv2dSpec, I32Tensor, I8Tensor, Tensor};
 
 /// One mutable integer/float storage region of a quantized op, handed to
 /// fault-application visitors.
@@ -82,38 +91,87 @@ pub fn quantize_weights(data: &[f32]) -> (Vec<i8>, f32) {
     (q, qp.scale)
 }
 
-fn quantize_bias(data: &[f32], in_scale: f32, w_scale: f32) -> Vec<i32> {
-    let s = in_scale as f64 * w_scale as f64;
+/// Per-channel symmetric int8 weight quantization: element `i` belongs to
+/// channel `channel_of(i)` and is quantized on that channel's own max-abs
+/// grid. Returns the quantized values and one scale per channel.
+///
+/// The index map covers both storage layouts in use: a dense `(in, out)`
+/// matrix passes `|i| i % out` (channels are columns), a conv
+/// `(out_c, in_c·kh·kw)` tensor passes `|i| i / per_ch` (channels are
+/// contiguous rows).
+pub fn quantize_weights_grouped(
+    data: &[f32],
+    channels: usize,
+    channel_of: impl Fn(usize) -> usize,
+) -> (Vec<i8>, Vec<f32>) {
+    let mut max_abs = vec![0.0f32; channels];
+    for (i, &v) in data.iter().enumerate() {
+        if v.is_finite() {
+            let m = &mut max_abs[channel_of(i)];
+            *m = m.max(v.abs());
+        }
+    }
+    let scales: Vec<f32> = max_abs
+        .iter()
+        .map(|&m| QParams::symmetric(m).scale)
+        .collect();
+    let q = data
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let s = scales[channel_of(i)];
+            ((w as f64 / s as f64).round() as i64).clamp(-(WMAX as i64), WMAX as i64) as i8
+        })
+        .collect();
+    (q, scales)
+}
+
+fn quantize_bias(data: &[f32], in_scale: f32, w_scales: &[f32]) -> Vec<i32> {
     data.iter()
-        .map(|&b| (b as f64 / s).round() as i32)
+        .zip(w_scales)
+        .map(|(&b, &ws)| {
+            let s = in_scale as f64 * ws as f64;
+            (b as f64 / s).round() as i32
+        })
         .collect()
 }
 
 /// A quantized fully connected layer: int8 weight `(in, out)`, i32 bias
-/// `(out,)`, input/output activation grids.
+/// `(out,)`, per-output-column weight scales, input/output activation
+/// grids.
 #[derive(Debug, Clone)]
 pub struct QDense {
     weight: I8Tensor,
     bias: I32Tensor,
-    w_scale: f32,
+    w_scales: Vec<f32>,
     in_qp: QParams,
     out_qp: QParams,
 }
 
 impl QDense {
     /// Quantizes a trained [`Dense`] layer given calibrated input/output
-    /// activation parameters.
+    /// activation parameters. Weights are quantized per output column.
     pub fn from_dense(layer: &Dense, in_qp: QParams, out_qp: QParams) -> Self {
-        let (qw, w_scale) = quantize_weights(layer.weight().data());
-        let qb = quantize_bias(layer.bias().data(), in_qp.scale, w_scale);
         let out = layer.out_dim();
+        let (qw, w_scales) = quantize_weights_grouped(layer.weight().data(), out, |i| i % out);
+        let qb = quantize_bias(layer.bias().data(), in_qp.scale, &w_scales);
         QDense {
             weight: I8Tensor::from_vec(qw, [layer.in_dim(), out]),
             bias: I32Tensor::from_vec(qb, [out]),
-            w_scale,
+            w_scales,
             in_qp,
             out_qp,
         }
+    }
+
+    /// Per-column requantizers, rebuilt from the (possibly faulted) scales
+    /// on every pass so a scale fault is visible exactly like hardware
+    /// reading the faulted value would see it.
+    fn requants(&self) -> Vec<Requant> {
+        self.w_scales
+            .iter()
+            .map(|&ws| Requant::from_scales(self.in_qp.scale, ws, self.out_qp.scale))
+            .collect()
     }
 
     /// Integer forward pass over a `(n, in)` f32 batch.
@@ -123,32 +181,43 @@ impl QDense {
         let out = self.weight.dim(1);
         assert_eq!(input.dim(1), k, "qdense input width mismatch");
 
-        let qx: Vec<i8> = input
-            .data()
-            .iter()
-            .map(|&v| self.in_qp.quantize(v))
-            .collect();
-        let mut acc = vec![0i32; n * out];
+        // Campaigns run this pass thousands of times per second; the
+        // quantized input and the accumulator come from the thread-local
+        // scratch pools instead of fresh allocations.
+        let mut qx = scratch::take::<i8>(n * k);
+        self.in_qp.quantize_slice_to(input.data(), &mut qx);
+        let mut acc = scratch::take::<i32>(n * out);
         qgemm(n, out, k, &qx, self.weight.data(), &mut acc);
 
         // Zero-point correction: Σₖ (qx−zp)·w = acc − zp·Σₖ w, recomputed
-        // from the (possibly faulted) weights each pass.
-        let mut colsum = vec![0i64; out];
+        // from the (possibly faulted) weights each pass. Accumulated in
+        // i32 — exact for any i8 weights, faulted or not, since
+        // |Σₖ w| ≤ k·128 ≪ 2³¹ — so the widening sums autovectorize.
+        let mut colsum = vec![0i32; out];
         for row in self.weight.data().chunks_exact(out) {
             for (cs, &w) in colsum.iter_mut().zip(row) {
-                *cs += w as i64;
+                *cs += w as i32;
             }
         }
-        let requant = Requant::from_scales(self.in_qp.scale, self.w_scale, self.out_qp.scale);
+        let rqs = self.requants();
         let zp_in = self.in_qp.zero_point as i64;
-        let zp_out = self.out_qp.zero_point;
+        let corrs: Vec<i64> = self
+            .bias
+            .data()
+            .iter()
+            .zip(&colsum)
+            .map(|(&b, &cs)| b as i64 - zp_in * cs as i64)
+            .collect();
         let mut y = Vec::with_capacity(n * out);
-        for i in 0..n {
-            for j in 0..out {
-                let a = acc[i * out + j] as i64 - zp_in * colsum[j] + self.bias.data()[j] as i64;
-                y.push(dequant_acc(&requant, a, zp_out, self.out_qp.scale));
-            }
-        }
+        requant_rows_into(
+            &acc,
+            out,
+            &rqs,
+            &corrs,
+            self.out_qp.zero_point,
+            self.out_qp.scale,
+            &mut y,
+        );
         Tensor::from_vec(y, [n, out])
     }
 
@@ -163,11 +232,12 @@ impl QDense {
     /// input — the int8 twin of `Dense::forward_cols`.
     ///
     /// Exactness is structural here: integer accumulation is associative,
-    /// the zero-point column sum and bias are per-column, and the
-    /// requantize/dequantize chain is per-element, so a weight byte or
-    /// bias word fault perturbs exactly one output column. (Faults on
-    /// `w_scale` or `out_zp` reach every column through the shared
-    /// requantizer — callers must fall back to the full pass for those.)
+    /// the zero-point column sum, bias, weight scale and requantizer are
+    /// all per-column, and the requantize/dequantize chain is per-element,
+    /// so a weight byte, bias word **or weight-scale** fault perturbs
+    /// exactly its own output column. (Faults on `out_zp` still reach
+    /// every column through the shared output grid — callers must fall
+    /// back to the full pass for those.)
     ///
     /// # Panics
     ///
@@ -180,11 +250,8 @@ impl QDense {
         assert_eq!(input.dim(1), k, "qdense input width mismatch");
         assert!(cols.iter().all(|&c| c < out), "column index out of range");
 
-        let qx: Vec<i8> = input
-            .data()
-            .iter()
-            .map(|&v| self.in_qp.quantize(v))
-            .collect();
+        let mut qx = scratch::take::<i8>(n * k);
+        self.in_qp.quantize_slice_to(input.data(), &mut qx);
         let m = cols.len();
         let w = self.weight.data();
         let mut wsub = Vec::with_capacity(k * m);
@@ -192,42 +259,53 @@ impl QDense {
             let row = &w[r * out..(r + 1) * out];
             wsub.extend(cols.iter().map(|&c| row[c]));
         }
-        let mut acc = vec![0i32; n * m];
+        let mut acc = scratch::take::<i32>(n * m);
         qgemm(n, m, k, &qx, &wsub, &mut acc);
 
-        let mut colsum = vec![0i64; m];
+        let mut colsum = vec![0i32; m];
         for row in wsub.chunks_exact(m) {
             for (cs, &w) in colsum.iter_mut().zip(row) {
-                *cs += w as i64;
+                *cs += w as i32;
             }
         }
-        let requant = Requant::from_scales(self.in_qp.scale, self.w_scale, self.out_qp.scale);
+        // Gather the per-column requantizers/corrections for exactly the
+        // requested columns: same constructors, same order of operations
+        // as the full pass (the i32 column sum is exact either way),
+        // hence bit-identical columns.
         let zp_in = self.in_qp.zero_point as i64;
-        let zp_out = self.out_qp.zero_point;
+        let rqs: Vec<Requant> = cols
+            .iter()
+            .map(|&c| Requant::from_scales(self.in_qp.scale, self.w_scales[c], self.out_qp.scale))
+            .collect();
+        let corrs: Vec<i64> = cols
+            .iter()
+            .zip(&colsum)
+            .map(|(&c, &cs)| self.bias.data()[c] as i64 - zp_in * cs as i64)
+            .collect();
         let mut y = Vec::with_capacity(n * m);
-        for i in 0..n {
-            for (j, &c) in cols.iter().enumerate() {
-                let a = acc[i * m + j] as i64 - zp_in * colsum[j] + self.bias.data()[c] as i64;
-                y.push(dequant_acc(&requant, a, zp_out, self.out_qp.scale));
-            }
-        }
+        requant_rows_into(
+            &acc,
+            m,
+            &rqs,
+            &corrs,
+            self.out_qp.zero_point,
+            self.out_qp.scale,
+            &mut y,
+        );
         Tensor::from_vec(y, [n, m])
     }
 
     fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
         f(&join(path, "weight"), Repr::I8, self.weight.len());
         f(&join(path, "bias"), Repr::I32Accum, self.bias.len());
-        f(&join(path, "w_scale"), Repr::F32, 1);
+        f(&join(path, "w_scale"), Repr::F32, self.w_scales.len());
         f(&join(path, "out_zp"), Repr::I32Accum, 1);
     }
 
     fn visit_slices(&mut self, path: &str, f: &mut dyn FnMut(&str, QSlice)) {
         f(&join(path, "weight"), QSlice::I8(self.weight.data_mut()));
         f(&join(path, "bias"), QSlice::I32(self.bias.data_mut()));
-        f(
-            &join(path, "w_scale"),
-            QSlice::F32(std::slice::from_mut(&mut self.w_scale)),
-        );
+        f(&join(path, "w_scale"), QSlice::F32(&mut self.w_scales));
         f(
             &join(path, "out_zp"),
             QSlice::I32(std::slice::from_mut(&mut self.out_qp.zero_point)),
@@ -235,20 +313,14 @@ impl QDense {
     }
 }
 
-/// Requantize one corrected accumulator and dequantize it to f32: the op
-/// boundary value `(clamp(requant(a) + zp_out) − zp_out) · out_scale`.
-fn dequant_acc(requant: &Requant, a: i64, zp_out: i32, out_scale: f32) -> f32 {
-    let q = (requant.apply(a) as i64 + zp_out as i64).clamp(-128, 127);
-    ((q - zp_out as i64) as f64 * out_scale as f64) as f32
-}
-
 /// A quantized 2-D convolution (batch-norm folded in where applicable):
-/// int8 weight `(out_c, in_c, kh, kw)`, i32 bias `(out_c,)`.
+/// int8 weight `(out_c, in_c, kh, kw)`, i32 bias `(out_c,)`,
+/// per-output-channel weight scales.
 #[derive(Debug, Clone)]
 pub struct QConv {
     weight: I8Tensor,
     bias: I32Tensor,
-    w_scale: f32,
+    w_scales: Vec<f32>,
     in_qp: QParams,
     out_qp: QParams,
     spec: Conv2dSpec,
@@ -280,12 +352,15 @@ impl QConv {
                 bf[oc] = bf[oc] * scale + shift;
             }
         }
-        let (qw, w_scale) = quantize_weights(&wf);
-        let qb = quantize_bias(&bf, in_qp.scale, w_scale);
+        // Channels are contiguous `per_ch`-long rows of the folded weight
+        // tensor; BN folding above is exactly why per-channel scales pay
+        // off — the fold multiplies each channel by its own factor.
+        let (qw, w_scales) = quantize_weights_grouped(&wf, out_c, |i| i / per_ch);
+        let qb = quantize_bias(&bf, in_qp.scale, &w_scales);
         QConv {
             weight: I8Tensor::from_vec(qw, w.dims().to_vec()),
             bias: I32Tensor::from_vec(qb, [out_c]),
-            w_scale,
+            w_scales,
             in_qp,
             out_qp,
             spec: layer.spec(),
@@ -302,26 +377,28 @@ impl QConv {
         let k = c * kh * kw;
         let npix = oh * ow;
 
-        let qx: Vec<i8> = input
-            .data()
-            .iter()
-            .map(|&v| self.in_qp.quantize(v))
-            .collect();
+        let mut qx = scratch::take::<i8>(input.len());
+        self.in_qp.quantize_slice_to(input.data(), &mut qx);
         // Padding is filled with the quantized representation of real zero.
         let pad_val = self.in_qp.quantize(0.0);
 
-        // Per-output-channel weight sums for the zero-point correction.
+        // Per-output-channel weight sums for the zero-point correction,
+        // and per-channel requantizers from the (possibly faulted) scales.
         let mut rowsum = vec![0i64; out_c];
         for (oc, row) in self.weight.data().chunks_exact(k).enumerate() {
             rowsum[oc] = row.iter().map(|&v| v as i64).sum();
         }
-        let requant = Requant::from_scales(self.in_qp.scale, self.w_scale, self.out_qp.scale);
+        let rqs: Vec<Requant> = self
+            .w_scales
+            .iter()
+            .map(|&ws| Requant::from_scales(self.in_qp.scale, ws, self.out_qp.scale))
+            .collect();
         let zp_in = self.in_qp.zero_point as i64;
         let zp_out = self.out_qp.zero_point;
 
         let img_len = c * h * w;
-        let mut col = vec![0i8; k * npix];
-        let mut acc = vec![0i32; out_c * npix];
+        let mut col = scratch::take::<i8>(k * npix);
+        let mut acc = scratch::take::<i32>(out_c * npix);
         let mut y = Vec::with_capacity(n * out_c * npix);
         for img in 0..n {
             im2col_i8(
@@ -337,10 +414,14 @@ impl QConv {
             qgemm(out_c, npix, k, self.weight.data(), &col, &mut acc);
             for oc in 0..out_c {
                 let corr = self.bias.data()[oc] as i64 - zp_in * rowsum[oc];
-                for p in 0..npix {
-                    let a = acc[oc * npix + p] as i64 + corr;
-                    y.push(dequant_acc(&requant, a, zp_out, self.out_qp.scale));
-                }
+                requant_channel_into(
+                    &acc[oc * npix..(oc + 1) * npix],
+                    &rqs[oc],
+                    corr,
+                    zp_out,
+                    self.out_qp.scale,
+                    &mut y,
+                );
             }
         }
         Tensor::from_vec(y, [n, out_c, oh, ow])
@@ -349,17 +430,14 @@ impl QConv {
     fn visit_sites(&self, path: &str, f: &mut dyn FnMut(&str, Repr, usize)) {
         f(&join(path, "weight"), Repr::I8, self.weight.len());
         f(&join(path, "bias"), Repr::I32Accum, self.bias.len());
-        f(&join(path, "w_scale"), Repr::F32, 1);
+        f(&join(path, "w_scale"), Repr::F32, self.w_scales.len());
         f(&join(path, "out_zp"), Repr::I32Accum, 1);
     }
 
     fn visit_slices(&mut self, path: &str, f: &mut dyn FnMut(&str, QSlice)) {
         f(&join(path, "weight"), QSlice::I8(self.weight.data_mut()));
         f(&join(path, "bias"), QSlice::I32(self.bias.data_mut()));
-        f(
-            &join(path, "w_scale"),
-            QSlice::F32(std::slice::from_mut(&mut self.w_scale)),
-        );
+        f(&join(path, "w_scale"), QSlice::F32(&mut self.w_scales));
         f(
             &join(path, "out_zp"),
             QSlice::I32(std::slice::from_mut(&mut self.out_qp.zero_point)),
@@ -698,10 +776,69 @@ mod tests {
             vec![
                 ("fc1.weight".into(), Repr::I8, 6),
                 ("fc1.bias".into(), Repr::I32Accum, 2),
-                ("fc1.w_scale".into(), Repr::F32, 1),
+                // One weight scale per output column now.
+                ("fc1.w_scale".into(), Repr::F32, 2),
                 ("fc1.out_zp".into(), Repr::I32Accum, 1),
             ]
         );
+    }
+
+    #[test]
+    fn per_channel_scales_follow_each_channels_magnitude() {
+        // One huge column must not dilate the grid of the small column.
+        let data = [10.0f32, 0.01, -20.0, 0.02, 5.0, -0.015];
+        let (q, scales) = quantize_weights_grouped(&data, 2, |i| i % 2);
+        assert_eq!(scales.len(), 2);
+        assert!((scales[0] - 20.0 / 127.0).abs() < 1e-6);
+        assert!((scales[1] - 0.02 / 127.0).abs() < 1e-7);
+        // The small channel keeps full resolution on its own grid
+        // (step ≈ 0.000157); per-tensor it would share the 20.0-channel's
+        // grid (step ≈ 0.157) and collapse to 0.
+        assert_eq!(q[1], 63); // 0.01 / (0.02/127) ≈ 63.5 (just under, in f32)
+        assert_eq!(q[3], 127);
+        assert_eq!(q[5], -95);
+    }
+
+    #[test]
+    fn w_scale_fault_is_confined_to_its_column() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut d = Dense::new(6, 4, &mut rng);
+        let x = Tensor::rand_normal([5, 6], 0.0, 1.0, &mut rng);
+        let want = d.forward(&x, &mut ForwardCtx::new(Mode::Eval));
+        let mut qd = QDense::from_dense(&d, approx_qparams(&x), approx_qparams(&want));
+        let golden = qd.forward(&x);
+        // Corrupt the scale of column 2 only.
+        qd.visit_slices("fc", &mut |p, s| {
+            if p == "fc.w_scale" {
+                if let QSlice::F32(ws) = s {
+                    ws[2] *= 64.0;
+                }
+            }
+        });
+        let faulted = qd.forward(&x);
+        let mut changed = [false; 4];
+        for (g, f) in golden.data().chunks(4).zip(faulted.data().chunks(4)) {
+            for j in 0..4 {
+                if g[j].to_bits() != f[j].to_bits() {
+                    changed[j] = true;
+                }
+            }
+        }
+        assert!(changed[2], "the faulted column must actually change");
+        assert_eq!(&changed[..2], &[false, false], "fault leaked to column");
+        assert!(!changed[3], "fault leaked to column 3");
+        // And forward_cols stays bit-identical per column under the fault.
+        let sub = qd.forward_cols(&x, &[1, 2]);
+        for i in 0..5 {
+            assert_eq!(
+                sub.data()[i * 2].to_bits(),
+                faulted.data()[i * 4 + 1].to_bits()
+            );
+            assert_eq!(
+                sub.data()[i * 2 + 1].to_bits(),
+                faulted.data()[i * 4 + 2].to_bits()
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! * RNG initialisers ([`init`]);
 //! * integer storage ([`I8Tensor`], [`I32Tensor`]) and the blocked
 //!   `i8 × i8 → i32` GEMM ([`ops::qgemm`]) backing the quantized
-//!   deployment workload.
+//!   deployment workload;
+//! * the kernel-selector layer ([`kernels`]) that picks a micro-kernel
+//!   variant (scalar / autovectorized / AVX2 intrinsics) and cache-block
+//!   tile per GEMM shape, overridable with `BDLFI_KERNEL`.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 mod error;
 pub mod init;
 mod itensor;
+pub mod kernels;
 pub mod ops;
 pub mod scratch;
 mod shape;

@@ -1,32 +1,22 @@
-//! Cache-blocked integer GEMM for the quantized inference path:
-//! `i8 × i8 → i32` accumulation.
+//! Integer GEMM entry point for the quantized inference path:
+//! `i8 × i8 → i32` accumulation, routed through the kernel selector.
 //!
-//! The blocking mirrors [`super::gemm`] (GEBP decomposition, packed
-//! `MR`-row / `NR`-column micro-panels, a register-resident `MR × NR`
-//! accumulator tile) so the two kernels share cache behaviour, but the
-//! arithmetic is exact: integer accumulation is associative, so the result
-//! is bit-identical at every block size, batch composition and worker
-//! count by construction — the determinism the fault-evaluation engine
-//! requires comes for free on the int8 path.
+//! The actual kernel — scalar triple loop, packed autovectorized body, or
+//! the hand-written AVX2 `maddubs` kernel — is chosen per call by
+//! [`crate::kernels::select_i8`] and can be forced process-wide with
+//! `BDLFI_KERNEL=scalar|autovec|avx2`. Integer accumulation is exact, so
+//! every variant is bit-identical at every block size, batch composition
+//! and worker count by construction — the determinism the
+//! fault-evaluation engine requires comes for free on the int8 path (see
+//! `crate::kernels::qgemm_i8` for the saturation-safety argument).
 //!
 //! Operands are row-major (`a` is `m × k`, `b` is `k × n`); quantized
 //! weights are packed row-major by the calibrator, so the strided-operand
 //! generality of the f32 kernel is not needed here.
 
-/// Rows per micro-panel of `a` (register-tile height).
-const MR: usize = 4;
-/// Columns per micro-panel of `b` (register-tile width).
-const NR: usize = 16;
-/// `k`-dimension block.
-const KC: usize = 256;
-/// Row block of `a` packed per inner iteration.
-const MC: usize = 64;
-/// Column block of `b` packed per L2-resident panel.
-const NC: usize = 256;
+use crate::kernels::{self, qgemm_i8};
 
-/// Largest `k` for which `k · 127 · 127` fits an `i32` accumulator with
-/// headroom; callers are asserted below this bound.
-const K_MAX: usize = 100_000;
+pub use crate::kernels::qgemm_i8::K_MAX;
 
 /// Computes `C += A · B` where `A` is row-major `m × k` int8, `B` is
 /// row-major `k × n` int8 and `C` is row-major `m × n` int32.
@@ -37,146 +27,26 @@ const K_MAX: usize = 100_000;
 /// # Panics
 ///
 /// Panics if a slice is shorter than its dimensions require, or if
-/// `k > 100_000` (i32 accumulator overflow headroom).
+/// `k > `[`K_MAX`] (the i32 accumulator headroom bound shared by every
+/// kernel variant).
 pub fn qgemm(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     if m == 0 || n == 0 || k == 0 {
         return;
     }
     assert!(
         k <= K_MAX,
-        "qgemm: k = {k} exceeds i32 accumulation headroom"
+        "qgemm: k = {k} exceeds i32 accumulation headroom (K_MAX = {K_MAX})"
     );
     assert!(a.len() >= m * k, "qgemm: a shorter than m*k");
     assert!(b.len() >= k * n, "qgemm: b shorter than k*n");
     assert!(c.len() >= m * n, "qgemm: c shorter than m*n");
-
-    let mut apack = vec![0i8; MC * KC];
-    let mut bpack = vec![0i8; KC * NC];
-
-    for lc in (0..k).step_by(KC) {
-        let kc = KC.min(k - lc);
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
-            pack_b(&mut bpack, b, n, lc, kc, jc, nc);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(&mut apack, a, k, ic, mc, lc, kc);
-                for jr in (0..nc).step_by(NR) {
-                    let nr = NR.min(nc - jr);
-                    let bp = &bpack[(jr / NR) * kc * NR..][..kc * NR];
-                    for ir in (0..mc).step_by(MR) {
-                        let mr = MR.min(mc - ir);
-                        let ap = &apack[(ir / MR) * kc * MR..][..kc * MR];
-                        let c_off = (ic + ir) * n + jc + jr;
-                        micro_kernel(kc, ap, bp, &mut c[c_off..], n, mr, nr);
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Packs an `mc × kc` block of `a` into `MR`-row micro-panels, zero-padding
-/// rows past `mc` (zero contributes nothing to an integer dot product).
-fn pack_a(dst: &mut [i8], a: &[i8], lda: usize, row0: usize, mc: usize, col0: usize, kc: usize) {
-    for (p, panel) in dst.chunks_mut(kc * MR).take(mc.div_ceil(MR)).enumerate() {
-        for l in 0..kc {
-            for r in 0..MR {
-                let i = p * MR + r;
-                panel[l * MR + r] = if i < mc {
-                    a[(row0 + i) * lda + col0 + l]
-                } else {
-                    0
-                };
-            }
-        }
-    }
-}
-
-/// Packs a `kc × nc` block of `b` into `NR`-column micro-panels,
-/// zero-padding columns past `nc`.
-fn pack_b(dst: &mut [i8], b: &[i8], ldb: usize, row0: usize, kc: usize, col0: usize, nc: usize) {
-    for (p, panel) in dst.chunks_mut(kc * NR).take(nc.div_ceil(NR)).enumerate() {
-        for l in 0..kc {
-            for q in 0..NR {
-                let j = p * NR + q;
-                panel[l * NR + q] = if j < nc {
-                    b[(row0 + l) * ldb + col0 + j]
-                } else {
-                    0
-                };
-            }
-        }
-    }
-}
-
-/// `MR × NR` integer register-tile kernel over one packed `kc` panel pair,
-/// accumulating into the top-left `mr × nr` corner of `c`.
-///
-/// Dispatches to an AVX2-compiled copy of the same body when available;
-/// integer arithmetic is exact, so the dispatch cannot change results.
-fn micro_kernel(kc: usize, ap: &[i8], bp: &[i8], c: &mut [i32], ldc: usize, mr: usize, nr: usize) {
-    #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: calling a `#[target_feature(enable = "avx2")]` function
-        // is sound iff the CPU supports AVX2, which the runtime
-        // `is_x86_feature_detected!` check on the line above guarantees.
-        // That is the only proof obligation: `micro_kernel_avx2` takes
-        // ordinary slices and its body is safe Rust (bounds-checked i8/i32
-        // indexing, no raw pointers), so no aliasing, alignment or
-        // in-bounds reasoning leaks to this call site.
-        return unsafe { micro_kernel_avx2(kc, ap, bp, c, ldc, mr, nr) };
-    }
-    micro_kernel_body(kc, ap, bp, c, ldc, mr, nr);
-}
-
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2")]
-fn micro_kernel_avx2(
-    kc: usize,
-    ap: &[i8],
-    bp: &[i8],
-    c: &mut [i32],
-    ldc: usize,
-    mr: usize,
-    nr: usize,
-) {
-    micro_kernel_body(kc, ap, bp, c, ldc, mr, nr);
-}
-
-#[inline(always)]
-fn micro_kernel_body(
-    kc: usize,
-    ap: &[i8],
-    bp: &[i8],
-    c: &mut [i32],
-    ldc: usize,
-    mr: usize,
-    nr: usize,
-) {
-    let mut acc = [[0i32; NR]; MR];
-    let (a_panels, _) = ap[..kc * MR].as_chunks::<MR>();
-    let (b_panels, _) = bp[..kc * NR].as_chunks::<NR>();
-    for (av, bv) in a_panels.iter().zip(b_panels) {
-        for r in 0..MR {
-            let a = i32::from(av[r]);
-            for q in 0..NR {
-                acc[r][q] += a * i32::from(bv[q]);
-            }
-        }
-    }
-    for r in 0..mr {
-        let row = &mut c[r * ldc..r * ldc + nr];
-        for (dst, &v) in row.iter_mut().zip(&acc[r][..nr]) {
-            *dst += v;
-        }
-    }
+    qgemm_i8::run(kernels::select_i8(m, n, k), m, n, k, a, b, c);
 }
 
 /// Scalar triple-loop oracle for [`qgemm`] — the reference kernel the
-/// property tests (and `reference-kernels` benchmark builds) compare the
-/// blocked kernel against. Integer arithmetic makes the comparison exact,
-/// not approximate.
+/// property tests (and `reference-kernels` benchmark builds) compare every
+/// selected variant against. Integer arithmetic makes the comparison
+/// exact, not approximate.
 #[cfg(any(test, feature = "reference-kernels"))]
 pub fn qgemm_reference(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
     for i in 0..m {
@@ -210,7 +80,7 @@ mod tests {
         let mut want = vec![0i32; m * n];
         qgemm(m, n, k, &a, &b, &mut got);
         qgemm_reference(m, n, k, &a, &b, &mut want);
-        assert_eq!(got, want, "({m}x{n}x{k}) blocked != reference");
+        assert_eq!(got, want, "({m}x{n}x{k}) selected != reference");
     }
 
     #[test]
@@ -249,7 +119,8 @@ mod tests {
 
     #[test]
     fn extreme_values_do_not_overflow_per_product() {
-        // (-128) * (-128) * k at k = 256 stays well inside i32.
+        // (-128) * (-128) * k at k = 256 stays well inside i32 — and, on
+        // the maddubs path, inside every i16 lane (one product per lane).
         let a = vec![i8::MIN; 4 * 256];
         let b = vec![i8::MIN; 256 * 4];
         let mut c = vec![0i32; 16];
@@ -259,6 +130,8 @@ mod tests {
 
     #[test]
     fn rows_do_not_depend_on_batch_composition() {
+        // The m=1 sub-call classifies as Gemv (scalar kernel) while the
+        // whole batch runs a packed kernel — exactness makes them agree.
         let (m, n, k) = (37, 45, 53);
         let a = fill(m * k, 5);
         let b = fill(k * n, 6);

@@ -3,11 +3,12 @@
 //! The contract under test: with the sparse-delta path enabled (the
 //! default), every workload evaluation is **bit-identical** to a dense
 //! re-inference of the faulted network — for random 1–16-flip
-//! configurations across f32 weights/biases, int8 weight bytes and i32
-//! bias words; on MLP, reduced-ResNet and quantized-MLP fixtures; and in
-//! the forced-fallback cases (conv-layer faults, quantizer scale and
-//! zero-point faults, transient activation sites) where the planner must
-//! refuse and route through the exact incremental path. Campaign reports
+//! configurations across f32 weights/biases, int8 weight bytes, i32
+//! bias words and per-channel f32 weight scales; on MLP, reduced-ResNet
+//! and quantized-MLP fixtures; and in the forced-fallback cases
+//! (conv-layer faults, quantizer zero-point faults, transient activation
+//! sites) where the planner must refuse and route through the exact
+//! incremental path. Campaign reports
 //! must stay worker-count invariant and identical with the delta path
 //! switched off.
 
@@ -238,17 +239,21 @@ fn random_flips_on_quant_mlp_are_bitwise_identical() {
         &SiteSpec::AllParams,
         Arc::new(BernoulliBitFlip::new(1e-3)),
     );
-    // Fuzz across int8 weight bytes and i32 bias words only (scale and
-    // zero-point sites are exercised separately below).
+    // Fuzz across the column-confined site kinds: int8 weight bytes, i32
+    // bias words and per-channel f32 weight scales (zero-point sites fan
+    // out and are exercised separately below).
     let confined: Vec<ParamSite> = qfm
         .sites()
         .params
         .iter()
-        .filter(|s| s.path.ends_with("weight") || s.path.ends_with("bias"))
+        .filter(|s| {
+            s.path.ends_with("weight") || s.path.ends_with("bias") || s.path.ends_with("w_scale")
+        })
         .cloned()
         .collect();
     assert!(confined.iter().any(|s| s.repr == Repr::I8));
     assert!(confined.iter().any(|s| s.repr == Repr::I32Accum));
+    assert!(confined.iter().any(|s| s.repr == Repr::F32));
     let mut rng = StdRng::seed_from_u64(23);
     for round in 0..30 {
         let flips = [1, 2, 4, 8, 16][round % 5];
@@ -268,10 +273,10 @@ fn random_flips_on_quant_mlp_are_bitwise_identical() {
     let (hits, _) = qfm.delta_counters();
     assert!(hits > 0, "quant delta path never fired");
 
-    // Scale/zero-point faults reach every column through the requantizer:
+    // Output zero-point faults reach every column through the requantizer:
     // the planner must refuse, the fallback must stay exact.
-    for path in ["fc1.w_scale", "fc2.out_zp"] {
-        let cfg = single_flip(path, 0, 3);
+    {
+        let cfg = single_flip("fc2.out_zp", 0, 3);
         let before = qfm.delta_counters();
         let mut delta_qfm = qfm.clone();
         let a = delta_qfm.eval_logits(&cfg);
@@ -279,9 +284,24 @@ fn random_flips_on_quant_mlp_are_bitwise_identical() {
         cold.apply(&cfg);
         let b = cold.predict_all(eval.inputs(), 64);
         cold.apply(&cfg);
-        assert_eq!(bits(&a), bits(&b), "{path}: fallback vs re-inference");
+        assert_eq!(bits(&a), bits(&b), "fc2.out_zp: fallback vs re-inference");
         let after = qfm.delta_counters();
-        assert!(after.1 > before.1, "{path} must fall back");
+        assert!(after.1 > before.1, "fc2.out_zp must fall back");
+    }
+    // A per-channel weight scale feeds exactly one column's requantizer,
+    // so its faults ride the delta path — and still bit-match.
+    {
+        let cfg = single_flip("fc1.w_scale", 0, 27);
+        let before = qfm.delta_counters();
+        let mut delta_qfm = qfm.clone();
+        let a = delta_qfm.eval_logits(&cfg);
+        let mut cold = qm.clone();
+        cold.apply(&cfg);
+        let b = cold.predict_all(eval.inputs(), 64);
+        cold.apply(&cfg);
+        assert_eq!(bits(&a), bits(&b), "fc1.w_scale: delta vs re-inference");
+        let after = qfm.delta_counters();
+        assert!(after.0 > before.0, "fc1.w_scale must be a delta hit");
     }
 }
 

@@ -7,15 +7,31 @@ use bdlfi_suite::faults::{
     BernoulliBitFlip, BitRange, FaultConfig, FaultModel, ParamSite, Repr, SiteSpec,
 };
 use bdlfi_suite::nn::{mlp, Sequential};
-use bdlfi_suite::quant::{QParams, Requant};
+use bdlfi_suite::quant::{dequant_acc, requant_rows_into, QParams, Requant};
+use bdlfi_suite::tensor::kernels::qgemm_i8::qgemm_i8_with;
+use bdlfi_suite::tensor::kernels::Variant;
 use bdlfi_suite::tensor::Tensor;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 fn model(seed: u64) -> Sequential {
     let mut rng = StdRng::seed_from_u64(seed);
     mlp(3, &[6], 2, &mut rng)
+}
+
+/// The naive row-major i32 triple loop — the oracle every qgemm
+/// micro-kernel variant must reproduce exactly (accumulating into `c`).
+fn qgemm_naive(m: usize, n: usize, k: usize, a: &[i8], b: &[i8], c: &mut [i32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += i32::from(a[i * k + p]) * i32::from(b[p * n + j]);
+            }
+            c[i * n + j] += acc;
+        }
+    }
 }
 
 proptest! {
@@ -154,6 +170,112 @@ proptest! {
             prop_assert_eq!(flip_bit_u8(flip_bit_u8(x8, bit), bit), x8);
             prop_assert_ne!(flip_bit_u8(x8, bit), x8);
         }
+    }
+
+    // -----------------------------------------------------------------------
+    // Kernel-selector invariants.
+    // -----------------------------------------------------------------------
+
+    /// Every qgemm micro-kernel variant computes exactly the naive i32
+    /// triple loop, over random shapes spanning k = 1, MR/NR remainder
+    /// tiles and multiple KC blocks — integer GEMM admits no tolerance.
+    #[test]
+    fn qgemm_variants_match_naive_reference(
+        m in 1usize..18,
+        n in 1usize..40,
+        k in 1usize..300,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<i8> = (0..m * k).map(|_| rng.random_range(-128i32..=127) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| rng.random_range(-128i32..=127) as i8).collect();
+        let init: Vec<i32> = (0..m * n).map(|_| rng.random_range(-1000i32..1000)).collect();
+        let mut want = init.clone();
+        qgemm_naive(m, n, k, &a, &b, &mut want);
+        for variant in [Variant::Scalar, Variant::Autovec, Variant::Avx2] {
+            let mut c = init.clone();
+            qgemm_i8_with(variant, m, n, k, &a, &b, &mut c);
+            prop_assert!(c == want, "{:?} at ({m},{n},{k})", variant);
+        }
+    }
+
+    /// Saturation-stressing operands — every element drawn from
+    /// {-128, -127, 127} — drive each maddubs i16 lane to its extreme
+    /// |a'·b| = 32640 and the i32 accumulator to its K_MAX envelope; the
+    /// SIMD variants must still be exact, not merely close.
+    #[test]
+    fn qgemm_extreme_operands_stay_exact(
+        m in 1usize..9,
+        n in 1usize..34,
+        k in 1usize..600,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        const EXTREMES: [i8; 3] = [-128, -127, 127];
+        let a: Vec<i8> = (0..m * k).map(|_| EXTREMES[rng.random_range(0..3usize)]).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| EXTREMES[rng.random_range(0..3usize)]).collect();
+        let mut want = vec![0i32; m * n];
+        qgemm_naive(m, n, k, &a, &b, &mut want);
+        for variant in [Variant::Scalar, Variant::Autovec, Variant::Avx2] {
+            let mut c = vec![0i32; m * n];
+            qgemm_i8_with(variant, m, n, k, &a, &b, &mut c);
+            prop_assert!(c == want, "{:?} at ({m},{n},{k})", variant);
+        }
+    }
+
+    /// Per-channel requantization: multipliers built from per-channel
+    /// weight scales stay within the same 1-ULP bound as the per-tensor
+    /// Q31 path, and the batched row helper is bit-identical to the
+    /// per-element chain it vectorizes.
+    #[test]
+    fn per_channel_requant_within_one_ulp_and_batch_exact(
+        in_scale in 1e-4f32..1.0,
+        out_scale in 1e-4f32..1.0,
+        width in 1usize..12,
+        rows in 1usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w_scales: Vec<f32> =
+            (0..width).map(|_| rng.random_range(1e-6f64..0.5) as f32).collect();
+        let rqs: Vec<Requant> = w_scales
+            .iter()
+            .map(|&ws| Requant::from_scales(in_scale, ws, out_scale))
+            .collect();
+        let corrs: Vec<i64> =
+            (0..width).map(|_| rng.random_range(-5000i64..5000)).collect();
+        let acc: Vec<i32> =
+            (0..rows * width).map(|_| rng.random_range(-100_000i32..100_000)).collect();
+        let zp_out = rng.random_range(-128i32..=127);
+
+        // 1-ULP bound against the exact f64 requantizer, per channel.
+        for (r, &a) in acc.iter().enumerate() {
+            let j = r % width;
+            let corrected = a as i64 + corrs[j];
+            let exact = (corrected as f64
+                * (in_scale as f64 * w_scales[j] as f64 / out_scale as f64))
+                .round() as i64;
+            let got = rqs[j].apply(corrected) as i64;
+            prop_assert!(
+                (got - exact).abs() <= 1,
+                "channel {j}: fixed {got} vs exact {exact}"
+            );
+        }
+
+        // The batched helper is bit-identical to the per-element chain.
+        let mut batched = Vec::new();
+        requant_rows_into(&acc, width, &rqs, &corrs, zp_out, out_scale, &mut batched);
+        let per_element: Vec<f32> = acc
+            .iter()
+            .enumerate()
+            .map(|(r, &a)| {
+                let j = r % width;
+                dequant_acc(&rqs[j], a as i64 + corrs[j], zp_out, out_scale)
+            })
+            .collect();
+        let b_bits: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+        let p_bits: Vec<u32> = per_element.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(b_bits, p_bits);
     }
 
     /// Clamping a bit range to a representation never widens it, and the
