@@ -1,0 +1,379 @@
+//! End-to-end smoke scenario for the `bdlfi-serve` daemon, exercised as a
+//! real child *process* (not an in-process handle), so the kill is a real
+//! `SIGKILL` and the journal tail can genuinely tear mid-append.
+//!
+//! Phase 1 — concurrency: spawn a daemon with a two-worker pool, submit
+//! two campaigns, stream both event logs to completion concurrently, and
+//! check each delivered every per-chain result plus live diagnostics.
+//!
+//! Phase 2 — crash recovery: on a fresh state directory, submit the same
+//! spec as phase 1's first job, `SIGKILL` the daemon after the first
+//! journaled result, restart it on the same directory, resume the job
+//! over HTTP, and require the resumed report to be byte-identical (after
+//! normalizing execution metadata) to phase 1's uninterrupted report.
+//!
+//! Exits nonzero on any mismatch; CI runs this as the `serve-smoke` job.
+
+use bdlfi::CampaignConfig;
+use bdlfi_bayes::ChainConfig;
+use bdlfi_faults::SiteSpec;
+use bdlfi_serve::client;
+use bdlfi_serve::spec::{DatasetSpec, DriverSpec, JobSpec, ModelSpec, ScenarioSpec};
+use serde::{Number, Serialize, Value};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn main() {
+    match run() {
+        Ok(()) => println!("serve_smoke: OK"),
+        Err(e) => {
+            eprintln!("serve_smoke: FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let serve_bin = find_serve_binary()?;
+    let scratch = std::env::temp_dir().join(format!("bdlfi-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let result = phases(&serve_bin, &scratch);
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
+fn phases(serve_bin: &Path, scratch: &Path) -> Result<(), String> {
+    let reference = concurrency_phase(serve_bin, &scratch.join("concurrent"))?;
+    crash_recovery_phase(serve_bin, &scratch.join("recovery"), &reference)
+}
+
+/// Two concurrent campaigns over one daemon; returns job 1's report as
+/// the uninterrupted reference for phase 2.
+fn concurrency_phase(serve_bin: &Path, state_dir: &Path) -> Result<Value, String> {
+    println!("phase 1: two concurrent campaigns over a shared pool");
+    let mut daemon = spawn_daemon(serve_bin, state_dir, 2)?;
+    let result = (|| {
+        let addr = daemon.addr.clone();
+        let a = submit(&addr, &smoke_spec(9101))?;
+        let b = submit(&addr, &smoke_spec(9102))?;
+        let streams: Vec<_> = [a.clone(), b.clone()]
+            .into_iter()
+            .map(|id| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    client::request(
+                        &addr,
+                        "GET",
+                        &format!("/jobs/{id}/events"),
+                        None,
+                        Duration::from_secs(300),
+                    )
+                })
+            })
+            .collect();
+        for (stream, id) in streams.into_iter().zip([&a, &b]) {
+            let resp = stream
+                .join()
+                .map_err(|_| "event stream thread panicked".to_string())??;
+            if resp.status != 200 {
+                return Err(format!("event stream for {id} got {}", resp.status));
+            }
+            let results = resp
+                .body
+                .lines()
+                .filter(|l| l.contains(r#""event":"result""#))
+                .count();
+            if results != 4 {
+                return Err(format!("{id}: expected 4 results, streamed {results}"));
+            }
+            if !resp.body.contains(r#""event":"diagnostics""#) {
+                return Err(format!("{id}: no live diagnostics in stream"));
+            }
+            if !resp.body.contains(r#""event":"done""#) {
+                return Err(format!("{id}: stream ended without done"));
+            }
+            println!("  {id}: 4 results + diagnostics streamed to completion");
+        }
+        wait_status(&addr, &a, "done", Duration::from_secs(60))?;
+        wait_status(&addr, &b, "done", Duration::from_secs(60))?;
+        fetch_report(&addr, &a)
+    })();
+    daemon.stop();
+    result
+}
+
+/// Kill the daemon mid-campaign with SIGKILL, restart it on the same
+/// state directory, resume over HTTP, and byte-compare against the
+/// uninterrupted reference.
+fn crash_recovery_phase(
+    serve_bin: &Path,
+    state_dir: &Path,
+    reference: &Value,
+) -> Result<(), String> {
+    println!("phase 2: SIGKILL mid-campaign, restart, resume");
+    let mut daemon = spawn_daemon(serve_bin, state_dir, 1)?;
+    let setup: Result<String, String> = (|| {
+        let id = submit(&daemon.addr, &smoke_spec(9101))?;
+        client::await_in_stream(
+            &daemon.addr,
+            &format!("/jobs/{id}/events"),
+            r#""event":"result""#,
+            1,
+            Duration::from_secs(120),
+        )?;
+        Ok(id)
+    })();
+    let id = match setup {
+        Ok(id) => id,
+        Err(e) => {
+            daemon.stop();
+            return Err(e);
+        }
+    };
+    daemon.kill()?;
+    println!("  daemon killed after first journaled result");
+
+    let mut daemon = spawn_daemon(serve_bin, state_dir, 1)?;
+    let result = (|| {
+        let addr = daemon.addr.clone();
+        let summary = get_json(&addr, &format!("/jobs/{id}"))?;
+        if summary.get("status").and_then(Value::as_str) != Some("interrupted") {
+            return Err(format!(
+                "restart did not recover interrupted status: {summary:?}"
+            ));
+        }
+        if !matches!(summary.get("resumable"), Some(Value::Bool(true))) {
+            return Err("journal did not survive the kill".to_string());
+        }
+        let resp = client::request(
+            &addr,
+            "POST",
+            &format!("/jobs/{id}/resume"),
+            None,
+            Duration::from_secs(10),
+        )?;
+        if resp.status != 202 || !resp.body.contains(r#""resumed_from_journal":true"#) {
+            return Err(format!("resume rejected ({}): {}", resp.status, resp.body));
+        }
+        wait_status(&addr, &id, "done", Duration::from_secs(120))?;
+        let resumed = fetch_report(&addr, &id)?;
+        if normalized_report_bytes(&resumed)? != normalized_report_bytes(reference)? {
+            return Err("resumed report differs from uninterrupted reference".to_string());
+        }
+        println!("  resumed report is byte-identical to the uninterrupted run");
+        Ok(())
+    })();
+    daemon.stop();
+    result
+}
+
+/// A campaign big enough that a kill lands mid-job but small enough to
+/// finish in well under a minute even on a loaded CI runner.
+fn smoke_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        scenario: ScenarioSpec {
+            dataset: DatasetSpec {
+                examples: 200,
+                classes: 3,
+                spread: 0.6,
+                seed: 21,
+                train_frac: 0.7,
+            },
+            model: ModelSpec {
+                hidden: vec![16],
+                epochs: 4,
+                batch_size: 32,
+                lr: 0.1,
+                momentum: 0.9,
+                seed: 22,
+            },
+            quantized: false,
+            sites: SiteSpec::AllParams,
+            flip_probability: 1e-3,
+        },
+        driver: DriverSpec::Campaign {
+            config: CampaignConfig {
+                chains: 4,
+                chain: ChainConfig {
+                    burn_in: 10,
+                    samples: 800,
+                    thin: 1,
+                },
+                seed,
+                workers: 1,
+                ..CampaignConfig::default()
+            },
+        },
+    }
+}
+
+struct DaemonProcess {
+    child: Child,
+    addr: String,
+}
+
+impl DaemonProcess {
+    /// Clean shutdown: ask over HTTP, then wait for exit.
+    fn stop(&mut self) {
+        let _ = client::request(
+            &self.addr,
+            "POST",
+            "/shutdown",
+            None,
+            Duration::from_secs(5),
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => {
+                    let _ = self.child.kill();
+                    let _ = self.child.wait();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// SIGKILL — no chance to flush or settle anything.
+    fn kill(&mut self) -> Result<(), String> {
+        self.child
+            .kill()
+            .map_err(|e| format!("cannot kill daemon: {e}"))?;
+        self.child
+            .wait()
+            .map_err(|e| format!("cannot reap daemon: {e}"))?;
+        Ok(())
+    }
+}
+
+fn spawn_daemon(serve_bin: &Path, state_dir: &Path, pool: usize) -> Result<DaemonProcess, String> {
+    let mut child = Command::new(serve_bin)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            &state_dir.display().to_string(),
+            "--pool",
+            &pool.to_string(),
+            "--sync-every",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", serve_bin.display()))?;
+    let stdout = child.stdout.take().ok_or("daemon stdout not captured")?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .ok_or("daemon exited before announcing its address")?
+        .map_err(|e| format!("cannot read daemon stdout: {e}"))?;
+    let addr = first
+        .rsplit(' ')
+        .next()
+        .filter(|a| a.contains(':'))
+        .ok_or_else(|| format!("unparseable announce line: {first}"))?
+        .to_string();
+    // Drain any further output so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    Ok(DaemonProcess { child, addr })
+}
+
+fn find_serve_binary() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate self: {e}"))?;
+    let dir = me.parent().ok_or("current exe has no parent dir")?;
+    let candidates = [dir.join("bdlfi-serve"), dir.join("bdlfi-serve.exe")];
+    candidates
+        .iter()
+        .find(|p| p.exists())
+        .cloned()
+        .ok_or_else(|| {
+            format!(
+                "bdlfi-serve binary not found next to {} — build it first \
+                 (cargo build --release -p bdlfi-serve)",
+                dir.display()
+            )
+        })
+}
+
+fn submit(addr: &str, spec: &JobSpec) -> Result<String, String> {
+    let body = serde_json::to_string(&spec.to_json_value())
+        .map_err(|e| format!("cannot serialize spec: {e}"))?;
+    let resp = client::request(addr, "POST", "/jobs", Some(&body), Duration::from_secs(30))?;
+    if resp.status != 202 {
+        return Err(format!("submit rejected ({}): {}", resp.status, resp.body));
+    }
+    let summary: Value =
+        serde_json::from_str(&resp.body).map_err(|e| format!("bad submit response: {e}"))?;
+    summary
+        .get("id")
+        .and_then(Value::as_str)
+        .map(ToString::to_string)
+        .ok_or_else(|| format!("submit response has no id: {}", resp.body))
+}
+
+fn get_json(addr: &str, path: &str) -> Result<Value, String> {
+    let resp = client::request(addr, "GET", path, None, Duration::from_secs(10))?;
+    if resp.status != 200 {
+        return Err(format!("GET {path} got {}: {}", resp.status, resp.body));
+    }
+    serde_json::from_str(&resp.body).map_err(|e| format!("GET {path}: bad JSON: {e}"))
+}
+
+fn wait_status(addr: &str, id: &str, want: &str, timeout: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let summary = get_json(addr, &format!("/jobs/{id}"))?;
+        let got = summary
+            .get("status")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        if got == want {
+            return Ok(());
+        }
+        if got.starts_with("failed") || summary.get("error").is_some() {
+            return Err(format!("job {id} failed: {summary:?}"));
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("job {id} stuck at {got}, wanted {want}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn fetch_report(addr: &str, id: &str) -> Result<Value, String> {
+    get_json(addr, &format!("/jobs/{id}/report"))
+}
+
+/// Reports from different attempts must agree on everything except
+/// execution metadata; null out `run_meta` and the granted worker count
+/// before comparing serialized bytes.
+fn normalized_report_bytes(report: &Value) -> Result<String, String> {
+    fn scrub(v: &mut Value) {
+        if let Value::Object(entries) = v {
+            for (key, val) in entries.iter_mut() {
+                if key == "run_meta" {
+                    *val = Value::Null;
+                } else if key == "workers" {
+                    *val = Value::Number(Number::U(0));
+                } else {
+                    scrub(val);
+                }
+            }
+        } else if let Value::Array(items) = v {
+            for item in items.iter_mut() {
+                scrub(item);
+            }
+        }
+    }
+    let mut scrubbed = report.clone();
+    scrub(&mut scrubbed);
+    serde_json::to_string(&scrubbed).map_err(|e| format!("cannot serialize report: {e}"))
+}

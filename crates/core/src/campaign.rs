@@ -607,14 +607,23 @@ pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
     let mut recorded = 0usize;
     let mut run_meta: Option<RunMeta> = None;
     let mut resumed_from = None;
+    let mut truncated_tail = false;
 
     match ckpt {
         Some(spec) if spec.resume => {
-            let (w, replayed) =
-                CheckpointWriter::resume(&spec.path, &header(spec), spec.sync_every)?;
+            let (w, replay) = CheckpointWriter::resume(&spec.path, &header(spec), spec.sync_every)?;
+            let replayed = replay.values;
+            truncated_tail = replay.truncated_tail;
             writer = Some(w);
             segments_done = replayed.len();
             resumed_from = (segments_done > 0).then_some(segments_done);
+            // Replayed segments stream through the observer just like
+            // live ones, so a reattached consumer sees the full history.
+            if let Some(obs) = &ctl.observer {
+                for (i, v) in replayed.iter().enumerate() {
+                    obs.on_result(i, max_segments, v);
+                }
+            }
             // Re-derive the deterministic segment schedule the journaled
             // run followed, so `recorded` matches it exactly.
             for _ in 0..segments_done {
@@ -699,10 +708,15 @@ pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
         });
         recorded += segment;
 
-        if let Some(w) = writer.as_mut() {
+        if writer.is_some() || ctl.observer.is_some() {
             let snapshots: Vec<ChainOutcome> = workers.iter().map(ChainWorker::snapshot).collect();
-            w.append(segments_done, &snapshots)?;
-            w.sync()?;
+            if let Some(w) = writer.as_mut() {
+                w.append(segments_done, &snapshots)?;
+                w.sync()?;
+            }
+            if let Some(obs) = &ctl.observer {
+                obs.on_result(segments_done, max_segments, &snapshots.to_json_value());
+            }
         }
         segments_done += 1;
 
@@ -711,6 +725,7 @@ pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
         if verdict.certified || recorded >= max_samples_per_chain {
             let mut meta = run_meta.unwrap_or_default();
             meta.resumed_from = resumed_from;
+            meta.truncated_tail = truncated_tail;
             let (delta_hits1, delta_fb1) = fm.delta_counters();
             meta.delta_hits = delta_hits1 - delta_hits0;
             meta.delta_fallbacks = delta_fb1 - delta_fb0;

@@ -25,17 +25,24 @@
 //! * **Entries** are appended one line per completed task, in task order,
 //!   and fsync'd in batches (plus once on stop/completion), bounding the
 //!   work lost to a crash to the unsynced tail.
-//! * The **reader** is strict: any malformed or out-of-order line is a
-//!   typed [`CheckpointError::Corrupt`], a header that does not match the
-//!   resuming campaign is a [`CheckpointError::Mismatch`], and resuming a
-//!   journal that already covers every task is
-//!   [`CheckpointError::AlreadyComplete`] — never a panic, never a silent
-//!   partial report.
+//! * The **reader** is strict about everything a crash cannot produce: any
+//!   malformed interior line, invalid UTF-8 on a complete line, or
+//!   out-of-order entry is a typed [`CheckpointError::Corrupt`], a header
+//!   that does not match the resuming campaign is a
+//!   [`CheckpointError::Mismatch`], and resuming a journal that already
+//!   covers every task is [`CheckpointError::AlreadyComplete`] — never a
+//!   panic, never a silent partial report.
+//! * The one thing a crash *does* produce — a torn **final** line, the
+//!   unsynced tail of an append cut short between batched fsyncs — is not
+//!   corruption. The reader discards it, reports `truncated_tail: true` in
+//!   [`JournalContents`], and [`CheckpointWriter::resume`] truncates the
+//!   file back to the last complete entry before appending, so a killed
+//!   process always auto-resumes its own journal.
 
 use serde::Serialize;
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic string identifying a BDLFI checkpoint journal.
@@ -224,62 +231,136 @@ pub fn fingerprint<C: Serialize + ?Sized>(driver: &str, config: &C) -> String {
     format!("{h:016x}")
 }
 
-/// Reads and strictly validates a journal: returns its header and the
-/// journaled result values in task order.
+/// Everything [`read_journal`] recovers from a journal file.
+#[derive(Debug)]
+pub struct JournalContents {
+    /// The validated header line.
+    pub header: CheckpointHeader,
+    /// The journaled result values, in task order. A torn final line is
+    /// *not* included.
+    pub values: Vec<serde::Value>,
+    /// True when the file ended in a torn (newline-less) final line — the
+    /// expected artifact of a crash between batched fsyncs. The torn bytes
+    /// are discarded; `values` stops at the last complete entry.
+    pub truncated_tail: bool,
+    /// Byte length of the journal prefix ending at the last complete
+    /// entry. Equal to the file length unless `truncated_tail` is set.
+    pub complete_len: u64,
+}
+
+/// Reads and validates a journal line by line: returns its header, the
+/// journaled result values in task order, and whether a torn final line
+/// (crash artifact) was discarded.
+///
+/// A line is *complete* only when it is newline-terminated: appends write
+/// the entry and its `\n` together, so truncation by a crash can only ever
+/// leave the final line without one. A complete line that fails UTF-8
+/// validation or JSON parsing, or is out of order, cannot come from a
+/// crash and is hard [`CheckpointError::Corrupt`]. The header is installed
+/// atomically (fsync + rename), so a torn header is also `Corrupt`.
 ///
 /// # Errors
 ///
 /// [`CheckpointError::Io`] if the file cannot be read,
-/// [`CheckpointError::Corrupt`] for any malformed, out-of-order or
-/// truncated line.
-pub fn read_journal(path: &Path) -> Result<(CheckpointHeader, Vec<serde::Value>), CheckpointError> {
-    let text = std::fs::read_to_string(path)?;
-    let mut lines = text.lines();
-    let header_line = lines.next().ok_or(CheckpointError::Corrupt {
+/// [`CheckpointError::Corrupt`] as described above.
+pub fn read_journal(path: &Path) -> Result<JournalContents, CheckpointError> {
+    let mut reader = std::io::BufReader::new(File::open(path)?);
+    let mut buf = Vec::new();
+
+    let n = reader.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Err(CheckpointError::Corrupt {
+            line: 1,
+            detail: "empty journal (no header)".to_string(),
+        });
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(CheckpointError::Corrupt {
+            line: 1,
+            detail: "unterminated header line".to_string(),
+        });
+    }
+    let text = std::str::from_utf8(&buf[..n - 1]).map_err(|_| CheckpointError::Corrupt {
         line: 1,
-        detail: "empty journal (no header)".to_string(),
+        detail: "header is not valid UTF-8".to_string(),
     })?;
-    let header = CheckpointHeader::parse(header_line)?;
+    let header = CheckpointHeader::parse(text)?;
+    let mut complete_len = n as u64;
 
     let mut values = Vec::new();
-    for (idx, line) in lines.enumerate() {
-        let line_no = idx + 2; // 1-based, after the header
-        if line.is_empty() {
-            return Err(CheckpointError::Corrupt {
-                line: line_no,
-                detail: "empty entry line".to_string(),
-            });
+    let mut line_no = 1usize;
+    let mut truncated_tail = false;
+    loop {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            break;
         }
-        let v: serde::Value = serde_json::from_str(line).map_err(|e| CheckpointError::Corrupt {
-            line: line_no,
-            detail: format!("unparseable entry (truncated write?): {e}"),
-        })?;
-        let task = v
-            .get("task")
-            .and_then(serde::Value::as_u64)
-            .ok_or_else(|| CheckpointError::Corrupt {
-                line: line_no,
-                detail: "entry missing `task`".to_string(),
-            })? as usize;
-        if task != idx {
-            return Err(CheckpointError::Corrupt {
-                line: line_no,
-                detail: format!("entry for task {task} where task {idx} was expected"),
-            });
+        line_no += 1;
+        if buf.last() != Some(&b'\n') {
+            // A final line without its newline is the unsynced tail of an
+            // append cut short by a crash; resume recomputes that task.
+            truncated_tail = true;
+            break;
         }
-        let value = v.get("value").ok_or_else(|| CheckpointError::Corrupt {
-            line: line_no,
-            detail: "entry missing `value`".to_string(),
-        })?;
-        if header.tasks > 0 && task >= header.tasks {
-            return Err(CheckpointError::Corrupt {
-                line: line_no,
-                detail: format!("entry for task {task} beyond task count {}", header.tasks),
-            });
-        }
-        values.push(value.clone());
+        values.push(parse_entry(&buf[..n - 1], line_no, values.len(), &header)?);
+        complete_len += n as u64;
     }
-    Ok((header, values))
+    Ok(JournalContents {
+        header,
+        values,
+        truncated_tail,
+        complete_len,
+    })
+}
+
+/// Validates one complete (newline-terminated) entry line.
+fn parse_entry(
+    bytes: &[u8],
+    line_no: usize,
+    idx: usize,
+    header: &CheckpointHeader,
+) -> Result<serde::Value, CheckpointError> {
+    let corrupt = |detail: String| CheckpointError::Corrupt {
+        line: line_no,
+        detail,
+    };
+    if bytes.is_empty() {
+        return Err(corrupt("empty entry line".to_string()));
+    }
+    let line = std::str::from_utf8(bytes)
+        .map_err(|e| corrupt(format!("entry is not valid UTF-8: {e}")))?;
+    let v: serde::Value =
+        serde_json::from_str(line).map_err(|e| corrupt(format!("unparseable entry: {e}")))?;
+    let task = v
+        .get("task")
+        .and_then(serde::Value::as_u64)
+        .ok_or_else(|| corrupt("entry missing `task`".to_string()))? as usize;
+    if task != idx {
+        return Err(corrupt(format!(
+            "entry for task {task} where task {idx} was expected"
+        )));
+    }
+    let value = v
+        .get("value")
+        .ok_or_else(|| corrupt("entry missing `value`".to_string()))?;
+    if header.tasks > 0 && task >= header.tasks {
+        return Err(corrupt(format!(
+            "entry for task {task} beyond task count {}",
+            header.tasks
+        )));
+    }
+    Ok(value.clone())
+}
+
+/// What [`CheckpointWriter::resume`] recovered for replay.
+#[derive(Debug)]
+pub struct Replay {
+    /// The journaled result values, in task order.
+    pub values: Vec<serde::Value>,
+    /// True when a torn final line was discarded and the journal truncated
+    /// back to its last complete entry (kill-mid-append recovery).
+    pub truncated_tail: bool,
 }
 
 /// Appends completed-task results to a journal, fsync'ing in batches.
@@ -328,9 +409,12 @@ impl CheckpointWriter {
         })
     }
 
-    /// Opens an existing journal for appending: validates it strictly,
-    /// checks its header against `expected`, and returns the journaled
-    /// values (in task order) for replay.
+    /// Opens an existing journal for appending: validates it, checks its
+    /// header against `expected`, and returns the journaled values (in
+    /// task order) for replay. A torn final line — the expected artifact
+    /// of a crash between batched fsyncs — is truncated away (the file is
+    /// cut back to the last complete entry before the append handle opens)
+    /// and surfaced as [`Replay::truncated_tail`].
     ///
     /// # Errors
     ///
@@ -342,22 +426,36 @@ impl CheckpointWriter {
         path: &Path,
         expected: &CheckpointHeader,
         sync_every: usize,
-    ) -> Result<(Self, Vec<serde::Value>), CheckpointError> {
-        let (header, values) = read_journal(path)?;
-        header.verify_matches(expected)?;
-        if header.tasks > 0 && values.len() >= header.tasks {
+    ) -> Result<(Self, Replay), CheckpointError> {
+        let contents = read_journal(path)?;
+        contents.header.verify_matches(expected)?;
+        if contents.header.tasks > 0 && contents.values.len() >= contents.header.tasks {
             return Err(CheckpointError::AlreadyComplete {
-                tasks: header.tasks,
+                tasks: contents.header.tasks,
             });
+        }
+        if contents.truncated_tail {
+            // Drop the torn bytes so the next append starts on a clean
+            // line; fsync before appending so the truncation cannot be
+            // reordered after new entries.
+            let tail = OpenOptions::new().write(true).open(path)?;
+            tail.set_len(contents.complete_len)?;
+            tail.sync_data()?;
         }
         let file = OpenOptions::new().append(true).open(path)?;
         let writer = CheckpointWriter {
             file,
-            entries: values.len(),
+            entries: contents.values.len(),
             unsynced: 0,
             sync_every: sync_every.max(1),
         };
-        Ok((writer, values))
+        Ok((
+            writer,
+            Replay {
+                values: contents.values,
+                truncated_tail: contents.truncated_tail,
+            },
+        ))
     }
 
     /// The number of entries the journal holds (replayed + appended).
@@ -458,9 +556,15 @@ mod tests {
             w.append(i, &(i as u64 * 10)).unwrap();
         }
         w.sync().unwrap();
-        let (h, values) = read_journal(&path).unwrap();
-        assert_eq!(h, header(3));
-        let back: Vec<u64> = values
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.header, header(3));
+        assert!(!contents.truncated_tail);
+        assert_eq!(
+            contents.complete_len,
+            std::fs::metadata(&path).unwrap().len()
+        );
+        let back: Vec<u64> = contents
+            .values
             .iter()
             .map(|v| u64::from_json_value(v).unwrap())
             .collect();
@@ -478,33 +582,151 @@ mod tests {
         w.sync().unwrap();
         drop(w);
 
-        let (mut w, replayed) = CheckpointWriter::resume(&path, &header(4), 32).unwrap();
-        assert_eq!(replayed.len(), 2);
+        let (mut w, replay) = CheckpointWriter::resume(&path, &header(4), 32).unwrap();
+        assert_eq!(replay.values.len(), 2);
+        assert!(!replay.truncated_tail);
         assert_eq!(w.entries(), 2);
         w.append(2, &3u64).unwrap();
         w.append(3, &4u64).unwrap();
         w.sync().unwrap();
-        let (_, values) = read_journal(&path).unwrap();
-        assert_eq!(values.len(), 4);
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.values.len(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn truncated_entry_is_a_typed_corrupt_error() {
-        let dir = unique_dir("truncated");
+    fn torn_final_line_is_truncated_and_resumed() {
+        let dir = unique_dir("torn_tail");
         let path = dir.join("j.jsonl");
         let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
         w.append(0, &1u64).unwrap();
         w.append(1, &2u64).unwrap();
         w.sync().unwrap();
         drop(w);
-        // Simulate a torn write: chop the last line mid-JSON.
+        // Simulate a kill between batched fsyncs: chop the last line
+        // mid-JSON. The reader must stop at the last complete entry.
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &text[..text.len() - 5]).unwrap();
-        match CheckpointWriter::resume(&path, &header(4), 32) {
-            Err(CheckpointError::Corrupt { line, .. }) => assert_eq!(line, 3),
+        let contents = read_journal(&path).unwrap();
+        assert!(contents.truncated_tail);
+        assert_eq!(contents.values.len(), 1);
+
+        let (mut w, replay) = CheckpointWriter::resume(&path, &header(4), 32).unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.values.len(), 1);
+        assert_eq!(w.entries(), 1);
+        // The torn bytes are gone: re-appending task 1 yields a journal
+        // byte-identical to one that never tore.
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_multibyte_utf8_tail_is_truncated_not_io() {
+        let dir = unique_dir("torn_utf8");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(3), 32).unwrap();
+        w.append(0, &"plain".to_string()).unwrap();
+        w.append(1, &"émod\u{00e9}".to_string()).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Cut inside the final entry's last multi-byte code point: the
+        // file is no longer valid UTF-8, which used to surface as an
+        // opaque Io error from read_to_string.
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.iter().any(|&b| b > 127), "fixture must be multi-byte");
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert!(contents.truncated_tail);
+        assert_eq!(contents.values.len(), 1);
+        let (w, replay) = CheckpointWriter::resume(&path, &header(3), 32).unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(w.entries(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interior_torn_line_stays_corrupt() {
+        let dir = unique_dir("interior");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // Damage an interior line but keep its newline: truncation by a
+        // crash cannot produce this, so it is hard corruption.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let damaged = text.replacen("{\"task\":0", "{\"task#:0", 1);
+        assert_ne!(damaged, text);
+        std::fs::write(&path, damaged).unwrap();
+        match read_journal(&path) {
+            Err(CheckpointError::Corrupt { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected Corrupt, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interior_invalid_utf8_line_is_corrupt_with_line_number() {
+        let dir = unique_dir("interior_utf8");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte of the first entry line (line 2) to an invalid
+        // UTF-8 sequence, newline intact.
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[header_end + 2] = 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_journal(&path) {
+            Err(CheckpointError::Corrupt { line, detail }) => {
+                assert_eq!(line, 2);
+                assert!(detail.contains("UTF-8"), "detail: {detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn complete_but_unparseable_final_line_stays_corrupt() {
+        let dir = unique_dir("final_complete");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(4), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        // A newline-terminated garbage line was fully written — that is
+        // not a crash artifact and must not be silently dropped.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{broken\n");
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            read_journal(&path),
+            Err(CheckpointError::Corrupt { line: 3, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_header_is_corrupt_not_truncated() {
+        let dir = unique_dir("torn_header");
+        let path = dir.join("j.jsonl");
+        drop(CheckpointWriter::create(&path, &header(4), 32).unwrap());
+        // The header is installed atomically, so a newline-less header
+        // means real corruption, not a crash artifact.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.trim_end()).unwrap();
+        assert!(matches!(
+            read_journal(&path),
+            Err(CheckpointError::Corrupt { line: 1, .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -579,8 +801,8 @@ mod tests {
         w.append(0, &1u64).unwrap();
         w.sync().unwrap();
         drop(w);
-        let (_, replayed) = CheckpointWriter::resume(&path, &header(0), 32).unwrap();
-        assert_eq!(replayed.len(), 1);
+        let (_, replay) = CheckpointWriter::resume(&path, &header(0), 32).unwrap();
+        assert_eq!(replay.values.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

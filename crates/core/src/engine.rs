@@ -77,6 +77,14 @@ pub enum EngineError {
         /// The failure, boxed to keep the variant small.
         source: Box<EngineError>,
     },
+    /// [`RunMeta::try_merged_with`] pooled accounting from runs over
+    /// different engine seeds — the metas describe different campaigns.
+    MetaSeedMismatch {
+        /// The seed of the meta being merged into.
+        expected: u64,
+        /// The seed of the meta being merged.
+        found: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +100,12 @@ impl fmt::Display for EngineError {
             EngineError::Checkpoint(e) => write!(f, "{e}"),
             EngineError::Task { task_id, source } => {
                 write!(f, "task {task_id} failed: {source}")
+            }
+            EngineError::MetaSeedMismatch { expected, found } => {
+                write!(
+                    f,
+                    "cannot pool run accounting across engine seeds: {expected} vs {found}"
+                )
             }
         }
     }
@@ -119,13 +133,28 @@ impl From<CheckpointError> for EngineError {
 /// tests. The engine checks between tasks and drains cleanly — delivered
 /// results stay delivered (and journaled), and the run returns
 /// [`EngineError::Interrupted`].
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct RunControl {
     /// Raise to request a stop at the next task boundary.
     pub stop: Option<Arc<AtomicBool>>,
     /// Stop once this many results (including replayed ones) have been
     /// delivered — a deterministic kill switch for resume tests.
     pub stop_after: Option<usize>,
+    /// Observer notified of every delivered result of a checkpointed run
+    /// (replayed entries on resume, then live completions, in task
+    /// order). `None` — the default — costs nothing: values are only
+    /// serialized for observation when an observer is attached.
+    pub observer: Option<Arc<dyn RunObserver>>,
+}
+
+impl fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("stop", &self.stop)
+            .field("stop_after", &self.stop_after)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl RunControl {
@@ -140,7 +169,7 @@ impl RunControl {
     pub fn with_stop(flag: Arc<AtomicBool>) -> Self {
         RunControl {
             stop: Some(flag),
-            stop_after: None,
+            ..RunControl::default()
         }
     }
 
@@ -148,9 +177,16 @@ impl RunControl {
     #[must_use]
     pub fn stop_after(n: usize) -> Self {
         RunControl {
-            stop: None,
             stop_after: Some(n),
+            ..RunControl::default()
         }
+    }
+
+    /// The same control with a streaming observer attached.
+    #[must_use]
+    pub fn observing(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     fn stop_requested(&self) -> bool {
@@ -158,6 +194,22 @@ impl RunControl {
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
     }
+}
+
+/// Observes a checkpointed run from outside the sink: called once per
+/// delivered result — replayed journal entries first on resume, then live
+/// completions, in task order — with the value as the JSON it is (or
+/// would be) journaled as. This is the streaming hook the campaign server
+/// hangs job-event feeds and live diagnostics off; drivers keep their
+/// private [`CollectSink`]s untouched.
+///
+/// Calls happen inside the engine's ordered delivery path, so
+/// implementations must be quick and must never panic or block
+/// indefinitely (push into a queue, notify a condvar).
+pub trait RunObserver: Send + Sync {
+    /// Result `task_id` of a `tasks`-task run became durable with `value`.
+    /// For open-ended (segmented) runs `tasks` is the segment budget.
+    fn on_result(&self, task_id: usize, tasks: usize, value: &serde::Value);
 }
 
 /// Where (and how) a checkpointed run journals its results.
@@ -216,6 +268,10 @@ pub struct RunMeta {
     /// Evaluations routed to the exact fallback (incremental dense path)
     /// during this run.
     pub delta_fallbacks: u64,
+    /// When resuming: the journal ended in a torn final line (the
+    /// expected artifact of a kill between batched fsyncs) that was
+    /// truncated away before the resume continued.
+    pub truncated_tail: bool,
 }
 
 // The vendored serde derive cannot mark struct fields optional, so RunMeta
@@ -244,6 +300,10 @@ impl Serialize for RunMeta {
                 "delta_fallbacks".to_string(),
                 self.delta_fallbacks.to_json_value(),
             ),
+            (
+                "truncated_tail".to_string(),
+                self.truncated_tail.to_json_value(),
+            ),
         ])
     }
 }
@@ -264,6 +324,9 @@ impl Deserialize for RunMeta {
             // the producing run predates the sparse-delta path.
             delta_hits: opt_counter(entries, "delta_hits")?,
             delta_fallbacks: opt_counter(entries, "delta_fallbacks")?,
+            // Also late additions: absent means the run predates torn-tail
+            // recovery (so nothing was ever truncated).
+            truncated_tail: opt_flag(entries, "truncated_tail")?,
         })
     }
 
@@ -282,12 +345,40 @@ fn opt_counter(entries: &[(String, serde::Value)], name: &str) -> Result<u64, se
     }
 }
 
+/// Like [`opt_counter`] for boolean flags: absent means `false`.
+fn opt_flag(entries: &[(String, serde::Value)], name: &str) -> Result<bool, serde::DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => bool::from_json_value(v),
+        None => Ok(false),
+    }
+}
+
 impl RunMeta {
-    /// Pools this run's accounting with a later run over the same pool —
-    /// used by segmented drivers (adaptive campaigns) that issue several
-    /// engine runs per report.
+    /// Pools this run's accounting with a later run over the same engine
+    /// seed — used by segmented drivers (adaptive campaigns) that issue
+    /// several engine runs per report, and by the campaign server's
+    /// per-job accounting across resume attempts.
+    ///
+    /// **Serial-segments assumption:** `tasks_per_sec` is recomputed from
+    /// the *summed* wall-clock, which is only meaningful when the merged
+    /// segments ran back to back (as the adaptive driver's do, and as a
+    /// job's interrupt/resume attempts do). Segments that overlapped in
+    /// time — e.g. a daemon running two runs concurrently — would
+    /// double-count wall-clock and understate throughput; do not pool
+    /// those with this method.
+    ///
+    /// Both metas must describe runs over the same engine seed: anything
+    /// else is pooling accounting across different campaigns. That is a
+    /// debug assertion here; server request paths use
+    /// [`RunMeta::try_merged_with`], which surfaces it as a typed error
+    /// instead.
     #[must_use]
     pub fn merged_with(self, later: RunMeta) -> RunMeta {
+        debug_assert_eq!(
+            self.seed, later.seed,
+            "RunMeta::merged_with across engine seeds ({} vs {})",
+            self.seed, later.seed
+        );
         let tasks = self.tasks + later.tasks;
         let elapsed_secs = self.elapsed_secs + later.elapsed_secs;
         RunMeta {
@@ -303,7 +394,27 @@ impl RunMeta {
             resumed_from: self.resumed_from.or(later.resumed_from),
             delta_hits: self.delta_hits + later.delta_hits,
             delta_fallbacks: self.delta_fallbacks + later.delta_fallbacks,
+            truncated_tail: self.truncated_tail || later.truncated_tail,
         }
+    }
+
+    /// [`RunMeta::merged_with`] with the seed check surfaced as a typed
+    /// [`EngineError::MetaSeedMismatch`] instead of a debug assertion —
+    /// the form the campaign server uses on request paths, where bad
+    /// accounting must become an error response, never a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MetaSeedMismatch`] when the two metas come from
+    /// runs over different engine seeds.
+    pub fn try_merged_with(self, later: RunMeta) -> Result<RunMeta, EngineError> {
+        if self.seed != later.seed {
+            return Err(EngineError::MetaSeedMismatch {
+                expected: self.seed,
+                found: later.seed,
+            });
+        }
+        Ok(self.merged_with(later))
     }
 }
 
@@ -401,6 +512,28 @@ impl<T: Serialize> Journal<T> for CheckpointWriter {
     }
     fn sync(&mut self) -> Result<(), CheckpointError> {
         CheckpointWriter::sync(self)
+    }
+}
+
+/// Journal wrapper that feeds every recorded result to a [`RunObserver`]
+/// before delegating — the adapter that lets streaming consumers (the
+/// campaign server's job event feeds) see results the moment they enter
+/// the ordered delivery path, without touching the drivers' private sinks.
+struct Observed<'o, J> {
+    inner: J,
+    observer: Option<&'o Arc<dyn RunObserver>>,
+    tasks: usize,
+}
+
+impl<T: Serialize, J: Journal<T>> Journal<T> for Observed<'_, J> {
+    fn record(&mut self, task_id: usize, value: &T) -> Result<(), CheckpointError> {
+        if let Some(obs) = self.observer {
+            obs.on_result(task_id, self.tasks, &value.to_json_value());
+        }
+        self.inner.record(task_id, value)
+    }
+    fn sync(&mut self) -> Result<(), CheckpointError> {
+        self.inner.sync()
     }
 }
 
@@ -540,7 +673,12 @@ impl EvalEngine {
     {
         let started = Instant::now();
         let Some(spec) = ckpt else {
-            return self.run_inner(tasks, 0, &init, &task, sink, &mut NoJournal, ctl, started);
+            let mut journal = Observed {
+                inner: NoJournal,
+                observer: ctl.observer.as_ref(),
+                tasks,
+            };
+            return self.run_inner(tasks, 0, &init, &task, sink, &mut journal, ctl, started);
         };
 
         let header = CheckpointHeader {
@@ -548,31 +686,43 @@ impl EvalEngine {
             seed: self.seed,
             tasks,
         };
-        let (mut writer, replayed) = if spec.resume {
-            CheckpointWriter::resume(&spec.path, &header, spec.sync_every)?
+        let (writer, replay) = if spec.resume {
+            let (writer, replay) = CheckpointWriter::resume(&spec.path, &header, spec.sync_every)?;
+            (writer, Some(replay))
         } else {
             (
                 CheckpointWriter::create(&spec.path, &header, spec.sync_every)?,
-                Vec::new(),
+                None,
             )
         };
+        let truncated_tail = replay.as_ref().is_some_and(|r| r.truncated_tail);
+        let replayed = replay.map(|r| r.values).unwrap_or_default();
         let start = replayed.len();
         assert!(
             start < tasks || tasks == 0,
             "resume rejects complete journals"
         );
         for (i, v) in replayed.iter().enumerate() {
+            if let Some(obs) = &ctl.observer {
+                obs.on_result(i, tasks, v);
+            }
             let value = T::from_json_value(v).map_err(|e| CheckpointError::Corrupt {
                 line: i + 2,
                 detail: format!("journaled value does not deserialize: {e}"),
             })?;
             sink.accept(i, value)?;
         }
+        let mut journal = Observed {
+            inner: writer,
+            observer: ctl.observer.as_ref(),
+            tasks,
+        };
         let mut meta =
-            self.run_inner(tasks, start, &init, &task, sink, &mut writer, ctl, started)?;
+            self.run_inner(tasks, start, &init, &task, sink, &mut journal, ctl, started)?;
         if start > 0 {
             meta.resumed_from = Some(start);
         }
+        meta.truncated_tail = truncated_tail;
         Ok(meta)
     }
 
@@ -817,6 +967,7 @@ impl EvalEngine {
             resumed_from: None,
             delta_hits: 0,
             delta_fallbacks: 0,
+            truncated_tail: false,
         }
     }
 }
@@ -1095,6 +1246,7 @@ mod tests {
             resumed_from: Some(2),
             delta_hits: 7,
             delta_fallbacks: 1,
+            truncated_tail: true,
         };
         let back = RunMeta::from_json_value(&meta.to_json_value()).unwrap();
         assert_eq!(back, meta);
@@ -1111,6 +1263,7 @@ mod tests {
         // Counter fields added later default to zero on legacy reports.
         assert_eq!(from_legacy.delta_hits, 0);
         assert_eq!(from_legacy.delta_fallbacks, 0);
+        assert!(!from_legacy.truncated_tail);
     }
 
     #[test]

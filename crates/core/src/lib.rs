@@ -91,13 +91,17 @@ pub use campaign::{
     run_campaign, run_campaign_adaptive, run_campaign_adaptive_controlled, run_campaign_controlled,
     CampaignConfig, KernelChoice,
 };
-pub use checkpoint::{fingerprint, CheckpointError, CheckpointHeader, CheckpointWriter};
+pub use checkpoint::{
+    fingerprint, read_journal, CheckpointError, CheckpointHeader, CheckpointWriter,
+    JournalContents, Replay,
+};
 pub use completeness::{
     assess, assess_slices, samples_to_certify, CompletenessCriteria, CompletenessReport,
 };
 pub use delta::{forward_delta_f32, forward_delta_quant, DeltaStats, DENSIFY_THRESHOLD};
 pub use engine::{
-    CheckpointSpec, CollectSink, EngineError, EvalEngine, EvalSink, RunControl, RunMeta, TaskCtx,
+    CheckpointSpec, CollectSink, EngineError, EvalEngine, EvalSink, RunControl, RunMeta,
+    RunObserver, TaskCtx,
 };
 pub use faulty_model::FaultyModel;
 pub use layerwise::{

@@ -6,8 +6,13 @@
 //! resumable journal instead of a dead process. A stray `unwrap()` in
 //! those paths reintroduces the abort-the-world failure mode. The rule
 //! polices `crates/core/src/engine.rs`, `crates/core/src/checkpoint.rs`,
-//! and the body of every `impl … EvalSink … for …` block anywhere in the
-//! workspace. Test modules are exempt (tests *should* unwrap).
+//! every file under `crates/server/src/` (PR 8: a daemon request path
+//! that panics kills a connection thread or — worse — the scheduler, so
+//! the whole crate holds to the same discipline; poisoned locks are
+//! recovered with `PoisonError::into_inner`, failures become HTTP error
+//! responses), and the body of every `impl … EvalSink … for …` block
+//! anywhere in the workspace. Test modules are exempt (tests *should*
+//! unwrap).
 //!
 //! Escape hatch: a documented panicking API boundary (e.g. the infallible
 //! `EvalEngine::run` convenience wrapper) carries
@@ -18,6 +23,9 @@ use crate::diag::Finding;
 
 /// Files policed in their entirety (non-test regions).
 const SCOPE_PATHS: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/checkpoint.rs"];
+
+/// Directories whose every file is policed (the daemon's request paths).
+const SCOPE_DIRS: [&str; 1] = ["crates/server/src/"];
 
 /// See module docs.
 pub struct PanicFreePaths;
@@ -32,7 +40,8 @@ impl Rule for PanicFreePaths {
     }
 
     fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
-        let whole_file = SCOPE_PATHS.iter().any(|p| ctx.path.ends_with(p));
+        let whole_file = SCOPE_PATHS.iter().any(|p| ctx.path.ends_with(p))
+            || SCOPE_DIRS.iter().any(|d| ctx.path.contains(d));
         let scopes: Vec<(usize, usize)> = if whole_file {
             vec![(0, ctx.tokens.len())]
         } else {

@@ -133,6 +133,15 @@ fn bd005_scope_is_path_sensitive() {
     assert_clean("bd005_bad.rs", "crates/nn/src/train.rs");
 }
 
+#[test]
+fn bd005_polices_every_server_source_file() {
+    // PR 8: the daemon's request paths hold to the same no-panic
+    // discipline — the whole of crates/server/src/ is in scope, whatever
+    // the file is called.
+    assert_trips("bd005_bad.rs", "crates/server/src/daemon.rs", "BD005");
+    assert_trips("bd005_bad.rs", "crates/server/src/http.rs", "BD005");
+}
+
 // ---- BD006: distinct fingerprints ------------------------------------
 
 #[test]

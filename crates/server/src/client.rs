@@ -1,0 +1,200 @@
+//! A minimal blocking HTTP/1.1 client for the job API — enough for the
+//! smoke scenario and integration tests to submit jobs, poll status, and
+//! drain event streams without external dependencies.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A completed exchange: status code and decoded body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body, chunked transfer decoded.
+    pub body: String,
+}
+
+/// Sends one request and reads the response to end-of-stream (the daemon
+/// closes every connection after one exchange). Streaming endpoints
+/// therefore block until the stream is terminal — useful in tests that
+/// want the full event history.
+///
+/// # Errors
+///
+/// A message describing the connect, write, read, or parse failure.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<Response, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("cannot set timeout: {e}"))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write failed: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read failed: {e}"))?;
+    parse_response(&raw)
+}
+
+/// Opens a streaming `GET` on `path` and blocks until `pattern` has
+/// appeared at least `count` times in the raw stream, then drops the
+/// connection. This is the synchronization primitive for "the job has
+/// made real progress" — e.g. wait for the first `"event":"result"`
+/// before interrupting a daemon mid-flight.
+///
+/// Matching is on the raw chunked stream; each event line is written as
+/// one chunk, so a pattern that fits on one NDJSON line is never split
+/// across chunk frames.
+///
+/// # Errors
+///
+/// A message when the connection fails or the stream ends (or `timeout`
+/// elapses) before `count` occurrences arrive.
+pub fn await_in_stream(
+    addr: &str,
+    path: &str,
+    pattern: &str,
+    count: usize,
+    timeout: Duration,
+) -> Result<(), String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .map_err(|e| format!("cannot set timeout: {e}"))?;
+    let head = format!(
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    );
+    stream
+        .write_all(head.as_bytes())
+        .map_err(|e| format!("write failed: {e}"))?;
+    let deadline = std::time::Instant::now() + timeout;
+    let mut seen = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if occurrences(&seen, pattern.as_bytes()) >= count {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(format!("stream read failed: {e}")),
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!(
+                "timed out waiting for {count}x {pattern:?} in {path}"
+            ));
+        }
+    }
+    if occurrences(&seen, pattern.as_bytes()) >= count {
+        Ok(())
+    } else {
+        Err(format!(
+            "stream ended before {count}x {pattern:?} in {path}"
+        ))
+    }
+}
+
+fn occurrences(haystack: &[u8], needle: &[u8]) -> usize {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return 0;
+    }
+    haystack
+        .windows(needle.len())
+        .filter(|w| w == &needle)
+        .count()
+}
+
+fn parse_response(raw: &[u8]) -> Result<Response, String> {
+    let split = find_blank_line(raw).ok_or("response has no header/body separator")?;
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| "response head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line: {status_line}"))?;
+    let chunked = lines.any(|l| {
+        l.to_ascii_lowercase().starts_with("transfer-encoding:")
+            && l.to_ascii_lowercase().contains("chunked")
+    });
+    let body_bytes = &raw[split + 4..];
+    let body = if chunked {
+        decode_chunked(body_bytes)?
+    } else {
+        body_bytes.to_vec()
+    };
+    Ok(Response {
+        status,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn find_blank_line(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn decode_chunked(mut raw: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or("truncated chunk size line")?;
+        let size_text =
+            std::str::from_utf8(&raw[..line_end]).map_err(|_| "chunk size is not UTF-8")?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| format!("bad chunk size: {size_text}"))?;
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if raw.len() < size + 2 {
+            return Err("truncated chunk body".to_string());
+        }
+        out.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_bodies_decode() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "hello world");
+    }
+
+    #[test]
+    fn plain_bodies_pass_through() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 404);
+        assert_eq!(resp.body, "{}");
+    }
+}

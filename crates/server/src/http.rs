@@ -1,0 +1,182 @@
+//! A deliberately small HTTP/1.1 implementation: exactly what the job API
+//! needs and nothing more.
+//!
+//! One request per connection (`Connection: close`), plain responses with
+//! `Content-Length`, and chunked responses for event streams. Requests
+//! are parsed from raw bytes with hard limits on header and body size so
+//! a malformed or hostile client cannot balloon daemon memory. Every
+//! parse failure maps to a client-error response — nothing on this path
+//! may panic (BD005).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers.
+const MAX_HEAD: usize = 8 * 1024;
+/// Upper bound on a request body (job specs are a few KB).
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed request: method, path, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// The path, query string stripped.
+    pub path: String,
+    /// The raw body (empty when none was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed. Always the client's fault.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+/// Reads one request from the stream.
+///
+/// # Errors
+///
+/// [`BadRequest`] on oversized, truncated, or malformed input (including
+/// I/O errors and read timeouts mid-request — from the daemon's view a
+/// half-sent request is a bad request).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Read byte-wise until the blank line; requests are tiny and this
+    // keeps the body bytes (which follow immediately) out of any buffer.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(BadRequest("request head too large".to_string()));
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(BadRequest("connection closed mid-request".to_string())),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(BadRequest(format!("read error: {e}"))),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| BadRequest("request head is not valid UTF-8".to_string()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| BadRequest("empty request".to_string()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| BadRequest("missing method".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| BadRequest("missing request target".to_string()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| BadRequest("bad content-length".to_string()))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(BadRequest(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY} byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| BadRequest(format!("truncated body: {e}")))?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. Write errors are returned
+/// for logging; by this point the request is already handled, so callers
+/// may ignore a client that hung up.
+///
+/// # Errors
+///
+/// The underlying socket write error.
+pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// [`respond_json`] with an `{"error": ...}` payload.
+///
+/// # Errors
+///
+/// The underlying socket write error.
+pub fn respond_error(stream: &mut TcpStream, status: u16, msg: &str) -> std::io::Result<()> {
+    let body = serde_json::to_string(&serde::Value::Object(vec![(
+        "error".to_string(),
+        serde::Value::String(msg.to_string()),
+    )]))
+    .unwrap_or_else(|_| "{\"error\":\"unprintable\"}".to_string());
+    respond_json(stream, status, &body)
+}
+
+/// A chunked `application/x-ndjson` response in progress: one chunk per
+/// event line, flushed immediately so clients see results live.
+#[derive(Debug)]
+pub struct ChunkedWriter<'s> {
+    stream: &'s mut TcpStream,
+}
+
+impl<'s> ChunkedWriter<'s> {
+    /// Sends the streaming response head.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket write error.
+    pub fn begin(stream: &'s mut TcpStream) -> std::io::Result<ChunkedWriter<'s>> {
+        stream.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        )?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends one event line as its own chunk (newline appended).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket write error (client hung up).
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        let chunk = format!("{:x}\r\n{line}\n\r\n", line.len() + 1);
+        self.stream.write_all(chunk.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero chunk.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket write error.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}

@@ -1,0 +1,44 @@
+//! # bdlfi-serve
+//!
+//! A long-running campaign service over the BDLFI evaluation engine:
+//! submit fault-injection studies (campaigns, sweeps, layerwise scans —
+//! f32 or int8) as JSON over a hand-rolled HTTP/1.1 API, watch per-task
+//! results and live mixing diagnostics (split-R̂, ESS, MCSE,
+//! certification) stream back over chunked NDJSON, and let the daemon
+//! schedule many concurrent jobs fairly over one shared worker pool.
+//!
+//! Every job is crash-safe: the submitted spec is persisted, results are
+//! journaled through the engine's checkpoint layer, and a restarted
+//! daemon resumes interrupted jobs from their journals — bit-identical to
+//! a run that was never interrupted, including after a kill that tore the
+//! journal's final line mid-append.
+//!
+//! No external dependencies: TCP from `std`, JSON from the workspace's
+//! vendored `serde`, evaluation from [`bdlfi`].
+//!
+//! ## Endpoints
+//!
+//! | Method | Path | Purpose |
+//! |---|---|---|
+//! | `GET` | `/healthz` | liveness probe |
+//! | `POST` | `/jobs` | submit a [`spec::JobSpec`], returns the job summary |
+//! | `GET` | `/jobs` | list all jobs |
+//! | `GET` | `/jobs/{id}` | one job's status + pooled accounting |
+//! | `GET` | `/jobs/{id}/events` | chunked NDJSON stream of results + diagnostics |
+//! | `GET` | `/jobs/{id}/report` | the final driver report |
+//! | `POST` | `/jobs/{id}/cancel` | interrupt at the next task boundary |
+//! | `POST` | `/jobs/{id}/resume` | re-enqueue an interrupted/failed job |
+//! | `POST` | `/shutdown` | stop the daemon (jobs stay resumable) |
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod jobs;
+pub mod pool;
+pub mod spec;
+
+pub use daemon::{Daemon, DaemonHandle, ServeConfig};
+pub use jobs::{JobStatus, Registry};
+pub use spec::{job_fingerprint, JobSpec};

@@ -1,0 +1,80 @@
+//! The `bdlfi-serve` binary: parse flags, bind, serve until shutdown.
+
+use bdlfi_serve::{Daemon, ServeConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: bdlfi-serve --state-dir DIR [--addr HOST:PORT] [--pool N] [--sync-every N]
+
+  --state-dir DIR   where job specs, journals and reports live (required)
+  --addr HOST:PORT  listen address (default 127.0.0.1:7878; port 0 = auto)
+  --pool N          worker-pool budget (default 0 = one per core)
+  --sync-every N    journal fsync cadence in appends (default 1)
+";
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut state_dir: Option<PathBuf> = None;
+    let mut workers = 0usize;
+    let mut sync_every = 1usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = take("--addr"),
+            "--state-dir" => state_dir = Some(PathBuf::from(take("--state-dir"))),
+            "--pool" => {
+                workers = take("--pool").parse().unwrap_or_else(|_| {
+                    eprintln!("--pool needs an integer\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--sync-every" => {
+                sync_every = take("--sync-every").parse().unwrap_or_else(|_| {
+                    eprintln!("--sync-every needs an integer\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(state_dir) = state_dir else {
+        eprintln!("--state-dir is required\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    let cfg = ServeConfig {
+        state_dir,
+        workers,
+        sync_every,
+    };
+    let daemon = match Daemon::bind(&addr, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bdlfi-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The orchestration scripts parse this line to learn the real port
+    // when 0 was requested.
+    println!("bdlfi-serve listening on {}", daemon.addr());
+    let mut handle = daemon.start();
+    while !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    handle.shutdown();
+}

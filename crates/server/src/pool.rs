@@ -1,0 +1,182 @@
+//! The shared worker pool: one fixed budget of worker permits that every
+//! concurrently running job draws engine threads from.
+//!
+//! The engine itself spawns scoped threads per run; what the daemon needs
+//! is *admission control* — a way to cap the total engine parallelism
+//! across jobs and split it fairly when several jobs are in flight. The
+//! scheduler (in [`crate::daemon`]) asks for a fair share
+//! (`total / (waiting + 1)`, at least 1) and the pool blocks until at
+//! least one permit is free, granting up to the request. Grants are
+//! released by dropping the [`PoolGrant`] guard, waking the next waiter
+//! (FIFO wakeup via condvar, so a large job cannot starve a small one
+//! indefinitely — everyone re-contends each release).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// A fixed budget of engine-worker permits shared by all running jobs.
+#[derive(Debug)]
+pub struct WorkerPool {
+    total: usize,
+    free: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// Permits held by one running job; released on drop.
+#[derive(Debug)]
+pub struct PoolGrant<'p> {
+    pool: &'p WorkerPool,
+    n: usize,
+}
+
+impl PoolGrant<'_> {
+    /// How many engine workers this grant allows.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for PoolGrant<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.n);
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `total` permits (`0` = one per available core).
+    #[must_use]
+    pub fn new(total: usize) -> Self {
+        let total = if total == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            total
+        };
+        WorkerPool {
+            total,
+            free: Mutex::new(total),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The pool's total permit budget.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks until at least one permit is free, then takes up to `want`
+    /// of the free ones. Returns `None` (without taking anything) once
+    /// `cancel` is raised — the shutdown path.
+    pub fn acquire(&self, want: usize, cancel: &AtomicBool) -> Option<PoolGrant<'_>> {
+        let n = self.take(want, cancel)?;
+        Some(PoolGrant { pool: self, n })
+    }
+
+    /// [`WorkerPool::acquire`] returning a `'static` grant that can move
+    /// into a runner thread.
+    pub fn acquire_owned(self: &Arc<Self>, want: usize, cancel: &AtomicBool) -> Option<OwnedGrant> {
+        let n = self.take(want, cancel)?;
+        Some(OwnedGrant {
+            pool: Arc::clone(self),
+            n,
+        })
+    }
+
+    fn take(&self, want: usize, cancel: &AtomicBool) -> Option<usize> {
+        let want = want.clamp(1, self.total);
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if cancel.load(Ordering::Relaxed) {
+                return None;
+            }
+            if *free > 0 {
+                let n = want.min(*free);
+                *free -= n;
+                return Some(n);
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(free, std::time::Duration::from_millis(100))
+                .unwrap_or_else(PoisonError::into_inner);
+            free = guard;
+        }
+    }
+
+    fn release(&self, n: usize) {
+        let mut free = self.free.lock().unwrap_or_else(PoisonError::into_inner);
+        *free += n;
+        self.cv.notify_all();
+    }
+}
+
+/// Permits held by one running job through an [`Arc`]'d pool; released on
+/// drop, from whichever thread the grant migrated to.
+#[derive(Debug)]
+pub struct OwnedGrant {
+    pool: Arc<WorkerPool>,
+    n: usize,
+}
+
+impl OwnedGrant {
+    /// How many engine workers this grant allows.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for OwnedGrant {
+    fn drop(&mut self) {
+        self.pool.release(self.n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn grants_split_the_budget_and_release_on_drop() {
+        let pool = WorkerPool::new(4);
+        let cancel = AtomicBool::new(false);
+        let a = pool.acquire(2, &cancel).unwrap();
+        assert_eq!(a.workers(), 2);
+        let b = pool.acquire(4, &cancel).unwrap();
+        // Only 2 were free; the grant degrades rather than blocking.
+        assert_eq!(b.workers(), 2);
+        drop(a);
+        let c = pool.acquire(1, &cancel).unwrap();
+        assert_eq!(c.workers(), 1);
+    }
+
+    #[test]
+    fn acquire_blocks_until_release_then_wakes() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let held = pool.acquire(1, &cancel).unwrap();
+        let p = Arc::clone(&pool);
+        let c = Arc::clone(&cancel);
+        let waiter = std::thread::spawn(move || p.acquire(1, &c).map(|g| g.workers()));
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn cancel_unblocks_waiters_empty_handed() {
+        let pool = Arc::new(WorkerPool::new(1));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let _held = pool.acquire(1, &cancel).unwrap();
+        let p = Arc::clone(&pool);
+        let c = Arc::clone(&cancel);
+        let waiter = std::thread::spawn(move || p.acquire(1, &c).is_none());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        cancel.store(true, Ordering::Relaxed);
+        assert!(waiter.join().unwrap());
+    }
+}

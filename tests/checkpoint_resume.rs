@@ -513,20 +513,52 @@ fn interrupted_journal(
 }
 
 #[test]
-fn truncated_journal_line_is_a_typed_corruption_error() {
+fn torn_final_journal_line_is_truncated_and_resumed() {
+    // A kill mid-append leaves the final line unterminated. That is the
+    // expected crash artifact, not corruption: the reader truncates the
+    // torn tail, surfaces `truncated_tail`, and the resume recomputes the
+    // lost task — producing a report bit-identical to an uninterrupted run.
     let scratch = Scratch::new("truncated");
     let (fi, cfg, spec) = interrupted_journal(&scratch, "torn.ckpt");
+    let reference = fi.run(&cfg);
     // Tear the last journal line mid-record, as a crash mid-write would.
     let contents = std::fs::read_to_string(&spec.path).unwrap();
     let torn = &contents[..contents.trim_end().len() - 5];
     std::fs::write(&spec.path, torn).unwrap();
 
+    let resumed = fi
+        .run_controlled(&cfg, &RunControl::new(), Some(&spec.resuming()))
+        .expect("torn final line must resume, not error");
+    assert_eq!(resumed.errors, reference.errors);
+    assert_eq!(resumed.sdc.successes, reference.sdc.successes);
+    assert_eq!(resumed.mean_error, reference.mean_error);
+    assert!(
+        resumed.run_meta.truncated_tail,
+        "tail truncation not surfaced"
+    );
+    // 7 entries were journaled; the torn 7th was dropped, 6 replayed.
+    assert_eq!(resumed.run_meta.resumed_from, Some(6));
+}
+
+#[test]
+fn interior_torn_journal_line_is_a_typed_corruption_error() {
+    // Only the *final* line can be a crash artifact. A short line with
+    // complete lines after it cannot come from a kill mid-append — that
+    // is real corruption and must stay a typed error.
+    let scratch = Scratch::new("interior");
+    let (fi, cfg, spec) = interrupted_journal(&scratch, "interior.ckpt");
+    let contents = std::fs::read_to_string(&spec.path).unwrap();
+    let mut lines: Vec<&str> = contents.lines().collect();
+    let damaged = &lines[3][..lines[3].len() - 4];
+    lines[3] = damaged;
+    std::fs::write(&spec.path, lines.join("\n") + "\n").unwrap();
+
     let err = fi
-        .run_controlled(&cfg, &RunControl::new(), Some(&spec.clone().resuming()))
+        .run_controlled(&cfg, &RunControl::new(), Some(&spec.resuming()))
         .unwrap_err();
     match err {
         EngineError::Checkpoint(CheckpointError::Corrupt { line, .. }) => {
-            assert!(line > 1, "corruption is in an entry line, got line {line}");
+            assert_eq!(line, 4, "corruption should be pinned to the damaged line");
         }
         other => panic!("expected Checkpoint(Corrupt), got {other}"),
     }
