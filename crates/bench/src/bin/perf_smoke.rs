@@ -34,6 +34,13 @@
 //!    is the AVX2 maddubs kernel, int8 throughput must be at least 1.0×
 //!    f32 (recorded-only on hosts without AVX2 or under a forced
 //!    `BDLFI_KERNEL`).
+//! 5. **Sharded campaign** — the checkpointed reference campaign run as
+//!    one process versus split into N shard *processes* (each re-spawns
+//!    this binary with `--shard-campaign`), merged back with the strict
+//!    journal-merge verifier. The merged journal must be byte-identical
+//!    to the single-process journal — that assertion is mandatory; the
+//!    speedup is recorded (it only exceeds 1 on hosts with free cores,
+//!    since each side pays its own training + startup cost).
 //!
 //! Run with `cargo run --release -p bdlfi-bench --bin perf_smoke`.
 //!
@@ -51,11 +58,26 @@
 //!   interrupted-then-resumed run is byte-identical to an uninterrupted
 //!   one;
 //! * `--workers N` — engine worker threads (default 0 = all cores).
+//!
+//! # Shard modes
+//!
+//! `perf_smoke --shard-campaign --count N --index I --checkpoint PATH`
+//! runs shard `I` of the same deterministic campaign split `N` ways
+//! (global chain ids, per-shard fingerprint); `--resume` and
+//! `--stop-after K` behave as in `--campaign` (cooperative stop exits 3).
+//! `perf_smoke --shard-merge --baseline SINGLE --out MERGED SHARD...`
+//! rebuilds the shard plan from the single-process journal's header,
+//! merges the shard journals with the strict verifier, and with
+//! `--report PATH` finalizes the merged journal through the normal driver
+//! path (full replay, zero recomputation) and writes the normalized
+//! report. The CI `shard-smoke` job drives both modes and `cmp`s the
+//! merged artifacts against the single-process ones.
 
 use bdlfi::engine::{CheckpointSpec, EngineError, RunControl, RunMeta};
 use bdlfi::{
-    run_campaign, run_campaign_controlled, CampaignConfig, CampaignReport, FaultyModel,
-    KernelChoice, QuantFaultyModel,
+    merge_shards, read_journal, run_campaign, run_campaign_controlled, run_campaign_shard,
+    CampaignConfig, CampaignReport, FaultyModel, KernelChoice, QuantFaultyModel, ShardError,
+    ShardPlan,
 };
 use bdlfi_baseline::{RandomFi, RandomFiConfig};
 use bdlfi_bayes::ChainConfig;
@@ -126,11 +148,24 @@ struct QuantReport {
 }
 
 #[derive(Serialize)]
+struct ShardMergeBenchReport {
+    scenario: String,
+    network: String,
+    chains: usize,
+    shards: usize,
+    single_process_secs: f64,
+    sharded_secs: f64,
+    speedup: f64,
+    merged_byte_identical: bool,
+}
+
+#[derive(Serialize)]
 struct BenchReport {
     incremental: IncrementalReport,
     sparse_delta: SparseDeltaReport,
     baseline_fi: BaselineFiReport,
     quant: QuantReport,
+    shard_merge: ShardMergeBenchReport,
 }
 
 fn incremental_bench() -> IncrementalReport {
@@ -440,6 +475,8 @@ struct CampaignArgs {
     stop_after: Option<usize>,
     report: Option<PathBuf>,
     workers: usize,
+    count: Option<usize>,
+    index: Option<usize>,
 }
 
 fn parse_campaign_args(mut args: std::env::Args) -> CampaignArgs {
@@ -449,6 +486,8 @@ fn parse_campaign_args(mut args: std::env::Args) -> CampaignArgs {
         stop_after: None,
         report: None,
         workers: 0,
+        count: None,
+        index: None,
     };
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -463,16 +502,210 @@ fn parse_campaign_args(mut args: std::env::Args) -> CampaignArgs {
             }
             "--report" => out.report = Some(PathBuf::from(value("--report"))),
             "--workers" => out.workers = value("--workers").parse().expect("--workers: usize"),
+            "--count" => out.count = Some(value("--count").parse().expect("--count: usize")),
+            "--index" => out.index = Some(value("--index").parse().expect("--index: usize")),
             other => panic!("unknown flag {other}"),
         }
     }
     out
 }
 
-/// The deterministic campaign the checkpoint mode runs: a trained MLP with
-/// Bernoulli faults over all parameters. Everything is seeded, so reports
-/// from any interrupt/resume schedule must agree bit for bit.
-fn checkpointed_campaign(args: &CampaignArgs) -> Result<(), EngineError> {
+/// One shard of the reference campaign, split `--count` ways: the shard's
+/// journal is its whole output; merge the completed set with
+/// `--shard-merge`.
+fn shard_campaign(args: &CampaignArgs) -> Result<(), ShardError> {
+    let (fm, cfg) = checkpointed_workload(args.workers);
+    let count = args.count.expect("--shard-campaign requires --count");
+    let index = args.index.expect("--shard-campaign requires --index");
+    let path = args
+        .checkpoint
+        .clone()
+        .expect("--shard-campaign requires --checkpoint");
+    let ctl = match args.stop_after {
+        Some(n) => RunControl::stop_after(n),
+        None => RunControl::new(),
+    };
+    let spec = CheckpointSpec::new(path, String::new());
+    let spec = if args.resume { spec.resuming() } else { spec };
+    let meta = run_campaign_shard(&fm, &cfg, count, index, &ctl, &spec)?;
+    println!(
+        "shard {index}/{count} complete: {} chains journaled",
+        meta.tasks
+    );
+    Ok(())
+}
+
+struct ShardMergeArgs {
+    baseline: PathBuf,
+    out: PathBuf,
+    count: Option<usize>,
+    report: Option<PathBuf>,
+    workers: usize,
+    shards: Vec<PathBuf>,
+}
+
+fn parse_shard_merge_args(mut args: std::env::Args) -> ShardMergeArgs {
+    let mut baseline = None;
+    let mut out = ShardMergeArgs {
+        baseline: PathBuf::new(),
+        out: PathBuf::new(),
+        count: None,
+        report: None,
+        workers: 0,
+        shards: Vec::new(),
+    };
+    let mut merged = None;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline"))),
+            "--out" => merged = Some(PathBuf::from(value("--out"))),
+            "--count" => out.count = Some(value("--count").parse().expect("--count: usize")),
+            "--report" => out.report = Some(PathBuf::from(value("--report"))),
+            "--workers" => out.workers = value("--workers").parse().expect("--workers: usize"),
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            shard => out.shards.push(PathBuf::from(shard)),
+        }
+    }
+    out.baseline = baseline.expect("--shard-merge requires --baseline SINGLE_PROCESS_JOURNAL");
+    out.out = merged.expect("--shard-merge requires --out MERGED_JOURNAL");
+    assert!(!out.shards.is_empty(), "--shard-merge needs shard journals");
+    out
+}
+
+/// Merges completed shard journals of the reference campaign; the plan
+/// (base fingerprint, seed, task count) is read back from the
+/// single-process baseline journal's header. With `--report`, finalizes
+/// the merged journal through the normal driver path — a full replay that
+/// recomputes nothing — and writes the normalized report.
+fn shard_merge(args: &ShardMergeArgs) -> Result<(), ShardError> {
+    let whole = read_journal(&args.baseline).map_err(ShardError::Checkpoint)?;
+    let count = args.count.unwrap_or(args.shards.len());
+    let plan = ShardPlan::new(
+        whole.header.fingerprint.clone(),
+        whole.header.seed,
+        whole.header.tasks,
+        count,
+    )?;
+    let summary = merge_shards(&plan, &args.shards, &args.out)?;
+    println!(
+        "merged {} shards, {} chains, {} bytes -> {}",
+        summary.shards,
+        summary.tasks,
+        summary.bytes,
+        args.out.display()
+    );
+    if let Some(path) = &args.report {
+        let (fm, cfg) = checkpointed_workload(args.workers);
+        let spec = CheckpointSpec::new(args.out.clone(), String::new()).finalizing();
+        let mut report = run_campaign_controlled(&fm, &cfg, &RunControl::new(), Some(&spec))?;
+        assert_eq!(
+            report.run_meta.resumed_from,
+            Some(cfg.chains),
+            "finalize must replay every chain from the merged journal"
+        );
+        report.run_meta = RunMeta::default();
+        let json = serde_json::to_string_pretty(&report).expect("report serialises");
+        std::fs::write(path, &json).expect("cannot write report");
+        println!(
+            "finalized report: mean_error {:.6}, {} chains",
+            report.mean_error, report.config.chains
+        );
+    }
+    Ok(())
+}
+
+/// The sharded-campaign scenario of the default bench run: the reference
+/// campaign as one process versus `SHARDS` child processes of this same
+/// binary, merged back and checked byte-for-byte against the
+/// single-process journal.
+fn shard_merge_bench() -> ShardMergeBenchReport {
+    const SHARDS: usize = 4;
+    let exe = std::env::current_exe().expect("current_exe resolves");
+    let dir = std::env::temp_dir().join(format!("bdlfi_shard_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let single = dir.join("single.jsonl");
+
+    // Both sides pay training + process startup, so the comparison is
+    // end-to-end: child processes only, no in-process shortcut.
+    let t0 = Instant::now();
+    let status = std::process::Command::new(&exe)
+        .args(["--campaign", "--workers", "1", "--checkpoint"])
+        .arg(&single)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("single-process campaign spawns");
+    assert!(status.success(), "single-process campaign failed");
+    let single_secs = t0.elapsed().as_secs_f64();
+
+    let shard_paths: Vec<PathBuf> = (0..SHARDS)
+        .map(|i| dir.join(format!("shard{i}.jsonl")))
+        .collect();
+    let t1 = Instant::now();
+    let children: Vec<_> = shard_paths
+        .iter()
+        .enumerate()
+        .map(|(i, path)| {
+            std::process::Command::new(&exe)
+                .args([
+                    "--shard-campaign",
+                    "--workers",
+                    "1",
+                    "--count",
+                    &SHARDS.to_string(),
+                    "--index",
+                    &i.to_string(),
+                    "--checkpoint",
+                ])
+                .arg(path)
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("shard process spawns")
+        })
+        .collect();
+    for mut child in children {
+        let status = child.wait().expect("shard process completes");
+        assert!(status.success(), "shard process failed");
+    }
+    let sharded_secs = t1.elapsed().as_secs_f64();
+
+    let whole = read_journal(&single).expect("single-process journal reads");
+    let plan = ShardPlan::new(
+        whole.header.fingerprint.clone(),
+        whole.header.seed,
+        whole.header.tasks,
+        SHARDS,
+    )
+    .expect("shard plan is valid");
+    let merged = dir.join("merged.jsonl");
+    merge_shards(&plan, &shard_paths, &merged).expect("shard merge succeeds");
+    let merged_byte_identical = std::fs::read(&merged).expect("merged journal reads")
+        == std::fs::read(&single).expect("single journal reads");
+    let chains = whole.header.tasks;
+    std::fs::remove_dir_all(&dir).ok();
+
+    ShardMergeBenchReport {
+        scenario: format!(
+            "checkpointed campaign, 1 process vs {SHARDS} shard processes + strict merge"
+        ),
+        network: "trained mlp 2 -> [16, 16] -> 3".into(),
+        chains,
+        shards: SHARDS,
+        single_process_secs: single_secs,
+        sharded_secs,
+        speedup: single_secs / sharded_secs,
+        merged_byte_identical,
+    }
+}
+
+/// The deterministic campaign the checkpoint and shard modes run: a
+/// trained MLP with Bernoulli faults over all parameters. Everything is
+/// seeded, so reports from any interrupt/resume/shard schedule must agree
+/// bit for bit.
+fn checkpointed_workload(workers: usize) -> (FaultyModel, CampaignConfig) {
     let mut rng = StdRng::seed_from_u64(900);
     let data = gaussian_blobs(200, 3, 0.6, &mut rng);
     let (train, test) = data.split(0.7, &mut rng);
@@ -502,8 +735,13 @@ fn checkpointed_campaign(args: &CampaignArgs) -> Result<(), EngineError> {
         kernel: KernelChoice::Prior,
         seed: 9,
         criteria: Default::default(),
-        workers: args.workers,
+        workers,
     };
+    (fm, cfg)
+}
+
+fn checkpointed_campaign(args: &CampaignArgs) -> Result<(), EngineError> {
+    let (fm, cfg) = checkpointed_workload(args.workers);
 
     let ctl = match args.stop_after {
         Some(n) => RunControl::stop_after(n),
@@ -574,6 +812,24 @@ fn main() {
                     std::process::exit(1);
                 }
             },
+            "--shard-campaign" => match shard_campaign(&parse_campaign_args(args)) {
+                Ok(()) => return,
+                Err(ShardError::Engine(EngineError::Interrupted { completed, tasks })) => {
+                    eprintln!("interrupted after {completed}/{tasks} chains (journal flushed)");
+                    std::process::exit(3);
+                }
+                Err(e) => {
+                    eprintln!("shard campaign failed: {e}");
+                    std::process::exit(1);
+                }
+            },
+            "--shard-merge" => match shard_merge(&parse_shard_merge_args(args)) {
+                Ok(()) => return,
+                Err(e) => {
+                    eprintln!("shard merge failed: {e}");
+                    std::process::exit(1);
+                }
+            },
             "--quant" => {
                 let quant = quant_bench();
                 let json = serde_json::to_string_pretty(&quant).expect("report serialises");
@@ -590,7 +846,10 @@ fn main() {
                 report_delta(&delta);
                 return;
             }
-            other => panic!("unknown mode {other}; try --campaign, --quant or --delta"),
+            other => panic!(
+                "unknown mode {other}; try --campaign, --shard-campaign, \
+                 --shard-merge, --quant or --delta"
+            ),
         }
     }
 
@@ -599,6 +858,7 @@ fn main() {
         sparse_delta: delta_bench(300),
         baseline_fi: baseline_fi_bench(),
         quant: quant_bench(),
+        shard_merge: shard_merge_bench(),
     };
 
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
@@ -649,4 +909,14 @@ fn main() {
     );
 
     report_quant(&report.quant);
+
+    let sm = &report.shard_merge;
+    assert!(
+        sm.merged_byte_identical,
+        "merged shard journals diverged from the single-process journal"
+    );
+    println!(
+        "{} shard processes vs 1: {:.2}x ({:.1}s vs {:.1}s), merged journal byte-identical",
+        sm.shards, sm.speedup, sm.sharded_secs, sm.single_process_secs
+    );
 }

@@ -206,6 +206,7 @@ fn smoke_spec(seed: u64) -> JobSpec {
                 ..CampaignConfig::default()
             },
         },
+        shard: None,
     }
 }
 

@@ -48,6 +48,20 @@ impl Default for BoundaryConfig {
     }
 }
 
+impl BoundaryConfig {
+    /// The config with execution-only fields pinned, for journal
+    /// fingerprinting. Maps are bit-identical at every worker count, so
+    /// `workers` is scheduling metadata, not map identity: a journal
+    /// written at `workers: 1` must resume under any other worker count.
+    #[must_use]
+    pub fn fingerprint_form(&self) -> BoundaryConfig {
+        BoundaryConfig {
+            workers: 0,
+            ..*self
+        }
+    }
+}
+
 /// The per-point fault-induced error-probability map over a 2-D input
 /// space.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -258,7 +272,7 @@ pub fn boundary_map_controlled(
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
     let ckpt = ckpt.cloned().map(|mut spec| {
         if spec.fingerprint.is_empty() {
-            spec.fingerprint = fingerprint("boundary_map", cfg);
+            spec.fingerprint = fingerprint("boundary_map", &cfg.fingerprint_form());
         }
         spec
     });

@@ -13,9 +13,12 @@
 
 use crate::checkpoint::{fingerprint, CheckpointError, CheckpointHeader, CheckpointWriter};
 use crate::completeness::{assess, CompletenessCriteria, CompletenessReport};
-use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
+use crate::engine::{
+    CheckpointSpec, CollectSink, EngineError, EvalEngine, NullSink, RunControl, RunMeta,
+};
 use crate::proposals::{BitToggleProposal, GibbsBitProposal, PriorProposal};
 use crate::report::CampaignReport;
+use crate::shard::{ShardError, ShardPlan};
 use crate::workload::FaultWorkload;
 use bdlfi_bayes::{
     run_chain, seed_stream, self_normalized_estimate, ChainConfig, MixtureProposal, Proposal, Trace,
@@ -107,6 +110,21 @@ impl Default for CampaignConfig {
             seed: 42,
             criteria: CompletenessCriteria::default(),
             workers: 0,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The config with execution-only fields pinned, for journal
+    /// fingerprinting. Reports are bit-identical at every worker count, so
+    /// `workers` is scheduling metadata, not campaign identity: a journal
+    /// written at `workers: 1` must resume, finalize and shard-merge under
+    /// any other worker count.
+    #[must_use]
+    pub fn fingerprint_form(&self) -> CampaignConfig {
+        CampaignConfig {
+            workers: 0,
+            ..*self
         }
     }
 }
@@ -512,7 +530,73 @@ pub fn run_campaign_controlled<W: FaultWorkload>(
 /// The fingerprint binding a campaign journal to its identity: driver,
 /// config, and the golden error as a cheap model/dataset proxy.
 fn campaign_fingerprint<W: FaultWorkload>(fm: &W, cfg: &CampaignConfig) -> String {
-    fingerprint("campaign", &(*cfg, fm.golden_error()))
+    fingerprint("campaign", &(cfg.fingerprint_form(), fm.golden_error()))
+}
+
+/// Runs one shard of a campaign split `count` ways: the chains in shard
+/// `index`'s contiguous sub-range of `0..cfg.chains`, journaled with
+/// global chain ids under the plan's per-shard fingerprint (derived from
+/// the unsharded campaign fingerprint plus the shard count and index).
+/// The journal *is* the shard's output; merge the completed shards with
+/// [`crate::shard::merge_shards`] and assemble the report by re-running
+/// [`run_campaign_controlled`] over the merged journal with
+/// [`CheckpointSpec::finalizing`].
+///
+/// `ckpt.fingerprint` names the **unsharded** campaign fingerprint (empty
+/// — the default — derives it from the workload and config, matching
+/// [`run_campaign_controlled`]); the shard fingerprint is always derived,
+/// never passed in.
+///
+/// # Errors
+///
+/// [`ShardError::Plan`] / [`ShardError::IndexOutOfRange`] for an unusable
+/// split; [`ShardError::Engine`] wrapping [`EngineError::Interrupted`] on
+/// a cooperative stop (resume by rerunning with `ckpt.resume` set), and
+/// engine/journal failures otherwise.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_campaign`].
+pub fn run_campaign_shard<W: FaultWorkload>(
+    fm: &W,
+    cfg: &CampaignConfig,
+    count: usize,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    assert!(cfg.chains > 0, "campaign needs at least one chain");
+    assert!(cfg.chain.samples > 0, "campaign must record samples");
+    let base = if ckpt.fingerprint.is_empty() {
+        campaign_fingerprint(fm, cfg)
+    } else {
+        ckpt.fingerprint.clone()
+    };
+    let plan = ShardPlan::new(base, cfg.seed, cfg.chains, count)?;
+    let info = plan.info(index)?;
+    let spec = CheckpointSpec {
+        fingerprint: plan.shard_fingerprint(index),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let (hits0, fb0) = fm.delta_counters();
+    let mut meta = engine.run_shard_checkpointed(
+        info,
+        plan.range(index)?.len(),
+        || fm.clone(),
+        |fm, ctx| {
+            let mut worker = ChainWorker::new(fm, cfg, ctx.task_id);
+            worker.advance(cfg, cfg.chain.samples);
+            Ok(worker.snapshot())
+        },
+        &mut NullSink,
+        ctl,
+        &spec,
+    )?;
+    let (hits1, fb1) = fm.delta_counters();
+    meta.delta_hits = hits1 - hits0;
+    meta.delta_fallbacks = fb1 - fb0;
+    Ok(meta)
 }
 
 /// Runs an adaptive campaign: chains are extended in segments of
@@ -599,6 +683,7 @@ pub fn run_campaign_adaptive_controlled<W: FaultWorkload>(
         },
         seed: cfg.seed,
         tasks: 0,
+        shard: None,
     };
 
     let mut writer: Option<CheckpointWriter> = None;

@@ -126,6 +126,26 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
+/// A shard journal's place in a sharded campaign, stored in the header.
+///
+/// A sharded run splits the driver's ordered task space `0..total` into
+/// `count` contiguous ranges; shard `index` owns `start..start + tasks`
+/// (its header's `tasks` field is the shard *length*). Entries in a shard
+/// journal carry **global** task ids, so merging shards is raw
+/// concatenation of their entry regions under an unsharded header — the
+/// merged journal is byte-identical to a single-process journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// This shard's position in the plan, `0..count`.
+    pub index: usize,
+    /// Total number of shards in the plan.
+    pub count: usize,
+    /// First global task id this shard owns.
+    pub start: usize,
+    /// Total task count of the whole (unsharded) campaign.
+    pub total: usize,
+}
+
 /// The identity a journal is bound to, stored in its header line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointHeader {
@@ -134,22 +154,44 @@ pub struct CheckpointHeader {
     /// The engine seed the per-task RNG streams derive from.
     pub seed: u64,
     /// Total task count; `0` marks an open-ended (segment) journal, for
-    /// which [`CheckpointError::AlreadyComplete`] is never raised.
+    /// which [`CheckpointError::AlreadyComplete`] is never raised. For a
+    /// shard journal this is the shard *length*, not the campaign total.
     pub tasks: usize,
+    /// `Some` marks a shard journal covering a sub-range of a sharded
+    /// campaign; `None` (and absent from the header line, keeping old
+    /// journals readable) is a whole-campaign journal.
+    pub shard: Option<ShardInfo>,
 }
 
 impl CheckpointHeader {
-    fn to_json_line(&self) -> Result<String, CheckpointError> {
-        let obj = serde::Value::Object(vec![
+    pub(crate) fn to_json_line(&self) -> Result<String, CheckpointError> {
+        let mut fields = vec![
             ("magic".to_string(), MAGIC.to_string().to_json_value()),
             ("version".to_string(), VERSION.to_json_value()),
             ("fingerprint".to_string(), self.fingerprint.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             ("tasks".to_string(), self.tasks.to_json_value()),
-        ]);
-        serde_json::to_string(&obj).map_err(|e| CheckpointError::Encode {
+        ];
+        if let Some(s) = &self.shard {
+            fields.push((
+                "shard".to_string(),
+                serde::Value::Object(vec![
+                    ("index".to_string(), s.index.to_json_value()),
+                    ("count".to_string(), s.count.to_json_value()),
+                    ("start".to_string(), s.start.to_json_value()),
+                    ("total".to_string(), s.total.to_json_value()),
+                ]),
+            ));
+        }
+        serde_json::to_string(&serde::Value::Object(fields)).map_err(|e| CheckpointError::Encode {
             detail: format!("journal header: {e}"),
         })
+    }
+
+    /// First global task id of this journal's range (`0` unless sharded).
+    #[must_use]
+    pub fn base(&self) -> usize {
+        self.shard.map_or(0, |s| s.start)
     }
 
     fn parse(line: &str) -> Result<Self, CheckpointError> {
@@ -189,14 +231,34 @@ impl CheckpointHeader {
             v.get("tasks")
                 .and_then(serde::Value::as_u64)
                 .ok_or_else(|| corrupt("header missing `tasks`".to_string()))? as usize;
+        let shard = match v.get("shard") {
+            None => None,
+            Some(s) => {
+                let field = |name: &str| {
+                    s.get(name)
+                        .and_then(serde::Value::as_u64)
+                        .ok_or_else(|| corrupt(format!("header shard info missing `{name}`")))
+                };
+                Some(ShardInfo {
+                    index: field("index")? as usize,
+                    count: field("count")? as usize,
+                    start: field("start")? as usize,
+                    total: field("total")? as usize,
+                })
+            }
+        };
         Ok(CheckpointHeader {
             fingerprint,
             seed,
             tasks,
+            shard,
         })
     }
 
-    fn verify_matches(&self, expected: &CheckpointHeader) -> Result<(), CheckpointError> {
+    pub(crate) fn verify_matches(
+        &self,
+        expected: &CheckpointHeader,
+    ) -> Result<(), CheckpointError> {
         let mismatch = |field, expected: &dyn fmt::Display, found: &dyn fmt::Display| {
             Err(CheckpointError::Mismatch {
                 field,
@@ -212,6 +274,16 @@ impl CheckpointHeader {
         }
         if self.tasks != expected.tasks {
             return mismatch("tasks", &expected.tasks, &self.tasks);
+        }
+        if self.shard != expected.shard {
+            let show = |s: &Option<ShardInfo>| match s {
+                None => "unsharded".to_string(),
+                Some(s) => format!(
+                    "shard {}/{} starting at task {} of {}",
+                    s.index, s.count, s.start, s.total
+                ),
+            };
+            return mismatch("shard", &show(&expected.shard), &show(&self.shard));
         }
         Ok(())
     }
@@ -336,18 +408,20 @@ fn parse_entry(
         .get("task")
         .and_then(serde::Value::as_u64)
         .ok_or_else(|| corrupt("entry missing `task`".to_string()))? as usize;
-    if task != idx {
+    // Shard journals carry global task ids offset by the shard's start.
+    let expected = header.base() + idx;
+    if task != expected {
         return Err(corrupt(format!(
-            "entry for task {task} where task {idx} was expected"
+            "entry for task {task} where task {expected} was expected"
         )));
     }
     let value = v
         .get("value")
         .ok_or_else(|| corrupt("entry missing `value`".to_string()))?;
-    if header.tasks > 0 && task >= header.tasks {
+    if header.tasks > 0 && task >= header.base() + header.tasks {
         return Err(corrupt(format!(
             "entry for task {task} beyond task count {}",
-            header.tasks
+            header.base() + header.tasks
         )));
     }
     Ok(value.clone())
@@ -371,6 +445,7 @@ pub struct Replay {
 #[derive(Debug)]
 pub struct CheckpointWriter {
     file: File,
+    base: usize,
     entries: usize,
     unsynced: usize,
     sync_every: usize,
@@ -403,6 +478,7 @@ impl CheckpointWriter {
         // this point land in the installed journal.
         Ok(CheckpointWriter {
             file,
+            base: header.base(),
             entries: 0,
             unsynced: 0,
             sync_every: sync_every.max(1),
@@ -427,9 +503,31 @@ impl CheckpointWriter {
         expected: &CheckpointHeader,
         sync_every: usize,
     ) -> Result<(Self, Replay), CheckpointError> {
+        Self::resume_with(path, expected, sync_every, false)
+    }
+
+    /// [`CheckpointWriter::resume`] with the already-complete check under
+    /// caller control: `allow_complete: true` reopens a finished journal
+    /// for pure replay (zero tasks left to run) instead of raising
+    /// [`CheckpointError::AlreadyComplete`] — the finalize path a merged
+    /// shard journal is assembled into a report through.
+    ///
+    /// # Errors
+    ///
+    /// As [`CheckpointWriter::resume`], minus `AlreadyComplete` when
+    /// `allow_complete` is set.
+    pub fn resume_with(
+        path: &Path,
+        expected: &CheckpointHeader,
+        sync_every: usize,
+        allow_complete: bool,
+    ) -> Result<(Self, Replay), CheckpointError> {
         let contents = read_journal(path)?;
         contents.header.verify_matches(expected)?;
-        if contents.header.tasks > 0 && contents.values.len() >= contents.header.tasks {
+        if !allow_complete
+            && contents.header.tasks > 0
+            && contents.values.len() >= contents.header.tasks
+        {
             return Err(CheckpointError::AlreadyComplete {
                 tasks: contents.header.tasks,
             });
@@ -445,6 +543,7 @@ impl CheckpointWriter {
         let file = OpenOptions::new().append(true).open(path)?;
         let writer = CheckpointWriter {
             file,
+            base: contents.header.base(),
             entries: contents.values.len(),
             unsynced: 0,
             sync_every: sync_every.max(1),
@@ -480,12 +579,12 @@ impl CheckpointWriter {
         task_id: usize,
         value: &T,
     ) -> Result<(), CheckpointError> {
-        if task_id != self.entries {
+        if task_id != self.base + self.entries {
             return Err(CheckpointError::Corrupt {
                 line: self.entries + 2,
                 detail: format!(
                     "append of task {task_id} where task {} was expected",
-                    self.entries
+                    self.base + self.entries
                 ),
             });
         }
@@ -544,6 +643,14 @@ mod tests {
             fingerprint: fingerprint("test-driver", &42u64),
             seed: 7,
             tasks,
+            shard: None,
+        }
+    }
+
+    fn shard_header(tasks: usize, shard: ShardInfo) -> CheckpointHeader {
+        CheckpointHeader {
+            shard: Some(shard),
+            ..header(tasks)
         }
     }
 
@@ -834,5 +941,108 @@ mod tests {
         assert_ne!(fingerprint("a", &1u64), fingerprint("b", &1u64));
         assert_ne!(fingerprint("a", &1u64), fingerprint("a", &2u64));
         assert_eq!(fingerprint("a", &1u64), fingerprint("a", &1u64));
+    }
+
+    #[test]
+    fn shard_header_roundtrips_with_global_task_ids() {
+        let dir = unique_dir("shard_roundtrip");
+        let path = dir.join("s.jsonl");
+        let info = ShardInfo {
+            index: 1,
+            count: 2,
+            start: 5,
+            total: 9,
+        };
+        let mut w = CheckpointWriter::create(&path, &shard_header(4, info), 32).unwrap();
+        // Entries carry global ids: this shard owns 5..9.
+        for i in 5..9usize {
+            w.append(i, &(i as u64)).unwrap();
+        }
+        w.sync().unwrap();
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.header.shard, Some(info));
+        assert_eq!(contents.header.base(), 5);
+        assert_eq!(contents.values.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_append_rejects_local_ids() {
+        let dir = unique_dir("shard_local");
+        let path = dir.join("s.jsonl");
+        let info = ShardInfo {
+            index: 1,
+            count: 2,
+            start: 5,
+            total: 9,
+        };
+        let mut w = CheckpointWriter::create(&path, &shard_header(4, info), 32).unwrap();
+        assert!(matches!(
+            w.append(0, &1u64),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_entry_beyond_range_is_corrupt() {
+        let dir = unique_dir("shard_beyond");
+        let path = dir.join("s.jsonl");
+        let info = ShardInfo {
+            index: 0,
+            count: 2,
+            start: 0,
+            total: 4,
+        };
+        let w = CheckpointWriter::create(&path, &shard_header(2, info), 32).unwrap();
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str(
+            "{\"task\":0,\"value\":1}\n{\"task\":1,\"value\":2}\n{\"task\":2,\"value\":3}\n",
+        );
+        std::fs::write(&path, text).unwrap();
+        assert!(matches!(
+            read_journal(&path),
+            Err(CheckpointError::Corrupt { line: 4, .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_info_mismatch_is_typed() {
+        let dir = unique_dir("shard_mismatch");
+        let path = dir.join("s.jsonl");
+        let info = ShardInfo {
+            index: 0,
+            count: 2,
+            start: 0,
+            total: 4,
+        };
+        drop(CheckpointWriter::create(&path, &shard_header(2, info), 32).unwrap());
+        let other = ShardInfo { index: 1, ..info };
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &shard_header(2, other), 32),
+            Err(CheckpointError::Mismatch { field: "shard", .. })
+        ));
+        assert!(matches!(
+            CheckpointWriter::resume(&path, &header(2), 32),
+            Err(CheckpointError::Mismatch { field: "shard", .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_allow_complete_reopens_finished_journals() {
+        let dir = unique_dir("allow_complete");
+        let path = dir.join("j.jsonl");
+        let mut w = CheckpointWriter::create(&path, &header(2), 32).unwrap();
+        w.append(0, &1u64).unwrap();
+        w.append(1, &2u64).unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (w, replay) = CheckpointWriter::resume_with(&path, &header(2), 32, true).unwrap();
+        assert_eq!(replay.values.len(), 2);
+        assert_eq!(w.entries(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -28,7 +28,7 @@
 //! * [`RunMeta`] throughput accounting (tasks, workers, elapsed seconds,
 //!   tasks/sec) embedded in every driver report for cross-run comparison.
 
-use crate::checkpoint::{CheckpointError, CheckpointHeader, CheckpointWriter};
+use crate::checkpoint::{CheckpointError, CheckpointHeader, CheckpointWriter, ShardInfo};
 use bdlfi_bayes::seed_stream;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -225,6 +225,11 @@ pub struct CheckpointSpec {
     pub resume: bool,
     /// Fsync the journal once every this many appends.
     pub sync_every: usize,
+    /// With `resume`, reopen an already-complete journal for pure replay
+    /// (zero live tasks) instead of raising
+    /// [`CheckpointError::AlreadyComplete`] — the finalize path that
+    /// assembles a report from a merged shard journal.
+    pub allow_complete: bool,
 }
 
 impl CheckpointSpec {
@@ -236,6 +241,7 @@ impl CheckpointSpec {
             fingerprint,
             resume: false,
             sync_every: 32,
+            allow_complete: false,
         }
     }
 
@@ -243,6 +249,16 @@ impl CheckpointSpec {
     #[must_use]
     pub fn resuming(mut self) -> Self {
         self.resume = true;
+        self
+    }
+
+    /// The same spec, resuming and accepting an already-complete journal:
+    /// every result replays, no task runs, and the driver assembles its
+    /// report exactly as an uninterrupted run would.
+    #[must_use]
+    pub fn finalizing(mut self) -> Self {
+        self.resume = true;
+        self.allow_complete = true;
         self
     }
 }
@@ -391,7 +407,15 @@ impl RunMeta {
                 0.0
             },
             seed: self.seed,
-            resumed_from: self.resumed_from.or(later.resumed_from),
+            // Summing (None counts as 0) makes the merge commutative and
+            // associative, so an N-way shard merge is deterministic
+            // regardless of arrival order. A single interrupt-then-resume
+            // pair still pools to the resume's replay count, since the
+            // interrupted attempt has `resumed_from: None`.
+            resumed_from: match (self.resumed_from, later.resumed_from) {
+                (None, None) => None,
+                (a, b) => Some(a.unwrap_or(0) + b.unwrap_or(0)),
+            },
             delta_hits: self.delta_hits + later.delta_hits,
             delta_fallbacks: self.delta_fallbacks + later.delta_fallbacks,
             truncated_tail: self.truncated_tail || later.truncated_tail,
@@ -415,6 +439,26 @@ impl RunMeta {
             });
         }
         Ok(self.merged_with(later))
+    }
+
+    /// Pools the accounting of N runs over the same engine seed — the
+    /// shard-merge form of [`RunMeta::try_merged_with`]. Every pooled
+    /// field is commutative and associative (sums, maxes, OR), so the
+    /// result is identical for every arrival order of the shards.
+    /// Returns `None` for an empty iterator.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MetaSeedMismatch`] when any two metas come from
+    /// runs over different engine seeds.
+    pub fn try_merged_many(
+        metas: impl IntoIterator<Item = RunMeta>,
+    ) -> Result<Option<RunMeta>, EngineError> {
+        let mut iter = metas.into_iter();
+        let Some(first) = iter.next() else {
+            return Ok(None);
+        };
+        iter.try_fold(first, RunMeta::try_merged_with).map(Some)
     }
 }
 
@@ -465,6 +509,18 @@ impl<T> EvalSink<T> for CollectSink<T> {
     fn accept(&mut self, task_id: usize, value: T) -> Result<(), EngineError> {
         debug_assert_eq!(task_id, self.items.len(), "sink delivery out of order");
         self.items.push(value);
+        Ok(())
+    }
+}
+
+/// A sink that discards every result. Shard runners use it: a shard's
+/// deliverable is its journal, and the report is assembled later by the
+/// merge-and-finalize path, so nothing needs collecting in-process.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl<T> EvalSink<T> for NullSink {
+    fn accept(&mut self, _task_id: usize, _value: T) -> Result<(), EngineError> {
         Ok(())
     }
 }
@@ -616,6 +672,7 @@ impl EvalEngine {
     {
         let started = Instant::now();
         match self.run_inner(
+            0,
             tasks,
             0,
             &init,
@@ -678,16 +735,95 @@ impl EvalEngine {
                 observer: ctl.observer.as_ref(),
                 tasks,
             };
-            return self.run_inner(tasks, 0, &init, &task, sink, &mut journal, ctl, started);
+            return self.run_inner(0, tasks, 0, &init, &task, sink, &mut journal, ctl, started);
         };
+        self.run_journaled(
+            0, tasks, tasks, None, &init, &task, sink, ctl, spec, started,
+        )
+    }
 
+    /// Runs one shard of a sharded campaign: tasks
+    /// `shard.start..shard.start + len` execute with their **global** task
+    /// ids (so every task draws the same seed stream it would in an
+    /// unsharded run), journaled to a mandatory shard journal whose header
+    /// carries `shard`. Resume semantics — replay, torn-tail truncation,
+    /// [`RunMeta::resumed_from`] — are exactly those of
+    /// [`EvalEngine::run_checkpointed`], scoped to the shard's range.
+    /// [`RunMeta::tasks`] is the shard length; observers see `shard.total`
+    /// as the task count.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalEngine::run_checkpointed`]. `Interrupted::completed`
+    /// counts this shard's delivered results.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_shard_checkpointed<W, T, I, F, S>(
+        &self,
+        shard: ShardInfo,
+        len: usize,
+        init: I,
+        task: F,
+        sink: &mut S,
+        ctl: &RunControl,
+        ckpt: &CheckpointSpec,
+    ) -> Result<RunMeta, EngineError>
+    where
+        T: Send + Serialize + Deserialize,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &mut TaskCtx) -> Result<T, EngineError> + Sync,
+        S: EvalSink<T> + Send + ?Sized,
+    {
+        let started = Instant::now();
+        self.run_journaled(
+            shard.start,
+            shard.start + len,
+            shard.total,
+            Some(shard),
+            &init,
+            &task,
+            sink,
+            ctl,
+            ckpt,
+            started,
+        )
+    }
+
+    /// The journaled half of both checkpointed entry points: create or
+    /// resume the journal for tasks `lo..hi` (headered with `shard` when
+    /// sharded), replay its entries, then execute the remainder.
+    #[allow(clippy::too_many_arguments)]
+    fn run_journaled<W, T, I, F, S>(
+        &self,
+        lo: usize,
+        hi: usize,
+        total: usize,
+        shard: Option<ShardInfo>,
+        init: &I,
+        task: &F,
+        sink: &mut S,
+        ctl: &RunControl,
+        spec: &CheckpointSpec,
+        started: Instant,
+    ) -> Result<RunMeta, EngineError>
+    where
+        T: Send + Serialize + Deserialize,
+        I: Fn() -> W + Sync,
+        F: Fn(&mut W, &mut TaskCtx) -> Result<T, EngineError> + Sync,
+        S: EvalSink<T> + Send + ?Sized,
+    {
         let header = CheckpointHeader {
             fingerprint: spec.fingerprint.clone(),
             seed: self.seed,
-            tasks,
+            tasks: hi - lo,
+            shard,
         };
         let (writer, replay) = if spec.resume {
-            let (writer, replay) = CheckpointWriter::resume(&spec.path, &header, spec.sync_every)?;
+            let (writer, replay) = CheckpointWriter::resume_with(
+                &spec.path,
+                &header,
+                spec.sync_every,
+                spec.allow_complete,
+            )?;
             (writer, Some(replay))
         } else {
             (
@@ -697,43 +833,49 @@ impl EvalEngine {
         };
         let truncated_tail = replay.as_ref().is_some_and(|r| r.truncated_tail);
         let replayed = replay.map(|r| r.values).unwrap_or_default();
-        let start = replayed.len();
+        let start = lo + replayed.len();
         assert!(
-            start < tasks || tasks == 0,
+            start < hi || hi == lo || spec.allow_complete,
             "resume rejects complete journals"
         );
         for (i, v) in replayed.iter().enumerate() {
             if let Some(obs) = &ctl.observer {
-                obs.on_result(i, tasks, v);
+                obs.on_result(lo + i, total, v);
             }
             let value = T::from_json_value(v).map_err(|e| CheckpointError::Corrupt {
                 line: i + 2,
                 detail: format!("journaled value does not deserialize: {e}"),
             })?;
-            sink.accept(i, value)?;
+            sink.accept(lo + i, value)?;
         }
         let mut journal = Observed {
             inner: writer,
             observer: ctl.observer.as_ref(),
-            tasks,
+            tasks: total,
         };
         let mut meta =
-            self.run_inner(tasks, start, &init, &task, sink, &mut journal, ctl, started)?;
-        if start > 0 {
-            meta.resumed_from = Some(start);
+            self.run_inner(lo, hi, start, init, task, sink, &mut journal, ctl, started)?;
+        if start > lo {
+            meta.resumed_from = Some(start - lo);
         }
         meta.truncated_tail = truncated_tail;
         Ok(meta)
     }
 
     /// The one execution path under both `run` flavours: tasks
-    /// `start..tasks` execute (the journal already covers `0..start`),
-    /// results are delivered in task order to `journal` then `sink`, and
-    /// `ctl` is consulted at every task boundary.
+    /// `start..hi` of the run's range `lo..hi` execute (the journal
+    /// already covers `lo..start`), results are delivered in task order to
+    /// `journal` then `sink`, and `ctl` is consulted at every task
+    /// boundary. Unsharded runs have `lo == 0`; shard runs offset the
+    /// range so every task keeps its global id (and seed stream), while
+    /// all counts reported outward — `Interrupted::completed`,
+    /// [`RunMeta::tasks`], the `stop_after` watermark — stay relative to
+    /// the range.
     #[allow(clippy::too_many_arguments)]
     fn run_inner<W, T, I, F, S, J>(
         &self,
-        tasks: usize,
+        lo: usize,
+        hi: usize,
         start: usize,
         init: &I,
         task: &F,
@@ -749,23 +891,23 @@ impl EvalEngine {
         S: EvalSink<T> + Send + ?Sized,
         J: Journal<T> + Send,
     {
-        let workers = self.workers_for(tasks - start);
-        if tasks == start {
+        let workers = self.workers_for(hi - start);
+        if hi == start {
             journal.sync()?;
-            return Ok(self.meta(tasks, workers, started));
+            return Ok(self.meta(hi - lo, workers, started));
         }
-        let stop_at = ctl.stop_after.unwrap_or(usize::MAX);
+        let stop_at = lo.saturating_add(ctl.stop_after.unwrap_or(usize::MAX));
 
         if workers == 1 {
             // Serial fast path — bit-identical to the pooled path because
             // every task owns its seed stream.
             let mut state = init();
-            for i in start..tasks {
+            for i in start..hi {
                 if ctl.stop_requested() || i >= stop_at {
                     journal.sync()?;
                     return Err(EngineError::Interrupted {
-                        completed: i,
-                        tasks,
+                        completed: i - lo,
+                        tasks: hi - lo,
                     });
                 }
                 let mut ctx = self.ctx(i);
@@ -790,12 +932,12 @@ impl EvalEngine {
                 sink.accept(i, value)?;
             }
             journal.sync()?;
-            return Ok(self.meta(tasks, 1, started));
+            return Ok(self.meta(hi - lo, 1, started));
         }
 
         // Chunked atomic queue: big enough chunks to amortise contention,
         // small enough that long tasks do not serialise the batch.
-        let chunk = ((tasks - start) / (workers * 4)).max(1);
+        let chunk = ((hi - start) / (workers * 4)).max(1);
         let next = AtomicUsize::new(start);
         // Raised on stop/error: workers stop claiming and drain out.
         let abort = AtomicBool::new(false);
@@ -822,10 +964,10 @@ impl EvalEngine {
                             return;
                         }
                         let claim = next.fetch_add(chunk, Ordering::Relaxed);
-                        if claim >= tasks {
+                        if claim >= hi {
                             return;
                         }
-                        for i in claim..(claim + chunk).min(tasks) {
+                        for i in claim..(claim + chunk).min(hi) {
                             if abort.load(Ordering::Relaxed) {
                                 return;
                             }
@@ -895,20 +1037,25 @@ impl EvalEngine {
         let d = delivery
             .into_inner()
             .map_err(|_| EngineError::Poisoned("engine delivery lock"))?;
-        let completed = d.next;
+        let completed = d.next - lo;
         let sync_result = d.journal.sync();
         if let Some(e) = d.error {
             return Err(e);
         }
         sync_result?;
         if interrupted.load(Ordering::Relaxed) {
-            return Err(EngineError::Interrupted { completed, tasks });
+            return Err(EngineError::Interrupted {
+                completed,
+                tasks: hi - lo,
+            });
         }
         assert_eq!(
-            completed, tasks,
-            "engine delivered {completed} of {tasks} tasks"
+            completed,
+            hi - lo,
+            "engine delivered {completed} of {} tasks",
+            hi - lo
         );
-        Ok(self.meta(tasks, workers, started))
+        Ok(self.meta(hi - lo, workers, started))
     }
 
     /// Maps owned `items` through `f` on the pool, returning outputs in

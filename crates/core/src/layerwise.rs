@@ -5,9 +5,12 @@
 
 use crate::campaign::{run_campaign, CampaignConfig};
 use crate::checkpoint::fingerprint;
-use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
+use crate::engine::{
+    CheckpointSpec, CollectSink, EngineError, EvalEngine, NullSink, RunControl, RunMeta,
+};
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
+use crate::shard::{ShardError, ShardPlan};
 use crate::stats::spearman;
 use crate::workload::QuantFaultyModel;
 use bdlfi_data::Dataset;
@@ -162,7 +165,10 @@ pub fn run_layerwise_controlled(
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
     let ckpt = ckpt.cloned().map(|mut s| {
         if s.fingerprint.is_empty() {
-            s.fingerprint = fingerprint("layerwise", &(*cfg, names.clone(), budget));
+            s.fingerprint = fingerprint(
+                "layerwise",
+                &(cfg.fingerprint_form(), names.clone(), budget),
+            );
         }
         s
     });
@@ -190,7 +196,7 @@ pub fn run_layerwise_controlled(
                 layer,
                 elements,
                 p,
-                report: run_campaign(&fm, cfg),
+                report: run_campaign(&fm, cfg).journal_form(),
             })
         },
         &mut sink,
@@ -286,7 +292,10 @@ pub fn run_layerwise_quant_controlled(
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
     let ckpt = ckpt.cloned().map(|mut s| {
         if s.fingerprint.is_empty() {
-            s.fingerprint = fingerprint("layerwise_quant", &(*cfg, names.clone(), budget));
+            s.fingerprint = fingerprint(
+                "layerwise_quant",
+                &(cfg.fingerprint_form(), names.clone(), budget),
+            );
         }
         s
     });
@@ -317,7 +326,7 @@ pub fn run_layerwise_quant_controlled(
                 layer,
                 elements,
                 p,
-                report: run_campaign(&qfm, cfg),
+                report: run_campaign(&qfm, cfg).journal_form(),
             })
         },
         &mut sink,
@@ -346,6 +355,181 @@ pub fn run_layerwise_quant_controlled(
         depth_correlation,
         run_meta,
     })
+}
+
+/// Runs one shard of a layerwise study split `count` ways: the layers in
+/// shard `index`'s contiguous sub-range of `0..layers.len()` (depth
+/// order), journaled with global depth ids under the plan's per-shard
+/// fingerprint. Merge the completed shards with
+/// [`crate::shard::merge_shards`] and assemble the [`LayerwiseResult`]
+/// via [`run_layerwise_controlled`] with [`CheckpointSpec::finalizing`].
+///
+/// `ckpt.fingerprint` names the **unsharded** layerwise fingerprint
+/// (empty derives it, matching [`run_layerwise_controlled`]).
+///
+/// # Errors
+///
+/// [`ShardError::Plan`] / [`ShardError::IndexOutOfRange`] for an unusable
+/// split; [`ShardError::Engine`] wrapping [`EngineError::Interrupted`] on
+/// a cooperative stop; engine/journal failures otherwise.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_layerwise`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_layerwise_shard(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    budget: LayerBudget,
+    cfg: &CampaignConfig,
+    count: usize,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    assert!(
+        !layers.is_empty(),
+        "layerwise study needs at least one layer"
+    );
+    if let LayerBudget::PerBit(p) = budget {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1]"
+        );
+    }
+    let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
+    let base = if ckpt.fingerprint.is_empty() {
+        fingerprint(
+            "layerwise",
+            &(cfg.fingerprint_form(), names.clone(), budget),
+        )
+    } else {
+        ckpt.fingerprint.clone()
+    };
+    let plan = ShardPlan::new(base, cfg.seed, names.len(), count)?;
+    let shard_spec = CheckpointSpec {
+        fingerprint: plan.shard_fingerprint(index),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let meta = engine.run_shard_checkpointed(
+        plan.info(index)?,
+        plan.range(index)?.len(),
+        || (),
+        |(), ctx| {
+            let depth = ctx.task_id;
+            let layer = names[depth].clone();
+            let spec = SiteSpec::LayerParams {
+                prefix: layer.clone(),
+            };
+            // Resolve first to size the budget.
+            let elements = bdlfi_faults::resolve_sites(model, &spec).total_param_elements();
+            let p = budget.probability_for(elements);
+            let fm = FaultyModel::new(
+                model.clone(),
+                Arc::clone(eval),
+                &spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(LayerResult {
+                depth,
+                layer,
+                elements,
+                p,
+                report: run_campaign(&fm, cfg).journal_form(),
+            })
+        },
+        &mut NullSink,
+        ctl,
+        &shard_spec,
+    )?;
+    Ok(meta)
+}
+
+/// The quantized twin of [`run_layerwise_shard`], in the
+/// `layerwise_quant` fingerprint namespace so f32 and int8 shards never
+/// cross-merge.
+///
+/// # Errors
+///
+/// As [`run_layerwise_shard`].
+///
+/// # Panics
+///
+/// Same preconditions as [`run_layerwise_quant`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_layerwise_quant_shard(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    layers: &[&str],
+    budget: LayerBudget,
+    cfg: &CampaignConfig,
+    count: usize,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    assert!(
+        !layers.is_empty(),
+        "layerwise study needs at least one layer"
+    );
+    if let LayerBudget::PerBit(p) = budget {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "flip probability must be in [0, 1]"
+        );
+    }
+    let names: Vec<String> = layers.iter().map(|&l| l.to_string()).collect();
+    let base = if ckpt.fingerprint.is_empty() {
+        fingerprint(
+            "layerwise_quant",
+            &(cfg.fingerprint_form(), names.clone(), budget),
+        )
+    } else {
+        ckpt.fingerprint.clone()
+    };
+    let plan = ShardPlan::new(base, cfg.seed, names.len(), count)?;
+    let shard_spec = CheckpointSpec {
+        fingerprint: plan.shard_fingerprint(index),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let meta = engine.run_shard_checkpointed(
+        plan.info(index)?,
+        plan.range(index)?.len(),
+        || (),
+        |(), ctx| {
+            let depth = ctx.task_id;
+            let layer = names[depth].clone();
+            let spec = SiteSpec::LayerParams {
+                prefix: layer.clone(),
+            };
+            // Size the budget by the layer's injectable bit space, which
+            // mixes 8-bit and 32-bit sites.
+            let sites = qm.sites_matching(&spec);
+            let elements = sites.total_param_elements();
+            let bits: u64 = sites.params.iter().map(|s| s.injectable_bits()).sum();
+            let p = budget.probability_for_bits(bits);
+            let qfm = QuantFaultyModel::new(
+                qm.clone(),
+                Arc::clone(eval),
+                &spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(LayerResult {
+                depth,
+                layer,
+                elements,
+                p,
+                report: run_campaign(&qfm, cfg).journal_form(),
+            })
+        },
+        &mut NullSink,
+        ctl,
+        &shard_spec,
+    )?;
+    Ok(meta)
 }
 
 #[cfg(test)]

@@ -35,6 +35,11 @@
 //!   analysis (Figs. 2 and 4);
 //! * [`run_layerwise`] — per-layer campaigns and the depth-correlation
 //!   test (Fig. 3);
+//! * [`shard`] — distributed sharded campaigns: a deterministic shard
+//!   planner over the ordered task space, per-shard fingerprinted
+//!   journals written by the normal engine path, and a strict merge
+//!   verifier that reassembles them byte-for-byte into the
+//!   single-process journal;
 //! * [`boundary_map`] — per-input-point error-probability maps over a 2-D
 //!   feature space (Fig. 1 ③'s boundary finding);
 //! * [`attribute_faults`] — error-conditioned posterior over fault
@@ -76,6 +81,7 @@ mod faulty_model;
 pub mod formal;
 pub mod proposals;
 mod report;
+pub mod shard;
 pub mod stats;
 mod sweep;
 
@@ -89,7 +95,7 @@ pub use attribution::{
 pub use boundary::{boundary_map, boundary_map_controlled, BoundaryConfig, BoundaryMap};
 pub use campaign::{
     run_campaign, run_campaign_adaptive, run_campaign_adaptive_controlled, run_campaign_controlled,
-    CampaignConfig, KernelChoice,
+    run_campaign_shard, CampaignConfig, KernelChoice,
 };
 pub use checkpoint::{
     fingerprint, read_journal, CheckpointError, CheckpointHeader, CheckpointWriter,
@@ -106,15 +112,17 @@ pub use engine::{
 pub use faulty_model::FaultyModel;
 pub use layerwise::{
     run_layerwise, run_layerwise_controlled, run_layerwise_quant, run_layerwise_quant_controlled,
-    LayerBudget, LayerResult, LayerwiseResult,
+    run_layerwise_quant_shard, run_layerwise_shard, LayerBudget, LayerResult, LayerwiseResult,
 };
 pub use protection::{
     plan_protection, run_protection_study, run_protection_study_controlled, ProtectionPlan,
     ProtectionStudy,
 };
 pub use report::CampaignReport;
+pub use shard::{merge_shards, MergeSummary, ShardError, ShardPlan};
 pub use sweep::{
     log_spaced_probabilities, run_sweep, run_sweep_controlled, run_sweep_quant,
-    run_sweep_quant_controlled, KneeAnalysis, SweepPoint, SweepResult,
+    run_sweep_quant_controlled, run_sweep_quant_shard, run_sweep_shard, KneeAnalysis, SweepPoint,
+    SweepResult,
 };
 pub use workload::{FaultWorkload, QuantFaultyModel};

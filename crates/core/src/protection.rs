@@ -110,7 +110,10 @@ pub fn run_protection_study_controlled(
     // runs make different claims about the same bytes.
     let ckpt = ckpt.cloned().map(|mut spec| {
         if spec.fingerprint.is_empty() {
-            spec.fingerprint = fingerprint("protection_study", &(*cfg, target_error.to_bits()));
+            spec.fingerprint = fingerprint(
+                "protection_study",
+                &(cfg.fingerprint_form(), target_error.to_bits()),
+            );
         }
         spec
     });

@@ -43,6 +43,22 @@ impl CampaignReport {
         self.traces.iter().map(Trace::len).sum()
     }
 
+    /// The report with environment-dependent execution accounting
+    /// scrubbed: wall-clock timings zeroed and worker counts pinned to 1.
+    /// Drivers that journal whole reports as task values (sweep points,
+    /// layerwise entries) journal this form, so a journaled value is a
+    /// pure function of `(seed, task_id)` — the invariant that makes
+    /// resumed and sharded runs byte-identical to uninterrupted
+    /// single-process runs. All statistical content is untouched.
+    #[must_use]
+    pub fn journal_form(mut self) -> CampaignReport {
+        self.config.workers = 1;
+        self.run_meta.workers = 1;
+        self.run_meta.elapsed_secs = 0.0;
+        self.run_meta.tasks_per_sec = 0.0;
+        self
+    }
+
     /// The increase of mean error over the golden run, in percentage
     /// points (the quantity Figs. 2/4 are read for).
     pub fn error_increase_pct(&self) -> f64 {

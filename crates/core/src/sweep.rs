@@ -4,9 +4,12 @@
 
 use crate::campaign::{run_campaign, CampaignConfig};
 use crate::checkpoint::fingerprint;
-use crate::engine::{CheckpointSpec, CollectSink, EngineError, EvalEngine, RunControl, RunMeta};
+use crate::engine::{
+    CheckpointSpec, CollectSink, EngineError, EvalEngine, NullSink, RunControl, RunMeta,
+};
 use crate::faulty_model::FaultyModel;
 use crate::report::CampaignReport;
+use crate::shard::{ShardError, ShardPlan};
 use crate::stats::{fit_knee, KneeFit};
 use crate::workload::QuantFaultyModel;
 use bdlfi_data::Dataset;
@@ -136,7 +139,7 @@ pub fn run_sweep_controlled(
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
     let ckpt = ckpt.cloned().map(|mut s| {
         if s.fingerprint.is_empty() {
-            s.fingerprint = fingerprint("sweep", &(*cfg, ps.to_vec()));
+            s.fingerprint = fingerprint("sweep", &(cfg.fingerprint_form(), ps.to_vec()));
         }
         s
     });
@@ -154,7 +157,7 @@ pub fn run_sweep_controlled(
             );
             Ok(SweepPoint {
                 p,
-                report: run_campaign(&fm, cfg),
+                report: run_campaign(&fm, cfg).journal_form(),
             })
         },
         &mut sink,
@@ -229,7 +232,7 @@ pub fn run_sweep_quant_controlled(
     let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
     let ckpt = ckpt.cloned().map(|mut s| {
         if s.fingerprint.is_empty() {
-            s.fingerprint = fingerprint("sweep_quant", &(*cfg, ps.to_vec()));
+            s.fingerprint = fingerprint("sweep_quant", &(cfg.fingerprint_form(), ps.to_vec()));
         }
         s
     });
@@ -247,7 +250,7 @@ pub fn run_sweep_quant_controlled(
             );
             Ok(SweepPoint {
                 p,
-                report: run_campaign(&qfm, cfg),
+                report: run_campaign(&qfm, cfg).journal_form(),
             })
         },
         &mut sink,
@@ -270,6 +273,140 @@ pub fn run_sweep_quant_controlled(
         golden_error,
         run_meta,
     })
+}
+
+/// Runs one shard of a flip-probability sweep split `count` ways: the
+/// points in shard `index`'s contiguous sub-range of `0..ps.len()` (in
+/// the caller's `ps` order), journaled with global point ids under the
+/// plan's per-shard fingerprint. Merge the completed shards with
+/// [`crate::shard::merge_shards`] and assemble the [`SweepResult`] via
+/// [`run_sweep_controlled`] with [`CheckpointSpec::finalizing`].
+///
+/// `ckpt.fingerprint` names the **unsharded** sweep fingerprint (empty
+/// derives it, matching [`run_sweep_controlled`]).
+///
+/// # Errors
+///
+/// [`ShardError::Plan`] / [`ShardError::IndexOutOfRange`] for an unusable
+/// split; [`ShardError::Engine`] wrapping [`EngineError::Interrupted`] on
+/// a cooperative stop; engine/journal failures otherwise.
+///
+/// # Panics
+///
+/// Same preconditions as [`run_sweep`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_shard(
+    model: &Sequential,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    ps: &[f64],
+    cfg: &CampaignConfig,
+    count: usize,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    assert!(!ps.is_empty(), "sweep needs at least one probability");
+    assert!(
+        ps.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+    let base = if ckpt.fingerprint.is_empty() {
+        fingerprint("sweep", &(cfg.fingerprint_form(), ps.to_vec()))
+    } else {
+        ckpt.fingerprint.clone()
+    };
+    let plan = ShardPlan::new(base, cfg.seed, ps.len(), count)?;
+    let shard_spec = CheckpointSpec {
+        fingerprint: plan.shard_fingerprint(index),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let meta = engine.run_shard_checkpointed(
+        plan.info(index)?,
+        plan.range(index)?.len(),
+        || (),
+        |(), ctx| {
+            let p = ps[ctx.task_id];
+            let fm = FaultyModel::new(
+                model.clone(),
+                Arc::clone(eval),
+                spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(SweepPoint {
+                p,
+                report: run_campaign(&fm, cfg).journal_form(),
+            })
+        },
+        &mut NullSink,
+        ctl,
+        &shard_spec,
+    )?;
+    Ok(meta)
+}
+
+/// The quantized twin of [`run_sweep_shard`]: one shard of an int8 sweep,
+/// journaled under the plan derived from the `sweep_quant` fingerprint
+/// namespace so f32 and int8 shards never cross-merge.
+///
+/// # Errors
+///
+/// As [`run_sweep_shard`].
+///
+/// # Panics
+///
+/// Same preconditions as [`run_sweep_quant`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_sweep_quant_shard(
+    qm: &QuantModel,
+    eval: &Arc<Dataset>,
+    spec: &SiteSpec,
+    ps: &[f64],
+    cfg: &CampaignConfig,
+    count: usize,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    assert!(!ps.is_empty(), "sweep needs at least one probability");
+    assert!(
+        ps.iter().all(|p| (0.0..=1.0).contains(p)),
+        "probabilities must be in [0, 1]"
+    );
+    let base = if ckpt.fingerprint.is_empty() {
+        fingerprint("sweep_quant", &(cfg.fingerprint_form(), ps.to_vec()))
+    } else {
+        ckpt.fingerprint.clone()
+    };
+    let plan = ShardPlan::new(base, cfg.seed, ps.len(), count)?;
+    let shard_spec = CheckpointSpec {
+        fingerprint: plan.shard_fingerprint(index),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::with_workers(cfg.seed, cfg.workers);
+    let meta = engine.run_shard_checkpointed(
+        plan.info(index)?,
+        plan.range(index)?.len(),
+        || (),
+        |(), ctx| {
+            let p = ps[ctx.task_id];
+            let qfm = QuantFaultyModel::new(
+                qm.clone(),
+                Arc::clone(eval),
+                spec,
+                Arc::new(BernoulliBitFlip::new(p)),
+            );
+            Ok(SweepPoint {
+                p,
+                report: run_campaign(&qfm, cfg).journal_form(),
+            })
+        },
+        &mut NullSink,
+        ctl,
+        &shard_spec,
+    )?;
+    Ok(meta)
 }
 
 #[cfg(test)]

@@ -1,0 +1,31 @@
+// Two violations: a shard runner that reuses the campaign's base
+// fingerprint verbatim (every shard's journal becomes interchangeable),
+// and a shard_fingerprint helper that forgets the shard count.
+
+pub fn run_demo_shard(
+    plan: &ShardPlan,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    let info = plan.info(index)?;
+    let spec = CheckpointSpec {
+        fingerprint: ckpt.fingerprint.clone(),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::new(7);
+    let meta = engine.run_shard_checkpointed(
+        info,
+        plan.range(index)?.len(),
+        || (),
+        |(), ctx| Ok(ctx.task_id),
+        &mut NullSink,
+        ctl,
+        &spec,
+    )?;
+    Ok(meta)
+}
+
+pub fn shard_fingerprint(base: &str, index: usize) -> String {
+    fingerprint("shard", &(base.to_string(), index as u64))
+}

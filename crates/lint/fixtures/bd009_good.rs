@@ -1,0 +1,44 @@
+// A disciplined shard runner: the journal fingerprint is derived through
+// a shard_fingerprint helper applied to the shard index, and the helper
+// embeds both the index and the count in the derivation.
+
+impl ShardPlan {
+    pub fn shard_fingerprint(&self, index: usize) -> String {
+        let base = self.fingerprint.as_str();
+        let count = self.count as u64;
+        fingerprint("shard", &(base.to_string(), count, index as u64))
+    }
+}
+
+pub fn run_demo_shard(
+    plan: &ShardPlan,
+    index: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> Result<RunMeta, ShardError> {
+    let info = plan.info(index)?;
+    let spec = CheckpointSpec {
+        fingerprint: plan.shard_fingerprint(index),
+        ..ckpt.clone()
+    };
+    let engine = EvalEngine::new(7);
+    let meta = engine.run_shard_checkpointed(
+        info,
+        plan.range(index)?.len(),
+        || (),
+        |(), ctx| Ok(ctx.task_id),
+        &mut NullSink,
+        ctl,
+        &spec,
+    )?;
+    Ok(meta)
+}
+
+// Not a journal writer: delegating a shard job to a runner needs no tag
+// of its own — the runner derives it.
+pub fn dispatch_shard_job(plan: &ShardPlan, index: usize, ckpt: &CheckpointSpec) -> Outcome {
+    match run_demo_shard(plan, index, &RunControl::default(), ckpt) {
+        Ok(meta) => Outcome::Done(meta),
+        Err(e) => Outcome::Failed(e.to_string()),
+    }
+}

@@ -6,6 +6,8 @@
 //! resumable journal instead of a dead process. A stray `unwrap()` in
 //! those paths reintroduces the abort-the-world failure mode. The rule
 //! polices `crates/core/src/engine.rs`, `crates/core/src/checkpoint.rs`,
+//! `crates/core/src/shard.rs` (the merge verifier turns every malformed
+//! shard journal into a typed `ShardError`, never a panic),
 //! every file under `crates/server/src/` (PR 8: a daemon request path
 //! that panics kills a connection thread or — worse — the scheduler, so
 //! the whole crate holds to the same discipline; poisoned locks are
@@ -22,7 +24,11 @@ use super::{matching_delim, FileCtx, Rule};
 use crate::diag::Finding;
 
 /// Files policed in their entirety (non-test regions).
-const SCOPE_PATHS: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/checkpoint.rs"];
+const SCOPE_PATHS: [&str; 3] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/shard.rs",
+];
 
 /// Directories whose every file is policed (the daemon's request paths).
 const SCOPE_DIRS: [&str; 1] = ["crates/server/src/"];

@@ -1,0 +1,178 @@
+//! BD009 — every shard-journal writer must bind a per-shard fingerprint
+//! tag that embeds the shard's index and count.
+//!
+//! Shard journals are merged back into the whole-campaign journal by
+//! strict fingerprint verification: shard `i` of `n` must carry
+//! `fingerprint("shard", (base, n, i))` so that a journal from the wrong
+//! index, a different shard count, or a different campaign is refused at
+//! merge time rather than silently stitched in. Two failure modes are
+//! flagged:
+//!
+//! * a function that calls the engine's `run_shard_checkpointed` without
+//!   deriving its checkpoint fingerprint through a `*shard_fingerprint*`
+//!   helper applied to its shard index — its journals would all carry
+//!   the same (or an unrelated) fingerprint, and the merge verifier
+//!   could not tell shards apart;
+//! * a `*shard_fingerprint*` helper whose `fingerprint(…)` derivation
+//!   does not mention both the shard `index` and the shard `count` —
+//!   dropping either makes journals from different plans
+//!   resume-compatible.
+
+use super::{matching_delim, FileCtx, Rule};
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+
+/// See module docs.
+pub struct ShardFingerprintDiscipline;
+
+impl Rule for ShardFingerprintDiscipline {
+    fn code(&self) -> &'static str {
+        "BD009"
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-journal-fingerprints"
+    }
+
+    fn check(&mut self, ctx: &FileCtx<'_>) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for (k, &i) in ctx.code.iter().enumerate() {
+            if !ctx.tokens[i].is_ident("fn") || ctx.in_test(i) {
+                continue;
+            }
+            let Some(&name_i) = ctx.code.get(k + 1) else {
+                continue;
+            };
+            let name_tok = &ctx.tokens[name_i];
+            if name_tok.kind != TokenKind::Ident {
+                continue;
+            }
+            let Some(body_open) = fn_body_open(ctx, k) else {
+                continue;
+            };
+            let body_close = matching_delim(ctx.tokens, body_open);
+            let body: Vec<usize> = ctx
+                .code
+                .iter()
+                .copied()
+                .filter(|&t| t > body_open && t < body_close)
+                .collect();
+
+            if name_tok.text.contains("shard_fingerprint")
+                && !derivation_mentions_index_and_count(ctx, &body)
+            {
+                out.push(ctx.finding(
+                    self.code(),
+                    name_i,
+                    format!(
+                        "`{}` derives a shard fingerprint without embedding both the \
+                         shard index and the shard count in the fingerprint(…) call: \
+                         journals from different shards or plans would become \
+                         resume-compatible and the merge verifier could not refuse them",
+                        name_tok.text
+                    ),
+                ));
+            }
+
+            if calls_ident(ctx, &body, "run_shard_checkpointed") && !binds_per_shard_tag(ctx, &body)
+            {
+                out.push(ctx.finding(
+                    self.code(),
+                    name_i,
+                    format!(
+                        "`{}` writes a shard journal (run_shard_checkpointed) without \
+                         deriving its checkpoint fingerprint via a shard_fingerprint \
+                         helper applied to the shard index; every shard journal must \
+                         carry a tag embedding its index and count so the merge \
+                         verifier can tell shards apart",
+                        name_tok.text
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// For the `fn` at code index `k`, the tokens index of the body `{`.
+/// `None` for body-less declarations (trait methods).
+fn fn_body_open(ctx: &FileCtx<'_>, k: usize) -> Option<usize> {
+    for j in k + 1..ctx.code.len() {
+        let t = &ctx.tokens[ctx.code[j]];
+        if t.is_punct('{') {
+            return Some(ctx.code[j]);
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the body calls `name(` (directly or as a method).
+fn calls_ident(ctx: &FileCtx<'_>, body: &[usize], name: &str) -> bool {
+    body.iter().enumerate().any(|(k, &i)| {
+        ctx.tokens[i].is_ident(name)
+            && body
+                .get(k + 1)
+                .is_some_and(|&j| ctx.tokens[j].is_punct('('))
+    })
+}
+
+/// Whether the body calls a `*shard_fingerprint*` helper whose argument
+/// list mentions an identifier containing `index`.
+fn binds_per_shard_tag(ctx: &FileCtx<'_>, body: &[usize]) -> bool {
+    for (k, &i) in body.iter().enumerate() {
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident || !t.text.contains("shard_fingerprint") {
+            continue;
+        }
+        let Some(&paren) = body.get(k + 1) else {
+            continue;
+        };
+        if !ctx.tokens[paren].is_punct('(') {
+            continue;
+        }
+        let close = matching_delim(ctx.tokens, paren);
+        let has_index = body
+            .iter()
+            .copied()
+            .filter(|&j| j > paren && j < close)
+            .any(|j| {
+                let a = &ctx.tokens[j];
+                a.kind == TokenKind::Ident && a.text.contains("index")
+            });
+        if has_index {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether some `fingerprint(…)` call in the body mentions identifiers
+/// containing both `index` and `count` among its arguments.
+fn derivation_mentions_index_and_count(ctx: &FileCtx<'_>, body: &[usize]) -> bool {
+    for (k, &i) in body.iter().enumerate() {
+        if !ctx.tokens[i].is_ident("fingerprint") {
+            continue;
+        }
+        let Some(&paren) = body.get(k + 1) else {
+            continue;
+        };
+        if !ctx.tokens[paren].is_punct('(') {
+            continue;
+        }
+        let close = matching_delim(ctx.tokens, paren);
+        let args: Vec<&str> = body
+            .iter()
+            .copied()
+            .filter(|&j| j > paren && j < close)
+            .filter(|&j| ctx.tokens[j].kind == TokenKind::Ident)
+            .map(|j| ctx.tokens[j].text.as_str())
+            .collect();
+        if args.iter().any(|a| a.contains("index")) && args.iter().any(|a| a.contains("count")) {
+            return true;
+        }
+    }
+    false
+}

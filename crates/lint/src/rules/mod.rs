@@ -20,6 +20,7 @@ mod bd005;
 mod bd006;
 mod bd007;
 mod bd008;
+mod bd009;
 
 pub use bd001::EntropySources;
 pub use bd002::AdditiveSeeds;
@@ -29,6 +30,7 @@ pub use bd005::PanicFreePaths;
 pub use bd006::DistinctFingerprints;
 pub use bd007::ExactDeltaFallback;
 pub use bd008::SimdDispatchDiscipline;
+pub use bd009::ShardFingerprintDiscipline;
 
 /// Everything a rule may inspect about one file.
 pub struct FileCtx<'a> {
@@ -90,6 +92,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(DistinctFingerprints::default()),
         Box::new(ExactDeltaFallback),
         Box::new(SimdDispatchDiscipline::default()),
+        Box::new(ShardFingerprintDiscipline),
     ]
 }
 

@@ -214,6 +214,30 @@ fn bd008_bad_is_ignored_in_test_code() {
     assert_clean("bd008_bad.rs", "crates/tensor/tests/kernel_equivalence.rs");
 }
 
+// ---- BD009: shard journal fingerprint discipline ----------------------
+
+#[test]
+fn bd009_bad_trips_only_bd009() {
+    let f = assert_trips("bd009_bad.rs", "crates/core/src/campaign.rs", "BD009");
+    assert_eq!(f.len(), 2, "one per failure mode: {f:?}");
+    // Sorted by line: the runner that reuses the base fingerprint, then
+    // the helper that drops the shard count.
+    assert!(f[0].render().contains("run_demo_shard"));
+    assert!(f[1].render().contains("shard_fingerprint"));
+}
+
+#[test]
+fn bd009_good_derived_shard_fingerprints_are_clean() {
+    assert_clean("bd009_good.rs", "crates/core/src/campaign.rs");
+}
+
+#[test]
+fn bd009_bad_is_ignored_in_test_code() {
+    // Tests exercise shard runners against hand-built journals; the
+    // discipline applies to production writers only.
+    assert_clean("bd009_bad.rs", "tests/shard_merge.rs");
+}
+
 // ---- allow directive --------------------------------------------------
 
 #[test]

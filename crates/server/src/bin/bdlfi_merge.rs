@@ -1,0 +1,157 @@
+//! The `bdlfi-merge` binary: stitch the shard journals of one sharded
+//! campaign back into a whole-campaign journal, verify the result
+//! strictly, and (optionally) finalize it into the driver's report.
+//!
+//! The merge itself never re-evaluates anything: shard journals carry
+//! global task ids, so the merged journal is the unsharded header plus
+//! each shard's entry bytes in index order — byte-for-byte identical to
+//! the journal a single-process run would have written. The optional
+//! `--report` step replays the merged journal through the normal driver
+//! path (zero live tasks) to assemble the report exactly as a resumed
+//! single-process run would.
+
+use bdlfi::{CheckpointSpec, RunControl, ShardPlan};
+use bdlfi_serve::jobs::{run_driver, JobOutcome};
+use bdlfi_serve::{job_fingerprint, JobSpec};
+use serde::{Deserialize, Value};
+use std::path::PathBuf;
+
+const USAGE: &str =
+    "usage: bdlfi-merge --spec SPEC.json --out MERGED.jsonl [options] SHARD.jsonl...
+
+  --spec SPEC.json   the job spec the shards were run from (required)
+  --out PATH         where the merged whole-campaign journal goes (required)
+  --count N          shard count of the plan (default: number of SHARD args)
+  --report PATH      also finalize the merged journal into the driver report
+  --workers N        worker-pool size for the finalize replay (default 1)
+
+Shard journals may be listed in any order; each carries its shard index.
+Exit status: 0 merged (and finalized), 1 on merge/finalize failure, 2 on usage errors.
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bdlfi-merge: {msg}");
+    std::process::exit(1);
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let mut spec_path: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut count: Option<usize> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut workers = 1usize;
+    let mut shards: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--spec" => spec_path = Some(PathBuf::from(take("--spec"))),
+            "--out" => out = Some(PathBuf::from(take("--out"))),
+            "--count" => {
+                count = Some(take("--count").parse().unwrap_or_else(|_| {
+                    eprintln!("--count needs an integer\n{USAGE}");
+                    std::process::exit(2);
+                }));
+            }
+            "--report" => report_path = Some(PathBuf::from(take("--report"))),
+            "--workers" => {
+                workers = take("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers needs an integer\n{USAGE}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                std::process::exit(2);
+            }
+            path => shards.push(PathBuf::from(path)),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        eprintln!("--spec is required\n{USAGE}");
+        std::process::exit(2);
+    };
+    let Some(out) = out else {
+        eprintln!("--out is required\n{USAGE}");
+        std::process::exit(2);
+    };
+    if shards.is_empty() {
+        eprintln!("at least one shard journal is required\n{USAGE}");
+        std::process::exit(2);
+    }
+
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {}: {e}", spec_path.display())),
+    };
+    let value: Value = match serde_json::from_str(&text) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("{} is not valid JSON: {e}", spec_path.display())),
+    };
+    let mut spec = match JobSpec::from_json_value(&value) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("bad job spec: {e}")),
+    };
+    // The merge concerns the whole campaign; a spec file that happens to
+    // carry one worker's shard assignment must not narrow it.
+    spec.shard = None;
+    if let Err(e) = spec.validate() {
+        fail(&format!("bad job spec: {e}"));
+    }
+
+    let base = job_fingerprint(&spec);
+    let count = count.unwrap_or(shards.len());
+    let plan = match ShardPlan::new(base.clone(), spec.config().seed, spec.tasks(), count) {
+        Ok(p) => p,
+        Err(e) => fail(&format!("bad shard plan: {e}")),
+    };
+    let summary = match bdlfi::merge_shards(&plan, &shards, &out) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("merge failed: {e}")),
+    };
+    println!(
+        "{{\"merged\":\"{}\",\"tasks\":{},\"shards\":{},\"bytes\":{}}}",
+        out.display(),
+        summary.tasks,
+        summary.shards,
+        summary.bytes
+    );
+
+    let Some(report_path) = report_path else {
+        return;
+    };
+    // Finalize: replay the merged journal through the normal driver path.
+    // Every task is already journaled, so nothing is re-evaluated.
+    let ckpt = CheckpointSpec::new(out, base).finalizing();
+    match run_driver(&spec, workers.max(1), &RunControl::default(), &ckpt) {
+        JobOutcome::Done { report, .. } => {
+            let text = match serde_json::to_string(&report) {
+                Ok(t) => t,
+                Err(e) => fail(&format!("cannot serialize report: {e}")),
+            };
+            let tmp = report_path.with_extension("json.tmp");
+            if let Err(e) = std::fs::write(&tmp, text) {
+                fail(&format!("cannot write report: {e}"));
+            }
+            if let Err(e) = std::fs::rename(&tmp, &report_path) {
+                fail(&format!("cannot install report: {e}"));
+            }
+            println!("{{\"report\":\"{}\"}}", report_path.display());
+        }
+        JobOutcome::Interrupted { completed, tasks } => fail(&format!(
+            "finalize was interrupted at {completed}/{tasks} — the merged journal is incomplete"
+        )),
+        JobOutcome::Failed(msg) => fail(&format!("finalize failed: {msg}")),
+    }
+}

@@ -1,6 +1,11 @@
 //! A minimal blocking HTTP/1.1 client for the job API — enough for the
 //! smoke scenario and integration tests to submit jobs, poll status, and
 //! drain event streams without external dependencies.
+//!
+//! Two entry points: the free [`request`] function does one exchange on a
+//! fresh connection (`Connection: close`), and [`Client`] keeps one
+//! connection alive across requests — the fast path for shard
+//! coordination, which polls many small endpoints in a tight loop.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -15,10 +20,192 @@ pub struct Response {
     pub body: String,
 }
 
-/// Sends one request and reads the response to end-of-stream (the daemon
-/// closes every connection after one exchange). Streaming endpoints
-/// therefore block until the stream is terminal — useful in tests that
-/// want the full event history.
+/// A keep-alive client: holds one connection open and frames each
+/// response by its `Content-Length` (or chunked framing) instead of
+/// reading to end-of-stream, so the connection survives the exchange.
+///
+/// A dead kept-alive connection (daemon restarted, idle timeout fired) is
+/// repaired transparently: the request is retried once on a fresh
+/// connection before an error is reported. When a response announces
+/// `Connection: close` the cached connection is dropped and the next
+/// request dials again.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+    conn: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for the daemon at `addr` with a per-read timeout.
+    #[must_use]
+    pub fn new(addr: &str, timeout: Duration) -> Client {
+        Client {
+            addr: addr.to_string(),
+            timeout,
+            conn: None,
+        }
+    }
+
+    /// Sends one request on the kept-alive connection and reads exactly
+    /// one framed response.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the connect, write, read, or parse failure
+    /// (after the one transparent retry on a fresh connection).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        let reused = self.conn.is_some();
+        match self.try_request(method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) if reused => {
+                // The cached connection may have died between requests;
+                // retry exactly once on a fresh one.
+                self.conn = None;
+                self.try_request(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<Response, String> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)
+                .map_err(|e| format!("cannot connect to {}: {e}", self.addr))?;
+            stream
+                .set_read_timeout(Some(self.timeout))
+                .map_err(|e| format!("cannot set timeout: {e}"))?;
+            self.conn = Some(stream);
+        }
+        let Some(stream) = self.conn.as_mut() else {
+            return Err("no connection".to_string());
+        };
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        let sent = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("write failed: {e}"));
+        let result = sent.and_then(|()| read_framed(stream));
+        match result {
+            Ok((resp, close)) => {
+                if close {
+                    self.conn = None;
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads exactly one response off a kept-alive stream: head until the
+/// blank line, then `Content-Length` bytes (or chunks until the zero
+/// chunk). Returns the response and whether the server announced
+/// `Connection: close`.
+fn read_framed(stream: &mut TcpStream) -> Result<(Response, bool), String> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let split = loop {
+        if let Some(p) = find_blank_line(&raw) {
+            break p;
+        }
+        let n = stream
+            .read(&mut buf)
+            .map_err(|e| format!("read failed: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| "response head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line: {status_line}"))?;
+    let mut content_length = 0usize;
+    let mut chunked = false;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad content-length: {value}"))?;
+        }
+        if name.eq_ignore_ascii_case("transfer-encoding")
+            && value.trim().eq_ignore_ascii_case("chunked")
+        {
+            chunked = true;
+        }
+        if name.eq_ignore_ascii_case("connection") && value.trim().eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    let body_start = split + 4;
+    let body = if chunked {
+        loop {
+            match decode_chunked(&raw[body_start..]) {
+                Ok(body) => break body,
+                Err(e) if e.starts_with("truncated") => {
+                    let n = stream
+                        .read(&mut buf)
+                        .map_err(|e| format!("read failed: {e}"))?;
+                    if n == 0 {
+                        return Err("connection closed mid-chunk".to_string());
+                    }
+                    raw.extend_from_slice(&buf[..n]);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    } else {
+        while raw.len() < body_start + content_length {
+            let n = stream
+                .read(&mut buf)
+                .map_err(|e| format!("read failed: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-body".to_string());
+            }
+            raw.extend_from_slice(&buf[..n]);
+        }
+        raw[body_start..body_start + content_length].to_vec()
+    };
+    Ok((
+        Response {
+            status,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        },
+        close,
+    ))
+}
+
+/// Sends one request with `Connection: close` and reads the response to
+/// end-of-stream. Streaming endpoints therefore block until the stream
+/// is terminal — useful in tests that want the full event history.
 ///
 /// # Errors
 ///
@@ -196,5 +383,71 @@ mod tests {
         let resp = parse_response(raw).unwrap();
         assert_eq!(resp.status, 404);
         assert_eq!(resp.body, "{}");
+    }
+
+    /// Reads one request head off `stream` (our client sends empty
+    /// bodies in these tests) and returns false on EOF.
+    fn read_head(stream: &mut TcpStream) -> bool {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            match stream.read(&mut byte) {
+                Ok(0) | Err(_) => return false,
+                Ok(_) => head.push(byte[0]),
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn client_reuses_one_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut served = 0usize;
+            while read_head(&mut stream) {
+                stream
+                    .write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                    )
+                    .unwrap();
+                served += 1;
+                if served == 2 {
+                    break;
+                }
+            }
+            served
+        });
+        let mut client = Client::new(&addr, Duration::from_secs(5));
+        assert_eq!(client.request("GET", "/a", None).unwrap().body, "ok");
+        assert_eq!(client.request("GET", "/b", None).unwrap().body, "ok");
+        // Both exchanges were served off the single accepted connection.
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn client_redials_after_server_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let mut connections = 0usize;
+            for _ in 0..2 {
+                let (mut stream, _) = listener.accept().unwrap();
+                connections += 1;
+                assert!(read_head(&mut stream));
+                stream
+                    .write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok",
+                    )
+                    .unwrap();
+            }
+            connections
+        });
+        let mut client = Client::new(&addr, Duration::from_secs(5));
+        assert_eq!(client.request("GET", "/a", None).unwrap().status, 200);
+        // The server closed; the client must dial a fresh connection.
+        assert_eq!(client.request("GET", "/b", None).unwrap().status, 200);
+        assert_eq!(server.join().unwrap(), 2);
     }
 }

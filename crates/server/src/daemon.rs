@@ -22,7 +22,9 @@
 //! shares. The grant only sizes the engine's thread pool; results are
 //! worker-count-invariant, so fairness never changes a report.
 
-use crate::http::{read_request, respond_error, respond_json, ChunkedWriter, Request};
+use crate::http::{
+    read_request, respond_bytes, respond_error, respond_json, ChunkedWriter, Request,
+};
 use crate::jobs::{
     event_done, event_failed, event_interrupted, event_started, run_job, JobObserver, JobOutcome,
     JobState, JobStatus, Registry,
@@ -344,34 +346,50 @@ fn persist_report(inner: &Arc<Inner>, id: &str, report: &Value) -> Result<(), St
 
 fn handle_connection(mut stream: TcpStream, inner: &Arc<Inner>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let req = match read_request(&mut stream) {
-        Ok(req) => req,
-        Err(e) => {
-            let _ = respond_error(&mut stream, 400, &e.0);
+    // Keep-alive: serve requests off this connection until the client
+    // asks to close (or hangs up, idles out, or a response fails).
+    loop {
+        let req = match read_request(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = respond_error(&mut stream, 400, &e.0, true);
+                return;
+            }
+        };
+        if route(&mut stream, &req, inner) || inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
-    };
-    route(&mut stream, &req, inner);
+    }
 }
 
-fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
+/// Dispatches one request; returns whether the connection must close
+/// afterwards (client asked, the response streamed, or a write failed).
+fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) -> bool {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    let _ = match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => respond_json(stream, 200, r#"{"ok":true}"#),
+    // Event streams end by closing the connection (their framing says so
+    // in the response head), so they always finish the exchange.
+    let streaming = matches!(
+        (req.method.as_str(), segments.as_slice()),
+        ("GET", ["jobs", _, "events"])
+    );
+    let close = req.close || streaming;
+    let result = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond_json(stream, 200, r#"{"ok":true}"#, close),
         ("POST", ["shutdown"]) => {
             inner.shutdown.store(true, Ordering::Relaxed);
             for job in inner.registry.list() {
                 job.stop.store(true, Ordering::Relaxed);
             }
             inner.queue_cv.notify_all();
-            respond_json(stream, 202, r#"{"ok":true,"shutting_down":true}"#)
+            respond_json(stream, 202, r#"{"ok":true,"shutting_down":true}"#, close)
         }
-        ("POST", ["jobs"]) => submit(stream, &req.body, inner),
+        ("POST", ["jobs"]) => submit(stream, &req.body, inner, close),
         ("GET", ["jobs"]) => {
             let items: Vec<Value> = inner.registry.list().iter().map(|j| j.summary()).collect();
             let body =
                 serde_json::to_string(&Value::Array(items)).unwrap_or_else(|_| "[]".to_string());
-            respond_json(stream, 200, &body)
+            respond_json(stream, 200, &body, close)
         }
         ("GET", ["jobs", id]) => match inner.registry.get(id) {
             Some(job) => {
@@ -383,16 +401,16 @@ fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
                     ));
                 }
                 let body = serde_json::to_string(&summary).unwrap_or_else(|_| "{}".to_string());
-                respond_json(stream, 200, &body)
+                respond_json(stream, 200, &body, close)
             }
-            None => respond_error(stream, 404, "no such job"),
+            None => respond_error(stream, 404, "no such job", close),
         },
         ("POST", ["jobs", id, "cancel"]) => match inner.registry.get(id) {
             Some(job) => {
                 job.stop.store(true, Ordering::Relaxed);
-                respond_json(stream, 202, r#"{"ok":true}"#)
+                respond_json(stream, 202, r#"{"ok":true}"#, close)
             }
-            None => respond_error(stream, 404, "no such job"),
+            None => respond_error(stream, 404, "no such job", close),
         },
         ("POST", ["jobs", id, "resume"]) => match inner.registry.get(id) {
             Some(job) => {
@@ -404,52 +422,71 @@ fn route(stream: &mut TcpStream, req: &Request, inner: &Arc<Inner>) {
                     let resume = inner.registry.journal_path(id).exists();
                     inner.enqueue(Arc::clone(&job), resume);
                     let body = format!(r#"{{"ok":true,"resumed_from_journal":{resume}}}"#);
-                    respond_json(stream, 202, &body)
+                    respond_json(stream, 202, &body, close)
                 } else {
                     respond_error(
                         stream,
                         409,
                         &format!("job is {}, not resumable", status.as_str()),
+                        close,
                     )
                 }
             }
-            None => respond_error(stream, 404, "no such job"),
+            None => respond_error(stream, 404, "no such job", close),
         },
         ("GET", ["jobs", id, "report"]) => match inner.registry.get(id) {
             Some(_) => match std::fs::read_to_string(inner.registry.report_path(id)) {
-                Ok(body) => respond_json(stream, 200, &body),
-                Err(_) => respond_error(stream, 404, "no report yet"),
+                Ok(body) => respond_json(stream, 200, &body, close),
+                Err(_) => respond_error(stream, 404, "no report yet", close),
             },
-            None => respond_error(stream, 404, "no such job"),
+            None => respond_error(stream, 404, "no such job", close),
+        },
+        ("GET", ["jobs", id, "journal"]) => match inner.registry.get(id) {
+            // The raw journal bytes — how a coordinator collects a shard
+            // for `bdlfi-merge`. Read as one buffer so the response is a
+            // consistent snapshot even while the job is appending.
+            Some(_) => match std::fs::read(inner.registry.journal_path(id)) {
+                Ok(bytes) => respond_bytes(stream, 200, "application/x-ndjson", &bytes, close),
+                Err(_) => respond_error(stream, 404, "no journal yet", close),
+            },
+            None => respond_error(stream, 404, "no such job", close),
         },
         ("GET", ["jobs", id, "events"]) => match inner.registry.get(id) {
             Some(job) => stream_events(stream, &job),
-            None => respond_error(stream, 404, "no such job"),
+            None => respond_error(stream, 404, "no such job", close),
         },
-        _ => respond_error(stream, 404, "no such endpoint"),
+        _ => respond_error(stream, 404, "no such endpoint", close),
     };
+    close || result.is_err()
 }
 
-fn submit(stream: &mut TcpStream, body: &[u8], inner: &Arc<Inner>) -> std::io::Result<()> {
+fn submit(
+    stream: &mut TcpStream,
+    body: &[u8],
+    inner: &Arc<Inner>,
+    close: bool,
+) -> std::io::Result<()> {
     let Ok(text) = std::str::from_utf8(body) else {
-        return respond_error(stream, 400, "body is not valid UTF-8");
+        return respond_error(stream, 400, "body is not valid UTF-8", close);
     };
     let value: Value = match serde_json::from_str(text) {
         Ok(v) => v,
-        Err(e) => return respond_error(stream, 400, &format!("body is not valid JSON: {e}")),
+        Err(e) => {
+            return respond_error(stream, 400, &format!("body is not valid JSON: {e}"), close)
+        }
     };
     let spec = match JobSpec::from_json_value(&value) {
         Ok(s) => s,
-        Err(e) => return respond_error(stream, 400, &format!("bad job spec: {e}")),
+        Err(e) => return respond_error(stream, 400, &format!("bad job spec: {e}"), close),
     };
     match inner.registry.submit(spec) {
         Ok(job) => {
             inner.enqueue(Arc::clone(&job), false);
             let body = serde_json::to_string(&job.summary()).unwrap_or_else(|_| "{}".to_string());
-            respond_json(stream, 202, &body)
+            respond_json(stream, 202, &body, close)
         }
         Err((client_fault, msg)) => {
-            respond_error(stream, if client_fault { 400 } else { 500 }, &msg)
+            respond_error(stream, if client_fault { 400 } else { 500 }, &msg, close)
         }
     }
 }

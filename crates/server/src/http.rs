@@ -1,12 +1,16 @@
 //! A deliberately small HTTP/1.1 implementation: exactly what the job API
 //! needs and nothing more.
 //!
-//! One request per connection (`Connection: close`), plain responses with
-//! `Content-Length`, and chunked responses for event streams. Requests
-//! are parsed from raw bytes with hard limits on header and body size so
-//! a malformed or hostile client cannot balloon daemon memory. Every
-//! parse failure maps to a client-error response — nothing on this path
-//! may panic (BD005).
+//! Connections are persistent (HTTP/1.1 keep-alive) by default — shard
+//! collection makes many small requests, and reconnecting per request
+//! dominated their cost. A client opts out per request with
+//! `Connection: close`; event streams always close their connection when
+//! the stream ends. Plain responses carry `Content-Length`, event
+//! streams use chunked transfer, so every response is self-delimiting on
+//! a reused connection. Requests are parsed from raw bytes with hard
+//! limits on header and body size so a malformed or hostile client
+//! cannot balloon daemon memory. Every parse failure maps to a
+//! client-error response — nothing on this path may panic (BD005).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -16,7 +20,7 @@ const MAX_HEAD: usize = 8 * 1024;
 /// Upper bound on a request body (job specs are a few KB).
 const MAX_BODY: usize = 1024 * 1024;
 
-/// A parsed request: method, path, body.
+/// A parsed request: method, path, body, connection disposition.
 #[derive(Debug)]
 pub struct Request {
     /// `GET`, `POST`, …
@@ -25,20 +29,25 @@ pub struct Request {
     pub path: String,
     /// The raw body (empty when none was sent).
     pub body: Vec<u8>,
+    /// The client asked for the connection to close after this exchange
+    /// (`Connection: close`). HTTP/1.1's default is keep-alive.
+    pub close: bool,
 }
 
 /// Why a request could not be parsed. Always the client's fault.
 #[derive(Debug)]
 pub struct BadRequest(pub String);
 
-/// Reads one request from the stream.
+/// Reads one request from the stream. Returns `Ok(None)` when the
+/// connection ends cleanly (or idles out) *between* requests — the normal
+/// end of a kept-alive connection, not an error.
 ///
 /// # Errors
 ///
 /// [`BadRequest`] on oversized, truncated, or malformed input (including
 /// I/O errors and read timeouts mid-request — from the daemon's view a
 /// half-sent request is a bad request).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadRequest> {
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
     // Read byte-wise until the blank line; requests are tiny and this
@@ -48,8 +57,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
             return Err(BadRequest("request head too large".to_string()));
         }
         match stream.read(&mut byte) {
+            Ok(0) if head.is_empty() => return Ok(None),
             Ok(0) => return Err(BadRequest("connection closed mid-request".to_string())),
             Ok(_) => head.push(byte[0]),
+            Err(_) if head.is_empty() => return Ok(None),
             Err(e) => return Err(BadRequest(format!("read error: {e}"))),
         }
     }
@@ -70,6 +81,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut close = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -79,6 +91,9 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
                 .trim()
                 .parse::<usize>()
                 .map_err(|_| BadRequest("bad content-length".to_string()))?;
+        }
+        if name.eq_ignore_ascii_case("connection") {
+            close = value.trim().eq_ignore_ascii_case("close");
         }
     }
     if content_length > MAX_BODY {
@@ -90,7 +105,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
     stream
         .read_exact(&mut body)
         .map_err(|e| BadRequest(format!("truncated body: {e}")))?;
-    Ok(Request { method, path, body })
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -106,22 +126,45 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete JSON response and flushes. Write errors are returned
-/// for logging; by this point the request is already handled, so callers
-/// may ignore a client that hung up.
+/// Writes a complete response with the given content type and flushes.
+/// `close` advertises (and commits to) closing the connection after this
+/// exchange. Write errors are returned for logging; by this point the
+/// request is already handled, so callers may ignore a client that hung
+/// up.
 ///
 /// # Errors
 ///
 /// The underlying socket write error.
-pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+pub fn respond_bytes(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(body)?;
     stream.flush()
+}
+
+/// [`respond_bytes`] for a JSON payload.
+///
+/// # Errors
+///
+/// The underlying socket write error.
+pub fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    respond_bytes(stream, status, "application/json", body.as_bytes(), close)
 }
 
 /// [`respond_json`] with an `{"error": ...}` payload.
@@ -129,13 +172,18 @@ pub fn respond_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io:
 /// # Errors
 ///
 /// The underlying socket write error.
-pub fn respond_error(stream: &mut TcpStream, status: u16, msg: &str) -> std::io::Result<()> {
+pub fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    msg: &str,
+    close: bool,
+) -> std::io::Result<()> {
     let body = serde_json::to_string(&serde::Value::Object(vec![(
         "error".to_string(),
         serde::Value::String(msg.to_string()),
     )]))
     .unwrap_or_else(|_| "{\"error\":\"unprintable\"}".to_string());
-    respond_json(stream, status, &body)
+    respond_json(stream, status, &body, close)
 }
 
 /// A chunked `application/x-ndjson` response in progress: one chunk per

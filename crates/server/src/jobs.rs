@@ -21,11 +21,16 @@
 //! Everything in this module runs on request or runner paths: no panics,
 //! poisoned locks are taken over with [`PoisonError::into_inner`].
 
-use crate::spec::{build_workload, check_layers, job_fingerprint, DriverSpec, JobSpec, SpecError};
+use crate::spec::{
+    build_workload, check_layers, job_fingerprint, DriverSpec, JobSpec, ShardSpec, SpecError,
+    Workload,
+};
 use bdlfi::{
-    run_campaign_adaptive_controlled, run_campaign_controlled, run_layerwise_controlled,
-    run_layerwise_quant_controlled, run_sweep_controlled, run_sweep_quant_controlled,
-    CheckpointSpec, EngineError, FaultyModel, QuantFaultyModel, RunControl, RunMeta, RunObserver,
+    run_campaign_adaptive_controlled, run_campaign_controlled, run_campaign_shard,
+    run_layerwise_controlled, run_layerwise_quant_controlled, run_layerwise_quant_shard,
+    run_layerwise_shard, run_sweep_controlled, run_sweep_quant_controlled, run_sweep_quant_shard,
+    run_sweep_shard, CheckpointSpec, EngineError, FaultyModel, QuantFaultyModel, RunControl,
+    RunMeta, RunObserver, ShardError,
 };
 use bdlfi_faults::BernoulliBitFlip;
 use serde::{Deserialize, Number, Serialize, Value};
@@ -599,26 +604,45 @@ pub fn run_job(
     resume: bool,
     sync_every: usize,
 ) -> JobOutcome {
-    let spec = &job.spec;
+    let ckpt = CheckpointSpec {
+        path: journal.to_path_buf(),
+        fingerprint: job.fingerprint.clone(),
+        resume,
+        sync_every,
+        allow_complete: false,
+    };
+    run_driver(&job.spec, workers, ctl, &ckpt)
+}
+
+/// Builds the spec's workload and dispatches its driver (whole-campaign
+/// or one shard of it) against `ckpt`. `ckpt.fingerprint` must be the
+/// spec's base (shard-stripped) [`job_fingerprint`] — the shard path
+/// derives its per-shard journal fingerprint from it. Also the finalize
+/// entry point `bdlfi-merge` uses to turn a merged shard journal into a
+/// report, via [`CheckpointSpec::finalizing`].
+#[must_use]
+pub fn run_driver(
+    spec: &JobSpec,
+    workers: usize,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> JobOutcome {
     let workload = match build_workload(&spec.scenario) {
         Ok(w) => w,
         Err(SpecError(msg)) => return JobOutcome::Failed(format!("workload build failed: {msg}")),
     };
     let mut cfg = *spec.config();
     cfg.workers = workers;
-    let ckpt = CheckpointSpec {
-        path: journal.to_path_buf(),
-        fingerprint: job.fingerprint.clone(),
-        resume,
-        sync_every,
-    };
+    if let Some(shard) = spec.shard {
+        return run_shard_job(spec, workload, &cfg, shard, ctl, ckpt);
+    }
     let sites = &spec.scenario.sites;
     let fault = Arc::new(BernoulliBitFlip::new(spec.scenario.flip_probability));
 
     match (&spec.driver, workload.quant) {
         (DriverSpec::Campaign { .. }, None) => {
             let fm = FaultyModel::new(workload.model, workload.eval, sites, fault);
-            match run_campaign_controlled(&fm, &cfg, ctl, Some(&ckpt)) {
+            match run_campaign_controlled(&fm, &cfg, ctl, Some(ckpt)) {
                 Ok(report) => {
                     let meta = report.run_meta;
                     tagged_report("campaign", report.to_json_value(), meta)
@@ -628,7 +652,7 @@ pub fn run_job(
         }
         (DriverSpec::Campaign { .. }, Some(qm)) => {
             let fm = QuantFaultyModel::new(qm, workload.eval, sites, fault);
-            match run_campaign_controlled(&fm, &cfg, ctl, Some(&ckpt)) {
+            match run_campaign_controlled(&fm, &cfg, ctl, Some(ckpt)) {
                 Ok(report) => {
                     let meta = report.run_meta;
                     tagged_report("campaign", report.to_json_value(), meta)
@@ -649,7 +673,7 @@ pub fn run_job(
                 &cfg,
                 *max_samples_per_chain,
                 ctl,
-                Some(&ckpt),
+                Some(ckpt),
             ) {
                 Ok(report) => {
                     let meta = report.run_meta;
@@ -671,7 +695,7 @@ pub fn run_job(
                 &cfg,
                 *max_samples_per_chain,
                 ctl,
-                Some(&ckpt),
+                Some(ckpt),
             ) {
                 Ok(report) => {
                     let meta = report.run_meta;
@@ -688,7 +712,7 @@ pub fn run_job(
                 ps,
                 &cfg,
                 ctl,
-                Some(&ckpt),
+                Some(ckpt),
             ) {
                 Ok(result) => {
                     let meta = result.run_meta;
@@ -698,7 +722,7 @@ pub fn run_job(
             }
         }
         (DriverSpec::Sweep { ps, .. }, Some(qm)) => {
-            match run_sweep_quant_controlled(&qm, &workload.eval, sites, ps, &cfg, ctl, Some(&ckpt))
+            match run_sweep_quant_controlled(&qm, &workload.eval, sites, ps, &cfg, ctl, Some(ckpt))
             {
                 Ok(result) => {
                     let meta = result.run_meta;
@@ -716,7 +740,7 @@ pub fn run_job(
                 *budget,
                 &cfg,
                 ctl,
-                Some(&ckpt),
+                Some(ckpt),
             ) {
                 Ok(result) => {
                     let meta = result.run_meta;
@@ -734,7 +758,7 @@ pub fn run_job(
                 *budget,
                 &cfg,
                 ctl,
-                Some(&ckpt),
+                Some(ckpt),
             ) {
                 Ok(result) => {
                     let meta = result.run_meta;
@@ -743,6 +767,103 @@ pub fn run_job(
                 Err(e) => engine_outcome(e),
             }
         }
+    }
+}
+
+/// Runs one shard of the spec's driver. The shard's deliverable is its
+/// journal (collect it via `GET /jobs/<id>/journal`); the report is a
+/// small summary with the shard coordinates and engine accounting.
+fn run_shard_job(
+    spec: &JobSpec,
+    workload: Workload,
+    cfg: &bdlfi::CampaignConfig,
+    shard: ShardSpec,
+    ctl: &RunControl,
+    ckpt: &CheckpointSpec,
+) -> JobOutcome {
+    let sites = &spec.scenario.sites;
+    let fault = Arc::new(BernoulliBitFlip::new(spec.scenario.flip_probability));
+    let result = match (&spec.driver, workload.quant) {
+        (DriverSpec::Campaign { .. }, None) => {
+            let fm = FaultyModel::new(workload.model, workload.eval, sites, fault);
+            run_campaign_shard(&fm, cfg, shard.count, shard.index, ctl, ckpt)
+        }
+        (DriverSpec::Campaign { .. }, Some(qm)) => {
+            let fm = QuantFaultyModel::new(qm, workload.eval, sites, fault);
+            run_campaign_shard(&fm, cfg, shard.count, shard.index, ctl, ckpt)
+        }
+        (DriverSpec::Sweep { ps, .. }, None) => run_sweep_shard(
+            &workload.model,
+            &workload.eval,
+            sites,
+            ps,
+            cfg,
+            shard.count,
+            shard.index,
+            ctl,
+            ckpt,
+        ),
+        (DriverSpec::Sweep { ps, .. }, Some(qm)) => run_sweep_quant_shard(
+            &qm,
+            &workload.eval,
+            sites,
+            ps,
+            cfg,
+            shard.count,
+            shard.index,
+            ctl,
+            ckpt,
+        ),
+        (DriverSpec::Layerwise { layers, budget, .. }, None) => {
+            let refs: Vec<&str> = layers.iter().map(String::as_str).collect();
+            run_layerwise_shard(
+                &workload.model,
+                &workload.eval,
+                &refs,
+                *budget,
+                cfg,
+                shard.count,
+                shard.index,
+                ctl,
+                ckpt,
+            )
+        }
+        (DriverSpec::Layerwise { layers, budget, .. }, Some(qm)) => {
+            let refs: Vec<&str> = layers.iter().map(String::as_str).collect();
+            run_layerwise_quant_shard(
+                &qm,
+                &workload.eval,
+                &refs,
+                *budget,
+                cfg,
+                shard.count,
+                shard.index,
+                ctl,
+                ckpt,
+            )
+        }
+        (DriverSpec::AdaptiveCampaign { .. }, _) => {
+            // Unreachable past validation; refuse rather than panic.
+            return JobOutcome::Failed("adaptive campaigns cannot be sharded".to_string());
+        }
+    };
+    match result {
+        Ok(meta) => {
+            let summary = Value::Object(vec![
+                (
+                    "index".to_string(),
+                    Value::Number(Number::U(shard.index as u64)),
+                ),
+                (
+                    "count".to_string(),
+                    Value::Number(Number::U(shard.count as u64)),
+                ),
+                ("meta".to_string(), meta.to_json_value()),
+            ]);
+            tagged_report("shard", summary, meta)
+        }
+        Err(ShardError::Engine(e)) => engine_outcome(e),
+        Err(other) => JobOutcome::Failed(other.to_string()),
     }
 }
 

@@ -26,9 +26,17 @@
 //! | `GET` | `/jobs/{id}` | one job's status + pooled accounting |
 //! | `GET` | `/jobs/{id}/events` | chunked NDJSON stream of results + diagnostics |
 //! | `GET` | `/jobs/{id}/report` | the final driver report |
+//! | `GET` | `/jobs/{id}/journal` | the raw journal bytes (shard collection for `bdlfi-merge`) |
 //! | `POST` | `/jobs/{id}/cancel` | interrupt at the next task boundary |
 //! | `POST` | `/jobs/{id}/resume` | re-enqueue an interrupted/failed job |
 //! | `POST` | `/shutdown` | stop the daemon (jobs stay resumable) |
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive) except for event
+//! streams, which close when the stream ends. A job spec may carry a
+//! `shard` member (`{"index": i, "count": n}`) to run one contiguous
+//! shard of the campaign's task space; the per-job journals of all `n`
+//! shards are then collected and stitched into the whole-campaign
+//! journal (and report) by the `bdlfi-merge` binary.
 
 #![warn(missing_docs)]
 
@@ -40,5 +48,5 @@ pub mod pool;
 pub mod spec;
 
 pub use daemon::{Daemon, DaemonHandle, ServeConfig};
-pub use jobs::{JobStatus, Registry};
-pub use spec::{job_fingerprint, JobSpec};
+pub use jobs::{run_driver, JobOutcome, JobStatus, Registry};
+pub use spec::{job_fingerprint, JobSpec, ShardSpec};

@@ -125,13 +125,32 @@ pub enum DriverSpec {
     },
 }
 
-/// One submittable job: scenario + driver.
+/// One slice of a distributed campaign: run only shard `index` of the
+/// driver's task space split `count` ways (see [`bdlfi::shard`]). A
+/// coordinator submits the same scenario + driver to `count` daemons with
+/// `index` 0..count, collects each job's journal, and merges them with
+/// `bdlfi-merge` (or [`bdlfi::merge_shards`]) into the byte-identical
+/// single-process journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// This job's shard index, `0..count`.
+    pub index: usize,
+    /// Total shards the campaign is split into.
+    pub count: usize,
+}
+
+/// One submittable job: scenario + driver, optionally restricted to one
+/// shard of the task space.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobSpec {
     /// What to inject faults into.
     pub scenario: ScenarioSpec,
     /// Which study to run over it.
     pub driver: DriverSpec,
+    /// When set, run only this shard of the driver's task space. Absent
+    /// (the default, and how every pre-shard spec file deserializes) runs
+    /// the whole campaign.
+    pub shard: Option<ShardSpec>,
 }
 
 /// Resource ceilings: a public daemon must bound what one request can ask
@@ -151,6 +170,16 @@ impl JobSpec {
     #[must_use]
     pub fn config(&self) -> &CampaignConfig {
         match &self.driver {
+            DriverSpec::Campaign { config }
+            | DriverSpec::AdaptiveCampaign { config, .. }
+            | DriverSpec::Sweep { config, .. }
+            | DriverSpec::Layerwise { config, .. } => config,
+        }
+    }
+
+    /// Mutable access to the driver's campaign configuration.
+    pub fn config_mut(&mut self) -> &mut CampaignConfig {
+        match &mut self.driver {
             DriverSpec::Campaign { config }
             | DriverSpec::AdaptiveCampaign { config, .. }
             | DriverSpec::Sweep { config, .. }
@@ -325,6 +354,30 @@ impl JobSpec {
                 }
             }
         }
+        if let Some(shard) = self.shard {
+            if matches!(self.driver, DriverSpec::AdaptiveCampaign { .. }) {
+                return err(
+                    "adaptive campaigns cannot be sharded (their task space is open-ended)"
+                        .to_string(),
+                );
+            }
+            if shard.count == 0 {
+                return err("shard.count must be positive".to_string());
+            }
+            if shard.index >= shard.count {
+                return err(format!(
+                    "shard.index must be below shard.count, got {}/{}",
+                    shard.index, shard.count
+                ));
+            }
+            if shard.count > self.tasks() {
+                return err(format!(
+                    "shard.count ({}) exceeds the driver's task count ({})",
+                    shard.count,
+                    self.tasks()
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -492,9 +545,22 @@ pub fn fingerprint_tag(spec: &JobSpec) -> &'static str {
 /// (not the execution-time worker grant), so it is stable across daemon
 /// restarts and pool rebalancing — results are worker-count-invariant, so
 /// journals written under different grants interoperate.
+///
+/// The shard field is stripped first: this names the *campaign*, which
+/// every shard job of one study shares. A shard job's journal binds the
+/// per-shard fingerprint the shard runner derives from this base (plus
+/// the shard count and index), never this value directly. The worker
+/// count is pinned for the same reason the core drivers pin it
+/// ([`CampaignConfig::fingerprint_form`]): results are bit-identical at
+/// every worker count, so shards run on differently-sized daemons must
+/// still merge.
 #[must_use]
 pub fn job_fingerprint(spec: &JobSpec) -> String {
-    bdlfi::fingerprint(fingerprint_tag(spec), spec)
+    let mut base = spec.clone();
+    base.shard = None;
+    let pinned = base.config().fingerprint_form();
+    *base.config_mut() = pinned;
+    bdlfi::fingerprint(fingerprint_tag(&base), &base)
 }
 
 #[cfg(test)]
@@ -536,6 +602,7 @@ pub(crate) mod tests {
                     ..CampaignConfig::default()
                 },
             },
+            shard: None,
         }
     }
 
@@ -603,6 +670,51 @@ pub(crate) mod tests {
             config: *f32_spec.config(),
         };
         assert_ne!(job_fingerprint(&f32_spec), job_fingerprint(&sweep));
+    }
+
+    #[test]
+    fn shard_validation_and_fingerprint_sharing() {
+        // Both shards of one campaign share the base fingerprint.
+        let whole = small_spec();
+        let mut s0 = small_spec();
+        s0.shard = Some(ShardSpec { index: 0, count: 2 });
+        let mut s1 = small_spec();
+        s1.shard = Some(ShardSpec { index: 1, count: 2 });
+        s0.validate().unwrap();
+        s1.validate().unwrap();
+        assert_eq!(job_fingerprint(&whole), job_fingerprint(&s0));
+        assert_eq!(job_fingerprint(&s0), job_fingerprint(&s1));
+
+        // Out-of-range and oversized shards are client errors.
+        let mut bad = small_spec();
+        bad.shard = Some(ShardSpec { index: 2, count: 2 });
+        assert!(bad.validate().is_err());
+        let mut bad = small_spec();
+        bad.shard = Some(ShardSpec { index: 0, count: 0 });
+        assert!(bad.validate().is_err());
+        let mut bad = small_spec();
+        bad.shard = Some(ShardSpec {
+            index: 0,
+            count: 99,
+        });
+        assert!(bad.validate().is_err());
+
+        // Adaptive campaigns cannot be sharded.
+        let mut bad = small_spec();
+        bad.driver = DriverSpec::AdaptiveCampaign {
+            config: *bad.config(),
+            max_samples_per_chain: 8,
+        };
+        bad.shard = Some(ShardSpec { index: 0, count: 2 });
+        assert!(bad.validate().is_err());
+
+        // Pre-shard spec files (no "shard" key) still deserialize.
+        let mut v = whole.to_json_value();
+        if let serde::Value::Object(entries) = &mut v {
+            entries.retain(|(k, _)| k != "shard");
+        }
+        let back = JobSpec::from_json_value(&v).unwrap();
+        assert!(back.shard.is_none());
     }
 
     #[test]

@@ -87,6 +87,7 @@ fn slow_spec(seed: u64) -> JobSpec {
                 ..CampaignConfig::default()
             },
         },
+        shard: None,
     }
 }
 

@@ -173,7 +173,11 @@ impl Bencher {
             if elapsed >= calibration_floor || iters >= 1 << 30 {
                 // Scale up to fill the measurement window, then measure.
                 let target = self.window.as_secs_f64();
-                let scale = if elapsed > 0.0 { target / elapsed } else { 1000.0 };
+                let scale = if elapsed > 0.0 {
+                    target / elapsed
+                } else {
+                    1000.0
+                };
                 let measured_iters = ((iters as f64 * scale).ceil() as u64).clamp(1, 1 << 32);
                 let start = Instant::now();
                 for _ in 0..measured_iters {

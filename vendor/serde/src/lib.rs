@@ -85,8 +85,9 @@ pub fn from_field<T: Deserialize>(
     context: &str,
 ) -> Result<T, DeError> {
     match entries.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::from_json_value(v)
-            .map_err(|e| DeError::custom(format!("{context}.{key}: {e}"))),
+        Some((_, v)) => {
+            T::from_json_value(v).map_err(|e| DeError::custom(format!("{context}.{key}: {e}")))
+        }
         None => T::missing_field_default()
             .ok_or_else(|| DeError::custom(format!("missing field `{key}` in {context}"))),
     }
@@ -296,14 +297,19 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
 
 impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_json_value(v: &Value) -> Result<Self, DeError> {
-        let items = v.as_array().ok_or_else(|| DeError::expected("array", "array"))?;
+        let items = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "array"))?;
         if items.len() != N {
             return Err(DeError::custom(format!(
                 "expected array of {N}, found {}",
                 items.len()
             )));
         }
-        let vec: Vec<T> = items.iter().map(T::from_json_value).collect::<Result<_, _>>()?;
+        let vec: Vec<T> = items
+            .iter()
+            .map(T::from_json_value)
+            .collect::<Result<_, _>>()?;
         vec.try_into()
             .map_err(|_| DeError::custom("array length mismatch"))
     }

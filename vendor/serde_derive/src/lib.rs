@@ -100,7 +100,9 @@ fn skip_attrs_and_vis(it: &mut Tokens) {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
                         let text = g.stream().to_string();
                         if text.starts_with("serde") {
-                            panic!("vendored serde_derive does not support #[serde(...)] attributes");
+                            panic!(
+                                "vendored serde_derive does not support #[serde(...)] attributes"
+                            );
                         }
                     }
                     other => panic!("malformed attribute: {other:?}"),

@@ -150,7 +150,10 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert("a".to_string(), vec![(1usize, 2u32), (3, 4)]);
         let s = to_string(&m).unwrap();
-        assert_eq!(from_str::<BTreeMap<String, Vec<(usize, u32)>>>(&s).unwrap(), m);
+        assert_eq!(
+            from_str::<BTreeMap<String, Vec<(usize, u32)>>>(&s).unwrap(),
+            m
+        );
     }
 
     #[test]
