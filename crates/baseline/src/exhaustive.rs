@@ -94,10 +94,16 @@ impl EvalSink<(u8, bool, f64)> for Agg {
     ) -> Result<(), EngineError> {
         self.total += 1;
         self.error_sum += error;
-        self.by_bit[bit as usize].injections += 1;
         if corrupted {
             self.sdc_total += 1;
-            self.by_bit[bit as usize].sdc += 1;
+        }
+        // `bit` is always < 32 by the bit-sweep enumeration; the
+        // aggregate counters above stay right even for a phantom row.
+        if let Some(row) = self.by_bit.get_mut(bit as usize) {
+            row.injections += 1;
+            if corrupted {
+                row.sdc += 1;
+            }
         }
         Ok(())
     }

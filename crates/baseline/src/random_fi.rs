@@ -137,6 +137,7 @@ impl RandomFi {
     pub fn run(&self, cfg: &RandomFiConfig) -> RandomFiResult {
         match self.run_controlled(cfg, &RunControl::default(), None) {
             Ok(res) => res,
+            // bdlfi-lint: allow(BD010) -- `run` is the documented panicking convenience wrapper (see `# Panics`); fallible callers use `run_controlled`
             Err(e) => panic!("random-FI campaign failed: {e}"),
         }
     }
@@ -249,6 +250,7 @@ impl RandomFi {
                 }
                 flat -= site.len;
             }
+            // bdlfi-lint: allow(BD010) -- unreachable by construction: `flat` was drawn below the summed site lengths the loop subtracts
             unreachable!("flat index within total");
         }
         FaultConfig::sample(&self.sites.params, self.fault_model.as_ref(), rng)

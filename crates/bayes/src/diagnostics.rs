@@ -38,7 +38,9 @@ pub fn split_rhat_slices(chains: &[&[f64]]) -> f64 {
     if m < 2 {
         return f64::NAN;
     }
-    let n = halves.iter().map(|h| h.len()).min().unwrap();
+    let Some(n) = halves.iter().map(|h| h.len()).min() else {
+        return f64::NAN;
+    };
     let halves: Vec<&[f64]> = halves.iter().map(|h| &h[..n]).collect();
 
     let means: Vec<f64> = halves

@@ -117,13 +117,18 @@ impl<S> Proposal<S> for MixtureProposal<S> {
     fn propose(&self, current: &S, rng: &mut dyn Rng) -> (S, f64) {
         let total: f64 = self.components.iter().map(|(w, _)| w).sum();
         let mut u = rng.random::<f64>() * total;
-        for (w, p) in &self.components {
+        // Rounding can leave `u` marginally positive after the final
+        // subtraction; the last component absorbs that sliver (`new`
+        // asserts non-emptiness, so the index is always populated).
+        let mut pick = self.components.len().saturating_sub(1);
+        for (i, (w, _)) in self.components.iter().enumerate() {
             u -= w;
             if u <= 0.0 {
-                return p.propose(current, rng);
+                pick = i;
+                break;
             }
         }
-        self.components.last().unwrap().1.propose(current, rng)
+        self.components[pick].1.propose(current, rng)
     }
 }
 

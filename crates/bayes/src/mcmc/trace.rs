@@ -89,7 +89,7 @@ impl Trace {
         assert!(!self.samples.is_empty(), "quantile of an empty trace");
         assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trace"));
+        sorted.sort_by(f64::total_cmp);
         let pos = q * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;

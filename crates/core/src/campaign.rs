@@ -226,6 +226,7 @@ impl<W: FaultWorkload> ChainWorker<W> {
         let sampling_model: Arc<dyn bdlfi_faults::FaultModel> = match cfg.kernel {
             KernelChoice::TiltedPrior { factor } => fault_model
                 .tilted(factor)
+                // bdlfi-lint: allow(BD010) -- campaign-setup validation: fails before any task runs or journal bytes exist, so nothing resumable is lost
                 .expect("fault model does not support tilting")
                 .into(),
             _ => Arc::clone(&fault_model),
@@ -314,6 +315,7 @@ impl<W: FaultWorkload> ChainWorker<W> {
         let mut log_target = move |c: &FaultConfig| -> f64 {
             let base = c
                 .log_prob(&target_sites, target_model.as_ref())
+                // bdlfi-lint: allow(BD010) -- the sampling model drew this config from the same density; absence is unrepresentable mid-chain
                 .expect("fault model must define a density for MCMC targets");
             if beta > 0.0 {
                 let hit = eval_error_ref(c) > golden + 1e-12;
@@ -330,7 +332,9 @@ impl<W: FaultWorkload> ChainWorker<W> {
         let is_tilted = matches!(cfg.kernel, KernelChoice::TiltedPrior { .. });
         let log_weight = move |c: &FaultConfig, err: f64| -> f64 {
             if is_tilted {
+                // bdlfi-lint: allow(BD010) -- the sampling model drew this config from the same density; absence is unrepresentable mid-chain
                 let prior = c.log_prob(&weight_sites, weight_prior.as_ref()).unwrap();
+                // bdlfi-lint: allow(BD010) -- same invariant as the line above, for the proposal-side density
                 let proposal = c.log_prob(&weight_sites, weight_sampling.as_ref()).unwrap();
                 prior - proposal
             } else if beta > 0.0 {
@@ -472,6 +476,7 @@ fn advance_all<W: FaultWorkload>(
 pub fn run_campaign<W: FaultWorkload>(fm: &W, cfg: &CampaignConfig) -> CampaignReport {
     match run_campaign_controlled(fm, cfg, &RunControl::default(), None) {
         Ok(rep) => rep,
+        // bdlfi-lint: allow(BD010) -- `run_campaign` is the documented panicking convenience wrapper (see `# Panics`); fallible callers use `run_campaign_controlled`
         Err(e) => panic!("campaign failed: {e}"),
     }
 }

@@ -126,6 +126,7 @@ impl DeltaModel for F32Substrate<'_> {
         layer
             .as_any()
             .and_then(|a| a.downcast_ref::<Dense>())
+            // bdlfi-lint: allow(BD010) -- planner invariant: only dense layers are ever marked column-dirty
             .expect("planner only marks dense layers dirty")
             .forward_cols(input, cols)
     }
@@ -151,6 +152,7 @@ impl DeltaModel for QuantSubstrate<'_> {
     fn forward_cols(&self, l: usize, input: &Tensor, cols: &[usize]) -> Tensor {
         let (_, op) = self.0.op_at(l);
         op.as_dense()
+            // bdlfi-lint: allow(BD010) -- planner invariant: only qdense stages are ever marked column-dirty
             .expect("planner only marks qdense stages dirty")
             .forward_cols(input, cols)
     }
@@ -383,6 +385,7 @@ fn delta_batch<M: DeltaModel, C: DeltaCache>(
             for r in 0..n {
                 let golden_row = &golden_out.data()[r * width..(r + 1) * width];
                 if rows.get(di) == Some(&r) {
+                    // bdlfi-lint: allow(BD010) -- invariant: a row listed in `rows` was recomputed by the branch above
                     let y = y_dirty.as_ref().expect("dirty rows imply a recompute");
                     let row = &y.data()[di * width..(di + 1) * width];
                     di += 1;

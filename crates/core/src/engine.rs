@@ -684,10 +684,10 @@ impl EvalEngine {
         ) {
             Ok(meta) => meta,
             Err(EngineError::TaskPanicked { task_id, detail }) => {
-                // bdlfi-lint: allow(BD005) -- `run` is the documented panicking convenience wrapper (see `# Panics`); fallible callers use `run_checkpointed`
+                // bdlfi-lint: allow(BD010) -- `run` is the documented panicking convenience wrapper (see `# Panics`); fallible callers use `run_checkpointed`
                 panic!("task {task_id} panicked: {detail}")
             }
-            // bdlfi-lint: allow(BD005) -- same documented `# Panics` API boundary as above
+            // bdlfi-lint: allow(BD010) -- same documented `# Panics` API boundary as above
             Err(e) => panic!("engine run failed: {e}"),
         }
     }
@@ -1078,12 +1078,13 @@ impl EvalEngine {
                 // A poisoned slot only means another worker panicked while
                 // holding the lock; the item inside is still intact, so
                 // recover it rather than cascading the panic.
+                // bdlfi-lint: allow(BD010) -- in-bounds by construction: `slots` has one entry per task id the dispatcher hands out
                 let mut slot = slots[ctx.task_id]
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let item = slot
                     .take()
-                    // bdlfi-lint: allow(BD005) -- unreachable by construction: run_inner's atomic counter hands out each task id exactly once
+                    // bdlfi-lint: allow(BD010) -- unreachable by construction: run_inner's atomic counter hands out each task id exactly once
                     .expect("engine task claimed twice");
                 f(ctx, item)
             },

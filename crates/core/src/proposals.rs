@@ -30,9 +30,11 @@ impl Proposal<FaultConfig> for PriorProposal {
         let candidate = FaultConfig::sample(&self.sites, self.fault_model.as_ref(), rng);
         let lp_current = current
             .log_prob(&self.sites, self.fault_model.as_ref())
+            // bdlfi-lint: allow(BD010) -- `current` was sampled from this same model; a density it cannot score is unrepresentable
             .expect("fault model must define a density");
         let lp_candidate = candidate
             .log_prob(&self.sites, self.fault_model.as_ref())
+            // bdlfi-lint: allow(BD010) -- same invariant as above, for the freshly drawn candidate
             .expect("fault model must define a density");
         (candidate, lp_current - lp_candidate)
     }

@@ -473,7 +473,12 @@ pub fn merge_shards(
                 want: contents.header.tasks,
             });
         }
-        let slot = &mut slots[info.index];
+        let slot = slots
+            .get_mut(info.index)
+            .ok_or(ShardError::IndexOutOfRange {
+                index: info.index,
+                count: plan.count,
+            })?;
         if slot.is_some() {
             return Err(ShardError::DuplicateShard { index: info.index });
         }

@@ -38,7 +38,7 @@ pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
 fn ranks(x: &[f64]) -> Vec<f64> {
     let n = x.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("NaN in rank input"));
+    idx.sort_by(|&a, &b| x[a].total_cmp(&x[b]));
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {

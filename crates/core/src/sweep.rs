@@ -165,7 +165,7 @@ pub fn run_sweep_controlled(
         ckpt.as_ref(),
     )?;
     let mut points = sink.into_inner();
-    points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
+    points.sort_by(|a, b| a.p.total_cmp(&b.p));
     let golden_error = points[0].report.golden_error;
     // Roll the per-point campaigns' sparse-delta accounting up into the
     // sweep-level meta.
@@ -258,7 +258,7 @@ pub fn run_sweep_quant_controlled(
         ckpt.as_ref(),
     )?;
     let mut points = sink.into_inner();
-    points.sort_by(|a, b| a.p.partial_cmp(&b.p).unwrap());
+    points.sort_by(|a, b| a.p.total_cmp(&b.p));
     let golden_error = points[0].report.golden_error;
     // Roll the per-point campaigns' sparse-delta accounting up into the
     // sweep-level meta.

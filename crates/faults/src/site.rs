@@ -132,6 +132,7 @@ pub fn resolve_sites(model: &Sequential, spec: &SiteSpec) -> ResolvedSites {
                 .map(|want| {
                     all.iter()
                         .find(|s| s.path == *want)
+                        // bdlfi-lint: allow(BD010) -- spec-resolution boundary: reports the offending path before any campaign state exists
                         .unwrap_or_else(|| panic!("unknown parameter path {want:?}"))
                         .clone()
                 })

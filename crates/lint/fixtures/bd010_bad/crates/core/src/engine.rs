@@ -1,0 +1,16 @@
+//! BD010 bad fixture: a root fn that unwraps directly, a root fn that
+//! slice-indexes, and an entry point whose panic lives two calls away
+//! in another crate (see ../../nn/src/prep.rs).
+
+pub fn claim_slot(slots: &mut Vec<u32>, id: u32) -> u32 {
+    let slot = slots.pop().unwrap();
+    slot + id
+}
+
+pub fn peek_first(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn run_batch(n: u32) -> u32 {
+    preprocess_batch(n)
+}

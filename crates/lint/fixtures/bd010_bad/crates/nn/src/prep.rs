@@ -1,0 +1,13 @@
+//! Reached from the engine fixture's `run_batch` via a cross-crate call
+//! chain; the panic below must be reported with that chain as notes.
+
+pub fn preprocess_batch(n: u32) -> u32 {
+    scale_one(n)
+}
+
+fn scale_one(n: u32) -> u32 {
+    if n == 0 {
+        panic!("empty batch");
+    }
+    n * 2
+}

@@ -1,0 +1,34 @@
+//! BD010 good fixture: typed errors end-to-end, a documented waiver on
+//! the one sanctioned panicking convenience wrapper, and test-only
+//! unwraps (exempt).
+
+pub fn claim_slot(slots: &mut Vec<u32>, id: u32) -> Result<u32, EngineError> {
+    match slots.pop() {
+        Some(slot) => Ok(slot + id),
+        None => Err(EngineError::Exhausted),
+    }
+}
+
+pub fn peek_first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn run_batch(n: u32) -> Result<u32, EngineError> {
+    preprocess_batch(n)
+}
+
+pub fn run_batch_or_die(n: u32) -> u32 {
+    match run_batch(n) {
+        Ok(v) => v,
+        // bdlfi-lint: allow(BD010) -- documented panicking convenience wrapper; campaign paths use run_batch
+        Err(_) => panic!("run_batch failed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::run_batch(3).unwrap(), 6);
+    }
+}

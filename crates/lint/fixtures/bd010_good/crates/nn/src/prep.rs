@@ -1,0 +1,13 @@
+//! The helper crate in its typed-error form: the engine entry point can
+//! reach every fn here without finding a panic site.
+
+pub fn preprocess_batch(n: u32) -> Result<u32, EngineError> {
+    scale_one(n)
+}
+
+fn scale_one(n: u32) -> Result<u32, EngineError> {
+    if n == 0 {
+        return Err(EngineError::EmptyBatch);
+    }
+    Ok(n * 2)
+}

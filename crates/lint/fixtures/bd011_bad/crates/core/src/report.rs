@@ -1,0 +1,11 @@
+//! BD011 bad fixture: `journal_form` reaches wall-clock state through a
+//! helper defined in another file (util.rs) — the journal is no longer
+//! a pure function of the campaign.
+
+impl CampaignReport {
+    pub fn journal_form(&self) -> CampaignReport {
+        let mut j = self.clone();
+        j.elapsed_micros = current_elapsed();
+        j
+    }
+}

@@ -1,0 +1,8 @@
+//! The ambient-state helper the bad fixtures route through. `Instant`
+//! is fine for RunMeta timing (BD001 allows it) — the violation is
+//! letting it reach journal or fingerprint bytes.
+
+pub fn current_elapsed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}

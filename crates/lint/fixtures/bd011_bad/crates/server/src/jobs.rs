@@ -1,0 +1,11 @@
+//! BD011 bad fixture, argument side: tainted values passed *into* a
+//! fingerprint fn — once via a wall-clock-tainted helper call, once via
+//! a direct `Instant::now()` in the argument list.
+
+pub fn submit_job(spec: &JobSpec) -> String {
+    job_fingerprint(spec, current_elapsed())
+}
+
+pub fn submit_job_stamped(spec: &JobSpec) -> String {
+    job_fingerprint(spec, micros_of(Instant::now()))
+}

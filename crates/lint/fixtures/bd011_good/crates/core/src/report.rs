@@ -1,0 +1,11 @@
+//! BD011 good fixture: `journal_form` scrubs every ambient field to a
+//! constant — journal bytes are a pure function of the campaign.
+
+impl CampaignReport {
+    pub fn journal_form(&self) -> CampaignReport {
+        let mut j = self.clone();
+        j.elapsed_micros = 0;
+        j.workers = 1;
+        j
+    }
+}

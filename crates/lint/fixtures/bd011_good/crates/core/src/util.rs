@@ -1,0 +1,8 @@
+//! Wall-clock helpers may exist — RunMeta timing is allowed to observe
+//! the clock. Taint alone is not a violation; only taint that reaches
+//! journal or fingerprint bytes is.
+
+pub fn current_elapsed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_micros() as u64
+}

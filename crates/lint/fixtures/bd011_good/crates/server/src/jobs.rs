@@ -1,0 +1,6 @@
+//! BD011 good fixture, argument side: fingerprint inputs come from the
+//! spec and an explicit constant salt — nothing ambient.
+
+pub fn submit_job(spec: &JobSpec) -> String {
+    job_fingerprint(spec, 0)
+}

@@ -1,0 +1,11 @@
+//! The pure fingerprint sink, unchanged from the bad tree — the fix is
+//! always upstream, in what callers feed it.
+
+pub fn job_fingerprint(spec: &JobSpec, salt: u64) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for b in spec.canonical_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}

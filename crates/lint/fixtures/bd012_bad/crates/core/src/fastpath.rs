@@ -1,0 +1,20 @@
+//! BD012 bad fixture: a second dispatch site in a distant crate. It is
+//! feature-checked *and* SAFETY-justified — BD008 is fully satisfied —
+//! yet it still bypasses the kernel module's benched selector front
+//! door, duplicating the feature-detection policy where per-shape
+//! benching cannot see it.
+
+pub fn fast_scale(x: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence established by the check above.
+        unsafe { gemm_avx2(x) };
+        return;
+    }
+    scale_fallback(x);
+}
+
+fn scale_fallback(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+}

@@ -1,0 +1,30 @@
+//! The kernel module: a `#[target_feature]` kernel, its scalar
+//! `*_reference` oracle, and the benched selector's guarded dispatch —
+//! the one sanctioned front door. This file is identical in the good
+//! and bad trees; the difference is how the other crate enters it.
+
+use std::arch::x86_64::*;
+
+#[target_feature(enable = "avx2")]
+pub fn gemm_avx2(x: &mut [f32]) {
+    // SAFETY: caller guarantees AVX2; lanes load from ordinary slices.
+    unsafe {
+        let v = _mm256_loadu_ps(x.as_ptr());
+        _mm256_storeu_ps(x.as_mut_ptr(), _mm256_add_ps(v, v));
+    }
+}
+
+pub fn gemm_reference(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v += *v;
+    }
+}
+
+pub fn gemm_dispatch(x: &mut [f32]) {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 presence established by the check above; the
+        // kernel takes ordinary slices otherwise.
+        return unsafe { gemm_avx2(x) };
+    }
+    gemm_reference(x);
+}

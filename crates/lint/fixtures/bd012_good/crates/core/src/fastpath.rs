@@ -1,0 +1,7 @@
+//! BD012 good fixture: the distant crate enters the kernel through the
+//! module's own guarded dispatch wrapper — no feature policy duplicated,
+//! and the benched selector stays in charge of which variant runs.
+
+pub fn fast_scale(x: &mut [f32]) {
+    gemm_dispatch(x);
+}

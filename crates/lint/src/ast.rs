@@ -1,0 +1,921 @@
+//! The AST-lite layer: item structure recovered from the token stream.
+//!
+//! The interprocedural rules (BD010–BD012) need to know *which function*
+//! a token belongs to, *what that function calls*, and a handful of
+//! per-function facts (does it panic? read ambient entropy? carry
+//! `#[target_feature]`?). A full Rust parse is out of scope for a
+//! dependency-free linter, so this layer recovers exactly the structure
+//! the analyses consume and nothing more:
+//!
+//! * function items with their body token ranges, found at any nesting
+//!   depth (free fns, `impl` methods, trait default methods, nested fns);
+//! * the `impl`/`trait` association of each method — `impl EvalSink for
+//!   Collector` yields `qual = "Collector"`, `trait_name = "EvalSink"` —
+//!   so qualified calls (`Type::method(…)`) and trait-based scoping
+//!   (every `EvalSink` impl) can resolve;
+//! * call sites, classified as plain calls, qualified path calls,
+//!   method calls, or macro invocations;
+//! * panic sites (`panic!`/`unreachable!`/`todo!`, `.unwrap()`,
+//!   `.expect(…)`, postfix slice indexing);
+//! * ambient-state sources (`thread_rng`, `from_entropy`, `OsRng`,
+//!   `SystemTime::now`, `Instant::now`, `available_parallelism`,
+//!   `thread::current`) with their taint kind.
+//!
+//! Deliberate approximations (see DESIGN.md §18 for the soundness
+//! discussion):
+//!
+//! * **Closures are attributed to their lexically enclosing fn.** A
+//!   closure's calls and panics count as the enclosing function's — right
+//!   for the dominant pattern (closures handed to `EvalEngine::run` or
+//!   the daemon's `WorkerPool` execute on behalf of the submitting
+//!   driver), over-approximate when a closure is built but never called.
+//! * **`macro_rules!` bodies are opaque.** Tokens inside a macro
+//!   *definition* belong to no function and produce no sites; tokens in
+//!   the argument list of a macro *invocation* are scanned normally
+//!   (they are ordinary expressions in every macro this workspace uses).
+//! * **Generic calls are resolved by name, not by instantiation.**
+//!   `f::<T>(x)` links to every workspace fn named `f`.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::matching_delim;
+
+/// How a call site invokes its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — a free-function call (or a call through a local
+    /// binding; unresolvable names simply produce no edges).
+    Plain,
+    /// `Qual::name(…)` — the last path qualifier is kept.
+    Qualified,
+    /// `recv.name(…)` — resolved against every workspace method of that
+    /// name (the trait-object approximation).
+    Method,
+    /// `name!(…)` — macro invocation; never resolved to a function.
+    Macro,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee name (the identifier before the parens / bang).
+    pub name: String,
+    /// Last path qualifier for [`CallKind::Qualified`] (`Foo::bar` → `Foo`).
+    pub qual: Option<String>,
+    /// Call classification.
+    pub kind: CallKind,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based source position of the callee name.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Token range `(open, close)` of the argument list, if delimited by
+    /// parentheses.
+    pub args: Option<(usize, usize)>,
+    /// Whether an `is_x86_feature_detected!` check occurs earlier in the
+    /// same function body.
+    pub guarded: bool,
+    /// Whether a `SAFETY:` comment sits between that check and the call.
+    pub safety_between: bool,
+}
+
+/// What kind of panic a [`PanicSite`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `panic!` / `unreachable!` / `todo!`.
+    Macro,
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// Postfix `expr[…]` indexing (can panic on out-of-bounds).
+    SliceIndex,
+}
+
+impl PanicKind {
+    /// Human-readable label for findings.
+    #[must_use]
+    pub fn label(self, name: &str) -> String {
+        match self {
+            PanicKind::Macro => format!("{name}!"),
+            PanicKind::Unwrap => ".unwrap()".to_string(),
+            PanicKind::Expect => ".expect(…)".to_string(),
+            PanicKind::SliceIndex => format!("{name}[…] indexing"),
+        }
+    }
+}
+
+/// One potential panic inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Classification.
+    pub kind: PanicKind,
+    /// The offending identifier (macro name, `unwrap`, the indexed
+    /// receiver) for messages.
+    pub what: String,
+    /// Token index of the site.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// The determinism-taint class of an ambient-state source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// `thread_rng`, `from_entropy`, `OsRng`.
+    Entropy,
+    /// `SystemTime::now`, `Instant::now`.
+    WallClock,
+    /// `thread::current` / `ThreadId`.
+    ThreadId,
+    /// `available_parallelism` (worker counts are scrubbed from journals).
+    WorkerCount,
+}
+
+impl SourceKind {
+    /// Short label for messages.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::Entropy => "entropy",
+            SourceKind::WallClock => "wall-clock",
+            SourceKind::ThreadId => "thread-id",
+            SourceKind::WorkerCount => "worker-count",
+        }
+    }
+}
+
+/// One ambient-state source occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct SourceSite {
+    /// Taint class.
+    pub kind: SourceKind,
+    /// The source expression (`SystemTime::now`, `thread_rng`, …).
+    pub what: String,
+    /// Token index.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One function item recovered from a file.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl` type (`impl Foo { fn m }` → `Foo`) or `trait`
+    /// name for default methods.
+    pub qual: Option<String>,
+    /// Trait being implemented, when the enclosing block is
+    /// `impl Trait for Type`.
+    pub trait_name: Option<String>,
+    /// Token index of the name identifier.
+    pub name_tok: usize,
+    /// 1-based position of the name.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Token range of the body braces `{ … }`; `None` for body-less
+    /// declarations (trait method signatures).
+    pub body: Option<(usize, usize)>,
+    /// Whether the fn sits inside a test region.
+    pub is_test: bool,
+    /// Whether a `#[target_feature]` attribute guards it.
+    pub target_feature: bool,
+    /// Whether the first parameter is (some form of) `self`.
+    pub is_method: bool,
+    /// Call sites in the body, innermost-fn attributed.
+    pub calls: Vec<CallSite>,
+    /// Panic sites in the body.
+    pub panics: Vec<PanicSite>,
+    /// Ambient-source sites in the body.
+    pub sources: Vec<SourceSite>,
+}
+
+/// Everything the interprocedural analyses need from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileAst {
+    /// All function items, in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// An `impl`/`trait` block context discovered in pass one.
+struct BlockCtx {
+    body: (usize, usize),
+    qual: Option<String>,
+    trait_name: Option<String>,
+}
+
+/// Builds the [`FileAst`] for one tokenized file. `code` is the
+/// comment-free view, `test_regions` the half-open token ranges of test
+/// code (both as produced by [`crate::rules`]).
+#[must_use]
+pub fn build(tokens: &[Token], code: &[usize], test_regions: &[(usize, usize)]) -> FileAst {
+    let blocks = collect_blocks(tokens, code);
+    let mut fns = collect_fns(tokens, code, test_regions, &blocks);
+    attribute_sites(tokens, code, &mut fns);
+    FileAst { fns }
+}
+
+/// Pass one: `impl`/`trait` block contexts (any nesting depth).
+fn collect_blocks(tokens: &[Token], code: &[usize]) -> Vec<BlockCtx> {
+    let mut out = Vec::new();
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        if t.is_ident("impl") {
+            if let Some(ctx) = parse_impl_header(tokens, code, k) {
+                out.push(ctx);
+            }
+        } else if t.is_ident("trait") {
+            // `trait Name … { … }` — default method bodies get qual and
+            // trait_name = Name.
+            let Some(&name_i) = code.get(k + 1) else {
+                continue;
+            };
+            if tokens[name_i].kind != TokenKind::Ident {
+                continue;
+            }
+            if let Some(open) = body_open_from(tokens, code, k + 2) {
+                let close = matching_delim(tokens, open).min(tokens.len());
+                out.push(BlockCtx {
+                    body: (open, close),
+                    qual: Some(tokens[name_i].text.clone()),
+                    trait_name: Some(tokens[name_i].text.clone()),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Parses an `impl` header at code index `k`: `impl<…> Type { … }` or
+/// `impl<…> Trait for Type { … }`. Returns the block context.
+fn parse_impl_header(tokens: &[Token], code: &[usize], k: usize) -> Option<BlockCtx> {
+    let mut j = k + 1;
+    skip_generics(tokens, code, &mut j);
+    // First path: segments up to `for` / `{` / `where`.
+    let first = last_path_segment(tokens, code, &mut j)?;
+    let (qual, trait_name) = if code.get(j).is_some_and(|&i| tokens[i].is_ident("for")) {
+        j += 1;
+        // Skip `&`, lifetimes, `mut`, `dyn` before the type path.
+        while code.get(j).is_some_and(|&i| {
+            tokens[i].is_punct('&')
+                || tokens[i].kind == TokenKind::Lifetime
+                || tokens[i].is_ident("mut")
+                || tokens[i].is_ident("dyn")
+        }) {
+            j += 1;
+        }
+        let ty = last_path_segment(tokens, code, &mut j)?;
+        (Some(ty), Some(first))
+    } else {
+        (Some(first), None)
+    };
+    let open = body_open_from(tokens, code, j)?;
+    let close = matching_delim(tokens, open).min(tokens.len());
+    Some(BlockCtx {
+        body: (open, close),
+        qual,
+        trait_name,
+    })
+}
+
+/// Advances `j` over a balanced `<…>` generic list if one starts there.
+fn skip_generics(tokens: &[Token], code: &[usize], j: &mut usize) {
+    if !code.get(*j).is_some_and(|&i| tokens[i].is_punct('<')) {
+        return;
+    }
+    let mut depth = 0i32;
+    while let Some(&i) = code.get(*j) {
+        if tokens[i].is_punct('<') {
+            depth += 1;
+        } else if tokens[i].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                *j += 1;
+                return;
+            }
+        } else if tokens[i].is_punct('{') || tokens[i].is_punct(';') {
+            return; // malformed; bail
+        }
+        *j += 1;
+    }
+}
+
+/// Reads a type path at `j` (`a::b::Type<G>`), advancing `j` past it, and
+/// returns the last ident segment.
+fn last_path_segment(tokens: &[Token], code: &[usize], j: &mut usize) -> Option<String> {
+    let mut last = None;
+    while let Some(&i) = code.get(*j) {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident {
+            if matches!(t.text.as_str(), "for" | "where") {
+                break;
+            }
+            last = Some(t.text.clone());
+            *j += 1;
+            skip_generics(tokens, code, j);
+            // Continue only through `::`.
+            if code.get(*j).is_some_and(|&a| tokens[a].is_punct(':'))
+                && code.get(*j + 1).is_some_and(|&a| tokens[a].is_punct(':'))
+            {
+                *j += 2;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct('{') || t.is_punct(';') {
+            break;
+        }
+        // `&`, lifetimes, `(`-tuples etc. — not a nominal type; stop.
+        break;
+    }
+    last
+}
+
+/// Scans forward from code index `j` to the opening `{` of an item body,
+/// stopping at `;`. Returns the *token* index of the `{`.
+fn body_open_from(tokens: &[Token], code: &[usize], j: usize) -> Option<usize> {
+    for &i in code.get(j..)?.iter() {
+        if tokens[i].is_punct('{') {
+            return Some(i);
+        }
+        if tokens[i].is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Pass two: function items with attributes and impl association.
+fn collect_fns(
+    tokens: &[Token],
+    code: &[usize],
+    test_regions: &[(usize, usize)],
+    blocks: &[BlockCtx],
+) -> Vec<FnDef> {
+    let in_test = |i: usize| test_regions.iter().any(|&(a, b)| (a..b).contains(&i));
+    let mut fns = Vec::new();
+    let mut pending_tf = false;
+    let mut k = 0usize;
+    while k < code.len() {
+        let i = code[k];
+        let t = &tokens[i];
+        // Attribute: accumulate target_feature, then skip it.
+        if t.is_punct('#') && code.get(k + 1).is_some_and(|&n| tokens[n].is_punct('[')) {
+            let close = matching_delim(tokens, code[k + 1]);
+            pending_tf |= tokens[code[k + 1]..close.min(tokens.len())]
+                .iter()
+                .any(|a| a.is_ident("target_feature"));
+            k = code.partition_point(|&c| c <= close);
+            continue;
+        }
+        if t.is_ident("fn") {
+            if let Some(&name_i) = code.get(k + 1) {
+                let name_tok = &tokens[name_i];
+                // `fn(` is a fn-pointer type, not an item.
+                if name_tok.kind == TokenKind::Ident {
+                    let body = body_open_from(tokens, code, k + 2)
+                        .map(|open| (open, matching_delim(tokens, open).min(tokens.len())));
+                    // Innermost impl/trait block containing the `fn`.
+                    let ctx = blocks
+                        .iter()
+                        .filter(|b| (b.body.0..b.body.1).contains(&i))
+                        .min_by_key(|b| b.body.1 - b.body.0);
+                    fns.push(FnDef {
+                        name: name_tok.text.clone(),
+                        qual: ctx.and_then(|c| c.qual.clone()),
+                        trait_name: ctx.and_then(|c| c.trait_name.clone()),
+                        name_tok: name_i,
+                        line: name_tok.line,
+                        col: name_tok.col,
+                        body,
+                        is_test: in_test(i),
+                        target_feature: pending_tf,
+                        is_method: has_self_param(tokens, code, k),
+                        calls: Vec::new(),
+                        panics: Vec::new(),
+                        sources: Vec::new(),
+                    });
+                }
+            }
+            pending_tf = false;
+        } else if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            pending_tf = false; // attributes attach to the next item only
+        }
+        k += 1;
+    }
+    fns
+}
+
+/// Whether the fn whose `fn` keyword is at code index `k` takes `self`.
+fn has_self_param(tokens: &[Token], code: &[usize], k: usize) -> bool {
+    let mut j = k + 2;
+    skip_generics(tokens, code, &mut j);
+    if !code.get(j).is_some_and(|&i| tokens[i].is_punct('(')) {
+        return false;
+    }
+    // `self` must appear within the first few tokens of the parameter
+    // list (`&'a mut self` is the longest sanctioned form).
+    (j + 1..j + 5).any(|p| code.get(p).is_some_and(|&i| tokens[i].is_ident("self")))
+}
+
+/// Rust keywords that can directly precede `[` without forming an index
+/// expression (plus declaration forms that rule out a call).
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "fn"
+            | "pub"
+            | "if"
+            | "else"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "for"
+            | "while"
+            | "loop"
+            | "in"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "use"
+            | "mod"
+            | "where"
+            | "ref"
+            | "move"
+            | "as"
+            | "dyn"
+            | "const"
+            | "static"
+            | "unsafe"
+            | "await"
+    )
+}
+
+/// Pass three: one linear scan classifying call / panic / source sites,
+/// each attributed to the innermost enclosing fn body.
+fn attribute_sites(tokens: &[Token], code: &[usize], fns: &mut [FnDef]) {
+    // (body range, fn index), for innermost-containment lookup.
+    let bodies: Vec<((usize, usize), usize)> = fns
+        .iter()
+        .enumerate()
+        .filter_map(|(x, f)| f.body.map(|b| (b, x)))
+        .collect();
+    let innermost = |i: usize| -> Option<usize> {
+        bodies
+            .iter()
+            .filter(|(b, _)| (b.0..=b.1).contains(&i))
+            .min_by_key(|(b, _)| b.1 - b.0)
+            .map(|&(_, x)| x)
+    };
+    // Guard positions (token indices of `is_x86_feature_detected`).
+    let guard_toks: Vec<usize> = code
+        .iter()
+        .copied()
+        .filter(|&i| tokens[i].is_ident("is_x86_feature_detected"))
+        .collect();
+
+    for (k, &i) in code.iter().enumerate() {
+        let t = &tokens[i];
+        let Some(fx) = innermost(i) else { continue };
+        let body = fns[fx].body.unwrap_or((0, 0));
+        let prev = k.checked_sub(1).map(|p| &tokens[code[p]]);
+        let prev2 = k.checked_sub(2).map(|p| &tokens[code[p]]);
+        let prev3 = k.checked_sub(3).map(|p| &tokens[code[p]]);
+        let next = code.get(k + 1).map(|&n| &tokens[n]);
+
+        // Postfix indexing: `recv[…]` where recv ends in an ident, `)`,
+        // `]`, or `?` — but not `ident![…]` (macro) or attribute `#[…]`.
+        // Range *slicing* (`&buf[..n]`, `raw[a..b]`) is deliberately not
+        // a panic site: it is the length-managed buffer idiom (reads,
+        // frame parsing) whose bounds checks sit adjacent, and flagging
+        // it drowns the scalar-index signal the rule is after.
+        if t.is_punct('[') {
+            if let Some(p) = prev {
+                let postfix = (p.kind == TokenKind::Ident && !is_expr_keyword(&p.text))
+                    || p.is_punct(')')
+                    || p.is_punct(']')
+                    || p.is_punct('?');
+                let macro_bang = prev.is_some_and(|p| p.is_punct('!'));
+                let close = matching_delim(tokens, i).min(tokens.len());
+                let range_slice = tokens[i..close]
+                    .windows(2)
+                    .any(|w| w[0].is_punct('.') && w[1].is_punct('.'));
+                if postfix && !macro_bang && !range_slice {
+                    let recv = prev2
+                        .filter(|_| p.kind == TokenKind::Ident)
+                        .map_or_else(|| p.text.clone(), |_| p.text.clone());
+                    fns[fx].panics.push(PanicSite {
+                        kind: PanicKind::SliceIndex,
+                        what: recv,
+                        tok: i,
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+            continue;
+        }
+
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+
+        let after_dot = prev.is_some_and(|p| p.is_punct('.'));
+        let after_path =
+            prev.is_some_and(|p| p.is_punct(':')) && prev2.is_some_and(|p| p.is_punct(':'));
+        let qual = if after_path {
+            prev3
+                .filter(|q| q.kind == TokenKind::Ident)
+                .map(|q| q.text.clone())
+        } else {
+            None
+        };
+        // The call's `(` sits right after the name — or past a
+        // turbofish (`run::<W>(…)`), whose type argument is skipped.
+        let paren_code_idx = if next.is_some_and(|n| n.is_punct('(')) {
+            Some(k + 1)
+        } else if next.is_some_and(|n| n.is_punct(':'))
+            && code.get(k + 2).is_some_and(|&n| tokens[n].is_punct(':'))
+            && code.get(k + 3).is_some_and(|&n| tokens[n].is_punct('<'))
+        {
+            let mut j = k + 3;
+            skip_generics(tokens, code, &mut j);
+            (j > k + 3 && code.get(j).is_some_and(|&n| tokens[n].is_punct('('))).then_some(j)
+        } else {
+            None
+        };
+        let calls_parens = paren_code_idx.is_some();
+        let is_macro = next.is_some_and(|n| n.is_punct('!'))
+            && code
+                .get(k + 2)
+                .is_some_and(|&n| "([{".chars().any(|c| tokens[n].is_punct(c)));
+        let is_def = prev.is_some_and(|p| p.is_ident("fn"));
+
+        // Panic sites.
+        if after_dot && calls_parens && (t.text == "unwrap" || t.text == "expect") {
+            fns[fx].panics.push(PanicSite {
+                kind: if t.text == "unwrap" {
+                    PanicKind::Unwrap
+                } else {
+                    PanicKind::Expect
+                },
+                what: t.text.clone(),
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        }
+        if is_macro && matches!(t.text.as_str(), "panic" | "unreachable" | "todo") {
+            fns[fx].panics.push(PanicSite {
+                kind: PanicKind::Macro,
+                what: t.text.clone(),
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        }
+
+        // Ambient sources.
+        let source = match t.text.as_str() {
+            "thread_rng" | "from_entropy" => Some((SourceKind::Entropy, t.text.clone())),
+            "OsRng" => Some((SourceKind::Entropy, "OsRng".to_string())),
+            "available_parallelism" => {
+                Some((SourceKind::WorkerCount, "available_parallelism".to_string()))
+            }
+            "now" if after_path && matches!(qual.as_deref(), Some("SystemTime" | "Instant")) => {
+                Some((
+                    SourceKind::WallClock,
+                    format!("{}::now", qual.as_deref().unwrap_or("")),
+                ))
+            }
+            "current" if after_path && qual.as_deref() == Some("thread") => {
+                Some((SourceKind::ThreadId, "thread::current".to_string()))
+            }
+            _ => None,
+        };
+        if let Some((kind, what)) = source {
+            fns[fx].sources.push(SourceSite {
+                kind,
+                what,
+                tok: i,
+                line: t.line,
+                col: t.col,
+            });
+        }
+
+        // Call sites.
+        if is_def {
+            continue;
+        }
+        let (kind, record) = if is_macro {
+            (CallKind::Macro, true)
+        } else if calls_parens && after_dot {
+            (CallKind::Method, true)
+        } else if calls_parens && after_path {
+            (CallKind::Qualified, true)
+        } else if calls_parens {
+            (CallKind::Plain, true)
+        } else {
+            (CallKind::Plain, false)
+        };
+        if !record {
+            continue;
+        }
+        let args = paren_code_idx
+            .and_then(|p| code.get(p).copied())
+            .map(|n| (n, matching_delim(tokens, n).min(tokens.len())));
+        let guard = guard_toks
+            .iter()
+            .copied()
+            .filter(|&g| g > body.0 && g < i)
+            .max();
+        // A SAFETY comment is consumed by the call it precedes: the
+        // search window starts after the previous recorded call, so a
+        // comment justifying an earlier call does not bless this one.
+        let safety_between = guard.is_some_and(|g| {
+            let start = fns[fx].calls.last().map_or(g, |c| g.max(c.tok));
+            tokens[start..i]
+                .iter()
+                .any(|c| c.is_comment() && c.text.contains("SAFETY:"))
+        });
+        fns[fx].calls.push(CallSite {
+            name: t.text.clone(),
+            qual,
+            kind,
+            tok: i,
+            line: t.line,
+            col: t.col,
+            args,
+            guarded: guard.is_some(),
+            safety_between,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::{code_view, test_regions};
+
+    fn ast_of(path: &str, src: &str) -> FileAst {
+        let tokens = lex(src);
+        let code = code_view(&tokens);
+        let regions = test_regions(path, &tokens);
+        build(&tokens, &code, &regions)
+    }
+
+    fn fn_named<'a>(ast: &'a FileAst, name: &str) -> &'a FnDef {
+        ast.fns
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn impl_and_trait_association() {
+        let src = r"
+            impl EvalSink for Collector {
+                fn accept(&mut self, x: u32) -> Result<(), E> { self.buf.push(x); Ok(()) }
+            }
+            impl Collector {
+                fn new() -> Self { Collector { buf: Vec::new() } }
+            }
+            trait Shape {
+                fn area(&self) -> f64 { 0.0 }
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let accept = fn_named(&ast, "accept");
+        assert_eq!(accept.qual.as_deref(), Some("Collector"));
+        assert_eq!(accept.trait_name.as_deref(), Some("EvalSink"));
+        assert!(accept.is_method);
+        let new = fn_named(&ast, "new");
+        assert_eq!(new.qual.as_deref(), Some("Collector"));
+        assert_eq!(new.trait_name, None);
+        assert!(!new.is_method);
+        let area = fn_named(&ast, "area");
+        assert_eq!(area.trait_name.as_deref(), Some("Shape"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let src = r"
+            impl<'a, T: Clone> Wrapper<'a, T> {
+                fn get(&self) -> &T { &self.0 }
+            }
+            impl<T> Drop for Guard<T> {
+                fn drop(&mut self) { release(self.n); }
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        assert_eq!(fn_named(&ast, "get").qual.as_deref(), Some("Wrapper"));
+        let drop = fn_named(&ast, "drop");
+        assert_eq!(drop.qual.as_deref(), Some("Guard"));
+        assert_eq!(drop.trait_name.as_deref(), Some("Drop"));
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let src = r"
+            fn driver(seed: u64) {
+                helper(seed);
+                Engine::with_workers(seed, 4);
+                sink.accept(1);
+                writeln!(out, []);
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let f = fn_named(&ast, "driver");
+        let kinds: Vec<(&str, CallKind)> =
+            f.calls.iter().map(|c| (c.name.as_str(), c.kind)).collect();
+        assert!(kinds.contains(&("helper", CallKind::Plain)));
+        assert!(kinds.contains(&("with_workers", CallKind::Qualified)));
+        assert!(kinds.contains(&("accept", CallKind::Method)));
+        assert!(kinds.contains(&("writeln", CallKind::Macro)));
+        let ww = f.calls.iter().find(|c| c.name == "with_workers").unwrap();
+        assert_eq!(ww.qual.as_deref(), Some("Engine"));
+    }
+
+    #[test]
+    fn panic_sites_cover_all_four_kinds() {
+        let src = r#"
+            fn f(v: &[u32], m: Option<u32>) -> u32 {
+                let a = m.unwrap();
+                let b = m.expect("reason");
+                if a > b { panic!("boom"); }
+                v[0] + a
+            }
+        "#;
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let f = fn_named(&ast, "f");
+        let kinds: Vec<PanicKind> = f.panics.iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PanicKind::Unwrap));
+        assert!(kinds.contains(&PanicKind::Expect));
+        assert!(kinds.contains(&PanicKind::Macro));
+        assert!(kinds.contains(&PanicKind::SliceIndex));
+    }
+
+    #[test]
+    fn non_index_brackets_are_not_panic_sites() {
+        let src = r"
+            fn f(x: &[u8]) -> [u8; 2] {
+                let v = vec![1, 2];
+                let a: [u8; 2] = [x.len() as u8, 0];
+                a
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        // `&[u8]` (type), `vec![…]` (macro), `[x.len()…]` (array literal)
+        // and the return type produce no slice-index sites; `x.len()`
+        // inside the literal is a method call, not indexing.
+        assert!(fn_named(&ast, "f").panics.is_empty());
+    }
+
+    #[test]
+    fn range_slicing_is_not_a_panic_site() {
+        let src = r"
+            fn f(buf: &[u8], n: usize) -> u8 {
+                let head = &buf[..n];
+                let tail = &buf[n..];
+                let mid = &buf[1..n - 1];
+                let inc = &buf[..=n];
+                head[0] + tail.len() as u8 + mid.len() as u8 + inc.len() as u8
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        // The four range slices are the length-managed buffer idiom and
+        // are exempt; only the scalar `head[0]` is a panic site.
+        let panics = &fn_named(&ast, "f").panics;
+        assert_eq!(panics.len(), 1, "{panics:?}");
+        assert_eq!(panics[0].kind, PanicKind::SliceIndex);
+        assert_eq!(panics[0].what, "head");
+    }
+
+    #[test]
+    fn sources_are_classified_by_kind() {
+        let src = r"
+            fn f() {
+                let t = SystemTime::now();
+                let i = Instant::now();
+                let r = thread_rng();
+                let w = std::thread::available_parallelism();
+                let id = std::thread::current();
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let f = fn_named(&ast, "f");
+        let kinds: Vec<SourceKind> = f.sources.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SourceKind::WallClock,
+                SourceKind::WallClock,
+                SourceKind::Entropy,
+                SourceKind::WorkerCount,
+                SourceKind::ThreadId,
+            ]
+        );
+    }
+
+    #[test]
+    fn closure_sites_attribute_to_enclosing_fn() {
+        let src = r"
+            fn outer(pool: &Pool) {
+                pool.submit(move || {
+                    inner_work();
+                    opt.unwrap();
+                });
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let f = fn_named(&ast, "outer");
+        assert!(f.calls.iter().any(|c| c.name == "inner_work"));
+        assert!(f.panics.iter().any(|p| p.kind == PanicKind::Unwrap));
+    }
+
+    #[test]
+    fn nested_fn_sites_attribute_to_the_nested_fn() {
+        let src = r"
+            fn outer() {
+                fn nested() { deep_call(); }
+                nested();
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let outer = fn_named(&ast, "outer");
+        let nested = fn_named(&ast, "nested");
+        assert!(outer.calls.iter().any(|c| c.name == "nested"));
+        assert!(!outer.calls.iter().any(|c| c.name == "deep_call"));
+        assert!(nested.calls.iter().any(|c| c.name == "deep_call"));
+    }
+
+    #[test]
+    fn target_feature_attribute_is_detected() {
+        let src = r#"
+            #[target_feature(enable = "avx2")]
+            unsafe fn kernel(a: &[f32]) {}
+            fn plain() {}
+        "#;
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        assert!(fn_named(&ast, "kernel").target_feature);
+        assert!(!fn_named(&ast, "plain").target_feature);
+    }
+
+    #[test]
+    fn guard_and_safety_flags_on_calls() {
+        let src = r#"
+            fn dispatch() {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    // SAFETY: guarded by the check above.
+                    unsafe { kernel_avx2() };
+                }
+                kernel_scalar();
+            }
+        "#;
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        let f = fn_named(&ast, "dispatch");
+        let k = f.calls.iter().find(|c| c.name == "kernel_avx2").unwrap();
+        assert!(k.guarded && k.safety_between);
+        let s = f.calls.iter().find(|c| c.name == "kernel_scalar").unwrap();
+        // The guard precedes it lexically but there is no SAFETY between.
+        assert!(s.guarded && !s.safety_between);
+    }
+
+    #[test]
+    fn test_region_fns_are_marked() {
+        let src = r"
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        assert!(!fn_named(&ast, "prod").is_test);
+        assert!(fn_named(&ast, "helper").is_test);
+        assert!(fn_named(&ast, "case").is_test);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = r"
+            fn takes(f: fn(usize) -> u32) -> u32 { f(1) }
+        ";
+        let ast = ast_of("crates/a/src/lib.rs", src);
+        assert_eq!(ast.fns.len(), 1);
+        assert_eq!(ast.fns[0].name, "takes");
+    }
+}

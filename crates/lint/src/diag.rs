@@ -4,7 +4,7 @@
 //! and audited: a finding is waived only by a comment of the form
 //!
 //! ```text
-//! // bdlfi-lint: allow(BD005) -- engine invariant: slots claimed once
+//! // bdlfi-lint: allow(BD010) -- engine invariant: slots claimed once
 //! ```
 //!
 //! on the finding's line or the line directly above it. The `-- reason`
@@ -19,7 +19,7 @@ pub const MALFORMED_DIRECTIVE: &str = "BD000";
 /// One rule violation (or directive problem) at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule code (`BD001` … `BD006`, or `BD000` for directive problems).
+    /// Rule code (`BD001` … `BD012`, or `BD000` for directive problems).
     pub code: &'static str,
     /// Workspace-relative path of the offending file.
     pub path: String,
@@ -29,17 +29,39 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Supporting evidence, one line each — the interprocedural rules
+    /// put the witness call chain here. Empty for per-file rules.
+    pub notes: Vec<String>,
 }
 
 impl Finding {
+    /// A finding with no notes.
+    #[must_use]
+    pub fn new(code: &'static str, path: String, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            code,
+            path,
+            line,
+            col,
+            message,
+            notes: Vec::new(),
+        }
+    }
+
     /// Renders the finding in the `path:line:col: code: message` shape
-    /// editors and CI log scanners understand.
+    /// editors and CI log scanners understand. Notes follow, indented,
+    /// one per line.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}:{}:{}: {}: {}",
             self.path, self.line, self.col, self.code, self.message
-        )
+        );
+        for n in &self.notes {
+            s.push_str("\n    note: ");
+            s.push_str(n);
+        }
+        s
     }
 }
 
@@ -111,17 +133,17 @@ pub fn apply_directives(
         })
         .collect();
     for d in directives.iter().filter(|d| !d.has_reason) {
-        out.push(Finding {
-            code: MALFORMED_DIRECTIVE,
-            path: path.to_string(),
-            line: d.line,
-            col: 1,
-            message: format!(
+        out.push(Finding::new(
+            MALFORMED_DIRECTIVE,
+            path.to_string(),
+            d.line,
+            1,
+            format!(
                 "suppression directive for {} is missing its `-- reason`; \
                  reasonless waivers are ignored",
                 d.codes.join(", ")
             ),
-        });
+        ));
     }
     out
 }
@@ -132,13 +154,7 @@ mod tests {
     use crate::lexer::lex;
 
     fn finding(code: &'static str, line: u32) -> Finding {
-        Finding {
-            code,
-            path: "x.rs".to_string(),
-            line,
-            col: 1,
-            message: "m".to_string(),
-        }
+        Finding::new(code, "x.rs".to_string(), line, 1, "m".to_string())
     }
 
     #[test]
@@ -163,7 +179,7 @@ mod tests {
         assert_eq!(dirs[0].codes, vec!["BD001", "BD003"]);
         assert!(apply_directives("x.rs", vec![finding("BD003", 1)], &dirs).is_empty());
         assert_eq!(
-            apply_directives("x.rs", vec![finding("BD005", 1)], &dirs).len(),
+            apply_directives("x.rs", vec![finding("BD006", 1)], &dirs).len(),
             1
         );
     }

@@ -13,72 +13,181 @@
 //! | BD002 | no additive `seed + i` derivation feeding RNG constructors |
 //! | BD003 | no HashMap/HashSet iteration in serialization-adjacent paths |
 //! | BD004 | every `unsafe` carries a `// SAFETY:` justification |
-//! | BD005 | no `unwrap`/`expect`/`panic!` in engine/checkpoint/EvalSink paths |
 //! | BD006 | every `*_controlled` driver binds a distinct journal fingerprint tag |
 //! | BD007 | `forward_delta*` routines can refuse; their callers keep an exact fallback |
 //! | BD008 | `#[target_feature]` kernels reached only via guarded, SAFETY-justified dispatch; intrinsics modules name a `*_reference` oracle |
+//! | BD009 | shard journal fingerprints embed shard index and count |
+//! | BD010 | no call path from an engine/checkpoint/shard/serve entry point to a panic site (interprocedural; subsumed the old per-file BD005) |
+//! | BD011 | no entropy/time/thread-id/worker-count flow into journal or fingerprint bytes (interprocedural taint) |
+//! | BD012 | `#[target_feature]` kernels are reached cross-file only through their own module's guarded dispatch front door |
+//!
+//! BD001–BD009 are token-level per-file rules. BD010–BD012 are
+//! **interprocedural**: an AST-lite layer ([`ast`]) recovers function
+//! items and call sites from the token stream, a workspace symbol table
+//! ([`symbols`]) indexes them, and a name-resolved approximate call
+//! graph ([`callgraph`]) plus a function-level taint analysis
+//! ([`taint`]) answer reachability questions across crate boundaries.
+//! Findings from those rules carry the witness call chain as notes.
 //!
 //! Findings are span-accurate (`path:line:col: BDxxx: message`) and can
 //! be waived inline with `// bdlfi-lint: allow(BDxxx) -- reason` — the
 //! reason is mandatory. The analyzer is entirely self-contained: a
 //! hand-rolled lexer ([`lexer`]) plus token-level rules ([`rules`]), no
-//! `syn`, no external dependencies.
+//! `syn`, no external dependencies. Files are parsed in parallel on
+//! scoped threads ([`par`]).
 //!
 //! Run it as `cargo run -p bdlfi-lint -- check .` (CI does, on every
-//! push).
+//! push; `--format json` / `--format github` produce machine-readable
+//! output, `bdlfi-lint explain BDxxx` documents any rule).
 
+pub mod ast;
+pub mod callgraph;
 pub mod diag;
+pub mod explain;
 pub mod lexer;
+pub mod output;
+pub mod par;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod walk;
 
 pub use diag::Finding;
 
-use rules::{all_rules, code_view, test_regions, FileCtx, Rule};
+use rules::{all_rules, all_ws_rules, code_view, test_regions, FileCtx};
 use std::path::Path;
+
+/// One file, fully parsed: token stream, comment-free code view, test
+/// regions, AST-lite function items, and suppression directives. Built
+/// once per file (in parallel) and shared by every rule.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative, `/`-separated path.
+    pub path: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<lexer::Token>,
+    /// Indices into `tokens` of every non-comment token.
+    pub code: Vec<usize>,
+    /// Half-open `tokens` index ranges that are test code.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Function items and their call/panic/source sites.
+    pub ast: ast::FileAst,
+    /// `bdlfi-lint: allow(…)` directives found in the file.
+    pub directives: Vec<diag::AllowDirective>,
+}
+
+/// Lexes and parses one source text. This is the only place a file is
+/// tokenized — every downstream consumer shares the result.
+#[must_use]
+pub fn parse_file(path: String, src: &str) -> ParsedFile {
+    let tokens = lexer::lex(src);
+    let code = code_view(&tokens);
+    let test_regions = test_regions(&path, &tokens);
+    let ast = ast::build(&tokens, &code, &test_regions);
+    let directives = diag::parse_directives(&tokens);
+    ParsedFile {
+        path,
+        tokens,
+        code,
+        test_regions,
+        ast,
+        directives,
+    }
+}
+
+/// The whole-workspace view the interprocedural rules run against.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Every parsed file, in walk order.
+    pub files: Vec<ParsedFile>,
+    /// Flat indexed function list with name lookup.
+    pub symbols: symbols::SymbolTable,
+    /// Name-resolved approximate call graph over `symbols` node ids.
+    pub graph: callgraph::CallGraph,
+}
+
+impl Workspace {
+    /// Builds symbols and call graph over already-parsed files.
+    #[must_use]
+    pub fn build(files: Vec<ParsedFile>) -> Workspace {
+        let symbols = symbols::SymbolTable::build(&files);
+        let graph = callgraph::CallGraph::build(&files, &symbols);
+        Workspace {
+            files,
+            symbols,
+            graph,
+        }
+    }
+
+    /// The function behind a symbol-table node id.
+    #[must_use]
+    pub fn def(&self, node: usize) -> &ast::FnDef {
+        self.symbols.def(&self.files, node)
+    }
+
+    /// The file a node is defined in.
+    #[must_use]
+    pub fn file_of(&self, node: usize) -> &ParsedFile {
+        &self.files[self.symbols.fns[node].file]
+    }
+}
+
+/// Lints a set of in-memory sources as one workspace: per-file rule
+/// passes, cross-file `finish` passes, the interprocedural workspace
+/// rules, then suppression. Findings are sorted by
+/// `(path, line, col, code)`.
+#[must_use]
+pub fn lint_files(inputs: Vec<(String, String)>) -> Vec<Finding> {
+    let workers = par::default_workers(inputs.len());
+    let files = par::map(inputs, workers, |(path, src)| parse_file(path, &src));
+    let ws = Workspace::build(files);
+    lint_parsed(&ws)
+}
 
 /// Lints a single source text under a virtual workspace-relative path
 /// (rule scoping — bench exemption, engine/checkpoint paths — keys off
-/// this path). Runs per-file rule passes *and* each rule's cross-file
-/// `finish` pass, so single-file invariants of BD006 (duplicate tags
-/// within the file) are reported too. Suppression directives are applied.
+/// this path). Runs the full pipeline, workspace rules included, over a
+/// one-file workspace.
 #[must_use]
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let mut rules = all_rules();
-    let mut findings = lint_into(&mut rules, path, src);
-    for rule in &mut rules {
-        findings.extend(rule.finish());
-    }
-    let tokens = lexer::lex(src);
-    let directives = diag::parse_directives(&tokens);
-    let mut out = diag::apply_directives(path, findings, &directives);
-    sort_findings(&mut out);
-    out
+    lint_files(vec![(path.to_string(), src.to_string())])
 }
 
-/// Lints every `.rs` file under `root`: per-file passes, then the
-/// cross-file `finish` passes, then suppression. Findings are sorted by
-/// `(path, line, col, code)`.
+/// Lints every `.rs` file under `root`. See [`lint_files`].
 ///
 /// # Errors
 ///
 /// Propagates filesystem errors from the walk or file reads.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut rules = all_rules();
-    let mut findings = Vec::new();
-    let mut directives_by_path = Vec::new();
+    let mut inputs = Vec::new();
     for file in walk::rust_files(root)? {
         let src = std::fs::read_to_string(&file)?;
-        let path = walk::display_path(root, &file);
-        findings.extend(lint_into(&mut rules, &path, &src));
-        let tokens = lexer::lex(&src);
-        let dirs = diag::parse_directives(&tokens);
-        if !dirs.is_empty() {
-            directives_by_path.push((path, dirs));
+        inputs.push((walk::display_path(root, &file), src));
+    }
+    Ok(lint_files(inputs))
+}
+
+/// The rule pipeline over an already-built workspace.
+#[must_use]
+pub fn lint_parsed(ws: &Workspace) -> Vec<Finding> {
+    let mut rules = all_rules();
+    let mut findings = Vec::new();
+    for pf in &ws.files {
+        let ctx = FileCtx {
+            path: &pf.path,
+            tokens: &pf.tokens,
+            code: &pf.code,
+            test_regions: &pf.test_regions,
+        };
+        for rule in &mut rules {
+            findings.extend(rule.check(&ctx));
         }
     }
     for rule in &mut rules {
         findings.extend(rule.finish());
+    }
+    for ws_rule in all_ws_rules() {
+        findings.extend(ws_rule.check(ws));
     }
     // Apply each file's directives to its own findings.
     let mut out = Vec::new();
@@ -87,34 +196,17 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     for f in findings {
         by_path.entry(f.path.clone()).or_default().push(f);
     }
+    let empty = Vec::new();
     for (path, fs) in by_path {
-        let empty = Vec::new();
-        let dirs = directives_by_path
+        let dirs = ws
+            .files
             .iter()
-            .find(|(p, _)| *p == path)
-            .map_or(&empty, |(_, d)| d);
+            .find(|pf| pf.path == path)
+            .map_or(&empty, |pf| &pf.directives);
         out.extend(diag::apply_directives(&path, fs, dirs));
     }
     sort_findings(&mut out);
-    Ok(out)
-}
-
-/// One per-file pass over all rules (no finish, no suppression).
-fn lint_into(rules: &mut [Box<dyn Rule>], path: &str, src: &str) -> Vec<Finding> {
-    let tokens = lexer::lex(src);
-    let code = code_view(&tokens);
-    let regions = test_regions(path, &tokens);
-    let ctx = FileCtx {
-        path,
-        tokens: &tokens,
-        code: &code,
-        test_regions: &regions,
-    };
-    let mut findings = Vec::new();
-    for rule in rules.iter_mut() {
-        findings.extend(rule.check(&ctx));
-    }
-    findings
+    out
 }
 
 fn sort_findings(findings: &mut [Finding]) {
@@ -168,5 +260,25 @@ mod tests {
         let out = lint_source("crates/demo/src/lib.rs", without);
         assert!(out.iter().any(|f| f.code == "BD001"));
         assert!(out.iter().any(|f| f.code == diag::MALFORMED_DIRECTIVE));
+    }
+
+    #[test]
+    fn lint_files_sees_cross_file_call_paths() {
+        // An engine entry point reaching a panic defined in another
+        // crate's file — exactly what the per-file rules cannot see.
+        let out = lint_files(vec![
+            (
+                "crates/core/src/engine.rs".to_string(),
+                "pub fn run(n: u32) { helper_from_afar(n); }".to_string(),
+            ),
+            (
+                "crates/nn/src/util.rs".to_string(),
+                "pub fn helper_from_afar(n: u32) { panic!(\"boom {n}\"); }".to_string(),
+            ),
+        ]);
+        assert!(
+            out.iter().any(|f| f.code == "BD010"),
+            "expected a cross-crate BD010, got: {out:?}"
+        );
     }
 }

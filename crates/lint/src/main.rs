@@ -1,45 +1,104 @@
-//! CLI entry point: `bdlfi-lint check [PATH]`.
+//! CLI entry point:
 //!
-//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+//! * `bdlfi-lint check [PATH] [--format text|json|github]` — lint every
+//!   `.rs` file under PATH (default `.`). Exit codes: `0` clean, `1`
+//!   findings reported, `2` usage or I/O error.
+//! * `bdlfi-lint explain BDxxx` (or `--explain BDxxx`) — print a rule's
+//!   rationale, scope, and the good/bad fixture pair backing it.
 
+use bdlfi_lint::output::{render, Format};
+use bdlfi_lint::{explain, lint_workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: bdlfi-lint check [PATH]\n\n\
-    Lints every .rs file under PATH (default: current directory) against\n\
-    the BDLFI determinism-discipline rules BD001..BD006. Waive a finding\n\
-    inline with `// bdlfi-lint: allow(BDxxx) -- reason`.";
+const USAGE: &str = "usage: bdlfi-lint check [PATH] [--format text|json|github]\n       \
+bdlfi-lint explain BDxxx\n\n\
+    check    lints every .rs file under PATH (default: current directory)\n\
+             against the BDLFI determinism-discipline rules BD001..BD012.\n\
+             --format json emits a SARIF-style document; --format github\n\
+             emits ::error workflow commands for PR annotations.\n\
+    explain  prints a rule's rationale, scope, and a minimal good/bad\n\
+             example pair sourced from the linter's own fixtures.\n\n\
+    Waive a finding inline with `// bdlfi-lint: allow(BDxxx) -- reason`.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let root = match args.split_first() {
-        Some((cmd, rest)) if cmd == "check" && rest.len() <= 1 => {
-            PathBuf::from(rest.first().map_or(".", String::as_str))
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "check" => run_check(rest),
+        Some((cmd, rest)) if (cmd == "explain" || cmd == "--explain") && rest.len() == 1 => {
+            run_explain(&rest[0])
         }
         _ => {
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(rest: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--format" {
+            let Some(f) = it.next().map(String::as_str).and_then(Format::parse) else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            format = f;
+        } else if root.is_none() && !arg.starts_with('-') {
+            root = Some(PathBuf::from(arg));
+        } else {
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
-    };
-    let findings = match bdlfi_lint::lint_workspace(&root) {
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let findings = match lint_workspace(&root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("bdlfi-lint: error walking {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for f in &findings {
-        println!("{}", f.render());
-    }
+    print!("{}", render(&findings, format));
     if findings.is_empty() {
-        println!("bdlfi-lint: clean");
+        if format == Format::Text {
+            println!("bdlfi-lint: clean");
+        }
         ExitCode::SUCCESS
     } else {
-        println!(
-            "bdlfi-lint: {} finding{}",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" }
-        );
+        if format == Format::Text {
+            println!(
+                "bdlfi-lint: {} finding{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
         ExitCode::from(1)
+    }
+}
+
+fn run_explain(code: &str) -> ExitCode {
+    if code.eq_ignore_ascii_case("BD005") {
+        println!("{}", explain::BD005_RETIRED);
+        return ExitCode::SUCCESS;
+    }
+    match explain::lookup(code) {
+        Some(e) => {
+            println!("{}", explain::render(e));
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "bdlfi-lint: unknown rule `{code}`; known rules: {}",
+                explain::ALL
+                    .iter()
+                    .map(|e| e.code)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            ExitCode::from(2)
+        }
     }
 }

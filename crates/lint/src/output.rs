@@ -1,0 +1,221 @@
+//! Finding renderers: human text, SARIF-style JSON, and GitHub Actions
+//! workflow-command annotations.
+//!
+//! The JSON shape follows SARIF 2.1.0's skeleton (`runs[0].results[]`
+//! with `ruleId` / `message.text` / `physicalLocation`) closely enough
+//! for SARIF-aware viewers, while staying hand-rolled — the linter
+//! builds before everything else in CI precisely because it depends on
+//! nothing, `serde_json` included. The GitHub format emits one
+//! `::error` workflow command per finding, which the Actions runner
+//! turns into inline PR annotations with no marketplace action needed.
+
+use crate::diag::Finding;
+use std::fmt::Write as _;
+
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `path:line:col: code: message` (+ indented notes).
+    Text,
+    /// SARIF-style JSON document.
+    Json,
+    /// GitHub Actions `::error` workflow commands.
+    Github,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "github" => Some(Format::Github),
+            _ => None,
+        }
+    }
+}
+
+/// Renders all findings in the chosen format. Text and GitHub formats
+/// are line-oriented; JSON is one document.
+#[must_use]
+pub fn render(findings: &[Finding], format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut s = String::new();
+            for f in findings {
+                let _ = writeln!(s, "{}", f.render());
+            }
+            s
+        }
+        Format::Json => render_json(findings),
+        Format::Github => {
+            let mut s = String::new();
+            for f in findings {
+                let mut msg = f.message.clone();
+                for n in &f.notes {
+                    msg.push_str("; note: ");
+                    msg.push_str(n);
+                }
+                let _ = writeln!(
+                    s,
+                    "::error file={},line={},col={},title={}::{}",
+                    gh_escape_property(&f.path),
+                    f.line,
+                    f.col,
+                    f.code,
+                    gh_escape_data(&msg)
+                );
+            }
+            s
+        }
+    }
+}
+
+/// SARIF 2.1.0-style document: one run, one result per finding, notes
+/// as `properties.notes`.
+fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"bdlfi-lint\",\"informationUri\":\
+         \"https://example.invalid/bdlfi\",\"rules\":[",
+    );
+    let mut codes: Vec<&str> = findings.iter().map(|f| f.code).collect();
+    codes.sort_unstable();
+    codes.dedup();
+    for (i, c) in codes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"id\":{}}}", json_string(c));
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]",
+            json_string(f.code),
+            json_string(&f.message),
+            json_string(&f.path),
+            f.line,
+            f.col
+        );
+        if !f.notes.is_empty() {
+            s.push_str(",\"properties\":{\"notes\":[");
+            for (j, n) in f.notes.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_string(n));
+            }
+            s.push_str("]}");
+        }
+        s.push('}');
+    }
+    s.push_str("]}]}\n");
+    s
+}
+
+/// JSON string literal with full escaping.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Escapes a workflow-command data section (`%`, CR, LF).
+fn gh_escape_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property (data escapes plus `:` and `,`).
+fn gh_escape_property(s: &str) -> String {
+    gh_escape_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        let mut a = Finding::new(
+            "BD010",
+            "crates/core/src/engine.rs".to_string(),
+            12,
+            9,
+            "`.unwrap()` in a typed-error path".to_string(),
+        );
+        a.notes = vec!["`run` calls `helper` at crates/core/src/engine.rs:10:5".to_string()];
+        let b = Finding::new(
+            "BD001",
+            "crates/x/src/lib.rs".to_string(),
+            3,
+            1,
+            "message with \"quotes\" and \\ backslash\nand newline".to_string(),
+        );
+        vec![a, b]
+    }
+
+    #[test]
+    fn text_format_includes_notes() {
+        let out = render(&sample(), Format::Text);
+        assert!(out.contains("crates/core/src/engine.rs:12:9: BD010:"));
+        assert!(out.contains("\n    note: `run` calls `helper`"));
+    }
+
+    #[test]
+    fn json_is_sarif_shaped_and_escaped() {
+        let out = render(&sample(), Format::Json);
+        assert!(out.contains("\"version\":\"2.1.0\""));
+        assert!(out.contains("\"ruleId\":\"BD010\""));
+        assert!(out.contains("\"startLine\":12"));
+        assert!(out.contains("\\\"quotes\\\" and \\\\ backslash\\nand newline"));
+        assert!(out.contains("\"notes\":[\"`run` calls `helper`"));
+        // Distinct rule ids are listed once each in the driver block.
+        assert_eq!(out.matches("{\"id\":\"BD010\"}").count(), 1);
+    }
+
+    #[test]
+    fn github_format_emits_escaped_workflow_commands() {
+        let out = render(&sample(), Format::Github);
+        assert!(
+            out.starts_with("::error file=crates/core/src/engine.rs,line=12,col=9,title=BD010::")
+        );
+        // Newlines in messages must be %0A-escaped or the command breaks.
+        assert!(out.contains("%0Aand newline"));
+        // Notes ride along in the message body.
+        assert!(out.contains("; note: `run` calls `helper`"));
+    }
+
+    #[test]
+    fn empty_findings_render_empty_or_skeleton() {
+        assert_eq!(render(&[], Format::Text), "");
+        assert_eq!(render(&[], Format::Github), "");
+        let json = render(&[], Format::Json);
+        assert!(json.contains("\"results\":[]"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Order-preserving parallel map over owned inputs, on scoped threads.
+//!
+//! The daemon's `WorkerPool` (crates/server/src/pool.rs) is the
+//! workspace's sanctioned concurrency primitive, but depending on
+//! `bdlfi-serve` from here would pull the entire workspace into the
+//! linter's build — the one crate that must stay dependency-free so CI
+//! can build and run it before anything else compiles. So this module
+//! mirrors the pool's idiom at one-tenth the size: a shared atomic
+//! cursor hands out work items, `std::thread::scope` joins everything
+//! before returning, and results land at their input's index so output
+//! order is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item of `inputs` on up to `workers` threads,
+/// returning outputs in input order. `workers` is clamped to at least 1;
+/// panics in `f` propagate (a lint worker panicking is a linter bug).
+pub fn map<T, U, F>(inputs: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = workers.max(1).min(inputs.len().max(1));
+    if workers == 1 {
+        return inputs.into_iter().map(f).collect();
+    }
+    let n = inputs.len();
+    let items: Vec<Mutex<Option<T>>> = inputs.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take();
+                if let Some(item) = item {
+                    let out = f(item);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("every slot filled: cursor visits every index")
+        })
+        .collect()
+}
+
+/// A sensible worker count for file parsing: the machine's parallelism,
+/// capped so tiny workspaces don't spawn idle threads.
+#[must_use]
+pub fn default_workers(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    hw.min(items.max(1)).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<usize> = (0..257).collect();
+        let out = map(inputs.clone(), 8, |x| x * 2);
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_empty_inputs_work() {
+        assert_eq!(map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+        assert_eq!(map(Vec::<u32>::new(), 8, |x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(map(vec![5], 64, |x| x), vec![5]);
+    }
+}

@@ -112,18 +112,18 @@ impl Rule for DistinctFingerprints {
                 continue;
             }
             for u in uses {
-                out.push(Finding {
-                    code: self.code(),
-                    path: u.path.clone(),
-                    line: u.line,
-                    col: u.col,
-                    message: format!(
+                out.push(Finding::new(
+                    self.code(),
+                    u.path.clone(),
+                    u.line,
+                    u.col,
+                    format!(
                         "journal fingerprint tag \"{tag}\" is shared by {} — journals \
                          from different drivers must never be resume-compatible; give \
                          each controlled driver its own tag",
                         fns.join(" and ")
                     ),
-                });
+                ));
             }
         }
         out

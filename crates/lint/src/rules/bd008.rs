@@ -95,13 +95,13 @@ impl Rule for SimdDispatchDiscipline {
                     s.name
                 )
             };
-            out.push(Finding {
-                code: self.code(),
-                path: s.path.clone(),
-                line: s.line,
-                col: s.col,
+            out.push(Finding::new(
+                self.code(),
+                s.path.clone(),
+                s.line,
+                s.col,
                 message,
-            });
+            ));
         }
         out
     }

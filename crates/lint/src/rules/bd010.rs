@@ -1,0 +1,135 @@
+//! BD010 — interprocedural panic reachability.
+//!
+//! PR 3 made the engine and checkpoint layers fully fallible: worker
+//! panics, sink failures and journal corruption are typed
+//! `EngineError`/`CheckpointError`/`ShardError` values so a crashed
+//! campaign leaves a resumable journal instead of a dead process. The
+//! retired per-file BD005 could police a panic *written in* those
+//! files; it could not see an innocent helper three calls away that
+//! unwraps. This rule closes that hole with the workspace call graph.
+//!
+//! **Root set** (BD005's exact scope, now as call-graph entry points):
+//! every non-test fn defined in `crates/core/src/engine.rs`,
+//! `crates/core/src/checkpoint.rs`, `crates/core/src/shard.rs`, any
+//! file under `crates/server/src/`, or inside an `impl … EvalSink for …`
+//! block anywhere.
+//!
+//! **Violation**: any panic site (`panic!`/`unreachable!`/`todo!`,
+//! `.unwrap()`, `.expect(…)`) in a non-test fn reachable from a root.
+//! A panic *in* a root fn is a length-0 path — exact BD005 parity.
+//! Postfix *scalar* indexing (`xs[i]`, also a panic site) is reported
+//! only when the indexing fn is itself a root: transitively-reached
+//! indexing is overwhelmingly checked-by-construction tensor math, and
+//! flagging all of it would drown the signal. Range slicing
+//! (`&buf[..n]`) is exempt everywhere — it is the length-managed buffer
+//! idiom whose bounds checks sit adjacent (DESIGN.md §18).
+//!
+//! **Traversal bounds**: the walk never enters test fns, nor functions
+//! in `crates/lint/` or `crates/bench/` (the linter's own rule tables
+//! and the bench harness are not campaign territory, and name-based
+//! method resolution would otherwise drag them in).
+//!
+//! Findings anchor at the panic site, carry the witness call chain as
+//! notes, and are waived there:
+//! `// bdlfi-lint: allow(BD010) -- reason`.
+
+use super::WsRule;
+use crate::ast::PanicKind;
+use crate::callgraph::{chain_notes, reach_forward, Provenance};
+use crate::diag::Finding;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+/// Files policed in their entirety (non-test fns become roots).
+pub const SCOPE_PATHS: [&str; 3] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/shard.rs",
+];
+
+/// Directories whose every file is policed (the daemon's request paths).
+pub const SCOPE_DIRS: [&str; 1] = ["crates/server/src/"];
+
+/// Crates the reachability walk never enters.
+pub const EXCLUDED_CRATES: [&str; 2] = ["crates/lint/", "crates/bench/"];
+
+/// Whether a path is part of BD010's root scope.
+#[must_use]
+pub fn in_scope_path(path: &str) -> bool {
+    SCOPE_PATHS.iter().any(|p| path.ends_with(p)) || SCOPE_DIRS.iter().any(|d| path.contains(d))
+}
+
+/// Whether a path is excluded territory for the interprocedural rules.
+#[must_use]
+pub fn excluded_path(path: &str) -> bool {
+    EXCLUDED_CRATES.iter().any(|c| path.contains(c))
+}
+
+/// See module docs.
+pub struct PanicReachability;
+
+impl WsRule for PanicReachability {
+    fn code(&self) -> &'static str {
+        "BD010"
+    }
+
+    fn name(&self) -> &'static str {
+        "panic-reachability-from-engine-paths"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let n = ws.symbols.fns.len();
+        let is_root = |node: usize| {
+            let d = ws.def(node);
+            if d.is_test {
+                return false;
+            }
+            let path = &ws.file_of(node).path;
+            if excluded_path(path) {
+                return false;
+            }
+            in_scope_path(path) || d.trait_name.as_deref() == Some("EvalSink")
+        };
+        let roots: Vec<usize> = (0..n).filter(|&x| is_root(x)).collect();
+        if roots.is_empty() {
+            return Vec::new();
+        }
+        let enter = |node: usize| !ws.def(node).is_test && !excluded_path(&ws.file_of(node).path);
+        let reach = reach_forward(&ws.graph, &roots, enter);
+
+        let mut out = Vec::new();
+        let mut seen_sites: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+        for (&node, prov) in &reach {
+            let d = ws.def(node);
+            let file = ws.file_of(node);
+            let root = matches!(prov, Provenance::Root);
+            for p in &d.panics {
+                if p.kind == PanicKind::SliceIndex && !root {
+                    continue;
+                }
+                if !seen_sites.insert((file.path.clone(), p.line, p.col)) {
+                    continue;
+                }
+                let what = p.kind.label(&p.what);
+                let message = if root {
+                    format!(
+                        "`{what}` in a typed-error path (engine/checkpoint/shard/serve/\
+                         EvalSink): return a typed error so interrupted campaigns stay \
+                         resumable"
+                    )
+                } else {
+                    format!(
+                        "`{what}` in `{}` is reachable from a typed-error entry point: \
+                         a panic anywhere on this call path kills the campaign instead \
+                         of leaving a resumable journal",
+                        d.name
+                    )
+                };
+                let mut f = Finding::new(self.code(), file.path.clone(), p.line, p.col, message);
+                f.notes = chain_notes(&ws.files, &ws.symbols, &reach, node, true);
+                out.push(f);
+            }
+        }
+        out
+    }
+}

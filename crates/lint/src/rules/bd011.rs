@@ -1,0 +1,175 @@
+//! BD011 — interprocedural determinism taint.
+//!
+//! PR 9 hardened the journal-purity invariant at runtime: journaled
+//! task values (`CampaignReport::journal_form`) and journal
+//! fingerprints (`fingerprint_form`, `job_fingerprint`) scrub worker
+//! counts and wall-clock so a resume on different hardware produces
+//! byte-identical journals. This rule enforces the same invariant at
+//! source level, across call chains: **no ambient-state source may be
+//! reachable from a journal/fingerprint serialization function, and no
+//! tainted value may be passed into one.**
+//!
+//! **Sinks** (non-test fns, outside `crates/lint`/`crates/bench`):
+//! * `journal_form` / `fingerprint_form` — the scrubbing serializers;
+//! * any fn whose name contains `fingerprint` (checkpoint's FNV-1a
+//!   `fingerprint(driver, config)`, the server's `job_fingerprint`,
+//!   shard fingerprint helpers);
+//! * `append` / `write_header` defined in `crates/core/src/checkpoint.rs`
+//!   (the journal writers themselves).
+//!
+//! Two checks, both over the function-level taint of [`crate::taint`]:
+//!
+//! 1. **Sink-body purity.** If a sink can *reach* a source-containing fn
+//!    through any call chain, the sink is reported (anchored at the sink
+//!    fn, witness chain in the notes). `journal_form` calling a helper
+//!    that calls `Instant::now` is a violation even if today's code
+//!    discards the value — purity means *unable to observe*.
+//! 2. **Sink-argument purity.** At every resolved call into a sink, the
+//!    argument token range must contain no ambient source and no call to
+//!    a tainted fn. `w.append(stamped(SystemTime::now()))` is caught
+//!    here. Tainted values smuggled through a local `let` are **not**
+//!    caught — function-level taint has no local dataflow; that
+//!    direction of false negative is documented in DESIGN.md §18.
+//!
+//! Name-based call resolution means a `Vec::append` in an unrelated
+//! crate does *not* become a sink (the writer methods are scoped to
+//! checkpoint.rs definitions), but any `.append(…)` that *resolves* to
+//! the checkpoint writer (the trait-object approximation) is checked.
+
+use super::WsRule;
+use crate::diag::Finding;
+use crate::taint::TaintMap;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+use super::bd010::excluded_path;
+
+/// See module docs.
+pub struct DeterminismTaint;
+
+/// Whether node `n` is a BD011 sink.
+fn is_sink(ws: &Workspace, n: usize) -> bool {
+    let d = ws.def(n);
+    if d.is_test {
+        return false;
+    }
+    let path = &ws.file_of(n).path;
+    if excluded_path(path) {
+        return false;
+    }
+    matches!(d.name.as_str(), "journal_form" | "fingerprint_form")
+        || d.name.contains("fingerprint")
+        || (path.ends_with("crates/core/src/checkpoint.rs")
+            && matches!(d.name.as_str(), "append" | "write_header"))
+}
+
+impl WsRule for DeterminismTaint {
+    fn code(&self) -> &'static str {
+        "BD011"
+    }
+
+    fn name(&self) -> &'static str {
+        "determinism-taint-into-journal-bytes"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let n = ws.symbols.fns.len();
+        let admit = |node: usize| !ws.def(node).is_test && !excluded_path(&ws.file_of(node).path);
+        let taint = TaintMap::analyze(&ws.files, &ws.symbols, &ws.graph, admit, admit);
+        let sinks: Vec<usize> = (0..n).filter(|&x| is_sink(ws, x)).collect();
+        if sinks.is_empty() {
+            return Vec::new();
+        }
+
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+
+        // Check 1: sink bodies must not reach ambient sources.
+        for &s in &sinks {
+            let d = ws.def(s);
+            let file = ws.file_of(s);
+            for kind in taint.kinds_of(s) {
+                if !seen.insert((file.path.clone(), d.line, d.col)) {
+                    continue;
+                }
+                let mut f = Finding::new(
+                    self.code(),
+                    file.path.clone(),
+                    d.line,
+                    d.col,
+                    format!(
+                        "journal/fingerprint fn `{}` can observe {} state through its \
+                         call chain: journal bytes must be identical across machines, \
+                         workers, and reruns",
+                        d.name,
+                        kind.label()
+                    ),
+                );
+                f.notes = taint.witness(&ws.files, &ws.symbols, s, kind);
+                out.push(f);
+            }
+        }
+
+        // Check 2: arguments of calls *into* sinks must be ambient-free.
+        let sink_set: BTreeSet<usize> = sinks.iter().copied().collect();
+        for caller in (0..n).filter(|&x| admit(x)) {
+            let d = ws.def(caller);
+            let file = ws.file_of(caller);
+            for e in &ws.graph.fwd[caller] {
+                if !sink_set.contains(&e.callee) {
+                    continue;
+                }
+                let Some((a, b)) = d.calls[e.site].args else {
+                    continue;
+                };
+                let sink_name = ws.def(e.callee).name.clone();
+                // Direct ambient sources inside the argument range.
+                for src in d.sources.iter().filter(|s| (a..b).contains(&s.tok)) {
+                    if !seen.insert((file.path.clone(), src.line, src.col)) {
+                        continue;
+                    }
+                    out.push(Finding::new(
+                        self.code(),
+                        file.path.clone(),
+                        src.line,
+                        src.col,
+                        format!(
+                            "`{}` ({}) is passed into journal/fingerprint fn \
+                             `{sink_name}`: journal bytes must be ambient-free",
+                            src.what,
+                            src.kind.label()
+                        ),
+                    ));
+                }
+                // Calls to tainted fns inside the argument range.
+                for e2 in &ws.graph.fwd[caller] {
+                    let inner = &d.calls[e2.site];
+                    if !(a..b).contains(&inner.tok) {
+                        continue;
+                    }
+                    for kind in taint.kinds_of(e2.callee) {
+                        if !seen.insert((file.path.clone(), inner.line, inner.col)) {
+                            continue;
+                        }
+                        let callee_name = &ws.def(e2.callee).name;
+                        let mut f = Finding::new(
+                            self.code(),
+                            file.path.clone(),
+                            inner.line,
+                            inner.col,
+                            format!(
+                                "`{callee_name}` can observe {} state and its result is \
+                                 passed into journal/fingerprint fn `{sink_name}`: \
+                                 journal bytes must be ambient-free",
+                                kind.label()
+                            ),
+                        );
+                        f.notes = taint.witness(&ws.files, &ws.symbols, e2.callee, kind);
+                        out.push(f);
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,91 @@
+//! BD012 — unsafe-dispatch reachability for `#[target_feature]` kernels.
+//!
+//! BD008 polices the *shape* of a dispatch site: a call to a
+//! `#[target_feature]` fn must be dominated by an
+//! `is_x86_feature_detected!` check with an adjacent `// SAFETY:`
+//! comment — in the same file, because BD008's token view ends at the
+//! file boundary. This rule extends the contract to the whole
+//! workspace, and makes it *architectural*: the guarded dispatch inside
+//! the kernel's own module (the benched selector's front door, DESIGN.md
+//! §15) is the **only** sanctioned way in from another file.
+//!
+//! **Violation**: a resolved call edge from a non-test,
+//! non-`#[target_feature]` fn in file A to a `#[target_feature]` fn in
+//! file B ≠ A — *even if* the caller wrote its own guard and SAFETY
+//! comment. A second dispatch site in a distant crate would bypass the
+//! selector's per-shape benching and duplicate the feature-detection
+//! policy; the fix is to call the kernel module's public dispatch
+//! wrapper instead.
+//!
+//! Exemptions: kernel-to-kernel calls (`#[target_feature]` callers
+//! already carry the feature statically, and multi-stage kernels
+//! legitimately span files), test fns (equivalence tests drive kernels
+//! directly), and the `crates/lint`/`crates/bench` territory the other
+//! interprocedural rules also skip.
+
+use super::bd010::excluded_path;
+use super::WsRule;
+use crate::diag::Finding;
+use crate::Workspace;
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct UnsafeDispatchReachability;
+
+impl WsRule for UnsafeDispatchReachability {
+    fn code(&self) -> &'static str {
+        "BD012"
+    }
+
+    fn name(&self) -> &'static str {
+        "target-feature-cross-file-dispatch"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        let mut seen: BTreeSet<(String, u32, u32)> = BTreeSet::new();
+        for caller in 0..ws.symbols.fns.len() {
+            let cd = ws.def(caller);
+            if cd.is_test || cd.target_feature {
+                continue;
+            }
+            let cfile = ws.file_of(caller);
+            if excluded_path(&cfile.path) {
+                continue;
+            }
+            for e in &ws.graph.fwd[caller] {
+                let kd = ws.def(e.callee);
+                if !kd.target_feature || kd.is_test {
+                    continue;
+                }
+                let kfile = ws.file_of(e.callee);
+                if std::ptr::eq(cfile, kfile) || excluded_path(&kfile.path) {
+                    continue;
+                }
+                let site = &cd.calls[e.site];
+                if !seen.insert((cfile.path.clone(), site.line, site.col)) {
+                    continue;
+                }
+                let mut f = Finding::new(
+                    self.code(),
+                    cfile.path.clone(),
+                    site.line,
+                    site.col,
+                    format!(
+                        "`{}` is a `#[target_feature]` kernel defined in {}: it may \
+                         only be entered cross-file through its own module's guarded \
+                         dispatch wrapper (the benched selector front door), not \
+                         called directly from `{}`",
+                        kd.name, kfile.path, cd.name
+                    ),
+                );
+                f.notes = vec![format!(
+                    "kernel `{}` defined at {}:{}:{}",
+                    kd.name, kfile.path, kd.line, kd.col
+                )];
+                out.push(f);
+            }
+        }
+        out
+    }
+}

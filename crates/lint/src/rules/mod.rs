@@ -6,8 +6,9 @@
 //! comment-free *code view* (indices into the stream), and the file's
 //! test regions — `#[cfg(test)] mod … { }` bodies, `#[test]` fn bodies,
 //! and whole files under a `tests/` directory. Rules that police
-//! production invariants (BD003, BD005) skip test regions; rules that
-//! police source hygiene everywhere (BD004) do not.
+//! production invariants (BD003) skip test regions; rules that police
+//! source hygiene everywhere (BD004) do not. The interprocedural rules
+//! (BD010–BD012) exclude test fns at the call-graph level instead.
 
 use crate::diag::Finding;
 use crate::lexer::{Token, TokenKind};
@@ -16,21 +17,25 @@ mod bd001;
 mod bd002;
 mod bd003;
 mod bd004;
-mod bd005;
 mod bd006;
 mod bd007;
 mod bd008;
 mod bd009;
+mod bd010;
+mod bd011;
+mod bd012;
 
 pub use bd001::EntropySources;
 pub use bd002::AdditiveSeeds;
 pub use bd003::UnorderedIteration;
 pub use bd004::UnsafeNeedsSafety;
-pub use bd005::PanicFreePaths;
 pub use bd006::DistinctFingerprints;
 pub use bd007::ExactDeltaFallback;
 pub use bd008::SimdDispatchDiscipline;
 pub use bd009::ShardFingerprintDiscipline;
+pub use bd010::PanicReachability;
+pub use bd011::DeterminismTaint;
+pub use bd012::UnsafeDispatchReachability;
 
 /// Everything a rule may inspect about one file.
 pub struct FileCtx<'a> {
@@ -55,13 +60,7 @@ impl FileCtx<'_> {
     #[must_use]
     pub fn finding(&self, code: &'static str, i: usize, message: String) -> Finding {
         let t = &self.tokens[i];
-        Finding {
-            code,
-            path: self.path.to_string(),
-            line: t.line,
-            col: t.col,
-            message,
-        }
+        Finding::new(code, self.path.to_string(), t.line, t.col, message)
     }
 }
 
@@ -80,7 +79,22 @@ pub trait Rule {
     }
 }
 
-/// The full rule set, in code order.
+/// A workspace-level rule: runs once, over the fully built
+/// [`crate::Workspace`] (parsed files + symbol table + call graph).
+/// BD010–BD012 live here; anything a single [`FileCtx`] can answer
+/// belongs in [`Rule`] instead.
+pub trait WsRule {
+    /// The rule's `BDxxx` code.
+    fn code(&self) -> &'static str;
+    /// Short rule name for `--list`-style output.
+    fn name(&self) -> &'static str;
+    /// The whole-workspace pass.
+    fn check(&self, ws: &crate::Workspace) -> Vec<Finding>;
+}
+
+/// The per-file rule set, in code order. BD005's per-file panic scan
+/// retired in favour of BD010's interprocedural reachability (its exact
+/// scope survives as BD010's root set).
 #[must_use]
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
@@ -88,11 +102,20 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(AdditiveSeeds),
         Box::new(UnorderedIteration),
         Box::new(UnsafeNeedsSafety),
-        Box::new(PanicFreePaths),
         Box::new(DistinctFingerprints::default()),
         Box::new(ExactDeltaFallback),
         Box::new(SimdDispatchDiscipline::default()),
         Box::new(ShardFingerprintDiscipline),
+    ]
+}
+
+/// The workspace-level rule set, in code order.
+#[must_use]
+pub fn all_ws_rules() -> Vec<Box<dyn WsRule>> {
+    vec![
+        Box::new(PanicReachability),
+        Box::new(DeterminismTaint),
+        Box::new(UnsafeDispatchReachability),
     ]
 }
 

@@ -1,0 +1,116 @@
+//! The workspace symbol table: every function item from every parsed
+//! file, flattened into one indexed node list with name-based lookup
+//! maps. The call-graph builder resolves call sites against these maps;
+//! the resolution policy itself (what a method call may bind to, when a
+//! qualified call falls back to free functions) lives in
+//! [`crate::callgraph`].
+
+use crate::ast::FnDef;
+use crate::ParsedFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A function node: indices into `files` and that file's `ast.fns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnRef {
+    /// Index into the workspace's file list.
+    pub file: usize,
+    /// Index into that file's `ast.fns`.
+    pub idx: usize,
+}
+
+/// Flat, indexed view of every function in the workspace.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// All function nodes, in (file, definition) order. Node ids used by
+    /// the call graph are indices into this vector.
+    pub fns: Vec<FnRef>,
+    /// name → node ids (all fns of that name, free and associated).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// name → node ids of fns taking `self` (method-call resolution).
+    methods_by_name: BTreeMap<String, Vec<usize>>,
+    /// (qual, name) → node ids; qual is the impl type or trait name.
+    by_qual: BTreeMap<(String, String), Vec<usize>>,
+    /// name → node ids of true free fns (no enclosing impl/trait).
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Every impl-type and trait name known to the workspace. A
+    /// qualified call whose qualifier is *not* in this set is treated as
+    /// a module path or an external (std/vendor) type.
+    quals: BTreeSet<String>,
+}
+
+impl SymbolTable {
+    /// Builds the table over all parsed files.
+    #[must_use]
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut t = SymbolTable::default();
+        for (file, pf) in files.iter().enumerate() {
+            for (idx, f) in pf.ast.fns.iter().enumerate() {
+                let node = t.fns.len();
+                t.fns.push(FnRef { file, idx });
+                t.by_name.entry(f.name.clone()).or_default().push(node);
+                if f.is_method {
+                    t.methods_by_name
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(node);
+                }
+                if let Some(q) = &f.qual {
+                    t.by_qual
+                        .entry((q.clone(), f.name.clone()))
+                        .or_default()
+                        .push(node);
+                    t.quals.insert(q.clone());
+                } else {
+                    t.free_by_name.entry(f.name.clone()).or_default().push(node);
+                }
+                if let Some(tr) = &f.trait_name {
+                    t.by_qual
+                        .entry((tr.clone(), f.name.clone()))
+                        .or_default()
+                        .push(node);
+                    t.quals.insert(tr.clone());
+                }
+            }
+        }
+        t
+    }
+
+    /// All fns named `name`.
+    #[must_use]
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All `self`-taking fns named `name`.
+    #[must_use]
+    pub fn methods_named(&self, name: &str) -> &[usize] {
+        self.methods_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All fns `Qual::name` where `Qual` is an impl type or trait.
+    #[must_use]
+    pub fn qualified(&self, qual: &str, name: &str) -> &[usize] {
+        self.by_qual
+            .get(&(qual.to_string(), name.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// All module-level free fns named `name`.
+    #[must_use]
+    pub fn free_named(&self, name: &str) -> &[usize] {
+        self.free_by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `qual` names a workspace impl type or trait.
+    #[must_use]
+    pub fn knows_qual(&self, qual: &str) -> bool {
+        self.quals.contains(qual)
+    }
+
+    /// The [`FnDef`] behind a node id.
+    #[must_use]
+    pub fn def<'a>(&self, files: &'a [ParsedFile], node: usize) -> &'a FnDef {
+        let r = self.fns[node];
+        &files[r.file].ast.fns[r.idx]
+    }
+}

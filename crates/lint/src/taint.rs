@@ -1,0 +1,218 @@
+//! Function-level determinism taint.
+//!
+//! The lattice is deliberately tiny: per ambient-source kind
+//! ([`SourceKind`]: entropy, wall-clock, thread-id, worker-count), a
+//! function is either **tainted** — its body, or any function it can
+//! reach through the call graph, touches that source — or clean. There
+//! is no per-value dataflow: if `fn elapsed()` reads `Instant::now` and
+//! also returns a constant, every caller of `elapsed` is wall-clock
+//! tainted. That over-approximation is the point — a function on a
+//! journal/fingerprint path should not be *able* to observe ambient
+//! state, whether or not today's code lets the value flow into the
+//! bytes.
+//!
+//! Computed as one reverse BFS per source kind, from every non-test
+//! function containing a source site, over the reverse call graph. The
+//! rule supplies an `enter` filter to keep taint from propagating
+//! through sanctioned territory (bench harnesses, the linter's own
+//! fixtures). Witness chains come out of the BFS provenance for free.
+
+use crate::ast::{SourceKind, SourceSite};
+use crate::callgraph::{chain_notes, reach_backward, CallGraph, Provenance};
+use crate::symbols::SymbolTable;
+use crate::ParsedFile;
+use std::collections::BTreeMap;
+
+/// All source kinds, in reporting order.
+pub const KINDS: [SourceKind; 4] = [
+    SourceKind::Entropy,
+    SourceKind::WallClock,
+    SourceKind::ThreadId,
+    SourceKind::WorkerCount,
+];
+
+fn kind_index(kind: SourceKind) -> usize {
+    KINDS.iter().position(|&k| k == kind).unwrap_or(0)
+}
+
+/// Per-kind taint sets with witness provenance.
+#[derive(Debug, Default)]
+pub struct TaintMap {
+    maps: [BTreeMap<usize, Provenance>; 4],
+}
+
+impl TaintMap {
+    /// Runs the analysis. `seed_ok(node)` admits a source-containing fn
+    /// as a taint root (rules use it to exempt bench code); `enter(node)`
+    /// admits a fn as a propagation step.
+    #[must_use]
+    pub fn analyze(
+        files: &[ParsedFile],
+        symbols: &SymbolTable,
+        graph: &CallGraph,
+        seed_ok: impl Fn(usize) -> bool,
+        enter: impl Fn(usize) -> bool,
+    ) -> TaintMap {
+        let mut maps: [BTreeMap<usize, Provenance>; 4] = Default::default();
+        for (x, &kind) in KINDS.iter().enumerate() {
+            let roots: Vec<usize> = (0..symbols.fns.len())
+                .filter(|&n| {
+                    let d = symbols.def(files, n);
+                    !d.is_test && seed_ok(n) && d.sources.iter().any(|s| s.kind == kind)
+                })
+                .collect();
+            maps[x] = reach_backward(graph, &roots, &enter);
+        }
+        TaintMap { maps }
+    }
+
+    /// Whether `node` is tainted by `kind`.
+    #[must_use]
+    pub fn tainted(&self, node: usize, kind: SourceKind) -> bool {
+        self.maps[kind_index(kind)].contains_key(&node)
+    }
+
+    /// The source kinds tainting `node`, in [`KINDS`] order.
+    #[must_use]
+    pub fn kinds_of(&self, node: usize) -> Vec<SourceKind> {
+        KINDS
+            .iter()
+            .copied()
+            .filter(|&k| self.tainted(node, k))
+            .collect()
+    }
+
+    /// Witness notes for `node`'s `kind` taint: the call chain from
+    /// `node` down to the source-containing fn, then the source itself.
+    #[must_use]
+    pub fn witness(
+        &self,
+        files: &[ParsedFile],
+        symbols: &SymbolTable,
+        node: usize,
+        kind: SourceKind,
+    ) -> Vec<String> {
+        let map = &self.maps[kind_index(kind)];
+        if !map.contains_key(&node) {
+            return Vec::new();
+        }
+        let mut notes = chain_notes(files, symbols, map, node, false);
+        // Walk to the root (the fn that actually contains the source).
+        let mut cur = node;
+        while let Some(Provenance::Step { pred, .. }) = map.get(&cur) {
+            cur = *pred;
+        }
+        let d = symbols.def(files, cur);
+        if let Some(site) = first_source(d.sources.as_slice(), kind) {
+            let file = &files[symbols.fns[cur].file];
+            notes.push(format!(
+                "`{}` reads `{}` ({}) at {}:{}:{}",
+                d.name,
+                site.what,
+                kind.label(),
+                file.path,
+                site.line,
+                site.col
+            ));
+        }
+        notes
+    }
+}
+
+fn first_source(sources: &[SourceSite], kind: SourceKind) -> Option<&SourceSite> {
+    sources.iter().find(|s| s.kind == kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_file;
+
+    fn setup(files: &[(&str, &str)]) -> (Vec<ParsedFile>, SymbolTable, CallGraph, TaintMap) {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| parse_file((*p).to_string(), s))
+            .collect();
+        let symbols = SymbolTable::build(&parsed);
+        let graph = CallGraph::build(&parsed, &symbols);
+        let taint = TaintMap::analyze(&parsed, &symbols, &graph, |_| true, |_| true);
+        (parsed, symbols, graph, taint)
+    }
+
+    fn node(symbols: &SymbolTable, name: &str) -> usize {
+        *symbols.named(name).first().expect("fn exists")
+    }
+
+    #[test]
+    fn taint_propagates_up_call_chains_with_witness() {
+        let (files, symbols, _, taint) = setup(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { mid(); } fn mid() { leaf(); }
+             fn leaf() -> u64 { SystemTime::now(); 0 } fn clean() {}",
+        )]);
+        let top = node(&symbols, "top");
+        assert!(taint.tainted(top, SourceKind::WallClock));
+        assert!(!taint.tainted(top, SourceKind::Entropy));
+        assert!(!taint.tainted(node(&symbols, "clean"), SourceKind::WallClock));
+        let notes = taint.witness(&files, &symbols, top, SourceKind::WallClock);
+        assert_eq!(notes.len(), 3, "{notes:?}");
+        assert!(notes[0].contains("`top` calls `mid`"));
+        assert!(notes[2].contains("`leaf` reads `SystemTime::now` (wall-clock)"));
+    }
+
+    #[test]
+    fn kinds_are_tracked_independently() {
+        let (_, symbols, _, taint) = setup(&[(
+            "crates/a/src/lib.rs",
+            "fn uses_rng() { thread_rng(); } fn uses_workers() { available_parallelism(); }
+             fn both() { uses_rng(); uses_workers(); }",
+        )]);
+        let both = node(&symbols, "both");
+        assert_eq!(
+            taint.kinds_of(both),
+            vec![SourceKind::Entropy, SourceKind::WorkerCount]
+        );
+        assert_eq!(
+            taint.kinds_of(node(&symbols, "uses_rng")),
+            vec![SourceKind::Entropy]
+        );
+    }
+
+    #[test]
+    fn test_fns_do_not_seed_taint() {
+        let (_, symbols, _, taint) = setup(&[(
+            "crates/a/src/lib.rs",
+            "fn prod() { helper(); } fn helper() {}
+             #[cfg(test)] mod tests { fn noisy() { thread_rng(); } }",
+        )]);
+        assert!(!taint.tainted(node(&symbols, "prod"), SourceKind::Entropy));
+        // The test fn itself is not even a root.
+        assert!(!taint.tainted(node(&symbols, "noisy"), SourceKind::Entropy));
+    }
+
+    #[test]
+    fn seed_filter_exempts_sanctioned_sources() {
+        let files = [(
+            "crates/bench/src/lib.rs",
+            "pub fn bench_noise() -> u64 { thread_rng(); 1 }",
+        )];
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(p, s)| parse_file((*p).to_string(), s))
+            .collect();
+        let symbols = SymbolTable::build(&parsed);
+        let graph = CallGraph::build(&parsed, &symbols);
+        let taint = TaintMap::analyze(
+            &parsed,
+            &symbols,
+            &graph,
+            |n| {
+                !parsed[symbols.fns[n].file]
+                    .path
+                    .starts_with("crates/bench/")
+            },
+            |_| true,
+        );
+        assert!(!taint.tainted(node(&symbols, "bench_noise"), SourceKind::Entropy));
+    }
+}

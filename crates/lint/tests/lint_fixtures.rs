@@ -7,11 +7,45 @@
 //! Fixtures live in `crates/lint/fixtures/` (which the workspace walker
 //! deliberately skips) and are linted under *virtual* workspace-relative
 //! paths, because rule scoping is path-sensitive: BD001's bench exemption
-//! and BD005's engine/checkpoint scope both key off the path a file is
-//! presented under.
+//! and BD010's engine/checkpoint scope both key off the path a file is
+//! presented under. The interprocedural rules (BD010–BD012) additionally
+//! have *fixture trees* — miniature multi-crate workspaces under
+//! `fixtures/bd01x_{good,bad}/` — linted whole via [`lint_workspace`],
+//! with the expected finding set asserted exactly.
 
 use bdlfi_lint::{lint_source, lint_workspace, Finding};
 use std::path::{Path, PathBuf};
+
+/// Lints a fixture *tree* (a miniature workspace rooted at
+/// `fixtures/<name>/`) through the same entry point CI uses.
+fn lint_tree(name: &str) -> Vec<Finding> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    lint_workspace(&root).unwrap_or_else(|e| panic!("fixture tree {name} unreadable: {e}"))
+}
+
+/// `(code, path, line)` triples, in the analyzer's sorted order.
+fn summarize(findings: &[Finding]) -> Vec<(&str, &str, u32)> {
+    findings
+        .iter()
+        .map(|f| (f.code, f.path.as_str(), f.line))
+        .collect()
+}
+
+/// Asserts a fixture tree lints completely clean.
+fn assert_tree_clean(name: &str) {
+    let findings = lint_tree(name);
+    assert!(
+        findings.is_empty(),
+        "{name}: expected clean tree, got:\n{}",
+        findings
+            .iter()
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
 
 /// Reads a fixture from `crates/lint/fixtures/`.
 fn fixture(name: &str) -> String {
@@ -112,34 +146,134 @@ fn bd004_good_multiline_safety_block_is_clean() {
     assert_clean("bd004_good.rs", "crates/tensor/src/ops/simd.rs");
 }
 
-// ---- BD005: typed-error paths ----------------------------------------
+// ---- BD010: panic reachability (fixture trees) ------------------------
 
 #[test]
-fn bd005_bad_trips_only_bd005() {
-    let f = assert_trips("bd005_bad.rs", "crates/core/src/engine.rs", "BD005");
-    // Both the unwrap and the panic! are reported.
-    assert!(f.len() >= 2, "expected unwrap + panic findings, got {f:?}");
+fn bd010_bad_tree_reports_exact_panic_sites() {
+    let f = lint_tree("bd010_bad");
+    assert_eq!(
+        summarize(&f),
+        vec![
+            // Direct unwrap in a root fn (the BD005-equivalent shape).
+            ("BD010", "crates/core/src/engine.rs", 6),
+            // Direct slice index in a root fn.
+            ("BD010", "crates/core/src/engine.rs", 11),
+            // The cross-crate panic, anchored at its own site.
+            ("BD010", "crates/nn/src/prep.rs", 10),
+        ],
+        "got:\n{}",
+        f.iter().map(Finding::render).collect::<Vec<_>>().join("\n")
+    );
 }
 
 #[test]
-fn bd005_good_typed_errors_and_test_unwraps_are_clean() {
-    assert_clean("bd005_good.rs", "crates/core/src/engine.rs");
+fn bd010_cross_crate_finding_carries_the_witness_chain() {
+    let f = lint_tree("bd010_bad");
+    let cross = f
+        .iter()
+        .find(|x| x.path.ends_with("prep.rs"))
+        .expect("cross-crate finding present");
+    assert!(
+        cross.notes.iter().any(|n| n.contains("run_batch")),
+        "chain must start at the engine entry point: {:?}",
+        cross.notes
+    );
+    assert!(
+        cross.notes.iter().any(|n| n.contains("scale_one")),
+        "chain must pass through the intermediate helper: {:?}",
+        cross.notes
+    );
 }
 
 #[test]
-fn bd005_scope_is_path_sensitive() {
-    // The very same unwrap/panic source is legal outside the policed
-    // engine/checkpoint/EvalSink paths.
-    assert_clean("bd005_bad.rs", "crates/nn/src/train.rs");
+fn bd010_good_tree_typed_errors_waiver_and_test_unwraps_are_clean() {
+    assert_tree_clean("bd010_good");
 }
 
 #[test]
-fn bd005_polices_every_server_source_file() {
+fn bd010_scope_is_path_sensitive() {
+    // The same panicking sources are legal outside the policed
+    // engine/checkpoint/shard/serve paths: presented under a
+    // non-entry-point path, the bad engine file lints clean.
+    assert_clean(
+        "bd010_bad/crates/core/src/engine.rs",
+        "crates/nn/src/train.rs",
+    );
+}
+
+#[test]
+fn bd010_polices_every_server_source_file() {
     // PR 8: the daemon's request paths hold to the same no-panic
     // discipline — the whole of crates/server/src/ is in scope, whatever
     // the file is called.
-    assert_trips("bd005_bad.rs", "crates/server/src/daemon.rs", "BD005");
-    assert_trips("bd005_bad.rs", "crates/server/src/http.rs", "BD005");
+    assert_trips(
+        "bd010_bad/crates/core/src/engine.rs",
+        "crates/server/src/daemon.rs",
+        "BD010",
+    );
+    assert_trips(
+        "bd010_bad/crates/core/src/engine.rs",
+        "crates/server/src/http.rs",
+        "BD010",
+    );
+}
+
+// ---- BD011: determinism taint (fixture trees) --------------------------
+
+#[test]
+fn bd011_bad_tree_reports_body_and_argument_taint() {
+    let f = lint_tree("bd011_bad");
+    assert_eq!(
+        summarize(&f),
+        vec![
+            // Check 1: journal_form reaches Instant::now via util.rs.
+            ("BD011", "crates/core/src/report.rs", 6),
+            // Check 2: tainted helper's result passed into the sink.
+            ("BD011", "crates/server/src/jobs.rs", 6),
+            // Check 2: ambient source read directly in the argument list.
+            ("BD011", "crates/server/src/jobs.rs", 10),
+        ],
+        "got:\n{}",
+        f.iter().map(Finding::render).collect::<Vec<_>>().join("\n")
+    );
+    let body = &f[0];
+    assert!(
+        body.notes.iter().any(|n| n.contains("current_elapsed")),
+        "check-1 finding must name the tainted helper: {:?}",
+        body.notes
+    );
+}
+
+#[test]
+fn bd011_good_tree_scrubbed_journals_are_clean() {
+    // util.rs still reads Instant::now in the good tree — taint that
+    // never reaches journal or fingerprint bytes is not a violation.
+    assert_tree_clean("bd011_good");
+}
+
+// ---- BD012: cross-file target_feature dispatch (fixture trees) ---------
+
+#[test]
+fn bd012_bad_tree_reports_the_distant_dispatch_site() {
+    let f = lint_tree("bd012_bad");
+    assert_eq!(
+        summarize(&f),
+        vec![("BD012", "crates/core/src/fastpath.rs", 10)],
+        "got:\n{}",
+        f.iter().map(Finding::render).collect::<Vec<_>>().join("\n")
+    );
+    // BD008 is satisfied at that site (guard + SAFETY) — the finding is
+    // purely the cross-file front-door violation, and it names the kernel.
+    assert!(
+        f[0].notes.iter().any(|n| n.contains("gemm_avx2")),
+        "finding must name the kernel: {:?}",
+        f[0].notes
+    );
+}
+
+#[test]
+fn bd012_good_tree_front_door_dispatch_is_clean() {
+    assert_tree_clean("bd012_good");
 }
 
 // ---- BD006: distinct fingerprints ------------------------------------

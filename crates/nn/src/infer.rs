@@ -47,7 +47,9 @@ pub fn predict_batched(
         out.extend_from_slice(logits.data());
         i = end;
     }
-    Tensor::from_vec(out, [n, classes.expect("non-empty input")])
+    // `classes` is unset only when `inputs` had zero rows, and then
+    // `out` is empty too — `[0, 0]` is the right empty logits shape.
+    Tensor::from_vec(out, [n, classes.unwrap_or(0)])
 }
 
 /// [`predict_batched`] without a tap.

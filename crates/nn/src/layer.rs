@@ -74,6 +74,7 @@ impl<'a> ForwardCtx<'a> {
     pub fn pop(&mut self) {
         self.path
             .pop()
+            // bdlfi-lint: allow(BD010) -- documented `# Panics` contract: unbalanced push/pop is a Layer-impl bug, not campaign input
             .expect("ForwardCtx::pop without matching push");
     }
 

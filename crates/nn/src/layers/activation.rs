@@ -38,6 +38,7 @@ impl Layer for Sigmoid {
         let y = self
             .cached_output
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("sigmoid backward before train-mode forward");
         // dy/dx = y (1 - y)
         grad_out.zip_map(y, |g, y| g * y * (1.0 - y))
@@ -80,6 +81,7 @@ impl Layer for Tanh {
         let y = self
             .cached_output
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("tanh backward before train-mode forward");
         // dy/dx = 1 - y^2
         grad_out.zip_map(y, |g, y| g * (1.0 - y * y))

@@ -143,7 +143,9 @@ impl Layer for BatchNorm2d {
         let xhat = self
             .cached_xhat
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("batchnorm backward before train-mode forward");
+        // bdlfi-lint: allow(BD010) -- same forward-first contract as the line above, for the batch statistics cache
         let std_inv = self.cached_std_inv.as_ref().unwrap();
         let (n, c, h, w) = (xhat.dim(0), xhat.dim(1), xhat.dim(2), xhat.dim(3));
         let plane = h * w;

@@ -94,6 +94,7 @@ impl Layer for Conv2d {
         let input = self
             .cached_input
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("conv2d backward before train-mode forward");
         let (gi, gw, gb) = conv2d_backward(input, &self.weight.value, grad_out, self.spec);
         self.weight.grad.add_assign_t(&gw);

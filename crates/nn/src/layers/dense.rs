@@ -133,6 +133,7 @@ impl Layer for Dense {
         let input = self
             .cached_input
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("dense backward before train-mode forward");
         // dW += xᵀ · dY ; db += column sums of dY ; dX = dY · Wᵀ
         self.weight.grad.add_assign_t(&input.matmul_tn(grad_out));

@@ -94,6 +94,7 @@ impl Layer for Dropout {
         let mask = self
             .mask
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("dropout backward before train-mode forward");
         grad_out.mul_t(mask)
     }

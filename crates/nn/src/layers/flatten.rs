@@ -38,6 +38,7 @@ impl Layer for Flatten {
         let dims = self
             .cached_input_dims
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("flatten backward before train-mode forward");
         grad_out.reshape(dims.clone())
     }

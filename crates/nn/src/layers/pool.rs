@@ -47,7 +47,9 @@ impl Layer for MaxPool2d {
         let argmax = self
             .cached_argmax
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("maxpool backward before train-mode forward");
+        // bdlfi-lint: allow(BD010) -- same forward-first contract as the line above, for the argmax cache
         let dims = self.cached_input_dims.as_ref().unwrap();
         maxpool2d_backward(grad_out, argmax, dims)
     }
@@ -88,6 +90,7 @@ impl Layer for GlobalAvgPool {
         let dims = self
             .cached_input_dims
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("global_avg_pool backward before train-mode forward");
         global_avg_pool_backward(grad_out, dims)
     }

@@ -33,6 +33,7 @@ impl Layer for Relu {
         let mask = self
             .mask
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("relu backward before train-mode forward");
         grad_out.mul_t(mask)
     }

@@ -43,6 +43,7 @@ impl Layer for Softmax {
         let y = self
             .cached_output
             .as_ref()
+            // bdlfi-lint: allow(BD010) -- train-mode contract: Trainer::fit always runs forward before backward; the message names the missing cache
             .expect("softmax backward before train-mode forward");
         let (n, k) = (y.dim(0), y.dim(1));
         let mut grad_in = y.clone();

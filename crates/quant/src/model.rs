@@ -279,10 +279,12 @@ impl QuantModel {
                     all.iter()
                         .find(|s| s.path == *want)
                         .cloned()
+                        // bdlfi-lint: allow(BD010) -- spec-resolution boundary: reports the offending path before any campaign state exists
                         .unwrap_or_else(|| panic!("unknown parameter path {want:?}"))
                 })
                 .collect(),
             SiteSpec::Activations(_) | SiteSpec::Input => {
+                // bdlfi-lint: allow(BD010) -- spec-resolution boundary: quant campaigns reject non-parameter sites before any state exists
                 panic!("quantized models expose parameter fault sites only")
             }
         };

@@ -224,6 +224,7 @@ fn quantize_slice_avx2(src: &[f32], inv_scale: f64, zp: i64, dst: &mut [i8]) {
     };
     let mut i = 0;
     while i + 16 <= src.len() {
+        // bdlfi-lint: allow(BD010) -- infallible: the slice is exactly 4 bytes by the window arithmetic above
         let quad = |o: usize| quantize_quad_avx2((&src[o..o + 4]).try_into().unwrap(), &c);
         let ab = _mm_packs_epi32(quad(i), quad(i + 4));
         let cd = _mm_packs_epi32(quad(i + 8), quad(i + 12));
@@ -501,6 +502,7 @@ fn requant_rows_avx2(
                 shifts[j] = rshift as i64;
             }
             // Unreachable by the dispatch gate; keep the kernel total.
+            // bdlfi-lint: allow(BD010) -- unreachable by the all-Fixed dispatch gate directly above
             Requant::Float(_) => unreachable!("requant_rows_avx2 requires all-Fixed columns"),
         }
     }

@@ -10,7 +10,7 @@
 //! a reused connection. Requests are parsed from raw bytes with hard
 //! limits on header and body size so a malformed or hostile client
 //! cannot balloon daemon memory. Every parse failure maps to a
-//! client-error response — nothing on this path may panic (BD005).
+//! client-error response — nothing on this path may panic (BD010).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -59,7 +59,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, BadReques
         match stream.read(&mut byte) {
             Ok(0) if head.is_empty() => return Ok(None),
             Ok(0) => return Err(BadRequest("connection closed mid-request".to_string())),
-            Ok(_) => head.push(byte[0]),
+            Ok(_) => head.extend_from_slice(&byte),
             Err(_) if head.is_empty() => return Ok(None),
             Err(e) => return Err(BadRequest(format!("read error: {e}"))),
         }

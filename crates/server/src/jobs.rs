@@ -499,7 +499,9 @@ impl JobObserver {
             if traces.len() <= task_id {
                 traces.resize(task_id + 1, Vec::new());
             }
-            traces[task_id] = samples;
+            if let Some(slot) = traces.get_mut(task_id) {
+                *slot = samples;
+            }
         } else if let Some(items) = value.as_array() {
             // Adaptive campaign: each segment journals a snapshot of every
             // chain, cumulative from the start.

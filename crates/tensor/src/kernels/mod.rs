@@ -191,6 +191,7 @@ pub fn forced_variant() -> Option<Variant> {
     *FORCED.get_or_init(|| match std::env::var("BDLFI_KERNEL") {
         Ok(s) => Some(
             Variant::parse(&s)
+                // bdlfi-lint: allow(BD010) -- operator-override diagnostic: an invalid BDLFI_KERNEL must fail fast at startup, not be silently ignored
                 .unwrap_or_else(|| panic!("BDLFI_KERNEL={s:?} is not one of scalar|autovec|avx2")),
         ),
         Err(_) => None,
@@ -227,6 +228,7 @@ fn lookup(table: &[(ShapeClass, Variant, Tile)], m: usize, n: usize, k: usize) -
     let (_, variant, tile) = table
         .iter()
         .find(|(c, _, _)| *c == class)
+        // bdlfi-lint: allow(BD010) -- the static selection tables enumerate every ShapeClass; pinned by selector unit tests
         .expect("selection table covers every shape class");
     Selection {
         variant: resolve(*variant),

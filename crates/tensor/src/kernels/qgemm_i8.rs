@@ -697,6 +697,7 @@ fn micro_maddubs_avx2(
         let abase = g * MR * 4;
         for r in 0..MR {
             let o = abase + r * 4;
+            // bdlfi-lint: allow(BD010) -- infallible: the slice is exactly 4 bytes by the window arithmetic above
             let quad = u32::from_le_bytes(ap[o..o + 4].try_into().unwrap());
             let a = _mm256_set1_epi32(quad as i32);
             let p0 = _mm256_maddubs_epi16(a, b0);

@@ -66,6 +66,7 @@ impl Tensor {
     /// Panics if `data.len()` does not match the element count of `shape`.
     /// Use [`Tensor::try_from_vec`] for a fallible variant.
     pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Self {
+        // bdlfi-lint: allow(BD010) -- documented `# Panics` API; `try_from_vec` is the fallible variant campaign paths can use
         Tensor::try_from_vec(data, shape).expect("data length must match shape")
     }
 
@@ -183,6 +184,7 @@ impl Tensor {
     /// fallible variant.
     pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
         self.try_reshape(shape)
+            // bdlfi-lint: allow(BD010) -- documented `# Panics` API; `try_reshape` is the fallible variant campaign paths can use
             .expect("reshape must preserve element count")
     }
 
